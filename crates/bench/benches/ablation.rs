@@ -1,0 +1,158 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **upward-route follower search vs naive anchored re-decomposition**
+//!    (quantifies Lemma 2 + the support check — the BASE → BASE+ jump);
+//! 2. **component-local refresh vs full refresh** after committing an
+//!    anchor (quantifies Algorithm 5's region rebuild);
+//! 3. **dynamic truss maintenance vs scratch decomposition** for one edge
+//!    flip (quantifies the maintenance substrate);
+//! 4. **parallel vs serial candidate scan** (the `antruss_core::parallel`
+//!    extension — bounded by the machine's core count);
+//! 5. **lazy (CELF-style) vs exact greedy** (staleness as an accelerator
+//!    under a non-submodular objective).
+
+use antruss_core::baselines::lazy::lazy_greedy;
+use antruss_core::followers::{naive_followers, FollowerSearch};
+use antruss_core::parallel::scan_follower_counts;
+use antruss_core::reuse::{anchor_with_reuse, InvalidationPolicy};
+use antruss_core::tree::{sla, TrussTree};
+use antruss_core::{AtrState, Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use antruss_graph::EdgeId;
+use antruss_truss::{decompose, DynamicTruss};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_follower_search_vs_naive(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 0.6);
+    let st = AtrState::new(&g);
+    let sample: Vec<EdgeId> = g.edges().step_by(97).take(16).collect();
+    let mut group = c.benchmark_group("ablation/follower-search");
+    group.bench_function("upward-route", |b| {
+        b.iter_batched(
+            || FollowerSearch::new(g.num_edges()),
+            |mut fs| {
+                let mut n = 0;
+                for &x in &sample {
+                    n += fs.followers(&st, x).followers.len();
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("naive-redecompose", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for &x in &sample {
+                n += naive_followers(&st, x).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_partial_vs_full_refresh(c: &mut Criterion) {
+    let g = generate(DatasetId::Brightkite, 0.15);
+    let mut group = c.benchmark_group("ablation/refresh-after-anchor");
+    group.bench_function("component-local", |b| {
+        b.iter_batched(
+            || {
+                let st = AtrState::new(&g);
+                let tree = TrussTree::build(&g, &st.t, &st.anchors);
+                (st, tree)
+            },
+            |(mut st, mut tree)| {
+                let x = EdgeId(0);
+                let mut fs = FollowerSearch::new(g.num_edges());
+                let followers = fs.followers(&st, x).followers;
+                let by_node: Vec<(u32, Vec<EdgeId>)> = {
+                    let mut m: std::collections::BTreeMap<u32, Vec<EdgeId>> = Default::default();
+                    for &f in &followers {
+                        m.entry(tree.id_of_edge(f).unwrap()).or_default().push(f);
+                    }
+                    m.into_iter().collect()
+                };
+                let s = sla(&g, &st.t, &st.anchors, &tree, x);
+                black_box(anchor_with_reuse(
+                    &mut st,
+                    &mut tree,
+                    x,
+                    &by_node,
+                    &s,
+                    InvalidationPolicy::PaperExact,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full-redecompose", |b| {
+        b.iter_batched(
+            || AtrState::new(&g),
+            |mut st| {
+                st.anchor_full_refresh(EdgeId(0));
+                black_box(st.k_max)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_maintenance_vs_scratch(c: &mut Criterion) {
+    let g = generate(DatasetId::Gowalla, 0.05);
+    let mut group = c.benchmark_group("ablation/maintenance");
+    group.bench_function("incremental-flip", |b| {
+        b.iter_batched(
+            || DynamicTruss::new(&g),
+            |mut dt| {
+                dt.remove_edge(EdgeId(7));
+                dt.insert_edge(EdgeId(7));
+                black_box(dt.info().k_max)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("scratch-decompose-x2", |b| {
+        b.iter(|| {
+            black_box(decompose(&g));
+            black_box(decompose(&g))
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let g = generate(DatasetId::Gowalla, 0.15);
+    let st = AtrState::new(&g);
+    let candidates: Vec<EdgeId> = g.edges().collect();
+    let mut group = c.benchmark_group("ablation/parallel-scan");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| black_box(scan_follower_counts(&st, &candidates, threads)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_vs_exact_greedy(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 0.4);
+    let b_budget = 5;
+    let mut group = c.benchmark_group("ablation/lazy-greedy");
+    group.bench_function("lazy", |b| {
+        b.iter(|| black_box(lazy_greedy(&g, b_budget).total_gain))
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(Gas::new(&g, GasConfig::default()).run(b_budget).total_gain))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_follower_search_vs_naive, bench_partial_vs_full_refresh,
+        bench_maintenance_vs_scratch, bench_parallel_scan, bench_lazy_vs_exact_greedy
+}
+criterion_main!(benches);

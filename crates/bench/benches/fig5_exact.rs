@@ -1,0 +1,33 @@
+//! Fig. 5 bench: Exact enumeration vs GAS on an ego subgraph — the
+//! cost gap that motivates the greedy.
+
+use antruss_core::baselines::exact::exact;
+use antruss_core::{Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use antruss_graph::sample::ego_subgraph_with_edges;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let g = generate(DatasetId::Facebook, 0.15);
+    let sub = ego_subgraph_with_edges(&g, 60, 120, 100, 3)
+        .expect("ego extraction must succeed on the Facebook analogue");
+    let mut group = c.benchmark_group("fig5/ego-subgraph");
+
+    for b in [1usize, 2] {
+        group.bench_function(format!("exact/b={b}"), |bench| {
+            bench.iter(|| black_box(exact(&sub, b, Some(200_000)).unwrap()))
+        });
+        group.bench_function(format!("gas/b={b}"), |bench| {
+            bench.iter(|| black_box(Gas::new(&sub, GasConfig::default()).run(b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

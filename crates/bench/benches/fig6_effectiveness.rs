@@ -1,0 +1,34 @@
+//! Fig. 6 bench: effectiveness sweep unit costs — one GAS run at the top
+//! budget vs one random-baseline batch per pool.
+
+use antruss_core::baselines::random::{build_pool, random_trials, Pool};
+use antruss_core::{Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let g = generate(DatasetId::Brightkite, 0.15);
+    let mut group = c.benchmark_group("fig6/brightkite@0.15");
+
+    group.bench_function("gas/b=10", |b| {
+        b.iter(|| black_box(Gas::new(&g, GasConfig::default()).run(10)))
+    });
+
+    let pool_all = build_pool(&g, Pool::All);
+    group.bench_function("rand/b=10x5", |b| {
+        b.iter(|| black_box(random_trials(&g, &pool_all, 10, 5, 7)))
+    });
+
+    group.bench_function("build-tur-pool", |b| {
+        b.iter(|| black_box(build_pool(&g, Pool::TopRouteSize(0.2))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 7 bench: the three case-study methods at b = 3 on the Gowalla
+//! analogue (scaled) — GAS vs AKT vs edge-deletion selection.
+
+use antruss_core::baselines::akt::akt_greedy;
+use antruss_core::baselines::edge_deletion::edge_deletion_anchors;
+use antruss_core::{Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use antruss_truss::decompose;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let g = generate(DatasetId::Gowalla, 0.08);
+    let info = decompose(&g);
+    let mut group = c.benchmark_group("fig7/gowalla@0.08");
+
+    group.bench_function("gas/b=3", |b| {
+        b.iter(|| black_box(Gas::new(&g, GasConfig::default()).run(3)))
+    });
+    group.bench_function("akt/k=8,b=3", |b| {
+        b.iter(|| black_box(akt_greedy(&g, &info.trussness, 8, 3, 8)))
+    });
+    group.bench_function("edge-deletion/b=3", |b| {
+        b.iter(|| black_box(edge_deletion_anchors(&g, 3, 8)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

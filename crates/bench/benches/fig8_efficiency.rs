@@ -1,0 +1,50 @@
+//! Fig. 8 bench: GAS vs BASE+ across budgets — the reuse speedup curve.
+
+use antruss_core::{Gas, GasConfig, ReusePolicy};
+use antruss_datasets::{generate, DatasetId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 0.6);
+    let mut group = c.benchmark_group("fig8/college@0.6");
+
+    for b in [2usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::new("gas", b), &b, |bench, &b| {
+            bench.iter(|| {
+                black_box(
+                    Gas::new(
+                        &g,
+                        GasConfig {
+                            reuse: ReusePolicy::PaperExact,
+                            ..GasConfig::default()
+                        },
+                    )
+                    .run(b),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("base_plus", b), &b, |bench, &b| {
+            bench.iter(|| {
+                black_box(
+                    Gas::new(
+                        &g,
+                        GasConfig {
+                            reuse: ReusePolicy::Off,
+                            ..GasConfig::default()
+                        },
+                    )
+                    .run(b),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 9 bench: GAS runtime under edge/vertex sampling of a large-dataset
+//! analogue.
+
+use antruss_core::{Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use antruss_graph::sample::{induced_by_vertex_sample, sample_edges};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let g = generate(DatasetId::Patents, 0.08);
+    let mut group = c.benchmark_group("fig9/patents@0.08");
+
+    for pct in [50u32, 100] {
+        let ratio = pct as f64 / 100.0;
+        let ge = sample_edges(&g, ratio, 17);
+        group.bench_with_input(BenchmarkId::new("edge-sample", pct), &ge, |b, ge| {
+            b.iter(|| black_box(Gas::new(ge, GasConfig::default()).run(4)))
+        });
+        let gv = induced_by_vertex_sample(&g, ratio, 19);
+        group.bench_with_input(BenchmarkId::new("vertex-sample", pct), &gv, |b, gv| {
+            b.iter(|| black_box(Gas::new(gv, GasConfig::default()).run(4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

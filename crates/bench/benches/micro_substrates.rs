@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the substrates every experiment relies on:
+//! truss decomposition, core decomposition, support computation (serial
+//! and parallel), component-tree construction, and a single follower
+//! search. These are the unit costs behind Tables III–V.
+
+use antruss_core::{AtrState, FollowerSearch, TrussTree};
+use antruss_datasets::{generate, DatasetId};
+use antruss_graph::triangles::{support, support_parallel};
+use antruss_kcore::core_decompose;
+use antruss_truss::decompose;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 1.0);
+    c.bench_function("decompose/college", |b| {
+        b.iter(|| black_box(decompose(&g)))
+    });
+    let g_small = generate(DatasetId::Brightkite, 0.2);
+    c.bench_function("decompose/brightkite@0.2", |b| {
+        b.iter(|| black_box(decompose(&g_small)))
+    });
+}
+
+fn bench_support(c: &mut Criterion) {
+    let g = generate(DatasetId::Gowalla, 0.3);
+    c.bench_function("support/serial", |b| {
+        b.iter(|| black_box(support(&g, None)))
+    });
+    for threads in [2usize, 4] {
+        c.bench_function(&format!("support/threads-{threads}"), |b| {
+            b.iter(|| black_box(support_parallel(&g, None, threads)))
+        });
+    }
+}
+
+fn bench_core_decomposition(c: &mut Criterion) {
+    let g = generate(DatasetId::Brightkite, 0.2);
+    c.bench_function("core_decompose/brightkite@0.2", |b| {
+        b.iter(|| black_box(core_decompose(&g)))
+    });
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 1.0);
+    let st = AtrState::new(&g);
+    c.bench_function("tree_build/college", |b| {
+        b.iter(|| black_box(TrussTree::build(&g, &st.t, &st.anchors)))
+    });
+}
+
+fn bench_single_follower_search(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 1.0);
+    let st = AtrState::new(&g);
+    c.bench_function("followers/college-one-edge", |b| {
+        b.iter_batched(
+            || FollowerSearch::new(g.num_edges()),
+            |mut fs| {
+                let mut total = 0usize;
+                for e in g.edges().take(64) {
+                    total += fs.followers(&st, e).followers.len();
+                }
+                black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decomposition, bench_support, bench_core_decomposition, bench_tree_build, bench_single_follower_search
+}
+criterion_main!(benches);

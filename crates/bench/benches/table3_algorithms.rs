@@ -1,0 +1,56 @@
+//! Table III bench: the algorithm line-up (GAS vs BASE+ vs the random
+//! baselines) at a reduced scale — the per-dataset unit work behind the
+//! paper's headline comparison.
+
+use antruss_core::baselines::random::{random_baseline, Pool};
+use antruss_core::{Gas, GasConfig, ReusePolicy};
+use antruss_datasets::{generate, DatasetId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const B: usize = 5;
+
+fn bench_table3(c: &mut Criterion) {
+    let g = generate(DatasetId::College, 0.6);
+    let mut group = c.benchmark_group("table3/college@0.6");
+
+    group.bench_function("gas", |b| {
+        b.iter(|| {
+            black_box(
+                Gas::new(
+                    &g,
+                    GasConfig {
+                        reuse: ReusePolicy::PaperExact,
+                        ..GasConfig::default()
+                    },
+                )
+                .run(B),
+            )
+        })
+    });
+    group.bench_function("base_plus", |b| {
+        b.iter(|| {
+            black_box(
+                Gas::new(
+                    &g,
+                    GasConfig {
+                        reuse: ReusePolicy::Off,
+                        ..GasConfig::default()
+                    },
+                )
+                .run(B),
+            )
+        })
+    });
+    group.bench_function("rand-10-trials", |b| {
+        b.iter(|| black_box(random_baseline(&g, Pool::All, B, 10, 1)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

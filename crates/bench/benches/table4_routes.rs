@@ -1,0 +1,35 @@
+//! Table IV bench: the full first-round route-size sweep (one follower
+//! search per edge), the quantity whose smallness justifies BASE+.
+
+use antruss_core::route::{route_sizes, route_stats};
+use antruss_core::AtrState;
+use antruss_datasets::{generate, DatasetId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let college = generate(DatasetId::College, 1.0);
+    let st_college = AtrState::new(&college);
+    c.bench_function("table4/route-sweep/college", |b| {
+        b.iter(|| {
+            let sizes = route_sizes(&st_college);
+            black_box(route_stats(&sizes))
+        })
+    });
+
+    let bk = generate(DatasetId::Brightkite, 0.15);
+    let st_bk = AtrState::new(&bk);
+    c.bench_function("table4/route-sweep/brightkite@0.15", |b| {
+        b.iter(|| {
+            let sizes = route_sizes(&st_bk);
+            black_box(route_stats(&sizes))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

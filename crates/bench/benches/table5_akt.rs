@@ -1,0 +1,32 @@
+//! Table V / Fig. 11 bench: AKT greedy across `k` values vs one GAS run —
+//! the unit work of the vertex-anchoring comparison.
+
+use antruss_core::baselines::akt::akt_greedy;
+use antruss_core::{Gas, GasConfig};
+use antruss_datasets::{generate, DatasetId};
+use antruss_truss::decompose;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table5(c: &mut Criterion) {
+    let g = generate(DatasetId::Gowalla, 0.08);
+    let info = decompose(&g);
+    let mut group = c.benchmark_group("table5/gowalla@0.08");
+
+    group.bench_function("gas/b=5", |b| {
+        b.iter(|| black_box(Gas::new(&g, GasConfig::default()).run(5)))
+    });
+    for k in [6u32, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("akt-b5", k), &k, |b, &k| {
+            b.iter(|| black_box(akt_greedy(&g, &info.trussness, k, 5, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! A tiny `--key value` / `--flag` argument parser (keeps the workspace
+//! free of CLI-framework dependencies).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of argument strings (excluding `argv[0]`).
+    ///
+    /// `--key value` becomes an option, `--flag` (followed by another
+    /// `--…` or nothing) becomes a boolean flag, everything else is
+    /// positional.
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut out = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Typed option lookup with default; panics with a clear message on
+    /// unparsable values.
+    pub fn get<T: FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.options.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")),
+        }
+    }
+
+    /// Raw option lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag lookup.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn options_flags_positionals() {
+        let a = parse("exp1 --b 50 --quick --scale 0.5 extra");
+        assert_eq!(a.positional(), &["exp1".to_string(), "extra".to_string()]);
+        assert_eq!(a.get("b", 10usize), 50);
+        assert_eq!(a.get("scale", 1.0f64), 0.5);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("full"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("exp2");
+        assert_eq!(a.get("b", 7usize), 7);
+        assert_eq!(a.get_str("data-dir"), None);
+    }
+
+    #[test]
+    fn flag_before_option() {
+        let a = parse("--quick --b 3");
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("b", 0usize), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "--b")]
+    fn bad_value_panics() {
+        let a = parse("--b abc");
+        let _: usize = a.get("b", 1);
+    }
+}

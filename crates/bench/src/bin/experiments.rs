@@ -1,0 +1,123 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <exp1|exp2|...|exp11|all> [options]
+//!
+//! options:
+//!   --b N                anchor budget (default 20; paper uses 100)
+//!   --trials N           randomized-baseline trials (default 30; paper 2000)
+//!   --scale F            dataset scale multiplier in (0, 1]
+//!   --datasets a,b,c     dataset slugs (college, facebook, …, pokec)
+//!   --data-dir PATH      directory with real SNAP edge lists (drop-in)
+//!   --base-timeout SECS  wall-clock cap for the BASE baseline (default 20)
+//!   --bplus-max-edges N  largest |E| on which BASE+ runs (default 150000)
+//!   --fine               finer sampling grid for exp6
+//!   --quick              smoke-test sizes
+//! ```
+
+use antruss_bench::args::Args;
+use antruss_bench::exp::{self, ExpConfig};
+use antruss_datasets::DatasetId;
+
+fn main() {
+    let args = Args::from_env();
+    let which = args
+        .positional()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "exp1" => {
+                let cfg = ExpConfig::from_args(&args, &DatasetId::all(), 20);
+                Some(exp::exp1(&cfg))
+            }
+            "exp2" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::Facebook, DatasetId::Brightkite],
+                    3,
+                );
+                Some(exp::exp2(&cfg))
+            }
+            "exp3" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::Facebook, DatasetId::Brightkite],
+                    20,
+                );
+                Some(exp::exp3(&cfg))
+            }
+            "exp4" => {
+                let cfg = ExpConfig::from_args(&args, &[DatasetId::Gowalla], 3);
+                Some(exp::exp4(&cfg))
+            }
+            "exp5" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::College, DatasetId::Brightkite],
+                    20,
+                );
+                Some(exp::exp5(&cfg))
+            }
+            "exp6" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::Patents, DatasetId::Pokec],
+                    10,
+                );
+                Some(exp::exp6(&cfg, args.flag("fine")))
+            }
+            "exp7" => {
+                let cfg = ExpConfig::from_args(&args, &DatasetId::all(), 20);
+                Some(exp::exp7(&cfg))
+            }
+            "exp8" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::Facebook, DatasetId::Gowalla],
+                    10,
+                );
+                Some(exp::exp8(&cfg))
+            }
+            "exp9" => {
+                let cfg = ExpConfig::from_args(&args, &[DatasetId::Gowalla], 10);
+                Some(exp::exp9(&cfg))
+            }
+            "exp10" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::College, DatasetId::Brightkite, DatasetId::Gowalla],
+                    10,
+                );
+                Some(exp::exp10(&cfg))
+            }
+            "exp11" => {
+                let cfg = ExpConfig::from_args(
+                    &args,
+                    &[DatasetId::Facebook, DatasetId::Gowalla, DatasetId::Pokec],
+                    10,
+                );
+                Some(exp::exp11(&cfg))
+            }
+            _ => None,
+        }
+    };
+
+    if which == "all" {
+        for i in 1..=11 {
+            let name = format!("exp{i}");
+            println!("{}", run(&name).expect("known experiment"));
+            println!("{}", "=".repeat(78));
+        }
+    } else {
+        match run(&which) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment {which:?}; expected exp1..exp9 or all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

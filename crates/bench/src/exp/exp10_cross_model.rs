@@ -1,0 +1,180 @@
+//! Exp-10 (extension): cross-model reinforcement comparison.
+//!
+//! The paper's related-work argument — "anchor k-core methods provide
+//! limited solutions for our problem" because the core model ignores tie
+//! strength — is asserted, not measured. This experiment measures it.
+//! Four reinforcement strategies spend the same budget `b`:
+//!
+//! * **GAS** — the paper's method: `b` anchor *edges*, truss model;
+//! * **AKT** — `b` anchor *vertices* at the best fixed truss level `k`
+//!   (Zhang et al. ICDE'18);
+//! * **Coreness** — `b` anchor vertices chosen by the anchored-coreness
+//!   greedy (Linghu et al. SIGMOD'20), i.e. core-model reasoning;
+//! * **OLAK** — `b` anchor vertices at the best fixed *core* level
+//!   (Zhang et al. VLDB'17).
+//!
+//! Two currencies are reported. *MaxK gain*: the trussness gain of the
+//! chosen anchors under AKT's vertex-anchored truss semantics, maximized
+//! over the `k` grid (vertex methods' own best showing; GAS reports its
+//! global Definition-4 gain). *Resilience*: extra edge-survival units
+//! across all decay thresholds (`atr::stability`), one number that is
+//! well-defined for both edge and vertex anchors.
+//!
+//! Expected shape: GAS wins resilience on every dataset; the core-based
+//! selectors trail AKT because their anchors optimize degree, not triangle
+//! support.
+
+use std::fmt::Write as _;
+
+use antruss_core::baselines::akt::{akt_gain, akt_greedy, anchored_k_truss};
+use antruss_core::stability::{
+    induced_resilience_gain, resilience_gain, vertex_induced_resilience_gain,
+    vertex_resilience_gain,
+};
+use antruss_core::{Gas, GasConfig};
+use antruss_graph::{EdgeSet, VertexId};
+use antruss_kcore::{core_decompose, olak_greedy, AnchoredCoreness};
+use antruss_truss::decompose;
+
+use crate::table::Table;
+
+use super::exp9_akt::k_grid;
+use super::ExpConfig;
+
+/// Best vertex-anchored trussness gain over the `k` grid for a fixed set
+/// of anchor vertices.
+fn best_k_gain(
+    g: &antruss_graph::CsrGraph,
+    t: &[u32],
+    k_max: u32,
+    vertices: &[VertexId],
+) -> u64 {
+    let mut flags = vec![false; g.num_vertices()];
+    for &v in vertices {
+        flags[v.idx()] = true;
+    }
+    k_grid(k_max)
+        .into_iter()
+        .map(|k| {
+            let truss = anchored_k_truss(g, t, k, &flags);
+            akt_gain(g, t, k, &truss)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Runs Exp-10 and returns the report.
+pub fn exp10(cfg: &ExpConfig) -> String {
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Exp-10 (extension) — cross-model comparison: edge/truss vs vertex/core (b = {})\n",
+        cfg.budget
+    );
+    let mut table = Table::new([
+        "Dataset",
+        "Method",
+        "Anchors",
+        "MaxK gain",
+        "Global gain",
+        "Resil(raw)",
+        "Resil(induced)",
+    ]);
+
+    for &id in &cfg.datasets {
+        let g = cfg.load(id);
+        let name = id.profile().name;
+        let info = decompose(&g);
+        let core = core_decompose(&g);
+
+        // --- GAS: edge anchors, the paper's method ---------------------
+        let gas = Gas::new(&g, GasConfig::default()).run(cfg.budget);
+        let gas_set = EdgeSet::from_iter(g.num_edges(), gas.anchors.iter().copied());
+        table.row([
+            name.to_string(),
+            "GAS (edge)".into(),
+            format!("{} edges", gas.anchors.len()),
+            "-".into(),
+            gas.total_gain.to_string(),
+            resilience_gain(&g, &gas_set).to_string(),
+            induced_resilience_gain(&g, &gas_set).to_string(),
+        ]);
+
+        // --- AKT: vertex anchors at its best k -------------------------
+        let akt_best = k_grid(info.k_max)
+            .into_iter()
+            .map(|k| akt_greedy(&g, &info.trussness, k, cfg.budget, 16))
+            .max_by_key(|o| o.gain)
+            .expect("k grid non-empty");
+        table.row([
+            name.to_string(),
+            "AKT (vertex)".into(),
+            format!("{} vertices", akt_best.anchors.len()),
+            akt_best.gain.to_string(),
+            "-".into(),
+            vertex_resilience_gain(&g, &akt_best.anchors).to_string(),
+            vertex_induced_resilience_gain(&g, &akt_best.anchors).to_string(),
+        ]);
+
+        // --- Anchored coreness: core-model greedy ----------------------
+        let cor = AnchoredCoreness::new(&g).run(cfg.budget);
+        table.row([
+            name.to_string(),
+            "Coreness (vertex)".into(),
+            format!("{} vertices", cor.anchors.len()),
+            best_k_gain(&g, &info.trussness, info.k_max, &cor.anchors).to_string(),
+            format!("core gain {}", cor.total_gain),
+            vertex_resilience_gain(&g, &cor.anchors).to_string(),
+            vertex_induced_resilience_gain(&g, &cor.anchors).to_string(),
+        ]);
+
+        // --- OLAK: fixed-core-level greedy at its best k ----------------
+        let (olak_k, olak) = k_grid(core.k_max)
+            .into_iter()
+            .map(|k| (k, olak_greedy(&g, k, cfg.budget)))
+            .max_by_key(|(_, o)| o.core_growth)
+            .expect("k grid non-empty");
+        table.row([
+            name.to_string(),
+            format!("OLAK (vertex, k={olak_k})"),
+            format!("{} vertices", olak.anchors.len()),
+            best_k_gain(&g, &info.trussness, info.k_max, &olak.anchors).to_string(),
+            format!("core +{}", olak.core_growth),
+            vertex_resilience_gain(&g, &olak.anchors).to_string(),
+            vertex_induced_resilience_gain(&g, &olak.anchors).to_string(),
+        ]);
+    }
+
+    report.push_str(&table.render());
+    report.push_str(
+        "\nReading guide. Raw resilience counts every surviving edge, so vertex\n\
+         methods get ~deg(v) edges of *direct subsidy* per anchor at every decay\n\
+         threshold — an artifact of the stronger anchoring primitive, not of\n\
+         better selection. The induced column removes the subsidy (edges the\n\
+         anchoring saved without touching them) and is the fair cross-model\n\
+         currency. Expected shape: GAS leads induced resilience everywhere; AKT\n\
+         is the best vertex method at its own k; the core-model selectors\n\
+         (Coreness, OLAK) trail on every truss currency because degree-based\n\
+         reasoning ignores triangle support — the paper's motivating claim,\n\
+         measured.\n",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_datasets::DatasetId;
+
+    #[test]
+    fn quick_exp10_runs() {
+        let mut cfg = ExpConfig::quick();
+        cfg.datasets = vec![DatasetId::College];
+        cfg.budget = 3;
+        let report = exp10(&cfg);
+        assert!(report.contains("GAS (edge)"));
+        assert!(report.contains("AKT (vertex)"));
+        assert!(report.contains("Coreness (vertex)"));
+        assert!(report.contains("OLAK"));
+    }
+}

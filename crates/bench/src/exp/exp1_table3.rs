@@ -1,0 +1,135 @@
+//! Exp-1 (Table III): dataset statistics plus effectiveness and efficiency
+//! of `Rand`, `Sup`, `Tur`, `GAS` (gain) and `BASE`, `BASE+`, `GAS`
+//! (running time) with the default budget.
+
+use antruss_core::baselines::base::base_greedy;
+use antruss_core::baselines::random::{random_baseline, Pool};
+use antruss_core::{Gas, GasConfig, ReusePolicy};
+use antruss_graph::stats::graph_stats;
+use antruss_truss::decompose;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::table::Table;
+use crate::{fmt_secs, timed};
+
+use super::ExpConfig;
+
+/// Runs Exp-1 and returns the report.
+pub fn exp1(cfg: &ExpConfig) -> String {
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Exp-1 / Table III — algorithm comparison (b = {}, trials = {})\n",
+        cfg.budget, cfg.trials
+    );
+    let mut table = Table::new([
+        "Dataset", "|V|", "|E|", "k_max", "sup_max", "Rand", "Sup", "Tur", "GAS",
+        "t(BASE)", "t(BASE+)", "t(GAS)",
+    ]);
+
+    for &id in &cfg.datasets {
+        let g = cfg.load(id);
+        let stats = graph_stats(&g);
+        let info = decompose(&g);
+
+        let rand = random_baseline(&g, Pool::All, cfg.budget, cfg.trials, 1);
+        let sup = random_baseline(&g, Pool::TopSupport(0.2), cfg.budget, cfg.trials, 2);
+        let tur = random_baseline(&g, Pool::TopRouteSize(0.2), cfg.budget, cfg.trials, 3);
+
+        let (gas, gas_time) = timed(|| {
+            Gas::new(
+                &g,
+                GasConfig {
+                    reuse: ReusePolicy::PaperExact,
+                    ..GasConfig::default()
+                },
+            )
+            .run(cfg.budget)
+        });
+
+        // BASE: strictly time-capped (the paper could only finish College
+        // in three days).
+        let base = base_greedy(
+            &g,
+            cfg.budget,
+            Some(Duration::from_secs(cfg.base_timeout_secs)),
+        );
+        let base_cell = if base.timed_out {
+            format!("> {}s*", cfg.base_timeout_secs)
+        } else {
+            fmt_secs(base.elapsed)
+        };
+
+        // BASE+: attempted only below the configured edge cap.
+        let bplus_cell = if g.num_edges() <= cfg.bplus_max_edges {
+            let (_, t) = timed(|| {
+                Gas::new(
+                    &g,
+                    GasConfig {
+                        reuse: ReusePolicy::Off,
+                        ..GasConfig::default()
+                    },
+                )
+                .run(cfg.budget)
+            });
+            fmt_secs(t)
+        } else {
+            "-".to_string()
+        };
+
+        table.row([
+            id.profile().name.to_string(),
+            stats.vertices.to_string(),
+            stats.edges.to_string(),
+            info.k_max.to_string(),
+            stats.max_support.to_string(),
+            rand.gain.to_string(),
+            sup.gain.to_string(),
+            tur.gain.to_string(),
+            gas.total_gain.to_string(),
+            base_cell,
+            bplus_cell,
+            fmt_secs(gas_time),
+        ]);
+    }
+    report.push_str(&table.render());
+    report.push_str(
+        "\n* BASE exceeded its wall-clock cap (the paper likewise reports BASE\n  \
+         finishing only on College within three days).\n",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_datasets::DatasetId;
+
+    #[test]
+    fn quick_exp1_has_expected_shape() {
+        let mut cfg = ExpConfig::quick();
+        cfg.datasets = vec![DatasetId::College];
+        let report = exp1(&cfg);
+        assert!(report.contains("College"));
+        assert!(report.contains("GAS"));
+    }
+
+    #[test]
+    fn gas_dominates_random_baselines_quick() {
+        let mut cfg = ExpConfig::quick();
+        cfg.scale = 0.5; // College at half scale is still fast
+        cfg.datasets = vec![DatasetId::College];
+        cfg.budget = 4;
+        cfg.trials = 5;
+        let g = cfg.load(DatasetId::College);
+        let gas = antruss_core::Gas::new(&g, Default::default()).run(cfg.budget);
+        let rand = random_baseline(&g, Pool::All, cfg.budget, cfg.trials, 1);
+        assert!(
+            gas.total_gain >= rand.gain,
+            "GAS {} must beat Rand {}",
+            gas.total_gain,
+            rand.gain
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Exp-3 (Fig. 6): trussness gain as the budget grows — GAS vs the three
+//! randomized baselines on Facebook and Brightkite.
+//!
+//! GAS is run once at the largest budget; prefix sums of its per-round
+//! follower counts give the whole curve. Each random baseline is re-drawn
+//! per budget, exactly as in the paper.
+
+use antruss_core::baselines::random::{build_pool, random_trials, Pool};
+use antruss_core::{Gas, GasConfig};
+use std::fmt::Write as _;
+
+use crate::table::Table;
+
+use super::ExpConfig;
+
+/// Budget grid: five evenly spaced points up to `budget` (the paper's
+/// 20/40/60/80/100 when `--b 100`).
+pub fn budget_grid(budget: usize) -> Vec<usize> {
+    let step = (budget / 5).max(1);
+    (1..=5).map(|i| (i * step).min(budget)).collect()
+}
+
+/// Runs Exp-3 and returns the report.
+pub fn exp3(cfg: &ExpConfig) -> String {
+    let mut report = String::new();
+    let grid = budget_grid(cfg.budget);
+    let _ = writeln!(
+        report,
+        "Exp-3 / Fig. 6 — effectiveness vs budget (grid {grid:?}, trials = {})\n",
+        cfg.trials
+    );
+
+    for &id in &cfg.datasets {
+        let g = cfg.load(id);
+        let _ = writeln!(report, "[{}]", id.profile().name);
+        let gas = Gas::new(&g, GasConfig::default()).run(*grid.last().unwrap());
+        let pool_all = build_pool(&g, Pool::All);
+        let pool_sup = build_pool(&g, Pool::TopSupport(0.2));
+        let pool_tur = build_pool(&g, Pool::TopRouteSize(0.2));
+
+        let mut table = Table::new(["b", "GAS", "Rand", "Sup", "Tur"]);
+        for &b in &grid {
+            let gas_gain: u64 = gas
+                .rounds
+                .iter()
+                .take(b)
+                .map(|r| r.followers.len() as u64)
+                .sum();
+            let rand = random_trials(&g, &pool_all, b, cfg.trials, 11).gain;
+            let sup = random_trials(&g, &pool_sup, b, cfg.trials, 12).gain;
+            let tur = random_trials(&g, &pool_tur, b, cfg.trials, 13).gain;
+            table.row([
+                b.to_string(),
+                gas_gain.to_string(),
+                rand.to_string(),
+                sup.to_string(),
+                tur.to_string(),
+            ]);
+        }
+        report.push_str(&table.render());
+        report.push('\n');
+    }
+    report.push_str("Paper shape: GAS ≫ Tur > Rand > Sup at every budget.\n");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_datasets::DatasetId;
+
+    #[test]
+    fn grid_is_monotone_and_ends_at_budget() {
+        assert_eq!(budget_grid(100), vec![20, 40, 60, 80, 100]);
+        assert_eq!(budget_grid(20), vec![4, 8, 12, 16, 20]);
+        let tiny = budget_grid(3);
+        assert_eq!(tiny.last(), Some(&3));
+        for w in tiny.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn quick_exp3_runs() {
+        let mut cfg = ExpConfig::quick();
+        cfg.datasets = vec![DatasetId::Brightkite];
+        let report = exp3(&cfg);
+        assert!(report.contains("Brightkite"));
+        assert!(report.contains("GAS"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Exp-5 (Fig. 8): running time as the budget grows — GAS vs BASE+.
+//!
+//! The headline efficiency claim: GAS's tree reuse amortizes follower
+//! computation across rounds, finishing in a fraction of BASE+'s time
+//! (≈ 20 % on the paper's Facebook/Google).
+
+use antruss_core::{Gas, GasConfig, ReusePolicy};
+use std::fmt::Write as _;
+
+use crate::table::Table;
+use crate::{fmt_secs, timed};
+
+use super::exp3_effectiveness::budget_grid;
+use super::ExpConfig;
+
+/// Runs Exp-5 and returns the report.
+pub fn exp5(cfg: &ExpConfig) -> String {
+    let grid = budget_grid(cfg.budget);
+    let mut report = String::new();
+    let _ = writeln!(report, "Exp-5 / Fig. 8 — efficiency vs budget (grid {grid:?})\n");
+
+    for &id in &cfg.datasets {
+        let g = cfg.load(id);
+        let _ = writeln!(
+            report,
+            "[{}] (|E| = {})",
+            id.profile().name,
+            g.num_edges()
+        );
+        let mut table = Table::new(["b", "t(GAS)", "t(BASE+)", "speedup"]);
+        for &b in &grid {
+            let (_, t_gas) = timed(|| {
+                Gas::new(
+                    &g,
+                    GasConfig {
+                        reuse: ReusePolicy::PaperExact,
+                        ..GasConfig::default()
+                    },
+                )
+                .run(b)
+            });
+            let bplus_cell;
+            let speedup;
+            if g.num_edges() <= cfg.bplus_max_edges {
+                let (_, t_bp) = timed(|| {
+                    Gas::new(
+                        &g,
+                        GasConfig {
+                            reuse: ReusePolicy::Off,
+                            ..GasConfig::default()
+                        },
+                    )
+                    .run(b)
+                });
+                bplus_cell = fmt_secs(t_bp);
+                speedup = format!("{:.1}x", t_bp.as_secs_f64() / t_gas.as_secs_f64().max(1e-9));
+            } else {
+                bplus_cell = "-".to_string();
+                speedup = "-".to_string();
+            }
+            table.row([b.to_string(), fmt_secs(t_gas), bplus_cell, speedup]);
+        }
+        report.push_str(&table.render());
+        report.push('\n');
+    }
+    report.push_str("Paper shape: GAS below BASE+ everywhere, gap widening with b.\n");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_datasets::DatasetId;
+
+    #[test]
+    fn quick_exp5_runs() {
+        let mut cfg = ExpConfig::quick();
+        cfg.datasets = vec![DatasetId::College];
+        let report = exp5(&cfg);
+        assert!(report.contains("t(GAS)"));
+        assert!(report.contains("speedup"));
+    }
+}

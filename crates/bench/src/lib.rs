@@ -1,0 +1,68 @@
+//! # antruss-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section IV). Each experiment is a library function
+//! (so the criterion benches and integration tests can reuse them) plus a
+//! sub-command of the `experiments` binary:
+//!
+//! | sub-command | paper artifact |
+//! |-------------|----------------|
+//! | `exp1`      | Table III — algorithm comparison on all datasets |
+//! | `exp2`      | Fig. 5 — GAS vs Exact on ego subgraphs |
+//! | `exp3`      | Fig. 6 — effectiveness vs budget |
+//! | `exp4`      | Fig. 7 — case study vs AKT and edge-deletion |
+//! | `exp5`      | Fig. 8 — efficiency vs budget (GAS vs BASE+) |
+//! | `exp6`      | Fig. 9 — scalability under edge/vertex sampling |
+//! | `exp7`      | Table IV — upward-route sizes |
+//! | `exp8`      | Fig. 10 — reuse classification (FR/PR/NR) |
+//! | `exp9`      | Table V + Fig. 11 — AKT comparison, gain heatmaps |
+//!
+//! Absolute runtimes are hardware-dependent and the datasets are scaled
+//! analogues (see `DESIGN.md`), so the harness validates *shapes*: who
+//! wins, by what rough factor, and where trends bend.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod exp;
+pub mod table;
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its result and wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as seconds with sensible precision.
+pub fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, d) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 5);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(Duration::from_micros(500)).ends_with("ms"));
+        assert_eq!(fmt_secs(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_secs(Duration::from_secs(120)), "120s");
+    }
+}

@@ -1,0 +1,416 @@
+//! Command implementations for the `antruss` CLI.
+//!
+//! Each command is a function from parsed arguments to a report string, so
+//! they are unit-testable without spawning processes. The thin `main`
+//! dispatches and prints.
+
+#![warn(missing_docs)]
+
+use antruss_bench::args::Args;
+use antruss_bench::table::Table;
+use antruss_core::baselines::random::{random_baseline, Pool};
+use antruss_core::route::{route_sizes, route_stats};
+use antruss_core::stability::{decay_simulation, resilience_gain};
+use antruss_core::{AtrState, Gas, GasConfig, ReusePolicy};
+use antruss_datasets::DatasetId;
+use antruss_graph::stats::graph_stats;
+use antruss_graph::{io, CsrGraph, EdgeSet};
+use antruss_kcore::{core_decompose, AnchoredCoreness};
+use antruss_truss::{decompose, hull_sizes};
+use std::fmt::Write as _;
+
+/// CLI usage text.
+pub const USAGE: &str = "antruss — Anchor Trussness Reinforcement toolkit
+
+USAGE:
+  antruss stats      <edges.txt | dataset-slug> [--scale F]
+  antruss anchor     <edges.txt | dataset-slug> [--b N] [--policy paper|conservative|off] [--threads N] [--scale F]
+  antruss routes     <edges.txt | dataset-slug> [--scale F]
+  antruss compare    <edges.txt | dataset-slug> [--b N] [--trials N] [--scale F]
+  antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
+  antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
+  antruss community  <edges.txt | dataset-slug> --q VERTEX [--k K] [--scale F]
+  antruss gen        <dataset-slug> --out FILE [--scale F]
+
+Inputs are SNAP-style edge lists; dataset slugs (college, facebook, …,
+pokec) generate the built-in synthetic analogues.";
+
+/// Loads a graph from a file path or dataset slug.
+pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
+    if let Some(id) = DatasetId::from_slug(spec) {
+        return Ok(antruss_datasets::generate(id, scale.clamp(0.001, 1.0)));
+    }
+    io::read_edge_list_path(spec).map_err(|e| format!("cannot load {spec:?}: {e}"))
+}
+
+/// `antruss stats` — structural + truss statistics.
+pub fn cmd_stats(g: &CsrGraph) -> String {
+    let s = graph_stats(g);
+    let info = decompose(g);
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices        {}", s.vertices);
+    let _ = writeln!(out, "edges           {}", s.edges);
+    let _ = writeln!(out, "max degree      {}", s.max_degree);
+    let _ = writeln!(out, "avg degree      {:.2}", s.avg_degree);
+    let _ = writeln!(out, "triangles       {}", s.triangles);
+    let _ = writeln!(out, "max support     {}", s.max_support);
+    let _ = writeln!(out, "clustering      {:.4}", s.clustering);
+    let _ = writeln!(out, "k_max           {}", info.k_max);
+    let _ = writeln!(out, "\ntruss profile (non-empty hulls):");
+    let mut t = Table::new(["k", "|H_k|"]);
+    for (k, c) in hull_sizes(&info).iter().enumerate() {
+        if *c > 0 {
+            t.row([k.to_string(), c.to_string()]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// `antruss kcore` — core decomposition summary and the anchored-coreness
+/// comparator (the vertex/core counterpart of `anchor`).
+pub fn cmd_kcore(g: &CsrGraph, b: usize) -> String {
+    let info = core_decompose(g);
+    let mut out = String::new();
+    let _ = writeln!(out, "core k_max      {}", info.k_max);
+    let _ = writeln!(out, "total coreness  {}", info.total_coreness());
+    let mut shell = vec![0usize; info.k_max as usize + 1];
+    for v in g.vertices() {
+        let c = info.c(v);
+        if c != antruss_kcore::ANCHOR_CORENESS {
+            shell[c as usize] += 1;
+        }
+    }
+    let _ = writeln!(out, "\ncore shells (non-empty):");
+    let mut t = Table::new(["k", "|shell_k|"]);
+    for (k, c) in shell.iter().enumerate() {
+        if *c > 0 {
+            t.row([k.to_string(), c.to_string()]);
+        }
+    }
+    out.push_str(&t.render());
+    let cor = AnchoredCoreness::new(g).run(b);
+    let _ = writeln!(
+        out,
+        "\nanchored coreness (b = {b}): {} vertices anchored, coreness gain {}",
+        cor.anchors.len(),
+        cor.total_gain
+    );
+    out
+}
+
+/// `antruss resilience` — decay simulation before/after GAS anchoring.
+pub fn cmd_resilience(g: &CsrGraph, b: usize) -> String {
+    let outcome = Gas::new(g, GasConfig::default()).run(b);
+    let anchors = EdgeSet::from_iter(g.num_edges(), outcome.anchors.iter().copied());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "anchored {} edge(s); trussness gain {}; resilience gain {}",
+        outcome.anchors.len(),
+        outcome.total_gain,
+        resilience_gain(g, &anchors)
+    );
+    let _ = writeln!(out, "\ndecay thresholds (k, survivors before, after):");
+    let mut t = Table::new(["k", "before", "after", "delta"]);
+    for (k, before, after) in decay_simulation(g, &anchors) {
+        if before > 0 || after > 0 {
+            t.row([
+                k.to_string(),
+                before.to_string(),
+                after.to_string(),
+                format!("+{}", after.saturating_sub(before)),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// `antruss community` — TCP-index k-truss community search around a
+/// query vertex (defaults to the vertex's maximum cohesion level).
+pub fn cmd_community(g: &CsrGraph, q: u32, k: Option<u32>) -> Result<String, String> {
+    use antruss_graph::VertexId;
+    if q as usize >= g.num_vertices() {
+        return Err(format!(
+            "vertex {q} out of range (graph has {} vertices)",
+            g.num_vertices()
+        ));
+    }
+    let qv = VertexId(q);
+    let info = decompose(g);
+    let k = match k {
+        Some(k) => k,
+        None => g
+            .neighbor_edges(qv)
+            .iter()
+            .map(|&e| info.t(e))
+            .max()
+            .unwrap_or(0),
+    };
+    if k < 3 {
+        return Ok(format!("vertex {q} touches no triangle (k = {k})"));
+    }
+    let index = antruss_truss::TcpIndex::build(g, &info);
+    let communities = index.communities_of(g, &info, qv, k);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} {k}-truss communit{} containing vertex {q}:",
+        communities.len(),
+        if communities.len() == 1 { "y" } else { "ies" }
+    );
+    let mut t = Table::new(["#", "edges", "vertices", "sample members"]);
+    for (i, c) in communities.iter().enumerate() {
+        let sample: Vec<String> = c.vertices.iter().take(8).map(|v| v.to_string()).collect();
+        t.row([
+            (i + 1).to_string(),
+            c.size().to_string(),
+            c.vertices.len().to_string(),
+            sample.join(" "),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// `antruss anchor` — run GAS and report the anchor set.
+pub fn cmd_anchor(g: &CsrGraph, b: usize, policy: ReusePolicy, threads: usize) -> String {
+    let outcome = Gas::new(g, GasConfig { reuse: policy, threads }).run(b);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "selected {} anchor(s); total trussness gain {}",
+        outcome.anchors.len(),
+        outcome.total_gain
+    );
+    let mut t = Table::new(["round", "edge", "endpoints", "followers", "recomputed"]);
+    for r in &outcome.rounds {
+        let (u, v) = g.endpoints(r.chosen);
+        t.row([
+            r.round.to_string(),
+            format!("{}", r.chosen),
+            format!("({u}, {v})"),
+            r.followers.len().to_string(),
+            r.recomputed.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// `antruss routes` — Table-IV style upward-route statistics.
+pub fn cmd_routes(g: &CsrGraph) -> String {
+    let st = AtrState::new(g);
+    let sizes = route_sizes(&st);
+    let stats = route_stats(&sizes);
+    format!(
+        "edges      {}\nmin size   {}\nmax size   {}\nsum size   {}\navg size   {:.2}\n",
+        g.num_edges(),
+        stats.min,
+        stats.max,
+        stats.sum,
+        stats.avg
+    )
+}
+
+/// `antruss compare` — GAS vs the randomized baselines.
+pub fn cmd_compare(g: &CsrGraph, b: usize, trials: usize) -> String {
+    let gas = Gas::new(g, GasConfig::default()).run(b);
+    let rand = random_baseline(g, Pool::All, b, trials, 1);
+    let sup = random_baseline(g, Pool::TopSupport(0.2), b, trials, 2);
+    let tur = random_baseline(g, Pool::TopRouteSize(0.2), b, trials, 3);
+    let mut t = Table::new(["method", "gain"]);
+    t.row(["GAS".to_string(), gas.total_gain.to_string()]);
+    t.row(["Tur".to_string(), tur.gain.to_string()]);
+    t.row(["Rand".to_string(), rand.gain.to_string()]);
+    t.row(["Sup".to_string(), sup.gain.to_string()]);
+    t.render()
+}
+
+/// Parses a reuse policy flag.
+pub fn parse_policy(s: &str) -> Result<ReusePolicy, String> {
+    match s {
+        "paper" => Ok(ReusePolicy::PaperExact),
+        "conservative" => Ok(ReusePolicy::Conservative),
+        "off" => Ok(ReusePolicy::Off),
+        other => Err(format!(
+            "unknown policy {other:?} (expected paper|conservative|off)"
+        )),
+    }
+}
+
+/// Top-level dispatch; returns the report or an error message.
+pub fn run(args: &Args) -> Result<String, String> {
+    let pos = args.positional();
+    let cmd = pos.first().map(String::as_str).unwrap_or("help");
+    let scale = args.get("scale", 1.0f64);
+    match cmd {
+        "help" | "--help" => Ok(USAGE.to_string()),
+        "stats" => {
+            let spec = pos.get(1).ok_or("stats: missing input")?;
+            Ok(cmd_stats(&load_input(spec, scale)?))
+        }
+        "anchor" => {
+            let spec = pos.get(1).ok_or("anchor: missing input")?;
+            let policy = parse_policy(args.get_str("policy").unwrap_or("paper"))?;
+            Ok(cmd_anchor(
+                &load_input(spec, scale)?,
+                args.get("b", 10),
+                policy,
+                args.get("threads", 1),
+            ))
+        }
+        "kcore" => {
+            let spec = pos.get(1).ok_or("kcore: missing input")?;
+            Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
+        }
+        "resilience" => {
+            let spec = pos.get(1).ok_or("resilience: missing input")?;
+            Ok(cmd_resilience(&load_input(spec, scale)?, args.get("b", 10)))
+        }
+        "community" => {
+            let spec = pos.get(1).ok_or("community: missing input")?;
+            let q = args
+                .get_str("q")
+                .ok_or("community: missing --q VERTEX")?
+                .parse::<u32>()
+                .map_err(|e| format!("community: bad --q: {e}"))?;
+            let k = args.get_str("k").map(|s| {
+                s.parse::<u32>()
+                    .map_err(|e| format!("community: bad --k: {e}"))
+            });
+            let k = match k {
+                Some(Ok(k)) => Some(k),
+                Some(Err(e)) => return Err(e),
+                None => None,
+            };
+            cmd_community(&load_input(spec, scale)?, q, k)
+        }
+        "routes" => {
+            let spec = pos.get(1).ok_or("routes: missing input")?;
+            Ok(cmd_routes(&load_input(spec, scale)?))
+        }
+        "compare" => {
+            let spec = pos.get(1).ok_or("compare: missing input")?;
+            Ok(cmd_compare(
+                &load_input(spec, scale)?,
+                args.get("b", 10),
+                args.get("trials", 20),
+            ))
+        }
+        "gen" => {
+            let spec = pos.get(1).ok_or("gen: missing dataset slug")?;
+            let id = DatasetId::from_slug(spec).ok_or_else(|| format!("unknown dataset {spec:?}"))?;
+            let out_path = args.get_str("out").ok_or("gen: missing --out FILE")?;
+            let g = antruss_datasets::generate(id, scale.clamp(0.001, 1.0));
+            io::write_edge_list_path(&g, out_path).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {} ({} vertices, {} edges)",
+                out_path,
+                g.num_vertices(),
+                g.num_edges()
+            ))
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args("help")).unwrap().contains("USAGE"));
+        assert!(run(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn stats_on_slug() {
+        let report = run(&args("stats college --scale 0.05")).unwrap();
+        assert!(report.contains("k_max"));
+        assert!(report.contains("truss profile"));
+    }
+
+    #[test]
+    fn anchor_on_slug() {
+        let report = run(&args("anchor college --scale 0.05 --b 3")).unwrap();
+        assert!(report.contains("anchor"));
+        assert!(report.contains("followers"));
+    }
+
+    #[test]
+    fn routes_and_compare() {
+        let r = run(&args("routes college --scale 0.05")).unwrap();
+        assert!(r.contains("avg size"));
+        let c = run(&args("compare college --scale 0.05 --b 2 --trials 3")).unwrap();
+        assert!(c.contains("GAS"));
+    }
+
+    #[test]
+    fn community_search() {
+        let r = run(&args("community college --scale 0.1 --q 0")).unwrap();
+        assert!(r.contains("communit"), "got: {r}");
+        let explicit = run(&args("community college --scale 0.1 --q 0 --k 3")).unwrap();
+        assert!(explicit.contains("3-truss") || explicit.contains("no triangle"));
+        assert!(run(&args("community college --scale 0.1 --q 99999999")).is_err());
+        assert!(run(&args("community college --scale 0.1")).is_err());
+    }
+
+    #[test]
+    fn kcore_and_resilience() {
+        let k = run(&args("kcore college --scale 0.05 --b 2")).unwrap();
+        assert!(k.contains("core k_max"));
+        assert!(k.contains("anchored coreness"));
+        let r = run(&args("resilience college --scale 0.05 --b 2")).unwrap();
+        assert!(r.contains("resilience gain"));
+        assert!(r.contains("decay thresholds"));
+    }
+
+    #[test]
+    fn anchor_threaded_matches_serial() {
+        let a1 = run(&args("anchor college --scale 0.05 --b 2")).unwrap();
+        let a2 = run(&args("anchor college --scale 0.05 --b 2 --threads 4")).unwrap();
+        assert_eq!(a1, a2, "thread count must not change the report");
+    }
+
+    #[test]
+    fn policy_parse() {
+        assert!(parse_policy("paper").is_ok());
+        assert!(parse_policy("conservative").is_ok());
+        assert!(parse_policy("off").is_ok());
+        assert!(parse_policy("x").is_err());
+    }
+
+    #[test]
+    fn gen_roundtrip() {
+        let dir = std::env::temp_dir().join("antruss-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("college.txt");
+        let msg = run(&args(&format!(
+            "gen college --scale 0.05 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let report = run(&Args::parse(vec![
+            "stats".to_string(),
+            path.display().to_string(),
+        ]))
+        .unwrap();
+        assert!(report.contains("vertices"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        assert!(run(&args("stats")).is_err());
+        assert!(run(&args("stats /no/such/file.txt")).is_err());
+        assert!(run(&args("gen college")).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! `antruss` binary: thin dispatcher over [`antruss_cli::run`].
+
+use antruss_bench::args::Args;
+
+fn main() {
+    let args = Args::from_env();
+    match antruss_cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

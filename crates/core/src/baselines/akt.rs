@@ -1,0 +1,216 @@
+//! `AKT`: anchored k-truss vertex anchoring (Zhang et al., ICDE 2018).
+//!
+//! The comparator of Exp-4 and Exp-9. For a fixed `k`, AKT picks `b`
+//! anchor *vertices*; an edge incident to an anchor vertex survives the
+//! k-truss peel as long as it lies in at least one triangle of the current
+//! subgraph (that is the Example-1 semantics of the ATR paper: anchoring
+//! `v8` keeps `(v3, v8)` and `(v4, v8)` because of `△v3v4v8`). As the ATR
+//! paper notes, vertex anchoring can only lift edges of trussness `k − 1`
+//! into the `k`-truss, so the trussness gain of an AKT solution is the
+//! number of `(k−1)`-hull edges captured by the anchored k-truss.
+//!
+//! We re-implement the greedy selection (best marginal-follower vertex per
+//! round) with a configurable candidate cap; candidates are the endpoints
+//! of `(k−1)`-hull edges, ranked by how many such edges they touch.
+
+use antruss_graph::triangles::for_each_triangle_in;
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet, FxHashMap, VertexId};
+
+/// Result of an AKT greedy run for one `k`.
+#[derive(Debug, Clone)]
+pub struct AktOutcome {
+    /// Chosen anchor vertices, in selection order.
+    pub anchors: Vec<VertexId>,
+    /// Cumulative trussness gain after each selection (`gain_curve[i]` is
+    /// the gain with budget `i + 1`); empty if no candidate exists.
+    pub gain_curve: Vec<u64>,
+    /// Final gain (`gain_curve.last()`, 0 if empty).
+    pub gain: u64,
+}
+
+/// Computes the anchored k-truss edge set for anchor vertices `anchored`.
+///
+/// Start set: every edge of trussness ≥ `k − 1` plus every edge incident
+/// to an anchor. Peel rule: a non-anchor-incident edge needs support
+/// ≥ `k − 2`; an anchor-incident edge needs support ≥ 1.
+pub fn anchored_k_truss(g: &CsrGraph, t: &[u32], k: u32, anchored: &[bool]) -> EdgeSet {
+    let m = g.num_edges();
+    let mut live = EdgeSet::new(m);
+    let incident = |e: EdgeId| {
+        let (u, v) = g.endpoints(e);
+        anchored[u.idx()] || anchored[v.idx()]
+    };
+    for e in g.edges() {
+        if t[e.idx()] + 1 >= k || incident(e) {
+            live.insert(e);
+        }
+    }
+    // peel to fixpoint
+    let mut sup = vec![0u32; m];
+    let mut queue: Vec<EdgeId> = Vec::new();
+    let mut queued = vec![false; m];
+    let threshold = |e: EdgeId| if incident(e) { 1 } else { k.saturating_sub(2) };
+    for e in live.iter() {
+        let mut s = 0u32;
+        for_each_triangle_in(g, &live, e, |_| s += 1);
+        sup[e.idx()] = s;
+        if s < threshold(e) {
+            queue.push(e);
+            queued[e.idx()] = true;
+        }
+    }
+    while let Some(e) = queue.pop() {
+        if !live.contains(e) {
+            continue;
+        }
+        for_each_triangle_in(g, &live, e, |w| {
+            for side in [w.e_uw, w.e_vw] {
+                sup[side.idx()] = sup[side.idx()].saturating_sub(1);
+                if sup[side.idx()] < threshold(side) && !queued[side.idx()] {
+                    queued[side.idx()] = true;
+                    queue.push(side);
+                }
+            }
+        });
+        live.remove(e);
+    }
+    live
+}
+
+/// Trussness gain of an anchored k-truss: the number of `(k−1)`-hull edges
+/// it captures (each gains exactly +1).
+pub fn akt_gain(g: &CsrGraph, t: &[u32], k: u32, truss: &EdgeSet) -> u64 {
+    g.edges()
+        .filter(|&e| t[e.idx()] + 1 == k && truss.contains(e))
+        .count() as u64
+}
+
+/// Greedy AKT for one `k`: each round adds the vertex with the best
+/// marginal gain, evaluating at most `candidate_cap` candidates (endpoints
+/// of `(k−1)`-hull edges ranked by incident hull-edge count).
+pub fn akt_greedy(g: &CsrGraph, t: &[u32], k: u32, b: usize, candidate_cap: usize) -> AktOutcome {
+    // rank candidate vertices by incident (k-1)-hull edges
+    let mut incident_count: FxHashMap<u32, u32> = FxHashMap::default();
+    for e in g.edges() {
+        if t[e.idx()] + 1 == k {
+            let (u, v) = g.endpoints(e);
+            *incident_count.entry(u.0).or_insert(0) += 1;
+            *incident_count.entry(v.0).or_insert(0) += 1;
+        }
+    }
+    let mut candidates: Vec<(u32, u32)> = incident_count.into_iter().collect();
+    candidates.sort_unstable_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+    candidates.truncate(candidate_cap);
+    let candidates: Vec<VertexId> = candidates.into_iter().map(|(v, _)| VertexId(v)).collect();
+
+    let mut anchored = vec![false; g.num_vertices()];
+    let mut anchors = Vec::new();
+    let mut gain_curve = Vec::new();
+    let mut current_gain = 0u64;
+
+    for _ in 0..b {
+        let mut best: Option<(u64, VertexId)> = None;
+        for &v in &candidates {
+            if anchored[v.idx()] {
+                continue;
+            }
+            anchored[v.idx()] = true;
+            let truss = anchored_k_truss(g, t, k, &anchored);
+            let gain = akt_gain(g, t, k, &truss);
+            anchored[v.idx()] = false;
+            if best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv))
+                && best.is_none_or(|(bg, _)| gain >= bg) {
+                    best = Some((gain, v));
+                }
+        }
+        let Some((gain, v)) = best else { break };
+        anchored[v.idx()] = true;
+        anchors.push(v);
+        current_gain = gain;
+        gain_curve.push(current_gain);
+    }
+
+    AktOutcome {
+        anchors,
+        gain: current_gain,
+        gain_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::gnm;
+    use antruss_graph::GraphBuilder;
+    use antruss_truss::decompose;
+
+    /// Fig. 1(a) pattern: K4 core with a 3-hull fringe.
+    fn fringe_graph() -> CsrGraph {
+        let mut b = GraphBuilder::dense();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        // fringe vertex 4 forming a triangle with the core edge (2,3)
+        b.add_edge(2, 4);
+        b.add_edge(3, 4);
+        b.build()
+    }
+
+    #[test]
+    fn unanchored_k_truss_matches_decomposition() {
+        let g = gnm(30, 110, 1);
+        let info = decompose(&g);
+        let anchored = vec![false; g.num_vertices()];
+        for k in 3..=info.k_max {
+            let truss = anchored_k_truss(&g, &info.trussness, k, &anchored);
+            let expected = antruss_truss::k_truss_edge_set(&info, k);
+            assert_eq!(truss.len(), expected.len(), "k={k}");
+            for e in expected.iter() {
+                assert!(truss.contains(e), "k={k}, missing {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn anchoring_fringe_vertex_lifts_edges() {
+        // Anchoring vertex 4 keeps (2,4) and (3,4) in the 4-truss via
+        // △(2,3,4): gain = 2 at k = 4.
+        let g = fringe_graph();
+        let info = decompose(&g);
+        let mut anchored = vec![false; g.num_vertices()];
+        anchored[4] = true;
+        let truss = anchored_k_truss(&g, &info.trussness, 4, &anchored);
+        assert_eq!(akt_gain(&g, &info.trussness, 4, &truss), 2);
+    }
+
+    #[test]
+    fn greedy_finds_the_fringe_vertex() {
+        let g = fringe_graph();
+        let info = decompose(&g);
+        let out = akt_greedy(&g, &info.trussness, 4, 1, 16);
+        assert_eq!(out.anchors, vec![VertexId(4)]);
+        assert_eq!(out.gain, 2);
+        assert_eq!(out.gain_curve, vec![2]);
+    }
+
+    #[test]
+    fn gain_curve_is_monotone() {
+        let g = gnm(40, 160, 7);
+        let info = decompose(&g);
+        for k in 3..=info.k_max.min(5) {
+            let out = akt_greedy(&g, &info.trussness, k, 4, 16);
+            for w in out.gain_curve.windows(2) {
+                assert!(w[1] >= w[0], "k={k}: gain curve must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn no_candidates_for_huge_k() {
+        let g = fringe_graph();
+        let info = decompose(&g);
+        let out = akt_greedy(&g, &info.trussness, 40, 3, 16);
+        assert!(out.anchors.is_empty());
+        assert_eq!(out.gain, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! `BASE+`: greedy with upward-route follower computation, no reuse.
+//!
+//! Identical to [`crate::Gas`] with [`crate::ReusePolicy::Off`] — every
+//! round recomputes the followers of every candidate via Algorithm 3 and
+//! refreshes the state with a full re-decomposition. This thin wrapper
+//! exists so the experiment harness can name the paper's baseline
+//! explicitly.
+
+use antruss_graph::CsrGraph;
+
+use crate::gas::{Gas, GasConfig, GasOutcome, ReusePolicy};
+
+/// Runs BASE+ for budget `b`.
+pub fn base_plus(g: &CsrGraph, b: usize) -> GasOutcome {
+    Gas::new(
+        g,
+        GasConfig {
+            reuse: ReusePolicy::Off,
+            ..GasConfig::default()
+        },
+    )
+    .run(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::gnm;
+
+    #[test]
+    fn base_plus_reports_full_recompute_each_round() {
+        let g = gnm(20, 60, 5);
+        let out = base_plus(&g, 3);
+        assert_eq!(out.anchors.len(), 3);
+        for (i, r) in out.rounds.iter().enumerate() {
+            assert_eq!(r.recomputed, g.num_edges() - i, "round {i} recomputes all");
+            assert!(r.reuse_classes.is_none());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Edge-deletion comparator (case study, Exp-4 / Fig. 7).
+//!
+//! Selects as anchors the edges whose *removal* would reduce global
+//! trussness the most — the natural "critical edge" heuristic the paper
+//! contrasts GAS with. As the paper observes, such edges sit high in the
+//! truss hierarchy, and anchoring them only helps even-higher-trussness
+//! edges, so their anchoring gain is poor despite their criticality.
+
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet};
+use antruss_truss::{decompose, decompose_with, DecomposeOptions};
+
+use crate::problem::gain_of_anchor_set;
+
+/// Result of the edge-deletion selection.
+#[derive(Debug, Clone)]
+pub struct EdgeDeletionOutcome {
+    /// Chosen anchors (most deletion-critical first).
+    pub anchors: Vec<EdgeId>,
+    /// Trussness gain of anchoring them (computed exactly).
+    pub gain: u64,
+    /// `(edge, trussness loss if deleted)` for every evaluated candidate,
+    /// sorted by loss descending.
+    pub criticality: Vec<(EdgeId, u64)>,
+}
+
+/// Trussness loss caused by deleting `e`:
+/// `Σ_{f ≠ e} (t(f) − t_{G∖e}(f)) + t(e)` (the deleted edge's own
+/// trussness counts as lost structure).
+pub fn deletion_impact(g: &CsrGraph, base: &[u32], e: EdgeId) -> u64 {
+    let mut subset = EdgeSet::full(g.num_edges());
+    subset.remove(e);
+    let info = decompose_with(
+        g,
+        DecomposeOptions {
+            subset: Some(&subset),
+            anchors: None,
+        },
+    );
+    let mut loss = base[e.idx()] as u64;
+    for f in g.edges() {
+        if f == e {
+            continue;
+        }
+        debug_assert!(info.t(f) <= base[f.idx()]);
+        loss += (base[f.idx()] - info.t(f)) as u64;
+    }
+    loss
+}
+
+/// Picks the `b` most deletion-critical edges among the top
+/// `candidate_cap` candidates (ranked by trussness, then support) and
+/// reports the gain of anchoring them.
+pub fn edge_deletion_anchors(g: &CsrGraph, b: usize, candidate_cap: usize) -> EdgeDeletionOutcome {
+    let base = decompose(g).trussness;
+    let sup = antruss_graph::triangles::support(g, None);
+    let mut candidates: Vec<EdgeId> = g.edges().collect();
+    candidates.sort_unstable_by_key(|e| {
+        (
+            std::cmp::Reverse(base[e.idx()]),
+            std::cmp::Reverse(sup[e.idx()]),
+            e.0,
+        )
+    });
+    candidates.truncate(candidate_cap.max(b));
+
+    let mut criticality: Vec<(EdgeId, u64)> = candidates
+        .into_iter()
+        .map(|e| (e, deletion_impact(g, &base, e)))
+        .collect();
+    criticality.sort_unstable_by_key(|&(e, loss)| (std::cmp::Reverse(loss), e.0));
+
+    let anchors: Vec<EdgeId> = criticality.iter().take(b).map(|&(e, _)| e).collect();
+    let set = EdgeSet::from_iter(g.num_edges(), anchors.iter().copied());
+    let gain = gain_of_anchor_set(g, &base, &set);
+    EdgeDeletionOutcome {
+        anchors,
+        gain,
+        criticality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, planted_cliques};
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn deleting_clique_edge_collapses_trussness() {
+        // K4: deleting any edge drops the remaining 5 edges from t=4 to
+        // t=3 and loses the edge's own t=4: loss = 5 + 4 = 9.
+        let g = planted_cliques(&[4]);
+        let base = decompose(&g).trussness;
+        assert_eq!(deletion_impact(&g, &base, EdgeId(0)), 9);
+    }
+
+    #[test]
+    fn bridge_deletion_is_cheap() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3); // bridge, t=2
+        let g = b.build();
+        let base = decompose(&g).trussness;
+        let bridge = g
+            .edge_between(antruss_graph::VertexId(2), antruss_graph::VertexId(3))
+            .unwrap();
+        assert_eq!(deletion_impact(&g, &base, bridge), 2);
+    }
+
+    #[test]
+    fn selection_is_by_descending_criticality() {
+        let g = gnm(25, 90, 3);
+        let out = edge_deletion_anchors(&g, 3, 20);
+        assert_eq!(out.anchors.len(), 3);
+        for w in out.criticality.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn gain_is_consistent_with_exact_evaluation() {
+        let g = gnm(20, 70, 5);
+        let out = edge_deletion_anchors(&g, 2, 10);
+        let base = decompose(&g).trussness;
+        let set = EdgeSet::from_iter(g.num_edges(), out.anchors.iter().copied());
+        assert_eq!(out.gain, gain_of_anchor_set(&g, &base, &set));
+    }
+}

@@ -1,0 +1,21 @@
+//! Every baseline the paper evaluates against (Section IV-A).
+//!
+//! | name   | module            | description |
+//! |--------|-------------------|-------------|
+//! | Exact  | [`exact`]         | exhaustive search over all `C(m, b)` anchor sets |
+//! | Rand   | [`random`]        | best of `trials` random `b`-subsets of all edges |
+//! | Sup    | [`random`]        | same, pool = top 20 % edges by support |
+//! | Tur    | [`random`]        | same, pool = top 20 % edges by upward-route size |
+//! | BASE   | [`base`]          | greedy, full truss decomposition per candidate |
+//! | BASE+  | [`base_plus`]     | greedy with upward-route follower search, no reuse |
+//! | AKT    | [`akt`]           | anchored k-truss vertex anchoring (Zhang et al., ICDE'18) |
+//! | —      | [`edge_deletion`] | case-study comparator: anchor the most deletion-critical edges |
+//! | —      | [`lazy`]          | extension: CELF-style lazy greedy (heuristic under non-submodularity) |
+
+pub mod akt;
+pub mod base;
+pub mod base_plus;
+pub mod edge_deletion;
+pub mod exact;
+pub mod lazy;
+pub mod random;

@@ -1,0 +1,175 @@
+//! `Rand`, `Sup`, `Tur`: randomized anchor selection (Section IV-A).
+//!
+//! Each trial draws `b` distinct edges from a pool and evaluates the whole
+//! set's gain by anchored decomposition; the best trial is reported
+//! (the paper uses 2000 trials). The three baselines differ only in the
+//! pool:
+//!
+//! * `Rand` — all edges;
+//! * `Sup`  — the top 20 % of edges by support;
+//! * `Tur`  — the top 20 % of edges by upward-route size.
+
+use antruss_graph::{triangles, CsrGraph, EdgeId, EdgeSet};
+use antruss_truss::decompose;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::problem::{gain_of_anchor_set, AtrState};
+use crate::route::route_sizes;
+
+/// Result of a randomized baseline.
+#[derive(Debug, Clone)]
+pub struct RandomOutcome {
+    /// Best anchor set found.
+    pub anchors: Vec<EdgeId>,
+    /// Its trussness gain (max over trials).
+    pub gain: u64,
+    /// Number of trials executed.
+    pub trials: usize,
+}
+
+/// Candidate pools for [`random_trials`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pool {
+    /// Every edge (`Rand`).
+    All,
+    /// Top `fraction` of edges by support (`Sup`, paper uses 0.2).
+    TopSupport(f64),
+    /// Top `fraction` of edges by upward-route size (`Tur`, paper uses 0.2).
+    TopRouteSize(f64),
+}
+
+/// Materializes a pool of candidate edges.
+pub fn build_pool(g: &CsrGraph, pool: Pool) -> Vec<EdgeId> {
+    match pool {
+        Pool::All => g.edges().collect(),
+        Pool::TopSupport(frac) => top_fraction(g, frac, &triangles::support(g, None)),
+        Pool::TopRouteSize(frac) => {
+            let st = AtrState::new(g);
+            let sizes: Vec<u32> = route_sizes(&st).iter().map(|&s| s as u32).collect();
+            top_fraction(g, frac, &sizes)
+        }
+    }
+}
+
+fn top_fraction(g: &CsrGraph, frac: f64, score: &[u32]) -> Vec<EdgeId> {
+    assert!((0.0..=1.0).contains(&frac), "fraction must be in [0, 1]");
+    let mut ids: Vec<EdgeId> = g.edges().collect();
+    ids.sort_unstable_by_key(|e| std::cmp::Reverse(score[e.idx()]));
+    let keep = ((ids.len() as f64) * frac).ceil() as usize;
+    ids.truncate(keep.max(1).min(ids.len()));
+    ids
+}
+
+/// Runs `trials` random draws of `b` anchors from `pool_edges`, returning
+/// the best set by gain. Deterministic for a fixed `seed`.
+pub fn random_trials(
+    g: &CsrGraph,
+    pool_edges: &[EdgeId],
+    b: usize,
+    trials: usize,
+    seed: u64,
+) -> RandomOutcome {
+    let base = decompose(g).trussness;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best_gain = 0u64;
+    let mut best: Vec<EdgeId> = Vec::new();
+    let b_eff = b.min(pool_edges.len());
+    let mut scratch: Vec<EdgeId> = pool_edges.to_vec();
+    for _ in 0..trials {
+        scratch.shuffle(&mut rng);
+        let draw = &scratch[..b_eff];
+        let anchors = EdgeSet::from_iter(g.num_edges(), draw.iter().copied());
+        let gain = gain_of_anchor_set(g, &base, &anchors);
+        if gain > best_gain || best.is_empty() {
+            best_gain = gain;
+            best = draw.to_vec();
+        }
+    }
+    RandomOutcome {
+        anchors: best,
+        gain: best_gain,
+        trials,
+    }
+}
+
+/// Convenience wrapper: builds the pool and runs the trials.
+pub fn random_baseline(
+    g: &CsrGraph,
+    pool: Pool,
+    b: usize,
+    trials: usize,
+    seed: u64,
+) -> RandomOutcome {
+    let edges = build_pool(g, pool);
+    random_trials(g, &edges, b, trials, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gas, GasConfig};
+    use antruss_graph::gen::{gnm, social_network, SocialParams};
+
+    #[test]
+    fn pools_have_expected_sizes() {
+        let g = gnm(50, 300, 1);
+        assert_eq!(build_pool(&g, Pool::All).len(), 300);
+        assert_eq!(build_pool(&g, Pool::TopSupport(0.2)).len(), 60);
+        let tur = build_pool(&g, Pool::TopRouteSize(0.2));
+        assert_eq!(tur.len(), 60);
+    }
+
+    #[test]
+    fn top_support_pool_actually_top() {
+        let g = gnm(40, 200, 2);
+        let sup = triangles::support(&g, None);
+        let pool = build_pool(&g, Pool::TopSupport(0.1));
+        let min_in_pool = pool.iter().map(|e| sup[e.idx()]).min().unwrap();
+        let max_out = g
+            .edges()
+            .filter(|e| !pool.contains(e))
+            .map(|e| sup[e.idx()])
+            .max()
+            .unwrap_or(0);
+        assert!(min_in_pool >= max_out);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = gnm(30, 120, 3);
+        let a = random_baseline(&g, Pool::All, 3, 20, 9);
+        let b = random_baseline(&g, Pool::All, 3, 20, 9);
+        assert_eq!(a.gain, b.gain);
+        assert_eq!(a.anchors, b.anchors);
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_random_on_social_graph() {
+        let g = social_network(&SocialParams {
+            n: 150,
+            target_edges: 600,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![6],
+            onions: vec![],
+            seed: 4,
+        });
+        let gas = Gas::new(&g, GasConfig::default()).run(3);
+        let rand = random_baseline(&g, Pool::All, 3, 30, 1);
+        assert!(
+            gas.total_gain >= rand.gain,
+            "greedy {} < random {}",
+            gas.total_gain,
+            rand.gain
+        );
+    }
+
+    #[test]
+    fn small_pool_clamps_budget() {
+        let g = gnm(6, 6, 0);
+        let out = random_baseline(&g, Pool::All, 100, 3, 1);
+        assert!(out.anchors.len() <= 6);
+    }
+}

@@ -1,0 +1,489 @@
+//! `GAS` — Algorithm 6: the full greedy with upward-route follower search
+//! and tree-based result reuse.
+
+use std::time::{Duration, Instant};
+
+use antruss_graph::{EdgeId, FxHashSet};
+
+use crate::followers::FollowerSearch;
+use crate::metrics::ReuseClassCounts;
+use crate::problem::AtrState;
+use crate::reuse::{anchor_with_reuse, InvalidationPolicy};
+use crate::tree::{sla, TrussTree};
+
+/// Reuse strategy of the greedy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReusePolicy {
+    /// Algorithm 5/6 as printed in the paper.
+    #[default]
+    PaperExact,
+    /// Paper's invalidation plus all of `sla(x)` (see
+    /// [`InvalidationPolicy::Conservative`]).
+    Conservative,
+    /// No reuse at all: recompute every candidate every round and refresh
+    /// the state with a full re-decomposition. This is exactly the paper's
+    /// `BASE+` baseline.
+    Off,
+}
+
+/// Configuration for [`Gas`].
+#[derive(Debug, Clone, Default)]
+pub struct GasConfig {
+    /// Reuse strategy (default: the paper's).
+    pub reuse: ReusePolicy,
+    /// Worker threads for the candidate scan (`0` or `1` = serial). The
+    /// scan dominates round 1 and the no-reuse (`BASE+`) mode; later
+    /// reuse-enabled rounds recompute too few candidates to benefit.
+    /// Selections are deterministic for any thread count.
+    pub threads: usize,
+}
+
+/// Per-round report.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// 1-based round number.
+    pub round: usize,
+    /// The chosen anchor.
+    pub chosen: EdgeId,
+    /// Followers of the chosen anchor (each gains exactly +1 trussness).
+    pub followers: Vec<EdgeId>,
+    /// Trussness of each follower at selection time (for the Fig. 11(b)
+    /// distribution).
+    pub follower_trussness: Vec<u32>,
+    /// Wall-clock time of the round.
+    pub elapsed: Duration,
+    /// Number of candidate edges whose follower sets were recomputed this
+    /// round (m on round 1; much less with reuse).
+    pub recomputed: usize,
+    /// FR/PR/NR classification of candidate caches entering this round
+    /// (rounds ≥ 2 with reuse enabled).
+    pub reuse_classes: Option<ReuseClassCounts>,
+}
+
+/// Final outcome of a GAS run.
+#[derive(Debug, Clone)]
+pub struct GasOutcome {
+    /// Selected anchors in selection order.
+    pub anchors: Vec<EdgeId>,
+    /// True cumulative trussness gain (`Σ_{e∈E\A} t_A(e) − t(e)`,
+    /// Definition 4), recomputed from the final state.
+    pub total_gain: u64,
+    /// Sum of per-round follower counts. May exceed `total_gain`: an edge
+    /// elevated as a follower in an early round can itself be *anchored*
+    /// later, and Definition 4 excludes anchors from the final gain.
+    pub claimed_gain: u64,
+    /// Per-round details.
+    pub rounds: Vec<RoundReport>,
+}
+
+/// Cached follower partition of one candidate: `(TN.I, F[e][TN.I])`,
+/// sorted by node id; present for *every* id in the candidate's `sla` at
+/// computation time (possibly with an empty follower list).
+type CacheEntry = Vec<(u32, Vec<EdgeId>)>;
+
+/// The GAS driver (Algorithm 6).
+pub struct Gas<'g> {
+    st: AtrState<'g>,
+    cfg: GasConfig,
+    tree: Option<TrussTree>,
+    search: FollowerSearch,
+    /// `F[e][id]` caches; empty and unused when reuse is off.
+    cache: Vec<CacheEntry>,
+    /// `sla(e)` caches with a dirty flag.
+    sla_cache: Vec<Option<Vec<u32>>>,
+    /// Invalidation set from the previous round (node ids).
+    es: Vec<u32>,
+    round: usize,
+}
+
+impl<'g> Gas<'g> {
+    /// Decomposes the graph and prepares the round state.
+    pub fn new(g: &'g antruss_graph::CsrGraph, cfg: GasConfig) -> Self {
+        let st = AtrState::new(g);
+        let tree = match cfg.reuse {
+            ReusePolicy::Off => None,
+            _ => Some(TrussTree::build(g, &st.t, &st.anchors)),
+        };
+        let m = g.num_edges();
+        Gas {
+            st,
+            cfg,
+            tree,
+            search: FollowerSearch::new(m),
+            cache: vec![CacheEntry::new(); m],
+            sla_cache: vec![None; m],
+            es: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// Read access to the evolving state.
+    pub fn state(&self) -> &AtrState<'g> {
+        &self.st
+    }
+
+    /// Runs `b` greedy rounds (stops early when no candidate has any
+    /// follower **and** the budget exceeds the edge count).
+    pub fn run(mut self, b: usize) -> GasOutcome {
+        let mut rounds = Vec::with_capacity(b);
+        for _ in 0..b {
+            match self.step() {
+                Some(r) => rounds.push(r),
+                None => break,
+            }
+        }
+        let claimed = rounds.iter().map(|r| r.followers.len() as u64).sum();
+        GasOutcome {
+            anchors: rounds.iter().map(|r| r.chosen).collect(),
+            total_gain: self.st.total_gain(),
+            claimed_gain: claimed,
+            rounds,
+        }
+    }
+
+    /// Executes one greedy round; `None` when no candidate edge remains.
+    pub fn step(&mut self) -> Option<RoundReport> {
+        self.round += 1;
+        let start = Instant::now();
+        match self.cfg.reuse {
+            ReusePolicy::Off => self.step_no_reuse(start),
+            _ => self.step_with_reuse(start),
+        }
+    }
+
+    /// BASE+ behaviour: recompute everything, refresh fully.
+    fn step_no_reuse(&mut self, start: Instant) -> Option<RoundReport> {
+        let g = self.st.graph();
+        let candidates: Vec<EdgeId> =
+            g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+        let recomputed = candidates.len();
+        let (chosen, _) =
+            crate::parallel::best_candidate(&self.st, &candidates, self.cfg.threads)?;
+        let outcome = self.search.followers(&self.st, chosen);
+        let follower_trussness = outcome.followers.iter().map(|&f| self.st.t(f)).collect();
+        self.st.anchor_full_refresh(chosen);
+        Some(RoundReport {
+            round: self.round,
+            chosen,
+            followers: outcome.followers,
+            follower_trussness,
+            elapsed: start.elapsed(),
+            recomputed,
+            reuse_classes: None,
+        })
+    }
+
+    /// Algorithm 6 proper.
+    fn step_with_reuse(&mut self, start: Instant) -> Option<RoundReport> {
+        let g = self.st.graph();
+        let first_round = self.round == 1;
+        let mut best: Option<(usize, EdgeId)> = None;
+        let mut recomputed = 0usize;
+        let mut classes = ReuseClassCounts::default();
+        let es_set: FxHashSet<u32> = self.es.iter().copied().collect();
+
+        if first_round && self.cfg.threads > 1 {
+            // Round 1 computes every candidate from scratch — the one scan
+            // worth fanning out (`sla` is complete, caches are all empty,
+            // the seed filter is vacuous).
+            let tree = self.tree.as_ref().expect("tree present with reuse");
+            let candidates: Vec<EdgeId> =
+                g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+            let st = &self.st;
+            let results = crate::parallel::scan_map(
+                st,
+                &candidates,
+                self.cfg.threads,
+                |fs, e| {
+                    let sla_e = sla(g, &st.t, &st.anchors, tree, e);
+                    if sla_e.is_empty() {
+                        return (sla_e, CacheEntry::new());
+                    }
+                    let outcome = fs.followers(st, e);
+                    let mut entry: CacheEntry =
+                        sla_e.iter().map(|&id| (id, Vec::new())).collect();
+                    for f in outcome.followers {
+                        let id = tree.id_of_edge(f).expect("follower in tree");
+                        match entry.binary_search_by_key(&id, |(i, _)| *i) {
+                            Ok(pos) => entry[pos].1.push(f),
+                            Err(pos) => entry.insert(pos, (id, vec![f])),
+                        }
+                    }
+                    (sla_e, entry)
+                },
+            );
+            for (&e, (sla_e, entry)) in candidates.iter().zip(results) {
+                let count: usize = entry.iter().map(|(_, fs)| fs.len()).sum();
+                if !sla_e.is_empty() {
+                    recomputed += 1;
+                }
+                self.sla_cache[e.idx()] = Some(sla_e);
+                self.cache[e.idx()] = entry;
+                // candidates ascend, so the first maximum keeps the
+                // smallest edge id — identical to the serial tie-break
+                if best.is_none_or(|(bc, _)| count > bc) {
+                    best = Some((count, e));
+                }
+            }
+            return self.commit_round(start, best, recomputed, classes, first_round);
+        }
+
+        for e in g.edges() {
+            if self.st.is_anchor(e) {
+                continue;
+            }
+            // -- refresh sla(e) if dirty -----------------------------------
+            if self.sla_cache[e.idx()].is_none() {
+                let tree = self.tree.as_ref().expect("tree present with reuse");
+                self.sla_cache[e.idx()] =
+                    Some(sla(g, &self.st.t, &self.st.anchors, tree, e));
+            }
+            let sla_e = self.sla_cache[e.idx()].as_ref().expect("just refreshed");
+            if sla_e.is_empty() {
+                // no seeds possible ⇒ zero followers, but the edge is still
+                // a legal candidate (keeps tie-breaking aligned with BASE+)
+                self.cache[e.idx()].clear();
+                if best.is_none() {
+                    best = Some((0, e));
+                }
+                continue;
+            }
+            // -- determine which node ids must be recomputed ---------------
+            let entry = &self.cache[e.idx()];
+            let mut need: Vec<u32> = Vec::new();
+            let mut kept: CacheEntry = Vec::new();
+            if first_round {
+                need.extend_from_slice(sla_e);
+            } else {
+                for &id in sla_e {
+                    let cached = entry.iter().find(|(cid, _)| *cid == id);
+                    match cached {
+                        Some((_, fs)) if !es_set.contains(&id) => {
+                            kept.push((id, fs.clone()));
+                        }
+                        _ => need.push(id),
+                    }
+                }
+                // classification for the reuse experiment (Exp-8)
+                if need.is_empty() {
+                    classes.fully += 1;
+                } else if kept.is_empty() {
+                    classes.non += 1;
+                } else {
+                    classes.partially += 1;
+                }
+            }
+            // -- recompute the needed nodes --------------------------------
+            let mut rebuilt: CacheEntry = kept;
+            if !need.is_empty() {
+                recomputed += 1;
+                let tree = self.tree.as_ref().expect("tree present with reuse");
+                let outcome = self.search.followers_filtered(&self.st, e, |seed| {
+                    tree.id_of_edge(seed)
+                        .is_some_and(|id| need.binary_search(&id).is_ok())
+                });
+                let mut fresh: Vec<(u32, Vec<EdgeId>)> =
+                    need.iter().map(|&id| (id, Vec::new())).collect();
+                for f in outcome.followers {
+                    let id = tree.id_of_edge(f).expect("follower in tree");
+                    match fresh.binary_search_by_key(&id, |(i, _)| *i) {
+                        Ok(pos) => fresh[pos].1.push(f),
+                        Err(pos) => fresh.insert(pos, (id, vec![f])),
+                    }
+                }
+                rebuilt.extend(fresh);
+            }
+            rebuilt.sort_unstable_by_key(|(id, _)| *id);
+            let count: usize = rebuilt.iter().map(|(_, fs)| fs.len()).sum();
+            self.cache[e.idx()] = rebuilt;
+            if best.is_none_or(|(bc, be)| count > bc || (count == bc && e < be))
+                && best.is_none_or(|(bc, _)| count >= bc) {
+                    best = Some((count, e));
+                }
+        }
+
+        self.commit_round(start, best, recomputed, classes, first_round)
+    }
+
+    /// Shared tail of a reuse-enabled round: anchors the winner with a
+    /// component-local refresh and invalidates the affected caches.
+    fn commit_round(
+        &mut self,
+        start: Instant,
+        best: Option<(usize, EdgeId)>,
+        recomputed: usize,
+        classes: ReuseClassCounts,
+        first_round: bool,
+    ) -> Option<RoundReport> {
+        let g = self.st.graph();
+        let (_, chosen) = best?;
+        let followers: Vec<EdgeId> = self.cache[chosen.idx()]
+            .iter()
+            .flat_map(|(_, fs)| fs.iter().copied())
+            .collect();
+        let follower_trussness: Vec<u32> = followers.iter().map(|&f| self.st.t(f)).collect();
+
+        // -- commit: component-local refresh + invalidation -----------------
+        let tree = self.tree.as_mut().expect("tree present with reuse");
+        let by_node = self.cache[chosen.idx()].clone();
+        let sla_x = self.sla_cache[chosen.idx()]
+            .clone()
+            .unwrap_or_default();
+        let policy = match self.cfg.reuse {
+            ReusePolicy::Conservative => InvalidationPolicy::Conservative,
+            _ => InvalidationPolicy::PaperExact,
+        };
+        let outcome = anchor_with_reuse(&mut self.st, tree, chosen, &by_node, &sla_x, policy);
+
+        // mark sla caches dirty for every edge touching the rebuilt region
+        let mut touched = vec![false; g.num_vertices()];
+        for &e in &outcome.region {
+            let (u, v) = g.endpoints(e);
+            touched[u.idx()] = true;
+            touched[v.idx()] = true;
+        }
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            if touched[u.idx()] || touched[v.idx()] {
+                self.sla_cache[e.idx()] = None;
+            }
+        }
+        self.es = outcome.invalidated;
+        self.cache[chosen.idx()].clear();
+
+        Some(RoundReport {
+            round: self.round,
+            chosen,
+            followers,
+            follower_trussness,
+            elapsed: start.elapsed(),
+            recomputed,
+            reuse_classes: (!first_round).then_some(classes),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, social_network, SocialParams};
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn gas_off_equals_base_plus_semantics() {
+        let g = gnm(30, 110, 7);
+        let out = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(3);
+        assert_eq!(out.anchors.len(), 3);
+        assert_eq!(out.total_gain, out.claimed_gain);
+    }
+
+    #[test]
+    fn gas_reuse_matches_no_reuse_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm(28, 100, seed);
+            let off = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(4);
+            let on = Gas::new(
+                &g,
+                GasConfig {
+                    reuse: ReusePolicy::PaperExact,
+                    ..GasConfig::default()
+                },
+            )
+            .run(4);
+            assert_eq!(
+                off.anchors, on.anchors,
+                "seed {seed}: selections must agree"
+            );
+            assert_eq!(off.total_gain, on.total_gain, "seed {seed}");
+            // per-round follower counts must agree too (reuse is exact)
+            let off_counts: Vec<usize> = off.rounds.iter().map(|r| r.followers.len()).collect();
+            let on_counts: Vec<usize> = on.rounds.iter().map(|r| r.followers.len()).collect();
+            assert_eq!(off_counts, on_counts, "seed {seed}");
+            // claimed gain can exceed the true gain only via re-anchored
+            // followers, never fall below it
+            assert!(on.claimed_gain >= on.total_gain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gas_reuse_matches_no_reuse_on_social_graph() {
+        let g = social_network(&SocialParams {
+            n: 150,
+            target_edges: 600,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![6],
+            onions: vec![],
+            seed: 3,
+        });
+        let off = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(5);
+        let on = Gas::new(
+            &g,
+            GasConfig {
+                reuse: ReusePolicy::PaperExact,
+                ..GasConfig::default()
+            },
+        )
+        .run(5);
+        assert_eq!(off.anchors, on.anchors);
+        assert_eq!(off.total_gain, on.total_gain);
+    }
+
+    #[test]
+    fn reuse_recomputes_fewer_candidates() {
+        let g = social_network(&SocialParams {
+            n: 200,
+            target_edges: 900,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![7],
+            onions: vec![],
+            seed: 5,
+        });
+        let out = Gas::new(
+            &g,
+            GasConfig {
+                reuse: ReusePolicy::PaperExact,
+                ..GasConfig::default()
+            },
+        )
+        .run(4);
+        let later: usize = out.rounds[1..].iter().map(|r| r.recomputed).sum();
+        let first = out.rounds[0].recomputed;
+        assert!(
+            later < first * (out.rounds.len() - 1),
+            "reuse should cut recomputation: first={first}, later_total={later}"
+        );
+        // reuse classes are reported from round 2 on
+        assert!(out.rounds[1].reuse_classes.is_some());
+    }
+
+    #[test]
+    fn budget_larger_than_edges_stops() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let out = Gas::new(&g, GasConfig::default()).run(10);
+        assert!(out.anchors.len() <= 3);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_rounds() {
+        let g = GraphBuilder::new().build();
+        let out = Gas::new(&g, GasConfig::default()).run(3);
+        assert!(out.anchors.is_empty());
+        assert_eq!(out.total_gain, 0);
+    }
+
+    #[test]
+    fn rounds_report_monotone_round_numbers() {
+        let g = gnm(25, 90, 2);
+        let out = Gas::new(&g, GasConfig::default()).run(3);
+        for (i, r) in out.rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert_eq!(r.followers.len(), r.follower_trussness.len());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # antruss-core
+//!
+//! The paper's contribution: the **Anchor Trussness Reinforcement (ATR)**
+//! problem and the **GAS** algorithm, plus every baseline evaluated in the
+//! paper.
+//!
+//! Given a graph `G` and budget `b`, ATR selects `b` edges to *anchor*
+//! (infinite support — never peeled by truss decomposition) so that the
+//! total trussness gain `Σ_{e ∈ E\A} (t_A(e) − t(e))` is maximized. The
+//! problem is NP-hard and non-submodular; the practical solver is a greedy
+//! that needs three accelerations to scale:
+//!
+//! * [`followers`] — `GetFollowers` (Algorithm 3): upward-route search with
+//!   effective-triangle support checks and retract cascades; computes the
+//!   exact follower set of one anchor without re-decomposing the graph;
+//! * [`tree`] — the truss-component tree (Algorithm 4) classifying edges by
+//!   trussness and triangle connectivity, with `sla(e)` subtree-adjacency;
+//! * [`reuse`] — `FollowerReuse` (Algorithm 5): after each anchoring, only
+//!   the anchored component is re-decomposed and only invalidated tree
+//!   nodes are recomputed in later rounds;
+//! * [`gas`] — `GAS` (Algorithm 6) assembling all of the above;
+//! * [`baselines`] — `Exact`, `Rand`, `Sup`, `Tur`, `BASE`, `BASE+`, the
+//!   vertex-anchoring `AKT` comparator and the edge-deletion comparator.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod followers;
+pub mod gas;
+pub mod metrics;
+pub mod parallel;
+mod problem;
+pub mod reuse;
+pub mod route;
+pub mod stability;
+pub mod tree;
+pub mod whatif;
+
+pub use followers::{FollowerOutcome, FollowerSearch};
+pub use gas::{Gas, GasConfig, GasOutcome, ReusePolicy, RoundReport};
+pub use problem::{gain_of_anchor_set, AtrState};
+pub use tree::{TreeNode, TrussTree};
+pub use whatif::WhatIf;

@@ -1,0 +1,133 @@
+//! Measurement helpers for the paper's evaluation section.
+
+/// Reuse classification of candidate caches entering a round (Exp-8 /
+/// Fig. 10): fully reusable, partially reusable, non-reusable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseClassCounts {
+    /// `FR`: every cached node result reused.
+    pub fully: usize,
+    /// `PR`: some node results recomputed.
+    pub partially: usize,
+    /// `NR`: everything recomputed.
+    pub non: usize,
+}
+
+impl ReuseClassCounts {
+    /// Total classified candidates.
+    pub fn total(&self) -> usize {
+        self.fully + self.partially + self.non
+    }
+
+    /// `(FR, PR, NR)` as fractions of the total (zeros when empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.fully as f64 / t,
+            self.partially as f64 / t,
+            self.non as f64 / t,
+        )
+    }
+
+    /// Accumulates another round's counts.
+    pub fn merge(&mut self, other: &ReuseClassCounts) {
+        self.fully += other.fully;
+        self.partially += other.partially;
+        self.non += other.non;
+    }
+}
+
+/// Histogram over `u32` keys (trussness levels, budgets, …) with dense
+/// storage and sparse reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` at `key`.
+    pub fn add(&mut self, key: u32, weight: u64) {
+        if self.counts.len() <= key as usize {
+            self.counts.resize(key as usize + 1, 0);
+        }
+        self.counts[key as usize] += weight;
+    }
+
+    /// Count at `key`.
+    pub fn get(&self, key: u32) -> u64 {
+        self.counts.get(key as usize).copied().unwrap_or(0)
+    }
+
+    /// Non-zero `(key, count)` pairs in ascending key order.
+    pub fn entries(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (k as u32, c))
+            .collect()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c = ReuseClassCounts {
+            fully: 80,
+            partially: 15,
+            non: 5,
+        };
+        let (f, p, n) = c.fractions();
+        assert!((f + p + n - 1.0).abs() < 1e-12);
+        assert!((f - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let c = ReuseClassCounts::default();
+        assert_eq!(c.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ReuseClassCounts {
+            fully: 1,
+            partially: 2,
+            non: 3,
+        };
+        a.merge(&ReuseClassCounts {
+            fully: 10,
+            partially: 20,
+            non: 30,
+        });
+        assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        h.add(3, 2);
+        h.add(7, 1);
+        h.add(3, 1);
+        assert_eq!(h.get(3), 3);
+        assert_eq!(h.get(5), 0);
+        assert_eq!(h.entries(), vec![(3, 3), (7, 1)]);
+        assert_eq!(h.total(), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel candidate evaluation.
+//!
+//! The dominant cost of the greedy is the *scan*: computing the follower
+//! set of every candidate edge (all `m` of them in round 1; the
+//! invalidated subset in later rounds). Each candidate's search only reads
+//! the shared [`AtrState`], so the scan is embarrassingly parallel — the
+//! only mutable state is the per-worker [`FollowerSearch`] scratch.
+//!
+//! [`scan_map`] fans candidates out over a small thread pool with
+//! chunk-granular work stealing (route sizes are heavily skewed: a few
+//! candidates in dense regions cost orders of magnitude more than the
+//! median, so static partitioning would straggle). Results are returned
+//! in candidate order, so downstream tie-breaking — smallest edge id
+//! wins — is deterministic regardless of interleaving.
+//!
+//! This is an engineering extension over the paper (which evaluates a
+//! single-threaded C++ implementation); `benches/ablation.rs` measures the
+//! speedup and `tests/parallel_props.rs` pins serial/parallel equivalence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use antruss_graph::EdgeId;
+
+use crate::followers::FollowerSearch;
+use crate::problem::AtrState;
+
+/// Candidates per work-stealing unit. Small enough to balance skewed
+/// route sizes, large enough to amortize the atomic fetch.
+const CHUNK: usize = 32;
+
+/// Applies `f` to every candidate, fanning out over `threads` workers
+/// (serial when `threads <= 1`). Results come back in candidate order.
+///
+/// `f` receives a worker-private scratch, so it may run follower searches
+/// freely; it must not mutate shared state.
+///
+/// ```
+/// use antruss_core::parallel::scan_follower_counts;
+/// use antruss_core::AtrState;
+/// use antruss_graph::gen::gnm;
+///
+/// let g = gnm(25, 90, 1);
+/// let st = AtrState::new(&g);
+/// let candidates: Vec<_> = g.edges().collect();
+/// let serial = scan_follower_counts(&st, &candidates, 1);
+/// let parallel = scan_follower_counts(&st, &candidates, 4);
+/// assert_eq!(serial, parallel); // deterministic for any thread count
+/// ```
+pub fn scan_map<T, F>(st: &AtrState<'_>, candidates: &[EdgeId], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut FollowerSearch, EdgeId) -> T + Sync,
+{
+    let m = st.graph().num_edges();
+    if threads <= 1 || candidates.len() <= CHUNK {
+        let mut fs = FollowerSearch::new(m);
+        return candidates.iter().map(|&e| f(&mut fs, e)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(candidates.len().div_ceil(CHUNK));
+    let mut partials: Vec<Vec<(usize, Vec<T>)>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut fs = FollowerSearch::new(m);
+                let mut runs: Vec<(usize, Vec<T>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= candidates.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(candidates.len());
+                    let out: Vec<T> =
+                        candidates[start..end].iter().map(|&e| f(&mut fs, e)).collect();
+                    runs.push((start, out));
+                }
+                runs
+            }));
+        }
+        partials = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    })
+    .expect("scoped threads");
+
+    // Stitch the runs back into candidate order.
+    let mut slots: Vec<Option<T>> = (0..candidates.len()).map(|_| None).collect();
+    for runs in partials {
+        for (start, out) in runs {
+            for (i, v) in out.into_iter().enumerate() {
+                slots[start + i] = Some(v);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every candidate scanned"))
+        .collect()
+}
+
+/// Follower counts of every candidate, in order.
+pub fn scan_follower_counts(
+    st: &AtrState<'_>,
+    candidates: &[EdgeId],
+    threads: usize,
+) -> Vec<u32> {
+    scan_map(st, candidates, threads, |fs, e| {
+        fs.followers(st, e).followers.len() as u32
+    })
+}
+
+/// The best candidate under the greedy criterion — most followers, ties
+/// toward the smaller edge id — or `None` for an empty candidate list.
+/// Deterministic for any thread count.
+pub fn best_candidate(
+    st: &AtrState<'_>,
+    candidates: &[EdgeId],
+    threads: usize,
+) -> Option<(EdgeId, u32)> {
+    let counts = scan_follower_counts(st, candidates, threads);
+    candidates
+        .iter()
+        .zip(&counts)
+        .map(|(&e, &c)| (e, c))
+        .max_by(|&(e1, c1), &(e2, c2)| c1.cmp(&c2).then_with(|| e2.cmp(&e1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, social_network, SocialParams};
+
+    #[test]
+    fn parallel_counts_match_serial() {
+        let g = gnm(40, 160, 11);
+        let st = AtrState::new(&g);
+        let candidates: Vec<EdgeId> = g.edges().collect();
+        let serial = scan_follower_counts(&st, &candidates, 1);
+        for threads in [2, 3, 4, 8] {
+            let par = scan_follower_counts(&st, &candidates, threads);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn best_candidate_deterministic_across_thread_counts() {
+        let g = social_network(&SocialParams {
+            n: 120,
+            target_edges: 500,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![6],
+            onions: vec![],
+            seed: 2,
+        });
+        let st = AtrState::new(&g);
+        let candidates: Vec<EdgeId> = g.edges().collect();
+        let serial = best_candidate(&st, &candidates, 1);
+        for threads in [2, 4] {
+            assert_eq!(serial, best_candidate(&st, &candidates, threads));
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let g = gnm(10, 20, 0);
+        let st = AtrState::new(&g);
+        assert_eq!(best_candidate(&st, &[], 4), None);
+        assert!(scan_follower_counts(&st, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_stays_serial() {
+        let g = gnm(12, 25, 1);
+        let st = AtrState::new(&g);
+        let candidates: Vec<EdgeId> = g.edges().collect();
+        // fewer candidates than a chunk: the threads argument is moot
+        let a = scan_follower_counts(&st, &candidates, 1);
+        let b = scan_follower_counts(&st, &candidates, 16);
+        assert_eq!(a, b);
+    }
+}

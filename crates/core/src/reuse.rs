@@ -1,0 +1,269 @@
+//! `FollowerReuse` — Algorithm 5 of the paper.
+//!
+//! After the greedy commits to an anchor `x`, only the `t(x)`-truss
+//! component containing `x` (the subtree rooted at `T[x]`) can change:
+//! followers gain one trussness level and peel layers inside the component
+//! shift. This module
+//!
+//! 1. re-decomposes exactly that region (anchors preserved),
+//! 2. rebuilds the corresponding subtree of the truss-component tree,
+//! 3. returns the invalidation set `ES` of tree-node ids whose cached
+//!    follower results can no longer be reused:
+//!    `ES = {T[x].I} ∪ {id : F[x][id] ≠ ∅} ∪ {T*[f].I : f ∈ F(x)}`
+//!    (plus, under [`InvalidationPolicy::Conservative`], all of `sla(x)` —
+//!    see the policy docs).
+//!
+//! Every cached `F[e][id]` with `id ∉ ES` is reused next round (Lemma 5).
+
+use antruss_graph::{EdgeId, EdgeSet, FxHashSet};
+use antruss_truss::{decompose_into, DecomposeOptions};
+
+use crate::problem::AtrState;
+use crate::tree::TrussTree;
+
+/// How aggressively cached follower results are invalidated after an
+/// anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationPolicy {
+    /// Algorithm 5 verbatim: invalidate the anchor's node, the nodes that
+    /// contained its followers, and the nodes its followers moved into.
+    #[default]
+    PaperExact,
+    /// Additionally invalidate every node in `sla(x)`. The anchored edge
+    /// keeps supporting neighbour-edges in *all* adjacent nodes in later
+    /// rounds, which can change their follower sets even when they held no
+    /// follower of `x` itself; the conservative policy also drops those
+    /// caches. Costs more recomputation, never reuses a stale result
+    /// through the anchor's immediate neighbourhood.
+    Conservative,
+}
+
+/// Result of applying one anchor with component-local refresh.
+#[derive(Debug, Clone)]
+pub struct ReuseOutcome {
+    /// Invalidated tree-node ids (`ES`), sorted.
+    pub invalidated: Vec<u32>,
+    /// Edges whose `t`/`l` entries were refreshed (the rebuilt region,
+    /// including the new anchor itself).
+    pub region: Vec<EdgeId>,
+}
+
+/// Commits anchor `x`: inserts it into the anchor set, refreshes `t`/`l`
+/// for its component only, rebuilds the tree subtree and computes `ES`.
+///
+/// `followers_by_node` is the cached `F[x][id]` partition from the round
+/// that selected `x`; `sla_x` is `sla(x)` at selection time.
+pub fn anchor_with_reuse(
+    st: &mut AtrState<'_>,
+    tree: &mut TrussTree,
+    x: EdgeId,
+    followers_by_node: &[(u32, Vec<EdgeId>)],
+    sla_x: &[u32],
+    policy: InvalidationPolicy,
+) -> ReuseOutcome {
+    assert!(!st.is_anchor(x), "{x:?} already anchored");
+    let g = st.graph();
+    let root_idx = tree
+        .node_of_edge(x)
+        .expect("candidate anchor must be in the tree");
+
+    // --- lines 1-4: seed ES -------------------------------------------
+    let mut es: FxHashSet<u32> = FxHashSet::default();
+    es.insert(tree.nodes[root_idx as usize].id);
+    for (id, fs) in followers_by_node {
+        if !fs.is_empty() {
+            es.insert(*id);
+        }
+    }
+    if policy == InvalidationPolicy::Conservative {
+        es.extend(sla_x.iter().copied());
+    }
+
+    // --- lines 5-6: re-decompose the component, anchors preserved ------
+    let region = tree.subtree_edges(root_idx);
+    st.anchors.insert(x);
+    let mut subset = EdgeSet::new(g.num_edges());
+    for &e in &region {
+        subset.insert(e);
+    }
+    // all anchors participate: an anchor inside the component keeps
+    // supporting triangles; anchors elsewhere are inert but harmless.
+    subset.union_with(&st.anchors);
+    decompose_into(
+        g,
+        DecomposeOptions {
+            subset: Some(&subset),
+            anchors: Some(&st.anchors),
+        },
+        &mut st.t,
+        &mut st.l,
+        &mut st.k_max,
+    );
+
+    // --- lines 7-9: rebuild the subtree under the old parent -----------
+    // The rebuild region is the refreshed subset: component edges plus all
+    // anchors as connective wildcards (unrelated anchors form pure-anchor
+    // pieces and are dropped by the builder).
+    let rebuilt_region: Vec<EdgeId> = subset.iter().collect();
+    tree.rebuild_subtree(g, &st.t, &st.anchors, root_idx, rebuilt_region);
+
+    // --- line 11: nodes the followers moved into ------------------------
+    for (_, fs) in followers_by_node {
+        for &f in fs {
+            if let Some(id) = tree.id_of_edge(f) {
+                es.insert(id);
+            }
+        }
+    }
+
+    let mut invalidated: Vec<u32> = es.into_iter().collect();
+    invalidated.sort_unstable();
+    ReuseOutcome {
+        invalidated,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::followers::{naive_followers, FollowerSearch};
+    use antruss_graph::gen::gnm;
+    use antruss_graph::CsrGraph;
+
+    fn partition_by_node(
+        tree: &TrussTree,
+        followers: &[EdgeId],
+    ) -> Vec<(u32, Vec<EdgeId>)> {
+        let mut map: std::collections::BTreeMap<u32, Vec<EdgeId>> = Default::default();
+        for &f in followers {
+            let id = tree.id_of_edge(f).expect("follower in tree");
+            map.entry(id).or_default().push(f);
+        }
+        map.into_iter().collect()
+    }
+
+    fn check_refresh_matches_full(g: &CsrGraph, picks: &[EdgeId]) {
+        let mut fast = AtrState::new(g);
+        let mut slow = AtrState::new(g);
+        let mut tree = TrussTree::build(g, &fast.t, &fast.anchors);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        for &x in picks {
+            let followers = fs.followers(&fast, x).followers;
+            let by_node = partition_by_node(&tree, &followers);
+            let sla_x = crate::tree::sla(g, &fast.t, &fast.anchors, &tree, x);
+            anchor_with_reuse(
+                &mut fast,
+                &mut tree,
+                x,
+                &by_node,
+                &sla_x,
+                InvalidationPolicy::PaperExact,
+            );
+            slow.anchor_full_refresh(x);
+            assert_eq!(fast.t, slow.t, "trussness after anchoring {x:?}");
+            assert_eq!(fast.l, slow.l, "layers after anchoring {x:?}");
+            tree.assert_valid(g, &fast.t, &fast.anchors);
+        }
+    }
+
+    #[test]
+    fn partial_refresh_equals_full_refresh_random() {
+        for seed in 0..5 {
+            let g = gnm(30, 110, seed);
+            let picks = [EdgeId(2), EdgeId(31), EdgeId(77 % g.num_edges() as u32)];
+            let picks: Vec<EdgeId> = picks
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            check_refresh_matches_full(&g, &picks);
+        }
+    }
+
+    #[test]
+    fn es_contains_anchor_node_and_follower_nodes() {
+        let g = gnm(30, 110, 9);
+        let mut st = AtrState::new(&g);
+        let mut tree = TrussTree::build(&g, &st.t, &st.anchors);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        // pick an edge with followers, if any
+        let x = g
+            .edges()
+            .max_by_key(|&e| fs.followers(&st, e).followers.len())
+            .unwrap();
+        let followers = fs.followers(&st, x).followers;
+        let x_node_id = tree.id_of_edge(x).unwrap();
+        let old_ids: Vec<(EdgeId, u32)> = followers
+            .iter()
+            .map(|&f| (f, tree.id_of_edge(f).unwrap()))
+            .collect();
+        let by_node = partition_by_node(&tree, &followers);
+        let sla_x = crate::tree::sla(&g, &st.t, &st.anchors, &tree, x);
+        let out = anchor_with_reuse(
+            &mut st,
+            &mut tree,
+            x,
+            &by_node,
+            &sla_x,
+            InvalidationPolicy::PaperExact,
+        );
+        assert!(out.invalidated.contains(&x_node_id));
+        for (f, old_id) in old_ids {
+            assert!(out.invalidated.contains(&old_id));
+            let new_id = tree.id_of_edge(f).unwrap();
+            assert!(out.invalidated.contains(&new_id));
+        }
+    }
+
+    #[test]
+    fn followers_recomputed_after_reuse_match_oracle() {
+        // After a component-local refresh, a fresh follower search on any
+        // candidate must still agree with the naive oracle.
+        let g = gnm(26, 90, 4);
+        let mut st = AtrState::new(&g);
+        let mut tree = TrussTree::build(&g, &st.t, &st.anchors);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        let x = EdgeId(5);
+        let followers = fs.followers(&st, x).followers;
+        let by_node = partition_by_node(&tree, &followers);
+        let sla_x = crate::tree::sla(&g, &st.t, &st.anchors, &tree, x);
+        anchor_with_reuse(
+            &mut st,
+            &mut tree,
+            x,
+            &by_node,
+            &sla_x,
+            InvalidationPolicy::PaperExact,
+        );
+        for e in g.edges() {
+            if st.is_anchor(e) {
+                continue;
+            }
+            let mut got = fs.followers(&st, e).followers;
+            got.sort();
+            assert_eq!(got, naive_followers(&st, e), "candidate {e:?}");
+        }
+    }
+
+    #[test]
+    fn conservative_superset_of_paper_exact() {
+        let g = gnm(30, 110, 12);
+        let x = EdgeId(3);
+        let run = |policy: InvalidationPolicy| {
+            let mut st = AtrState::new(&g);
+            let mut tree = TrussTree::build(&g, &st.t, &st.anchors);
+            let mut fs = FollowerSearch::new(g.num_edges());
+            let followers = fs.followers(&st, x).followers;
+            let by_node = partition_by_node(&tree, &followers);
+            let sla_x = crate::tree::sla(&g, &st.t, &st.anchors, &tree, x);
+            anchor_with_reuse(&mut st, &mut tree, x, &by_node, &sla_x, policy).invalidated
+        };
+        let exact = run(InvalidationPolicy::PaperExact);
+        let conservative = run(InvalidationPolicy::Conservative);
+        for id in exact {
+            assert!(conservative.contains(&id));
+        }
+    }
+}

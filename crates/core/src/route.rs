@@ -1,0 +1,175 @@
+//! Upward-route size measurement (Exp-7 / Table IV).
+//!
+//! The *route size* of an edge `x` is the number of candidate edges the
+//! follower search examines when `x` is anchored — the quantity Table IV
+//! aggregates to show that upward routes touch only a vanishing fraction of
+//! the graph. The same sizes drive the `Tur` baseline's candidate pool.
+
+use antruss_graph::EdgeId;
+
+use crate::followers::FollowerSearch;
+use crate::problem::AtrState;
+
+/// Candidate followers of `x` per Lemma 2 alone — the upward-route sweep
+/// **without** the effective-triangle support check. This is the ablation
+/// of Lemma 3: the result is a superset of the true follower set whose
+/// size gap quantifies how much pruning the support check provides.
+pub fn route_only_candidates(st: &AtrState<'_>, x: EdgeId) -> Vec<EdgeId> {
+    use antruss_graph::triangles::for_each_triangle;
+    let g = st.graph();
+    let (tx, lx) = (st.t(x), st.l(x));
+    let mut seen = vec![false; g.num_edges()];
+    let mut stack: Vec<EdgeId> = Vec::new();
+    // Lemma 2(i) seeds
+    for_each_triangle(g, x, |w| {
+        for p in [w.e_uw, w.e_vw] {
+            if st.is_anchor(p) || seen[p.idx()] {
+                continue;
+            }
+            let (tp, lp) = (st.t(p), st.l(p));
+            if tp > tx || (tp == tx && lp > lx) {
+                seen[p.idx()] = true;
+                stack.push(p);
+            }
+        }
+    });
+    // Lemma 2(ii): same-trussness, layer-monotone expansion
+    let mut out = Vec::new();
+    while let Some(e) = stack.pop() {
+        out.push(e);
+        let (te, le) = (st.t(e), st.l(e));
+        for_each_triangle(g, e, |w| {
+            for p in [w.e_uw, w.e_vw] {
+                if p == x || st.is_anchor(p) || seen[p.idx()] {
+                    continue;
+                }
+                if st.t(p) == te && le <= st.l(p) {
+                    seen[p.idx()] = true;
+                    stack.push(p);
+                }
+            }
+        });
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Aggregate route-size statistics (one row of Table IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteStats {
+    /// Smallest route.
+    pub min: usize,
+    /// Largest route.
+    pub max: usize,
+    /// Total size over all edges ("Sum size").
+    pub sum: u64,
+    /// `sum / m` ("Average size").
+    pub avg: f64,
+}
+
+/// Route size of every edge in the current state (first-round semantics).
+pub fn route_sizes(st: &AtrState<'_>) -> Vec<usize> {
+    let m = st.graph().num_edges();
+    let mut search = FollowerSearch::new(m);
+    let mut sizes = vec![0usize; m];
+    for e in st.graph().edges() {
+        if st.is_anchor(e) {
+            continue;
+        }
+        sizes[e.idx()] = search.followers(st, e).route_size;
+    }
+    sizes
+}
+
+/// Aggregates per-edge sizes into Table-IV statistics.
+pub fn route_stats(sizes: &[usize]) -> RouteStats {
+    if sizes.is_empty() {
+        return RouteStats {
+            min: 0,
+            max: 0,
+            sum: 0,
+            avg: 0.0,
+        };
+    }
+    let sum: u64 = sizes.iter().map(|&s| s as u64).sum();
+    RouteStats {
+        min: sizes.iter().copied().min().unwrap_or(0),
+        max: sizes.iter().copied().max().unwrap_or(0),
+        sum,
+        avg: sum as f64 / sizes.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, planted_cliques};
+
+    #[test]
+    fn clique_routes_are_zero() {
+        // In a single clique every edge has the same trussness and the
+        // same (single) peel layer; no neighbour satisfies Lemma 2(i)'s
+        // strict layer condition, so routes are empty.
+        let g = planted_cliques(&[6]);
+        let st = AtrState::new(&g);
+        let sizes = route_sizes(&st);
+        assert!(sizes.iter().all(|&s| s == 0), "{sizes:?}");
+        let stats = route_stats(&sizes);
+        assert_eq!(stats.sum, 0);
+        assert_eq!(stats.max, 0);
+    }
+
+    #[test]
+    fn random_graph_routes_bounded_by_m() {
+        let g = gnm(40, 150, 3);
+        let st = AtrState::new(&g);
+        let sizes = route_sizes(&st);
+        assert_eq!(sizes.len(), g.num_edges());
+        for &s in &sizes {
+            assert!(s <= g.num_edges());
+        }
+        let stats = route_stats(&sizes);
+        assert!(stats.min <= stats.max);
+        assert!((stats.avg - stats.sum as f64 / sizes.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let stats = route_stats(&[]);
+        assert_eq!(stats.sum, 0);
+        assert_eq!(stats.avg, 0.0);
+    }
+
+    #[test]
+    fn route_only_candidates_superset_of_followers() {
+        use crate::followers::FollowerSearch;
+        let g = gnm(35, 130, 11);
+        let st = AtrState::new(&g);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        for x in g.edges() {
+            let candidates = route_only_candidates(&st, x);
+            let mut followers = fs.followers(&st, x).followers;
+            followers.sort();
+            for f in &followers {
+                assert!(
+                    candidates.binary_search(f).is_ok(),
+                    "follower {f:?} of {x:?} missing from Lemma-2 candidates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_check_prunes_something() {
+        // on a random graph the Lemma-2 candidate set is strictly larger
+        // than the confirmed follower set for at least some anchor
+        use crate::followers::FollowerSearch;
+        let g = gnm(35, 130, 13);
+        let st = AtrState::new(&g);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        let pruned_somewhere = g.edges().any(|x| {
+            route_only_candidates(&st, x).len() > fs.followers(&st, x).followers.len()
+        });
+        assert!(pruned_somewhere, "Lemma 3 should prune on random graphs");
+    }
+}

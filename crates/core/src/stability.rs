@@ -1,0 +1,278 @@
+//! Network-stability analytics — the paper's motivating story, as an API.
+//!
+//! Section I motivates ATR with engagement decay: when weak relationships
+//! lapse, cohesive structure unravels. This module formalizes the
+//! simulation used informally in the paper's introduction (and in our
+//! `social_network` example):
+//!
+//! * [`cohesion_profile`] — how much of the graph sits at each truss level
+//!   (the "cohesive mass" curve);
+//! * [`decay_simulation`] — iteratively drop edges below a cohesion
+//!   threshold and report the surviving mass, with and without anchors;
+//! * [`resilience_gain`] — a single scalar: how many additional
+//!   edge-survival units a given anchor set buys across all thresholds.
+
+use antruss_graph::{CsrGraph, EdgeSet, VertexId};
+use antruss_truss::{decompose, decompose_with, DecomposeOptions, ANCHOR_TRUSSNESS};
+
+use crate::baselines::akt::anchored_k_truss;
+
+/// Edges with (anchored) trussness ≥ k, for each k up to `k_max` — the
+/// cumulative cohesive-mass curve. Index 0 holds the total edge count
+/// (`k = 0` and `k = 1` are trivially everything).
+pub fn cohesion_profile(g: &CsrGraph, anchors: Option<&EdgeSet>) -> Vec<usize> {
+    let info = decompose_with(
+        g,
+        DecomposeOptions {
+            subset: None,
+            anchors,
+        },
+    );
+    let mut profile = vec![0usize; info.k_max as usize + 2];
+    for e in g.edges() {
+        let t = info.t(e);
+        let top = if t == ANCHOR_TRUSSNESS {
+            info.k_max as usize + 1
+        } else {
+            t as usize
+        };
+        // edge counts for every k ≤ its trussness
+        for entry in profile.iter_mut().take(top + 1) {
+            *entry += 1;
+        }
+    }
+    profile
+}
+
+/// One step of engagement decay at threshold `k`: all edges of trussness
+/// `< k` lapse (users with weak ties disengage); anchored edges always
+/// survive. Returns the surviving edge count.
+pub fn decay_survivors(g: &CsrGraph, anchors: Option<&EdgeSet>, k: u32) -> usize {
+    let info = decompose_with(
+        g,
+        DecomposeOptions {
+            subset: None,
+            anchors,
+        },
+    );
+    g.edges().filter(|&e| info.t(e) >= k).count()
+}
+
+/// Runs the decay simulation at every threshold `3..=k_max`, returning
+/// `(k, survivors_unanchored, survivors_anchored)` triples.
+pub fn decay_simulation(g: &CsrGraph, anchors: &EdgeSet) -> Vec<(u32, usize, usize)> {
+    let base = cohesion_profile(g, None);
+    let with = cohesion_profile(g, Some(anchors));
+    let k_max = base.len().max(with.len()) - 1;
+    (3..=k_max as u32)
+        .map(|k| {
+            let b = base.get(k as usize).copied().unwrap_or(0);
+            let w = with.get(k as usize).copied().unwrap_or(0);
+            (k, b, w)
+        })
+        .collect()
+}
+
+/// Total extra edge-survival units across all decay thresholds bought by
+/// `anchors`. Equals `Σ_k (survivors_anchored(k) − survivors_unanchored(k))`
+/// and, by double counting, equals the trussness gain plus the anchors'
+/// own survival bonus — a direct bridge between Definition 4 and the
+/// stability narrative.
+pub fn resilience_gain(g: &CsrGraph, anchors: &EdgeSet) -> u64 {
+    decay_simulation(g, anchors)
+        .iter()
+        .map(|&(_, b, w)| (w.saturating_sub(b)) as u64)
+        .sum()
+}
+
+/// [`resilience_gain`] without the anchors' own survival subsidy: only
+/// edges *outside* `A` count, so the number equals the trussness gain
+/// summed over thresholds — the structural improvement the anchoring
+/// *induces* rather than the material it directly pins in place. This is
+/// the fair currency for comparing edge anchoring against vertex
+/// anchoring (a vertex anchor pins its entire incident star; see
+/// [`vertex_induced_resilience_gain`]).
+pub fn induced_resilience_gain(g: &CsrGraph, anchors: &EdgeSet) -> u64 {
+    let info = decompose_with(
+        g,
+        DecomposeOptions {
+            subset: None,
+            anchors: Some(anchors),
+        },
+    );
+    let base = decompose(g);
+    let mut gain = 0u64;
+    for e in g.edges() {
+        if anchors.contains(e) {
+            continue;
+        }
+        // survival units at thresholds ≥ 3: levels below 3 survive anyway
+        let after = info.t(e).max(2);
+        let before = base.t(e).max(2);
+        gain += (after - before) as u64;
+    }
+    gain
+}
+
+/// Cohesive-mass curve under **vertex** anchors (AKT semantics): for each
+/// threshold `k`, the number of edges in the vertex-anchored `k`-truss —
+/// an anchor-incident edge survives with a single triangle, every other
+/// edge needs the usual `k − 2`. This is the vertex-method counterpart of
+/// [`cohesion_profile`], giving the cross-model experiments one decay
+/// currency for edge-anchoring (GAS) and vertex-anchoring (AKT, OLAK,
+/// anchored coreness) alike.
+pub fn vertex_cohesion_profile(g: &CsrGraph, anchored: &[VertexId]) -> Vec<usize> {
+    let info = decompose(g);
+    let mut flags = vec![false; g.num_vertices()];
+    for &v in anchored {
+        flags[v.idx()] = true;
+    }
+    // anchored k-trusses can reach one level above the plain k_max
+    let top = info.k_max + 1;
+    let mut profile = vec![g.num_edges(); 3.min(top as usize + 1)];
+    for k in profile.len() as u32..=top {
+        profile.push(anchored_k_truss(g, &info.trussness, k, &flags).len());
+    }
+    profile
+}
+
+/// Total extra edge-survival units across all decay thresholds bought by
+/// anchoring the given **vertices** — the vertex-method counterpart of
+/// [`resilience_gain`]. `Σ_{k≥3} (|anchored k-truss| − |T_k(G)|)`.
+pub fn vertex_resilience_gain(g: &CsrGraph, anchored: &[VertexId]) -> u64 {
+    let base = cohesion_profile(g, None);
+    let with = vertex_cohesion_profile(g, anchored);
+    let top = base.len().max(with.len());
+    (3..top)
+        .map(|k| {
+            let b = base.get(k).copied().unwrap_or(0);
+            let w = with.get(k).copied().unwrap_or(0);
+            w.saturating_sub(b) as u64
+        })
+        .sum()
+}
+
+/// [`vertex_resilience_gain`] without the direct subsidy of
+/// anchor-incident edges: only edges whose endpoints are both unanchored
+/// count. A vertex anchor pins every incident edge that still closes one
+/// triangle — `deg(v)` edges of free survival at every threshold — so raw
+/// resilience numbers overstate vertex methods by roughly the anchors'
+/// degree mass. The induced variant counts the *cascade*: edges the
+/// anchoring saved without touching them.
+pub fn vertex_induced_resilience_gain(g: &CsrGraph, anchored: &[VertexId]) -> u64 {
+    let info = decompose(g);
+    let mut flags = vec![false; g.num_vertices()];
+    for &v in anchored {
+        flags[v.idx()] = true;
+    }
+    let incident = |e: antruss_graph::EdgeId| {
+        let (u, v) = g.endpoints(e);
+        flags[u.idx()] || flags[v.idx()]
+    };
+    let mut gain = 0u64;
+    let top = info.k_max + 1;
+    for k in 3..=top {
+        let truss = anchored_k_truss(g, &info.trussness, k, &flags);
+        for e in g.edges() {
+            if !incident(e) && truss.contains(e) && info.t(e) < k {
+                gain += 1;
+            }
+        }
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gas, GasConfig};
+    use antruss_graph::gen::{gnm, planted_cliques};
+    use antruss_graph::EdgeId;
+
+    #[test]
+    fn profile_is_monotone_decreasing() {
+        let g = planted_cliques(&[6, 4]);
+        let p = cohesion_profile(&g, None);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1], "cohesive mass must shrink with k: {p:?}");
+        }
+        assert_eq!(p[0], g.num_edges());
+        assert_eq!(p[6], 15, "the 6-clique survives threshold 6");
+    }
+
+    #[test]
+    fn anchors_survive_any_decay() {
+        let g = planted_cliques(&[4, 3]);
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(EdgeId(0));
+        // at an impossible threshold only the anchor survives
+        assert_eq!(decay_survivors(&g, Some(&anchors), 100), 1);
+        assert_eq!(decay_survivors(&g, None, 100), 0);
+    }
+
+    #[test]
+    fn anchoring_weakly_improves_every_threshold() {
+        let g = gnm(40, 160, 5);
+        let out = Gas::new(&g, GasConfig::default()).run(4);
+        let anchors = EdgeSet::from_iter(g.num_edges(), out.anchors.iter().copied());
+        for (k, before, after) in decay_simulation(&g, &anchors) {
+            assert!(
+                after >= before,
+                "k={k}: anchoring must not reduce survivors"
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_gain_positive_when_gas_gains() {
+        let g = planted_cliques(&[5]); // weak graph: anchor one edge of K5
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(EdgeId(0));
+        // the anchor itself survives all thresholds -> positive resilience
+        assert!(resilience_gain(&g, &anchors) > 0);
+    }
+
+    #[test]
+    fn vertex_profile_dominates_base() {
+        // anchored k-trusses are supersets of the plain k-trusses
+        let g = gnm(35, 130, 12);
+        let base = cohesion_profile(&g, None);
+        let with = vertex_cohesion_profile(&g, &[antruss_graph::VertexId(0)]);
+        for k in 3..base.len().min(with.len()) {
+            assert!(
+                with[k] >= base[k],
+                "k={k}: vertex anchoring must not lose edges"
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_resilience_zero_without_anchors() {
+        let g = gnm(20, 60, 4);
+        assert_eq!(vertex_resilience_gain(&g, &[]), 0);
+    }
+
+    #[test]
+    fn vertex_resilience_positive_for_fringe_anchor() {
+        // K4 core with a fringe triangle: anchoring the fringe vertex keeps
+        // its two incident edges in the 4-truss (Example 1 semantics).
+        let mut b = antruss_graph::GraphBuilder::dense();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        b.add_edge(2, 4);
+        b.add_edge(3, 4);
+        let g = b.build();
+        assert!(vertex_resilience_gain(&g, &[antruss_graph::VertexId(4)]) >= 2);
+    }
+
+    #[test]
+    fn empty_graph_profiles() {
+        let g = antruss_graph::GraphBuilder::new().build();
+        let p = cohesion_profile(&g, None);
+        assert_eq!(p.iter().sum::<usize>(), 0);
+        let anchors = EdgeSet::new(0);
+        // decay on an empty graph must not panic
+        let _ = decay_simulation(&g, &anchors);
+    }
+}

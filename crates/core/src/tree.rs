@@ -1,0 +1,468 @@
+//! The truss-component tree (Section III-C, Algorithm 4).
+//!
+//! Every non-anchored edge belongs to exactly one tree node; a node holds
+//! the edges of trussness `TN.K` inside one `TN.K`-truss component, and the
+//! subtree rooted at a node induces that component. The node identifier
+//! `TN.I` is the smallest edge id in the node, which keeps identifiers
+//! stable across partial rebuilds — the property the reuse machinery's
+//! invalidation sets rely on.
+//!
+//! **Anchors are wildcards.** An anchored edge belongs to every truss
+//! `T_k(G_A)`, so it can glue two otherwise-separate k-truss components
+//! into one (a triangle through an anchor connects them at every level).
+//! Component computation therefore *includes* anchors as connective tissue
+//! at every recursion level, while never assigning them to a node. This is
+//! what keeps `subtree(T[x])` equal to the true component of `x` in `G_A`
+//! — and hence keeps the component-local re-decomposition of Algorithm 5
+//! exact in rounds ≥ 2.
+
+use antruss_graph::triangles::for_each_triangle;
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet};
+use antruss_truss::triangle_connected_components_of;
+
+/// One node of the truss-component tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// `TN.K`: common trussness of the node's edges.
+    pub k: u32,
+    /// `TN.I`: smallest edge id in [`TreeNode::edges`] — the stable
+    /// identifier used by `sla`, follower caches and invalidation sets.
+    pub id: u32,
+    /// `TN.E`: the edges of trussness `k` in this component (ascending).
+    pub edges: Vec<EdgeId>,
+    /// Parent node *index* (`None` for children of the virtual root).
+    pub parent: Option<u32>,
+    /// Child node indices.
+    pub children: Vec<u32>,
+    /// Tombstone flag set when a subtree is rebuilt.
+    pub dead: bool,
+}
+
+/// The truss-component tree `T` over the non-anchored edges of one graph.
+pub struct TrussTree {
+    /// Node arena; rebuilt subtrees tombstone old entries and append.
+    pub nodes: Vec<TreeNode>,
+    /// Edge index → node index (`u32::MAX` for anchors).
+    node_of: Vec<u32>,
+    /// Children of the virtual root.
+    roots: Vec<u32>,
+    /// Scratch membership bitset reused across build calls.
+    scratch: EdgeSet,
+}
+
+impl TrussTree {
+    /// Builds the tree for all non-anchored edges (Algorithm 4 with the
+    /// whole graph and a virtual root). Anchors participate as connective
+    /// wildcards but receive no node.
+    pub fn build(g: &CsrGraph, t: &[u32], anchors: &EdgeSet) -> Self {
+        let m = g.num_edges();
+        let mut tree = TrussTree {
+            nodes: Vec::new(),
+            node_of: vec![u32::MAX; m],
+            roots: Vec::new(),
+            scratch: EdgeSet::new(m),
+        };
+        let region: Vec<EdgeId> = g.edges().collect();
+        let tops = tree.build_region(g, t, anchors, region, None);
+        tree.roots = tops;
+        tree
+    }
+
+    /// Node index containing `e`, if any.
+    #[inline]
+    pub fn node_of_edge(&self, e: EdgeId) -> Option<u32> {
+        let idx = self.node_of[e.idx()];
+        (idx != u32::MAX).then_some(idx)
+    }
+
+    /// `TN.I` of the node containing `e`, if any.
+    #[inline]
+    pub fn id_of_edge(&self, e: EdgeId) -> Option<u32> {
+        self.node_of_edge(e).map(|i| self.nodes[i as usize].id)
+    }
+
+    /// Children of the virtual root (live nodes only).
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Live node indices.
+    pub fn live_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nodes.len() as u32).filter(|&i| !self.nodes[i as usize].dead)
+    }
+
+    /// All edges in the subtree rooted at `idx` (the `TN.K`-truss
+    /// component induced by that node).
+    pub fn subtree_edges(&self, idx: u32) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i as usize];
+            out.extend_from_slice(&node.edges);
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    /// All node indices in the subtree rooted at `idx`.
+    pub fn subtree_nodes(&self, idx: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            stack.extend_from_slice(&self.nodes[i as usize].children);
+        }
+        out
+    }
+
+    /// Replaces the subtree rooted at `root_idx` by rebuilding Algorithm 4
+    /// over `region` (the refreshed edges of that component, anchors
+    /// included as wildcards), attaching the new nodes to the old parent.
+    /// Returns the new top-level node indices.
+    ///
+    /// Old subtree nodes are tombstoned (`dead = true`); edges of `region`
+    /// are reassigned; anchors in `region` end up in no node.
+    pub fn rebuild_subtree(
+        &mut self,
+        g: &CsrGraph,
+        t: &[u32],
+        anchors: &EdgeSet,
+        root_idx: u32,
+        region: Vec<EdgeId>,
+    ) -> Vec<u32> {
+        let parent = self.nodes[root_idx as usize].parent;
+        // tombstone the old subtree
+        for i in self.subtree_nodes(root_idx) {
+            let node = &mut self.nodes[i as usize];
+            node.dead = true;
+            for e in std::mem::take(&mut node.edges) {
+                self.node_of[e.idx()] = u32::MAX;
+            }
+        }
+        // detach from parent / roots
+        match parent {
+            Some(p) => self.nodes[p as usize].children.retain(|&c| c != root_idx),
+            None => self.roots.retain(|&c| c != root_idx),
+        }
+        let tops = self.build_region(g, t, anchors, region, parent);
+        match parent {
+            Some(p) => self.nodes[p as usize].children.extend_from_slice(&tops),
+            None => self.roots.extend_from_slice(&tops),
+        }
+        tops
+    }
+
+    /// Core of Algorithm 4: recursively peel minimum-trussness edges off
+    /// triangle-connected components. Anchors travel with their component
+    /// at every level (wildcards) but never enter a node. Returns the
+    /// top-level node indices created for `region`.
+    fn build_region(
+        &mut self,
+        g: &CsrGraph,
+        t: &[u32],
+        anchors: &EdgeSet,
+        region: Vec<EdgeId>,
+        parent: Option<u32>,
+    ) -> Vec<u32> {
+        let mut tops = Vec::new();
+        // (edges, parent, attach_to_tops)
+        let mut stack: Vec<(Vec<EdgeId>, Option<u32>, bool)> = vec![(region, parent, true)];
+        while let Some((edges, parent, is_top)) = stack.pop() {
+            if edges.is_empty() {
+                continue;
+            }
+            for &e in &edges {
+                self.scratch.insert(e);
+            }
+            let comps = triangle_connected_components_of(g, &edges, &self.scratch);
+            for &e in &edges {
+                self.scratch.remove(e);
+            }
+            for comp in comps {
+                let k_min = comp
+                    .iter()
+                    .filter(|&&e| !anchors.contains(e))
+                    .map(|&e| t[e.idx()])
+                    .min();
+                let Some(k_min) = k_min else {
+                    continue; // pure-anchor piece: no node, nothing below it
+                };
+                let mut node_edges = Vec::new();
+                let mut rest = Vec::new();
+                for e in comp {
+                    if !anchors.contains(e) && t[e.idx()] == k_min {
+                        node_edges.push(e);
+                    } else {
+                        rest.push(e); // higher-trussness edges and anchors
+                    }
+                }
+                let idx = self.nodes.len() as u32;
+                let id = node_edges[0].0; // ascending order ⇒ min edge id
+                for &e in &node_edges {
+                    self.node_of[e.idx()] = idx;
+                }
+                self.nodes.push(TreeNode {
+                    k: k_min,
+                    id,
+                    edges: node_edges,
+                    parent,
+                    children: Vec::new(),
+                    dead: false,
+                });
+                if let Some(p) = parent {
+                    self.nodes[p as usize].children.push(idx);
+                }
+                if is_top {
+                    tops.push(idx);
+                }
+                if !rest.is_empty() {
+                    stack.push((rest, Some(idx), false));
+                }
+            }
+        }
+        tops
+    }
+
+    /// Test/debug helper: asserts the structural invariants of the tree
+    /// over the current `(t, anchors)` state.
+    pub fn assert_valid(&self, g: &CsrGraph, t: &[u32], anchors: &EdgeSet) {
+        // every non-anchor edge in exactly one live node, with matching K
+        for e in g.edges() {
+            if anchors.contains(e) {
+                assert_eq!(
+                    self.node_of[e.idx()],
+                    u32::MAX,
+                    "anchor {e:?} must not be in the tree"
+                );
+            } else {
+                let idx = self.node_of[e.idx()];
+                assert_ne!(idx, u32::MAX, "edge {e:?} missing from the tree");
+                let node = &self.nodes[idx as usize];
+                assert!(!node.dead, "edge {e:?} points to a dead node");
+                assert_eq!(node.k, t[e.idx()], "node K mismatch for {e:?}");
+                assert!(node.edges.contains(&e));
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            assert_eq!(
+                node.id,
+                node.edges.iter().map(|e| e.0).min().expect("non-empty node"),
+                "TN.I must be the smallest edge id"
+            );
+            if let Some(p) = node.parent {
+                let parent = &self.nodes[p as usize];
+                assert!(!parent.dead, "live node {i} has dead parent");
+                assert!(
+                    parent.k < node.k,
+                    "parent K {} must be below child K {}",
+                    parent.k,
+                    node.k
+                );
+                assert!(parent.children.contains(&(i as u32)));
+            }
+        }
+    }
+}
+
+/// `sla(e)`: the subtree-adjacency node ids of `e` — the `TN.I` of every
+/// node holding a neighbour-edge `e'` (sharing a triangle with `e`) with
+/// `t(e') ≥ t(e)`. Sorted and deduplicated. Lemma 4: the followers of
+/// anchoring `e` all live in these nodes.
+pub fn sla(g: &CsrGraph, t: &[u32], anchors: &EdgeSet, tree: &TrussTree, e: EdgeId) -> Vec<u32> {
+    let te = t[e.idx()];
+    let mut out = Vec::new();
+    for_each_triangle(g, e, |w| {
+        for p in [w.e_uw, w.e_vw] {
+            if anchors.contains(p) {
+                continue;
+            }
+            if t[p.idx()] >= te {
+                if let Some(id) = tree.id_of_edge(p) {
+                    out.push(id);
+                }
+            }
+        }
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AtrState;
+    use antruss_graph::gen::{gnm, planted_cliques};
+    use antruss_graph::{GraphBuilder, VertexId};
+
+    fn fig3() -> CsrGraph {
+        let mut b = GraphBuilder::dense();
+        for &(u, v) in &[
+            (1, 2),
+            (1, 5),
+            (1, 7),
+            (1, 9),
+            (2, 5),
+            (2, 7),
+            (2, 9),
+            (5, 7),
+            (7, 9),
+            (6, 8),
+            (6, 11),
+            (6, 12),
+            (8, 10),
+            (8, 11),
+            (8, 12),
+            (10, 11),
+            (10, 12),
+            (11, 12),
+            (3, 4),
+            (3, 5),
+            (3, 6),
+            (3, 13),
+            (4, 5),
+            (4, 6),
+            (4, 13),
+            (5, 6),
+            (5, 13),
+            (6, 13),
+            (9, 10),
+            (8, 9),
+            (7, 8),
+            (5, 8),
+        ] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    fn eid(g: &CsrGraph, u: u32, v: u32) -> EdgeId {
+        g.edge_between(VertexId(u), VertexId(v)).unwrap()
+    }
+
+    #[test]
+    fn fig3_tree_shape_matches_fig4() {
+        // Fig. 4: one K=3 root node (the whole graph is triangle-connected)
+        // with three children: two K=4 nodes and one K=5 node.
+        let g = fig3();
+        let st = AtrState::new(&g);
+        let tree = TrussTree::build(&g, &st.t, &st.anchors);
+        tree.assert_valid(&g, &st.t, &st.anchors);
+        assert_eq!(tree.roots().len(), 1);
+        let root = &tree.nodes[tree.roots()[0] as usize];
+        assert_eq!(root.k, 3);
+        assert_eq!(root.edges.len(), 4); // the 3-hull tail
+        assert_eq!(root.children.len(), 3);
+        let mut child_ks: Vec<(u32, usize)> = root
+            .children
+            .iter()
+            .map(|&c| {
+                let n = &tree.nodes[c as usize];
+                (n.k, n.edges.len())
+            })
+            .collect();
+        child_ks.sort();
+        assert_eq!(child_ks, vec![(4, 9), (4, 9), (5, 10)]);
+    }
+
+    #[test]
+    fn fig3_sla_matches_example5() {
+        // Example 5 (translated to our edge ids): sla((v9,v10)) holds the
+        // ids of the 3-hull node and the K=4 node {v6,v8,v10,v11,v12};
+        // sla((v5,v8)) holds all four node ids.
+        let g = fig3();
+        let st = AtrState::new(&g);
+        let tree = TrussTree::build(&g, &st.t, &st.anchors);
+        let id_of = |u: u32, v: u32| tree.id_of_edge(eid(&g, u, v)).unwrap();
+        let s_910 = sla(&g, &st.t, &st.anchors, &tree, eid(&g, 9, 10));
+        assert_eq!(
+            s_910,
+            {
+                let mut v = vec![id_of(9, 10), id_of(8, 10)];
+                v.sort();
+                v
+            },
+            "sla((9,10)) = its own node + the K4 node of (8,10)"
+        );
+        let s_58 = sla(&g, &st.t, &st.anchors, &tree, eid(&g, 5, 8));
+        let mut want = vec![id_of(5, 8), id_of(1, 2), id_of(8, 10), id_of(3, 4)];
+        want.sort();
+        assert_eq!(s_58, want, "sla((5,8)) spans all four nodes");
+    }
+
+    #[test]
+    fn disjoint_cliques_give_disjoint_roots() {
+        let g = planted_cliques(&[5, 4]);
+        let st = AtrState::new(&g);
+        let tree = TrussTree::build(&g, &st.t, &st.anchors);
+        tree.assert_valid(&g, &st.t, &st.anchors);
+        assert_eq!(tree.roots().len(), 2);
+    }
+
+    #[test]
+    fn every_edge_in_exactly_one_node_random() {
+        for seed in 0..4 {
+            let g = gnm(40, 160, seed);
+            let st = AtrState::new(&g);
+            let tree = TrussTree::build(&g, &st.t, &st.anchors);
+            tree.assert_valid(&g, &st.t, &st.anchors);
+            let total: usize = tree
+                .live_nodes()
+                .map(|i| tree.nodes[i as usize].edges.len())
+                .sum();
+            assert_eq!(total, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn subtree_edges_cover_component() {
+        let g = fig3();
+        let st = AtrState::new(&g);
+        let tree = TrussTree::build(&g, &st.t, &st.anchors);
+        let root = tree.roots()[0];
+        let mut edges = tree.subtree_edges(root);
+        edges.sort();
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn rebuild_subtree_preserves_ids_of_unchanged_nodes() {
+        let g = fig3();
+        let st = AtrState::new(&g);
+        let mut tree = TrussTree::build(&g, &st.t, &st.anchors);
+        let root = tree.roots()[0];
+        let before: Vec<u32> = {
+            let mut ids: Vec<u32> = tree
+                .live_nodes()
+                .map(|i| tree.nodes[i as usize].id)
+                .collect();
+            ids.sort();
+            ids
+        };
+        // rebuild with identical t: same structure, same ids
+        let region = tree.subtree_edges(root);
+        tree.rebuild_subtree(&g, &st.t, &st.anchors, root, region);
+        tree.assert_valid(&g, &st.t, &st.anchors);
+        let after: Vec<u32> = {
+            let mut ids: Vec<u32> = tree
+                .live_nodes()
+                .map(|i| tree.nodes[i as usize].id)
+                .collect();
+            ids.sort();
+            ids
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn empty_graph_tree() {
+        let g = GraphBuilder::new().build();
+        let st = AtrState::new(&g);
+        let tree = TrussTree::build(&g, &st.t, &st.anchors);
+        assert!(tree.roots().is_empty());
+        assert_eq!(tree.live_nodes().count(), 0);
+    }
+}

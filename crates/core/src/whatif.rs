@@ -1,0 +1,216 @@
+//! Interactive what-if analysis: per-edge gain queries, top-k candidate
+//! ranking, and incremental commits.
+//!
+//! [`Gas`](crate::Gas) answers one question — "run the greedy for `b`
+//! rounds" — as a batch. Downstream users (the paper's social-network and
+//! transportation scenarios) more often ask *interactive* questions:
+//! which relationships are worth reinforcing, what would reinforcing
+//! *this particular* edge buy, how do the top candidates compare. This
+//! module packages the same machinery (state + upward-route search) as a
+//! query service:
+//!
+//! * [`WhatIf::gain_of`] — exact trussness gain of anchoring one edge
+//!   under the current anchor set (one follower search, `O(route·d_max)`);
+//! * [`WhatIf::top`] — the `k` best candidates right now (one scan,
+//!   optionally threaded);
+//! * [`WhatIf::commit`] — actually anchor an edge and refresh the state.
+//!
+//! Commits refresh by full anchored re-decomposition: in a what-if
+//! workflow queries dominate commits, and the simple refresh keeps every
+//! subsequent answer trivially exact. Batch users should prefer
+//! [`Gas`](crate::Gas), which amortizes refreshes with the component tree.
+
+use antruss_graph::{CsrGraph, EdgeId};
+
+use crate::followers::FollowerSearch;
+use crate::parallel::scan_map;
+use crate::problem::AtrState;
+
+/// An interactive ATR query session over one graph.
+///
+/// ```
+/// use antruss_core::WhatIf;
+/// use antruss_graph::gen::gnm;
+///
+/// let g = gnm(30, 110, 7);
+/// let mut session = WhatIf::new(&g);
+/// let ranked = session.top(3);
+/// if let Some(&(best, predicted)) = ranked.first() {
+///     let realized = session.commit(best).unwrap();
+///     assert_eq!(predicted, realized); // round-1 predictions are exact
+///     assert_eq!(session.total_gain(), realized);
+/// }
+/// ```
+pub struct WhatIf<'g> {
+    st: AtrState<'g>,
+    search: FollowerSearch,
+    /// Worker threads for [`WhatIf::top`] scans (`0`/`1` = serial).
+    pub threads: usize,
+}
+
+impl<'g> WhatIf<'g> {
+    /// Decomposes the graph and opens a session with no anchors.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        WhatIf {
+            st: AtrState::new(g),
+            search: FollowerSearch::new(g.num_edges()),
+            threads: 1,
+        }
+    }
+
+    /// Read access to the current state (trussness, layers, anchors).
+    pub fn state(&self) -> &AtrState<'g> {
+        &self.st
+    }
+
+    /// Exact trussness gain of anchoring `e` on top of the current anchor
+    /// set (Lemma 1: the follower count). Returns `None` if `e` is
+    /// already anchored.
+    pub fn gain_of(&mut self, e: EdgeId) -> Option<u64> {
+        if self.st.is_anchor(e) {
+            return None;
+        }
+        Some(self.search.followers(&self.st, e).followers.len() as u64)
+    }
+
+    /// The follower edges anchoring `e` would elevate (each by exactly
+    /// +1), sorted by edge id. `None` if `e` is already anchored.
+    pub fn followers_of(&mut self, e: EdgeId) -> Option<Vec<EdgeId>> {
+        if self.st.is_anchor(e) {
+            return None;
+        }
+        let mut f = self.search.followers(&self.st, e).followers;
+        f.sort();
+        Some(f)
+    }
+
+    /// The `k` best candidate anchors under the current state, sorted by
+    /// descending gain (ties toward the smaller edge id). Scans every
+    /// non-anchored edge; set [`WhatIf::threads`] to fan the scan out.
+    pub fn top(&mut self, k: usize) -> Vec<(EdgeId, u64)> {
+        let g = self.st.graph();
+        let candidates: Vec<EdgeId> =
+            g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+        let st = &self.st;
+        let counts = scan_map(st, &candidates, self.threads, |fs, e| {
+            fs.followers(st, e).followers.len() as u64
+        });
+        let mut ranked: Vec<(EdgeId, u64)> =
+            candidates.into_iter().zip(counts).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Anchors `e` and refreshes the state. Returns the realized gain
+    /// (the follower count at commit time), or `None` if `e` was already
+    /// anchored.
+    pub fn commit(&mut self, e: EdgeId) -> Option<u64> {
+        let gain = self.gain_of(e)?;
+        self.st.anchor_full_refresh(e);
+        Some(gain)
+    }
+
+    /// Total trussness gain of everything committed so far (Definition 4).
+    pub fn total_gain(&self) -> u64 {
+        self.st.total_gain()
+    }
+
+    /// Number of committed anchors.
+    pub fn committed(&self) -> usize {
+        self.st.anchors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gas, GasConfig};
+    use antruss_graph::gen::{gnm, social_network, SocialParams};
+
+    #[test]
+    fn committing_the_top_candidate_matches_gas() {
+        let g = gnm(30, 110, 21);
+        let gas = Gas::new(&g, GasConfig::default()).run(3);
+        let mut w = WhatIf::new(&g);
+        for _ in 0..3 {
+            let top = w.top(1);
+            let Some(&(e, _)) = top.first() else { break };
+            w.commit(e);
+        }
+        assert_eq!(
+            w.state().anchors.iter().collect::<Vec<_>>(),
+            {
+                let mut a = gas.anchors.clone();
+                a.sort();
+                a
+            },
+            "what-if greedy must retrace GAS"
+        );
+        assert_eq!(w.total_gain(), gas.total_gain);
+    }
+
+    #[test]
+    fn gain_of_matches_committed_gain_in_round_one() {
+        let g = gnm(25, 80, 5);
+        let mut w = WhatIf::new(&g);
+        let predictions: Vec<(EdgeId, u64)> = g
+            .edges()
+            .map(|e| (e, w.gain_of(e).unwrap()))
+            .collect();
+        for (e, predicted) in predictions.into_iter().take(10) {
+            let mut session = WhatIf::new(&g);
+            let realized = session.commit(e).unwrap();
+            assert_eq!(predicted, realized, "edge {e:?}");
+            assert_eq!(session.total_gain(), realized, "first commit is pure");
+        }
+    }
+
+    #[test]
+    fn top_respects_k_and_ordering() {
+        let g = social_network(&SocialParams {
+            n: 120,
+            target_edges: 480,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![6],
+            onions: vec![],
+            seed: 13,
+        });
+        let mut w = WhatIf::new(&g);
+        let top5 = w.top(5);
+        assert!(top5.len() <= 5);
+        for pair in top5.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "descending gain, ascending id on ties"
+            );
+        }
+        // threading must not change the ranking
+        w.threads = 4;
+        assert_eq!(top5, w.top(5));
+    }
+
+    #[test]
+    fn anchored_edge_is_not_queryable() {
+        let g = gnm(15, 40, 1);
+        let mut w = WhatIf::new(&g);
+        let e = EdgeId(0);
+        assert!(w.gain_of(e).is_some());
+        w.commit(e);
+        assert_eq!(w.gain_of(e), None);
+        assert_eq!(w.followers_of(e), None);
+        assert_eq!(w.commit(e), None);
+        assert_eq!(w.committed(), 1);
+    }
+
+    #[test]
+    fn followers_of_matches_gain() {
+        let g = gnm(20, 70, 9);
+        let mut w = WhatIf::new(&g);
+        for e in g.edges().take(15) {
+            let f = w.followers_of(e).unwrap();
+            assert_eq!(f.len() as u64, w.gain_of(e).unwrap());
+        }
+    }
+}

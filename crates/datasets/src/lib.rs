@@ -1,0 +1,132 @@
+//! # antruss-datasets
+//!
+//! Deterministic synthetic analogues of the eight SNAP datasets the paper
+//! evaluates on (Table III). The real datasets cannot ship with this
+//! repository, so each is replaced by a generated graph that reproduces the
+//! structural features the ATR problem is sensitive to — heavy-tailed
+//! degrees, strong triadic closure (deep, uneven truss hierarchies) and
+//! planted dense cores pinning `k_max` — at laptop scale. The substitution
+//! table (paper size → analogue size) lives in `profiles::PROFILES` and in
+//! `DESIGN.md`.
+//!
+//! Real SNAP edge lists, when available on disk, can be dropped in via
+//! [`load_or_generate`]: place e.g. `facebook.txt` in a directory and every
+//! experiment binary will pick it up with `--data-dir`.
+
+#![warn(missing_docs)]
+
+mod profiles;
+
+pub use profiles::{DatasetId, PaperStats, Profile, PROFILES};
+
+use antruss_graph::{gen::social_network, io, CsrGraph};
+use std::path::Path;
+
+/// Generates the analogue graph for `id` at relative `scale ∈ (0, 1]`
+/// (1.0 = the default analogue size; smaller values shrink vertices and
+/// edges proportionally, dropping planted cliques that no longer fit).
+pub fn generate(id: DatasetId, scale: f64) -> CsrGraph {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let profile = id.profile();
+    let mut params = profile.params.clone();
+    if scale < 1.0 {
+        params.n = ((params.n as f64 * scale).round() as u32).max(16);
+        params.target_edges = ((params.target_edges as f64 * scale).round() as usize).max(32);
+        // keep only cliques and onions that still fit comfortably
+        params
+            .planted
+            .retain(|&c| (c as u64 * (c as u64 - 1) / 2) <= params.target_edges as u64 / 4);
+        params
+            .onions
+            .retain(|o| o.vertices() <= params.n as u64 / 8);
+        let planted: u64 = params.planted.iter().map(|&c| c as u64).sum::<u64>()
+            + params.onions.iter().map(|o| o.vertices()).sum::<u64>();
+        if planted >= params.n as u64 {
+            params.planted.clear();
+            params.onions.clear();
+        }
+    }
+    social_network(&params)
+}
+
+/// Loads `<dir>/<name>.txt` as a SNAP edge list when it exists, otherwise
+/// generates the analogue at full scale.
+pub fn load_or_generate(id: DatasetId, dir: Option<&Path>) -> CsrGraph {
+    if let Some(dir) = dir {
+        let path = dir.join(format!("{}.txt", id.slug()));
+        if path.exists() {
+            match io::read_edge_list_path(&path) {
+                Ok(g) => return g,
+                Err(e) => eprintln!(
+                    "warning: failed to load {}: {e}; falling back to the analogue",
+                    path.display()
+                ),
+            }
+        }
+    }
+    generate(id, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::stats::graph_stats;
+
+    #[test]
+    fn all_profiles_generate_deterministically() {
+        for id in DatasetId::all() {
+            let scale = (2_000.0 / id.profile().params.n as f64).clamp(0.05, 1.0);
+            let a = generate(id, scale);
+            let b = generate(id, scale);
+            assert_eq!(a.num_edges(), b.num_edges(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn college_analogue_matches_paper_scale() {
+        // College is small enough to generate at full paper scale.
+        let g = generate(DatasetId::College, 1.0);
+        let p = DatasetId::College.profile();
+        assert_eq!(g.num_vertices() as u64, p.paper.vertices);
+        let m = g.num_edges() as f64;
+        let target = p.paper.edges as f64;
+        assert!(
+            (m - target).abs() / target < 0.1,
+            "edges {m} vs paper {target}"
+        );
+    }
+
+    #[test]
+    fn analogues_have_social_clustering() {
+        let g = generate(DatasetId::Brightkite, 0.2);
+        let s = graph_stats(&g);
+        assert!(
+            s.clustering > 0.05,
+            "social analogue should close triangles: {}",
+            s.clustering
+        );
+        assert!(s.triangles > 0);
+    }
+
+    #[test]
+    fn scaling_shrinks_the_graph() {
+        let big = generate(DatasetId::Gowalla, 0.2);
+        let small = generate(DatasetId::Gowalla, 0.1);
+        assert!(small.num_edges() < big.num_edges());
+        assert!(small.num_vertices() < big.num_vertices());
+    }
+
+    #[test]
+    fn load_falls_back_to_analogue() {
+        let g = load_or_generate(DatasetId::College, Some(Path::new("/nonexistent")));
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = DatasetId::all().iter().map(|d| d.slug()).collect();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 8);
+    }
+}

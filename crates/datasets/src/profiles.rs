@@ -1,0 +1,317 @@
+//! The eight dataset profiles: paper statistics and analogue parameters.
+//!
+//! Analogue sizes are scaled down from the paper (documented per profile)
+//! so that the full experiment suite runs on a commodity machine. Planted
+//! clique sizes match the paper's `k_max` where feasible: a `c`-clique's
+//! edges have trussness exactly `c`, pinning the analogue's `k_max` head.
+
+use antruss_graph::gen::{OnionSpec, SocialParams};
+
+/// The eight datasets of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// CollegeMsg (1.9k vertices / 13.8k edges) — full scale.
+    College,
+    /// ego-Facebook (4.0k / 88.2k) — full scale.
+    Facebook,
+    /// Brightkite (58k / 214k) — analogue at ≈ ¼ scale.
+    Brightkite,
+    /// Gowalla (197k / 950k) — analogue at ≈ ⅛ scale.
+    Gowalla,
+    /// com-Youtube (1.13M / 2.99M) — analogue at ≈ 1/20 scale.
+    Youtube,
+    /// web-Google (876k / 4.32M) — analogue at ≈ 1/24 scale.
+    Google,
+    /// cit-Patents (3.77M / 16.5M) — analogue at ≈ 1/70 scale.
+    Patents,
+    /// soc-Pokec (1.63M / 22.3M) — analogue at ≈ 1/80 scale.
+    Pokec,
+}
+
+/// Statistics the paper reports for the real dataset (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperStats {
+    /// `|V|` in the paper.
+    pub vertices: u64,
+    /// `|E|` in the paper.
+    pub edges: u64,
+    /// `k_max` in the paper.
+    pub k_max: u32,
+    /// `sup_max` in the paper.
+    pub sup_max: u32,
+}
+
+/// A dataset profile: paper statistics plus analogue generator parameters.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Which dataset this is.
+    pub id: DatasetId,
+    /// Human-readable name (matches the paper's Table III).
+    pub name: &'static str,
+    /// Paper-reported statistics of the real dataset.
+    pub paper: PaperStats,
+    /// Generator parameters of the synthetic analogue.
+    pub params: SocialParams,
+}
+
+impl DatasetId {
+    /// All eight datasets in the paper's (ascending-edge-count) order.
+    pub fn all() -> [DatasetId; 8] {
+        [
+            DatasetId::College,
+            DatasetId::Facebook,
+            DatasetId::Brightkite,
+            DatasetId::Gowalla,
+            DatasetId::Youtube,
+            DatasetId::Google,
+            DatasetId::Patents,
+            DatasetId::Pokec,
+        ]
+    }
+
+    /// Lower-case identifier used for file names and CLI flags.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DatasetId::College => "college",
+            DatasetId::Facebook => "facebook",
+            DatasetId::Brightkite => "brightkite",
+            DatasetId::Gowalla => "gowalla",
+            DatasetId::Youtube => "youtube",
+            DatasetId::Google => "google",
+            DatasetId::Patents => "patents",
+            DatasetId::Pokec => "pokec",
+        }
+    }
+
+    /// Parses a slug (case-insensitive).
+    pub fn from_slug(s: &str) -> Option<DatasetId> {
+        let s = s.to_ascii_lowercase();
+        DatasetId::all().into_iter().find(|d| d.slug() == s)
+    }
+
+    /// The profile for this dataset.
+    pub fn profile(self) -> Profile {
+        let (name, paper, params) = match self {
+            DatasetId::College => (
+                "College",
+                PaperStats {
+                    vertices: 1_899,
+                    edges: 13_838,
+                    k_max: 7,
+                    sup_max: 74,
+                },
+                SocialParams {
+                    n: 1_899,
+                    target_edges: 13_838,
+                    attach: 6,
+                    closure: 0.35,
+                    planted: vec![7],
+                    onions: vec![OnionSpec { core: 6, shells: 2, shell_size: 20 }],
+                    seed: 0xC0_11E9E,
+                },
+            ),
+            DatasetId::Facebook => (
+                "Facebook",
+                PaperStats {
+                    vertices: 4_039,
+                    edges: 88_234,
+                    k_max: 97,
+                    sup_max: 293,
+                },
+                SocialParams {
+                    n: 4_039,
+                    target_edges: 88_234,
+                    attach: 16,
+                    closure: 0.72,
+                    planted: vec![97],
+                    onions: vec![OnionSpec { core: 55, shells: 3, shell_size: 60 }, OnionSpec { core: 34, shells: 3, shell_size: 50 }, OnionSpec { core: 21, shells: 3, shell_size: 40 }],
+                    seed: 0xFACE_B00C,
+                },
+            ),
+            DatasetId::Brightkite => (
+                "Brightkite",
+                PaperStats {
+                    vertices: 58_228,
+                    edges: 214_078,
+                    k_max: 43,
+                    sup_max: 272,
+                },
+                SocialParams {
+                    n: 15_000,
+                    target_edges: 55_000,
+                    attach: 3,
+                    closure: 0.55,
+                    planted: vec![43],
+                    onions: vec![OnionSpec { core: 24, shells: 3, shell_size: 40 }, OnionSpec { core: 15, shells: 3, shell_size: 40 }, OnionSpec { core: 10, shells: 3, shell_size: 40 }],
+                    seed: 0xB216_4817,
+                },
+            ),
+            DatasetId::Gowalla => (
+                "Gowalla",
+                PaperStats {
+                    vertices: 196_591,
+                    edges: 950_327,
+                    k_max: 29,
+                    sup_max: 1_297,
+                },
+                SocialParams {
+                    n: 26_000,
+                    target_edges: 120_000,
+                    attach: 4,
+                    closure: 0.55,
+                    planted: vec![29],
+                    onions: vec![OnionSpec { core: 21, shells: 4, shell_size: 50 }, OnionSpec { core: 15, shells: 4, shell_size: 50 }, OnionSpec { core: 12, shells: 3, shell_size: 60 }, OnionSpec { core: 9, shells: 3, shell_size: 60 }],
+                    seed: 0x60_4A11A,
+                },
+            ),
+            DatasetId::Youtube => (
+                "Youtube",
+                PaperStats {
+                    vertices: 1_134_890,
+                    edges: 2_987_624,
+                    k_max: 19,
+                    sup_max: 4_034,
+                },
+                SocialParams {
+                    n: 55_000,
+                    target_edges: 150_000,
+                    attach: 2,
+                    closure: 0.4,
+                    planted: vec![19],
+                    onions: vec![OnionSpec { core: 14, shells: 4, shell_size: 60 }, OnionSpec { core: 10, shells: 4, shell_size: 70 }, OnionSpec { core: 8, shells: 3, shell_size: 80 }],
+                    seed: 0x0700_70BE,
+                },
+            ),
+            DatasetId::Google => (
+                "Google",
+                PaperStats {
+                    vertices: 875_713,
+                    edges: 4_322_051,
+                    k_max: 44,
+                    sup_max: 3_086,
+                },
+                SocialParams {
+                    n: 40_000,
+                    target_edges: 180_000,
+                    attach: 4,
+                    closure: 0.62,
+                    planted: vec![44],
+                    onions: vec![OnionSpec { core: 28, shells: 4, shell_size: 50 }, OnionSpec { core: 18, shells: 4, shell_size: 60 }, OnionSpec { core: 12, shells: 3, shell_size: 70 }],
+                    seed: 0x600_61E,
+                },
+            ),
+            DatasetId::Patents => (
+                "Patents",
+                PaperStats {
+                    vertices: 3_774_768,
+                    edges: 16_518_947,
+                    k_max: 36,
+                    sup_max: 591,
+                },
+                SocialParams {
+                    n: 60_000,
+                    target_edges: 230_000,
+                    attach: 3,
+                    closure: 0.5,
+                    planted: vec![36],
+                    onions: vec![OnionSpec { core: 22, shells: 4, shell_size: 60 }, OnionSpec { core: 15, shells: 4, shell_size: 70 }, OnionSpec { core: 10, shells: 3, shell_size: 80 }],
+                    seed: 0x9A7_E275,
+                },
+            ),
+            DatasetId::Pokec => (
+                "Pokec",
+                PaperStats {
+                    vertices: 1_632_803,
+                    edges: 22_301_964,
+                    k_max: 29,
+                    sup_max: 5_566,
+                },
+                SocialParams {
+                    n: 65_000,
+                    target_edges: 280_000,
+                    attach: 4,
+                    closure: 0.5,
+                    planted: vec![29],
+                    onions: vec![OnionSpec { core: 20, shells: 4, shell_size: 70 }, OnionSpec { core: 14, shells: 4, shell_size: 80 }, OnionSpec { core: 10, shells: 3, shell_size: 90 }],
+                    seed: 0x90_CEC,
+                },
+            ),
+        };
+        Profile {
+            id: self,
+            name,
+            paper,
+            params,
+        }
+    }
+}
+
+/// All eight profiles, in Table III order.
+pub static PROFILES: once_list::ProfileList = once_list::ProfileList;
+
+/// Tiny lazy accessor module (avoids a once-cell dependency).
+pub mod once_list {
+    use super::{DatasetId, Profile};
+
+    /// Zero-sized handle whose [`ProfileList::get`] materializes profiles.
+    pub struct ProfileList;
+
+    impl ProfileList {
+        /// Materializes all eight profiles.
+        pub fn get(&self) -> Vec<Profile> {
+            DatasetId::all().iter().map(|d| d.profile()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_profiles_in_paper_order() {
+        let all = PROFILES.get();
+        assert_eq!(all.len(), 8);
+        // ascending paper edge counts, as in Table III
+        for w in all.windows(2) {
+            assert!(w[0].paper.edges < w[1].paper.edges);
+        }
+    }
+
+    #[test]
+    fn slug_roundtrip() {
+        for id in DatasetId::all() {
+            assert_eq!(DatasetId::from_slug(id.slug()), Some(id));
+            assert_eq!(DatasetId::from_slug(&id.slug().to_uppercase()), Some(id));
+        }
+        assert_eq!(DatasetId::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn planted_cliques_fit_analogue() {
+        for p in PROFILES.get() {
+            let planted: u64 = p.params.planted.iter().map(|&c| c as u64).sum::<u64>()
+                + p.params.onions.iter().map(|o| o.vertices()).sum::<u64>();
+            assert!(planted < p.params.n as u64 / 2, "{}", p.name);
+            let clique_edges: u64 = p
+                .params
+                .planted
+                .iter()
+                .map(|&c| c as u64 * (c as u64 - 1) / 2)
+                .sum();
+            assert!(
+                clique_edges < p.params.target_edges as u64 / 3,
+                "{}: planted cliques dominate the edge budget",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn largest_planted_matches_paper_kmax() {
+        for p in PROFILES.get() {
+            let largest = p.params.planted.iter().copied().max().unwrap_or(0);
+            assert_eq!(largest, p.paper.k_max, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Fixed-capacity bitsets over dense identifiers.
+//!
+//! Truss decomposition, upward-route search and component-tree rebuilds all
+//! operate on *subsets of edges of one fixed graph*; core decomposition and
+//! the vertex-anchoring comparators do the same over vertices. Representing
+//! those subsets as bitsets keeps ids stable (no subgraph re-labelling) and
+//! makes membership tests branch-free single loads.
+
+use crate::{EdgeId, VertexId};
+
+/// A dense `u32`-backed identifier that can index a bitset.
+///
+/// Sealed to the workspace's id newtypes; the blanket bitset implementation
+/// below is shared by [`EdgeSet`] and [`VertexSet`].
+pub trait DenseId: Copy {
+    /// The identifier as a `usize` index.
+    fn index(self) -> usize;
+    /// Builds the identifier back from an index.
+    fn from_index(i: usize) -> Self;
+}
+
+impl DenseId for EdgeId {
+    #[inline(always)]
+    fn index(self) -> usize {
+        self.idx()
+    }
+    #[inline(always)]
+    fn from_index(i: usize) -> Self {
+        EdgeId(i as u32)
+    }
+}
+
+impl DenseId for VertexId {
+    #[inline(always)]
+    fn index(self) -> usize {
+        self.idx()
+    }
+    #[inline(always)]
+    fn from_index(i: usize) -> Self {
+        VertexId(i as u32)
+    }
+}
+
+/// A fixed-capacity set of [`EdgeId`]s backed by `u64` words.
+pub type EdgeSet = IdSet<EdgeId>;
+
+/// A fixed-capacity set of [`VertexId`]s backed by `u64` words.
+pub type VertexSet = IdSet<VertexId>;
+
+/// A fixed-capacity set of dense ids backed by `u64` words.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IdSet<T> {
+    words: Vec<u64>,
+    capacity: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: DenseId> IdSet<T> {
+    /// An empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        IdSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A set containing every id in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of ids.
+    pub fn from_iter<I: IntoIterator<Item = T>>(capacity: usize, iter: I) -> Self {
+        let mut s = Self::new(capacity);
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Number of ids this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `e`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, e: T) -> bool {
+        let (w, b) = (e.index() / 64, e.index() % 64);
+        let had = (self.words[w] >> b) & 1;
+        self.words[w] |= 1 << b;
+        had == 0
+    }
+
+    /// Removes `e`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, e: T) -> bool {
+        let (w, b) = (e.index() / 64, e.index() % 64);
+        let had = (self.words[w] >> b) & 1;
+        self.words[w] &= !(1 << b);
+        had == 1
+    }
+
+    /// Membership test.
+    #[inline(always)]
+    pub fn contains(&self, e: T) -> bool {
+        let (w, b) = (e.index() / 64, e.index() % 64);
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Number of ids currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every id.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(T::from_index(wi * 64 + b as usize))
+                }
+            })
+        })
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "IdSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other` (capacities must match).
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "IdSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference `self \ other` (capacities must match).
+    pub fn difference_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "IdSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+}
+
+impl<T: DenseId + std::fmt::Debug> std::fmt::Debug for IdSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = EdgeSet::new(130);
+        assert!(s.insert(EdgeId(0)));
+        assert!(s.insert(EdgeId(64)));
+        assert!(s.insert(EdgeId(129)));
+        assert!(!s.insert(EdgeId(64)));
+        assert!(s.contains(EdgeId(129)));
+        assert!(!s.contains(EdgeId(1)));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(EdgeId(64)));
+        assert!(!s.remove(EdgeId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = EdgeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(EdgeId(69)));
+        let ids: Vec<_> = s.iter().collect();
+        assert_eq!(ids.len(), 70);
+        assert_eq!(ids[0], EdgeId(0));
+        assert_eq!(ids[69], EdgeId(69));
+    }
+
+    #[test]
+    fn full_at_word_boundary() {
+        let s = EdgeSet::full(128);
+        assert_eq!(s.len(), 128);
+        assert!(s.contains(EdgeId(127)));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = EdgeSet::from_iter(200, [EdgeId(5), EdgeId(199), EdgeId(0), EdgeId(64)]);
+        let ids: Vec<_> = s.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 5, 64, 199]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = EdgeSet::from_iter(10, [EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let b = EdgeSet::from_iter(10, [EdgeId(3), EdgeId(4)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![EdgeId(3)]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = EdgeSet::from_iter(10, [EdgeId(7)]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn vertex_set_roundtrip() {
+        let mut s = VertexSet::new(100);
+        assert!(s.insert(VertexId(3)));
+        assert!(s.insert(VertexId(99)));
+        assert!(s.contains(VertexId(3)));
+        assert!(!s.contains(VertexId(4)));
+        let ids: Vec<_> = s.iter().map(|v| v.0).collect();
+        assert_eq!(ids, vec![3, 99]);
+        assert_eq!(format!("{s:?}"), "{v3, v99}");
+    }
+
+    #[test]
+    fn zero_capacity_sets() {
+        let s = EdgeSet::new(0);
+        assert!(s.is_empty());
+        let f = VertexSet::full(0);
+        assert!(f.is_empty());
+        assert_eq!(f.capacity(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Tolerant graph construction.
+
+use crate::hash::FxHashMap;
+use crate::{CsrGraph, GraphError, VertexId};
+
+/// Accumulates raw edges (arbitrary `u64` labels, duplicates, self loops)
+/// and produces a canonical [`CsrGraph`].
+///
+/// Vertex labels are mapped to dense ids in **first-seen order** unless
+/// [`GraphBuilder::dense`] is used, in which case labels are taken as ids
+/// directly (useful for generators that already emit `0..n`).
+pub struct GraphBuilder {
+    /// raw (label, label) pairs
+    raw: Vec<(u64, u64)>,
+    /// label → dense id (only in relabeling mode)
+    relabel: Option<FxHashMap<u64, u32>>,
+    next_id: u32,
+    /// highest label seen in dense mode
+    max_dense: Option<u64>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// A builder that relabels arbitrary `u64` vertex labels to dense ids in
+    /// first-seen order (the right mode for loading raw SNAP files).
+    pub fn new() -> Self {
+        GraphBuilder {
+            raw: Vec::new(),
+            relabel: Some(FxHashMap::default()),
+            next_id: 0,
+            max_dense: None,
+        }
+    }
+
+    /// A builder that treats labels as dense vertex ids directly
+    /// (`0..n`). Labels must fit in `u32`.
+    pub fn dense() -> Self {
+        GraphBuilder {
+            raw: Vec::new(),
+            relabel: None,
+            next_id: 0,
+            max_dense: None,
+        }
+    }
+
+    /// Queues an undirected edge between two vertex labels. Self loops and
+    /// duplicates are tolerated and dropped at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, a: u64, b: u64) {
+        self.touch(a);
+        self.touch(b);
+        self.raw.push((a, b));
+    }
+
+    /// Ensures a vertex exists even if it ends up isolated.
+    pub fn ensure_vertex(&mut self, a: u64) {
+        self.touch(a);
+    }
+
+    fn touch(&mut self, label: u64) {
+        match &mut self.relabel {
+            Some(map) => {
+                let next = &mut self.next_id;
+                map.entry(label).or_insert_with(|| {
+                    let id = *next;
+                    *next += 1;
+                    id
+                });
+            }
+            None => {
+                self.max_dense = Some(self.max_dense.map_or(label, |m| m.max(label)));
+            }
+        }
+    }
+
+    /// Number of edges queued so far (before dedup).
+    pub fn raw_edge_count(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Builds the canonical graph, panicking on overflow (use
+    /// [`GraphBuilder::try_build`] for fallible construction).
+    pub fn build(self) -> CsrGraph {
+        self.try_build().expect("graph construction failed")
+    }
+
+    /// Builds the canonical graph: relabels, canonicalises endpoint order,
+    /// removes self loops, deduplicates, assigns dense edge ids.
+    pub fn try_build(self) -> Result<CsrGraph, GraphError> {
+        let GraphBuilder {
+            raw,
+            relabel,
+            next_id,
+            max_dense,
+        } = self;
+        let n: u64 = match &relabel {
+            Some(_) => next_id as u64,
+            None => max_dense.map_or(0, |m| m + 1),
+        };
+        if n > u32::MAX as u64 {
+            return Err(GraphError::TooLarge(format!("{n} vertices")));
+        }
+        let map = |label: u64| -> u32 {
+            match &relabel {
+                Some(m) => m[&label],
+                None => label as u32,
+            }
+        };
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(raw.len());
+        for (a, b) in raw {
+            let (x, y) = (map(a), map(b));
+            if x == y {
+                continue; // self loop
+            }
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            edges.push((VertexId(lo), VertexId(hi)));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        if edges.len() > u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!("{} edges", edges.len())));
+        }
+        Ok(CsrGraph::from_canonical_edges(n as u32, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(10, 20);
+        b.add_edge(20, 10); // duplicate, reversed
+        b.add_edge(10, 10); // self loop
+        b.add_edge(20, 30);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn first_seen_relabeling() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1000, 5);
+        b.add_edge(5, 77);
+        let g = b.build();
+        // 1000 -> 0, 5 -> 1, 77 -> 2
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.edge_between(VertexId(0), VertexId(1)).is_some());
+        assert!(g.edge_between(VertexId(1), VertexId(2)).is_some());
+        assert!(g.edge_between(VertexId(0), VertexId(2)).is_none());
+    }
+
+    #[test]
+    fn dense_mode_keeps_ids() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 3);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.degree(VertexId(1)), 0);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn raw_edge_count_counts_before_dedup() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2);
+        b.add_edge(2, 1);
+        assert_eq!(b.raw_edge_count(), 2);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_ids_sorted_by_canonical_pair() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(2, 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        // canonical sort: (0,1) < (1,2) < (2,3)
+        assert_eq!(g.endpoints(crate::EdgeId(0)), (VertexId(0), VertexId(1)));
+        assert_eq!(g.endpoints(crate::EdgeId(2)), (VertexId(2), VertexId(3)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Vertex connectivity utilities: BFS, connected components, largest
+//! component extraction.
+
+use crate::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Connected-component labels: `labels[v]` ∈ `0..count`, assigned in order
+/// of the smallest vertex id in each component.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Per-vertex component label.
+    pub labels: Vec<u32>,
+    /// Number of components (isolated vertices count).
+    pub count: usize,
+}
+
+impl Components {
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Label of the largest component (ties: smaller label).
+    pub fn largest(&self) -> Option<u32> {
+        let sizes = self.sizes();
+        (0..self.count).max_by_key(|&i| (sizes[i], usize::MAX - i)).map(|i| i as u32)
+    }
+}
+
+/// Labels connected components by BFS.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push_back(VertexId(start));
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if labels[w.idx()] == u32::MAX {
+                    labels[w.idx()] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// BFS distances from `source` (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    dist[source.idx()] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.idx()];
+        for &w in g.neighbors(v) {
+            if dist[w.idx()] == u32::MAX {
+                dist[w.idx()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The subgraph induced by the largest connected component, re-labelled
+/// densely (empty graph stays empty).
+pub fn largest_component(g: &CsrGraph) -> CsrGraph {
+    let comps = connected_components(g);
+    let Some(target) = comps.largest() else {
+        return crate::GraphBuilder::new().build();
+    };
+    let mut b = crate::GraphBuilder::new();
+    for v in g.vertices() {
+        if comps.labels[v.idx()] == target {
+            b.ensure_vertex(v.0 as u64);
+        }
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if comps.labels[u.idx()] == target {
+            b.add_edge(u.0 as u64, v.0 as u64);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::planted_cliques;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn components_of_disjoint_cliques() {
+        let g = planted_cliques(&[4, 3, 2]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes(), vec![4, 3, 2]);
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.ensure_vertex(4);
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4); // {0,1}, {2}, {3}, {4}
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.ensure_vertex(4);
+        let g = b.build();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = planted_cliques(&[5, 3]);
+        let lc = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 5);
+        assert_eq!(lc.num_edges(), 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(connected_components(&g).count, 0);
+        assert_eq!(largest_component(&g).num_vertices(), 0);
+    }
+}

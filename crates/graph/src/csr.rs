@@ -1,0 +1,286 @@
+//! Compressed-sparse-row undirected graph with dense edge identifiers.
+
+use crate::{EdgeId, VertexId};
+
+/// An immutable, undirected simple graph in CSR form.
+///
+/// Invariants (established by [`crate::GraphBuilder`]):
+///
+/// * no self loops, no duplicate edges;
+/// * every undirected edge `{u, v}` is stored **twice** in the adjacency
+///   (once per endpoint) but owns exactly **one** [`EdgeId`];
+/// * each vertex's neighbour list is sorted ascending, so common-neighbour
+///   queries are linear merges and edge lookup is a binary search;
+/// * `endpoints(e) = (u, v)` always satisfies `u < v`.
+#[derive(Clone)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`adj_edge` for `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    neighbors: Vec<VertexId>,
+    /// `adj_edge[i]` is the edge id of `(v, neighbors[i])`.
+    adj_edge: Vec<EdgeId>,
+    /// Canonical endpoint pairs per edge id, `u < v`.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from canonical (deduplicated, loop-free, `u < v`)
+    /// edges. Callers normally go through [`crate::GraphBuilder`].
+    ///
+    /// `n` is the number of vertices; every endpoint must be `< n`.
+    pub(crate) fn from_canonical_edges(n: u32, edges: Vec<(VertexId, VertexId)>) -> Self {
+        let n = n as usize;
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            debug_assert!(u < v, "edges must be canonical (u < v)");
+            degree[u.idx()] += 1;
+            degree[v.idx()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![VertexId(0); acc];
+        let mut adj_edge = vec![EdgeId(0); acc];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            let cu = cursor[u.idx()];
+            neighbors[cu] = v;
+            adj_edge[cu] = e;
+            cursor[u.idx()] += 1;
+            let cv = cursor[v.idx()];
+            neighbors[cv] = u;
+            adj_edge[cv] = e;
+            cursor[v.idx()] += 1;
+        }
+        // Sort each adjacency run by neighbour id (edge ids travel along).
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut pairs: Vec<(VertexId, EdgeId)> = range
+                .clone()
+                .map(|i| (neighbors[i], adj_edge[i]))
+                .collect();
+            pairs.sort_unstable_by_key(|&(w, _)| w);
+            for (k, (w, e)) in pairs.into_iter().enumerate() {
+                neighbors[range.start + k] = w;
+                adj_edge[range.start + k] = e;
+            }
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            adj_edge,
+            endpoints: edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.idx() + 1] - self.offsets[v.idx()]
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v.idx()]..self.offsets[v.idx() + 1]]
+    }
+
+    /// Edge ids parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn neighbor_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.adj_edge[self.offsets[v.idx()]..self.offsets[v.idx() + 1]]
+    }
+
+    /// Iterates `(neighbor, edge id)` pairs of `v` in ascending neighbour
+    /// order.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_edges(v).iter().copied())
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e.idx()]
+    }
+
+    /// Looks up the edge between `u` and `v`, if any (binary search on the
+    /// smaller adjacency list).
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let nbrs = self.neighbors(a);
+        nbrs.binary_search(&b)
+            .ok()
+            .map(|i| self.adj_edge[self.offsets[a.idx()] + i])
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Iterates all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Sum of endpoint degrees of `e` — the paper's `d_u + d_v` bound used in
+    /// complexity statements.
+    pub fn edge_degree(&self, e: EdgeId) -> usize {
+        let (u, v) = self.endpoints(e);
+        self.degree(u) + self.degree(v)
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CsrGraph(n={}, m={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+    use crate::{EdgeId, VertexId};
+
+    fn triangle_plus_tail() -> crate::CsrGraph {
+        // 0-1, 0-2, 1-2 (triangle), 2-3 (tail)
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn sizes_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.degree(VertexId(3)), 1);
+    }
+
+    #[test]
+    fn adjacency_sorted_with_edge_ids() {
+        let g = triangle_plus_tail();
+        let nbrs: Vec<u32> = g.neighbors(VertexId(2)).iter().map(|v| v.0).collect();
+        assert_eq!(nbrs, vec![0, 1, 3]);
+        for (w, e) in g.incident(VertexId(2)) {
+            let (a, b) = g.endpoints(e);
+            assert!(a == VertexId(2) || b == VertexId(2));
+            assert!(a == w || b == w);
+        }
+    }
+
+    #[test]
+    fn endpoints_canonical() {
+        let g = triangle_plus_tail();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn edge_between_works_both_ways() {
+        let g = triangle_plus_tail();
+        let e = g.edge_between(VertexId(2), VertexId(0)).unwrap();
+        assert_eq!(g.endpoints(e), (VertexId(0), VertexId(2)));
+        assert_eq!(
+            g.edge_between(VertexId(0), VertexId(2)),
+            g.edge_between(VertexId(2), VertexId(0))
+        );
+        assert_eq!(g.edge_between(VertexId(0), VertexId(3)), None);
+        assert_eq!(g.edge_between(VertexId(1), VertexId(1)), None);
+    }
+
+    #[test]
+    fn each_edge_appears_twice_in_adjacency() {
+        let g = triangle_plus_tail();
+        let mut counts = vec![0usize; g.num_edges()];
+        for v in g.vertices() {
+            for &e in g.neighbor_edges(v) {
+                counts[e.idx()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn edge_degree_sums_endpoints() {
+        let g = triangle_plus_tail();
+        let e = g.edge_between(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(g.edge_degree(e), 3 + 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn isolated_trailing_vertex_via_builder() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.ensure_vertex(5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(VertexId(5)), 0);
+        assert_eq!(g.neighbors(VertexId(5)), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn edge_ids_dense() {
+        let g = triangle_plus_tail();
+        let ids: Vec<u32> = g.edges().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(g.endpoints(EdgeId(3)).1, VertexId(3));
+    }
+}

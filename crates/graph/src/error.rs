@@ -1,0 +1,64 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The graph would exceed `u32` vertex or edge capacity.
+    TooLarge(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, text } => {
+                write!(f, "parse error on line {line}: {text:?}")
+            }
+            GraphError::TooLarge(what) => write!(f, "graph too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse {
+            line: 3,
+            text: "x y z".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::TooLarge("5e9 edges".into());
+        assert!(e.to_string().contains("too large"));
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Clique-based constructions.
+//!
+//! Planted cliques pin the maximum trussness of a synthetic dataset: every
+//! edge of a `c`-clique has trussness exactly `c` when the clique is edge-
+//! disjoint from denser structure, which is how the dataset analogues match
+//! the paper's reported `k_max` values. `clique_chain` reproduces the
+//! pattern of Fig. 1(b) in the paper (bold edges belonging to separate
+//! 5-cliques).
+
+use crate::{CsrGraph, GraphBuilder};
+
+/// The complete graph on `c` vertices.
+pub fn clique(c: u32) -> CsrGraph {
+    let mut b = GraphBuilder::dense();
+    add_clique(&mut b, 0, c);
+    b.build()
+}
+
+/// Adds a clique over vertices `base..base + c` to a builder.
+pub fn add_clique(b: &mut GraphBuilder, base: u64, c: u32) {
+    if c == 1 {
+        b.ensure_vertex(base);
+        return;
+    }
+    for i in 0..c as u64 {
+        for j in (i + 1)..c as u64 {
+            b.add_edge(base + i, base + j);
+        }
+    }
+}
+
+/// Disjoint cliques of the given sizes, packed onto consecutive vertex ids.
+pub fn planted_cliques(sizes: &[u32]) -> CsrGraph {
+    let mut b = GraphBuilder::dense();
+    let mut base = 0u64;
+    for &c in sizes {
+        add_clique(&mut b, base, c);
+        base += c as u64;
+    }
+    b.build()
+}
+
+/// A chain of `len` cliques of size `c`, consecutive cliques sharing one
+/// edge — a long, thin structure with uniform trussness `c` whose hulls
+/// have many peel layers. Useful for stress-testing layer bookkeeping and
+/// upward routes.
+pub fn clique_chain(c: u32, len: u32) -> CsrGraph {
+    assert!(c >= 2, "clique size must be at least 2");
+    let mut b = GraphBuilder::dense();
+    let mut base = 0u64;
+    for link in 0..len {
+        if link == 0 {
+            add_clique(&mut b, base, c);
+            base += c as u64;
+        } else {
+            // Reuse the last two vertices of the previous clique as the
+            // first two of this one.
+            let shared = [base - 2, base - 1];
+            let fresh = c as u64 - 2;
+            // edges among fresh vertices
+            for i in 0..fresh {
+                for j in (i + 1)..fresh {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+            // edges from fresh vertices to the shared pair
+            for i in 0..fresh {
+                b.add_edge(base + i, shared[0]);
+                b.add_edge(base + i, shared[1]);
+            }
+            base += fresh;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::triangle_count;
+
+    #[test]
+    fn clique_sizes() {
+        let g = clique(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(triangle_count(&g), 10);
+    }
+
+    #[test]
+    fn planted_disjoint() {
+        let g = planted_cliques(&[4, 3]);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert_eq!(triangle_count(&g), 4 + 1);
+    }
+
+    #[test]
+    fn chain_shares_edges() {
+        let g = clique_chain(4, 3);
+        // each link after the first adds c-2 vertices
+        assert_eq!(g.num_vertices(), 4 + 2 + 2);
+        // each link after the first adds C(c,2) - 1 edges (shared edge reused)
+        assert_eq!(g.num_edges(), 6 + 5 + 5);
+    }
+
+    #[test]
+    fn chain_of_one_is_clique() {
+        let g = clique_chain(5, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn trivial_cliques() {
+        assert_eq!(clique(1).num_vertices(), 1);
+        assert_eq!(clique(1).num_edges(), 0);
+        assert_eq!(clique(2).num_edges(), 1);
+    }
+}

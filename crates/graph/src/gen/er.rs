@@ -1,0 +1,159 @@
+//! Erdős–Rényi random graphs.
+
+use crate::hash::FxHashSet;
+use crate::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly (no loops).
+///
+/// `m` is clamped to `n * (n - 1) / 2`.
+pub fn gnm(n: u32, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = super::rng(seed);
+    let max_m = (n as u64) * (n as u64).saturating_sub(1) / 2;
+    let m = (m as u64).min(max_m) as usize;
+    let mut b = GraphBuilder::dense();
+    if n > 0 {
+        b.ensure_vertex(n as u64 - 1);
+    }
+    if n < 2 {
+        return b.build();
+    }
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    seen.reserve(m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(key.0 as u64, key.1 as u64);
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)`: each pair independently with probability `p`.
+///
+/// Uses geometric skipping, so sparse graphs cost `O(n + m)`.
+pub fn gnp(n: u32, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = super::rng(seed);
+    let mut b = GraphBuilder::dense();
+    if n > 0 {
+        b.ensure_vertex(n as u64 - 1);
+    }
+    if n < 2 || p <= 0.0 {
+        return b.build();
+    }
+    let p = p.min(1.0);
+    if (p - 1.0).abs() < f64::EPSILON {
+        for u in 0..n as u64 {
+            for v in (u + 1)..n as u64 {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Iterate pair index space with geometric jumps.
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1p).floor() as u64 + 1;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx > total {
+            break;
+        }
+        // Map linear index (1-based) to pair (u, v).
+        let k = idx - 1;
+        let (u, v) = pair_from_index(n as u64, k);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Maps a linear index `k ∈ 0..n(n-1)/2` to the `k`-th pair `(u, v)`,
+/// ordered by `u` then `v`.
+fn pair_from_index(n: u64, k: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve incrementally is
+    // O(n) worst case; use the closed-form via floating sqrt then fix up.
+    let mut u = {
+        let nf = n as f64;
+        let kf = k as f64;
+        let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * kf;
+        (((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor() as u64
+    };
+    let row_start = |u: u64| u * (n - 1) - u * (u.saturating_sub(1)) / 2;
+    while u + 1 < n && row_start(u + 1) <= k {
+        u += 1;
+    }
+    while u > 0 && row_start(u) > k {
+        u -= 1;
+    }
+    let v = u + 1 + (k - row_start(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 500, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_clamps_to_complete() {
+        let g = gnm(5, 1000, 2);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = gnm(50, 200, 42);
+        let b = gnm(50, 200, 42);
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn gnp_density_sane() {
+        let g = gnp(200, 0.05, 3);
+        let expected = 0.05 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < expected * 0.5 + 20.0,
+            "m={m} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 4).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 4).num_edges(), 45);
+        assert_eq!(gnp(0, 0.5, 4).num_vertices(), 0);
+        assert_eq!(gnm(1, 5, 4).num_edges(), 0);
+    }
+
+    #[test]
+    fn pair_from_index_covers_all_pairs() {
+        let n = 7u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..total {
+            let (u, v) = pair_from_index(n, k);
+            assert!(u < v && v < n, "bad pair ({u},{v}) at k={k}");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), total as usize);
+    }
+}

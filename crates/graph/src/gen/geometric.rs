@@ -1,0 +1,87 @@
+//! Random geometric graphs (planar-ish, transportation-style).
+
+use crate::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance ≤ `radius`.
+///
+/// Geometric graphs approximate road/transportation networks (the paper's
+/// second motivating application): low degree variance, triangles produced
+/// by spatial locality rather than hubs.
+pub fn random_geometric(n: u32, radius: f64, seed: u64) -> CsrGraph {
+    let mut rng = super::rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let mut b = GraphBuilder::dense();
+    if n > 0 {
+        b.ensure_vertex(n as u64 - 1);
+    }
+    if n < 2 || radius <= 0.0 {
+        return b.build();
+    }
+    // Bucket points into a grid of cell size `radius` so neighbour search
+    // only inspects adjacent cells: O(n + m) in expectation.
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x) as isize, cell_of(y) as isize);
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells as isize || ny >= cells as isize {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        b.add_edge(i as u64, j as u64);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_scales_with_radius() {
+        let small = random_geometric(400, 0.03, 7).num_edges();
+        let large = random_geometric(400, 0.10, 7).num_edges();
+        assert!(large > small * 2, "large={large} small={small}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_geometric(300, 0.08, 5);
+        let b = random_geometric(300, 0.08, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn no_edges_beyond_radius() {
+        // radius large enough to connect everything: complete graph
+        let g = random_geometric(30, 2.0, 9);
+        assert_eq!(g.num_edges(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert_eq!(random_geometric(0, 0.1, 1).num_vertices(), 0);
+        assert_eq!(random_geometric(5, 0.0, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// Watts–Strogatz ring lattice on `n` vertices, each joined to its `k`
+/// nearest neighbours (`k` rounded down to even), with each edge rewired to
+/// a uniform random endpoint with probability `beta`.
+///
+/// Small-world graphs have many short-range triangles, which makes them a
+/// useful stress input for truss code that is distinct from the power-law
+/// generator.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
+    let mut rng = super::rng(seed);
+    let mut b = GraphBuilder::dense();
+    if n > 0 {
+        b.ensure_vertex(n as u64 - 1);
+    }
+    if n < 2 {
+        return b.build();
+    }
+    let half = (k / 2).max(1).min(n.saturating_sub(1) / 2).max(1);
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            if u == v {
+                continue;
+            }
+            let (mut a, mut c) = (u, v);
+            if beta > 0.0 && rng.gen_bool(beta.min(1.0)) {
+                // rewire the far endpoint
+                let mut w = rng.gen_range(0..n);
+                let mut tries = 0;
+                while (w == a || w == c) && tries < 16 {
+                    w = rng.gen_range(0..n);
+                    tries += 1;
+                }
+                if w != a && w != c {
+                    c = w;
+                }
+            }
+            if a > c {
+                std::mem::swap(&mut a, &mut c);
+            }
+            b.add_edge(a as u64, c as u64);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::global_clustering;
+
+    #[test]
+    fn lattice_unwired() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 40); // n * k/2
+        assert!(global_clustering(&g) > 0.3);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let a = global_clustering(&watts_strogatz(500, 8, 0.0, 2));
+        let b = global_clustering(&watts_strogatz(500, 8, 0.9, 2));
+        assert!(b < a, "rewired clustering {b} not below lattice {a}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(watts_strogatz(0, 4, 0.1, 3).num_vertices(), 0);
+        assert_eq!(watts_strogatz(1, 4, 0.1, 3).num_edges(), 0);
+        let g = watts_strogatz(3, 2, 0.0, 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(100, 6, 0.3, 11);
+        let b = watts_strogatz(100, 6, 0.3, 11);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,394 @@
+//! Power-law + triadic-closure social network generator.
+//!
+//! The generator grows a graph by preferential attachment (heavy-tailed
+//! degrees, like the SNAP social networks) where a tunable fraction of each
+//! new vertex's edges close a wedge into a triangle (high clustering — the
+//! property that gives social networks deep truss hierarchies). Dense cores
+//! are planted as cliques up front so the analogue matches a target
+//! `k_max`, mirroring the dense cores of the real datasets.
+
+use crate::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+use super::cliques::add_clique;
+
+/// An onion-layered community: a dense core clique wrapped in shells of
+/// decaying connectivity.
+///
+/// Real social communities are not flat — they have dense cores and
+/// progressively looser peripheries, which is what gives their truss
+/// hierarchies mass at *middle* `k` values and long peel cascades (the
+/// structures the ATR problem exploits). Each shell vertex attaches to a
+/// member and a clique-like group of that member's neighbours, so its
+/// edges land at a trussness that decays with the shell index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnionSpec {
+    /// Core clique size (the community's maximum trussness).
+    pub core: u32,
+    /// Number of shells around the core.
+    pub shells: u32,
+    /// Vertices per shell.
+    pub shell_size: u32,
+}
+
+impl OnionSpec {
+    /// Total vertices the onion occupies.
+    pub fn vertices(&self) -> u64 {
+        self.core as u64 + self.shells as u64 * self.shell_size as u64
+    }
+}
+
+/// Parameters for [`social_network`].
+#[derive(Debug, Clone)]
+pub struct SocialParams {
+    /// Total number of vertices (including planted-clique vertices).
+    pub n: u32,
+    /// Approximate number of edges to end with (filled up by extra
+    /// wedge-closing edges after growth; never trimmed below the grown size).
+    pub target_edges: usize,
+    /// Edges contributed by each newly arriving vertex.
+    pub attach: u32,
+    /// Probability that an attachment closes a triangle instead of
+    /// following pure preferential attachment. `0.0..=1.0`.
+    pub closure: f64,
+    /// Sizes of cliques planted on the first vertices (sets `k_max`).
+    pub planted: Vec<u32>,
+    /// Onion-layered communities planted after the cliques.
+    pub onions: Vec<OnionSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialParams {
+    fn default() -> Self {
+        SocialParams {
+            n: 1_000,
+            target_edges: 5_000,
+            attach: 4,
+            closure: 0.5,
+            planted: vec![],
+            onions: vec![],
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a deterministic social-network analogue. See module docs.
+pub fn social_network(p: &SocialParams) -> CsrGraph {
+    let mut rng = super::rng(p.seed);
+    let planted_vertices: u64 = p.planted.iter().map(|&c| c as u64).sum::<u64>()
+        + p.onions.iter().map(OnionSpec::vertices).sum::<u64>();
+    assert!(
+        planted_vertices <= p.n as u64,
+        "planted structure ({planted_vertices} vertices) exceeds n = {}",
+        p.n
+    );
+    let mut b = GraphBuilder::dense();
+    if p.n > 0 {
+        b.ensure_vertex(p.n as u64 - 1);
+    }
+
+    // adjacency for duplicate avoidance and wedge sampling
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); p.n as usize];
+    // endpoint multiset driving preferential attachment
+    let mut targets: Vec<u32> = Vec::new();
+    let mut edge_count = 0usize;
+
+    let push_edge = |b: &mut GraphBuilder,
+                         adj: &mut Vec<Vec<u32>>,
+                         targets: &mut Vec<u32>,
+                         edge_count: &mut usize,
+                         u: u32,
+                         v: u32|
+     -> bool {
+        if u == v || adj[u as usize].contains(&v) {
+            return false;
+        }
+        b.add_edge(u as u64, v as u64);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        targets.push(u);
+        targets.push(v);
+        *edge_count += 1;
+        true
+    };
+
+    // 1. planted cliques
+    let mut base = 0u64;
+    for &c in &p.planted {
+        add_clique(&mut b, base, c);
+        for i in 0..c as u64 {
+            for j in (i + 1)..c as u64 {
+                let (u, v) = ((base + i) as u32, (base + j) as u32);
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+                targets.push(u);
+                targets.push(v);
+                edge_count += 1;
+            }
+        }
+        base += c as u64;
+    }
+
+    // 1b. onion communities: core clique + shells of decaying attachment
+    for onion in &p.onions {
+        // core
+        add_clique(&mut b, base, onion.core);
+        let core_first = base as u32;
+        for i in 0..onion.core as u64 {
+            for j in (i + 1)..onion.core as u64 {
+                let (u, v) = ((base + i) as u32, (base + j) as u32);
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+                targets.push(u);
+                targets.push(v);
+                edge_count += 1;
+            }
+        }
+        base += onion.core as u64;
+        let mut members: Vec<u32> = (core_first..base as u32).collect();
+        // shells
+        for shell in 1..=onion.shells {
+            // attachment degree decays with shell depth but keeps enough
+            // wedges to land mid-k trussness
+            let attach = ((onion.core as i64 - 1) - 2 * shell as i64).max(3) as usize;
+            let mut new_members = Vec::with_capacity(onion.shell_size as usize);
+            for _ in 0..onion.shell_size {
+                let v = base as u32;
+                base += 1;
+                // anchor member + a clique-ish group of its neighbours
+                let u = members[rng.gen_range(0..members.len())];
+                push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, u, v);
+                let mut linked = 1usize;
+                let nbrs = adj[u as usize].clone();
+                let start = rng.gen_range(0..nbrs.len().max(1));
+                for step in 0..nbrs.len() {
+                    if linked >= attach {
+                        break;
+                    }
+                    let w = nbrs[(start + step) % nbrs.len()];
+                    // stay inside the onion so the shell wraps the core
+                    if w >= core_first
+                        && w < v
+                        && push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, w, v)
+                    {
+                        linked += 1;
+                    }
+                }
+                new_members.push(v);
+            }
+            members.extend(new_members);
+        }
+    }
+
+    // 2. growth: remaining vertices arrive one by one
+    let first_new = base as u32;
+    for v in first_new..p.n {
+        if targets.is_empty() {
+            // no seed structure: bootstrap with a previous vertex if any
+            if v > 0 {
+                let u = rng.gen_range(0..v);
+                push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, u, v);
+            }
+            continue;
+        }
+        let mut first_anchor: Option<u32> = None;
+        for _ in 0..p.attach {
+            let closing = first_anchor.filter(|_| rng.gen_bool(p.closure));
+            let candidate = match closing {
+                // triadic closure: neighbour of a vertex we already linked to
+                Some(a) if !adj[a as usize].is_empty() => {
+                    adj[a as usize][rng.gen_range(0..adj[a as usize].len())]
+                }
+                _ => targets[rng.gen_range(0..targets.len())],
+            };
+            if push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, candidate, v)
+                && first_anchor.is_none()
+            {
+                first_anchor = Some(candidate);
+            }
+        }
+    }
+
+    // 3. fill to target with wedge closures (keeps clustering high); fall
+    //    back to random pairs when a wedge pick fails repeatedly.
+    let mut misses = 0usize;
+    while edge_count < p.target_edges && misses < 50 * (p.target_edges + 1) && p.n >= 2 {
+        let w = rng.gen_range(0..p.n);
+        let d = adj[w as usize].len();
+        let added = if d >= 2 && rng.gen_bool(0.8) {
+            let i = rng.gen_range(0..d);
+            let j = rng.gen_range(0..d);
+            let (u, v) = (adj[w as usize][i], adj[w as usize][j]);
+            push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, u, v)
+        } else {
+            let u = rng.gen_range(0..p.n);
+            let v = rng.gen_range(0..p.n);
+            push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, u, v)
+        };
+        if added {
+            misses = 0;
+        } else {
+            misses += 1;
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::global_clustering;
+
+    #[test]
+    fn hits_target_edge_count_approximately() {
+        let g = social_network(&SocialParams {
+            n: 2_000,
+            target_edges: 10_000,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![10],
+            onions: vec![],
+            seed: 1,
+        });
+        assert_eq!(g.num_vertices(), 2_000);
+        let m = g.num_edges();
+        assert!(
+            (9_000..=10_200).contains(&m),
+            "edge count {m} far from target"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = SocialParams {
+            n: 500,
+            target_edges: 2_000,
+            attach: 3,
+            closure: 0.5,
+            planted: vec![8],
+            onions: vec![],
+            seed: 99,
+        };
+        let a = social_network(&p);
+        let b = social_network(&p);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn closure_raises_clustering() {
+        let low = social_network(&SocialParams {
+            n: 1_500,
+            target_edges: 6_000,
+            attach: 4,
+            closure: 0.0,
+            planted: vec![],
+            onions: vec![],
+            seed: 5,
+        });
+        let high = social_network(&SocialParams {
+            n: 1_500,
+            target_edges: 6_000,
+            attach: 4,
+            closure: 0.9,
+            planted: vec![],
+            onions: vec![],
+            seed: 5,
+        });
+        let (cl, ch) = (global_clustering(&low), global_clustering(&high));
+        assert!(
+            ch > cl,
+            "closure should raise clustering: low={cl:.4} high={ch:.4}"
+        );
+    }
+
+    #[test]
+    fn planted_clique_present() {
+        let g = social_network(&SocialParams {
+            n: 300,
+            target_edges: 1_500,
+            attach: 3,
+            closure: 0.4,
+            planted: vec![12],
+            onions: vec![],
+            seed: 3,
+        });
+        // all C(12,2) clique edges exist
+        for i in 0..12u32 {
+            for j in (i + 1)..12 {
+                assert!(
+                    g.edge_between(crate::VertexId(i), crate::VertexId(j)).is_some(),
+                    "missing planted edge {i}-{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn onions_create_mid_k_dense_structure() {
+        let with_onion = social_network(&SocialParams {
+            n: 800,
+            target_edges: 3_500,
+            attach: 3,
+            closure: 0.4,
+            planted: vec![],
+            onions: vec![OnionSpec {
+                core: 12,
+                shells: 3,
+                shell_size: 30,
+            }],
+            seed: 13,
+        });
+        let without = social_network(&SocialParams {
+            n: 800,
+            target_edges: 3_500,
+            attach: 3,
+            closure: 0.4,
+            planted: vec![],
+            onions: vec![],
+            seed: 13,
+        });
+        // edges with support >= 5 proxy for mid-k truss mass
+        let mass = |g: &crate::CsrGraph| {
+            crate::triangles::support(g, None)
+                .iter()
+                .filter(|&&s| s >= 5)
+                .count()
+        };
+        assert!(
+            mass(&with_onion) > mass(&without) + 100,
+            "onion should add dense mid-k structure: {} vs {}",
+            mass(&with_onion),
+            mass(&without)
+        );
+    }
+
+    #[test]
+    fn onion_vertices_accounting() {
+        let o = OnionSpec {
+            core: 10,
+            shells: 3,
+            shell_size: 25,
+        };
+        assert_eq!(o.vertices(), 10 + 75);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g = social_network(&SocialParams {
+            n: 1,
+            target_edges: 10,
+            attach: 2,
+            closure: 0.5,
+            planted: vec![],
+            onions: vec![],
+            seed: 0,
+        });
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

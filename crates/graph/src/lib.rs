@@ -1,0 +1,47 @@
+//! # antruss-graph
+//!
+//! Graph substrate for the `antruss` workspace — a from-scratch, compact
+//! undirected-graph engine tailored to truss analytics:
+//!
+//! * [`CsrGraph`]: compressed sparse row storage with stable, dense
+//!   **edge identifiers** (every undirected edge `{u, v}` has exactly one
+//!   [`EdgeId`]), sorted adjacency for merge-based triangle enumeration, and
+//!   `O(log d)` edge lookup.
+//! * [`GraphBuilder`]: tolerant ingestion (duplicate edges, self loops,
+//!   arbitrary `u64` vertex labels) producing a canonical graph.
+//! * [`triangles`]: support computation and triangle iteration, optionally
+//!   restricted to an edge subset ([`EdgeSet`]) — the workhorse of truss
+//!   decomposition and of the upward-route search.
+//! * [`gen`]: deterministic synthetic generators (Erdős–Rényi, preferential
+//!   attachment with triadic closure, planted cliques, …) used to build
+//!   laptop-scale analogues of the paper's SNAP datasets.
+//! * [`io`]: SNAP-style edge-list text I/O.
+//! * [`sample`]: vertex/edge sampling and ego-net extraction used by the
+//!   scalability and exact-comparison experiments.
+//!
+//! The crate has no graph-library dependencies; everything is implemented
+//! here so that the workspace reproduces the paper's entire stack from
+//! scratch.
+
+#![warn(missing_docs)]
+
+mod bitset;
+mod builder;
+pub mod connectivity;
+mod csr;
+mod error;
+pub mod gen;
+mod hash;
+mod ids;
+pub mod io;
+pub mod io_binary;
+pub mod sample;
+pub mod stats;
+pub mod triangles;
+
+pub use bitset::{DenseId, EdgeSet, IdSet, VertexSet};
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use ids::{EdgeId, VertexId};

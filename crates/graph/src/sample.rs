@@ -1,0 +1,195 @@
+//! Graph sampling and extraction.
+//!
+//! * [`sample_edges`] / [`induced_by_vertex_sample`] implement the paper's
+//!   scalability protocol (Exp-6: random 50–100 % edge and vertex samples of
+//!   the two largest datasets).
+//! * [`ego_subgraph_with_edges`] implements the protocol of Exp-2 (borrowed
+//!   from Linghu et al. [3]): repeatedly absorb a vertex and its neighbours
+//!   until the induced subgraph has 150–250 edges, producing small instances
+//!   on which the `Exact` algorithm is feasible.
+
+use crate::hash::FxHashSet;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Keeps each edge independently-shuffled first `ratio·m` edges; vertices
+/// keep their identities (isolated vertices retained so `n` is unchanged).
+pub fn sample_edges(g: &CsrGraph, ratio: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let mut rng = crate::gen::rng(seed);
+    let mut ids: Vec<u32> = (0..g.num_edges() as u32).collect();
+    ids.shuffle(&mut rng);
+    let keep = ((g.num_edges() as f64) * ratio).round() as usize;
+    let mut b = GraphBuilder::dense();
+    if g.num_vertices() > 0 {
+        b.ensure_vertex(g.num_vertices() as u64 - 1);
+    }
+    for &i in ids.iter().take(keep) {
+        let (u, v) = g.endpoints(crate::EdgeId(i));
+        b.add_edge(u.0 as u64, v.0 as u64);
+    }
+    b.build()
+}
+
+/// Induced subgraph on a uniform vertex sample of size `ratio·n`.
+/// Sampled vertices are re-labelled densely.
+pub fn induced_by_vertex_sample(g: &CsrGraph, ratio: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let mut rng = crate::gen::rng(seed);
+    let mut ids: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    ids.shuffle(&mut rng);
+    let keep = ((g.num_vertices() as f64) * ratio).round() as usize;
+    let chosen: FxHashSet<u32> = ids.iter().take(keep).copied().collect();
+    let mut b = GraphBuilder::new();
+    for &v in &chosen {
+        b.ensure_vertex(v as u64);
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if chosen.contains(&u.0) && chosen.contains(&v.0) {
+            b.add_edge(u.0 as u64, v.0 as u64);
+        }
+    }
+    b.build()
+}
+
+/// Grows an ego subgraph: starting from a random vertex, repeatedly absorbs
+/// a frontier vertex together with its neighbourhood, stopping as soon as
+/// the induced edge count lands in `[min_edges, max_edges]` (or the
+/// component is exhausted). Returns `None` if no extraction lands in range
+/// after `attempts` random restarts.
+pub fn ego_subgraph_with_edges(
+    g: &CsrGraph,
+    min_edges: usize,
+    max_edges: usize,
+    attempts: usize,
+    seed: u64,
+) -> Option<CsrGraph> {
+    assert!(min_edges <= max_edges);
+    let mut rng = crate::gen::rng(seed);
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    'attempt: for _ in 0..attempts {
+        let start = VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        let mut in_set: FxHashSet<u32> = FxHashSet::default();
+        let mut frontier: Vec<VertexId> = vec![start];
+        let mut edge_count = 0usize;
+        in_set.insert(start.0);
+        while let Some(v) = pick_random(&mut frontier, &mut rng) {
+            // absorb the whole neighbourhood of v
+            let mut added = Vec::new();
+            for &w in g.neighbors(v) {
+                if in_set.insert(w.0) {
+                    added.push(w);
+                }
+            }
+            // update induced edge count: edges from newly added vertices to
+            // vertices already in the set (counting each once).
+            for &w in &added {
+                for &x in g.neighbors(w) {
+                    if in_set.contains(&x.0) && (!added.contains(&x) || x < w) {
+                        edge_count += 1;
+                    }
+                }
+            }
+            frontier.extend(added);
+            if edge_count > max_edges {
+                continue 'attempt;
+            }
+            if edge_count >= min_edges {
+                // materialise the induced subgraph
+                let mut b = GraphBuilder::new();
+                for &u in &in_set {
+                    b.ensure_vertex(u as u64);
+                }
+                for e in g.edges() {
+                    let (a, c) = g.endpoints(e);
+                    if in_set.contains(&a.0) && in_set.contains(&c.0) {
+                        b.add_edge(a.0 as u64, c.0 as u64);
+                    }
+                }
+                return Some(b.build());
+            }
+        }
+    }
+    None
+}
+
+fn pick_random<R: Rng>(frontier: &mut Vec<VertexId>, rng: &mut R) -> Option<VertexId> {
+    if frontier.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..frontier.len());
+    Some(frontier.swap_remove(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gnm, social_network, SocialParams};
+
+    #[test]
+    fn edge_sample_ratio() {
+        let g = gnm(200, 1000, 1);
+        let h = sample_edges(&g, 0.5, 2);
+        assert_eq!(h.num_vertices(), 200);
+        assert_eq!(h.num_edges(), 500);
+        let full = sample_edges(&g, 1.0, 2);
+        assert_eq!(full.num_edges(), 1000);
+        let none = sample_edges(&g, 0.0, 2);
+        assert_eq!(none.num_edges(), 0);
+    }
+
+    #[test]
+    fn vertex_sample_ratio() {
+        let g = gnm(300, 2000, 3);
+        let h = induced_by_vertex_sample(&g, 0.5, 4);
+        assert_eq!(h.num_vertices(), 150);
+        assert!(h.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn vertex_sample_edges_are_induced() {
+        let g = gnm(50, 200, 5);
+        let h = induced_by_vertex_sample(&g, 0.6, 6);
+        // every sampled edge count must be at most the original count and
+        // the density can't exceed complete graph on kept vertices
+        let nk = h.num_vertices();
+        assert!(h.num_edges() <= nk * (nk - 1) / 2);
+    }
+
+    #[test]
+    fn ego_lands_in_range() {
+        let g = social_network(&SocialParams {
+            n: 3_000,
+            target_edges: 15_000,
+            attach: 4,
+            closure: 0.5,
+            planted: vec![],
+            onions: vec![],
+            seed: 9,
+        });
+        let sub = ego_subgraph_with_edges(&g, 150, 250, 50, 10).expect("extraction possible");
+        let m = sub.num_edges();
+        assert!((150..=250).contains(&m), "got {m} edges");
+    }
+
+    #[test]
+    fn ego_impossible_on_tiny_graph() {
+        let g = gnm(5, 4, 1);
+        assert!(ego_subgraph_with_edges(&g, 150, 250, 5, 1).is_none());
+    }
+
+    #[test]
+    fn samples_deterministic() {
+        let g = gnm(100, 400, 7);
+        let a = sample_edges(&g, 0.7, 42);
+        let b = sample_edges(&g, 0.7, 42);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Structural statistics used for dataset reporting and generator tuning.
+
+use crate::triangles;
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics reported in the paper's Table III style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (`2m / n`).
+    pub avg_degree: f64,
+    /// Maximum edge support (`sup_max` in Table III).
+    pub max_support: u32,
+    /// Total triangle count.
+    pub triangles: u64,
+    /// Global clustering coefficient (3·triangles / wedges).
+    pub clustering: f64,
+}
+
+/// Computes [`GraphStats`] in one support pass.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let sup = triangles::support(g, None);
+    let max_support = sup.iter().copied().max().unwrap_or(0);
+    let tri: u64 = sup.iter().map(|&s| s as u64).sum::<u64>() / 3;
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    GraphStats {
+        vertices: n,
+        edges: m,
+        max_degree: g.max_degree(),
+        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        max_support,
+        triangles: tri,
+        clustering: global_clustering_from(g, tri),
+    }
+}
+
+/// Global clustering coefficient: `3 * triangles / wedges`.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    global_clustering_from(g, triangles::triangle_count(g))
+}
+
+fn global_clustering_from(g: &CsrGraph, tri: u64) -> f64 {
+    let wedges: u64 = (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(VertexId(v as u32)) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::clique;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn clique_stats() {
+        let g = clique(5);
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.max_support, 3);
+        assert_eq!(s.triangles, 10);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+        assert!((s.avg_degree - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let s = graph_stats(&g);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_support, 0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = clique(6);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[5], 6);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.clustering, 0.0);
+    }
+}

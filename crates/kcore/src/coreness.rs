@@ -1,0 +1,188 @@
+//! Anchored coreness — the global, vertex-anchoring counterpart of ATR
+//! (Linghu et al., SIGMOD'20 \[3\]).
+//!
+//! Pick `b` anchor vertices maximizing the total coreness gain
+//! `Σ_{v ∈ V\A} (c_A(v) − c(v))`. Because one anchor raises any coreness
+//! by at most 1 (see [`crate::followers`]), each round's gain equals the
+//! follower count, and the greedy mirrors the paper's Algorithm 2 with the
+//! fast follower search in place of re-decomposition. A full `O(m)` core
+//! decomposition refreshes the state between rounds — cores, unlike
+//! trusses, are cheap enough to re-peel that no reuse tree is needed.
+//!
+//! This comparator exists to make the paper's motivating claim testable:
+//! *vertex/core reinforcement optimizes a coarser structure than
+//! edge/truss reinforcement*. Exp-10 anchors the same budget with both and
+//! compares the resulting truss-level stability.
+
+use antruss_graph::{CsrGraph, VertexId, VertexSet};
+
+use crate::decomposition::{core_decompose_with, CoreInfo};
+use crate::followers::CoreFollowerSearch;
+
+/// Result of an anchored-coreness greedy run.
+#[derive(Debug, Clone)]
+pub struct CorenessOutcome {
+    /// Chosen anchor vertices in selection order.
+    pub anchors: Vec<VertexId>,
+    /// Coreness gain per round (= follower count of the chosen anchor).
+    pub gain_per_round: Vec<u64>,
+    /// Total coreness gain across all rounds.
+    pub total_gain: u64,
+}
+
+/// Greedy anchored-coreness solver.
+///
+/// In each round every non-anchored vertex is scored by its follower
+/// count under the current anchor set; the best vertex (ties toward the
+/// smaller id) is anchored. Stops early when no vertex yields gain.
+pub struct AnchoredCoreness<'g> {
+    g: &'g CsrGraph,
+    info: CoreInfo,
+    anchors: VertexSet,
+    base_coreness: Vec<u32>,
+}
+
+impl<'g> AnchoredCoreness<'g> {
+    /// Prepares the solver (one core decomposition).
+    pub fn new(g: &'g CsrGraph) -> Self {
+        let info = core_decompose_with(g, None);
+        AnchoredCoreness {
+            g,
+            base_coreness: info.coreness.clone(),
+            info,
+            anchors: VertexSet::new(g.num_vertices()),
+        }
+    }
+
+    /// Runs `b` greedy rounds and returns the outcome.
+    pub fn run(mut self, b: usize) -> CorenessOutcome {
+        let mut out = CorenessOutcome {
+            anchors: Vec::with_capacity(b),
+            gain_per_round: Vec::with_capacity(b),
+            total_gain: 0,
+        };
+        if self.g.num_vertices() == 0 {
+            return out;
+        }
+        let mut fs = CoreFollowerSearch::new(self.g.num_vertices());
+        for _ in 0..b {
+            let mut best: Option<(usize, VertexId)> = None;
+            for x in self.g.vertices() {
+                if self.anchors.contains(x) {
+                    continue;
+                }
+                let gained = fs
+                    .followers(self.g, &self.info, &self.anchors, x)
+                    .followers
+                    .len();
+                let better = match best {
+                    None => gained > 0,
+                    Some((bg, bx)) => gained > bg || (gained == bg && x < bx),
+                };
+                if better && gained > 0 {
+                    best = Some((gained, x));
+                }
+            }
+            let Some((gained, x)) = best else {
+                break;
+            };
+            self.anchors.insert(x);
+            out.anchors.push(x);
+            out.gain_per_round.push(gained as u64);
+            out.total_gain += gained as u64;
+            self.info = core_decompose_with(self.g, Some(&self.anchors));
+        }
+        out
+    }
+
+    /// Total coreness gain of the current anchor set against the original
+    /// graph, by definition (`Σ_{v ∉ A} c_A(v) − c(v)`).
+    pub fn gain_by_definition(&self) -> u64 {
+        let mut gain = 0u64;
+        for v in self.g.vertices() {
+            if self.anchors.contains(v) {
+                continue;
+            }
+            let (now, orig) = (self.info.c(v), self.base_coreness[v.idx()]);
+            debug_assert!(now >= orig);
+            gain += (now - orig) as u64;
+        }
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, planted_cliques};
+
+    #[test]
+    fn greedy_gain_matches_definition() {
+        for seed in 0..5 {
+            let g = gnm(28, 75, seed);
+            let solver = AnchoredCoreness::new(&g);
+            // run consumes the solver; rebuild to check by definition
+            let out = AnchoredCoreness::new(&g).run(3);
+            drop(solver);
+            let mut check = AnchoredCoreness::new(&g);
+            for &x in &out.anchors {
+                check.anchors.insert(x);
+            }
+            check.info = core_decompose_with(&g, Some(&check.anchors));
+            assert_eq!(
+                out.total_gain,
+                check.gain_by_definition(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_are_locally_optimal_in_round_one() {
+        // greedy's first pick must beat any single-vertex alternative
+        let g = gnm(24, 60, 9);
+        let out = AnchoredCoreness::new(&g).run(1);
+        if let Some(&x0) = out.anchors.first() {
+            let best = out.gain_per_round[0];
+            for x in g.vertices() {
+                let mut a = VertexSet::new(g.num_vertices());
+                a.insert(x);
+                let base = crate::verify::naive_coreness(&g, None);
+                let after = crate::verify::naive_coreness(&g, Some(&a));
+                let gain: u64 = g
+                    .vertices()
+                    .filter(|&v| v != x)
+                    .map(|v| (after[v.idx()] - base[v.idx()]) as u64)
+                    .sum();
+                assert!(
+                    gain <= best,
+                    "vertex {x:?} gains {gain} > greedy's {best} ({x0:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_gain_on_uniform_clique() {
+        let g = antruss_graph::gen::clique(5);
+        let out = AnchoredCoreness::new(&g).run(3);
+        assert_eq!(out.total_gain, 0);
+        assert!(out.anchors.is_empty());
+    }
+
+    #[test]
+    fn gain_monotone_in_budget() {
+        let g = planted_cliques(&[5, 4, 3]);
+        let g1 = AnchoredCoreness::new(&g).run(1).total_gain;
+        let g3 = AnchoredCoreness::new(&g).run(3).total_gain;
+        assert!(g3 >= g1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = antruss_graph::GraphBuilder::new().build();
+        let out = AnchoredCoreness::new(&g).run(2);
+        assert!(out.anchors.is_empty());
+        assert_eq!(out.total_gain, 0);
+    }
+}

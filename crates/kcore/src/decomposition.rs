@@ -1,0 +1,289 @@
+//! Core decomposition with peel layers and anchor support.
+//!
+//! The `k`-core of `G` is the maximal subgraph in which every vertex has
+//! degree ≥ `k`; the **coreness** `c(v)` is the largest `k` whose core
+//! contains `v`. The peeling algorithm removes minimum-degree vertices
+//! phase by phase; inside phase `k`, removal proceeds in *rounds* exactly
+//! like the truss layers of `antruss-truss::decompose_with`, giving each
+//! vertex an onion layer `l(v)`.
+//!
+//! **Anchored** vertices are never peeled: they behave as if their degree
+//! were infinite, the computational abstraction of the anchored k-core
+//! problem \[24\]. Their coreness is reported as [`ANCHOR_CORENESS`], and
+//! they keep contributing one unit of degree to every neighbour for the
+//! whole peel.
+
+use antruss_graph::{CsrGraph, VertexId, VertexSet};
+
+/// Sentinel coreness of an anchored vertex: anchors belong to every core.
+pub const ANCHOR_CORENESS: u32 = u32::MAX;
+
+/// Result of a core decomposition.
+///
+/// All vectors are indexed by vertex id over the whole graph; anchored
+/// vertices report [`ANCHOR_CORENESS`] and layer 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreInfo {
+    /// `c(v)` per vertex.
+    pub coreness: Vec<u32>,
+    /// `l(v)` per vertex: 1-based peel round within its phase.
+    pub layer: Vec<u32>,
+    /// Largest finite coreness observed (0 for an empty graph).
+    pub k_max: u32,
+}
+
+impl CoreInfo {
+    /// Coreness of `v`.
+    #[inline]
+    pub fn c(&self, v: VertexId) -> u32 {
+        self.coreness[v.idx()]
+    }
+
+    /// Peel layer of `v`.
+    #[inline]
+    pub fn l(&self, v: VertexId) -> u32 {
+        self.layer[v.idx()]
+    }
+
+    /// Whether `v` is recorded as anchored.
+    #[inline]
+    pub fn is_anchor(&self, v: VertexId) -> bool {
+        self.coreness[v.idx()] == ANCHOR_CORENESS
+    }
+
+    /// Sum of coreness over non-anchored vertices — the quantity whose
+    /// increase defines the anchored-coreness gain.
+    pub fn total_coreness(&self) -> u64 {
+        self.coreness
+            .iter()
+            .filter(|&&c| c != ANCHOR_CORENESS)
+            .map(|&c| c as u64)
+            .sum()
+    }
+
+    /// Vertices with coreness ≥ `k` (anchors always qualify) — the `k`-core
+    /// membership of the decomposed graph.
+    pub fn core_members(&self, k: u32) -> impl Iterator<Item = VertexId> + '_ {
+        self.coreness
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &c)| c >= k)
+            .map(|(i, _)| VertexId(i as u32))
+    }
+}
+
+/// Plain core decomposition of the whole graph (no anchors).
+pub fn core_decompose(g: &CsrGraph) -> CoreInfo {
+    core_decompose_with(g, None)
+}
+
+/// Core decomposition with optional anchor vertices.
+///
+/// Phase `k = 0, 1, 2, …` repeatedly deletes non-anchored vertices whose
+/// current degree is ≤ `k`; the vertices deleted in the `i`-th round of a
+/// phase form layer `i`. Anchored vertices are never deleted and keep
+/// providing degree to their neighbours throughout.
+pub fn core_decompose_with(g: &CsrGraph, anchors: Option<&VertexSet>) -> CoreInfo {
+    let n = g.num_vertices();
+    let mut info = CoreInfo {
+        coreness: vec![0; n],
+        layer: vec![0; n],
+        k_max: 0,
+    };
+    let is_anchor = |v: VertexId| anchors.is_some_and(|a| a.contains(v));
+
+    let mut deg: Vec<u32> = (0..n)
+        .map(|v| g.degree(VertexId(v as u32)) as u32)
+        .collect();
+    let mut alive = vec![true; n];
+    let mut remaining = 0usize;
+    for v in g.vertices() {
+        if is_anchor(v) {
+            info.coreness[v.idx()] = ANCHOR_CORENESS;
+        } else {
+            remaining += 1;
+        }
+    }
+
+    let mut queued = vec![false; n];
+    let mut k: u32 = 0;
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next: Vec<VertexId> = Vec::new();
+
+    while remaining > 0 {
+        frontier.clear();
+        for v in g.vertices() {
+            if alive[v.idx()] && !is_anchor(v) && deg[v.idx()] <= k {
+                frontier.push(v);
+                queued[v.idx()] = true;
+            }
+        }
+        let mut round: u32 = 0;
+        while !frontier.is_empty() {
+            round += 1;
+            next.clear();
+            for &v in frontier.iter() {
+                info.coreness[v.idx()] = k;
+                info.layer[v.idx()] = round;
+                for &w in g.neighbors(v) {
+                    if !alive[w.idx()] || is_anchor(w) {
+                        continue;
+                    }
+                    let d = &mut deg[w.idx()];
+                    debug_assert!(*d > 0, "degree underflow on {w:?}");
+                    *d -= 1;
+                    if *d <= k && !queued[w.idx()] {
+                        queued[w.idx()] = true;
+                        next.push(w);
+                    }
+                }
+                alive[v.idx()] = false;
+                remaining -= 1;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        if round > 0 {
+            info.k_max = info.k_max.max(k);
+        }
+        k += 1;
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{clique, gnm, planted_cliques};
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn clique_coreness_is_size_minus_one() {
+        for c in [3u32, 4, 6] {
+            let g = clique(c);
+            let info = core_decompose(&g);
+            assert_eq!(info.k_max, c - 1);
+            for v in g.vertices() {
+                assert_eq!(info.c(v), c - 1);
+                assert_eq!(info.l(v), 1, "whole clique peels in one round");
+            }
+        }
+    }
+
+    #[test]
+    fn path_has_coreness_one() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let info = core_decompose(&g);
+        for v in g.vertices() {
+            assert_eq!(info.c(v), 1);
+        }
+        // endpoints peel first, middle vertices in the second round
+        assert_eq!(info.l(VertexId(0)), 1);
+        assert!(info.l(VertexId(1)) > info.l(VertexId(0)));
+    }
+
+    #[test]
+    fn isolated_vertex_coreness_zero() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.ensure_vertex(5);
+        let g = b.build();
+        let info = core_decompose(&g);
+        assert_eq!(info.c(VertexId(5)), 0);
+        assert_eq!(info.c(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn planted_clique_dominates_kmax() {
+        let g = planted_cliques(&[7, 4]);
+        let info = core_decompose(&g);
+        assert_eq!(info.k_max, 6);
+    }
+
+    #[test]
+    fn anchored_vertex_never_peeled() {
+        let g = clique(4);
+        let mut anchors = VertexSet::new(g.num_vertices());
+        anchors.insert(VertexId(0));
+        let info = core_decompose_with(&g, Some(&anchors));
+        assert!(info.is_anchor(VertexId(0)));
+        assert_eq!(info.c(VertexId(0)), ANCHOR_CORENESS);
+        // other clique members keep coreness 3 (anchor still contributes)
+        for v in 1..4 {
+            assert_eq!(info.c(VertexId(v)), 3);
+        }
+    }
+
+    #[test]
+    fn anchoring_tail_vertex_lifts_pendant() {
+        // K4 with a tail 3–4: anchoring 4 makes 4 a permanent neighbor of 3
+        // but cannot lift 3 above its clique coreness.
+        let mut b = GraphBuilder::dense();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let base = core_decompose(&g);
+        assert_eq!(base.c(VertexId(4)), 1);
+        assert_eq!(base.c(VertexId(3)), 3);
+        let mut anchors = VertexSet::new(g.num_vertices());
+        anchors.insert(VertexId(4));
+        let info = core_decompose_with(&g, Some(&anchors));
+        assert_eq!(info.c(VertexId(3)), 3, "one pendant anchor adds no core");
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm(40, 120, seed);
+            let info = core_decompose(&g);
+            let naive = crate::verify::naive_coreness(&g, None);
+            assert_eq!(info.coreness, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn anchored_matches_naive_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm(30, 90, seed);
+            let mut anchors = VertexSet::new(g.num_vertices());
+            anchors.insert(VertexId(seed as u32 % 30));
+            anchors.insert(VertexId((seed as u32 * 7 + 3) % 30));
+            let info = core_decompose_with(&g, Some(&anchors));
+            let naive = crate::verify::naive_coreness(&g, Some(&anchors));
+            assert_eq!(info.coreness, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn total_coreness_excludes_anchors() {
+        let g = clique(3);
+        let mut anchors = VertexSet::new(g.num_vertices());
+        anchors.insert(VertexId(0));
+        let info = core_decompose_with(&g, Some(&anchors));
+        assert_eq!(info.total_coreness(), 4); // two vertices of coreness 2
+    }
+
+    #[test]
+    fn core_members_monotone() {
+        let g = planted_cliques(&[5, 3]);
+        let info = core_decompose(&g);
+        let mut prev = usize::MAX;
+        for k in 0..=info.k_max {
+            let count = info.core_members(k).count();
+            assert!(count <= prev, "|{k}-core| must shrink with k");
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let info = core_decompose(&g);
+        assert_eq!(info.k_max, 0);
+        assert!(info.coreness.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! Coreness followers of a single anchor vertex.
+//!
+//! The one-dimensional analogue of the paper's Algorithm 3: anchoring a
+//! vertex `x` can raise the coreness of other vertices by **at most 1**
+//! (same subgraph-exchange argument as the paper's Lemma 1 — remove the
+//! anchor from the `(k+2)`-core of `G_x` and a `(k+1)`-core of `G`
+//! remains). The vertices that do gain are the anchor's *followers*, and
+//! they are found without re-decomposing the graph:
+//!
+//! 1. **Seeds** (Lemma 2(i) analogue): neighbours `v` of `x` with
+//!    `c(v) > c(x)`, or `c(v) = c(x)` and a strictly later peel layer —
+//!    earlier-peeled vertices were deleted while `x` was still present, so
+//!    anchoring `x` cannot save them.
+//! 2. **Upward route**: per coreness level, a min-heap keyed by peel layer
+//!    expands through same-coreness neighbours in layer-monotone order.
+//! 3. **Degree check**: candidate `v` at level `c` survives if its
+//!    optimistic degree `deg⁺(v)` — neighbours that are anchors, `x`,
+//!    higher-coreness, surviving, or unchecked-but-layer-later — reaches
+//!    `c + 1`, i.e. `v` can sit in the `(c+1)`-core of `G_{A∪{x}}`.
+//! 4. **Retract**: eliminations decrement the optimistic degree of
+//!    surviving neighbours and cascade. Unlike the truss case the support
+//!    unit is a single edge, so there is no triangle-ownership ambiguity.
+//!
+//! Differential-tested against [`crate::verify::naive_followers_of`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use antruss_graph::{CsrGraph, FxHashMap, VertexId, VertexSet};
+
+use crate::decomposition::CoreInfo;
+
+/// Result of a coreness-follower search for one candidate anchor vertex.
+#[derive(Debug, Clone, Default)]
+pub struct CoreFollowerOutcome {
+    /// Vertices whose coreness rises by one if the anchor is added.
+    pub followers: Vec<VertexId>,
+    /// Number of candidates examined (popped and degree-checked).
+    pub route_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Unchecked,
+    Survived,
+    Eliminated,
+}
+
+/// Reusable scratch state for coreness-follower searches over one graph.
+///
+/// Arrays are sized once (`O(n)`) and reset lazily via epoch stamps, so a
+/// search costs `O(|route| · d_max)` regardless of graph size.
+pub struct CoreFollowerSearch {
+    status: Vec<Status>,
+    status_epoch: Vec<u32>,
+    deg_plus: Vec<u32>,
+    in_heap_epoch: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    retract_stack: Vec<(VertexId, Status)>,
+}
+
+impl CoreFollowerSearch {
+    /// Scratch for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        CoreFollowerSearch {
+            status: vec![Status::Unchecked; n],
+            status_epoch: vec![0; n],
+            deg_plus: vec![0; n],
+            in_heap_epoch: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            retract_stack: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn status(&self, v: VertexId) -> Status {
+        if self.status_epoch[v.idx()] == self.epoch {
+            self.status[v.idx()]
+        } else {
+            Status::Unchecked
+        }
+    }
+
+    #[inline]
+    fn set_status(&mut self, v: VertexId, s: Status) {
+        self.status[v.idx()] = s;
+        self.status_epoch[v.idx()] = self.epoch;
+    }
+
+    /// Followers of candidate anchor `x` given the current anchored
+    /// decomposition (`info` must reflect `anchors`).
+    pub fn followers(
+        &mut self,
+        g: &CsrGraph,
+        info: &CoreInfo,
+        anchors: &VertexSet,
+        x: VertexId,
+    ) -> CoreFollowerOutcome {
+        debug_assert!(!anchors.contains(x), "candidate {x:?} is already anchored");
+        let (cx, lx) = (info.c(x), info.l(x));
+
+        // --- seeds among the neighbours of x ---------------------------
+        let mut seeds: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+        for &v in g.neighbors(x) {
+            if anchors.contains(v) {
+                continue;
+            }
+            let (cv, lv) = (info.c(v), info.l(v));
+            if cv > cx || (cv == cx && lv > lx) {
+                seeds.entry(cv).or_default().push((lv, v.0));
+            }
+        }
+
+        let mut levels: Vec<u32> = seeds.keys().copied().collect();
+        levels.sort_unstable();
+
+        let mut out = CoreFollowerOutcome::default();
+        for c in levels {
+            let seed_list = seeds.remove(&c).expect("level present");
+            self.run_level(g, info, anchors, x, c, seed_list, &mut out);
+        }
+        out
+    }
+
+    /// Processes one coreness level `c`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_level(
+        &mut self,
+        g: &CsrGraph,
+        info: &CoreInfo,
+        anchors: &VertexSet,
+        x: VertexId,
+        c: u32,
+        seeds: Vec<(u32, u32)>,
+        out: &mut CoreFollowerOutcome,
+    ) {
+        self.epoch += 1;
+        self.heap.clear();
+        for (lay, v) in seeds {
+            if self.in_heap_epoch[v as usize] != self.epoch {
+                self.in_heap_epoch[v as usize] = self.epoch;
+                self.heap.push(Reverse((lay, v)));
+            }
+        }
+        let first_survivor = out.followers.len();
+
+        while let Some(Reverse((_, vidx))) = self.heap.pop() {
+            let v = VertexId(vidx);
+            if self.status(v) != Status::Unchecked {
+                continue;
+            }
+            out.route_size += 1;
+            let d = self.count_optimistic(g, info, anchors, x, v, c);
+            // survives iff deg+ reaches c + 1 (membership in the (c+1)-core)
+            if d > c {
+                self.set_status(v, Status::Survived);
+                self.deg_plus[v.idx()] = d;
+                out.followers.push(v);
+                // push same-level neighbours v ≺ w onto the route
+                let lv = info.l(v);
+                let epoch = self.epoch;
+                for &w in g.neighbors(v) {
+                    if anchors.contains(w) || w == x {
+                        continue;
+                    }
+                    if info.c(w) == c
+                        && lv <= info.l(w)
+                        && self.in_heap_epoch[w.idx()] != epoch
+                    {
+                        self.in_heap_epoch[w.idx()] = epoch;
+                        self.heap.push(Reverse((info.l(w), w.0)));
+                    }
+                }
+            } else {
+                self.set_status(v, Status::Eliminated);
+                self.retract(g, info, anchors, x, v, Status::Unchecked, c);
+            }
+        }
+
+        // Drop survivors that the retract cascade eliminated afterwards.
+        let epoch = self.epoch;
+        let status = &self.status;
+        let status_epoch = &self.status_epoch;
+        let mut write = first_survivor;
+        for read in first_survivor..out.followers.len() {
+            let v = out.followers[read];
+            if status_epoch[v.idx()] == epoch && status[v.idx()] == Status::Survived {
+                out.followers[write] = v;
+                write += 1;
+            }
+        }
+        out.followers.truncate(write);
+    }
+
+    /// Optimistic degree of `v` at level `c`: neighbours that can sit in
+    /// the `(c+1)`-core of `G_{A∪{x}}` together with `v`.
+    fn count_optimistic(
+        &self,
+        g: &CsrGraph,
+        info: &CoreInfo,
+        anchors: &VertexSet,
+        x: VertexId,
+        v: VertexId,
+        c: u32,
+    ) -> u32 {
+        let lv = info.l(v);
+        let mut cnt = 0u32;
+        for &w in g.neighbors(v) {
+            if self.neighbor_ok(info, anchors, x, lv, w, c) {
+                cnt += 1;
+            }
+        }
+        cnt
+    }
+
+    /// Whether neighbour `w` currently counts toward `deg⁺` of a level-`c`
+    /// vertex with layer `lv`.
+    #[inline]
+    fn neighbor_ok(
+        &self,
+        info: &CoreInfo,
+        anchors: &VertexSet,
+        x: VertexId,
+        lv: u32,
+        w: VertexId,
+        c: u32,
+    ) -> bool {
+        if anchors.contains(w) || w == x {
+            return true;
+        }
+        let cw = info.c(w);
+        if cw < c {
+            return false;
+        }
+        match self.status(w) {
+            Status::Eliminated => false,
+            Status::Survived => true,
+            Status::Unchecked => cw > c || lv <= info.l(w),
+        }
+    }
+
+    /// Retract cascade: `v` flipped to eliminated from `prior`; decrement
+    /// the optimistic degree of surviving same-level neighbours for which
+    /// the edge was counted, cascading further eliminations.
+    #[allow(clippy::too_many_arguments)]
+    fn retract(
+        &mut self,
+        g: &CsrGraph,
+        info: &CoreInfo,
+        anchors: &VertexSet,
+        x: VertexId,
+        v: VertexId,
+        prior: Status,
+        c: u32,
+    ) {
+        self.retract_stack.clear();
+        self.retract_stack.push((v, prior));
+        while let Some((f, f_prior)) = self.retract_stack.pop() {
+            debug_assert_eq!(info.c(f), c, "only level-c vertices are flipped");
+            for &p in g.neighbors(f) {
+                if anchors.contains(p) || p == x || info.c(p) != c {
+                    continue;
+                }
+                if self.status(p) != Status::Survived {
+                    continue;
+                }
+                // Was the edge (p, f) counted in deg+(p)? Evaluate with
+                // f's pre-flip status.
+                let counted = f_prior == Status::Survived || info.l(p) <= info.l(f);
+                if !counted {
+                    continue;
+                }
+                let d = &mut self.deg_plus[p.idx()];
+                *d = d.saturating_sub(1);
+                if *d < c + 1 {
+                    self.set_status(p, Status::Eliminated);
+                    self.retract_stack.push((p, Status::Survived));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: one-shot follower computation (allocates scratch).
+pub fn core_followers(
+    g: &CsrGraph,
+    info: &CoreInfo,
+    anchors: &VertexSet,
+    x: VertexId,
+) -> Vec<VertexId> {
+    let mut fs = CoreFollowerSearch::new(g.num_vertices());
+    let mut out = fs.followers(g, info, anchors, x).followers;
+    out.sort();
+    out
+}
+
+/// Reference follower computation (re-decomposition oracle). Re-exported
+/// from [`crate::verify`] under a name symmetric to the truss crate's.
+pub fn naive_core_followers(g: &CsrGraph, anchors: &VertexSet, x: VertexId) -> Vec<VertexId> {
+    let base = crate::verify::naive_coreness(g, Some(anchors));
+    crate::verify::naive_followers_of(g, anchors, &base, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::core_decompose_with;
+    use antruss_graph::gen::{gnm, planted_cliques};
+    use antruss_graph::GraphBuilder;
+
+    fn assert_matches_oracle(g: &CsrGraph, anchors: &VertexSet) {
+        let info = core_decompose_with(g, Some(anchors));
+        let mut fs = CoreFollowerSearch::new(g.num_vertices());
+        for x in g.vertices() {
+            if anchors.contains(x) {
+                continue;
+            }
+            let mut got = fs.followers(g, &info, anchors, x).followers;
+            got.sort();
+            let want = naive_core_followers(g, anchors, x);
+            assert_eq!(got, want, "candidate {x:?}");
+        }
+    }
+
+    #[test]
+    fn pendant_anchor_saves_shell() {
+        // K4 on {0..3} plus a 3-path fan: 3-4, 4-5, 3-5 (triangle hanging
+        // off vertex 3). Vertices 4, 5 have coreness 2; anchoring a degree-2
+        // helper can lift them.
+        let mut b = GraphBuilder::dense();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        for &(u, v) in &[(3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let anchors = VertexSet::new(g.num_vertices());
+        assert_matches_oracle(&g, &anchors);
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        for seed in 0..8 {
+            let g = gnm(26, 70, seed);
+            let anchors = VertexSet::new(g.num_vertices());
+            assert_matches_oracle(&g, &anchors);
+        }
+    }
+
+    #[test]
+    fn random_graphs_with_prior_anchors_match_oracle() {
+        for seed in 0..8 {
+            let g = gnm(24, 65, seed + 100);
+            let mut anchors = VertexSet::new(g.num_vertices());
+            anchors.insert(VertexId(seed as u32 % 24));
+            anchors.insert(VertexId((seed as u32 * 5 + 7) % 24));
+            assert_matches_oracle(&g, &anchors);
+        }
+    }
+
+    #[test]
+    fn planted_clique_graph_matches_oracle() {
+        let g = planted_cliques(&[6, 5, 4]);
+        let anchors = VertexSet::new(g.num_vertices());
+        assert_matches_oracle(&g, &anchors);
+    }
+
+    #[test]
+    fn coreness_gain_is_at_most_one_per_vertex() {
+        // the Lemma-1 analogue justifying follower counting
+        for seed in 0..8 {
+            let g = gnm(30, 100, seed);
+            let base = crate::verify::naive_coreness(&g, None);
+            for x in g.vertices().step_by(5) {
+                let mut a = VertexSet::new(g.num_vertices());
+                a.insert(x);
+                let after = crate::verify::naive_coreness(&g, Some(&a));
+                for v in g.vertices() {
+                    if v == x {
+                        continue;
+                    }
+                    assert!(
+                        after[v.idx()] - base[v.idx()] <= 1,
+                        "seed {seed}: anchoring {x:?} raised {v:?} by more than 1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_followers() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.ensure_vertex(4);
+        let g = b.build();
+        let info = core_decompose_with(&g, None);
+        let anchors = VertexSet::new(g.num_vertices());
+        let mut fs = CoreFollowerSearch::new(g.num_vertices());
+        let out = fs.followers(&g, &info, &anchors, VertexId(4));
+        assert!(out.followers.is_empty());
+        assert_eq!(out.route_size, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # antruss-kcore
+//!
+//! The **k-core substrate** of the workspace: core decomposition with
+//! deletion-order (onion) layers, anchored cores, and the two
+//! vertex-anchoring comparators the paper's related-work section builds on:
+//!
+//! * [`decompose`] / [`decompose_with`] — Batagelj–Zaveršnik-style bucket
+//!   peeling producing the coreness `c(v)`, the peel layer `l(v)` (the
+//!   round of phase `c(v)` in which `v` was deleted — the vertex analogue
+//!   of the truss layers in `antruss-truss`), with optional **anchor
+//!   vertices** that are never peeled (infinite degree, the abstraction of
+//!   Bhawalkar et al.'s anchored k-core \[24\]);
+//! * [`followers`] — the coreness followers of a single anchor vertex via
+//!   a layer-monotone upward search with degree checks and a retract
+//!   cascade — the one-dimensional analogue of the paper's Algorithm 3;
+//! * [`olak`] — the fixed-`k` anchored-k-core greedy of Zhang et al.
+//!   (OLAK \[1\]): pick `b` anchor vertices maximizing the size of a given
+//!   `k`-core;
+//! * [`coreness`] — the anchored-coreness greedy of Linghu et al.
+//!   (SIGMOD'20 \[3\]): pick `b` anchor vertices maximizing the *global*
+//!   coreness gain — the k-core analogue of the paper's ATR problem, used
+//!   by the cross-model experiment (Exp-10) to quantify how much the
+//!   edge/truss formulation buys over vertex/core reinforcement.
+//!
+//! Everything is differential-tested against the naive oracles in
+//! [`verify`].
+//!
+//! ## Example
+//!
+//! ```
+//! use antruss_graph::GraphBuilder;
+//! use antruss_kcore::{core_decompose, AnchoredCoreness};
+//!
+//! // a 4-clique with a pendant triangle hanging off vertex 3
+//! let mut b = GraphBuilder::dense();
+//! for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+//!                  (3, 4), (4, 5), (3, 5)] {
+//!     b.add_edge(u, v);
+//! }
+//! let g = b.build();
+//!
+//! let info = core_decompose(&g);
+//! assert_eq!(info.k_max, 3); // the clique's core
+//!
+//! // greedy vertex anchoring for global coreness gain
+//! let outcome = AnchoredCoreness::new(&g).run(1);
+//! assert_eq!(outcome.total_gain, outcome.gain_per_round.iter().sum::<u64>());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coreness;
+pub mod decomposition;
+pub mod followers;
+pub mod olak;
+pub mod verify;
+
+pub use coreness::{AnchoredCoreness, CorenessOutcome};
+pub use decomposition::{core_decompose, core_decompose_with, CoreInfo, ANCHOR_CORENESS};
+pub use followers::{core_followers, naive_core_followers, CoreFollowerSearch};
+pub use olak::{olak_greedy, OlakOutcome};

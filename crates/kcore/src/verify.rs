@@ -1,0 +1,119 @@
+//! Naive oracles for differential testing.
+//!
+//! Independent, obviously-correct implementations of core decomposition and
+//! of the coreness-follower definition. The fast implementations in
+//! [`crate::decomposition`] and [`crate::followers`] are tested against
+//! these on random graphs.
+
+use antruss_graph::{CsrGraph, VertexId, VertexSet};
+
+use crate::decomposition::ANCHOR_CORENESS;
+
+/// Coreness per vertex by literal definition: for each `k`, repeatedly
+/// strip non-anchored vertices of degree `< k` and record the survivors.
+///
+/// Quadratic and allocation-happy on purpose — this is the test oracle,
+/// not the engine.
+pub fn naive_coreness(g: &CsrGraph, anchors: Option<&VertexSet>) -> Vec<u32> {
+    let n = g.num_vertices();
+    let is_anchor = |v: VertexId| anchors.is_some_and(|a| a.contains(v));
+    let mut coreness: Vec<u32> = vec![0; n];
+    for v in g.vertices() {
+        if is_anchor(v) {
+            coreness[v.idx()] = ANCHOR_CORENESS;
+        }
+    }
+    let mut k = 1u32;
+    loop {
+        // members of the k-core: strip degree < k until stable
+        let mut alive = vec![true; n];
+        loop {
+            let mut changed = false;
+            for v in g.vertices() {
+                if !alive[v.idx()] || is_anchor(v) {
+                    continue;
+                }
+                let d = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|w| alive[w.idx()])
+                    .count() as u32;
+                if d < k {
+                    alive[v.idx()] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut any = false;
+        for v in g.vertices() {
+            if alive[v.idx()] && !is_anchor(v) {
+                coreness[v.idx()] = k;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        k += 1;
+    }
+    coreness
+}
+
+/// Followers of anchoring vertex `x` by definition: non-anchored vertices
+/// (other than `x`) whose coreness strictly increases in `G_{A ∪ {x}}`
+/// relative to `G_A`.
+pub fn naive_followers_of(
+    g: &CsrGraph,
+    anchors: &VertexSet,
+    base: &[u32],
+    x: VertexId,
+) -> Vec<VertexId> {
+    let mut with = anchors.clone();
+    with.insert(x);
+    let after = naive_coreness(g, Some(&with));
+    g.vertices()
+        .filter(|&v| v != x && !anchors.contains(v) && after[v.idx()] > base[v.idx()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::clique;
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn naive_clique() {
+        let g = clique(5);
+        let c = naive_coreness(&g, None);
+        assert!(c.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn naive_respects_anchor_sentinel() {
+        let g = clique(3);
+        let mut a = VertexSet::new(g.num_vertices());
+        a.insert(VertexId(1));
+        let c = naive_coreness(&g, Some(&a));
+        assert_eq!(c[1], ANCHOR_CORENESS);
+        assert_eq!(c[0], 2);
+    }
+
+    #[test]
+    fn naive_followers_on_pendant() {
+        // triangle 0-1-2 plus pendant 2-3: anchoring 3 gives no follower
+        // (3's presence already counted for 2 during phase 1).
+        let mut b = GraphBuilder::dense();
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let anchors = VertexSet::new(g.num_vertices());
+        let base = naive_coreness(&g, None);
+        let f = naive_followers_of(&g, &anchors, &base, VertexId(3));
+        assert!(f.is_empty(), "got {f:?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Triangle-connected k-truss community search.
+//!
+//! The paper motivates trussness as *the* cohesion measure for community
+//! search ([10]–[16]); this module provides the classic query: given a
+//! query vertex `q` and level `k`, return the k-truss communities
+//! containing `q` — maximal triangle-connected subgraphs of `T_k(G)`
+//! touching `q`. Anchoring edges (the ATR problem) directly grows these
+//! communities, which is what the `community_growth` example demonstrates.
+
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet, VertexId};
+
+use crate::components::triangle_connected_components;
+use crate::decomposition::TrussInfo;
+use crate::hull::k_truss_edge_set;
+
+/// One k-truss community: an edge set plus its induced vertices.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Cohesion level of the community.
+    pub k: u32,
+    /// Edges of the community (ascending).
+    pub edges: Vec<EdgeId>,
+    /// Vertices touched by those edges (ascending, deduplicated).
+    pub vertices: Vec<VertexId>,
+}
+
+impl Community {
+    /// Builds a community from an explicit edge list (the TCP index and
+    /// other callers that already know the member edges).
+    pub fn from_edge_list(g: &CsrGraph, k: u32, edges: Vec<EdgeId>) -> Community {
+        Community::from_edges(g, k, edges)
+    }
+
+    fn from_edges(g: &CsrGraph, k: u32, edges: Vec<EdgeId>) -> Community {
+        let mut vertices: Vec<VertexId> = edges
+            .iter()
+            .flat_map(|&e| {
+                let (u, v) = g.endpoints(e);
+                [u, v]
+            })
+            .collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        Community { k, edges, vertices }
+    }
+
+    /// Number of edges.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the community contains vertex `v`.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+}
+
+/// All k-truss communities of the graph at level `k` (every
+/// triangle-connected component of `T_k`).
+pub fn k_truss_communities(g: &CsrGraph, info: &TrussInfo, k: u32) -> Vec<Community> {
+    let tk: EdgeSet = k_truss_edge_set(info, k);
+    triangle_connected_components(g, &tk)
+        .into_iter()
+        .map(|edges| Community::from_edges(g, k, edges))
+        .collect()
+}
+
+/// The k-truss communities containing the query vertex `q`.
+pub fn communities_of(g: &CsrGraph, info: &TrussInfo, q: VertexId, k: u32) -> Vec<Community> {
+    k_truss_communities(g, info, k)
+        .into_iter()
+        .filter(|c| c.contains_vertex(q))
+        .collect()
+}
+
+/// The largest `k` for which `q` belongs to some k-truss community, with
+/// that community (`None` if `q` touches no triangle).
+pub fn max_cohesion_community(
+    g: &CsrGraph,
+    info: &TrussInfo,
+    q: VertexId,
+) -> Option<(u32, Community)> {
+    // the max trussness among q's incident edges bounds the search
+    let k_best = g
+        .neighbor_edges(q)
+        .iter()
+        .map(|&e| info.t(e))
+        .filter(|&t| t != crate::ANCHOR_TRUSSNESS)
+        .max()?;
+    if k_best < 3 {
+        return None;
+    }
+    communities_of(g, info, q, k_best)
+        .into_iter()
+        .next()
+        .map(|c| (k_best, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+    use antruss_graph::gen::{planted_cliques, clique_chain};
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn disjoint_cliques_are_separate_communities() {
+        let g = planted_cliques(&[5, 5, 4]);
+        let info = decompose(&g);
+        let c5 = k_truss_communities(&g, &info, 5);
+        assert_eq!(c5.len(), 2);
+        assert!(c5.iter().all(|c| c.size() == 10));
+        let c4 = k_truss_communities(&g, &info, 4);
+        assert_eq!(c4.len(), 3);
+    }
+
+    #[test]
+    fn query_vertex_filters() {
+        let g = planted_cliques(&[5, 4]);
+        let info = decompose(&g);
+        let mine = communities_of(&g, &info, VertexId(0), 4);
+        assert_eq!(mine.len(), 1);
+        assert!(mine[0].contains_vertex(VertexId(4)));
+        assert!(!mine[0].contains_vertex(VertexId(5)));
+    }
+
+    #[test]
+    fn max_cohesion_finds_clique_level() {
+        let g = planted_cliques(&[6, 3]);
+        let info = decompose(&g);
+        let (k, c) = max_cohesion_community(&g, &info, VertexId(2)).unwrap();
+        assert_eq!(k, 6);
+        assert_eq!(c.size(), 15);
+        let (k2, _) = max_cohesion_community(&g, &info, VertexId(7)).unwrap();
+        assert_eq!(k2, 3);
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_community() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1); // no triangle
+        b.ensure_vertex(2);
+        let g = b.build();
+        let info = decompose(&g);
+        assert!(max_cohesion_community(&g, &info, VertexId(2)).is_none());
+        assert!(max_cohesion_community(&g, &info, VertexId(0)).is_none());
+    }
+
+    #[test]
+    fn chain_is_one_community() {
+        let g = clique_chain(4, 4);
+        let info = decompose(&g);
+        let cs = k_truss_communities(&g, &info, 4);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].size(), g.num_edges());
+    }
+
+    #[test]
+    fn community_vertices_are_induced() {
+        let g = planted_cliques(&[4]);
+        let info = decompose(&g);
+        let cs = k_truss_communities(&g, &info, 4);
+        assert_eq!(cs[0].vertices.len(), 4);
+    }
+}

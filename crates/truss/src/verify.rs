@@ -1,0 +1,161 @@
+//! Reference implementations and structural checkers.
+//!
+//! These are deliberately slow and simple — they exist to differential-test
+//! the optimized decomposition and, later, the follower search. The naive
+//! anchored decomposition here is the *oracle* defining followers:
+//! `F(x, G) = {e : t_{A∪{x}}(e) > t_A(e)}`.
+
+use antruss_graph::triangles::for_each_triangle_in;
+use antruss_graph::{CsrGraph, EdgeId, EdgeSet};
+
+/// Naive trussness via repeated full scans (`O(k_max · m²)` worst case).
+///
+/// `anchors` are never peeled and report [`crate::ANCHOR_TRUSSNESS`].
+pub fn naive_trussness(g: &CsrGraph, anchors: Option<&EdgeSet>) -> Vec<u32> {
+    let m = g.num_edges();
+    let mut t = vec![0u32; m];
+    let mut live = EdgeSet::full(m);
+    let is_anchor = |e: EdgeId| anchors.is_some_and(|a| a.contains(e));
+    let mut remaining = 0usize;
+    for e in g.edges() {
+        if is_anchor(e) {
+            t[e.idx()] = crate::ANCHOR_TRUSSNESS;
+        } else {
+            remaining += 1;
+        }
+    }
+    let mut k = 2u32;
+    while remaining > 0 {
+        loop {
+            // find any live non-anchor edge with support ≤ k - 2
+            let mut removed_any = false;
+            let victims: Vec<EdgeId> = live
+                .iter()
+                .filter(|&e| {
+                    if is_anchor(e) {
+                        return false;
+                    }
+                    let mut s = 0u32;
+                    for_each_triangle_in(g, &live, e, |_| s += 1);
+                    s + 2 <= k
+                })
+                .collect();
+            for e in victims {
+                t[e.idx()] = k;
+                live.remove(e);
+                remaining -= 1;
+                removed_any = true;
+            }
+            if !removed_any {
+                break;
+            }
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Checks the defining support condition of a `k`-truss on `edges`:
+/// every non-anchor edge has ≥ `k − 2` triangles within `edges`.
+pub fn satisfies_truss_condition(
+    g: &CsrGraph,
+    edges: &EdgeSet,
+    k: u32,
+    anchors: Option<&EdgeSet>,
+) -> bool {
+    for e in edges.iter() {
+        if anchors.is_some_and(|a| a.contains(e)) {
+            continue;
+        }
+        let mut s = 0u32;
+        for_each_triangle_in(g, edges, e, |_| s += 1);
+        if s + 2 < k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Asserts that a [`crate::TrussInfo`] is a correct decomposition:
+/// every `T_k = {t ≥ k}` satisfies the truss condition, and every edge
+/// *fails* the condition one level higher (maximality). Panics with
+/// context on violation. Intended for tests.
+pub fn assert_valid_decomposition(g: &CsrGraph, info: &crate::TrussInfo, anchors: Option<&EdgeSet>) {
+    // (1) support condition at every level
+    for k in 2..=info.k_max {
+        let tk = crate::k_truss_edge_set(info, k);
+        assert!(
+            satisfies_truss_condition(g, &tk, k, anchors),
+            "T_{k} violates the support condition"
+        );
+    }
+    // (2) maximality: against the naive reference
+    let naive = naive_trussness(g, anchors);
+    assert_eq!(
+        info.trussness, naive,
+        "trussness disagrees with naive reference"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose, decompose_with, DecomposeOptions};
+    use antruss_graph::gen::{gnm, social_network, SocialParams};
+
+    #[test]
+    fn optimized_matches_naive_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnm(25, 70, seed);
+            let info = decompose(&g);
+            assert_valid_decomposition(&g, &info, None);
+        }
+    }
+
+    #[test]
+    fn optimized_matches_naive_with_anchors() {
+        for seed in 0..8 {
+            let g = gnm(20, 60, seed + 100);
+            let m = g.num_edges();
+            let mut anchors = EdgeSet::new(m);
+            anchors.insert(EdgeId((seed % m as u64) as u32));
+            anchors.insert(EdgeId(((seed * 7 + 3) % m as u64) as u32));
+            let info = decompose_with(
+                &g,
+                DecomposeOptions {
+                    subset: None,
+                    anchors: Some(&anchors),
+                },
+            );
+            let naive = naive_trussness(&g, Some(&anchors));
+            assert_eq!(info.trussness, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn social_graph_valid() {
+        let g = social_network(&SocialParams {
+            n: 200,
+            target_edges: 800,
+            attach: 4,
+            closure: 0.6,
+            planted: vec![7],
+            onions: vec![],
+            seed: 5,
+        });
+        let info = decompose(&g);
+        assert!(info.k_max >= 7, "planted clique should give k_max ≥ 7");
+        for k in 2..=info.k_max {
+            let tk = crate::k_truss_edge_set(&info, k);
+            assert!(satisfies_truss_condition(&g, &tk, k, None));
+        }
+    }
+
+    #[test]
+    fn truss_condition_detects_violation() {
+        let g = antruss_graph::gen::clique(4);
+        let all = EdgeSet::full(g.num_edges());
+        assert!(satisfies_truss_condition(&g, &all, 4, None));
+        assert!(!satisfies_truss_condition(&g, &all, 5, None));
+    }
+}

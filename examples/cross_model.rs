@@ -1,0 +1,74 @@
+//! Cross-model reinforcement: edge/truss anchoring (the paper) versus
+//! vertex/core anchoring (the related-work line it argues against).
+//!
+//! Spends the same budget three ways — GAS anchor edges, AKT anchor
+//! vertices at their best k, anchored-coreness anchor vertices — and
+//! compares what each buys in truss-level stability (induced resilience:
+//! extra decay survivors that were not directly subsidized).
+//!
+//! ```sh
+//! cargo run --release --example cross_model
+//! ```
+
+use antruss::atr::baselines::akt::akt_greedy;
+use antruss::atr::stability::{induced_resilience_gain, vertex_induced_resilience_gain};
+use antruss::atr::{Gas, GasConfig};
+use antruss::graph::gen::{social_network, OnionSpec, SocialParams};
+use antruss::graph::EdgeSet;
+use antruss::kcore::AnchoredCoreness;
+use antruss::truss::decompose;
+
+fn main() {
+    let budget = 5;
+    let g = social_network(&SocialParams {
+        n: 400,
+        target_edges: 2_000,
+        attach: 4,
+        closure: 0.6,
+        planted: vec![9, 7],
+        onions: vec![OnionSpec { core: 6, shells: 3, shell_size: 12 }],
+        seed: 17,
+    });
+    let info = decompose(&g);
+    println!(
+        "graph: {} vertices, {} edges, truss k_max = {}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        info.k_max
+    );
+
+    // --- the paper's method: anchor edges --------------------------------
+    let gas = Gas::new(&g, GasConfig::default()).run(budget);
+    let gas_set = EdgeSet::from_iter(g.num_edges(), gas.anchors.iter().copied());
+    println!(
+        "GAS (edge anchors):      trussness gain {:>4}, induced resilience {:>4}",
+        gas.total_gain,
+        induced_resilience_gain(&g, &gas_set)
+    );
+
+    // --- vertex anchoring at the best fixed k (AKT) ----------------------
+    let akt = (4..=info.k_max)
+        .map(|k| akt_greedy(&g, &info.trussness, k, budget, 16))
+        .max_by_key(|o| o.gain)
+        .expect("non-empty k range");
+    println!(
+        "AKT (vertex anchors):    best-k gain    {:>4}, induced resilience {:>4}",
+        akt.gain,
+        vertex_induced_resilience_gain(&g, &akt.anchors)
+    );
+
+    // --- core-model reasoning: anchored coreness -------------------------
+    let cor = AnchoredCoreness::new(&g).run(budget);
+    println!(
+        "Coreness (vertex):       coreness gain  {:>4}, induced resilience {:>4}",
+        cor.total_gain,
+        vertex_induced_resilience_gain(&g, &cor.anchors)
+    );
+
+    println!(
+        "\nThe edge/truss formulation targets triangle support directly, so its\n\
+         gains translate one-for-one into decay survival; core-model anchors\n\
+         optimize degree and usually buy far less truss-level stability —\n\
+         the claim motivating the ATR problem, reproduced on synthetic data."
+    );
+}

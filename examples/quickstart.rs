@@ -1,0 +1,46 @@
+//! Quickstart: anchor edges of a small social graph and inspect the gain.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use antruss::atr::{Gas, GasConfig};
+use antruss::graph::gen::{social_network, SocialParams};
+use antruss::truss::decompose;
+
+fn main() {
+    // A 500-vertex social-style graph with a planted dense core.
+    let g = social_network(&SocialParams {
+        n: 500,
+        target_edges: 2_500,
+        attach: 4,
+        closure: 0.6,
+        planted: vec![10],
+        onions: vec![],
+        seed: 42,
+    });
+    let info = decompose(&g);
+    println!(
+        "graph: {} vertices, {} edges, k_max = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        info.k_max
+    );
+
+    // Greedily anchor 5 edges with the full GAS pipeline.
+    let outcome = Gas::new(&g, GasConfig::default()).run(5);
+    println!(
+        "anchored {} edges for a total trussness gain of {}",
+        outcome.anchors.len(),
+        outcome.total_gain
+    );
+    for r in &outcome.rounds {
+        let (u, v) = g.endpoints(r.chosen);
+        println!(
+            "  round {}: anchored ({u}, {v}) -> {} follower(s), {} candidate follower sets recomputed",
+            r.round,
+            r.followers.len(),
+            r.recomputed,
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Interactive what-if analysis: rank candidate relationships, inspect
+//! what anchoring each would buy, and commit selectively.
+//!
+//! Models the workflow of a community manager deciding which
+//! relationships to reinforce: look at the top candidates, check *which*
+//! ties each one would stabilize, and spend budget only where the
+//! footprint looks right.
+//!
+//! ```sh
+//! cargo run --release --example whatif_session
+//! ```
+
+use antruss::atr::WhatIf;
+use antruss::graph::gen::{social_network, SocialParams};
+
+fn main() {
+    let g = social_network(&SocialParams {
+        n: 600,
+        target_edges: 3_000,
+        attach: 4,
+        closure: 0.6,
+        planted: vec![10, 8],
+        onions: vec![],
+        seed: 99,
+    });
+    let mut session = WhatIf::new(&g);
+    session.threads = 2;
+
+    println!(
+        "graph: {} vertices, {} edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Rank the five most valuable relationships to reinforce right now.
+    println!("top candidates before any commitment:");
+    for (e, gain) in session.top(5) {
+        let (u, v) = g.endpoints(e);
+        println!("  ({u}, {v}) would elevate {gain} other relationship(s)");
+    }
+
+    // Inspect the best candidate's footprint, then commit it.
+    let top = session.top(1);
+    let (best, _) = top[0];
+    let followers = session.followers_of(best).expect("not yet anchored");
+    let (u, v) = g.endpoints(best);
+    println!(
+        "\ncommitting ({u}, {v}); its followers span trussness levels {:?}",
+        {
+            let mut levels: Vec<u32> =
+                followers.iter().map(|&f| session.state().t(f)).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            levels
+        }
+    );
+    session.commit(best);
+
+    // The ranking changes after a commit: gains are not independent.
+    println!("\ntop candidates after the commit:");
+    for (e, gain) in session.top(5) {
+        let (u, v) = g.endpoints(e);
+        println!("  ({u}, {v}) would now elevate {gain} relationship(s)");
+    }
+    println!(
+        "\ncommitted {} anchor(s), total trussness gain {}",
+        session.committed(),
+        session.total_gain()
+    );
+}

@@ -1,0 +1,45 @@
+//! # antruss — Enhance Stability of Network by Edge Anchor (ICDE 2025)
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`graph`] — CSR graph engine, generators, sampling, I/O;
+//! * [`truss`] — truss decomposition with peel layers, k-hulls, anchored
+//!   decomposition, truss components;
+//! * [`kcore`] — core decomposition with onion layers, anchored cores and
+//!   the vertex-anchoring comparators (OLAK, anchored coreness) from the
+//!   paper's related work;
+//! * [`atr`] — the paper's contribution: the Anchor Trussness Reinforcement
+//!   problem, `GetFollowers`, the truss-component tree, follower reuse, the
+//!   `GAS` algorithm and all evaluated baselines;
+//! * [`datasets`] — deterministic synthetic analogues of the paper's eight
+//!   SNAP datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use antruss::graph::gen::{social_network, SocialParams};
+//! use antruss::atr::{Gas, GasConfig};
+//!
+//! let g = social_network(&SocialParams {
+//!     n: 300,
+//!     target_edges: 1_200,
+//!     attach: 4,
+//!     closure: 0.5,
+//!     planted: vec![8],
+//!     onions: vec![],
+//!     seed: 7,
+//! });
+//! let outcome = Gas::new(&g, GasConfig::default()).run(3);
+//! println!(
+//!     "anchored {:?} for a total trussness gain of {}",
+//!     outcome.anchors, outcome.total_gain
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use antruss_core as atr;
+pub use antruss_datasets as datasets;
+pub use antruss_graph as graph;
+pub use antruss_kcore as kcore;
+pub use antruss_truss as truss;

@@ -1,0 +1,106 @@
+//! Integration of the ATR machinery with the community-search and
+//! maintenance substrates: the "applications" story of the paper's intro,
+//! executable.
+
+use antruss::atr::{Gas, GasConfig};
+use antruss::graph::gen::{social_network, SocialParams};
+use antruss::graph::EdgeSet;
+use antruss::truss::{
+    decompose, decompose_with, k_truss_communities, DecomposeOptions, DynamicTruss,
+};
+
+fn demo_graph(seed: u64) -> antruss::graph::CsrGraph {
+    social_network(&SocialParams {
+        n: 400,
+        target_edges: 1_800,
+        attach: 4,
+        closure: 0.55,
+        planted: vec![8],
+        onions: vec![antruss::graph::gen::OnionSpec {
+            core: 7,
+            shells: 2,
+            shell_size: 20,
+        }],
+        seed,
+    })
+}
+
+#[test]
+fn anchoring_never_shrinks_community_mass() {
+    let g = demo_graph(3);
+    let before = decompose(&g);
+    let out = Gas::new(&g, GasConfig::default()).run(5);
+    let anchors = EdgeSet::from_iter(g.num_edges(), out.anchors.iter().copied());
+    let after = decompose_with(
+        &g,
+        DecomposeOptions {
+            subset: None,
+            anchors: Some(&anchors),
+        },
+    );
+    for k in 3..=before.k_max {
+        let mass_before: usize = k_truss_communities(&g, &before, k)
+            .iter()
+            .map(|c| c.size())
+            .sum();
+        let mass_after: usize = k_truss_communities(&g, &after, k)
+            .iter()
+            .map(|c| c.size())
+            .sum();
+        assert!(
+            mass_after >= mass_before,
+            "k={k}: community mass shrank {mass_before} -> {mass_after}"
+        );
+    }
+}
+
+#[test]
+fn positive_gain_grows_some_community_level() {
+    let g = demo_graph(9);
+    let before = decompose(&g);
+    let out = Gas::new(&g, GasConfig::default()).run(5);
+    if out.total_gain == 0 {
+        return; // nothing to check on this seed
+    }
+    let anchors = EdgeSet::from_iter(g.num_edges(), out.anchors.iter().copied());
+    let after = decompose_with(
+        &g,
+        DecomposeOptions {
+            subset: None,
+            anchors: Some(&anchors),
+        },
+    );
+    let grew = (3..=before.k_max).any(|k| {
+        let b: usize = k_truss_communities(&g, &before, k).iter().map(|c| c.size()).sum();
+        let a: usize = k_truss_communities(&g, &after, k).iter().map(|c| c.size()).sum();
+        a > b
+    });
+    assert!(grew, "positive gain must enlarge at least one community level");
+}
+
+#[test]
+fn maintenance_then_atr_is_consistent() {
+    // Evolve the graph (drop a few edges), then run ATR on the survivor
+    // graph via the alive subset; the result must match running ATR on a
+    // freshly built graph with the same edges.
+    let g = demo_graph(17);
+    let mut dt = DynamicTruss::new(&g);
+    for e in [3u32, 77, 200, 411] {
+        dt.remove_edge(antruss::graph::EdgeId(e % g.num_edges() as u32));
+    }
+    // rebuild survivor graph from alive edges
+    let mut builder = antruss::graph::GraphBuilder::new();
+    for e in dt.alive().iter() {
+        let (u, v) = g.endpoints(e);
+        builder.add_edge(u.0 as u64, v.0 as u64);
+    }
+    let survivor = builder.build();
+    let out = Gas::new(&survivor, GasConfig::default()).run(3);
+    // consistency: re-evaluating the selected anchors reproduces the gain
+    let base = decompose(&survivor).trussness;
+    let set = EdgeSet::from_iter(survivor.num_edges(), out.anchors.iter().copied());
+    assert_eq!(
+        out.total_gain,
+        antruss::atr::gain_of_anchor_set(&survivor, &base, &set)
+    );
+}

@@ -1,0 +1,95 @@
+//! Property-based invariants of the truss-decomposition substrate.
+
+use antruss::graph::{CsrGraph, EdgeSet, GraphBuilder};
+use antruss::truss::{
+    decompose, decompose_with, hull_sizes, k_truss_edge_set, precedes, verify, DecomposeOptions,
+    ANCHOR_TRUSSNESS,
+};
+use proptest::prelude::*;
+
+fn graph_from_pairs(pairs: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_matches_naive(pairs in prop::collection::vec((0u8..26, 0u8..26), 1..150)) {
+        let g = graph_from_pairs(&pairs);
+        let info = decompose(&g);
+        let naive = verify::naive_trussness(&g, None);
+        prop_assert_eq!(&info.trussness, &naive);
+    }
+
+    #[test]
+    fn every_truss_level_satisfies_support(pairs in prop::collection::vec((0u8..22, 0u8..22), 1..130)) {
+        let g = graph_from_pairs(&pairs);
+        let info = decompose(&g);
+        for k in 2..=info.k_max {
+            let tk = k_truss_edge_set(&info, k);
+            prop_assert!(
+                verify::satisfies_truss_condition(&g, &tk, k, None),
+                "T_{} violates support", k
+            );
+        }
+    }
+
+    #[test]
+    fn hulls_partition_and_layers_positive(pairs in prop::collection::vec((0u8..24, 0u8..24), 1..130)) {
+        let g = graph_from_pairs(&pairs);
+        let info = decompose(&g);
+        let total: usize = hull_sizes(&info).iter().sum();
+        prop_assert_eq!(total, g.num_edges());
+        for e in g.edges() {
+            prop_assert!(info.t(e) >= 2, "finite trussness is at least 2");
+            prop_assert!(info.l(e) >= 1, "peel layers are 1-based");
+        }
+    }
+
+    #[test]
+    fn anchored_trussness_dominates_plain(
+        pairs in prop::collection::vec((0u8..20, 0u8..20), 5..120),
+        pick in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let m = g.num_edges();
+        let plain = decompose(&g);
+        let mut anchors = EdgeSet::new(m);
+        anchors.insert(antruss::graph::EdgeId((pick % m) as u32));
+        let anchored = decompose_with(&g, DecomposeOptions {
+            subset: None,
+            anchors: Some(&anchors),
+        });
+        for e in g.edges() {
+            if anchors.contains(e) {
+                prop_assert_eq!(anchored.t(e), ANCHOR_TRUSSNESS);
+            } else {
+                prop_assert!(anchored.t(e) >= plain.t(e), "anchoring may never hurt");
+                prop_assert!(anchored.t(e) <= plain.t(e) + 1, "Lemma 1: gain at most +1");
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_order_is_total_preorder(pairs in prop::collection::vec((0u8..20, 0u8..20), 1..100)) {
+        let g = graph_from_pairs(&pairs);
+        let info = decompose(&g);
+        let t = &info.trussness;
+        let l = &info.layer;
+        for e1 in g.edges().take(30) {
+            for e2 in g.edges().take(30) {
+                // totality: at least one direction holds
+                prop_assert!(
+                    precedes(t, l, e1, e2) || precedes(t, l, e2, e1),
+                    "≺ must be total over comparable edges"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end integration tests across all crates: dataset analogues in,
+//! anchors out, with every layer's invariants checked along the way.
+
+use antruss::atr::baselines::base::base_greedy;
+use antruss::atr::baselines::base_plus::base_plus;
+use antruss::atr::baselines::exact::exact;
+use antruss::atr::baselines::random::{random_baseline, Pool};
+use antruss::atr::{gain_of_anchor_set, Gas, GasConfig, ReusePolicy};
+use antruss::datasets::{generate, DatasetId};
+use antruss::graph::sample::ego_subgraph_with_edges;
+use antruss::graph::EdgeSet;
+use antruss::truss::{decompose, verify};
+
+#[test]
+fn college_analogue_pipeline() {
+    let g = generate(DatasetId::College, 0.25);
+    let info = decompose(&g);
+    assert!(info.k_max >= 3, "College analogue must have truss structure");
+
+    let b = 5;
+    let gas = Gas::new(&g, GasConfig::default()).run(b);
+    assert_eq!(gas.anchors.len(), b);
+    assert!(gas.total_gain > 0, "anchoring must help on a social graph");
+
+    // The reported gain must be reproducible from the anchor set alone.
+    let set = EdgeSet::from_iter(g.num_edges(), gas.anchors.iter().copied());
+    assert_eq!(gas.total_gain, gain_of_anchor_set(&g, &info.trussness, &set));
+}
+
+#[test]
+fn gas_equals_base_plus_on_analogues() {
+    for id in [DatasetId::College, DatasetId::Brightkite] {
+        let g = generate(id, 0.08);
+        let plus = base_plus(&g, 5);
+        let gas = Gas::new(
+            &g,
+            GasConfig {
+                reuse: ReusePolicy::PaperExact,
+                ..GasConfig::default()
+            },
+        )
+        .run(5);
+        assert_eq!(plus.anchors, gas.anchors, "{id:?}");
+        assert_eq!(plus.total_gain, gas.total_gain, "{id:?}");
+    }
+}
+
+#[test]
+fn greedy_hierarchy_base_equals_base_plus_and_beats_random() {
+    let g = generate(DatasetId::College, 0.1);
+    let b = 3;
+    let base = base_greedy(&g, b, None);
+    assert!(!base.timed_out);
+    let plus = base_plus(&g, b);
+    assert_eq!(base.anchors, plus.anchors);
+    assert_eq!(base.total_gain, plus.total_gain);
+
+    let rand = random_baseline(&g, Pool::All, b, 20, 3);
+    assert!(
+        plus.total_gain >= rand.gain,
+        "greedy {} must beat the best of 20 random draws {}",
+        plus.total_gain,
+        rand.gain
+    );
+}
+
+#[test]
+fn exact_dominates_gas_on_ego_subgraphs() {
+    let g = generate(DatasetId::Facebook, 0.1);
+    let sub = ego_subgraph_with_edges(&g, 60, 140, 100, 5).expect("extraction");
+    for b in 1..=2 {
+        let ex = exact(&sub, b, None).expect("b <= m");
+        let gas = Gas::new(&sub, GasConfig::default()).run(b);
+        assert!(
+            ex.gain >= gas.total_gain,
+            "b={b}: exact {} < gas {}",
+            ex.gain,
+            gas.total_gain
+        );
+        // the paper's Exp-2 shape: GAS stays close to the optimum
+        if ex.gain > 0 {
+            let ratio = gas.total_gain as f64 / ex.gain as f64;
+            assert!(ratio > 0.4, "b={b}: GAS/Exact ratio {ratio:.2} suspiciously low");
+        }
+    }
+}
+
+#[test]
+fn anchored_decomposition_consistent_after_gas() {
+    // After a full GAS run, re-decomposing from scratch with the final
+    // anchor set must agree with the incremental state.
+    let g = generate(DatasetId::Gowalla, 0.03);
+    let mut gas = Gas::new(
+        &g,
+        GasConfig {
+            reuse: ReusePolicy::PaperExact,
+            ..GasConfig::default()
+        },
+    );
+    for _ in 0..4 {
+        if gas.step().is_none() {
+            break;
+        }
+    }
+    let st = gas.state();
+    let naive = verify::naive_trussness(&g, Some(&st.anchors));
+    assert_eq!(st.t, naive, "incremental state diverged from scratch");
+}
+
+#[test]
+fn conservative_policy_also_matches() {
+    let g = generate(DatasetId::Youtube, 0.02);
+    let off = base_plus(&g, 4);
+    let cons = Gas::new(
+        &g,
+        GasConfig {
+            reuse: ReusePolicy::Conservative,
+            ..GasConfig::default()
+        },
+    )
+    .run(4);
+    assert_eq!(off.anchors, cons.anchors);
+    assert_eq!(off.total_gain, cons.total_gain);
+}
+
+#[test]
+fn lazy_greedy_tracks_exact_greedy_on_analogue() {
+    use antruss::atr::baselines::lazy::lazy_greedy;
+    let g = generate(DatasetId::College, 0.15);
+    let b = 5;
+    let lazy = lazy_greedy(&g, b);
+    let exact_greedy = Gas::new(&g, GasConfig::default()).run(b);
+    // heuristic under non-submodularity: allow slack but pin a floor
+    assert!(
+        10 * lazy.total_gain >= 8 * exact_greedy.total_gain,
+        "lazy {} vs greedy {}",
+        lazy.total_gain,
+        exact_greedy.total_gain
+    );
+    // and it must actually save work after round 1
+    let m = g.num_edges();
+    assert!(lazy
+        .evaluations_per_round
+        .iter()
+        .skip(1)
+        .all(|&e| e < m / 4));
+}
+
+#[test]
+fn threaded_gas_identical_on_analogue() {
+    let g = generate(DatasetId::Brightkite, 0.05);
+    let serial = Gas::new(
+        &g,
+        GasConfig {
+            reuse: ReusePolicy::PaperExact,
+            threads: 1,
+        },
+    )
+    .run(4);
+    let threaded = Gas::new(
+        &g,
+        GasConfig {
+            reuse: ReusePolicy::PaperExact,
+            threads: 4,
+        },
+    )
+    .run(4);
+    assert_eq!(serial.anchors, threaded.anchors);
+    assert_eq!(serial.total_gain, threaded.total_gain);
+}
+
+#[test]
+fn whatif_session_retraces_gas_on_analogue() {
+    use antruss::atr::WhatIf;
+    let g = generate(DatasetId::College, 0.1);
+    let gas = Gas::new(&g, GasConfig::default()).run(3);
+    let mut session = WhatIf::new(&g);
+    let mut picked = Vec::new();
+    for _ in 0..3 {
+        let top = session.top(1);
+        let Some(&(e, _)) = top.first() else { break };
+        session.commit(e);
+        picked.push(e);
+    }
+    assert_eq!(picked, gas.anchors);
+    assert_eq!(session.total_gain(), gas.total_gain);
+}

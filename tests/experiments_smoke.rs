@@ -1,0 +1,95 @@
+//! Smoke tests for the experiment harness: every table/figure generator
+//! must run end-to-end on quick configurations and emit its key markers.
+
+use antruss_bench::exp::{self, ExpConfig};
+use antruss_datasets::DatasetId;
+
+fn quick(datasets: &[DatasetId], budget: usize) -> ExpConfig {
+    let mut cfg = ExpConfig::quick();
+    cfg.datasets = datasets.to_vec();
+    cfg.budget = budget;
+    cfg
+}
+
+#[test]
+fn exp1_table3_smoke() {
+    let report = exp::exp1(&quick(&[DatasetId::College], 3));
+    assert!(report.contains("Table III"));
+    assert!(report.contains("College"));
+    assert!(report.contains("t(GAS)"));
+}
+
+#[test]
+fn exp2_fig5_smoke() {
+    let report = exp::exp2(&quick(&[DatasetId::Facebook], 2));
+    assert!(report.contains("Fig. 5"));
+    assert!(report.contains("Exact"));
+}
+
+#[test]
+fn exp3_fig6_smoke() {
+    let report = exp::exp3(&quick(&[DatasetId::Brightkite], 4));
+    assert!(report.contains("Fig. 6"));
+    assert!(report.contains("Rand"));
+    assert!(report.contains("Tur"));
+}
+
+#[test]
+fn exp4_fig7_smoke() {
+    let report = exp::exp4(&quick(&[DatasetId::Gowalla], 3));
+    assert!(report.contains("Fig. 7"));
+    assert!(report.contains("Edge-deletion"));
+}
+
+#[test]
+fn exp5_fig8_smoke() {
+    let report = exp::exp5(&quick(&[DatasetId::College], 4));
+    assert!(report.contains("Fig. 8"));
+    assert!(report.contains("speedup"));
+}
+
+#[test]
+fn exp6_fig9_smoke() {
+    let report = exp::exp6(&quick(&[DatasetId::Patents], 2), false);
+    assert!(report.contains("Fig. 9"));
+    assert!(report.contains("vertices"));
+    assert!(report.contains("edges"));
+}
+
+#[test]
+fn exp7_table4_smoke() {
+    let report = exp::exp7(&quick(&[DatasetId::College, DatasetId::Youtube], 2));
+    assert!(report.contains("Table IV"));
+    assert!(report.contains("Avg size"));
+}
+
+#[test]
+fn exp8_fig10_smoke() {
+    let report = exp::exp8(&quick(&[DatasetId::Facebook], 4));
+    assert!(report.contains("Fig. 10"));
+    assert!(report.contains("FR"));
+}
+
+#[test]
+fn exp9_table5_smoke() {
+    let report = exp::exp9(&quick(&[DatasetId::Gowalla], 3));
+    assert!(report.contains("Table V"));
+    assert!(report.contains("Fig. 11(a)"));
+    assert!(report.contains("Fig. 11(b)"));
+}
+
+#[test]
+fn exp10_cross_model_smoke() {
+    let report = exp::exp10(&quick(&[DatasetId::College], 2));
+    assert!(report.contains("cross-model"));
+    assert!(report.contains("GAS (edge)"));
+    assert!(report.contains("Coreness (vertex)"));
+    assert!(report.contains("Resil(induced)"));
+}
+
+#[test]
+fn exp11_parallel_smoke() {
+    let report = exp::exp11(&quick(&[DatasetId::College], 2));
+    assert!(report.contains("parallel candidate scan"));
+    assert!(report.contains("speedup(4)"));
+}

@@ -1,0 +1,90 @@
+//! Property-based differential tests: the upward-route follower search
+//! (Algorithm 3) must agree with the naive anchored re-decomposition on
+//! arbitrary graphs, with and without pre-existing anchors.
+
+use antruss::atr::followers::{naive_followers, FollowerSearch};
+use antruss::atr::AtrState;
+use antruss::graph::{CsrGraph, EdgeId, GraphBuilder};
+use proptest::prelude::*;
+
+/// Builds a graph from an arbitrary list of vertex pairs (duplicates and
+/// self loops tolerated by the builder).
+fn graph_from_pairs(pairs: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn followers_match_oracle(pairs in prop::collection::vec((0u8..24, 0u8..24), 1..140)) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let st = AtrState::new(&g);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        for x in g.edges() {
+            let mut got = fs.followers(&st, x).followers;
+            got.sort();
+            let want = naive_followers(&st, x);
+            prop_assert_eq!(got, want, "candidate {:?}", g.endpoints(x));
+        }
+    }
+
+    #[test]
+    fn followers_match_oracle_with_anchors(
+        pairs in prop::collection::vec((0u8..20, 0u8..20), 10..120),
+        a1 in 0usize..1000,
+        a2 in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() >= 3);
+        let m = g.num_edges();
+        let mut st = AtrState::new(&g);
+        let e1 = EdgeId((a1 % m) as u32);
+        st.anchor_full_refresh(e1);
+        let e2 = EdgeId((a2 % m) as u32);
+        if e2 != e1 {
+            st.anchor_full_refresh(e2);
+        }
+        let mut fs = FollowerSearch::new(m);
+        for x in g.edges() {
+            if st.is_anchor(x) {
+                continue;
+            }
+            let mut got = fs.followers(&st, x).followers;
+            got.sort();
+            let want = naive_followers(&st, x);
+            prop_assert_eq!(got, want, "candidate {:?}", g.endpoints(x));
+        }
+    }
+
+    #[test]
+    fn followers_never_include_anchor_or_lower_trussness(
+        pairs in prop::collection::vec((0u8..22, 0u8..22), 1..120)
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let st = AtrState::new(&g);
+        let mut fs = FollowerSearch::new(g.num_edges());
+        for x in g.edges() {
+            let out = fs.followers(&st, x);
+            for &f in &out.followers {
+                prop_assert_ne!(f, x, "an anchor cannot follow itself");
+                // Lemma 2: followers satisfy t(f) > t(x), or same trussness
+                // with a later (or equal, same-layer) deletion time.
+                prop_assert!(
+                    st.t(f) > st.t(x) || (st.t(f) == st.t(x) && st.l(f) > st.l(x)),
+                    "follower {:?} precedes its anchor {:?}",
+                    g.endpoints(f),
+                    g.endpoints(x)
+                );
+            }
+            // route examined at least as many candidates as it confirmed
+            prop_assert!(out.route_size >= out.followers.len());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants of the graph substrate: builder canonical-
+//! ization, CSR adjacency structure, text and binary I/O round trips.
+
+use antruss::graph::{io, io_binary, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn graph_from_pairs(pairs: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_canonicalizes(pairs in prop::collection::vec((0u8..40, 0u8..40), 0..200)) {
+        let g = graph_from_pairs(&pairs);
+        // no self loops, endpoints ordered, edges unique
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert!(u < v, "canonical order violated");
+            prop_assert!(seen.insert((u, v)), "duplicate edge {u:?}-{v:?}");
+        }
+        // adjacency is symmetric and sorted
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted adjacency");
+            }
+            for &w in nbrs {
+                prop_assert!(g.neighbors(w).contains(&v), "asymmetric adjacency");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(pairs in prop::collection::vec((0u8..30, 0u8..30), 0..150)) {
+        let g = graph_from_pairs(&pairs);
+        let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn edge_lookup_agrees_with_endpoints(pairs in prop::collection::vec((0u8..25, 0u8..25), 1..120)) {
+        let g = graph_from_pairs(&pairs);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert_eq!(g.edge_between(u, v), Some(e));
+            prop_assert_eq!(g.edge_between(v, u), Some(e));
+        }
+    }
+
+    #[test]
+    fn text_io_roundtrip(pairs in prop::collection::vec((0u8..30, 0u8..30), 0..150)) {
+        let g = graph_from_pairs(&pairs);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let h = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        // text round trip may relabel; compare degree multisets
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|v| h.degree(v)).filter(|&d| d > 0).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+    }
+
+    #[test]
+    fn binary_io_roundtrip_is_exact(pairs in prop::collection::vec((0u8..30, 0u8..30), 0..150)) {
+        let g = graph_from_pairs(&pairs);
+        let h = io_binary::from_bytes(io_binary::to_bytes(&g)).unwrap();
+        prop_assert_eq!(h.num_vertices(), g.num_vertices());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for e in g.edges() {
+            prop_assert_eq!(g.endpoints(e), h.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn triangle_support_is_symmetric_count(pairs in prop::collection::vec((0u8..20, 0u8..20), 1..100)) {
+        use antruss::graph::triangles;
+        let g = graph_from_pairs(&pairs);
+        // 3 * (#triangles) == sum of supports
+        let sup = triangles::support(&g, None);
+        let total: u64 = sup.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(total % 3, 0, "support sum must be divisible by 3");
+        prop_assert_eq!(total / 3, triangles::triangle_count(&g));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for graph I/O: text and binary round trips preserve the
+//! graph exactly, and malformed inputs fail loudly instead of silently
+//! truncating.
+
+use antruss::graph::{io, io_binary, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn graph_from_pairs(pairs: &[(u16, u16)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+fn graphs_equal(a: &CsrGraph, b: &CsrGraph) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    let mut ea: Vec<(u32, u32)> = a.edges().map(|e| {
+        let (u, v) = a.endpoints(e);
+        (u.0, v.0)
+    }).collect();
+    let mut eb: Vec<(u32, u32)> = b.edges().map(|e| {
+        let (u, v) = b.endpoints(e);
+        (u.0, v.0)
+    }).collect();
+    ea.sort_unstable();
+    eb.sort_unstable();
+    ea == eb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn text_roundtrip(pairs in prop::collection::vec((0u16..300, 0u16..300), 0..400)) {
+        let g = graph_from_pairs(&pairs);
+        let dir = std::env::temp_dir().join(format!("antruss-io-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        io::write_edge_list_path(&g, path.to_str().unwrap()).unwrap();
+        let back = io::read_edge_list_path(path.to_str().unwrap()).unwrap();
+        // vertex count can differ (text format loses trailing isolated
+        // vertices); edge multiset must survive exactly
+        prop_assert_eq!(g.num_edges(), back.num_edges());
+        let trussness_a = antruss::truss::decompose(&g).trussness;
+        let trussness_b = antruss::truss::decompose(&back).trussness;
+        let mut a = trussness_a;
+        let mut b = trussness_b;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "truss structure must survive the round trip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip(pairs in prop::collection::vec((0u16..300, 0u16..300), 0..400)) {
+        let g = graph_from_pairs(&pairs);
+        let dir = std::env::temp_dir().join(format!("antruss-io-bprop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        io_binary::write_binary_path(&g, path.to_str().unwrap()).unwrap();
+        let back = io_binary::read_binary_path(path.to_str().unwrap()).unwrap();
+        prop_assert!(graphs_equal(&g, &back), "binary format is lossless");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn truncated_binary_fails() {
+    let g = graph_from_pairs(&[(0, 1), (1, 2), (0, 2)]);
+    let dir = std::env::temp_dir().join(format!("antruss-io-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trunc.bin");
+    io_binary::write_binary_path(&g, path.to_str().unwrap()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            io_binary::read_binary_path(path.to_str().unwrap()).is_err(),
+            "truncation at {cut} bytes must be an error"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn garbage_text_fails() {
+    let dir = std::env::temp_dir().join(format!("antruss-io-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.txt");
+    std::fs::write(&path, "0 1\nnot numbers here\n2 3\n").unwrap();
+    assert!(io::read_edge_list_path(path.to_str().unwrap()).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,128 @@
+//! Property tests for the k-core substrate and its relationship to the
+//! truss substrate.
+
+use antruss::graph::{CsrGraph, GraphBuilder, VertexId, VertexSet};
+use antruss::kcore::{
+    core_decompose, core_decompose_with, core_followers, naive_core_followers,
+    ANCHOR_CORENESS,
+};
+use antruss::truss::decompose;
+use proptest::prelude::*;
+
+fn graph_from_pairs(pairs: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coreness_matches_oracle(pairs in prop::collection::vec((0u8..26, 0u8..26), 1..160)) {
+        let g = graph_from_pairs(&pairs);
+        let info = core_decompose(&g);
+        let naive = antruss::kcore::verify::naive_coreness(&g, None);
+        prop_assert_eq!(info.coreness, naive);
+    }
+
+    #[test]
+    fn core_followers_match_oracle(
+        pairs in prop::collection::vec((0u8..20, 0u8..20), 8..120),
+        a1 in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_vertices() >= 2);
+        let n = g.num_vertices();
+        let mut anchors = VertexSet::new(n);
+        anchors.insert(VertexId((a1 % n) as u32));
+        let info = core_decompose_with(&g, Some(&anchors));
+        for x in g.vertices() {
+            if anchors.contains(x) {
+                continue;
+            }
+            let got = core_followers(&g, &info, &anchors, x);
+            let want = naive_core_followers(&g, &anchors, x);
+            prop_assert_eq!(got, want, "candidate {:?}", x);
+        }
+    }
+
+    /// Every vertex of a k-truss edge sits in the (k−1)-core: coreness
+    /// bounds trussness (`t(e) − 1 ≤ min(c(u), c(v))`). This ties the two
+    /// substrates together and would catch systematic bias in either.
+    #[test]
+    fn trussness_bounded_by_coreness(
+        pairs in prop::collection::vec((0u8..28, 0u8..28), 1..200)
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let truss = decompose(&g);
+        let core = core_decompose(&g);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let t = truss.t(e);
+            prop_assert!(
+                t.saturating_sub(1) <= core.c(u) && t.saturating_sub(1) <= core.c(v),
+                "edge {:?}: t={} but c({:?})={}, c({:?})={}",
+                e, t, u, core.c(u), v, core.c(v)
+            );
+        }
+    }
+
+    /// Anchoring can only raise coreness, by at most 1, and never touches
+    /// vertices below the anchor's own level.
+    #[test]
+    fn anchoring_vertex_monotone_and_bounded(
+        pairs in prop::collection::vec((0u8..22, 0u8..22), 8..140),
+        pick in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_vertices() >= 2);
+        let n = g.num_vertices();
+        let x = VertexId((pick % n) as u32);
+        let base = core_decompose(&g);
+        let mut anchors = VertexSet::new(n);
+        anchors.insert(x);
+        let after = core_decompose_with(&g, Some(&anchors));
+        for v in g.vertices() {
+            if v == x {
+                prop_assert_eq!(after.c(v), ANCHOR_CORENESS);
+                continue;
+            }
+            prop_assert!(after.c(v) >= base.c(v), "coreness can never drop");
+            prop_assert!(after.c(v) - base.c(v) <= 1, "gain is at most 1");
+            if base.c(v) < base.c(x) {
+                prop_assert_eq!(
+                    after.c(v), base.c(v),
+                    "vertices below the anchor's level are unaffected"
+                );
+            }
+        }
+    }
+
+    /// Peel layers are a proper stratification: within one coreness level,
+    /// a vertex in layer i+1 has at least one neighbour in layer ≤ i of
+    /// the same level (otherwise it would have been deleted earlier).
+    #[test]
+    fn core_layers_are_contiguous(pairs in prop::collection::vec((0u8..24, 0u8..24), 1..150)) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_vertices() > 0);
+        let info = core_decompose(&g);
+        for v in g.vertices() {
+            let (c, l) = (info.c(v), info.l(v));
+            prop_assert!(l >= 1, "{:?} must have a layer", v);
+            if l > 1 {
+                let has_earlier = g.neighbors(v).iter().any(|&w| {
+                    info.c(w) == c && info.l(w) < l || info.c(w) < c
+                });
+                prop_assert!(
+                    has_earlier,
+                    "{:?} (c={}, l={}) has no earlier-peeled neighbour",
+                    v, c, l
+                );
+            }
+        }
+    }
+}

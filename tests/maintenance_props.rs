@@ -1,0 +1,107 @@
+//! Property-based tests of the dynamic truss maintenance substrate:
+//! arbitrary insert/delete sequences must stay bit-identical to scratch
+//! decomposition.
+
+use antruss::graph::{CsrGraph, EdgeId, GraphBuilder};
+use antruss::truss::{decompose_with, DecomposeOptions, DynamicTruss};
+use proptest::prelude::*;
+
+fn graph_from_pairs(pairs: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in pairs {
+        b.add_edge(u as u64, v as u64);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn update_sequences_match_scratch(
+        pairs in prop::collection::vec((0u8..22, 0u8..22), 5..120),
+        flips in prop::collection::vec(0usize..1000, 1..40),
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let m = g.num_edges();
+        let mut dt = DynamicTruss::new(&g);
+        for &f in &flips {
+            let e = EdgeId((f % m) as u32);
+            if dt.is_alive(e) {
+                dt.remove_edge(e);
+            } else {
+                dt.insert_edge(e);
+            }
+        }
+        let scratch = decompose_with(&g, DecomposeOptions {
+            subset: Some(dt.alive()),
+            anchors: None,
+        });
+        prop_assert_eq!(&dt.info().trussness, &scratch.trussness);
+        prop_assert_eq!(&dt.info().layer, &scratch.layer);
+        prop_assert_eq!(dt.info().k_max, scratch.k_max);
+    }
+
+    #[test]
+    fn removal_never_raises_and_insertion_never_lowers(
+        pairs in prop::collection::vec((0u8..20, 0u8..20), 5..100),
+        pick in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let m = g.num_edges();
+        let e = EdgeId((pick % m) as u32);
+        let mut dt = DynamicTruss::new(&g);
+        let before = dt.info().trussness.clone();
+        dt.remove_edge(e);
+        for f in g.edges() {
+            if f == e {
+                continue;
+            }
+            prop_assert!(dt.info().t(f) <= before[f.idx()], "deletion raised {f:?}");
+        }
+        dt.insert_edge(e);
+        prop_assert_eq!(&dt.info().trussness, &before, "round trip must restore");
+    }
+
+    #[test]
+    fn batch_updates_match_scratch(
+        pairs in prop::collection::vec((0u8..20, 0u8..20), 5..110),
+        batch in prop::collection::vec(0usize..1000, 1..20),
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let m = g.num_edges();
+        let edges: Vec<EdgeId> = batch.iter().map(|&f| EdgeId((f % m) as u32)).collect();
+        let mut dt = DynamicTruss::new(&g);
+        dt.remove_edges(edges.iter().copied());
+        let scratch = decompose_with(&g, DecomposeOptions {
+            subset: Some(dt.alive()),
+            anchors: None,
+        });
+        prop_assert_eq!(&dt.info().trussness, &scratch.trussness, "after batch remove");
+        dt.insert_edges(edges);
+        let restored = decompose_with(&g, DecomposeOptions {
+            subset: Some(dt.alive()),
+            anchors: None,
+        });
+        prop_assert_eq!(&dt.info().trussness, &restored.trussness, "after batch insert");
+        prop_assert_eq!(&dt.info().layer, &restored.layer);
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        pairs in prop::collection::vec((0u8..18, 0u8..18), 5..90),
+        pick in 0usize..1000,
+    ) {
+        let g = graph_from_pairs(&pairs);
+        prop_assume!(g.num_edges() > 0);
+        let m = g.num_edges();
+        let e = EdgeId((pick % m) as u32);
+        let mut dt = DynamicTruss::new(&g);
+        let stats = dt.remove_edge(e).expect("alive");
+        prop_assert!(stats.changed <= stats.recomputed);
+        prop_assert!(stats.recomputed < m, "re-peel must exclude the frozen stratum... or at least the removed edge");
+    }
+}

