@@ -16,7 +16,18 @@ fn bench_fig10(c: &mut Criterion) {
         ("no-reuse", ReusePolicy::Off),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(Gas::new(&g, GasConfig { reuse: policy, ..GasConfig::default() }).run(6)))
+            b.iter(|| {
+                black_box(
+                    Gas::new(
+                        &g,
+                        GasConfig {
+                            reuse: policy,
+                            ..GasConfig::default()
+                        },
+                    )
+                    .run(6),
+                )
+            })
         });
     }
     group.finish();

@@ -13,9 +13,7 @@ use std::hint::black_box;
 
 fn bench_decomposition(c: &mut Criterion) {
     let g = generate(DatasetId::College, 1.0);
-    c.bench_function("decompose/college", |b| {
-        b.iter(|| black_box(decompose(&g)))
-    });
+    c.bench_function("decompose/college", |b| b.iter(|| black_box(decompose(&g))));
     let g_small = generate(DatasetId::Brightkite, 0.2);
     c.bench_function("decompose/brightkite@0.2", |b| {
         b.iter(|| black_box(decompose(&g_small)))
@@ -28,7 +26,7 @@ fn bench_support(c: &mut Criterion) {
         b.iter(|| black_box(support(&g, None)))
     });
     for threads in [2usize, 4] {
-        c.bench_function(&format!("support/threads-{threads}"), |b| {
+        c.bench_function(format!("support/threads-{threads}"), |b| {
             b.iter(|| black_box(support_parallel(&g, None, threads)))
         });
     }

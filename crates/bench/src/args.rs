@@ -55,9 +55,7 @@ impl Args {
     {
         match self.options.get(key) {
             None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")),
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")),
         }
     }
 

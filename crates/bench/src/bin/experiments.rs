@@ -34,19 +34,13 @@ fn main() {
                 Some(exp::exp1(&cfg))
             }
             "exp2" => {
-                let cfg = ExpConfig::from_args(
-                    &args,
-                    &[DatasetId::Facebook, DatasetId::Brightkite],
-                    3,
-                );
+                let cfg =
+                    ExpConfig::from_args(&args, &[DatasetId::Facebook, DatasetId::Brightkite], 3);
                 Some(exp::exp2(&cfg))
             }
             "exp3" => {
-                let cfg = ExpConfig::from_args(
-                    &args,
-                    &[DatasetId::Facebook, DatasetId::Brightkite],
-                    20,
-                );
+                let cfg =
+                    ExpConfig::from_args(&args, &[DatasetId::Facebook, DatasetId::Brightkite], 20);
                 Some(exp::exp3(&cfg))
             }
             "exp4" => {
@@ -54,19 +48,12 @@ fn main() {
                 Some(exp::exp4(&cfg))
             }
             "exp5" => {
-                let cfg = ExpConfig::from_args(
-                    &args,
-                    &[DatasetId::College, DatasetId::Brightkite],
-                    20,
-                );
+                let cfg =
+                    ExpConfig::from_args(&args, &[DatasetId::College, DatasetId::Brightkite], 20);
                 Some(exp::exp5(&cfg))
             }
             "exp6" => {
-                let cfg = ExpConfig::from_args(
-                    &args,
-                    &[DatasetId::Patents, DatasetId::Pokec],
-                    10,
-                );
+                let cfg = ExpConfig::from_args(&args, &[DatasetId::Patents, DatasetId::Pokec], 10);
                 Some(exp::exp6(&cfg, args.flag("fine")))
             }
             "exp7" => {
@@ -74,11 +61,8 @@ fn main() {
                 Some(exp::exp7(&cfg))
             }
             "exp8" => {
-                let cfg = ExpConfig::from_args(
-                    &args,
-                    &[DatasetId::Facebook, DatasetId::Gowalla],
-                    10,
-                );
+                let cfg =
+                    ExpConfig::from_args(&args, &[DatasetId::Facebook, DatasetId::Gowalla], 10);
                 Some(exp::exp8(&cfg))
             }
             "exp9" => {
@@ -88,7 +72,11 @@ fn main() {
             "exp10" => {
                 let cfg = ExpConfig::from_args(
                     &args,
-                    &[DatasetId::College, DatasetId::Brightkite, DatasetId::Gowalla],
+                    &[
+                        DatasetId::College,
+                        DatasetId::Brightkite,
+                        DatasetId::Gowalla,
+                    ],
                     10,
                 );
                 Some(exp::exp10(&cfg))

@@ -43,12 +43,7 @@ use super::ExpConfig;
 
 /// Best vertex-anchored trussness gain over the `k` grid for a fixed set
 /// of anchor vertices.
-fn best_k_gain(
-    g: &antruss_graph::CsrGraph,
-    t: &[u32],
-    k_max: u32,
-    vertices: &[VertexId],
-) -> u64 {
+fn best_k_gain(g: &antruss_graph::CsrGraph, t: &[u32], k_max: u32, vertices: &[VertexId]) -> u64 {
     let mut flags = vec![false; g.num_vertices()];
     for &v in vertices {
         flags[v.idx()] = true;

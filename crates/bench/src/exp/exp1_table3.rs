@@ -1,19 +1,21 @@
 //! Exp-1 (Table III): dataset statistics plus effectiveness and efficiency
 //! of `Rand`, `Sup`, `Tur`, `GAS` (gain) and `BASE`, `BASE+`, `GAS`
 //! (running time) with the default budget.
+//!
+//! Every algorithm is dispatched by name through
+//! [`antruss_core::engine::registry`] and consumed as the unified
+//! [`Outcome`](antruss_core::engine::Outcome) — no per-algorithm result
+//! structs.
 
-use antruss_core::baselines::base::base_greedy;
-use antruss_core::baselines::random::{random_baseline, Pool};
-use antruss_core::{Gas, GasConfig, ReusePolicy};
+use antruss_core::engine::Extras;
 use antruss_graph::stats::graph_stats;
 use antruss_truss::decompose;
 use std::fmt::Write as _;
-use std::time::Duration;
 
+use crate::fmt_secs;
 use crate::table::Table;
-use crate::{fmt_secs, timed};
 
-use super::ExpConfig;
+use super::{run_solver, ExpConfig};
 
 /// Runs Exp-1 and returns the report.
 pub fn exp1(cfg: &ExpConfig) -> String {
@@ -24,38 +26,27 @@ pub fn exp1(cfg: &ExpConfig) -> String {
         cfg.budget, cfg.trials
     );
     let mut table = Table::new([
-        "Dataset", "|V|", "|E|", "k_max", "sup_max", "Rand", "Sup", "Tur", "GAS",
-        "t(BASE)", "t(BASE+)", "t(GAS)",
+        "Dataset", "|V|", "|E|", "k_max", "sup_max", "Rand", "Sup", "Tur", "GAS", "t(BASE)",
+        "t(BASE+)", "t(GAS)",
     ]);
+    let engine_cfg = cfg.engine_config();
 
     for &id in &cfg.datasets {
         let g = cfg.load(id);
         let stats = graph_stats(&g);
         let info = decompose(&g);
 
-        let rand = random_baseline(&g, Pool::All, cfg.budget, cfg.trials, 1);
-        let sup = random_baseline(&g, Pool::TopSupport(0.2), cfg.budget, cfg.trials, 2);
-        let tur = random_baseline(&g, Pool::TopRouteSize(0.2), cfg.budget, cfg.trials, 3);
+        let rand = run_solver("rand", &g, &engine_cfg.clone().seed(1));
+        let sup = run_solver("rand:sup", &g, &engine_cfg.clone().seed(2));
+        let tur = run_solver("rand:tur", &g, &engine_cfg.clone().seed(3));
 
-        let (gas, gas_time) = timed(|| {
-            Gas::new(
-                &g,
-                GasConfig {
-                    reuse: ReusePolicy::PaperExact,
-                    ..GasConfig::default()
-                },
-            )
-            .run(cfg.budget)
-        });
+        let gas = run_solver("gas", &g, &engine_cfg);
 
         // BASE: strictly time-capped (the paper could only finish College
         // in three days).
-        let base = base_greedy(
-            &g,
-            cfg.budget,
-            Some(Duration::from_secs(cfg.base_timeout_secs)),
-        );
-        let base_cell = if base.timed_out {
+        let base = run_solver("base", &g, &engine_cfg);
+        let base_timed_out = matches!(base.extras, Extras::Base { timed_out: true });
+        let base_cell = if base_timed_out {
             format!("> {}s*", cfg.base_timeout_secs)
         } else {
             fmt_secs(base.elapsed)
@@ -63,17 +54,7 @@ pub fn exp1(cfg: &ExpConfig) -> String {
 
         // BASE+: attempted only below the configured edge cap.
         let bplus_cell = if g.num_edges() <= cfg.bplus_max_edges {
-            let (_, t) = timed(|| {
-                Gas::new(
-                    &g,
-                    GasConfig {
-                        reuse: ReusePolicy::Off,
-                        ..GasConfig::default()
-                    },
-                )
-                .run(cfg.budget)
-            });
-            fmt_secs(t)
+            fmt_secs(run_solver("base+", &g, &engine_cfg).elapsed)
         } else {
             "-".to_string()
         };
@@ -84,13 +65,13 @@ pub fn exp1(cfg: &ExpConfig) -> String {
             stats.edges.to_string(),
             info.k_max.to_string(),
             stats.max_support.to_string(),
-            rand.gain.to_string(),
-            sup.gain.to_string(),
-            tur.gain.to_string(),
+            rand.total_gain.to_string(),
+            sup.total_gain.to_string(),
+            tur.total_gain.to_string(),
             gas.total_gain.to_string(),
             base_cell,
             bplus_cell,
-            fmt_secs(gas_time),
+            fmt_secs(gas.elapsed),
         ]);
     }
     report.push_str(&table.render());
@@ -123,13 +104,14 @@ mod tests {
         cfg.budget = 4;
         cfg.trials = 5;
         let g = cfg.load(DatasetId::College);
-        let gas = antruss_core::Gas::new(&g, Default::default()).run(cfg.budget);
-        let rand = random_baseline(&g, Pool::All, cfg.budget, cfg.trials, 1);
+        let engine_cfg = cfg.engine_config();
+        let gas = run_solver("gas", &g, &engine_cfg);
+        let rand = run_solver("rand", &g, &engine_cfg.seed(1));
         assert!(
-            gas.total_gain >= rand.gain,
+            gas.total_gain >= rand.total_gain,
             "GAS {} must beat Rand {}",
             gas.total_gain,
-            rand.gain
+            rand.total_gain
         );
     }
 }

@@ -22,16 +22,10 @@ use super::ExpConfig;
 /// non-submodular pair effects exist are uninformative — greedy provably
 /// cannot see pair-only gains, and the paper's real ego nets are locally
 /// dense with singleton-visible cascades.
-fn informative_ego(
-    g: &CsrGraph,
-    min_e: usize,
-    max_e: usize,
-    seed: u64,
-) -> Option<CsrGraph> {
+fn informative_ego(g: &CsrGraph, min_e: usize, max_e: usize, seed: u64) -> Option<CsrGraph> {
     let mut best: Option<(usize, CsrGraph)> = None;
     for round in 0..12u64 {
-        let Some(sub) = ego_subgraph_with_edges(g, min_e, max_e, 20, seed + round * 1009)
-        else {
+        let Some(sub) = ego_subgraph_with_edges(g, min_e, max_e, 20, seed + round * 1009) else {
             continue;
         };
         let st = AtrState::new(&sub);
@@ -52,7 +46,11 @@ fn informative_ego(
 pub fn exp2(cfg: &ExpConfig) -> String {
     let mut report = String::new();
     let instances = if cfg.scale < 0.1 { 1 } else { 3 };
-    let (min_e, max_e) = if cfg.scale < 0.1 { (40, 80) } else { (150, 250) };
+    let (min_e, max_e) = if cfg.scale < 0.1 {
+        (40, 80)
+    } else {
+        (150, 250)
+    };
     let max_b = 3usize;
     let _ = writeln!(
         report,
@@ -60,7 +58,13 @@ pub fn exp2(cfg: &ExpConfig) -> String {
     );
 
     let mut table = Table::new([
-        "Dataset", "b", "Exact gain", "GAS gain", "ratio", "t(Exact)", "t(GAS)",
+        "Dataset",
+        "b",
+        "Exact gain",
+        "GAS gain",
+        "ratio",
+        "t(Exact)",
+        "t(GAS)",
     ]);
 
     for &id in &cfg.datasets {
@@ -106,7 +110,9 @@ pub fn exp2(cfg: &ExpConfig) -> String {
         }
     }
     report.push_str(&table.render());
-    report.push_str("\nPaper shape: GAS ≥ 0.9 × Exact for b ≤ 3, at orders-of-magnitude lower time.\n");
+    report.push_str(
+        "\nPaper shape: GAS ≥ 0.9 × Exact for b ≤ 3, at orders-of-magnitude lower time.\n",
+    );
     report
 }
 

@@ -6,12 +6,11 @@
 //! per budget, exactly as in the paper.
 
 use antruss_core::baselines::random::{build_pool, random_trials, Pool};
-use antruss_core::{Gas, GasConfig};
 use std::fmt::Write as _;
 
 use crate::table::Table;
 
-use super::ExpConfig;
+use super::{run_solver, ExpConfig};
 
 /// Budget grid: five evenly spaced points up to `budget` (the paper's
 /// 20/40/60/80/100 when `--b 100`).
@@ -33,19 +32,18 @@ pub fn exp3(cfg: &ExpConfig) -> String {
     for &id in &cfg.datasets {
         let g = cfg.load(id);
         let _ = writeln!(report, "[{}]", id.profile().name);
-        let gas = Gas::new(&g, GasConfig::default()).run(*grid.last().unwrap());
+        // one GAS run at the largest budget; prefix sums of per-round
+        // claims give the whole curve (unified Outcome rounds)
+        let mut gas_cfg = cfg.engine_config();
+        gas_cfg.budget = *grid.last().unwrap();
+        let gas = run_solver("gas", &g, &gas_cfg);
         let pool_all = build_pool(&g, Pool::All);
         let pool_sup = build_pool(&g, Pool::TopSupport(0.2));
         let pool_tur = build_pool(&g, Pool::TopRouteSize(0.2));
 
         let mut table = Table::new(["b", "GAS", "Rand", "Sup", "Tur"]);
         for &b in &grid {
-            let gas_gain: u64 = gas
-                .rounds
-                .iter()
-                .take(b)
-                .map(|r| r.followers.len() as u64)
-                .sum();
+            let gas_gain: u64 = gas.rounds.iter().take(b).map(|r| r.gain).sum();
             let rand = random_trials(&g, &pool_all, b, cfg.trials, 11).gain;
             let sup = random_trials(&g, &pool_sup, b, cfg.trials, 12).gain;
             let tur = random_trials(&g, &pool_tur, b, cfg.trials, 13).gain;

@@ -2,63 +2,51 @@
 //!
 //! The headline efficiency claim: GAS's tree reuse amortizes follower
 //! computation across rounds, finishing in a fraction of BASE+'s time
-//! (≈ 20 % on the paper's Facebook/Google).
+//! (≈ 20 % on the paper's Facebook/Google). Both solvers are dispatched
+//! through the engine registry and read as the unified
+//! [`Outcome`](antruss_core::engine::Outcome) — the run's own `elapsed`
+//! replaces hand timing.
 
-use antruss_core::{Gas, GasConfig, ReusePolicy};
 use std::fmt::Write as _;
 
+use crate::fmt_secs;
 use crate::table::Table;
-use crate::{fmt_secs, timed};
 
 use super::exp3_effectiveness::budget_grid;
-use super::ExpConfig;
+use super::{run_solver, ExpConfig};
 
 /// Runs Exp-5 and returns the report.
 pub fn exp5(cfg: &ExpConfig) -> String {
     let grid = budget_grid(cfg.budget);
     let mut report = String::new();
-    let _ = writeln!(report, "Exp-5 / Fig. 8 — efficiency vs budget (grid {grid:?})\n");
+    let _ = writeln!(
+        report,
+        "Exp-5 / Fig. 8 — efficiency vs budget (grid {grid:?})\n"
+    );
+    let engine_cfg = cfg.engine_config();
 
     for &id in &cfg.datasets {
         let g = cfg.load(id);
-        let _ = writeln!(
-            report,
-            "[{}] (|E| = {})",
-            id.profile().name,
-            g.num_edges()
-        );
+        let _ = writeln!(report, "[{}] (|E| = {})", id.profile().name, g.num_edges());
         let mut table = Table::new(["b", "t(GAS)", "t(BASE+)", "speedup"]);
         for &b in &grid {
-            let (_, t_gas) = timed(|| {
-                Gas::new(
-                    &g,
-                    GasConfig {
-                        reuse: ReusePolicy::PaperExact,
-                        ..GasConfig::default()
-                    },
-                )
-                .run(b)
-            });
+            let mut run_cfg = engine_cfg.clone();
+            run_cfg.budget = b;
+            let gas = run_solver("gas", &g, &run_cfg);
             let bplus_cell;
             let speedup;
             if g.num_edges() <= cfg.bplus_max_edges {
-                let (_, t_bp) = timed(|| {
-                    Gas::new(
-                        &g,
-                        GasConfig {
-                            reuse: ReusePolicy::Off,
-                            ..GasConfig::default()
-                        },
-                    )
-                    .run(b)
-                });
-                bplus_cell = fmt_secs(t_bp);
-                speedup = format!("{:.1}x", t_bp.as_secs_f64() / t_gas.as_secs_f64().max(1e-9));
+                let bplus = run_solver("base+", &g, &run_cfg);
+                speedup = format!(
+                    "{:.1}x",
+                    bplus.elapsed.as_secs_f64() / gas.elapsed.as_secs_f64().max(1e-9)
+                );
+                bplus_cell = fmt_secs(bplus.elapsed);
             } else {
                 bplus_cell = "-".to_string();
                 speedup = "-".to_string();
             }
-            table.row([b.to_string(), fmt_secs(t_gas), bplus_cell, speedup]);
+            table.row([b.to_string(), fmt_secs(gas.elapsed), bplus_cell, speedup]);
         }
         report.push_str(&table.render());
         report.push('\n');

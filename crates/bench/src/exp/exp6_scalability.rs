@@ -50,10 +50,7 @@ pub fn exp6(cfg: &ExpConfig, fine: bool) -> String {
             // vary |E| (Fig. 9a/9b)
             let ge = sample_edges(&g, r, 17);
             let (_, t) = timed(|| Gas::new(&ge, GasConfig::default()).run(cfg.budget));
-            let active_v = ge
-                .vertices()
-                .filter(|&v| ge.degree(v) > 0)
-                .count();
+            let active_v = ge.vertices().filter(|&v| ge.degree(v) > 0).count();
             table.row([
                 "edges".to_string(),
                 format!("{r:.2}"),
@@ -74,7 +71,10 @@ pub fn exp6(cfg: &ExpConfig, fine: bool) -> String {
                 gv.num_vertices().to_string(),
                 gv.num_edges().to_string(),
                 fmt_secs(t),
-                format!("{:.2}", gv.num_vertices() as f64 / g.num_vertices().max(1) as f64),
+                format!(
+                    "{:.2}",
+                    gv.num_vertices() as f64 / g.num_vertices().max(1) as f64
+                ),
                 format!("{:.2}", gv.num_edges() as f64 / g.num_edges().max(1) as f64),
             ]);
         }

@@ -3,15 +3,16 @@
 //! Candidates entering each round ≥ 2 are classified as fully reusable
 //! (no invalidated tree node in their `sla`), partially reusable, or
 //! non-reusable. The paper reports > 80 % fully reusable on Facebook and
-//! Gowalla — the justification for the truss-component tree.
+//! Gowalla — the justification for the truss-component tree. The
+//! classification rides on the unified
+//! [`Outcome`](antruss_core::engine::Outcome)'s per-round reports.
 
 use antruss_core::metrics::ReuseClassCounts;
-use antruss_core::{Gas, GasConfig, ReusePolicy};
 use std::fmt::Write as _;
 
 use crate::table::Table;
 
-use super::ExpConfig;
+use super::{run_solver, ExpConfig};
 
 /// Runs Exp-8 and returns the report.
 pub fn exp8(cfg: &ExpConfig) -> String {
@@ -22,16 +23,10 @@ pub fn exp8(cfg: &ExpConfig) -> String {
         cfg.budget
     );
     let mut table = Table::new(["Dataset", "FR", "PR", "NR", "candidates/round"]);
+    let engine_cfg = cfg.engine_config();
     for &id in &cfg.datasets {
         let g = cfg.load(id);
-        let out = Gas::new(
-            &g,
-            GasConfig {
-                reuse: ReusePolicy::PaperExact,
-                ..GasConfig::default()
-            },
-        )
-        .run(cfg.budget);
+        let out = run_solver("gas", &g, &engine_cfg);
         let mut total = ReuseClassCounts::default();
         let mut rounds = 0usize;
         for r in &out.rounds {

@@ -74,7 +74,11 @@ pub fn exp9(cfg: &ExpConfig) -> String {
         let budgets = budget_grid(cfg.budget);
         let ks = k_grid(info.k_max);
 
-        let _ = writeln!(report, "Fig. 11(a) — AKT gain heatmap on {} (rows k, cols b)", id.profile().name);
+        let _ = writeln!(
+            report,
+            "Fig. 11(a) — AKT gain heatmap on {} (rows k, cols b)",
+            id.profile().name
+        );
         let mut heat = Table::new(
             std::iter::once("k \\ b".to_string()).chain(budgets.iter().map(|b| b.to_string())),
         );
@@ -128,7 +132,9 @@ pub fn exp9(cfg: &ExpConfig) -> String {
             fig.row(row);
         }
         report.push_str(&fig.render());
-        report.push_str("\nPaper shape: AKT's gain concentrates on one k; GAS's followers span many levels.\n");
+        report.push_str(
+            "\nPaper shape: AKT's gain concentrates on one k; GAS's followers span many levels.\n",
+        );
     }
     report
 }

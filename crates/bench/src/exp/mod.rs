@@ -24,9 +24,11 @@ pub use exp7_routes::exp7;
 pub use exp8_reuse::exp8;
 pub use exp9_akt::exp9;
 
+use antruss_core::engine::{registry, Outcome, RunConfig};
 use antruss_datasets::DatasetId;
 use antruss_graph::CsrGraph;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::args::Args;
 
@@ -116,6 +118,24 @@ impl ExpConfig {
             antruss_datasets::generate(id, self.scale)
         }
     }
+
+    /// The engine [`RunConfig`] equivalent of this experiment config.
+    pub fn engine_config(&self) -> RunConfig {
+        RunConfig::new(self.budget)
+            .trials(self.trials)
+            .time_budget(Duration::from_secs(self.base_timeout_secs))
+    }
+}
+
+/// Runs a registry solver by name, panicking with context on failure —
+/// experiments are non-recoverable scripts, so a bad name or config is a
+/// bug, not an input error.
+pub fn run_solver(name: &str, g: &CsrGraph, cfg: &RunConfig) -> Outcome {
+    registry()
+        .get(name)
+        .unwrap_or_else(|| panic!("solver {name:?} is not registered"))
+        .run(g, cfg)
+        .unwrap_or_else(|e| panic!("solver {name:?} failed: {e}"))
 }
 
 #[cfg(test)]
@@ -133,10 +153,7 @@ mod tests {
         assert_eq!(cfg.budget, 50);
         assert_eq!(cfg.trials, 7);
         assert_eq!(cfg.scale, 0.5);
-        assert_eq!(
-            cfg.datasets,
-            vec![DatasetId::College, DatasetId::Facebook]
-        );
+        assert_eq!(cfg.datasets, vec![DatasetId::College, DatasetId::Facebook]);
     }
 
     #[test]

@@ -3,15 +3,22 @@
 //! Each command is a function from parsed arguments to a report string, so
 //! they are unit-testable without spawning processes. The thin `main`
 //! dispatches and prints.
+//!
+//! Anchoring commands dispatch through
+//! [`antruss_core::engine::registry`], so every algorithm the paper
+//! evaluates is reachable by name (`--solver gas|base|base+|exact|rand|`
+//! `rand:sup|rand:tur|akt|edge-del|lazy`), and `--json` serializes the
+//! unified [`Outcome`](antruss_core::engine::Outcome) for
+//! machine-readable pipelines.
 
 #![warn(missing_docs)]
 
 use antruss_bench::args::Args;
 use antruss_bench::table::Table;
-use antruss_core::baselines::random::{random_baseline, Pool};
+use antruss_core::engine::{registry, Outcome, RunConfig};
 use antruss_core::route::{route_sizes, route_stats};
 use antruss_core::stability::{decay_simulation, resilience_gain};
-use antruss_core::{AtrState, Gas, GasConfig, ReusePolicy};
+use antruss_core::{AtrState, ReusePolicy};
 use antruss_datasets::DatasetId;
 use antruss_graph::stats::graph_stats;
 use antruss_graph::{io, CsrGraph, EdgeSet};
@@ -24,16 +31,21 @@ pub const USAGE: &str = "antruss — Anchor Trussness Reinforcement toolkit
 
 USAGE:
   antruss stats      <edges.txt | dataset-slug> [--scale F]
-  antruss anchor     <edges.txt | dataset-slug> [--b N] [--policy paper|conservative|off] [--threads N] [--scale F]
+  antruss anchor     <edges.txt | dataset-slug> [--b N] [--solver NAME] [--policy paper|conservative|off]
+                     [--threads N] [--trials N] [--k K] [--exact-cap N] [--base-timeout S]
+                     [--scale F] [--json]
+  antruss compare    <edges.txt | dataset-slug> [--b N] [--solvers a,b,c] [--trials N] [--threads N]
+                     [--scale F] [--json]
+  antruss solvers
   antruss routes     <edges.txt | dataset-slug> [--scale F]
-  antruss compare    <edges.txt | dataset-slug> [--b N] [--trials N] [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss community  <edges.txt | dataset-slug> --q VERTEX [--k K] [--scale F]
   antruss gen        <dataset-slug> --out FILE [--scale F]
 
-Inputs are SNAP-style edge lists; dataset slugs (college, facebook, …,
-pokec) generate the built-in synthetic analogues.";
+Solvers are dispatched by registry name (see `antruss solvers`). Inputs
+are SNAP-style edge lists; dataset slugs (college, facebook, …, pokec)
+generate the built-in synthetic analogues.";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -41,6 +53,45 @@ pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
         return Ok(antruss_datasets::generate(id, scale.clamp(0.001, 1.0)));
     }
     io::read_edge_list_path(spec).map_err(|e| format!("cannot load {spec:?}: {e}"))
+}
+
+/// Builds a [`RunConfig`] from the shared CLI flags.
+///
+/// Interactive defaults differ from the library's in two safety valves:
+/// `exact` is capped at 100 000 enumerated sets (`--exact-cap N`,
+/// `0` = exhaustive) and `base` at 60 s wall-clock (`--base-timeout S`,
+/// `0` = unbounded), so a mistyped solver name cannot wedge a terminal
+/// for hours.
+pub fn run_config(args: &Args) -> Result<RunConfig, String> {
+    let mut cfg = RunConfig::new(args.get("b", 10))
+        .threads(args.get("threads", 1))
+        .trials(args.get("trials", 20))
+        .seed(args.get("seed", 1));
+    let base_timeout = args.get("base-timeout", 60u64);
+    if base_timeout > 0 {
+        cfg = cfg.time_budget(std::time::Duration::from_secs(base_timeout));
+    }
+    let exact_cap = args.get("exact-cap", 100_000u64);
+    if exact_cap > 0 {
+        cfg = cfg.exact_cap(exact_cap);
+    }
+    if let Some(p) = args.get_str("policy") {
+        cfg = cfg.reuse(parse_policy(p)?);
+    }
+    if let Some(k) = args.get_str("k") {
+        cfg = cfg.k(k.parse::<u32>().map_err(|e| format!("bad --k: {e}"))?);
+    }
+    Ok(cfg)
+}
+
+/// Resolves a solver name against the registry with a helpful error.
+fn solver_by_name(name: &str) -> Result<&'static dyn antruss_core::Solver, String> {
+    registry().get(name).ok_or_else(|| {
+        format!(
+            "unknown solver {name:?} (available: {})",
+            registry().names().join(", ")
+        )
+    })
 }
 
 /// `antruss stats` — structural + truss statistics.
@@ -100,9 +151,11 @@ pub fn cmd_kcore(g: &CsrGraph, b: usize) -> String {
 }
 
 /// `antruss resilience` — decay simulation before/after GAS anchoring.
-pub fn cmd_resilience(g: &CsrGraph, b: usize) -> String {
-    let outcome = Gas::new(g, GasConfig::default()).run(b);
-    let anchors = EdgeSet::from_iter(g.num_edges(), outcome.anchors.iter().copied());
+pub fn cmd_resilience(g: &CsrGraph, b: usize) -> Result<String, String> {
+    let outcome = solver_by_name("gas")?
+        .run(g, &RunConfig::new(b))
+        .map_err(|e| e.to_string())?;
+    let anchors = EdgeSet::from_iter(g.num_edges(), outcome.edge_anchors());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -124,7 +177,7 @@ pub fn cmd_resilience(g: &CsrGraph, b: usize) -> String {
         }
     }
     out.push_str(&t.render());
-    out
+    Ok(out)
 }
 
 /// `antruss community` — TCP-index k-truss community search around a
@@ -174,29 +227,68 @@ pub fn cmd_community(g: &CsrGraph, q: u32, k: Option<u32>) -> Result<String, Str
     Ok(out)
 }
 
-/// `antruss anchor` — run GAS and report the anchor set.
-pub fn cmd_anchor(g: &CsrGraph, b: usize, policy: ReusePolicy, threads: usize) -> String {
-    let outcome = Gas::new(g, GasConfig { reuse: policy, threads }).run(b);
+/// Renders one unified [`Outcome`] as the human-readable anchor report.
+fn render_outcome(g: &CsrGraph, outcome: &Outcome) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "selected {} anchor(s); total trussness gain {}",
+        "[{}] selected {} anchor(s); total trussness gain {}; claimed {}; {:.3}s",
+        outcome.solver,
         outcome.anchors.len(),
-        outcome.total_gain
+        outcome.total_gain,
+        outcome.claimed_gain,
+        outcome.elapsed.as_secs_f64()
     );
-    let mut t = Table::new(["round", "edge", "endpoints", "followers", "recomputed"]);
-    for r in &outcome.rounds {
-        let (u, v) = g.endpoints(r.chosen);
-        t.row([
-            r.round.to_string(),
-            format!("{}", r.chosen),
-            format!("({u}, {v})"),
-            r.followers.len().to_string(),
-            r.recomputed.to_string(),
-        ]);
+    if outcome.rounds.is_empty() {
+        let anchors: Vec<String> = outcome
+            .anchors
+            .iter()
+            .map(|a| match a {
+                antruss_core::engine::Anchor::Edge(e) => {
+                    let (u, v) = g.endpoints(*e);
+                    format!("{e}=({u},{v})")
+                }
+                antruss_core::engine::Anchor::Vertex(v) => format!("v{v}"),
+            })
+            .collect();
+        let _ = writeln!(out, "anchors: {}", anchors.join(" "));
+    } else {
+        let mut t = Table::new(["round", "anchor", "endpoints", "gain", "recomputed"]);
+        for r in &outcome.rounds {
+            let (anchor_cell, endpoints_cell) = match r.chosen {
+                antruss_core::engine::Anchor::Edge(e) => {
+                    let (u, v) = g.endpoints(e);
+                    (format!("{e}"), format!("({u}, {v})"))
+                }
+                antruss_core::engine::Anchor::Vertex(v) => (format!("v{v}"), "-".to_string()),
+            };
+            t.row([
+                r.round.to_string(),
+                anchor_cell,
+                endpoints_cell,
+                r.gain.to_string(),
+                r.recomputed.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
     }
-    out.push_str(&t.render());
     out
+}
+
+/// `antruss anchor` — run any registry solver and report its anchor set.
+pub fn cmd_anchor(
+    g: &CsrGraph,
+    solver: &str,
+    cfg: &RunConfig,
+    json: bool,
+) -> Result<String, String> {
+    let outcome = solver_by_name(solver)?
+        .run(g, cfg)
+        .map_err(|e| e.to_string())?;
+    if json {
+        return Ok(outcome.to_json());
+    }
+    Ok(render_outcome(g, &outcome))
 }
 
 /// `antruss routes` — Table-IV style upward-route statistics.
@@ -214,17 +306,51 @@ pub fn cmd_routes(g: &CsrGraph) -> String {
     )
 }
 
-/// `antruss compare` — GAS vs the randomized baselines.
-pub fn cmd_compare(g: &CsrGraph, b: usize, trials: usize) -> String {
-    let gas = Gas::new(g, GasConfig::default()).run(b);
-    let rand = random_baseline(g, Pool::All, b, trials, 1);
-    let sup = random_baseline(g, Pool::TopSupport(0.2), b, trials, 2);
-    let tur = random_baseline(g, Pool::TopRouteSize(0.2), b, trials, 3);
-    let mut t = Table::new(["method", "gain"]);
-    t.row(["GAS".to_string(), gas.total_gain.to_string()]);
-    t.row(["Tur".to_string(), tur.gain.to_string()]);
-    t.row(["Rand".to_string(), rand.gain.to_string()]);
-    t.row(["Sup".to_string(), sup.gain.to_string()]);
+/// Default solver line-up of `antruss compare`.
+pub const DEFAULT_COMPARE: &[&str] = &["gas", "rand:tur", "rand", "rand:sup"];
+
+/// `antruss compare` — any set of registry solvers side by side on one
+/// graph, consuming only the unified [`Outcome`] type.
+pub fn cmd_compare(
+    g: &CsrGraph,
+    solvers: &[&str],
+    cfg: &RunConfig,
+    json: bool,
+) -> Result<String, String> {
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(solvers.len());
+    for (i, name) in solvers.iter().enumerate() {
+        // each solver draws from its own stream (base seed + position),
+        // so identically-pooled randomized solvers don't collapse into
+        // the same draws
+        let cfg = cfg.clone().seed(cfg.seed + i as u64);
+        outcomes.push(
+            solver_by_name(name)?
+                .run(g, &cfg)
+                .map_err(|e| format!("{name}: {e}"))?,
+        );
+    }
+    if json {
+        let body: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+        return Ok(format!("[{}]", body.join(",")));
+    }
+    let mut t = Table::new(["solver", "gain", "anchors", "time"]);
+    for o in &outcomes {
+        t.row([
+            o.solver.clone(),
+            o.total_gain.to_string(),
+            o.anchors.len().to_string(),
+            format!("{:.3}s", o.elapsed.as_secs_f64()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `antruss solvers` — the registry line-up.
+pub fn cmd_solvers() -> String {
+    let mut t = Table::new(["name", "algorithm"]);
+    for s in registry().iter() {
+        t.row([s.name().to_string(), s.description().to_string()]);
+    }
     t.render()
 }
 
@@ -253,21 +379,22 @@ pub fn run(args: &Args) -> Result<String, String> {
         }
         "anchor" => {
             let spec = pos.get(1).ok_or("anchor: missing input")?;
-            let policy = parse_policy(args.get_str("policy").unwrap_or("paper"))?;
-            Ok(cmd_anchor(
+            let cfg = run_config(args)?;
+            cmd_anchor(
                 &load_input(spec, scale)?,
-                args.get("b", 10),
-                policy,
-                args.get("threads", 1),
-            ))
+                args.get_str("solver").unwrap_or("gas"),
+                &cfg,
+                args.flag("json"),
+            )
         }
+        "solvers" => Ok(cmd_solvers()),
         "kcore" => {
             let spec = pos.get(1).ok_or("kcore: missing input")?;
             Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
         }
         "resilience" => {
             let spec = pos.get(1).ok_or("resilience: missing input")?;
-            Ok(cmd_resilience(&load_input(spec, scale)?, args.get("b", 10)))
+            cmd_resilience(&load_input(spec, scale)?, args.get("b", 10))
         }
         "community" => {
             let spec = pos.get(1).ok_or("community: missing input")?;
@@ -293,15 +420,23 @@ pub fn run(args: &Args) -> Result<String, String> {
         }
         "compare" => {
             let spec = pos.get(1).ok_or("compare: missing input")?;
-            Ok(cmd_compare(
-                &load_input(spec, scale)?,
-                args.get("b", 10),
-                args.get("trials", 20),
-            ))
+            let cfg = run_config(args)?;
+            let listed = args.get_str("solvers").map(|s| {
+                s.split(',')
+                    .map(|p| p.trim())
+                    .filter(|p| !p.is_empty())
+                    .collect::<Vec<&str>>()
+            });
+            if listed.as_ref().is_some_and(|l| l.is_empty()) {
+                return Err("compare: --solvers lists no solver names".to_string());
+            }
+            let solvers = listed.unwrap_or_else(|| DEFAULT_COMPARE.to_vec());
+            cmd_compare(&load_input(spec, scale)?, &solvers, &cfg, args.flag("json"))
         }
         "gen" => {
             let spec = pos.get(1).ok_or("gen: missing dataset slug")?;
-            let id = DatasetId::from_slug(spec).ok_or_else(|| format!("unknown dataset {spec:?}"))?;
+            let id =
+                DatasetId::from_slug(spec).ok_or_else(|| format!("unknown dataset {spec:?}"))?;
             let out_path = args.get_str("out").ok_or("gen: missing --out FILE")?;
             let g = antruss_datasets::generate(id, scale.clamp(0.001, 1.0));
             io::write_edge_list_path(&g, out_path).map_err(|e| e.to_string())?;
@@ -340,8 +475,28 @@ mod tests {
     #[test]
     fn anchor_on_slug() {
         let report = run(&args("anchor college --scale 0.05 --b 3")).unwrap();
-        assert!(report.contains("anchor"));
-        assert!(report.contains("followers"));
+        assert!(report.contains("[gas]"));
+        assert!(report.contains("gain"));
+    }
+
+    #[test]
+    fn anchor_dispatches_every_registry_solver() {
+        for name in registry().names() {
+            let report = run(&args(&format!(
+                "anchor college --scale 0.05 --b 2 --trials 3 --exact-cap 500 --solver {name}"
+            )))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.contains(&format!("[{name}]")), "{name}: {report}");
+        }
+        assert!(run(&args("anchor college --scale 0.05 --solver nope")).is_err());
+    }
+
+    #[test]
+    fn anchor_json_is_machine_readable() {
+        let j = run(&args("anchor college --scale 0.05 --b 2 --json")).unwrap();
+        assert!(j.starts_with("{\"solver\":\"gas\""), "{j}");
+        assert!(j.contains("\"total_gain\":"), "{j}");
+        assert!(j.contains("\"rounds\":["), "{j}");
     }
 
     #[test]
@@ -349,7 +504,35 @@ mod tests {
         let r = run(&args("routes college --scale 0.05")).unwrap();
         assert!(r.contains("avg size"));
         let c = run(&args("compare college --scale 0.05 --b 2 --trials 3")).unwrap();
-        assert!(c.contains("GAS"));
+        assert!(c.contains("gas"), "{c}");
+        assert!(c.contains("rand:sup"), "{c}");
+    }
+
+    #[test]
+    fn compare_accepts_custom_solver_list_and_json() {
+        let c = run(&args(
+            "compare college --scale 0.05 --b 2 --trials 3 --solvers gas,lazy,edge-del",
+        ))
+        .unwrap();
+        assert!(c.contains("lazy"), "{c}");
+        assert!(c.contains("edge-del"), "{c}");
+        let j = run(&args(
+            "compare college --scale 0.05 --b 2 --trials 3 --solvers gas,lazy --json",
+        ))
+        .unwrap();
+        assert!(j.starts_with("[{\"solver\":\"gas\""), "{j}");
+        assert!(j.contains("{\"solver\":\"lazy\""), "{j}");
+        assert!(j.ends_with(']'), "{j}");
+        assert!(run(&args("compare college --scale 0.05 --solvers gas,nope")).is_err());
+        assert!(run(&args("compare college --scale 0.05 --solvers ,,")).is_err());
+    }
+
+    #[test]
+    fn solvers_lists_the_registry() {
+        let s = run(&args("solvers")).unwrap();
+        for name in registry().names() {
+            assert!(s.contains(name), "{s}");
+        }
     }
 
     #[test]
@@ -376,7 +559,18 @@ mod tests {
     fn anchor_threaded_matches_serial() {
         let a1 = run(&args("anchor college --scale 0.05 --b 2")).unwrap();
         let a2 = run(&args("anchor college --scale 0.05 --b 2 --threads 4")).unwrap();
-        assert_eq!(a1, a2, "thread count must not change the report");
+        // timing differs; compare everything except the elapsed suffix
+        let strip = |s: &str| {
+            s.lines()
+                .map(|l| l.split("; ").take(3).collect::<Vec<_>>().join("; "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&a1),
+            strip(&a2),
+            "thread count must not change results"
+        );
     }
 
     #[test]

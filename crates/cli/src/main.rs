@@ -1,13 +1,19 @@
 //! `antruss` binary: thin dispatcher over [`antruss_cli::run`].
 
+use std::io::Write as _;
+
 use antruss_bench::args::Args;
 
 fn main() {
     let args = Args::from_env();
     match antruss_cli::run(&args) {
-        Ok(report) => println!("{report}"),
+        // ignore broken pipes so `antruss ... --json | head` exits
+        // cleanly instead of panicking mid-print
+        Ok(report) => {
+            let _ = writeln!(std::io::stdout(), "{report}");
+        }
         Err(msg) => {
-            eprintln!("{msg}");
+            let _ = writeln!(std::io::stderr(), "{msg}");
             std::process::exit(2);
         }
     }

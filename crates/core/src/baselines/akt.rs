@@ -119,9 +119,10 @@ pub fn akt_greedy(g: &CsrGraph, t: &[u32], k: u32, b: usize, candidate_cap: usiz
             let gain = akt_gain(g, t, k, &truss);
             anchored[v.idx()] = false;
             if best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv))
-                && best.is_none_or(|(bg, _)| gain >= bg) {
-                    best = Some((gain, v));
-                }
+                && best.is_none_or(|(bg, _)| gain >= bg)
+            {
+                best = Some((gain, v));
+            }
         }
         let Some((gain, v)) = best else { break };
         anchored[v.idx()] = true;

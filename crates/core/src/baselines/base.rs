@@ -45,9 +45,10 @@ pub fn base_greedy(g: &CsrGraph, b: usize, time_budget: Option<Duration>) -> Bas
             }
             let gain = singleton_gain(&st, e);
             if best.is_none_or(|(bg, be)| gain > bg || (gain == bg && e < be))
-                && best.is_none_or(|(bg, _)| gain >= bg) {
-                    best = Some((gain, e));
-                }
+                && best.is_none_or(|(bg, _)| gain >= bg)
+            {
+                best = Some((gain, e));
+            }
         }
         let Some((_, chosen)) = best else { break };
         st.anchor_full_refresh(chosen);
@@ -98,7 +99,14 @@ mod tests {
         for seed in 0..4 {
             let g = gnm(24, 80, seed);
             let base = base_greedy(&g, 3, None);
-            let plus = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(3);
+            let plus = Gas::new(
+                &g,
+                GasConfig {
+                    reuse: ReusePolicy::Off,
+                    ..GasConfig::default()
+                },
+            )
+            .run(3);
             assert_eq!(base.anchors, plus.anchors, "seed {seed}");
             assert_eq!(base.total_gain, plus.total_gain, "seed {seed}");
         }

@@ -11,8 +11,8 @@
 
 use antruss_graph::{triangles, CsrGraph, EdgeId, EdgeSet};
 use antruss_truss::decompose;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::problem::{gain_of_anchor_set, AtrState};

@@ -1,0 +1,159 @@
+//! Shared run configuration for every [`Solver`](crate::engine::Solver).
+
+use std::time::Duration;
+
+use crate::gas::ReusePolicy;
+
+/// One configuration understood by **all** solvers.
+///
+/// Each solver reads the subset it needs and ignores the rest, so a
+/// single `RunConfig` can drive a whole comparison sweep:
+///
+/// ```
+/// use antruss_core::engine::{registry, RunConfig};
+/// use antruss_graph::gen::gnm;
+///
+/// let g = gnm(30, 110, 7);
+/// let cfg = RunConfig::new(3).threads(2).trials(10);
+/// for name in ["gas", "rand:sup", "lazy"] {
+///     let out = registry().get(name).unwrap().run(&g, &cfg).unwrap();
+///     assert!(out.anchors.len() <= 3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Anchor budget `b` — the number of greedy rounds / set size.
+    pub budget: usize,
+    /// Worker threads for candidate scans (`0`/`1` = serial). Selections
+    /// are deterministic for any thread count.
+    pub threads: usize,
+    /// Wall-clock cap honoured by solvers that support graceful
+    /// truncation (currently `base`); `None` = unbounded.
+    pub time_budget: Option<Duration>,
+    /// Seed for randomized solvers (`rand`, `rand:sup`, `rand:tur`).
+    pub seed: u64,
+    /// Reuse strategy for the GAS family (`gas` honours it; `base+` is by
+    /// definition [`ReusePolicy::Off`]).
+    pub reuse: ReusePolicy,
+    /// Trials for the randomized solvers (the paper uses 2000).
+    pub trials: usize,
+    /// Candidate cap for solvers that rank a candidate pool (`akt`,
+    /// `edge-del`).
+    pub candidate_cap: usize,
+    /// Truss level `k` for the vertex-anchoring `akt` comparator;
+    /// `None` = the graph's `k_max`.
+    pub k: Option<u32>,
+    /// Enumeration cap for `exact` (`None` = exhaustive).
+    pub exact_cap: Option<u64>,
+}
+
+impl RunConfig {
+    /// A config with budget `b` and the defaults the paper's evaluation
+    /// uses: serial, unbounded time, seed 1, paper-exact reuse, 30
+    /// trials, candidate cap 64, `k = k_max`, exhaustive `exact`.
+    pub fn new(budget: usize) -> RunConfig {
+        RunConfig {
+            budget,
+            threads: 1,
+            time_budget: None,
+            seed: 1,
+            reuse: ReusePolicy::PaperExact,
+            trials: 30,
+            candidate_cap: 64,
+            k: None,
+            exact_cap: None,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> RunConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the wall-clock cap.
+    pub fn time_budget(mut self, cap: Duration) -> RunConfig {
+        self.time_budget = Some(cap);
+        self
+    }
+
+    /// Sets the randomization seed.
+    pub fn seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the GAS reuse policy.
+    pub fn reuse(mut self, reuse: ReusePolicy) -> RunConfig {
+        self.reuse = reuse;
+        self
+    }
+
+    /// Sets the randomized-solver trial count.
+    pub fn trials(mut self, trials: usize) -> RunConfig {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the ranked-candidate cap.
+    pub fn candidate_cap(mut self, cap: usize) -> RunConfig {
+        self.candidate_cap = cap;
+        self
+    }
+
+    /// Pins the `akt` truss level.
+    pub fn k(mut self, k: u32) -> RunConfig {
+        self.k = Some(k);
+        self
+    }
+
+    /// Caps the `exact` enumeration.
+    pub fn exact_cap(mut self, cap: u64) -> RunConfig {
+        self.exact_cap = Some(cap);
+        self
+    }
+}
+
+impl Default for RunConfig {
+    /// Budget 10 with the [`RunConfig::new`] defaults.
+    fn default() -> RunConfig {
+        RunConfig::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RunConfig::new(5)
+            .threads(4)
+            .seed(9)
+            .trials(100)
+            .candidate_cap(8)
+            .k(4)
+            .exact_cap(1000)
+            .time_budget(Duration::from_secs(2))
+            .reuse(ReusePolicy::Off);
+        assert_eq!(cfg.budget, 5);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.trials, 100);
+        assert_eq!(cfg.candidate_cap, 8);
+        assert_eq!(cfg.k, Some(4));
+        assert_eq!(cfg.exact_cap, Some(1000));
+        assert_eq!(cfg.time_budget, Some(Duration::from_secs(2)));
+        assert_eq!(cfg.reuse, ReusePolicy::Off);
+    }
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.budget, 10);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.reuse, ReusePolicy::PaperExact);
+        assert!(cfg.time_budget.is_none());
+        assert!(cfg.k.is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The unified solver engine: one trait, one config, one outcome type
+//! and a by-name registry over **every** algorithm the paper evaluates.
+//!
+//! The paper's Section IV compares GAS against seven baselines, each of
+//! which historically had its own entry point and result struct. This
+//! module erases that asymmetry:
+//!
+//! * [`Solver`] — `name()` + `run(graph, config) -> Outcome`;
+//! * [`RunConfig`] — one builder-style configuration all solvers read;
+//! * [`Outcome`] — anchors in order, `total_gain`, per-round
+//!   [`RoundReport`]s, wall-clock, and solver-specific [`Extras`];
+//! * [`registry()`] — string-keyed dispatch (`"gas"`, `"base+"`,
+//!   `"rand:sup"`, …) used by the CLI and the experiment harness;
+//! * [`Observer`] — optional per-round streaming for long runs.
+//!
+//! ```
+//! use antruss_core::engine::{registry, RunConfig};
+//! use antruss_graph::gen::gnm;
+//!
+//! let g = gnm(30, 110, 7);
+//! let gas = registry().get("gas").unwrap();
+//! let out = gas.run(&g, &RunConfig::new(3)).unwrap();
+//! assert_eq!(out.anchors.len(), out.rounds.len());
+//! assert!(out.claimed_gain >= out.total_gain);
+//! ```
+
+mod config;
+mod outcome;
+mod registry;
+mod solvers;
+
+pub use config::RunConfig;
+pub use outcome::{Anchor, Extras, Outcome, RoundReport};
+pub use registry::{registry, Registry};
+
+use antruss_graph::CsrGraph;
+
+/// Why a solver run could not produce an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The configuration is invalid for this solver.
+    InvalidConfig(String),
+    /// The budget exceeds the number of candidate edges (`exact` refuses;
+    /// greedy solvers stop early instead).
+    BudgetExceedsEdges {
+        /// Requested anchor budget.
+        budget: usize,
+        /// Edges available.
+        edges: usize,
+    },
+    /// The solver does not support the requested operation.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            SolveError::BudgetExceedsEdges { budget, edges } => {
+                write!(f, "budget {budget} exceeds the {edges} candidate edges")
+            }
+            SolveError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Per-round progress callback for long runs (status streaming, early
+/// logging). Solvers that select their whole set at once never call it.
+///
+/// Only the GAS family streams rounds *as they complete*; adapters over
+/// batch algorithms (`base`, `akt`, `lazy`) replay their synthesized
+/// round reports after the run finishes, so attach an observer to those
+/// for uniform logging, not for mid-run liveness.
+pub trait Observer {
+    /// Called after each completed round, in round order.
+    fn on_round(&mut self, report: &RoundReport);
+}
+
+/// An [`Observer`] that ignores everything.
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_round(&mut self, _report: &RoundReport) {}
+}
+
+impl<F: FnMut(&RoundReport)> Observer for F {
+    fn on_round(&mut self, report: &RoundReport) {
+        self(report)
+    }
+}
+
+/// One anchoring algorithm behind the unified API.
+///
+/// Implementations are stateless (all run state lives in the call), so a
+/// single registry instance serves concurrent runs.
+pub trait Solver: Send + Sync {
+    /// The registry name (`"gas"`, `"base+"`, `"rand:sup"`, …).
+    fn name(&self) -> &str;
+
+    /// One-line human description for listings (empty by default).
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Runs the solver on `g` under `cfg`.
+    fn run(&self, g: &CsrGraph, cfg: &RunConfig) -> Result<Outcome, SolveError> {
+        self.run_observed(g, cfg, &mut NullObserver)
+    }
+
+    /// Like [`Solver::run`], streaming per-round progress to `obs`.
+    fn run_observed(
+        &self,
+        g: &CsrGraph,
+        cfg: &RunConfig,
+        obs: &mut dyn Observer,
+    ) -> Result<Outcome, SolveError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::{gnm, planted_cliques};
+
+    #[test]
+    fn every_solver_runs_on_a_small_graph() {
+        let g = gnm(20, 70, 3);
+        let cfg = RunConfig::new(2).trials(5).candidate_cap(10).exact_cap(500);
+        for solver in registry().iter() {
+            let out = solver
+                .run(&g, &cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+            assert_eq!(out.solver, solver.name());
+            assert!(out.anchors.len() <= 2, "{}", solver.name());
+            assert!(
+                out.claimed_gain >= out.total_gain,
+                "{}: claimed {} < total {}",
+                solver.name(),
+                out.claimed_gain,
+                out.total_gain
+            );
+        }
+    }
+
+    #[test]
+    fn observer_streams_gas_rounds() {
+        let g = gnm(25, 90, 1);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut obs = |r: &RoundReport| seen.push(r.round);
+        let out = registry()
+            .get("gas")
+            .unwrap()
+            .run_observed(&g, &RunConfig::new(3), &mut obs)
+            .unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(out.rounds.len(), 3);
+    }
+
+    #[test]
+    fn exact_rejects_oversized_budget() {
+        let g = planted_cliques(&[3]);
+        let err = registry()
+            .get("exact")
+            .unwrap()
+            .run(&g, &RunConfig::new(10))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::BudgetExceedsEdges {
+                budget: 10,
+                edges: 3
+            }
+        );
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn solve_error_display() {
+        assert!(SolveError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(SolveError::Unsupported("y".into())
+            .to_string()
+            .contains("unsupported"));
+    }
+}

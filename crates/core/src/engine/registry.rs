@@ -1,0 +1,131 @@
+//! The by-name solver registry used by the CLI and the experiment
+//! harness.
+
+use std::sync::OnceLock;
+
+use crate::engine::solvers::{
+    AktSolver, BaseSolver, EdgeDeletionSolver, ExactSolver, GasSolver, LazySolver, RandomSolver,
+};
+use crate::engine::Solver;
+use crate::gas::ReusePolicy;
+
+/// A fixed collection of named [`Solver`]s.
+pub struct Registry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Registry {
+    /// Looks a solver up by its registry name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers
+            .iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+            .map(|s| s.as_ref())
+    }
+
+    /// Registry names in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates over every registered solver.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty (never, for the built-in registry).
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+}
+
+/// The built-in registry over every algorithm the paper evaluates:
+///
+/// | name       | algorithm |
+/// |------------|-----------|
+/// | `gas`      | GAS (Algorithm 6; reuse policy from the config) |
+/// | `base`     | BASE (Algorithm 2, full decomposition per candidate) |
+/// | `base+`    | BASE+ (upward-route search, no reuse) |
+/// | `exact`    | exhaustive optimal anchor set |
+/// | `rand`     | best of `trials` random draws, pool = all edges |
+/// | `rand:sup` | pool = top 20 % edges by support |
+/// | `rand:tur` | pool = top 20 % edges by upward-route size |
+/// | `akt`      | vertex anchoring at level `k` (Zhang et al., ICDE'18) |
+/// | `edge-del` | anchor the most deletion-critical edges |
+/// | `lazy`     | CELF-style lazy greedy (extension) |
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        solvers: vec![
+            Box::new(GasSolver {
+                name: "gas",
+                pinned_reuse: None,
+            }),
+            Box::new(BaseSolver),
+            Box::new(GasSolver {
+                name: "base+",
+                pinned_reuse: Some(ReusePolicy::Off),
+            }),
+            Box::new(ExactSolver),
+            Box::new(RandomSolver {
+                name: "rand",
+                pool_name: "all",
+            }),
+            Box::new(RandomSolver {
+                name: "rand:sup",
+                pool_name: "sup",
+            }),
+            Box::new(RandomSolver {
+                name: "rand:tur",
+                pool_name: "tur",
+            }),
+            Box::new(AktSolver),
+            Box::new(EdgeDeletionSolver),
+            Box::new(LazySolver),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_algorithms_are_registered() {
+        let names = registry().names();
+        for required in [
+            "gas", "base", "base+", "exact", "rand", "rand:sup", "rand:tur", "akt", "edge-del",
+            "lazy",
+        ] {
+            assert!(names.contains(&required), "missing {required} in {names:?}");
+        }
+        assert_eq!(registry().len(), 10);
+        assert!(!registry().is_empty());
+    }
+
+    #[test]
+    fn every_solver_has_a_description() {
+        for s in registry().iter() {
+            assert!(
+                !s.description().is_empty(),
+                "{} is missing a description for listings",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(registry().get("GAS").is_some());
+        assert!(registry().get("Rand:Sup").is_some());
+        assert!(registry().get("nope").is_none());
+        for s in registry().iter() {
+            assert_eq!(registry().get(s.name()).unwrap().name(), s.name());
+        }
+    }
+}

@@ -302,12 +302,8 @@ impl FollowerSearch {
                     } else {
                         match self.status(third) {
                             Status::Survived => true,
-                            Status::Unchecked => {
-                                st.t(third) > i || lp <= st.l(third)
-                            }
-                            Status::Eliminated => {
-                                f_seq < self.elim_seq[third.idx()]
-                            }
+                            Status::Unchecked => st.t(third) > i || lp <= st.l(third),
+                            Status::Eliminated => f_seq < self.elim_seq[third.idx()],
                         }
                     };
                     if owns {
@@ -468,12 +464,7 @@ mod tests {
                 let mut got = fs.followers(&st, x).followers;
                 got.sort();
                 let want = naive_followers(&st, x);
-                assert_eq!(
-                    got,
-                    want,
-                    "seed {seed}, candidate {:?}",
-                    g.endpoints(x)
-                );
+                assert_eq!(got, want, "seed {seed}, candidate {:?}", g.endpoints(x));
             }
         }
     }

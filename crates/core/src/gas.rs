@@ -154,11 +154,9 @@ impl<'g> Gas<'g> {
     /// BASE+ behaviour: recompute everything, refresh fully.
     fn step_no_reuse(&mut self, start: Instant) -> Option<RoundReport> {
         let g = self.st.graph();
-        let candidates: Vec<EdgeId> =
-            g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+        let candidates: Vec<EdgeId> = g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
         let recomputed = candidates.len();
-        let (chosen, _) =
-            crate::parallel::best_candidate(&self.st, &candidates, self.cfg.threads)?;
+        let (chosen, _) = crate::parallel::best_candidate(&self.st, &candidates, self.cfg.threads)?;
         let outcome = self.search.followers(&self.st, chosen);
         let follower_trussness = outcome.followers.iter().map(|&f| self.st.t(f)).collect();
         self.st.anchor_full_refresh(chosen);
@@ -187,31 +185,24 @@ impl<'g> Gas<'g> {
             // worth fanning out (`sla` is complete, caches are all empty,
             // the seed filter is vacuous).
             let tree = self.tree.as_ref().expect("tree present with reuse");
-            let candidates: Vec<EdgeId> =
-                g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+            let candidates: Vec<EdgeId> = g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
             let st = &self.st;
-            let results = crate::parallel::scan_map(
-                st,
-                &candidates,
-                self.cfg.threads,
-                |fs, e| {
-                    let sla_e = sla(g, &st.t, &st.anchors, tree, e);
-                    if sla_e.is_empty() {
-                        return (sla_e, CacheEntry::new());
+            let results = crate::parallel::scan_map(st, &candidates, self.cfg.threads, |fs, e| {
+                let sla_e = sla(g, &st.t, &st.anchors, tree, e);
+                if sla_e.is_empty() {
+                    return (sla_e, CacheEntry::new());
+                }
+                let outcome = fs.followers(st, e);
+                let mut entry: CacheEntry = sla_e.iter().map(|&id| (id, Vec::new())).collect();
+                for f in outcome.followers {
+                    let id = tree.id_of_edge(f).expect("follower in tree");
+                    match entry.binary_search_by_key(&id, |(i, _)| *i) {
+                        Ok(pos) => entry[pos].1.push(f),
+                        Err(pos) => entry.insert(pos, (id, vec![f])),
                     }
-                    let outcome = fs.followers(st, e);
-                    let mut entry: CacheEntry =
-                        sla_e.iter().map(|&id| (id, Vec::new())).collect();
-                    for f in outcome.followers {
-                        let id = tree.id_of_edge(f).expect("follower in tree");
-                        match entry.binary_search_by_key(&id, |(i, _)| *i) {
-                            Ok(pos) => entry[pos].1.push(f),
-                            Err(pos) => entry.insert(pos, (id, vec![f])),
-                        }
-                    }
-                    (sla_e, entry)
-                },
-            );
+                }
+                (sla_e, entry)
+            });
             for (&e, (sla_e, entry)) in candidates.iter().zip(results) {
                 let count: usize = entry.iter().map(|(_, fs)| fs.len()).sum();
                 if !sla_e.is_empty() {
@@ -235,8 +226,7 @@ impl<'g> Gas<'g> {
             // -- refresh sla(e) if dirty -----------------------------------
             if self.sla_cache[e.idx()].is_none() {
                 let tree = self.tree.as_ref().expect("tree present with reuse");
-                self.sla_cache[e.idx()] =
-                    Some(sla(g, &self.st.t, &self.st.anchors, tree, e));
+                self.sla_cache[e.idx()] = Some(sla(g, &self.st.t, &self.st.anchors, tree, e));
             }
             let sla_e = self.sla_cache[e.idx()].as_ref().expect("just refreshed");
             if sla_e.is_empty() {
@@ -297,9 +287,10 @@ impl<'g> Gas<'g> {
             let count: usize = rebuilt.iter().map(|(_, fs)| fs.len()).sum();
             self.cache[e.idx()] = rebuilt;
             if best.is_none_or(|(bc, be)| count > bc || (count == bc && e < be))
-                && best.is_none_or(|(bc, _)| count >= bc) {
-                    best = Some((count, e));
-                }
+                && best.is_none_or(|(bc, _)| count >= bc)
+            {
+                best = Some((count, e));
+            }
         }
 
         self.commit_round(start, best, recomputed, classes, first_round)
@@ -326,9 +317,7 @@ impl<'g> Gas<'g> {
         // -- commit: component-local refresh + invalidation -----------------
         let tree = self.tree.as_mut().expect("tree present with reuse");
         let by_node = self.cache[chosen.idx()].clone();
-        let sla_x = self.sla_cache[chosen.idx()]
-            .clone()
-            .unwrap_or_default();
+        let sla_x = self.sla_cache[chosen.idx()].clone().unwrap_or_default();
         let policy = match self.cfg.reuse {
             ReusePolicy::Conservative => InvalidationPolicy::Conservative,
             _ => InvalidationPolicy::PaperExact,
@@ -372,7 +361,14 @@ mod tests {
     #[test]
     fn gas_off_equals_base_plus_semantics() {
         let g = gnm(30, 110, 7);
-        let out = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(3);
+        let out = Gas::new(
+            &g,
+            GasConfig {
+                reuse: ReusePolicy::Off,
+                ..GasConfig::default()
+            },
+        )
+        .run(3);
         assert_eq!(out.anchors.len(), 3);
         assert_eq!(out.total_gain, out.claimed_gain);
     }
@@ -381,7 +377,14 @@ mod tests {
     fn gas_reuse_matches_no_reuse_on_random_graphs() {
         for seed in 0..6 {
             let g = gnm(28, 100, seed);
-            let off = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(4);
+            let off = Gas::new(
+                &g,
+                GasConfig {
+                    reuse: ReusePolicy::Off,
+                    ..GasConfig::default()
+                },
+            )
+            .run(4);
             let on = Gas::new(
                 &g,
                 GasConfig {
@@ -416,7 +419,14 @@ mod tests {
             onions: vec![],
             seed: 3,
         });
-        let off = Gas::new(&g, GasConfig { reuse: ReusePolicy::Off, ..GasConfig::default() }).run(5);
+        let off = Gas::new(
+            &g,
+            GasConfig {
+                reuse: ReusePolicy::Off,
+                ..GasConfig::default()
+            },
+        )
+        .run(5);
         let on = Gas::new(
             &g,
             GasConfig {

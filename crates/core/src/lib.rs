@@ -20,11 +20,20 @@
 //!   nodes are recomputed in later rounds;
 //! * [`gas`] — `GAS` (Algorithm 6) assembling all of the above;
 //! * [`baselines`] — `Exact`, `Rand`, `Sup`, `Tur`, `BASE`, `BASE+`, the
-//!   vertex-anchoring `AKT` comparator and the edge-deletion comparator.
+//!   vertex-anchoring `AKT` comparator and the edge-deletion comparator;
+//! * [`engine`] — the unified [`Solver`](engine::Solver) API: one
+//!   [`RunConfig`](engine::RunConfig), one
+//!   [`Outcome`](engine::Outcome), and a string-keyed
+//!   [`registry()`](engine::registry) dispatching every algorithm above
+//!   by name (`"gas"`, `"base+"`, `"rand:sup"`, …).
+//!
+//! New callers should start from [`engine`]; the per-algorithm modules
+//! remain the implementation layer it adapts.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod engine;
 pub mod followers;
 pub mod gas;
 pub mod metrics;
@@ -36,6 +45,7 @@ pub mod stability;
 pub mod tree;
 pub mod whatif;
 
+pub use engine::{registry, Outcome, RunConfig, SolveError, Solver};
 pub use followers::{FollowerOutcome, FollowerSearch};
 pub use gas::{Gas, GasConfig, GasOutcome, ReusePolicy, RoundReport};
 pub use problem::{gain_of_anchor_set, AtrState};

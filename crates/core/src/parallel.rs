@@ -74,14 +74,19 @@ where
                         break;
                     }
                     let end = (start + CHUNK).min(candidates.len());
-                    let out: Vec<T> =
-                        candidates[start..end].iter().map(|&e| f(&mut fs, e)).collect();
+                    let out: Vec<T> = candidates[start..end]
+                        .iter()
+                        .map(|&e| f(&mut fs, e))
+                        .collect();
                     runs.push((start, out));
                 }
                 runs
             }));
         }
-        partials = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        partials = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
     })
     .expect("scoped threads");
 
@@ -101,11 +106,7 @@ where
 }
 
 /// Follower counts of every candidate, in order.
-pub fn scan_follower_counts(
-    st: &AtrState<'_>,
-    candidates: &[EdgeId],
-    threads: usize,
-) -> Vec<u32> {
+pub fn scan_follower_counts(st: &AtrState<'_>, candidates: &[EdgeId], threads: usize) -> Vec<u32> {
     scan_map(st, candidates, threads, |fs, e| {
         fs.followers(st, e).followers.len() as u32
     })

@@ -131,10 +131,7 @@ mod tests {
     use antruss_graph::gen::gnm;
     use antruss_graph::CsrGraph;
 
-    fn partition_by_node(
-        tree: &TrussTree,
-        followers: &[EdgeId],
-    ) -> Vec<(u32, Vec<EdgeId>)> {
+    fn partition_by_node(tree: &TrussTree, followers: &[EdgeId]) -> Vec<(u32, Vec<EdgeId>)> {
         let mut map: std::collections::BTreeMap<u32, Vec<EdgeId>> = Default::default();
         for &f in followers {
             let id = tree.id_of_edge(f).expect("follower in tree");

@@ -167,9 +167,9 @@ mod tests {
         let g = gnm(35, 130, 13);
         let st = AtrState::new(&g);
         let mut fs = FollowerSearch::new(g.num_edges());
-        let pruned_somewhere = g.edges().any(|x| {
-            route_only_candidates(&st, x).len() > fs.followers(&st, x).followers.len()
-        });
+        let pruned_somewhere = g
+            .edges()
+            .any(|x| route_only_candidates(&st, x).len() > fs.followers(&st, x).followers.len());
         assert!(pruned_somewhere, "Lemma 3 should prune on random graphs");
     }
 }

@@ -249,7 +249,11 @@ impl TrussTree {
             }
             assert_eq!(
                 node.id,
-                node.edges.iter().map(|e| e.0).min().expect("non-empty node"),
+                node.edges
+                    .iter()
+                    .map(|e| e.0)
+                    .min()
+                    .expect("non-empty node"),
                 "TN.I must be the smallest edge id"
             );
             if let Some(p) = node.parent {

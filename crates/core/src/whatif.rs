@@ -22,6 +22,7 @@
 
 use antruss_graph::{CsrGraph, EdgeId};
 
+use crate::engine::{Outcome, RunConfig, SolveError, Solver};
 use crate::followers::FollowerSearch;
 use crate::parallel::scan_map;
 use crate::problem::AtrState;
@@ -89,14 +90,12 @@ impl<'g> WhatIf<'g> {
     /// non-anchored edge; set [`WhatIf::threads`] to fan the scan out.
     pub fn top(&mut self, k: usize) -> Vec<(EdgeId, u64)> {
         let g = self.st.graph();
-        let candidates: Vec<EdgeId> =
-            g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
+        let candidates: Vec<EdgeId> = g.edges().filter(|&e| !self.st.is_anchor(e)).collect();
         let st = &self.st;
         let counts = scan_map(st, &candidates, self.threads, |fs, e| {
             fs.followers(st, e).followers.len() as u64
         });
-        let mut ranked: Vec<(EdgeId, u64)> =
-            candidates.into_iter().zip(counts).collect();
+        let mut ranked: Vec<(EdgeId, u64)> = candidates.into_iter().zip(counts).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
@@ -109,6 +108,45 @@ impl<'g> WhatIf<'g> {
         let gain = self.gain_of(e)?;
         self.st.anchor_full_refresh(e);
         Some(gain)
+    }
+
+    /// Plans with any [`Solver`] from the engine and commits its anchors
+    /// into this session.
+    ///
+    /// The solver runs against the session's *underlying graph* (solvers
+    /// are stateless and always start from an empty anchor set); every
+    /// edge anchor it returns that is not yet committed here is then
+    /// committed in selection order. Vertex-anchoring solvers (`akt`)
+    /// are rejected with [`SolveError::Unsupported`], since a what-if
+    /// session tracks edge anchors only.
+    ///
+    /// Returns the solver's [`Outcome`]; the session's
+    /// [`total_gain`](WhatIf::total_gain) reflects the combined anchor
+    /// set afterwards.
+    pub fn commit_solver(
+        &mut self,
+        solver: &dyn Solver,
+        cfg: &RunConfig,
+    ) -> Result<Outcome, SolveError> {
+        let outcome = solver.run(self.st.graph(), cfg)?;
+        let edges: Vec<EdgeId> = outcome
+            .anchors
+            .iter()
+            .map(|a| {
+                a.edge().ok_or_else(|| {
+                    SolveError::Unsupported(format!(
+                        "solver {:?} returned vertex anchors; a what-if session commits edges",
+                        outcome.solver
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        for e in edges {
+            if !self.st.is_anchor(e) {
+                self.st.anchor_full_refresh(e);
+            }
+        }
+        Ok(outcome)
     }
 
     /// Total trussness gain of everything committed so far (Definition 4).
@@ -154,10 +192,8 @@ mod tests {
     fn gain_of_matches_committed_gain_in_round_one() {
         let g = gnm(25, 80, 5);
         let mut w = WhatIf::new(&g);
-        let predictions: Vec<(EdgeId, u64)> = g
-            .edges()
-            .map(|e| (e, w.gain_of(e).unwrap()))
-            .collect();
+        let predictions: Vec<(EdgeId, u64)> =
+            g.edges().map(|e| (e, w.gain_of(e).unwrap())).collect();
         for (e, predicted) in predictions.into_iter().take(10) {
             let mut session = WhatIf::new(&g);
             let realized = session.commit(e).unwrap();
@@ -202,6 +238,29 @@ mod tests {
         assert_eq!(w.followers_of(e), None);
         assert_eq!(w.commit(e), None);
         assert_eq!(w.committed(), 1);
+    }
+
+    #[test]
+    fn commit_solver_matches_manual_gas_retrace() {
+        use crate::engine::{registry, RunConfig};
+
+        let g = gnm(30, 110, 21);
+        let mut via_solver = WhatIf::new(&g);
+        let out = via_solver
+            .commit_solver(registry().get("gas").unwrap(), &RunConfig::new(3))
+            .unwrap();
+        assert_eq!(via_solver.committed(), out.anchors.len());
+        assert_eq!(via_solver.total_gain(), out.total_gain);
+
+        // vertex-anchoring solvers are rejected, session untouched
+        let mut vertex = WhatIf::new(&g);
+        let err = vertex.commit_solver(registry().get("akt").unwrap(), &RunConfig::new(2));
+        if let Err(e) = err {
+            assert!(e.to_string().contains("unsupported"), "{e}");
+            assert_eq!(vertex.committed(), 0);
+        } else {
+            panic!("akt must be rejected by commit_solver");
+        }
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl DatasetId {
                     attach: 6,
                     closure: 0.35,
                     planted: vec![7],
-                    onions: vec![OnionSpec { core: 6, shells: 2, shell_size: 20 }],
+                    onions: vec![OnionSpec {
+                        core: 6,
+                        shells: 2,
+                        shell_size: 20,
+                    }],
                     seed: 0xC0_11E9E,
                 },
             ),
@@ -124,7 +128,23 @@ impl DatasetId {
                     attach: 16,
                     closure: 0.72,
                     planted: vec![97],
-                    onions: vec![OnionSpec { core: 55, shells: 3, shell_size: 60 }, OnionSpec { core: 34, shells: 3, shell_size: 50 }, OnionSpec { core: 21, shells: 3, shell_size: 40 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 55,
+                            shells: 3,
+                            shell_size: 60,
+                        },
+                        OnionSpec {
+                            core: 34,
+                            shells: 3,
+                            shell_size: 50,
+                        },
+                        OnionSpec {
+                            core: 21,
+                            shells: 3,
+                            shell_size: 40,
+                        },
+                    ],
                     seed: 0xFACE_B00C,
                 },
             ),
@@ -142,7 +162,23 @@ impl DatasetId {
                     attach: 3,
                     closure: 0.55,
                     planted: vec![43],
-                    onions: vec![OnionSpec { core: 24, shells: 3, shell_size: 40 }, OnionSpec { core: 15, shells: 3, shell_size: 40 }, OnionSpec { core: 10, shells: 3, shell_size: 40 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 24,
+                            shells: 3,
+                            shell_size: 40,
+                        },
+                        OnionSpec {
+                            core: 15,
+                            shells: 3,
+                            shell_size: 40,
+                        },
+                        OnionSpec {
+                            core: 10,
+                            shells: 3,
+                            shell_size: 40,
+                        },
+                    ],
                     seed: 0xB216_4817,
                 },
             ),
@@ -160,7 +196,28 @@ impl DatasetId {
                     attach: 4,
                     closure: 0.55,
                     planted: vec![29],
-                    onions: vec![OnionSpec { core: 21, shells: 4, shell_size: 50 }, OnionSpec { core: 15, shells: 4, shell_size: 50 }, OnionSpec { core: 12, shells: 3, shell_size: 60 }, OnionSpec { core: 9, shells: 3, shell_size: 60 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 21,
+                            shells: 4,
+                            shell_size: 50,
+                        },
+                        OnionSpec {
+                            core: 15,
+                            shells: 4,
+                            shell_size: 50,
+                        },
+                        OnionSpec {
+                            core: 12,
+                            shells: 3,
+                            shell_size: 60,
+                        },
+                        OnionSpec {
+                            core: 9,
+                            shells: 3,
+                            shell_size: 60,
+                        },
+                    ],
                     seed: 0x60_4A11A,
                 },
             ),
@@ -178,7 +235,23 @@ impl DatasetId {
                     attach: 2,
                     closure: 0.4,
                     planted: vec![19],
-                    onions: vec![OnionSpec { core: 14, shells: 4, shell_size: 60 }, OnionSpec { core: 10, shells: 4, shell_size: 70 }, OnionSpec { core: 8, shells: 3, shell_size: 80 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 14,
+                            shells: 4,
+                            shell_size: 60,
+                        },
+                        OnionSpec {
+                            core: 10,
+                            shells: 4,
+                            shell_size: 70,
+                        },
+                        OnionSpec {
+                            core: 8,
+                            shells: 3,
+                            shell_size: 80,
+                        },
+                    ],
                     seed: 0x0700_70BE,
                 },
             ),
@@ -196,7 +269,23 @@ impl DatasetId {
                     attach: 4,
                     closure: 0.62,
                     planted: vec![44],
-                    onions: vec![OnionSpec { core: 28, shells: 4, shell_size: 50 }, OnionSpec { core: 18, shells: 4, shell_size: 60 }, OnionSpec { core: 12, shells: 3, shell_size: 70 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 28,
+                            shells: 4,
+                            shell_size: 50,
+                        },
+                        OnionSpec {
+                            core: 18,
+                            shells: 4,
+                            shell_size: 60,
+                        },
+                        OnionSpec {
+                            core: 12,
+                            shells: 3,
+                            shell_size: 70,
+                        },
+                    ],
                     seed: 0x600_61E,
                 },
             ),
@@ -214,7 +303,23 @@ impl DatasetId {
                     attach: 3,
                     closure: 0.5,
                     planted: vec![36],
-                    onions: vec![OnionSpec { core: 22, shells: 4, shell_size: 60 }, OnionSpec { core: 15, shells: 4, shell_size: 70 }, OnionSpec { core: 10, shells: 3, shell_size: 80 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 22,
+                            shells: 4,
+                            shell_size: 60,
+                        },
+                        OnionSpec {
+                            core: 15,
+                            shells: 4,
+                            shell_size: 70,
+                        },
+                        OnionSpec {
+                            core: 10,
+                            shells: 3,
+                            shell_size: 80,
+                        },
+                    ],
                     seed: 0x9A7_E275,
                 },
             ),
@@ -232,7 +337,23 @@ impl DatasetId {
                     attach: 4,
                     closure: 0.5,
                     planted: vec![29],
-                    onions: vec![OnionSpec { core: 20, shells: 4, shell_size: 70 }, OnionSpec { core: 14, shells: 4, shell_size: 80 }, OnionSpec { core: 10, shells: 3, shell_size: 90 }],
+                    onions: vec![
+                        OnionSpec {
+                            core: 20,
+                            shells: 4,
+                            shell_size: 70,
+                        },
+                        OnionSpec {
+                            core: 14,
+                            shells: 4,
+                            shell_size: 80,
+                        },
+                        OnionSpec {
+                            core: 10,
+                            shells: 3,
+                            shell_size: 90,
+                        },
+                    ],
                     seed: 0x90_CEC,
                 },
             ),

@@ -27,7 +27,9 @@ impl Components {
     /// Label of the largest component (ties: smaller label).
     pub fn largest(&self) -> Option<u32> {
         let sizes = self.sizes();
-        (0..self.count).max_by_key(|&i| (sizes[i], usize::MAX - i)).map(|i| i as u32)
+        (0..self.count)
+            .max_by_key(|&i| (sizes[i], usize::MAX - i))
+            .map(|i| i as u32)
     }
 }
 

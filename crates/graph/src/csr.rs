@@ -61,10 +61,8 @@ impl CsrGraph {
         // Sort each adjacency run by neighbour id (edge ids travel along).
         for v in 0..n {
             let range = offsets[v]..offsets[v + 1];
-            let mut pairs: Vec<(VertexId, EdgeId)> = range
-                .clone()
-                .map(|i| (neighbors[i], adj_edge[i]))
-                .collect();
+            let mut pairs: Vec<(VertexId, EdgeId)> =
+                range.clone().map(|i| (neighbors[i], adj_edge[i])).collect();
             pairs.sort_unstable_by_key(|&(w, _)| w);
             for (k, (w, e)) in pairs.into_iter().enumerate() {
                 neighbors[range.start + k] = w;

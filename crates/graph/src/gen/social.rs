@@ -95,11 +95,11 @@ pub fn social_network(p: &SocialParams) -> CsrGraph {
     let mut edge_count = 0usize;
 
     let push_edge = |b: &mut GraphBuilder,
-                         adj: &mut Vec<Vec<u32>>,
-                         targets: &mut Vec<u32>,
-                         edge_count: &mut usize,
-                         u: u32,
-                         v: u32|
+                     adj: &mut Vec<Vec<u32>>,
+                     targets: &mut Vec<u32>,
+                     edge_count: &mut usize,
+                     u: u32,
+                     v: u32|
      -> bool {
         if u == v || adj[u as usize].contains(&v) {
             return false;
@@ -202,8 +202,14 @@ pub fn social_network(p: &SocialParams) -> CsrGraph {
                 }
                 _ => targets[rng.gen_range(0..targets.len())],
             };
-            if push_edge(&mut b, &mut adj, &mut targets, &mut edge_count, candidate, v)
-                && first_anchor.is_none()
+            if push_edge(
+                &mut b,
+                &mut adj,
+                &mut targets,
+                &mut edge_count,
+                candidate,
+                v,
+            ) && first_anchor.is_none()
             {
                 first_anchor = Some(candidate);
             }
@@ -321,7 +327,8 @@ mod tests {
         for i in 0..12u32 {
             for j in (i + 1)..12 {
                 assert!(
-                    g.edge_between(crate::VertexId(i), crate::VertexId(j)).is_some(),
+                    g.edge_between(crate::VertexId(i), crate::VertexId(j))
+                        .is_some(),
                     "missing planted edge {i}-{j}"
                 );
             }

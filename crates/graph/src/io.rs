@@ -63,7 +63,12 @@ pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphErr
 /// Writes the graph as a SNAP-style edge list (one `u v` pair per line).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# antruss edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# antruss edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         let (u, v) = g.endpoints(e);
         writeln!(w, "{u}\t{v}")?;

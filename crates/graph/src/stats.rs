@@ -33,7 +33,11 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
         vertices: n,
         edges: m,
         max_degree: g.max_degree(),
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         max_support,
         triangles: tri,
         clustering: global_clustering_from(g, tri),

@@ -51,7 +51,12 @@ pub fn for_each_triangle_in<F: FnMut(Wedge)>(g: &CsrGraph, live: &EdgeSet, e: Ed
 /// Linear merge over the sorted adjacencies of `u` and `v`, invoking `f`
 /// with every common neighbour and the two side-edge ids.
 #[inline]
-fn merge_common<F: FnMut(VertexId, EdgeId, EdgeId)>(g: &CsrGraph, u: VertexId, v: VertexId, mut f: F) {
+fn merge_common<F: FnMut(VertexId, EdgeId, EdgeId)>(
+    g: &CsrGraph,
+    u: VertexId,
+    v: VertexId,
+    mut f: F,
+) {
     let nu = g.neighbors(u);
     let eu = g.neighbor_edges(u);
     let nv = g.neighbors(v);
@@ -107,8 +112,7 @@ pub fn support_parallel(g: &CsrGraph, live: Option<&EdgeSet>, threads: usize) ->
     }
     let mut sup = vec![0u32; m];
     let chunk = m.div_ceil(threads * 8).max(1);
-    let mut buckets: Vec<Vec<(usize, &mut [u32])>> =
-        (0..threads).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<(usize, &mut [u32])>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, slice) in sup.chunks_mut(chunk).enumerate() {
         buckets[i % threads].push((i * chunk, slice));
     }

@@ -129,11 +129,7 @@ mod tests {
                 check.anchors.insert(x);
             }
             check.info = core_decompose_with(&g, Some(&check.anchors));
-            assert_eq!(
-                out.total_gain,
-                check.gain_by_definition(),
-                "seed {seed}"
-            );
+            assert_eq!(out.total_gain, check.gain_by_definition(), "seed {seed}");
         }
     }
 

@@ -165,10 +165,7 @@ impl CoreFollowerSearch {
                     if anchors.contains(w) || w == x {
                         continue;
                     }
-                    if info.c(w) == c
-                        && lv <= info.l(w)
-                        && self.in_heap_epoch[w.idx()] != epoch
-                    {
+                    if info.c(w) == c && lv <= info.l(w) && self.in_heap_epoch[w.idx()] != epoch {
                         self.in_heap_epoch[w.idx()] = epoch;
                         self.heap.push(Reverse((info.l(w), w.0)));
                     }

@@ -80,12 +80,7 @@ pub fn olak_greedy(g: &CsrGraph, k: u32, b: usize) -> OlakOutcome {
 
 /// Vertices whose anchoring *can* produce level-`(k−1)` followers: the
 /// `(k−1)`-shell itself and anything adjacent to it.
-fn candidate_anchors(
-    g: &CsrGraph,
-    info: &CoreInfo,
-    anchors: &VertexSet,
-    k: u32,
-) -> Vec<VertexId> {
+fn candidate_anchors(g: &CsrGraph, info: &CoreInfo, anchors: &VertexSet, k: u32) -> Vec<VertexId> {
     let mut cand = VertexSet::new(g.num_vertices());
     for v in g.vertices() {
         if info.c(v) == k - 1 && !anchors.contains(v) {
@@ -138,9 +133,7 @@ mod tests {
     #[test]
     fn greedy_grows_core() {
         let g = k4_with_fan();
-        let before = core_decompose_with(&g, None)
-            .core_members(3)
-            .count();
+        let before = core_decompose_with(&g, None).core_members(3).count();
         let out = olak_greedy(&g, 3, 1);
         assert!(!out.anchors.is_empty());
         let anchors = VertexSet::from_iter(g.num_vertices(), out.anchors.iter().copied());
@@ -161,8 +154,7 @@ mod tests {
             let k = 3;
             let before: usize = core_decompose_with(&g, None).core_members(k).count();
             let out = olak_greedy(&g, k, 3);
-            let anchors =
-                VertexSet::from_iter(g.num_vertices(), out.anchors.iter().copied());
+            let anchors = VertexSet::from_iter(g.num_vertices(), out.anchors.iter().copied());
             let info = core_decompose_with(&g, Some(&anchors));
             // anchors are core members by definition; followers raise the count
             let after: usize = info.core_members(k).count();

@@ -33,11 +33,7 @@ pub fn naive_coreness(g: &CsrGraph, anchors: Option<&VertexSet>) -> Vec<u32> {
                 if !alive[v.idx()] || is_anchor(v) {
                     continue;
                 }
-                let d = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|w| alive[w.idx()])
-                    .count() as u32;
+                let d = g.neighbors(v).iter().filter(|w| alive[w.idx()]).count() as u32;
                 if d < k {
                     alive[v.idx()] = false;
                     changed = true;

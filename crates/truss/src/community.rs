@@ -100,7 +100,7 @@ pub fn max_cohesion_community(
 mod tests {
     use super::*;
     use crate::decompose;
-    use antruss_graph::gen::{planted_cliques, clique_chain};
+    use antruss_graph::gen::{clique_chain, planted_cliques};
     use antruss_graph::GraphBuilder;
 
     #[test]

@@ -104,7 +104,7 @@ pub fn triangle_connected_components_of(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use antruss_graph::gen::{planted_cliques, clique_chain};
+    use antruss_graph::gen::{clique_chain, planted_cliques};
     use antruss_graph::GraphBuilder;
 
     #[test]

@@ -83,7 +83,13 @@ pub fn decompose_with(g: &CsrGraph, opts: DecomposeOptions<'_>) -> TrussInfo {
         layer: vec![0; m],
         k_max: 0,
     };
-    decompose_into(g, opts, &mut info.trussness, &mut info.layer, &mut info.k_max);
+    decompose_into(
+        g,
+        opts,
+        &mut info.trussness,
+        &mut info.layer,
+        &mut info.k_max,
+    );
     info
 }
 

@@ -31,10 +31,7 @@ impl HullIndex {
 
     /// The `k`-hull (empty slice above `k_max`).
     pub fn of(&self, k: u32) -> &[EdgeId] {
-        self.by_k
-            .get(k as usize)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_k.get(k as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Anchored edges (infinite trussness).

@@ -31,13 +31,11 @@ mod order;
 pub mod tcp_index;
 pub mod verify;
 
-pub use components::{
-    triangle_connected_components, triangle_connected_components_of, UnionFind,
-};
+pub use community::{communities_of, k_truss_communities, max_cohesion_community, Community};
+pub use components::{triangle_connected_components, triangle_connected_components_of, UnionFind};
 pub use decomposition::{
     decompose, decompose_into, decompose_with, DecomposeOptions, TrussInfo, ANCHOR_TRUSSNESS,
 };
-pub use community::{communities_of, k_truss_communities, max_cohesion_community, Community};
 pub use hull::{hull_sizes, k_truss_edge_set, HullIndex};
 pub use maintenance::{DynamicTruss, UpdateStats};
 pub use order::{precedes, EdgeOrderKey};

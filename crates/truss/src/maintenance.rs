@@ -119,7 +119,10 @@ impl<'g> DynamicTruss<'g> {
     /// stratum, because the affected region is peeled once with the bound
     /// set to the largest removed trussness ([50]'s batching insight).
     /// Already-dead edges are skipped; returns `None` if nothing changed.
-    pub fn remove_edges<I: IntoIterator<Item = EdgeId>>(&mut self, edges: I) -> Option<UpdateStats> {
+    pub fn remove_edges<I: IntoIterator<Item = EdgeId>>(
+        &mut self,
+        edges: I,
+    ) -> Option<UpdateStats> {
         let mut bound = 0u32;
         let mut any = false;
         for e in edges {
@@ -135,7 +138,10 @@ impl<'g> DynamicTruss<'g> {
 
     /// Inserts a batch of edges in one bounded re-peel (see
     /// [`Self::remove_edges`]). Returns `None` if nothing changed.
-    pub fn insert_edges<I: IntoIterator<Item = EdgeId>>(&mut self, edges: I) -> Option<UpdateStats> {
+    pub fn insert_edges<I: IntoIterator<Item = EdgeId>>(
+        &mut self,
+        edges: I,
+    ) -> Option<UpdateStats> {
         let mut fresh: Vec<EdgeId> = Vec::new();
         for e in edges {
             if self.alive.insert(e) {
@@ -320,10 +326,7 @@ mod tests {
         for seed in 0..4u64 {
             let g = gnm(24, 80, seed);
             let mut dt = DynamicTruss::new(&g);
-            let batch: Vec<EdgeId> = (0..g.num_edges() as u32)
-                .step_by(7)
-                .map(EdgeId)
-                .collect();
+            let batch: Vec<EdgeId> = (0..g.num_edges() as u32).step_by(7).map(EdgeId).collect();
             let stats = dt.remove_edges(batch.iter().copied()).expect("non-empty");
             assert!(stats.recomputed > 0);
             assert_matches_scratch(&dt);

@@ -72,10 +72,7 @@ impl TcpIndex {
                     // in canonical-endpoint order; recover both robustly.
                     let exz = g.edge_between(x, z).expect("triangle side");
                     let eyz = g.edge_between(y, z).expect("triangle side");
-                    let w = info
-                        .t(exy)
-                        .min(info.t(exz))
-                        .min(info.t(eyz));
+                    let w = info.t(exy).min(info.t(exz)).min(info.t(eyz));
                     if w >= 3 {
                         ego_edges.push(ForestEdge {
                             a: li_y,
@@ -89,7 +86,7 @@ impl TcpIndex {
                 continue;
             }
             // Kruskal for the *maximum* spanning forest.
-            ego_edges.sort_unstable_by(|p, q| q.w.cmp(&p.w));
+            ego_edges.sort_unstable_by_key(|p| std::cmp::Reverse(p.w));
             parent.clear();
             parent.extend(0..nbrs.len() as u32);
             let forest = &mut forests[x.idx()];
@@ -223,11 +220,7 @@ mod tests {
                 let key = |c: &Community| c.edges.clone();
                 fast.sort_by_key(key);
                 slow.sort_by_key(key);
-                assert_eq!(
-                    fast.len(),
-                    slow.len(),
-                    "q={q:?} k={k}: community count"
-                );
+                assert_eq!(fast.len(), slow.len(), "q={q:?} k={k}: community count");
                 for (f, s) in fast.iter().zip(&slow) {
                     assert_eq!(f.edges, s.edges, "q={q:?} k={k}");
                 }
@@ -263,9 +256,7 @@ mod tests {
         let g = b.build();
         let info = decompose(&g);
         let index = TcpIndex::build(&g, &info);
-        assert!(index
-            .communities_of(&g, &info, VertexId(1), 3)
-            .is_empty());
+        assert!(index.communities_of(&g, &info, VertexId(1), 3).is_empty());
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub fn satisfies_truss_condition(
 /// every `T_k = {t ≥ k}` satisfies the truss condition, and every edge
 /// *fails* the condition one level higher (maximality). Panics with
 /// context on violation. Intended for tests.
-pub fn assert_valid_decomposition(g: &CsrGraph, info: &crate::TrussInfo, anchors: Option<&EdgeSet>) {
+pub fn assert_valid_decomposition(
+    g: &CsrGraph,
+    info: &crate::TrussInfo,
+    anchors: Option<&EdgeSet>,
+) {
     // (1) support condition at every level
     for k in 2..=info.k_max {
         let tk = crate::k_truss_edge_set(info, k);

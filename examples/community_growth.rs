@@ -9,10 +9,10 @@
 //! cargo run --release --example community_growth
 //! ```
 
-use antruss::atr::{Gas, GasConfig};
+use antruss::atr::engine::{registry, RunConfig};
 use antruss::graph::gen::{social_network, SocialParams};
-use antruss::truss::{decompose_with, k_truss_communities, DecomposeOptions};
 use antruss::truss::decompose;
+use antruss::truss::{decompose_with, k_truss_communities, DecomposeOptions};
 
 fn main() {
     let g = social_network(&SocialParams {
@@ -33,7 +33,11 @@ fn main() {
     );
 
     // Anchor 6 edges.
-    let outcome = Gas::new(&g, GasConfig::default()).run(6);
+    let outcome = registry()
+        .get("gas")
+        .expect("gas is registered")
+        .run(&g, &RunConfig::new(6))
+        .expect("gas run succeeds");
     println!(
         "anchored {} edges, total trussness gain {}\n",
         outcome.anchors.len(),
@@ -42,7 +46,7 @@ fn main() {
 
     // Recompute the truss landscape with anchors in place.
     let mut anchors = antruss::graph::EdgeSet::new(g.num_edges());
-    for &a in &outcome.anchors {
+    for a in outcome.edge_anchors() {
         anchors.insert(a);
     }
     let after = decompose_with(
@@ -71,7 +75,7 @@ fn main() {
     }
 
     // Zoom into one anchored edge's endpoint.
-    if let Some(&first) = outcome.anchors.first() {
+    if let Some(first) = outcome.edge_anchors().first().copied() {
         let (u, _) = g.endpoints(first);
         let at_k = |info, q| {
             antruss::truss::max_cohesion_community(&g, info, q)

@@ -10,9 +10,8 @@
 //! cargo run --release --example cross_model
 //! ```
 
-use antruss::atr::baselines::akt::akt_greedy;
+use antruss::atr::engine::{registry, RunConfig};
 use antruss::atr::stability::{induced_resilience_gain, vertex_induced_resilience_gain};
-use antruss::atr::{Gas, GasConfig};
 use antruss::graph::gen::{social_network, OnionSpec, SocialParams};
 use antruss::graph::EdgeSet;
 use antruss::kcore::AnchoredCoreness;
@@ -26,7 +25,11 @@ fn main() {
         attach: 4,
         closure: 0.6,
         planted: vec![9, 7],
-        onions: vec![OnionSpec { core: 6, shells: 3, shell_size: 12 }],
+        onions: vec![OnionSpec {
+            core: 6,
+            shells: 3,
+            shell_size: 12,
+        }],
         seed: 17,
     });
     let info = decompose(&g);
@@ -38,8 +41,13 @@ fn main() {
     );
 
     // --- the paper's method: anchor edges --------------------------------
-    let gas = Gas::new(&g, GasConfig::default()).run(budget);
-    let gas_set = EdgeSet::from_iter(g.num_edges(), gas.anchors.iter().copied());
+    // (both solvers run through the unified engine; only the name differs)
+    let gas = registry()
+        .get("gas")
+        .expect("gas is registered")
+        .run(&g, &RunConfig::new(budget))
+        .expect("gas run succeeds");
+    let gas_set = EdgeSet::from_iter(g.num_edges(), gas.edge_anchors());
     println!(
         "GAS (edge anchors):      trussness gain {:>4}, induced resilience {:>4}",
         gas.total_gain,
@@ -47,14 +55,20 @@ fn main() {
     );
 
     // --- vertex anchoring at the best fixed k (AKT) ----------------------
+    let akt_solver = registry().get("akt").expect("akt is registered");
     let akt = (4..=info.k_max)
-        .map(|k| akt_greedy(&g, &info.trussness, k, budget, 16))
-        .max_by_key(|o| o.gain)
+        .map(|k| {
+            akt_solver
+                .run(&g, &RunConfig::new(budget).candidate_cap(16).k(k))
+                .expect("akt run succeeds")
+        })
+        .max_by_key(|o| o.total_gain)
         .expect("non-empty k range");
+    let akt_vertices: Vec<_> = akt.anchors.iter().filter_map(|a| a.vertex()).collect();
     println!(
         "AKT (vertex anchors):    best-k gain    {:>4}, induced resilience {:>4}",
-        akt.gain,
-        vertex_induced_resilience_gain(&g, &akt.anchors)
+        akt.total_gain,
+        vertex_induced_resilience_gain(&g, &akt_vertices)
     );
 
     // --- core-model reasoning: anchored coreness -------------------------

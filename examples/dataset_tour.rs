@@ -6,6 +6,7 @@
 //! cargo run --release --example dataset_tour -- 1.0     # full analogues
 //! ```
 
+use antruss::atr::engine::registry;
 use antruss::datasets::{generate, DatasetId};
 use antruss::graph::stats::graph_stats;
 use antruss::truss::{decompose, hull_sizes};
@@ -51,4 +52,8 @@ fn main() {
             .collect();
         println!("{:<11}   hulls: {}", "", head.join("  "));
     }
+    println!(
+        "\nrun any solver on these analogues by name: {}",
+        registry().names().join(", ")
+    );
 }

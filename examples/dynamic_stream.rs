@@ -10,8 +10,8 @@
 //! cargo run --release --example dynamic_stream
 //! ```
 
+use antruss::atr::engine::{registry, RunConfig};
 use antruss::atr::stability::cohesion_profile;
-use antruss::atr::{Gas, GasConfig};
 use antruss::graph::gen::{social_network, SocialParams};
 use antruss::graph::EdgeId;
 use antruss::truss::DynamicTruss;
@@ -69,16 +69,17 @@ fn main() {
         b.add_edge(u.0 as u64, v.0 as u64);
     }
     let survivor = b.build();
-    let out = Gas::new(&survivor, GasConfig::default()).run(5);
+    let out = registry()
+        .get("gas")
+        .expect("gas is registered")
+        .run(&survivor, &RunConfig::new(5))
+        .expect("gas run succeeds");
     println!(
         "\nre-anchored 5 edges on the churned graph: trussness gain {}",
         out.total_gain
     );
 
-    let anchors = antruss::graph::EdgeSet::from_iter(
-        survivor.num_edges(),
-        out.anchors.iter().copied(),
-    );
+    let anchors = antruss::graph::EdgeSet::from_iter(survivor.num_edges(), out.edge_anchors());
     let before = cohesion_profile(&survivor, None);
     let after = cohesion_profile(&survivor, Some(&anchors));
     println!("\ncohesive mass (edges in T_k) before/after re-anchoring:");

@@ -1,10 +1,11 @@
-//! Quickstart: anchor edges of a small social graph and inspect the gain.
+//! Quickstart: anchor edges of a small social graph through the unified
+//! solver engine and inspect the gain.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use antruss::atr::{Gas, GasConfig};
+use antruss::atr::engine::{registry, Anchor, RunConfig};
 use antruss::graph::gen::{social_network, SocialParams};
 use antruss::truss::decompose;
 
@@ -27,20 +28,26 @@ fn main() {
         info.k_max
     );
 
-    // Greedily anchor 5 edges with the full GAS pipeline.
-    let outcome = Gas::new(&g, GasConfig::default()).run(5);
+    // Greedily anchor 5 edges with the full GAS pipeline, dispatched by
+    // name through the engine registry — any other registered solver
+    // ("base+", "lazy", "rand:sup", …) is a one-string change.
+    let gas = registry().get("gas").expect("gas is registered");
+    let outcome = gas.run(&g, &RunConfig::new(5)).expect("run succeeds");
     println!(
-        "anchored {} edges for a total trussness gain of {}",
+        "[{}] anchored {} edges for a total trussness gain of {}",
+        outcome.solver,
         outcome.anchors.len(),
         outcome.total_gain
     );
     for r in &outcome.rounds {
-        let (u, v) = g.endpoints(r.chosen);
+        let Anchor::Edge(e) = r.chosen else { continue };
+        let (u, v) = g.endpoints(e);
         println!(
             "  round {}: anchored ({u}, {v}) -> {} follower(s), {} candidate follower sets recomputed",
-            r.round,
-            r.followers.len(),
-            r.recomputed,
+            r.round, r.gain, r.recomputed,
         );
     }
+
+    // The unified outcome serializes to JSON for pipelines:
+    println!("\nas JSON: {:.60}…", outcome.to_json());
 }

@@ -7,9 +7,9 @@
 //! Without a path argument, a small generated graph is analysed instead so
 //! the example always runs.
 
-use antruss::atr::{Gas, GasConfig};
-use antruss::graph::io::read_edge_list_path;
+use antruss::atr::engine::{registry, Anchor, RunConfig};
 use antruss::graph::gen::{social_network, SocialParams};
+use antruss::graph::io::read_edge_list_path;
 use antruss::truss::decompose;
 
 fn main() {
@@ -52,10 +52,17 @@ fn main() {
         g.num_edges(),
         info.k_max
     );
-    let outcome = Gas::new(&g, GasConfig::default()).run(budget);
-    println!("budget {budget}: total trussness gain {}", outcome.total_gain);
+    let gas = registry().get("gas").expect("gas is registered");
+    let outcome = gas
+        .run(&g, &RunConfig::new(budget))
+        .expect("gas run succeeds");
+    println!(
+        "budget {budget}: total trussness gain {}",
+        outcome.total_gain
+    );
     for r in &outcome.rounds {
-        let (u, v) = g.endpoints(r.chosen);
-        println!("  ({u}, {v}) -> +{}", r.followers.len());
+        let Anchor::Edge(e) = r.chosen else { continue };
+        let (u, v) = g.endpoints(e);
+        println!("  ({u}, {v}) -> +{}", r.gain);
     }
 }

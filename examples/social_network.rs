@@ -11,7 +11,8 @@
 //! cargo run --release --example social_network
 //! ```
 
-use antruss::atr::{gain_of_anchor_set, Gas, GasConfig};
+use antruss::atr::engine::{registry, RunConfig};
+use antruss::atr::gain_of_anchor_set;
 use antruss::graph::gen::{social_network, SocialParams};
 use antruss::graph::EdgeSet;
 use antruss::truss::{decompose, decompose_with, DecomposeOptions, ANCHOR_TRUSSNESS};
@@ -19,7 +20,9 @@ use antruss::truss::{decompose, decompose_with, DecomposeOptions, ANCHOR_TRUSSNE
 /// Number of edges with (anchored) trussness ≥ k — a stability score: how
 /// much of the network sits in cohesive structure.
 fn edges_at_least(t: &[u32], k: u32) -> usize {
-    t.iter().filter(|&&x| x >= k || x == ANCHOR_TRUSSNESS).count()
+    t.iter()
+        .filter(|&&x| x >= k || x == ANCHOR_TRUSSNESS)
+        .count()
 }
 
 fn main() {
@@ -41,8 +44,12 @@ fn main() {
     );
 
     let budget = 8;
-    let outcome = Gas::new(&g, GasConfig::default()).run(budget);
-    let anchors = EdgeSet::from_iter(g.num_edges(), outcome.anchors.iter().copied());
+    let outcome = registry()
+        .get("gas")
+        .expect("gas is registered")
+        .run(&g, &RunConfig::new(budget))
+        .expect("gas run succeeds");
+    let anchors = EdgeSet::from_iter(g.num_edges(), outcome.edge_anchors());
     println!(
         "anchored {budget} relationships -> trussness gain {}",
         outcome.total_gain
@@ -63,7 +70,10 @@ fn main() {
         },
     );
     println!("\ncohesive mass (edges with trussness >= k):");
-    println!("{:>4} {:>12} {:>12} {:>8}", "k", "unanchored", "anchored", "delta");
+    println!(
+        "{:>4} {:>12} {:>12} {:>8}",
+        "k", "unanchored", "anchored", "delta"
+    );
     for k in 3..=base.k_max.min(8) {
         let before_k = edges_at_least(&base.trussness, k);
         let after_k = edges_at_least(&after.trussness, k);

@@ -11,8 +11,7 @@
 //! cargo run --release --example transportation
 //! ```
 
-use antruss::atr::baselines::random::{random_baseline, Pool};
-use antruss::atr::{Gas, GasConfig};
+use antruss::atr::engine::{registry, Anchor, RunConfig};
 use antruss::graph::gen::random_geometric;
 use antruss::truss::decompose;
 
@@ -27,28 +26,39 @@ fn main() {
         info.k_max
     );
 
-    let budget = 6;
-    let gas = Gas::new(&g, GasConfig::default()).run(budget);
+    // Both strategies run through the same engine API; only the registry
+    // name differs.
+    let cfg = RunConfig::new(6).trials(40).seed(5);
+    let gas = registry()
+        .get("gas")
+        .expect("gas is registered")
+        .run(&g, &cfg)
+        .expect("gas run succeeds");
     println!(
-        "\nGAS reinforcement of {budget} links: trussness gain {}",
-        gas.total_gain
+        "\nGAS reinforcement of {} links: trussness gain {}",
+        cfg.budget, gas.total_gain
     );
     for r in &gas.rounds {
-        let (u, v) = g.endpoints(r.chosen);
+        let Anchor::Edge(e) = r.chosen else { continue };
+        let (u, v) = g.endpoints(e);
         println!(
             "  reinforce link ({u}, {v}): stabilizes {} nearby link(s)",
-            r.followers.len()
+            r.gain
         );
     }
 
     // Strawman: reinforce the busiest links instead.
-    let sup = random_baseline(&g, Pool::TopSupport(0.2), budget, 40, 5);
+    let sup = registry()
+        .get("rand:sup")
+        .expect("rand:sup is registered")
+        .run(&g, &cfg)
+        .expect("rand:sup run succeeds");
     println!(
-        "\nbusiest-links heuristic (best of 40 draws): gain {}",
-        sup.gain
+        "\nbusiest-links heuristic (best of {} draws): gain {}",
+        cfg.trials, sup.total_gain
     );
     println!(
         "GAS / busiest-links gain ratio: {:.1}x",
-        gas.total_gain.max(1) as f64 / sup.gain.max(1) as f64
+        gas.total_gain.max(1) as f64 / sup.total_gain.max(1) as f64
     );
 }

@@ -10,6 +10,7 @@
 //! cargo run --release --example whatif_session
 //! ```
 
+use antruss::atr::engine::{registry, RunConfig};
 use antruss::atr::WhatIf;
 use antruss::graph::gen::{social_network, SocialParams};
 
@@ -47,8 +48,7 @@ fn main() {
     println!(
         "\ncommitting ({u}, {v}); its followers span trussness levels {:?}",
         {
-            let mut levels: Vec<u32> =
-                followers.iter().map(|&f| session.state().t(f)).collect();
+            let mut levels: Vec<u32> = followers.iter().map(|&f| session.state().t(f)).collect();
             levels.sort_unstable();
             levels.dedup();
             levels
@@ -64,6 +64,19 @@ fn main() {
     }
     println!(
         "\ncommitted {} anchor(s), total trussness gain {}",
+        session.committed(),
+        session.total_gain()
+    );
+
+    // Hand the remaining budget to any engine solver: commit_solver plans
+    // with the solver and folds its edge anchors into this session.
+    let lazy = registry().get("lazy").expect("lazy is registered");
+    let planned = session
+        .commit_solver(lazy, &RunConfig::new(3))
+        .expect("lazy plans edge anchors");
+    println!(
+        "\ndelegated 3 picks to the {:?} solver; session now holds {} anchor(s), total gain {}",
+        planned.solver,
         session.committed(),
         session.total_gain()
     );

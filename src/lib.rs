@@ -10,15 +10,20 @@
 //!   paper's related work;
 //! * [`atr`] — the paper's contribution: the Anchor Trussness Reinforcement
 //!   problem, `GetFollowers`, the truss-component tree, follower reuse, the
-//!   `GAS` algorithm and all evaluated baselines;
+//!   `GAS` algorithm and all evaluated baselines, unified behind the
+//!   [`atr::engine`] `Solver` API;
 //! * [`datasets`] — deterministic synthetic analogues of the paper's eight
 //!   SNAP datasets.
 //!
 //! ## Quickstart
 //!
+//! Every algorithm the paper evaluates — GAS and its seven baselines — is
+//! dispatched by name through one registry and returns one unified
+//! [`Outcome`](atr::engine::Outcome):
+//!
 //! ```
 //! use antruss::graph::gen::{social_network, SocialParams};
-//! use antruss::atr::{Gas, GasConfig};
+//! use antruss::atr::engine::{registry, RunConfig};
 //!
 //! let g = social_network(&SocialParams {
 //!     n: 300,
@@ -29,11 +34,16 @@
 //!     onions: vec![],
 //!     seed: 7,
 //! });
-//! let outcome = Gas::new(&g, GasConfig::default()).run(3);
+//! let cfg = RunConfig::new(3).threads(2);
+//! let gas = registry().get("gas").expect("registered");
+//! let outcome = gas.run(&g, &cfg).expect("runs");
 //! println!(
 //!     "anchored {:?} for a total trussness gain of {}",
 //!     outcome.anchors, outcome.total_gain
 //! );
+//! // swap in any baseline by name: "base+", "lazy", "rand:sup", "akt", …
+//! let lazy = registry().get("lazy").expect("registered").run(&g, &cfg).expect("runs");
+//! assert!(outcome.total_gain >= lazy.total_gain * 7 / 10);
 //! ```
 
 #![warn(missing_docs)]

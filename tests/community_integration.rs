@@ -71,11 +71,20 @@ fn positive_gain_grows_some_community_level() {
         },
     );
     let grew = (3..=before.k_max).any(|k| {
-        let b: usize = k_truss_communities(&g, &before, k).iter().map(|c| c.size()).sum();
-        let a: usize = k_truss_communities(&g, &after, k).iter().map(|c| c.size()).sum();
+        let b: usize = k_truss_communities(&g, &before, k)
+            .iter()
+            .map(|c| c.size())
+            .sum();
+        let a: usize = k_truss_communities(&g, &after, k)
+            .iter()
+            .map(|c| c.size())
+            .sum();
         a > b
     });
-    assert!(grew, "positive gain must enlarge at least one community level");
+    assert!(
+        grew,
+        "positive gain must enlarge at least one community level"
+    );
 }
 
 #[test]

@@ -15,7 +15,10 @@ use antruss::truss::{decompose, verify};
 fn college_analogue_pipeline() {
     let g = generate(DatasetId::College, 0.25);
     let info = decompose(&g);
-    assert!(info.k_max >= 3, "College analogue must have truss structure");
+    assert!(
+        info.k_max >= 3,
+        "College analogue must have truss structure"
+    );
 
     let b = 5;
     let gas = Gas::new(&g, GasConfig::default()).run(b);
@@ -24,7 +27,10 @@ fn college_analogue_pipeline() {
 
     // The reported gain must be reproducible from the anchor set alone.
     let set = EdgeSet::from_iter(g.num_edges(), gas.anchors.iter().copied());
-    assert_eq!(gas.total_gain, gain_of_anchor_set(&g, &info.trussness, &set));
+    assert_eq!(
+        gas.total_gain,
+        gain_of_anchor_set(&g, &info.trussness, &set)
+    );
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn exact_dominates_gas_on_ego_subgraphs() {
         // the paper's Exp-2 shape: GAS stays close to the optimum
         if ex.gain > 0 {
             let ratio = gas.total_gain as f64 / ex.gain as f64;
-            assert!(ratio > 0.4, "b={b}: GAS/Exact ratio {ratio:.2} suspiciously low");
+            assert!(
+                ratio > 0.4,
+                "b={b}: GAS/Exact ratio {ratio:.2} suspiciously low"
+            );
         }
     }
 }

@@ -17,14 +17,20 @@ fn graphs_equal(a: &CsrGraph, b: &CsrGraph) -> bool {
     if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
         return false;
     }
-    let mut ea: Vec<(u32, u32)> = a.edges().map(|e| {
-        let (u, v) = a.endpoints(e);
-        (u.0, v.0)
-    }).collect();
-    let mut eb: Vec<(u32, u32)> = b.edges().map(|e| {
-        let (u, v) = b.endpoints(e);
-        (u.0, v.0)
-    }).collect();
+    let mut ea: Vec<(u32, u32)> = a
+        .edges()
+        .map(|e| {
+            let (u, v) = a.endpoints(e);
+            (u.0, v.0)
+        })
+        .collect();
+    let mut eb: Vec<(u32, u32)> = b
+        .edges()
+        .map(|e| {
+            let (u, v) = b.endpoints(e);
+            (u.0, v.0)
+        })
+        .collect();
     ea.sort_unstable();
     eb.sort_unstable();
     ea == eb

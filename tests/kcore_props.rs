@@ -3,8 +3,7 @@
 
 use antruss::graph::{CsrGraph, GraphBuilder, VertexId, VertexSet};
 use antruss::kcore::{
-    core_decompose, core_decompose_with, core_followers, naive_core_followers,
-    ANCHOR_CORENESS,
+    core_decompose, core_decompose_with, core_followers, naive_core_followers, ANCHOR_CORENESS,
 };
 use antruss::truss::decompose;
 use proptest::prelude::*;

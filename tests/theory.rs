@@ -61,7 +61,7 @@ fn chain_gadget() -> (antruss::graph::CsrGraph, EdgeId, EdgeId) {
     }
     for i in 0..4u64 {
         b.add_edge(i, i + 1); // rungs
-        // K4 reinforcement of each rung with two private vertices
+                              // K4 reinforcement of each rung with two private vertices
         let (x, y) = (10 + 2 * i, 11 + 2 * i);
         b.add_edge(i, x);
         b.add_edge(i, y);

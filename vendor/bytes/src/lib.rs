@@ -1,0 +1,212 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! Provides the subset `antruss-graph::io_binary` relies on: an immutable,
+//! cheaply sliceable [`Bytes`] buffer, a growable [`BytesMut`] builder,
+//! and the [`Buf`]/[`BufMut`] cursor traits (little-endian `u32` accessors
+//! only — the `.antg` format needs nothing else).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with O(1) slicing.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length in bytes of the active window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the active window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-window. Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the active window into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::from(v.to_vec())
+    }
+}
+
+/// A growable byte buffer for building [`Bytes`] values.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Read cursor over a byte source; every accessor advances the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out and advances. Panics on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32` and advances. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "copy_to_slice underflow: want {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32s() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"HDR!");
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u32_le(42);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 12);
+        let mut hdr = [0u8; 4];
+        bytes.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u32_le(), 42);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slicing_is_zero_copy_and_windowed() {
+        let bytes = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let mid = bytes.slice(8..16);
+        assert_eq!(mid.len(), 8);
+        assert_eq!(mid.as_ref(), &(8u8..16).collect::<Vec<_>>()[..]);
+        let nested = mid.slice(2..4);
+        assert_eq!(nested.to_vec(), vec![10, 11]);
+        // original window is untouched
+        assert_eq!(bytes.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reading_past_the_end_panics() {
+        let mut bytes = Bytes::from(vec![1u8, 2]);
+        bytes.get_u32_le();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided — the one API `antruss-core::parallel`
+//! uses. Since Rust 1.63 the standard library ships scoped threads, so
+//! this shim is a thin adapter giving `std::thread::scope` crossbeam's
+//! calling convention (`scope(|s| …)` returning a `Result`, spawn
+//! closures receiving the scope handle, `join` per handle).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::thread;
+
+/// Error payload of a panicked scope (crossbeam returns the panic value).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle; lets spawned closures spawn further siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to one spawned thread within a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, yielding its result or its panic
+    /// payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'env` borrows; the closure receives the
+    /// scope handle (crossbeam's signature) so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data.
+///
+/// All spawned threads are joined before `scope` returns. Unlike
+/// crossbeam, an unjoined panicking child propagates through
+/// `std::thread::scope` and aborts the calling thread's unwind instead of
+/// being collected in the `Err` — callers here always `join` explicitly,
+/// so the distinction never surfaces.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                let total = &total;
+                handles.push(s.spawn(move |_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, Ordering::Relaxed);
+                    sum
+                }));
+            }
+            let joined: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(joined, 10);
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let result = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Collection strategies (`vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn uniformly from a half-open range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A `Vec` strategy: `vec(0u8..30, 1..100)` generates vectors of 1–99
+/// samples of `0..30`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range in collection::vec");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_respect_ranges() {
+        let mut rng = TestRng::for_test("collection_unit");
+        let strat = vec((0u8..5, 0u8..5), 2..7);
+        let mut seen_lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            seen_lens.insert(v.len());
+            for &(a, b) in &v {
+                assert!(a < 5 && b < 5);
+            }
+        }
+        assert!(seen_lens.len() > 2, "length should vary across cases");
+    }
+}

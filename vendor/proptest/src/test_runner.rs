@@ -1,0 +1,66 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(…)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the full suite
+    /// fast; individual properties override via `with_cases`.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source (seeded from the test name), so a
+/// failing case reproduces on every run.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// An RNG whose stream is a pure function of `test_name`.
+    pub fn for_test(test_name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_seeding_is_deterministic_and_distinct() {
+        let take = |name: &str| {
+            let mut rng = TestRng::for_test(name);
+            (0..4).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(take("alpha"), take("alpha"));
+        assert_ne!(take("alpha"), take("beta"));
+    }
+}

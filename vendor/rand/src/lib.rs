@@ -1,0 +1,277 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the exact API subset the workspace uses — `Rng::{gen,
+//! gen_range, gen_bool}`, `SeedableRng::seed_from_u64`, `rngs::SmallRng`,
+//! and `seq::SliceRandom::{shuffle, choose}`.
+//!
+//! The implementation is **stream-compatible with `rand 0.8`'s 64-bit
+//! `SmallRng`**: the same PCG32-based `seed_from_u64` expansion, the same
+//! xoshiro256++ core, and the same widening-multiply rejection sampling
+//! for integer ranges, so seeded call sites observe the very value
+//! sequences the test-suite's statistical thresholds were tuned against.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with the same
+    /// PCG32 stream `rand_core 0.6` uses.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample of `T` over its natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (must be within `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // rand 0.8's Bernoulli: compare 64 random bits against p·2^64
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a natural "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 effective bits, matching rand 0.8's `Standard` for f64
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Types uniformly sampleable over a range.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `[low, high]`. Panics when `low > high`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// rand 0.8's `uniform_int_impl!` sampling: widening multiply with zone
+/// rejection. `$large` is the word drawn from the generator (`u32` for
+/// types up to 32 bits, `u64` above), `$wide` its double width.
+macro_rules! impl_uniform_int {
+    ($($t:ty => $unsigned:ty, $large:ty, $wide:ty, $draw:ident);+ $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let range = (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1)
+                    as $large;
+                if range == 0 {
+                    // span covers the whole domain
+                    return rng.$draw() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    // small domains: reject precisely
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    // wide domains: cheaper power-of-two zone
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = rng.$draw() as $large;
+                    let product = (v as $wide) * (range as $wide);
+                    let hi = (product >> <$large>::BITS) as $large;
+                    let lo = product as $large;
+                    if lo <= zone {
+                        return ((low as $unsigned).wrapping_add(hi as $unsigned)) as $t;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_uniform_int! {
+    u8 => u8, u32, u64, next_u32;
+    u16 => u16, u32, u64, next_u32;
+    u32 => u32, u32, u64, next_u32;
+    u64 => u64, u64, u128, next_u64;
+    usize => usize, u64, u128, next_u64;
+    i8 => u8, u32, u64, next_u32;
+    i16 => u16, u32, u64, next_u32;
+    i32 => u32, u32, u64, next_u32;
+    i64 => u64, u64, u128, next_u64;
+    isize => usize, u64, u128, next_u64;
+}
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        // rand 0.8's UniformFloat::sample_single: a mantissa draw in
+        // [1, 2) scaled into [low, high) — the inclusive/exclusive
+        // distinction is immaterial at f64 resolution.
+        assert!(low < high, "empty range in gen_range");
+        let scale = high - low;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_scale = value1_2 * scale - scale;
+            let res = value0_scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (low, high) = self.into_inner();
+                <$t>::sample_inclusive(rng, low, high)
+            }
+        }
+    )+};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        f64::sample_inclusive(rng, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: usize = rng.gen_range(0..1);
+            assert_eq!(y, 0);
+            let f: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let z: i32 = rng.gen_range(-4..=4);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 hit {hits}/10000");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, deterministic generator — xoshiro256++, exactly as
+/// `rand 0.8` implements `SmallRng` on 64-bit targets, including the
+/// PCG32-based `seed_from_u64` expansion, so seeded streams match
+/// upstream bit for bit.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // rand_core 0.6's default seed_from_u64: a PCG32 sequence fills
+        // the 32-byte xoshiro seed in 4-byte little-endian chunks.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = seed;
+        let mut pcg32 = || {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        };
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            let lo = pcg32() as u64;
+            let hi = pcg32() as u64;
+            *word = lo | (hi << 32);
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // the upper bits, as rand 0.8's internal xoshiro256++ does
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_stable_across_instances() {
+        // Seeding + core must be pure functions of the seed; downstream
+        // graph generators rely on streams never changing across releases.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = SmallRng::seed_from_u64(0);
+        assert_eq!(got, (0..4).map(|_| again.next_u64()).collect::<Vec<_>>());
+        assert_ne!(got[0], got[1]);
+        let mut other = SmallRng::seed_from_u64(1);
+        assert_ne!(got[0], other.next_u64());
+    }
+}
