@@ -37,6 +37,8 @@ USAGE:
   antruss compare    <edges.txt | dataset-slug> [--b N] [--solvers a,b,c] [--trials N] [--threads N]
                      [--scale F] [--json]
   antruss solvers
+  antruss serve      [--addr HOST:PORT] [--threads N] [--cache N] [--max-body-mb N]
+                     [--exact-cap N] [--base-timeout S] [--max-b N]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -45,7 +47,12 @@ USAGE:
 
 Solvers are dispatched by registry name (see `antruss solvers`). Inputs
 are SNAP-style edge lists; dataset slugs (college, facebook, …, pokec)
-generate the built-in synthetic analogues.";
+generate the built-in synthetic analogues.
+
+`antruss serve` starts the resident anchoring service: graphs stay
+loaded in a shared catalog, repeated /solve requests are answered from
+an LRU outcome cache, and ctrl-c drains in-flight work before exiting
+(see the README's Serving section for the endpoints and curl examples).";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -345,6 +352,37 @@ pub fn cmd_compare(
     Ok(t.render())
 }
 
+/// Builds the service configuration from the `serve` flags.
+pub fn serve_config(args: &Args) -> antruss_service::ServerConfig {
+    let defaults = antruss_service::ServerConfig::default();
+    antruss_service::ServerConfig {
+        addr: args.get_str("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        threads: args.get("threads", defaults.threads),
+        cache_capacity: args.get("cache", defaults.cache_capacity),
+        max_body_bytes: args
+            .get("max-body-mb", defaults.max_body_bytes / (1024 * 1024))
+            .saturating_mul(1024 * 1024),
+        max_budget: args.get("max-b", defaults.max_budget),
+        exact_cap: args.get("exact-cap", defaults.exact_cap),
+        base_timeout_secs: args.get("base-timeout", defaults.base_timeout_secs),
+        max_solve_threads: defaults.max_solve_threads,
+    }
+}
+
+/// `antruss serve` — run the resident anchoring service until ctrl-c.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let cfg = serve_config(args);
+    let server = antruss_service::Server::start(cfg.clone())
+        .map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
+    eprintln!(
+        "antruss serve: listening on http://{} ({} worker thread(s), cache {} entries) — ctrl-c to stop",
+        server.addr(),
+        if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() },
+        cfg.cache_capacity
+    );
+    Ok(server.run_until_sigint())
+}
+
 /// `antruss solvers` — the registry line-up.
 pub fn cmd_solvers() -> String {
     let mut t = Table::new(["name", "algorithm"]);
@@ -388,6 +426,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             )
         }
         "solvers" => Ok(cmd_solvers()),
+        "serve" => cmd_serve(args),
         "kcore" => {
             let spec = pos.get(1).ok_or("kcore: missing input")?;
             Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
@@ -571,6 +610,34 @@ mod tests {
             strip(&a2),
             "thread count must not change results"
         );
+    }
+
+    #[test]
+    fn serve_config_reads_flags() {
+        let cfg = serve_config(&args(
+            "serve --addr 0.0.0.0:9000 --threads 2 --cache 16 --max-body-mb 1 --max-b 8",
+        ));
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.cache_capacity, 16);
+        assert_eq!(cfg.max_body_bytes, 1024 * 1024);
+        assert_eq!(cfg.max_budget, 8);
+        let defaults = serve_config(&args("serve"));
+        assert_eq!(defaults.addr, "127.0.0.1:7171");
+        assert_eq!(defaults.cache_capacity, 256);
+    }
+
+    #[test]
+    fn serve_reports_bind_failures() {
+        // an unresolvable bind address must fail fast with a clean error
+        // (never start the accept loop)
+        let err = run(&args("serve --addr 999.999.999.999:1")).unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
+    }
+
+    #[test]
+    fn usage_mentions_serve() {
+        assert!(USAGE.contains("antruss serve"), "{USAGE}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::time::Duration;
 use antruss_graph::{EdgeId, VertexId};
 
 use crate::gas::ReusePolicy;
+use crate::json;
 use crate::metrics::ReuseClassCounts;
 
 /// One selected anchor. GAS and the edge baselines anchor edges; the
@@ -138,8 +139,9 @@ impl Outcome {
 
     /// Serializes the outcome as a JSON object.
     ///
-    /// Hand-rolled (the build environment vendors no `serde`): stable
-    /// field order, lossless integers, durations in seconds as floats.
+    /// Hand-rolled over [`crate::json`] (the build environment vendors no
+    /// `serde`): stable field order, lossless integers, durations in
+    /// seconds as floats.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 64 * self.rounds.len());
         s.push_str("{\"solver\":");
@@ -173,27 +175,13 @@ impl Outcome {
 
 fn push_json_str(s: &mut String, v: &str) {
     s.push('"');
-    for c in v.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
-            c => s.push(c),
-        }
-    }
+    json::escape_into(s, v);
     s.push('"');
 }
 
 fn push_f64(s: &mut String, v: f64) {
     // JSON has no NaN/Inf; durations never produce them, but stay safe
-    if v.is_finite() {
-        s.push_str(&format!("{v:.9}"));
-    } else {
-        s.push_str("null");
-    }
+    json::write_f64(s, v);
 }
 
 fn push_anchor(s: &mut String, a: Anchor) {

@@ -1,0 +1,595 @@
+//! Minimal JSON support shared by [`Outcome::to_json`](crate::engine::Outcome::to_json)
+//! and the `antruss-service` request/response path.
+//!
+//! The build environment vendors no `serde`, so this module hand-rolls
+//! exactly what the workspace needs:
+//!
+//! * **writing** — [`escape_into`]/[`quoted`] (string escaping shared with
+//!   every serializer in the workspace) and [`write_f64`] (finite floats
+//!   only; JSON has no NaN/Inf);
+//! * **parsing** — [`parse`] into a dynamically-typed [`Value`] tree, used
+//!   by the service to decode `/solve` and `/graphs` request bodies and by
+//!   tests to compare outcomes structurally.
+//!
+//! The parser is strict where it matters for a network input path:
+//! depth-limited (no stack overflow from `[[[[…`), rejects trailing
+//! garbage, and surfaces the byte offset of every error.
+
+use std::collections::BTreeMap;
+
+/// Escapes `v` into `s` as the *contents* of a JSON string (no
+/// surrounding quotes): `"` and `\` are backslash-escaped, control
+/// characters below `0x20` become `\n`/`\r`/`\t` or `\u00XX`.
+pub fn escape_into(s: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                s.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+/// `v` as a complete JSON string literal, quotes included.
+pub fn quoted(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    escape_into(&mut s, v);
+    s.push('"');
+    s
+}
+
+/// Writes `v` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn write_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        s.push_str(&format!("{v:.9}"));
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// A parsed JSON value.
+///
+/// Objects keep their members in a `BTreeMap`, so two values that differ
+/// only in member order compare equal — exactly the comparison the
+/// service parity tests need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable member lookup on objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Obj(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Removes a member from an object, returning it.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        match self {
+            Value::Obj(m) => m.remove(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer (rejects
+    /// fractions, negatives and values above 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Serializes the value back to compact JSON (object members in key
+    /// order; numbers via [`write_f64`] when fractional, losslessly when
+    /// integral).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, s: &mut String) {
+        match self {
+            Value::Null => s.push_str("null"),
+            Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+                    s.push_str(&format!("{}", *n as i64));
+                } else {
+                    write_f64(s, *n);
+                }
+            }
+            Value::Str(v) => {
+                s.push('"');
+                escape_into(s, v);
+                s.push('"');
+            }
+            Value::Arr(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.write(s);
+                }
+                s.push(']');
+            }
+            Value::Obj(members) => {
+                s.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    escape_into(s, k);
+                    s.push_str("\":");
+                    v.write(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+}
+
+/// Why an input failed to parse, with the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting deeper than this is rejected — a network-facing parser must
+/// not let `[[[[…` recurse the stack away.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("expected `null`"))
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("expected `true`"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("expected `false`"))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.pos += 1; // '{'
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // high surrogate: require the paired low
+                                // surrogate escape
+                                if !self.eat("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(cp)
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                None
+                            } else {
+                                char::from_u32(first)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // hex4 leaves pos one past the last hex digit;
+                            // compensate for the += 1 below
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is &str, so slicing
+                    // at char boundaries is safe)
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Value::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number {text:?}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_specials() {
+        assert_eq!(quoted("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quoted("\u{1}"), "\"\\u0001\"");
+        assert_eq!(quoted("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn escape_parse_round_trip() {
+        for s in [
+            "",
+            "hello",
+            "a\"b",
+            "back\\slash",
+            "tab\there",
+            "nl\nend",
+            "\u{0}\u{1}\u{1f}",
+            "unicode: ünïcødé 🦀",
+        ] {
+            let parsed = parse(&quoted(s)).unwrap();
+            assert_eq!(parsed, Value::Str(s.to_string()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(parse(r#""\ud83e\udd80""#).unwrap(), Value::Str("🦀".into()));
+        assert!(parse(r#""\ud83e""#).is_err()); // unpaired high surrogate
+        assert!(parse(r#""\udd80""#).is_err()); // lone low surrogate
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{}x",
+            "\"bad \u{1} ctl\"",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.message.is_empty(), "{bad:?}");
+            assert!(err.to_string().contains("byte"), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_deep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(8) + &"]".repeat(8);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn object_member_order_is_canonicalized() {
+        assert_eq!(
+            parse(r#"{"b":1,"a":2}"#).unwrap(),
+            parse(r#"{"a":2,"b":1}"#).unwrap()
+        );
+    }
+
+    #[test]
+    fn value_serializes_back() {
+        let v = parse(r#"{"b":[1,2.5,null,true],"a":"x\ny"}"#).unwrap();
+        let j = v.to_json();
+        assert_eq!(parse(&j).unwrap(), v);
+        assert!(j.starts_with("{\"a\":"), "{j}"); // canonical key order
+        assert_eq!(Value::Num(3.0).to_json(), "3");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn u64_extraction_is_exact() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("\"7\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn write_f64_handles_non_finite() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        write_f64(&mut s, 0.25);
+        assert_eq!(s, "0.250000000");
+    }
+}

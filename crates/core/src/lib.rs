@@ -36,6 +36,7 @@ pub mod baselines;
 pub mod engine;
 pub mod followers;
 pub mod gas;
+pub mod json;
 pub mod metrics;
 pub mod parallel;
 mod problem;

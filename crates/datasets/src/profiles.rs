@@ -89,6 +89,26 @@ impl DatasetId {
         DatasetId::all().into_iter().find(|d| d.slug() == s)
     }
 
+    /// All eight slugs, in the paper's order — the catalog namespace the
+    /// service advertises.
+    pub fn slugs() -> [&'static str; 8] {
+        DatasetId::all().map(|d| d.slug())
+    }
+
+    /// Parses a catalog spec: a slug with an optional `:scale` suffix
+    /// (`"college"`, `"gowalla:0.1"`). The scale must lie in `(0, 1]`;
+    /// without a suffix the full analogue scale `1.0` is used.
+    pub fn from_spec(spec: &str) -> Option<(DatasetId, f64)> {
+        match spec.split_once(':') {
+            None => DatasetId::from_slug(spec).map(|id| (id, 1.0)),
+            Some((slug, scale)) => {
+                let id = DatasetId::from_slug(slug)?;
+                let scale: f64 = scale.parse().ok()?;
+                (scale > 0.0 && scale <= 1.0).then_some((id, scale))
+            }
+        }
+    }
+
     /// The profile for this dataset.
     pub fn profile(self) -> Profile {
         let (name, paper, params) = match self {
@@ -406,6 +426,28 @@ mod tests {
             assert_eq!(DatasetId::from_slug(&id.slug().to_uppercase()), Some(id));
         }
         assert_eq!(DatasetId::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            DatasetId::from_spec("college"),
+            Some((DatasetId::College, 1.0))
+        );
+        assert_eq!(
+            DatasetId::from_spec("gowalla:0.1"),
+            Some((DatasetId::Gowalla, 0.1))
+        );
+        assert_eq!(
+            DatasetId::from_spec("College:1.0"),
+            Some((DatasetId::College, 1.0))
+        );
+        assert_eq!(DatasetId::from_spec("college:0"), None);
+        assert_eq!(DatasetId::from_spec("college:2"), None);
+        assert_eq!(DatasetId::from_spec("college:x"), None);
+        assert_eq!(DatasetId::from_spec("nope:0.5"), None);
+        assert_eq!(DatasetId::slugs()[0], "college");
+        assert_eq!(DatasetId::slugs().len(), 8);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! `loadgen` — drive a running `antruss serve` with N concurrent clients
+//! and report throughput and cache behaviour.
+//!
+//! ```sh
+//! antruss serve --addr 127.0.0.1:7171 &
+//! loadgen --addr 127.0.0.1:7171 --clients 8 --requests 100 \
+//!         --graph college:0.05 --solver gas --b 2 --seeds 4
+//! ```
+//!
+//! Each client keeps one connection alive and posts `/solve` repeatedly,
+//! cycling the seed through `--seeds` distinct values so the run mixes
+//! cache misses (first occurrence of each seed) with hits (every repeat).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use antruss_bench::args::Args;
+use antruss_service::Client;
+
+fn main() {
+    let args = Args::from_env();
+    let addr: SocketAddr = match args.get_str("addr").unwrap_or("127.0.0.1:7171").parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --addr: {e}");
+            std::process::exit(2);
+        }
+    };
+    let clients: usize = args.get("clients", 4);
+    let requests: usize = args.get("requests", 50);
+    let graph = args.get_str("graph").unwrap_or("college:0.05").to_string();
+    let solver = args.get_str("solver").unwrap_or("gas").to_string();
+    let b: usize = args.get("b", 2);
+    let seeds: u64 = args.get("seeds", 4);
+
+    println!(
+        "loadgen: {clients} client(s) x {requests} request(s) -> {addr} \
+         (graph {graph}, solver {solver}, b {b}, {seeds} distinct seed(s))"
+    );
+
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (graph, solver) = (&graph, &solver);
+            let (ok, failed, hits) = (&ok, &failed, &hits);
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                for i in 0..requests {
+                    let seed = ((c * requests + i) as u64) % seeds.max(1);
+                    let body = format!(
+                        "{{\"graph\":\"{graph}\",\"solver\":\"{solver}\",\"b\":{b},\"seed\":{seed}}}"
+                    );
+                    match client.post("/solve", "application/json", body.as_bytes()) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if resp.header("x-antruss-cache") == Some("hit") {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(resp) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("request failed: {} {}", resp.status, resp.body_string());
+                        }
+                        Err(e) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("request error: {e}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let ok = ok.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    let hits = hits.load(Ordering::Relaxed);
+    println!(
+        "done: {ok} ok, {failed} failed in {elapsed:.2}s -> {:.1} req/s, cache-hit ratio {:.1}%",
+        ok as f64 / elapsed.max(1e-9),
+        100.0 * hits as f64 / (ok.max(1)) as f64
+    );
+
+    match Client::new(addr).get("/metrics") {
+        Ok(m) => {
+            println!("\nserver /metrics:");
+            print!("{}", m.body_string());
+        }
+        Err(e) => eprintln!("could not fetch /metrics: {e}"),
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

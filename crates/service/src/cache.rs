@@ -1,0 +1,205 @@
+//! The outcome cache: an LRU over serialized solve responses.
+//!
+//! Truss decomposition and follower search dominate a `/solve`; the
+//! paper's reuse experiments (Fig. 10) show repeated queries on the same
+//! graph are the common case, so the service memoizes the *serialized*
+//! outcome keyed by everything that determines it. Solvers are
+//! deterministic for a fixed `(graph, solver, b, k, seed, trials,
+//! policy)` — thread count is deliberately *not* part of the key because
+//! selections are thread-count-invariant — so a hit returns
+//! byte-identical JSON without re-running the solver.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything that determines a solve outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical (lower-cased) graph spec or registered name.
+    pub graph: String,
+    /// Canonical solver registry name.
+    pub solver: String,
+    /// Anchor budget `b`.
+    pub budget: usize,
+    /// `akt` truss level (`None` = `k_max`).
+    pub k: Option<u32>,
+    /// Randomized-solver seed.
+    pub seed: u64,
+    /// Randomized-solver trial count.
+    pub trials: usize,
+    /// GAS reuse policy flag (`"paper"`, `"conservative"`, `"off"`).
+    pub policy: &'static str,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the solver.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+/// A thread-safe LRU keyed by [`CacheKey`].
+pub struct OutcomeCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+impl OutcomeCache {
+    /// A cache holding at most `capacity` serialized outcomes
+    /// (`capacity == 0` disables caching: every lookup misses and
+    /// nothing is stored).
+    pub fn new(capacity: usize) -> OutcomeCache {
+        OutcomeCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed body, evicting the least-recently-used
+    /// entry when at capacity. Concurrent solvers racing on the same key
+    /// simply overwrite each other with identical bytes.
+    pub fn insert(&self, key: CacheKey, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // O(n) scan: capacities are small (hundreds), so a linked
+            // list buys nothing over this under a mutex
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(graph: &str, seed: u64) -> CacheKey {
+        CacheKey {
+            graph: graph.to_string(),
+            solver: "gas".to_string(),
+            budget: 2,
+            k: None,
+            seed,
+            trials: 20,
+            policy: "paper",
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = OutcomeCache::new(4);
+        assert!(c.get(&key("g", 1)).is_none());
+        c.insert(key("g", 1), Arc::new("body".to_string()));
+        assert_eq!(c.get(&key("g", 1)).unwrap().as_str(), "body");
+        assert!(c.get(&key("g", 2)).is_none()); // differing seed = differing key
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let c = OutcomeCache::new(2);
+        c.insert(key("a", 0), Arc::new("A".into()));
+        c.insert(key("b", 0), Arc::new("B".into()));
+        c.get(&key("a", 0)); // refresh a; b is now coldest
+        c.insert(key("c", 0), Arc::new("C".into()));
+        assert!(c.get(&key("a", 0)).is_some());
+        assert!(c.get(&key("b", 0)).is_none());
+        assert!(c.get(&key("c", 0)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let c = OutcomeCache::new(2);
+        c.insert(key("a", 0), Arc::new("A".into()));
+        c.insert(key("b", 0), Arc::new("B".into()));
+        c.insert(key("a", 0), Arc::new("A2".into()));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key("a", 0)).unwrap().as_str(), "A2");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let c = OutcomeCache::new(0);
+        c.insert(key("a", 0), Arc::new("A".into()));
+        assert!(c.get(&key("a", 0)).is_none());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().capacity, 0);
+    }
+}

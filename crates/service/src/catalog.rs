@@ -1,0 +1,259 @@
+//! The graph catalog: every graph the service can solve on, loaded once
+//! and shared as `Arc<CsrGraph>` across worker threads.
+//!
+//! Two namespaces coexist:
+//!
+//! * **dataset specs** — any slug from
+//!   [`DatasetId::slugs`](antruss_datasets::DatasetId::slugs), optionally
+//!   with a `:scale` suffix (`"college"`, `"gowalla:0.1"`). These are
+//!   generated lazily on first use and then cached, so the expensive
+//!   generation + CSR build happens once per spec, not per request;
+//! * **registered graphs** — arbitrary names uploaded via
+//!   `POST /graphs` with a SNAP edge-list body.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use antruss_datasets::DatasetId;
+use antruss_graph::{io, CsrGraph};
+
+/// Registered (not generated) graphs beyond this are refused — the
+/// catalog is resident memory.
+pub const MAX_REGISTERED: usize = 128;
+
+/// Why a catalog operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The name is neither registered nor a dataset spec.
+    Unknown(String),
+    /// A graph with this name already exists.
+    Duplicate(String),
+    /// The registration limit was reached.
+    Full,
+    /// The name contains characters outside `[a-z0-9_.-]` or is empty.
+    BadName(String),
+    /// The uploaded edge list failed to parse.
+    BadEdgeList(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Unknown(n) => write!(
+                f,
+                "unknown graph {n:?} (register it via POST /graphs or use a dataset spec \
+                 like {:?})",
+                DatasetId::slugs()[0]
+            ),
+            CatalogError::Duplicate(n) => write!(f, "graph {n:?} already registered"),
+            CatalogError::Full => write!(f, "catalog full ({MAX_REGISTERED} registered graphs)"),
+            CatalogError::BadName(n) => write!(
+                f,
+                "bad graph name {n:?} (use lower-case letters, digits, `_`, `.`, `-`)"
+            ),
+            CatalogError::BadEdgeList(e) => write!(f, "bad edge list: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One catalog listing row.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The lookup name.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// `"registered"` or `"generated"`.
+    pub source: &'static str,
+}
+
+struct Loaded {
+    graph: Arc<CsrGraph>,
+    source: &'static str,
+}
+
+/// The canonical catalog key for `spec`: dataset specs normalize through
+/// [`DatasetId::from_spec`] so that equivalent spellings (`"college"`,
+/// `"College:1.0"`, `"gowalla:0.50"` vs `"gowalla:0.5"`) share one
+/// resident graph and one outcome-cache keyspace; registered names just
+/// trim and lowercase.
+pub fn canonical_key(spec: &str) -> String {
+    let key = spec.trim().to_ascii_lowercase();
+    match DatasetId::from_spec(&key) {
+        Some((id, scale)) if (scale - 1.0).abs() < f64::EPSILON => id.slug().to_string(),
+        Some((id, scale)) => format!("{}:{}", id.slug(), scale),
+        None => key,
+    }
+}
+
+/// The shared graph catalog (interior mutability; share via `Arc`).
+#[derive(Default)]
+pub struct Catalog {
+    loaded: RwLock<HashMap<String, Loaded>>,
+}
+
+impl Catalog {
+    /// An empty catalog; dataset specs load lazily.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Resolves `spec` to a shared graph, generating and caching dataset
+    /// analogues on first use. Specs are canonicalized first (see
+    /// [`canonical_key`]), so equivalent spellings share one entry.
+    pub fn get(&self, spec: &str) -> Result<Arc<CsrGraph>, CatalogError> {
+        let key = canonical_key(spec);
+        if let Some(l) = self.loaded.read().unwrap().get(&key) {
+            return Ok(Arc::clone(&l.graph));
+        }
+        let (id, scale) =
+            DatasetId::from_spec(&key).ok_or_else(|| CatalogError::Unknown(key.clone()))?;
+        // generate outside the lock: a slow generation must not block
+        // readers of already-loaded graphs
+        let graph = Arc::new(antruss_datasets::generate(id, scale));
+        let mut loaded = self.loaded.write().unwrap();
+        // two threads may race to generate the same spec; first insert wins
+        let entry = loaded.entry(key).or_insert(Loaded {
+            graph,
+            source: "generated",
+        });
+        Ok(Arc::clone(&entry.graph))
+    }
+
+    /// Registers an uploaded edge list under `name`.
+    pub fn register(&self, name: &str, edge_list: &[u8]) -> Result<Arc<CsrGraph>, CatalogError> {
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b"_.-".contains(&b))
+        {
+            return Err(CatalogError::BadName(name));
+        }
+        if DatasetId::from_spec(&name).is_some() {
+            return Err(CatalogError::Duplicate(name));
+        }
+        let graph =
+            io::read_edge_list(edge_list).map_err(|e| CatalogError::BadEdgeList(e.to_string()))?;
+        let mut loaded = self.loaded.write().unwrap();
+        if loaded.contains_key(&name) {
+            return Err(CatalogError::Duplicate(name));
+        }
+        if loaded.values().filter(|l| l.source == "registered").count() >= MAX_REGISTERED {
+            return Err(CatalogError::Full);
+        }
+        let graph = Arc::new(graph);
+        loaded.insert(
+            name,
+            Loaded {
+                graph: Arc::clone(&graph),
+                source: "registered",
+            },
+        );
+        Ok(graph)
+    }
+
+    /// Everything loaded so far, sorted by name.
+    pub fn entries(&self) -> Vec<CatalogEntry> {
+        let loaded = self.loaded.read().unwrap();
+        let mut out: Vec<CatalogEntry> = loaded
+            .iter()
+            .map(|(name, l)| CatalogEntry {
+                name: name.clone(),
+                vertices: l.graph.num_vertices(),
+                edges: l.graph.num_edges(),
+                source: l.source,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Loaded graph count.
+    pub fn len(&self) -> usize {
+        self.loaded.read().unwrap().len()
+    }
+
+    /// Whether nothing is loaded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_specs_load_lazily_and_cache() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        let a = c.get("college:0.05").unwrap();
+        let b = c.get("COLLEGE:0.05").unwrap(); // case-insensitive, same entry
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.entries()[0].source, "generated");
+    }
+
+    #[test]
+    fn equivalent_spec_spellings_share_one_entry() {
+        let c = Catalog::new();
+        let a = c.get("college:0.05").unwrap();
+        let b = c.get(" College:0.050 ").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "0.05 and 0.050 must canonicalize");
+        let full_a = c.get("college").unwrap();
+        let full_b = c.get("college:1.0").unwrap();
+        assert!(Arc::ptr_eq(&full_a, &full_b), "bare slug == :1.0");
+        assert_eq!(c.len(), 2);
+        assert_eq!(canonical_key("GOWALLA:0.50"), "gowalla:0.5");
+        assert_eq!(canonical_key("my-graph"), "my-graph");
+    }
+
+    #[test]
+    fn unknown_specs_error() {
+        let c = Catalog::new();
+        assert!(matches!(c.get("nope"), Err(CatalogError::Unknown(_))));
+        assert!(matches!(c.get("college:9"), Err(CatalogError::Unknown(_))));
+        assert!(c.get("nope").unwrap_err().to_string().contains("college"));
+    }
+
+    #[test]
+    fn registration_round_trips() {
+        let c = Catalog::new();
+        let g = c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.num_edges(), 3);
+        let again = c.get("tri").unwrap();
+        assert!(Arc::ptr_eq(&g, &again));
+        assert_eq!(c.entries()[0].source, "registered");
+    }
+
+    #[test]
+    fn registration_rejects_bad_input() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.register("", b"0 1\n"),
+            Err(CatalogError::BadName(_))
+        ));
+        assert!(matches!(
+            c.register("no spaces", b"0 1\n"),
+            Err(CatalogError::BadName(_))
+        ));
+        assert!(matches!(
+            c.register("college", b"0 1\n"),
+            Err(CatalogError::Duplicate(_))
+        ));
+        c.register("ok", b"0 1\n").unwrap();
+        assert!(matches!(
+            c.register("ok", b"0 1\n"),
+            Err(CatalogError::Duplicate(_))
+        ));
+        assert!(matches!(
+            c.register("badlist", b"zero one\n"),
+            Err(CatalogError::BadEdgeList(_))
+        ));
+    }
+}

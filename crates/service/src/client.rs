@@ -1,0 +1,208 @@
+//! A minimal blocking HTTP client for the service: just enough for the
+//! load generator, the integration tests and the programmatic example.
+//! Reuses one keep-alive connection per [`Client`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header names with values.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a (case-insensitively named) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            s.set_read_timeout(Some(Duration::from_secs(120)))?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().unwrap())
+    }
+
+    /// Issues a `GET`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Issues a `POST` with a body.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some((content_type, body)))
+    }
+
+    /// Whether an error means the server cannot have acted on the
+    /// request: the socket broke with **zero** response bytes. The
+    /// server answers every request it reads, so silence implies the
+    /// request was never read — retrying cannot duplicate work. A
+    /// mid-response failure ([`std::io::ErrorKind::UnexpectedEof`]) is
+    /// deliberately *not* retriable: the request did run.
+    fn is_unprocessed(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+        )
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> std::io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            // retry exactly once, and only when a *reused* keep-alive
+            // connection (which the server may have closed while idle)
+            // failed before the server saw the request
+            Err(e) if reused && Self::is_unprocessed(&e) => self.request_once(method, path, body),
+            other => other,
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> std::io::Result<ClientResponse> {
+        let stream = self.stream()?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: antruss\r\n");
+        if let Some((ct, b)) = body {
+            head.push_str(&format!(
+                "content-type: {ct}\r\ncontent-length: {}\r\n",
+                b.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let attempt = (|| {
+            stream.write_all(head.as_bytes())?;
+            if let Some((_, b)) = body {
+                stream.write_all(b)?;
+            }
+            stream.flush()?;
+            read_response(stream)
+        })();
+        let resp = match attempt {
+            Ok(r) => r,
+            Err(e) => {
+                self.stream = None; // never reuse a broken connection
+                return Err(e);
+            }
+        };
+        if resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.stream = None;
+        }
+        Ok(resp)
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                // closed before any response byte: the server never read
+                // the request (idle keep-alive close) — safe to retry
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "connection closed before the response",
+                ))
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

@@ -1,0 +1,47 @@
+//! # antruss-service
+//!
+//! `antruss serve`: the resident anchoring service. The ROADMAP's north
+//! star is a system that serves heavy repeated traffic, and the paper's
+//! reuse results (Fig. 10) show repeated queries against the same graph
+//! are the common case — so instead of the CLI's load → decompose → solve
+//! per invocation, this crate keeps everything resident:
+//!
+//! * [`catalog::Catalog`] — named graphs in `Arc`-shared CSR form,
+//!   dataset analogues generated lazily, uploads via `POST /graphs`;
+//! * [`cache::OutcomeCache`] — an LRU over *serialized* outcomes keyed by
+//!   `(graph, solver, b, k, seed, trials, policy)`, with hit / miss /
+//!   eviction counters: a repeated query returns byte-identical JSON
+//!   without re-running the solver;
+//! * [`server::Server`] — a hand-rolled HTTP/1.1 server
+//!   (`std::net::TcpListener` + a `crossbeam::channel` worker pool; no
+//!   external dependencies) with bounded request bodies, per-request
+//!   safety valves mirroring the CLI's (`exact` enumeration and `base`
+//!   wall-clock caps), and graceful SIGINT shutdown that drains in-flight
+//!   work;
+//! * [`client::Client`] — the minimal blocking client used by the
+//!   `loadgen` bin, the e2e tests and `examples/service_client.rs`.
+//!
+//! ## Endpoints
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /solve` | run (or replay from cache) a solver; body `{"graph","solver","b","seed","trials","threads","k","policy"}`; the response body is exactly the unified outcome JSON, with `x-antruss-cache: hit\|miss` |
+//! | `GET /solvers` | the engine registry as JSON |
+//! | `GET /graphs` | loaded graphs + the built-in dataset slugs |
+//! | `POST /graphs?name=N` | register a SNAP edge-list body under `N` (201 / 400 / 409) |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | plain-text counters: requests, cache hits/misses/evictions, p50/p99 solve latency, in-flight |
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, OutcomeCache};
+pub use catalog::{Catalog, CatalogError};
+pub use client::{Client, ClientResponse};
+pub use server::{handle, Server, ServerConfig, ServiceState};

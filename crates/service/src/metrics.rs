@@ -1,0 +1,225 @@
+//! Service counters and the `/metrics` text rendering.
+//!
+//! Counters are lock-free atomics; solve latencies go into a bounded
+//! ring (the most recent [`LATENCY_WINDOW`] observations) from which
+//! p50/p99 are computed on demand — a windowed estimate, which is what a
+//! resident service wants: percentiles that track current behaviour
+//! instead of averaging over its whole uptime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// How many recent solve latencies the percentile window holds.
+pub const LATENCY_WINDOW: usize = 1024;
+
+/// All service-level counters (share via `Arc`).
+pub struct Metrics {
+    started: Instant,
+    /// HTTP requests accepted (any endpoint, any status).
+    pub requests: AtomicU64,
+    /// `/solve` requests (hits and misses both).
+    pub solves: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Requests currently being handled.
+    pub in_flight: AtomicU64,
+    latencies: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: Vec<f64>,
+    next: usize,
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latencies: Mutex::new(Ring {
+                buf: Vec::with_capacity(LATENCY_WINDOW),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one solve's wall-clock time.
+    pub fn observe_solve(&self, elapsed: Duration) {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.latencies.lock().unwrap();
+        let secs = elapsed.as_secs_f64();
+        if ring.buf.len() < LATENCY_WINDOW {
+            ring.buf.push(secs);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = secs;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The `p`-th percentile (0–100) of the latency window, in seconds
+    /// (0.0 while the window is empty).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let ring = self.latencies.lock().unwrap();
+        if ring.buf.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = ring.buf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Renders the plain-text `/metrics` document.
+    pub fn render(&self, cache: &CacheStats, catalog_graphs: usize) -> String {
+        let mut out = String::with_capacity(512);
+        let mut line = |name: &str, v: String| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        line(
+            "antruss_uptime_seconds",
+            format!("{:.3}", self.started.elapsed().as_secs_f64()),
+        );
+        line(
+            "antruss_requests_total",
+            self.requests.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "antruss_solve_requests_total",
+            self.solves.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "antruss_http_errors_total",
+            self.errors.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "antruss_in_flight_requests",
+            self.in_flight.load(Ordering::Relaxed).to_string(),
+        );
+        line("antruss_cache_hits_total", cache.hits.to_string());
+        line("antruss_cache_misses_total", cache.misses.to_string());
+        line("antruss_cache_evictions_total", cache.evictions.to_string());
+        line("antruss_cache_entries", cache.entries.to_string());
+        line("antruss_cache_capacity", cache.capacity.to_string());
+        line("antruss_catalog_graphs", catalog_graphs.to_string());
+        line(
+            "antruss_solve_latency_p50_seconds",
+            format!("{:.6}", self.latency_percentile(50.0)),
+        );
+        line(
+            "antruss_solve_latency_p99_seconds",
+            format!("{:.6}", self.latency_percentile(99.0)),
+        );
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+/// RAII in-flight gauge: increments on creation, decrements on drop (so
+/// panics and early returns both release the slot).
+pub struct InFlight<'a>(&'a Metrics);
+
+impl<'a> InFlight<'a> {
+    /// Marks one request in flight on `m`.
+    pub fn enter(m: &'a Metrics) -> InFlight<'a> {
+        m.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(m)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CacheStats {
+        CacheStats {
+            hits: 3,
+            misses: 7,
+            evictions: 1,
+            entries: 2,
+            capacity: 64,
+        }
+    }
+
+    #[test]
+    fn percentiles_over_a_known_window() {
+        let m = Metrics::new();
+        for ms in 1..=100u64 {
+            m.observe_solve(Duration::from_millis(ms));
+        }
+        let p50 = m.latency_percentile(50.0);
+        let p99 = m.latency_percentile(99.0);
+        assert!((0.045..=0.055).contains(&p50), "{p50}");
+        assert!((0.095..=0.100).contains(&p99), "{p99}");
+        assert_eq!(Metrics::new().latency_percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn window_wraps_and_forgets_old_samples() {
+        let m = Metrics::new();
+        for _ in 0..LATENCY_WINDOW {
+            m.observe_solve(Duration::from_secs(10));
+        }
+        for _ in 0..LATENCY_WINDOW {
+            m.observe_solve(Duration::from_millis(1));
+        }
+        assert!(m.latency_percentile(99.0) < 0.01);
+    }
+
+    #[test]
+    fn render_lists_every_series() {
+        let m = Metrics::new();
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.observe_solve(Duration::from_millis(2));
+        let text = m.render(&stats(), 4);
+        for series in [
+            "antruss_uptime_seconds",
+            "antruss_requests_total 5",
+            "antruss_solve_requests_total 1",
+            "antruss_http_errors_total 0",
+            "antruss_in_flight_requests 0",
+            "antruss_cache_hits_total 3",
+            "antruss_cache_misses_total 7",
+            "antruss_cache_evictions_total 1",
+            "antruss_cache_entries 2",
+            "antruss_cache_capacity 64",
+            "antruss_catalog_graphs 4",
+            "antruss_solve_latency_p50_seconds",
+            "antruss_solve_latency_p99_seconds",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn in_flight_guard_releases_on_drop() {
+        let m = Metrics::new();
+        {
+            let _a = InFlight::enter(&m);
+            let _b = InFlight::enter(&m);
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+    }
+}

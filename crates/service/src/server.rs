@@ -1,0 +1,752 @@
+//! The resident anchoring server: accept loop, worker pool, router.
+//!
+//! Architecture (all std + the vendored crossbeam channel):
+//!
+//! ```text
+//! TcpListener (non-blocking accept loop, one thread)
+//!      │ crossbeam::channel::bounded  — backpressure when all busy
+//!      ▼
+//! worker pool (--threads) ── keep-alive connection loop
+//!      │ read_request ──► handle() ──► Response
+//!      ▼
+//! ServiceState: Catalog (Arc-shared CSR graphs)
+//!               OutcomeCache (LRU over serialized outcomes)
+//!               Metrics (counters + latency window)
+//!               registry() (the solver engine)
+//! ```
+//!
+//! Shutdown is graceful: the flag flips (SIGINT or
+//! [`Server::shutdown`]), the acceptor stops and drops the channel,
+//! workers finish the request they are on, answer it with
+//! `Connection: close`, and drain.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use antruss_core::engine::{registry, RunConfig};
+use antruss_core::json::{self, Value};
+use antruss_core::ReusePolicy;
+use antruss_datasets::DatasetId;
+
+use crate::cache::{CacheKey, OutcomeCache};
+use crate::catalog::{Catalog, CatalogError};
+use crate::http::{read_request_expecting, ReadError, Request, Response};
+use crate::metrics::{InFlight, Metrics};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` = ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = one per available core, capped at 8).
+    pub threads: usize,
+    /// Outcome-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Largest accepted `b` per request (the service-side safety valve).
+    pub max_budget: usize,
+    /// Per-request cap on `exact` enumeration (0 = exhaustive allowed).
+    pub exact_cap: u64,
+    /// Per-request wall-clock cap for `base`, seconds (0 = unbounded).
+    pub base_timeout_secs: u64,
+    /// Largest per-solve thread count a request may ask for.
+    pub max_solve_threads: usize,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on an ephemeral port, 4 workers, a 256-entry cache, 8 MiB
+    /// bodies, and the CLI's interactive safety valves (`exact` capped at
+    /// 100 000 sets, `base` at 60 s).
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            cache_capacity: 256,
+            max_body_bytes: 8 * 1024 * 1024,
+            max_budget: 1024,
+            exact_cap: 100_000,
+            base_timeout_secs: 60,
+            max_solve_threads: 8,
+        }
+    }
+}
+
+/// Everything the request handlers share. Separated from [`Server`] so
+/// handlers are unit-testable without sockets.
+pub struct ServiceState {
+    /// The configuration the server started with.
+    pub config: ServerConfig,
+    /// Named graphs in `Arc`-shared CSR form.
+    pub catalog: Catalog,
+    /// The LRU over serialized outcomes.
+    pub cache: OutcomeCache,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// Flipped once; workers observe it between requests.
+    pub shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    /// Fresh state for `config`.
+    pub fn new(config: ServerConfig) -> ServiceState {
+        ServiceState {
+            cache: OutcomeCache::new(config.cache_capacity),
+            catalog: Catalog::new(),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+}
+
+fn policy_from_str(s: &str) -> Option<(&'static str, ReusePolicy)> {
+    match s {
+        "paper" => Some(("paper", ReusePolicy::PaperExact)),
+        "conservative" => Some(("conservative", ReusePolicy::Conservative)),
+        "off" => Some(("off", ReusePolicy::Off)),
+        _ => None,
+    }
+}
+
+/// Routes one parsed request. Counts it in the metrics, including the
+/// in-flight gauge and, for `/solve` misses, the solve-latency window.
+pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    let _guard = InFlight::enter(&state.metrics);
+    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = route(state, req);
+    if resp.status >= 400 {
+        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+fn route(state: &ServiceState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => Response::text(
+            200,
+            state
+                .metrics
+                .render(&state.cache.stats(), state.catalog.len()),
+        ),
+        ("GET", "/solvers") => list_solvers(),
+        ("GET", "/graphs") => list_graphs(state),
+        ("POST", "/graphs") => register_graph(state, req),
+        ("POST", "/solve") => solve(state, req),
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
+        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+fn list_solvers() -> Response {
+    let mut body = String::from("[");
+    for (i, s) in registry().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":{},\"description\":{}}}",
+            json::quoted(s.name()),
+            json::quoted(s.description())
+        ));
+    }
+    body.push(']');
+    Response::json(200, body)
+}
+
+fn list_graphs(state: &ServiceState) -> Response {
+    let mut body = String::from("{\"loaded\":[");
+    for (i, e) in state.catalog.entries().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":{},\"vertices\":{},\"edges\":{},\"source\":{}}}",
+            json::quoted(&e.name),
+            e.vertices,
+            e.edges,
+            json::quoted(e.source)
+        ));
+    }
+    body.push_str("],\"datasets\":[");
+    for (i, slug) in DatasetId::slugs().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&json::quoted(slug));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn register_graph(state: &ServiceState, req: &Request) -> Response {
+    let Some(name) = req.query_param("name") else {
+        return Response::error(400, "missing ?name= query parameter");
+    };
+    match state.catalog.register(name, &req.body) {
+        Ok(g) => Response::json(
+            201,
+            format!(
+                "{{\"name\":{},\"vertices\":{},\"edges\":{}}}",
+                json::quoted(&name.trim().to_ascii_lowercase()),
+                g.num_vertices(),
+                g.num_edges()
+            ),
+        ),
+        Err(e @ CatalogError::Duplicate(_)) => Response::error(409, &e.to_string()),
+        Err(e @ CatalogError::Full) => Response::error(429, &e.to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// The fields `/solve` accepts; anything else in the body is a 400 (typos
+/// like `"bugdet"` should fail loudly, not silently use a default).
+const SOLVE_FIELDS: &[&str] = &[
+    "graph", "solver", "b", "seed", "trials", "threads", "k", "policy",
+];
+
+fn solve(state: &ServiceState, req: &Request) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Value::Obj(members) = &body else {
+        return Response::error(400, "body must be a JSON object");
+    };
+    if let Some(unknown) = members.keys().find(|k| !SOLVE_FIELDS.contains(&k.as_str())) {
+        return Response::error(
+            400,
+            &format!("unknown field {unknown:?} (expected {SOLVE_FIELDS:?})"),
+        );
+    }
+
+    let Some(graph_spec) = body.get("graph").and_then(Value::as_str) else {
+        return Response::error(400, "missing string field \"graph\"");
+    };
+    let solver_name = match body.get("solver") {
+        None => "gas",
+        Some(v) => match v.as_str() {
+            Some(s) => s,
+            None => return Response::error(400, "\"solver\" must be a string"),
+        },
+    };
+    let Some(solver) = registry().get(solver_name) else {
+        return Response::error(
+            404,
+            &format!(
+                "unknown solver {solver_name:?} (available: {})",
+                registry().names().join(", ")
+            ),
+        );
+    };
+
+    macro_rules! uint_field {
+        ($name:literal, $default:expr) => {
+            match body.get($name) {
+                None => $default,
+                Some(v) => match v.as_u64() {
+                    Some(n) => n,
+                    None => {
+                        return Response::error(
+                            400,
+                            concat!("\"", $name, "\" must be a non-negative integer"),
+                        )
+                    }
+                },
+            }
+        };
+    }
+
+    let budget = uint_field!("b", 10) as usize;
+    if budget == 0 {
+        return Response::error(400, "\"b\" must be at least 1");
+    }
+    if budget > state.config.max_budget {
+        return Response::error(
+            400,
+            &format!(
+                "\"b\" {budget} exceeds this server's cap of {}",
+                state.config.max_budget
+            ),
+        );
+    }
+    let seed = uint_field!("seed", 1);
+    let trials = uint_field!("trials", 20) as usize;
+    let threads = (uint_field!("threads", 1) as usize).min(state.config.max_solve_threads);
+    let k = match body.get("k") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(n) if n <= u32::MAX as u64 => Some(n as u32),
+            _ => return Response::error(400, "\"k\" must be a non-negative integer"),
+        },
+    };
+    let (policy_name, policy) = match body.get("policy") {
+        None => ("paper", ReusePolicy::PaperExact),
+        Some(v) => match v.as_str().and_then(policy_from_str) {
+            Some(p) => p,
+            None => return Response::error(400, "\"policy\" must be paper|conservative|off"),
+        },
+    };
+
+    let graph = match state.catalog.get(graph_spec) {
+        Ok(g) => g,
+        Err(e) => return Response::error(404, &e.to_string()),
+    };
+
+    let key = CacheKey {
+        graph: crate::catalog::canonical_key(graph_spec),
+        solver: solver.name().to_string(),
+        budget,
+        k,
+        seed,
+        trials,
+        policy: policy_name,
+    };
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.solves.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, hit.as_str()).with_header("x-antruss-cache", "hit");
+    }
+
+    let mut cfg = RunConfig::new(budget)
+        .threads(threads.max(1))
+        .seed(seed)
+        .trials(trials)
+        .reuse(policy);
+    if let Some(k) = k {
+        cfg = cfg.k(k);
+    }
+    if state.config.exact_cap > 0 {
+        cfg = cfg.exact_cap(state.config.exact_cap);
+    }
+    if state.config.base_timeout_secs > 0 {
+        cfg = cfg.time_budget(Duration::from_secs(state.config.base_timeout_secs));
+    }
+
+    let started = Instant::now();
+    match solver.run(&graph, &cfg) {
+        Ok(outcome) => {
+            state.metrics.observe_solve(started.elapsed());
+            let serialized = Arc::new(outcome.to_json());
+            state.cache.insert(key, Arc::clone(&serialized));
+            Response::json(200, serialized.as_str()).with_header("x-antruss-cache", "miss")
+        }
+        Err(e) => Response::error(400, &format!("{solver_name}: {e}")),
+    }
+}
+
+/// A running server; dropping it shuts it down and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds and starts accepting; returns once the listener is live.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = match config.threads {
+            0 => thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8),
+            n => n,
+        };
+        let state = Arc::new(ServiceState::new(config));
+
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(threads * 4);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = rx.clone();
+            let state = Arc::clone(&state);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("antruss-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            serve_connection(&state, stream);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        drop(rx);
+
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = thread::Builder::new()
+            .name("antruss-acceptor".to_string())
+            .spawn(move || {
+                // `tx` lives in this thread; dropping it on exit is what
+                // releases the workers from `recv`
+                while !acceptor_state.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nonblocking(false);
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (handy for in-process inspection in tests).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    fn stop(&mut self) -> String {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let cache = self.state.cache.stats();
+        format!(
+            "served {} request(s) ({} solve(s), {} cache hit(s), {} error(s)) in {:.1}s",
+            self.state.metrics.requests.load(Ordering::Relaxed),
+            self.state.metrics.solves.load(Ordering::Relaxed),
+            cache.hits,
+            self.state.metrics.errors.load(Ordering::Relaxed),
+            self.started.elapsed().as_secs_f64()
+        )
+    }
+
+    /// Stops accepting, drains in-flight work, joins every thread and
+    /// reports totals.
+    pub fn shutdown(mut self) -> String {
+        self.stop()
+    }
+
+    /// Blocks until SIGINT (ctrl-c), then shuts down gracefully. On
+    /// platforms without the handler the flag can still be flipped via
+    /// [`ServiceState::shutdown`] from another thread.
+    pub fn run_until_sigint(self) -> String {
+        install_sigint_handler();
+        while !SIGINT.load(Ordering::SeqCst) && !self.state.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            let _ = self.stop();
+        }
+    }
+}
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    // async-signal-safe: a single atomic store
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        // libc is already linked by std; SIGINT = 2 everywhere we run
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler: extern "C" fn(i32) = on_sigint;
+    unsafe {
+        signal(2, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Per-request inactivity timeout. Short enough that shutdown (polled
+/// between reads) completes promptly; keep-alive connections survive any
+/// number of idle periods.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Keep-alive connections idle longer than this are closed. A worker
+/// serves one connection at a time, so without a deadline a handful of
+/// idle-but-open clients (monitoring agents, browsers) would pin the
+/// whole pool and starve new connections.
+const IDLE_DEADLINE: Duration = Duration::from_secs(30);
+
+fn serve_connection(state: &ServiceState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let mut carry = Vec::new();
+    let max_idle_ticks = (IDLE_DEADLINE.as_millis() / READ_TIMEOUT.as_millis()).max(1) as u32;
+    let mut idle_ticks = 0u32;
+    loop {
+        // `100 Continue` interim responses go through a clone of the
+        // stream: the read side is mid-request in `read_request_expecting`
+        let mut writer = stream.try_clone().ok();
+        let mut send_continue = || {
+            if let Some(w) = writer.as_mut() {
+                let _ = w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+                let _ = w.flush();
+            }
+        };
+        match read_request_expecting(
+            &mut stream,
+            &mut carry,
+            state.config.max_body_bytes,
+            &mut send_continue,
+        ) {
+            Ok(req) => {
+                idle_ticks = 0;
+                let resp = handle(state, &req);
+                let close = req.wants_close() || state.shutdown.load(Ordering::SeqCst);
+                if resp.write_to(&mut stream, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(ReadError::Idle) => {
+                idle_ticks += 1;
+                if state.shutdown.load(Ordering::SeqCst) || idle_ticks >= max_idle_ticks {
+                    return;
+                }
+            }
+            Err(ReadError::Eof) => return,
+            Err(ReadError::TooLarge { limit }) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(413, &format!("body exceeds {limit} bytes"))
+                    .write_to(&mut stream, true);
+                return;
+            }
+            Err(ReadError::Bad(msg)) => {
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(400, &msg).write_to(&mut stream, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+        // a flushed response may leave the worker waiting here for the
+        // connection's next request; that's the keep-alive loop
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServiceState {
+        ServiceState::new(ServerConfig::default())
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn body_str(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let st = state();
+        assert_eq!(handle(&st, &get("/healthz")).status, 200);
+        let m = handle(&st, &get("/metrics"));
+        assert_eq!(m.status, 200);
+        assert!(body_str(&m).contains("antruss_requests_total"));
+    }
+
+    #[test]
+    fn solvers_lists_the_registry() {
+        let resp = handle(&state(), &get("/solvers"));
+        assert_eq!(resp.status, 200);
+        let parsed = json::parse(&body_str(&resp)).unwrap();
+        let names: Vec<&str> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names.len(), registry().len());
+        assert!(names.contains(&"gas"));
+    }
+
+    #[test]
+    fn solve_runs_and_caches() {
+        let st = state();
+        let req = post("/solve", r#"{"graph":"college:0.05","solver":"gas","b":2}"#);
+        let first = handle(&st, &req);
+        assert_eq!(first.status, 200, "{}", body_str(&first));
+        assert!(first
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "x-antruss-cache" && v == "miss"));
+        let second = handle(&st, &req);
+        assert_eq!(second.status, 200);
+        assert!(second
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "x-antruss-cache" && v == "hit"));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        assert_eq!(st.cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn equivalent_graph_specs_share_the_cache() {
+        let st = state();
+        let a = handle(&st, &post("/solve", r#"{"graph":"college:0.05","b":2}"#));
+        assert_eq!(a.status, 200, "{}", body_str(&a));
+        let b = handle(&st, &post("/solve", r#"{"graph":" College:0.050","b":2}"#));
+        assert_eq!(a.body, b.body);
+        assert!(
+            b.extra_headers
+                .iter()
+                .any(|(n, v)| n == "x-antruss-cache" && v == "hit"),
+            "spelling variants must canonicalize to one cache key"
+        );
+        assert_eq!(st.catalog.len(), 1, "and to one resident graph");
+    }
+
+    #[test]
+    fn unknown_solver_is_404_listing_names() {
+        let resp = handle(
+            &state(),
+            &post("/solve", r#"{"graph":"college:0.05","solver":"nope"}"#),
+        );
+        assert_eq!(resp.status, 404);
+        let msg = body_str(&resp);
+        assert!(msg.contains("gas") && msg.contains("rand:sup"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_graph_is_404() {
+        let resp = handle(&state(), &post("/solve", r#"{"graph":"missingno"}"#));
+        assert_eq!(resp.status, 404);
+        assert!(body_str(&resp).contains("missingno"));
+    }
+
+    #[test]
+    fn malformed_solve_bodies_are_400() {
+        let st = state();
+        for bad in [
+            "not json at all",
+            "[1,2,3]",
+            r#"{"solver":"gas"}"#,                         // missing graph
+            r#"{"graph":"college:0.05","bugdet":3}"#,      // typo'd field
+            r#"{"graph":"college:0.05","b":0}"#,           // zero budget
+            r#"{"graph":"college:0.05","b":-3}"#,          // negative budget
+            r#"{"graph":"college:0.05","b":1e18}"#,        // over the cap
+            r#"{"graph":"college:0.05","seed":"one"}"#,    // wrong type
+            r#"{"graph":"college:0.05","policy":"fast"}"#, // bad policy
+            r#"{"graph":123}"#,                            // wrong type
+        ] {
+            let resp = handle(&st, &post("/solve", bad));
+            assert_eq!(resp.status, 400, "{bad} -> {}", body_str(&resp));
+        }
+    }
+
+    #[test]
+    fn graph_registration_status_paths() {
+        let st = state();
+        let mut req = post("/graphs", "0 1\n1 2\n2 0\n");
+        assert_eq!(handle(&st, &req).status, 400); // missing ?name=
+        req.query = vec![("name".to_string(), "tri".to_string())];
+        assert_eq!(handle(&st, &req).status, 201);
+        assert_eq!(handle(&st, &req).status, 409); // duplicate
+        let solve = handle(&st, &post("/solve", r#"{"graph":"tri","b":1}"#));
+        assert_eq!(solve.status, 200, "{}", body_str(&solve));
+        let listing = body_str(&handle(&st, &get("/graphs")));
+        assert!(listing.contains("\"tri\""), "{listing}");
+        assert!(listing.contains("\"college\""), "{listing}");
+    }
+
+    #[test]
+    fn unknown_route_and_method() {
+        assert_eq!(handle(&state(), &get("/nope")).status, 404);
+        let mut del = get("/healthz");
+        del.method = "DELETE".to_string();
+        assert_eq!(handle(&state(), &del).status, 405);
+    }
+
+    #[test]
+    fn error_responses_bump_the_error_counter() {
+        let st = state();
+        handle(&st, &get("/nope"));
+        handle(&st, &get("/healthz"));
+        assert_eq!(st.metrics.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(st.metrics.requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn solve_threads_are_capped_but_results_unchanged() {
+        let st = state();
+        let a = handle(
+            &st,
+            &post("/solve", r#"{"graph":"college:0.05","b":2,"threads":1}"#),
+        );
+        // threads is not part of the cache key, so this second request —
+        // differing only in thread count — must be a byte-identical hit
+        let b = handle(
+            &st,
+            &post("/solve", r#"{"graph":"college:0.05","b":2,"threads":9999}"#),
+        );
+        assert_eq!(a.body, b.body);
+        assert!(b
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "x-antruss-cache" && v == "hit"));
+    }
+}

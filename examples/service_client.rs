@@ -1,0 +1,71 @@
+//! A programmatic client against an in-process `antruss serve` handle:
+//! start the service, register a graph, solve on it twice (miss then
+//! hit), and read the metrics — all over real sockets, no external
+//! process.
+//!
+//! ```sh
+//! cargo run --release --example service_client
+//! ```
+
+use antruss::service::{Client, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // an ephemeral port keeps the example runnable alongside a real server
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 32,
+        ..ServerConfig::default()
+    })?;
+    println!("service listening on http://{}", server.addr());
+    let mut client = Client::new(server.addr());
+
+    // 1. the solver line-up, straight from the engine registry
+    let solvers = client.get("/solvers")?;
+    println!(
+        "\nGET /solvers -> {}\n{}",
+        solvers.status,
+        solvers.body_string()
+    );
+
+    // 2. register a small graph: two 5-cliques sharing one vertex
+    let mut edges = String::new();
+    for base in [0u32, 4] {
+        for u in base..base + 5 {
+            for v in (u + 1)..base + 5 {
+                edges.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    let created = client.post("/graphs?name=barbell", "text/plain", edges.as_bytes())?;
+    println!(
+        "POST /graphs?name=barbell -> {} {}",
+        created.status,
+        created.body_string()
+    );
+
+    // 3. solve on it twice: the first request runs GAS, the second is
+    //    answered from the outcome cache with identical bytes
+    let body = br#"{"graph":"barbell","solver":"gas","b":1}"#;
+    let first = client.post("/solve", "application/json", body)?;
+    let second = client.post("/solve", "application/json", body)?;
+    println!(
+        "\nPOST /solve #1 -> {} (cache {})",
+        first.status,
+        first.header("x-antruss-cache").unwrap_or("?")
+    );
+    println!(
+        "POST /solve #2 -> {} (cache {})",
+        second.status,
+        second.header("x-antruss-cache").unwrap_or("?")
+    );
+    println!("outcome: {}", first.body_string());
+    assert_eq!(first.body, second.body, "cache hits replay exact bytes");
+
+    // 4. the service's own view of all that
+    let metrics = client.get("/metrics")?;
+    println!("\nGET /metrics ->\n{}", metrics.body_string());
+
+    println!("shutting down: {}", server.shutdown());
+    Ok(())
+}

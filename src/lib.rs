@@ -13,7 +13,10 @@
 //!   `GAS` algorithm and all evaluated baselines, unified behind the
 //!   [`atr::engine`] `Solver` API;
 //! * [`datasets`] — deterministic synthetic analogues of the paper's eight
-//!   SNAP datasets.
+//!   SNAP datasets;
+//! * [`service`] — the resident anchoring service (`antruss serve`): a
+//!   graph catalog and an outcome cache behind a hand-rolled HTTP/1.1
+//!   server, plus the client used by `loadgen` and the e2e tests.
 //!
 //! ## Quickstart
 //!
@@ -52,4 +55,5 @@ pub use antruss_core as atr;
 pub use antruss_datasets as datasets;
 pub use antruss_graph as graph;
 pub use antruss_kcore as kcore;
+pub use antruss_service as service;
 pub use antruss_truss as truss;

@@ -1,0 +1,88 @@
+//! Property tests for `antruss_core::json`: the escaping shared by
+//! `Outcome::to_json` and the service round-trips arbitrary strings —
+//! quotes, backslashes and control characters `\u{0}`–`\u{1f}` included —
+//! and parsing never panics on arbitrary bytes.
+
+use antruss::atr::json::{self, quoted, Value};
+use proptest::prelude::*;
+
+/// Decodes a generated `Vec<u32>` into a string exercising the escaping
+/// edge cases: the low code points (controls, quote, backslash) are
+/// heavily over-represented relative to uniform `char` sampling.
+fn decode_string(raw: &[u32]) -> String {
+    raw.iter()
+        .map(|&v| {
+            let v = v % 0x250;
+            match v {
+                // 0x00–0x1f: the control characters that must escape
+                0x20 => '"',
+                0x21 => '\\',
+                0x22 => '/',
+                v => char::from_u32(v).unwrap_or('\u{fffd}'),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escaped_strings_round_trip(raw in prop::collection::vec(0u32..0x250, 0..64)) {
+        let original = decode_string(&raw);
+        let literal = quoted(&original);
+        let parsed = json::parse(&literal);
+        prop_assert!(parsed.is_ok(), "quoted {original:?} unparseable: {literal}");
+        prop_assert_eq!(parsed.unwrap(), Value::Str(original));
+    }
+
+    #[test]
+    fn escaping_embeds_safely_in_objects(raw in prop::collection::vec(0u32..0x250, 0..32)) {
+        let original = decode_string(&raw);
+        let doc = format!("{{\"k\":{}}}", quoted(&original));
+        let parsed = json::parse(&doc);
+        prop_assert!(parsed.is_ok(), "object with {original:?} unparseable: {doc}");
+        let v = parsed.unwrap();
+        prop_assert_eq!(
+            v.get("k").and_then(Value::as_str),
+            Some(original.as_str())
+        );
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_ascii(raw in prop::collection::vec(0u32..128, 0..48)) {
+        let input: String = raw
+            .iter()
+            .map(|&v| char::from_u32(v).unwrap_or('?'))
+            .collect();
+        // any Result is fine; panicking or hanging is the failure mode
+        let _ = json::parse(&input);
+    }
+
+    #[test]
+    fn value_serialization_round_trips(nums in prop::collection::vec(0u32..10_000, 1..16)) {
+        let arr = Value::Arr(nums.iter().map(|&n| Value::Num(n as f64)).collect());
+        let parsed = json::parse(&arr.to_json());
+        prop_assert!(parsed.is_ok());
+        prop_assert_eq!(parsed.unwrap(), arr);
+    }
+}
+
+#[test]
+fn outcome_json_parses_with_the_shared_parser() {
+    use antruss::atr::engine::{registry, RunConfig};
+    use antruss::graph::gen::gnm;
+
+    let g = gnm(25, 90, 3);
+    let out = registry()
+        .get("gas")
+        .unwrap()
+        .run(&g, &RunConfig::new(2))
+        .unwrap();
+    let v = json::parse(&out.to_json()).expect("Outcome::to_json is valid JSON");
+    assert_eq!(v.get("solver").and_then(Value::as_str), Some("gas"));
+    assert_eq!(
+        v.get("total_gain").and_then(Value::as_u64),
+        Some(out.total_gain)
+    );
+}

@@ -1,0 +1,250 @@
+//! End-to-end test of `antruss serve`: a real server on an ephemeral
+//! port, concurrent clients over real sockets, outcome parity with
+//! direct engine dispatch, and cache behaviour observed via `/metrics`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use antruss::atr::engine::{registry, RunConfig};
+use antruss::atr::json::{self, Value};
+use antruss::service::{Client, Server, ServerConfig};
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Strips every `elapsed_secs` member (the only wall-clock-dependent
+/// field) so two runs of a deterministic solver compare equal.
+fn strip_elapsed(v: &Value) -> Value {
+    match v {
+        Value::Arr(items) => Value::Arr(items.iter().map(strip_elapsed).collect()),
+        Value::Obj(members) => Value::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k.as_str() != "elapsed_secs")
+                .map(|(k, v)| (k.clone(), strip_elapsed(v)))
+                .collect::<BTreeMap<_, _>>(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing in:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn served_outcomes_match_direct_registry_dispatch() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // the same graph the service will generate for "college:0.05"
+    let (id, scale) = antruss::datasets::DatasetId::from_spec("college:0.05").unwrap();
+    let g = antruss::datasets::generate(id, scale);
+
+    for (solver, body) in [
+        ("gas", r#"{"graph":"college:0.05","solver":"gas","b":2}"#),
+        (
+            "rand:sup",
+            r#"{"graph":"college:0.05","solver":"rand:sup","b":2,"seed":3,"trials":5}"#,
+        ),
+        ("lazy", r#"{"graph":"college:0.05","solver":"lazy","b":2}"#),
+    ] {
+        let mut client = Client::new(addr);
+        let resp = client
+            .post("/solve", "application/json", body.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{solver}: {}", resp.body_string());
+
+        let mut cfg = RunConfig::new(2)
+            .trials(5)
+            .exact_cap(100_000)
+            .time_budget(std::time::Duration::from_secs(60));
+        if solver.starts_with("rand") {
+            cfg = cfg.seed(3);
+        }
+        let direct = registry().get(solver).unwrap().run(&g, &cfg).unwrap();
+
+        let served = json::parse(&resp.body_string()).unwrap();
+        let direct_json = json::parse(&direct.to_json()).unwrap();
+        assert_eq!(
+            strip_elapsed(&served),
+            strip_elapsed(&direct_json),
+            "{solver}: served outcome diverges from direct dispatch"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_byte_for_byte() {
+    let server = start_server();
+    let mut client = Client::new(server.addr());
+    let body = r#"{"graph":"college:0.05","solver":"gas","b":2}"#.as_bytes();
+
+    let first = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-antruss-cache"), Some("miss"));
+
+    let second = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-antruss-cache"), Some("hit"));
+    assert_eq!(
+        first.body, second.body,
+        "a cache hit must replay the exact bytes"
+    );
+
+    let metrics = client.get("/metrics").unwrap().body_string();
+    assert_eq!(metric(&metrics, "antruss_cache_hits_total"), 1);
+    assert_eq!(metric(&metrics, "antruss_cache_misses_total"), 1);
+    // the hit is served from the cache: only the miss ran a solver, so
+    // exactly one latency sample and one entry exist
+    assert_eq!(metric(&metrics, "antruss_cache_entries"), 1);
+    assert_eq!(metric(&metrics, "antruss_solve_requests_total"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_agree_with_each_other() {
+    let server = start_server();
+    let addr = server.addr();
+    let body_for = |seed: u64| {
+        format!("{{\"graph\":\"college:0.05\",\"solver\":\"rand\",\"b\":2,\"seed\":{seed},\"trials\":4}}")
+            .into_bytes()
+    };
+
+    // warm phase: populate the four keys sequentially so every cache
+    // outcome below is deterministic (no same-key miss stampede)
+    let mut warm = Client::new(addr);
+    let mut expected: Vec<Vec<u8>> = Vec::new();
+    for seed in 0..4u64 {
+        let resp = warm
+            .post("/solve", "application/json", &body_for(seed))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        expected.push(resp.body);
+    }
+
+    // storm phase: 8 concurrent clients re-request those keys and must
+    // all get the warmed bytes back, whichever worker serves them
+    let expected = Arc::new(expected);
+    std::thread::scope(|scope| {
+        for i in 0..8usize {
+            let expected = Arc::clone(&expected);
+            let body = body_for((i % 4) as u64);
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let resp = client
+                    .post("/solve", "application/json", &body)
+                    .expect("solve over the wire");
+                assert_eq!(resp.status, 200, "{}", resp.body_string());
+                assert_eq!(resp.body, expected[i % 4], "same request, different bytes");
+                assert_eq!(resp.header("x-antruss-cache"), Some("hit"));
+            });
+        }
+    });
+
+    let metrics = Client::new(addr).get("/metrics").unwrap().body_string();
+    assert_eq!(metric(&metrics, "antruss_cache_misses_total"), 4);
+    assert_eq!(metric(&metrics, "antruss_cache_hits_total"), 8);
+    let report = server.shutdown();
+    assert!(report.contains("solve(s)"), "{report}");
+}
+
+#[test]
+fn wire_level_input_hardening() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut client = Client::new(addr);
+
+    // 413: body over the configured cap (64 KiB here)
+    let huge = vec![b'x'; 128 * 1024];
+    let resp = client.post("/solve", "application/json", &huge).unwrap();
+    assert_eq!(resp.status, 413);
+
+    // 400: malformed JSON
+    let resp = client
+        .post("/solve", "application/json", b"{not json")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // 404: unknown solver, listing the valid names
+    let resp = client
+        .post(
+            "/solve",
+            "application/json",
+            br#"{"graph":"college:0.05","solver":"frobnicate"}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.body_string().contains("gas"), "{}", resp.body_string());
+
+    // 404: unknown route
+    let resp = client.get("/so1ve").unwrap();
+    assert_eq!(resp.status, 404);
+
+    // the server stays healthy through all of the above
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn graph_upload_then_solve_on_it() {
+    let server = start_server();
+    let mut client = Client::new(server.addr());
+
+    // a 5-clique: every edge has trussness 5
+    let mut edges = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    let resp = client
+        .post("/graphs?name=k5", "text/plain", edges.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_string());
+    let parsed = json::parse(&resp.body_string()).unwrap();
+    assert_eq!(parsed.get("edges").unwrap().as_u64(), Some(10));
+
+    let resp = client
+        .post(
+            "/solve",
+            "application/json",
+            br#"{"graph":"k5","solver":"gas","b":1}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+
+    let listing = client.get("/graphs").unwrap().body_string();
+    let parsed = json::parse(&listing).unwrap();
+    let loaded = parsed.get("loaded").unwrap().as_array().unwrap();
+    assert!(loaded
+        .iter()
+        .any(|e| e.get("name").unwrap().as_str() == Some("k5")));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_reports() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut client = Client::new(addr);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    let report = server.shutdown();
+    assert!(report.contains("request(s)"), "{report}");
+    // the listener is gone: new connections fail
+    assert!(Client::new(addr).get("/healthz").is_err());
+}

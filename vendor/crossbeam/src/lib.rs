@@ -1,12 +1,19 @@
 //! Workspace-local stand-in for the `crossbeam` crate.
 //!
-//! Only [`scope`] is provided — the one API `antruss-core::parallel`
-//! uses. Since Rust 1.63 the standard library ships scoped threads, so
-//! this shim is a thin adapter giving `std::thread::scope` crossbeam's
-//! calling convention (`scope(|s| …)` returning a `Result`, spawn
-//! closures receiving the scope handle, `join` per handle).
+//! Two APIs are provided — the two the workspace uses:
+//!
+//! * [`scope`] for `antruss-core::parallel`. Since Rust 1.63 the standard
+//!   library ships scoped threads, so this is a thin adapter giving
+//!   `std::thread::scope` crossbeam's calling convention (`scope(|s| …)`
+//!   returning a `Result`, spawn closures receiving the scope handle,
+//!   `join` per handle);
+//! * [`channel`] for the `antruss-service` worker pool: MPMC
+//!   bounded/unbounded channels with cloneable `Sender`/`Receiver` and
+//!   disconnect-on-drop semantics, built on `Mutex<VecDeque>` + condvars.
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 use std::any::Any;
 use std::thread;
