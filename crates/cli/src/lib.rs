@@ -39,6 +39,9 @@ USAGE:
   antruss solvers
   antruss serve      [--addr HOST:PORT] [--threads N] [--cache N] [--max-body-mb N]
                      [--exact-cap N] [--base-timeout S] [--max-b N]
+  antruss cluster    [--backends N] [--replicas R] [--addr HOST:PORT] [--vnodes V]
+                     [--health-ms MS] [--threads N] [--cache N] [--max-body-mb N]
+                     [--exact-cap N] [--base-timeout S] [--max-b N]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -52,7 +55,13 @@ generate the built-in synthetic analogues.
 `antruss serve` starts the resident anchoring service: graphs stay
 loaded in a shared catalog, repeated /solve requests are answered from
 an LRU outcome cache, and ctrl-c drains in-flight work before exiting
-(see the README's Serving section for the endpoints and curl examples).";
+(see the README's Serving section for the endpoints and curl examples).
+
+`antruss cluster` starts the sharded serving tier: N backend serve
+processes behind a consistent-hash router that places each graph on R
+replicas, fails over when a backend dies, warms re-joining replicas
+from a peer's cache dump, and fans graph mutations out to every
+replica (see the README's Cluster section).";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -366,7 +375,44 @@ pub fn serve_config(args: &Args) -> antruss_service::ServerConfig {
         exact_cap: args.get("exact-cap", defaults.exact_cap),
         base_timeout_secs: args.get("base-timeout", defaults.base_timeout_secs),
         max_solve_threads: defaults.max_solve_threads,
+        shard: None,
     }
+}
+
+/// Builds the cluster topology from the `cluster` flags. Backend safety
+/// valves reuse the `serve` flags (`--cache`, `--max-b`, `--exact-cap`,
+/// `--base-timeout`, `--max-body-mb`); backend addresses are ephemeral
+/// loopback ports chosen at startup.
+pub fn cluster_config(args: &Args) -> antruss_cluster::ClusterConfig {
+    let defaults = antruss_cluster::ClusterConfig::default();
+    antruss_cluster::ClusterConfig {
+        backends: args.get("backends", defaults.backends).max(1),
+        replication: args.get("replicas", defaults.replication).max(1),
+        vnodes: args.get("vnodes", defaults.vnodes).max(1),
+        router_addr: args.get_str("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        router_threads: args.get("threads", defaults.router_threads),
+        health_interval_ms: args.get("health-ms", defaults.health_interval_ms),
+        backend: serve_config(args),
+    }
+}
+
+/// `antruss cluster` — run the sharded serving tier until ctrl-c: N
+/// backend serve processes behind a consistent-hash router.
+pub fn cmd_cluster(args: &Args) -> Result<String, String> {
+    let cfg = cluster_config(args);
+    let cluster = antruss_cluster::Cluster::start(cfg.clone())
+        .map_err(|e| format!("cluster: cannot start on {}: {e}", cfg.router_addr))?;
+    eprintln!(
+        "antruss cluster: router on http://{} fronting {} backend(s) (R={}, {} vnodes) — ctrl-c to stop",
+        cluster.router_addr(),
+        cfg.backends,
+        cfg.replication.min(cfg.backends),
+        cfg.vnodes,
+    );
+    for (i, addr) in cluster.backend_addrs().iter().enumerate() {
+        eprintln!("  shard {i}: http://{addr}");
+    }
+    Ok(cluster.run_until_sigint())
 }
 
 /// `antruss serve` — run the resident anchoring service until ctrl-c.
@@ -427,6 +473,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         }
         "solvers" => Ok(cmd_solvers()),
         "serve" => cmd_serve(args),
+        "cluster" => cmd_cluster(args),
         "kcore" => {
             let spec = pos.get(1).ok_or("kcore: missing input")?;
             Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
@@ -638,6 +685,34 @@ mod tests {
     #[test]
     fn usage_mentions_serve() {
         assert!(USAGE.contains("antruss serve"), "{USAGE}");
+        assert!(USAGE.contains("antruss cluster"), "{USAGE}");
+    }
+
+    #[test]
+    fn cluster_config_reads_flags() {
+        let cfg = cluster_config(&args(
+            "cluster --backends 5 --replicas 3 --vnodes 64 --addr 0.0.0.0:9100 \
+             --health-ms 250 --cache 32",
+        ));
+        assert_eq!(cfg.backends, 5);
+        assert_eq!(cfg.replication, 3);
+        assert_eq!(cfg.vnodes, 64);
+        assert_eq!(cfg.router_addr, "0.0.0.0:9100");
+        assert_eq!(cfg.health_interval_ms, 250);
+        assert_eq!(cfg.backend.cache_capacity, 32);
+        let defaults = cluster_config(&args("cluster"));
+        assert_eq!(defaults.backends, 3);
+        assert_eq!(defaults.replication, 2);
+        assert_eq!(defaults.router_addr, "127.0.0.1:7171");
+        // degenerate values are clamped, not crashes
+        assert_eq!(cluster_config(&args("cluster --backends 0")).backends, 1);
+        assert_eq!(cluster_config(&args("cluster --replicas 0")).replication, 1);
+    }
+
+    #[test]
+    fn cluster_reports_bind_failures() {
+        let err = run(&args("cluster --backends 1 --addr 999.999.999.999:1")).unwrap_err();
+        assert!(err.contains("cannot start"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! # antruss-cluster
+//!
+//! The sharded serving tier over `antruss serve`: the step from "one
+//! resident process" to "heavy traffic from millions of users". The
+//! paper's anchoring workloads are per-graph and cache-friendly — every
+//! `(graph, solver, b, k, seed, trials, policy)` outcome is immutable
+//! until the graph changes — which is exactly the shape consistent-hash
+//! placement exploits, and exactly why mutation-driven invalidation has
+//! to be first-class: the moment a graph's edges change, every cached
+//! outcome computed on the old edges is garbage, on every replica.
+//!
+//! Three layers:
+//!
+//! * [`ring::HashRing`] — consistent-hash placement with virtual nodes:
+//!   balanced within a few percent of fair share, and resizing `N → N+1`
+//!   moves only ~`1/(N+1)` of the keys;
+//! * [`router::Router`] — the front-end process: routes `/solve` to a
+//!   graph's replicas in ring order with failover, fans graph lifecycle
+//!   operations (`POST /graphs`, `mutate`, `DELETE`) out to every
+//!   replica, health-checks backends, and warms a recovering replica
+//!   from a healthy peer (`/cache/purge` → graph re-registration from
+//!   `/graphs/{name}/edges` → `/cache/dump` replay);
+//! * [`supervisor::Cluster`] — `antruss cluster`: N backend servers on
+//!   ephemeral loopback ports plus the fronting router, supervised as
+//!   one unit.
+//!
+//! The backend side of the protocol (`/cache/dump`, `/cache/load`,
+//! `/cache/purge`, `/graphs/{name}/mutate` through incremental truss
+//! maintenance, `/graphs/{name}/edges`, shard-tagged `/metrics`) lives
+//! in `antruss-service`; this crate is purely the placement and
+//! supervision tier, so a router can front backends it did not spawn.
+
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod router;
+pub mod supervisor;
+
+pub use ring::{key_point, HashRing, DEFAULT_VNODES};
+pub use router::{handle, BackendState, Router, RouterConfig, RouterState};
+pub use supervisor::{Cluster, ClusterConfig};

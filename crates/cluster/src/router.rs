@@ -1,0 +1,998 @@
+//! The cluster front end: a router that places graphs on backends via
+//! the consistent-hash ring, forwards requests over the service's
+//! blocking client, fails over to replicas when a backend dies, and
+//! warms recovering replicas from a healthy peer.
+//!
+//! ```text
+//!                        ┌────────────┐   /healthz poll + warm-up
+//!            ┌──────────►│ backend 0  │◄──────────────┐
+//!            │           └────────────┘               │
+//!  client ───┤  Router: ring.replicas(graph, R)  [health thread]
+//!            │           ┌────────────┐               │
+//!            ├──────────►│ backend 1  │◄──────────────┤
+//!            │           └────────────┘               │
+//!            │           ┌────────────┐               │
+//!            └──────────►│ backend 2  │◄──────────────┘
+//!                        └────────────┘
+//! ```
+//!
+//! Routing rules:
+//!
+//! * `/solve` goes to the graph's replicas in ring order; the first
+//!   backend that answers wins, transport failures mark the backend
+//!   unhealthy and fail over to the next replica;
+//! * graph lifecycle (`POST /graphs`, `DELETE /graphs/{name}`,
+//!   `POST /graphs/{name}/mutate`) fans out to **every** replica of the
+//!   graph, which is what keeps replicas interchangeable and kills
+//!   cached outcomes everywhere the moment a graph changes;
+//! * `/cache/purge` fans out to every backend;
+//! * `/graphs` merges every healthy backend's catalog; `/solvers` and
+//!   unknown graph reads proxy to any healthy backend.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use antruss_core::json::{self, Value};
+use antruss_service::http::{Request, Response};
+use antruss_service::server::{resolve_threads, run_connection, subresource, AcceptPool};
+use antruss_service::{canonical_key, Client, ClientResponse};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Tunables of one router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`"127.0.0.1:0"` = ephemeral port).
+    pub addr: String,
+    /// Router worker threads (0 = one per available core, capped at 8).
+    pub threads: usize,
+    /// Backend addresses, in shard order (index = shard id).
+    pub backends: Vec<SocketAddr>,
+    /// Replica factor R: how many backends own each graph.
+    pub replication: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Health-check cadence, in milliseconds (0 disables the checker —
+    /// failover then relies purely on forward errors, and recovered
+    /// backends are never warmed).
+    pub health_interval_ms: u64,
+}
+
+impl Default for RouterConfig {
+    /// Loopback ephemeral port, R=2, 256 vnodes, 8 MiB bodies, 500 ms
+    /// health cadence — and no backends, which the caller must supply.
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            backends: Vec::new(),
+            replication: 2,
+            vnodes: DEFAULT_VNODES,
+            max_body_bytes: 8 * 1024 * 1024,
+            health_interval_ms: 500,
+        }
+    }
+}
+
+/// Idle keep-alive connections kept per backend. Workers check one out
+/// per forward and return it on success, so the hot path pays no TCP
+/// handshake (and no accept-poll latency on the backend side).
+const POOL_PER_BACKEND: usize = 8;
+
+/// Live view of one backend.
+pub struct BackendState {
+    /// The backend's address (index in the vector = shard id).
+    pub addr: SocketAddr,
+    /// Cleared on transport failure or failed health check; set after a
+    /// successful check (plus warm-up when it was down).
+    pub healthy: AtomicBool,
+    /// Requests this backend answered for the router.
+    pub forwarded: AtomicU64,
+    /// Times this backend was skipped or failed mid-forward.
+    pub failovers: AtomicU64,
+    /// Cache entries pushed into this backend by warm-up.
+    pub warmed: AtomicU64,
+    /// Idle keep-alive connections (checked out per forward).
+    pool: Mutex<Vec<Client>>,
+}
+
+impl BackendState {
+    fn new(addr: SocketAddr) -> BackendState {
+        BackendState {
+            addr,
+            healthy: AtomicBool::new(true),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn checkout(&self) -> Client {
+        self.pool
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| Client::new(self.addr))
+    }
+
+    fn checkin(&self, client: Client) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_PER_BACKEND {
+            pool.push(client);
+        }
+    }
+}
+
+/// Everything the router's request handlers share.
+pub struct RouterState {
+    /// The configuration the router started with.
+    pub config: RouterConfig,
+    /// The placement ring over `config.backends`.
+    pub ring: HashRing,
+    /// Per-backend health and counters, indexed by shard id.
+    pub backends: Vec<BackendState>,
+    /// Requests accepted (any route, any status).
+    pub requests: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Total failover events (a replica answered after an earlier one
+    /// could not).
+    pub failovers: AtomicU64,
+    /// Graphs re-registered into recovering backends by warm-up.
+    pub warmed_graphs: AtomicU64,
+    /// Flipped once; the acceptor, workers and health thread observe it.
+    pub shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl RouterState {
+    /// Fresh state for `config`.
+    pub fn new(config: RouterConfig) -> RouterState {
+        let ring = HashRing::new(config.backends.len(), config.vnodes);
+        let backends = config
+            .backends
+            .iter()
+            .map(|&addr| BackendState::new(addr))
+            .collect();
+        RouterState {
+            ring,
+            backends,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            warmed_graphs: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    /// The replica shard ids owning `graph`, in preference order.
+    pub fn placement(&self, graph: &str) -> Vec<usize> {
+        self.ring
+            .replicas(&canonical_key(graph), self.config.replication.max(1))
+    }
+}
+
+/// One forwarded exchange with a backend over a pooled keep-alive
+/// connection. The connection returns to the pool on success and is
+/// dropped on failure; the client's built-in single retry covers the
+/// idle-close race (a pooled connection the backend reaped mid-idle).
+fn forward(
+    backend: &BackendState,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut client = backend.checkout();
+    let result = match (method, body) {
+        ("GET", _) => client.get(path),
+        ("DELETE", _) => client.delete(path),
+        ("POST", Some(b)) => client.post(path, "application/json", b),
+        ("POST", None) => client.post(path, "application/json", b""),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("router cannot forward method {method}"),
+        )),
+    };
+    if result.is_ok() {
+        backend.checkin(client);
+    }
+    result
+}
+
+/// Converts a backend reply into a router reply, tagging the shard that
+/// answered and preserving the cache-disposition header.
+fn relay(resp: &ClientResponse, shard: usize) -> Response {
+    let content_type = resp.header("content-type").unwrap_or("application/json");
+    let mut out = if content_type.starts_with("text/plain") {
+        Response::text(resp.status, resp.body.clone())
+    } else {
+        Response::json(resp.status, resp.body.clone())
+    };
+    if let Some(v) = resp.header("x-antruss-cache") {
+        out = out.with_header("x-antruss-cache", v);
+    }
+    out.with_header("x-antruss-shard", &shard.to_string())
+}
+
+/// Routes one parsed request.
+pub fn handle(state: &RouterState, req: &Request) -> Response {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = route(state, req);
+    if resp.status >= 400 {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+fn route(state: &RouterState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        ("GET", "/ring") => ring_info(state, req),
+        ("GET", "/solvers") => proxy_any(state, "GET", "/solvers", None),
+        ("GET", "/graphs") => merged_graphs(state),
+        ("POST", "/solve") => route_solve(state, req),
+        ("POST", "/graphs") => fan_out_register(state, req),
+        ("POST", "/cache/purge") => fan_out_purge(state, req),
+        ("POST", p) if subresource(p, "/mutate").is_some() => {
+            fan_out_graph_op(state, req, subresource(p, "/mutate").unwrap())
+        }
+        ("DELETE", p) if p.strip_prefix("/graphs/").is_some_and(|n| !n.is_empty()) => {
+            fan_out_graph_op(state, req, p.strip_prefix("/graphs/").unwrap())
+        }
+        ("GET" | "POST" | "DELETE", _) => {
+            Response::error(404, &format!("no route for {}", req.path))
+        }
+        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+fn healthz(state: &RouterState) -> Response {
+    let mut body = String::from("{\"status\":");
+    let healthy = state
+        .backends
+        .iter()
+        .filter(|b| b.healthy.load(Ordering::Relaxed))
+        .count();
+    body.push_str(if healthy > 0 { "\"ok\"" } else { "\"down\"" });
+    body.push_str(",\"backends\":[");
+    for (i, b) in state.backends.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"shard\":{i},\"addr\":{},\"healthy\":{}}}",
+            json::quoted(&b.addr.to_string()),
+            b.healthy.load(Ordering::Relaxed)
+        ));
+    }
+    body.push_str("]}");
+    Response::json(if healthy > 0 { 200 } else { 503 }, body)
+}
+
+fn render_metrics(state: &RouterState) -> String {
+    let mut out = String::with_capacity(768);
+    let mut line = |name: &str, v: String| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line(
+        "antruss_router_uptime_seconds",
+        format!("{:.3}", state.started.elapsed().as_secs_f64()),
+    );
+    line(
+        "antruss_router_requests_total",
+        state.requests.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_errors_total",
+        state.errors.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_failovers_total",
+        state.failovers.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_warmed_graphs_total",
+        state.warmed_graphs.load(Ordering::Relaxed).to_string(),
+    );
+    line("antruss_router_backends", state.backends.len().to_string());
+    line(
+        "antruss_router_replication",
+        state.config.replication.to_string(),
+    );
+    for (i, b) in state.backends.iter().enumerate() {
+        let tag = format!("{{shard=\"{i}\",addr=\"{}\"}}", b.addr);
+        line(
+            &format!("antruss_router_shard_healthy{tag}"),
+            (b.healthy.load(Ordering::Relaxed) as u32).to_string(),
+        );
+        line(
+            &format!("antruss_router_shard_requests_total{tag}"),
+            b.forwarded.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            &format!("antruss_router_shard_failovers_total{tag}"),
+            b.failovers.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            &format!("antruss_router_shard_warmed_entries_total{tag}"),
+            b.warmed.load(Ordering::Relaxed).to_string(),
+        );
+    }
+    out
+}
+
+/// `GET /ring?graph=N` — where a graph lives (debugging, tests, ops).
+fn ring_info(state: &RouterState, req: &Request) -> Response {
+    let Some(graph) = req.query_param("graph") else {
+        return Response::error(400, "missing ?graph= query parameter");
+    };
+    let key = canonical_key(graph);
+    let replicas = state.placement(graph);
+    let mut body = format!("{{\"graph\":{},\"replicas\":[", json::quoted(&key));
+    for (i, r) in replicas.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"shard\":{r},\"addr\":{}}}",
+            json::quoted(&state.backends[*r].addr.to_string())
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// Forwards to the first healthy backend (any will do — e.g. `/solvers`
+/// is identical everywhere).
+fn proxy_any(state: &RouterState, method: &str, path: &str, body: Option<&[u8]>) -> Response {
+    let order: Vec<usize> = (0..state.backends.len()).collect();
+    try_in_order(state, &order, method, path, body)
+}
+
+/// Forwards to `order`'s backends until one answers; transport failures
+/// mark the backend unhealthy and move on.
+fn try_in_order(
+    state: &RouterState,
+    order: &[usize],
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Response {
+    let mut skipped_any = false;
+    let mut tried = vec![false; state.backends.len()];
+    // healthy backends first (in the given order), then a last-resort
+    // pass over not-yet-tried unhealthy ones — they may have just come
+    // back and the health thread not noticed yet
+    let passes: [bool; 2] = [true, false];
+    for &want_healthy in &passes {
+        for &i in order {
+            let b = &state.backends[i];
+            if tried[i] || b.healthy.load(Ordering::Relaxed) != want_healthy {
+                continue;
+            }
+            tried[i] = true;
+            match forward(b, method, path, body) {
+                Ok(resp) => {
+                    b.forwarded.fetch_add(1, Ordering::Relaxed);
+                    // an unhealthy backend that answers is NOT marked
+                    // healthy here: it may have restarted empty, and only
+                    // the health loop's warm-up restores its graphs and
+                    // cache before re-admitting it
+                    if skipped_any {
+                        state.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return relay(&resp, i);
+                }
+                Err(_) => {
+                    b.healthy.store(false, Ordering::Relaxed);
+                    b.failovers.fetch_add(1, Ordering::Relaxed);
+                    skipped_any = true;
+                }
+            }
+        }
+    }
+    Response::error(
+        502,
+        &format!(
+            "no backend answered {method} {path} (tried {})",
+            order.len()
+        ),
+    )
+}
+
+/// `POST /solve` — consistent-hash placement + replica failover.
+fn route_solve(state: &RouterState, req: &Request) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(graph) = parsed.get("graph").and_then(Value::as_str) else {
+        return Response::error(400, "missing string field \"graph\"");
+    };
+    let order = state.placement(graph);
+    if order.is_empty() {
+        return Response::error(503, "router has no backends");
+    }
+    try_in_order(state, &order, "POST", "/solve", Some(&req.body))
+}
+
+/// Percent-encodes one path segment or query value for a forwarded
+/// request. The incoming parser hands the router *decoded* names; a
+/// rebuilt URL must re-encode them or reserved characters (`&`, `?`,
+/// `%`, spaces) would change the request's meaning on the backend.
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// `POST /graphs?name=N` — register on every replica of `N`, so losing
+/// any single backend loses no graph.
+fn fan_out_register(state: &RouterState, req: &Request) -> Response {
+    let Some(name) = req.query_param("name") else {
+        return Response::error(400, "missing ?name= query parameter");
+    };
+    let order = state.placement(name);
+    if order.is_empty() {
+        return Response::error(503, "router has no backends");
+    }
+    let path = format!("/graphs?name={}", encode_component(name));
+    fan_out(state, &order, "POST", &path, Some(&req.body))
+}
+
+/// `POST /graphs/{name}/mutate` and `DELETE /graphs/{name}` — applied on
+/// every replica so they stay interchangeable; each backend purges its
+/// own cached outcomes for the graph as part of the operation.
+fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response {
+    let order = state.placement(name);
+    if order.is_empty() {
+        return Response::error(503, "router has no backends");
+    }
+    let (body, path) = if req.method == "POST" {
+        (
+            Some(&req.body[..]),
+            format!("/graphs/{}/mutate", encode_component(name)),
+        )
+    } else {
+        (None, format!("/graphs/{}", encode_component(name)))
+    };
+    fan_out(state, &order, req.method.as_str(), &path, body)
+}
+
+/// `POST /cache/purge` — every backend drops the named graph's entries
+/// (or everything).
+fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
+    let order: Vec<usize> = (0..state.backends.len()).collect();
+    if order.is_empty() {
+        return Response::error(503, "router has no backends");
+    }
+    let path = match req.query_param("graph") {
+        Some(g) => format!("/cache/purge?graph={}", encode_component(g)),
+        None => "/cache/purge".to_string(),
+    };
+    fan_out(state, &order, "POST", &path, None)
+}
+
+/// Sends one operation to every listed backend. The relayed reply is the
+/// *best* one (lowest status) — e.g. a register that succeeds on one
+/// replica and 409s on another (already present from a previous life)
+/// reports the success; per-replica results ride in
+/// `x-antruss-replicas`. Backends that fail at transport level are
+/// marked unhealthy and reported as status 0.
+fn fan_out(
+    state: &RouterState,
+    order: &[usize],
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Response {
+    let mut statuses: Vec<(usize, u16)> = Vec::with_capacity(order.len());
+    let mut best: Option<(usize, ClientResponse)> = None;
+    for &i in order {
+        let b = &state.backends[i];
+        match forward(b, method, path, body) {
+            Ok(resp) => {
+                b.forwarded.fetch_add(1, Ordering::Relaxed);
+                statuses.push((i, resp.status));
+                let better = match &best {
+                    None => true,
+                    Some((_, cur)) => resp.status < cur.status,
+                };
+                if better {
+                    best = Some((i, resp));
+                }
+            }
+            Err(_) => {
+                b.healthy.store(false, Ordering::Relaxed);
+                b.failovers.fetch_add(1, Ordering::Relaxed);
+                statuses.push((i, 0));
+            }
+        }
+    }
+    match best {
+        Some((shard, resp)) => {
+            let detail = statuses
+                .iter()
+                .map(|(i, s)| format!("{i}:{s}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            relay(&resp, shard).with_header("x-antruss-replicas", &detail)
+        }
+        None => Response::error(
+            502,
+            &format!(
+                "no replica answered {method} {path} (tried {})",
+                order.len()
+            ),
+        ),
+    }
+}
+
+/// `GET /graphs` — the union of every healthy backend's catalog. Shards
+/// hold disjoint (except for replication) registered sets, so the
+/// cluster-level listing is the merge, deduplicated by name; the
+/// dataset-slug section is identical everywhere and taken from the
+/// first backend that answers.
+fn merged_graphs(state: &RouterState) -> Response {
+    let mut by_name: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut datasets: Option<String> = None;
+    let mut answered = 0usize;
+    for b in &state.backends {
+        if !b.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let Ok(resp) = forward(b, "GET", "/graphs", None) else {
+            b.healthy.store(false, Ordering::Relaxed);
+            continue;
+        };
+        answered += 1;
+        let Ok(parsed) = json::parse(&resp.body_string()) else {
+            continue;
+        };
+        if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
+            for entry in loaded {
+                if let Some(name) = entry.get("name").and_then(Value::as_str) {
+                    by_name
+                        .entry(name.to_string())
+                        .or_insert_with(|| entry.to_json());
+                }
+            }
+        }
+        if datasets.is_none() {
+            if let Some(d) = parsed.get("datasets") {
+                datasets = Some(d.to_json());
+            }
+        }
+    }
+    if answered == 0 {
+        return Response::error(502, "no backend answered GET /graphs");
+    }
+    let loaded = by_name.values().cloned().collect::<Vec<_>>().join(",");
+    Response::json(
+        200,
+        format!(
+            "{{\"loaded\":[{loaded}],\"datasets\":{}}}",
+            datasets.unwrap_or_else(|| "[]".to_string())
+        ),
+    )
+}
+
+/// A snapshot of the peers' write activity (mutations applied, entries
+/// purged, catalog size), used to detect graph lifecycle operations
+/// that raced a warm-up pass.
+fn peer_write_fingerprint(state: &RouterState, idx: usize) -> Vec<(usize, u64, u64, u64)> {
+    let mut out = Vec::new();
+    for (peer_idx, peer) in state.backends.iter().enumerate() {
+        if peer_idx == idx || !peer.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let Ok(resp) = forward(peer, "GET", "/metrics", None) else {
+            continue;
+        };
+        let text = resp.body_string();
+        let read = |name: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        out.push((
+            peer_idx,
+            read("antruss_mutations_total"),
+            read("antruss_cache_purged_entries_total"),
+            read("antruss_catalog_graphs"),
+        ));
+    }
+    out
+}
+
+/// Re-warms backend `idx` after it recovered. Warm-up reads peer state
+/// (graph listings, edge dumps, cache dumps) over several requests, so
+/// a mutation or deletion landing mid-pass could be clobbered with
+/// stale pre-mutation data; each pass is therefore fenced by a
+/// [`peer_write_fingerprint`] and retried (bounded) until no write
+/// activity raced it. Returns `(graphs, entries)` restored by the last
+/// pass.
+fn warm_backend(state: &RouterState, idx: usize) -> (u64, u64) {
+    const MAX_PASSES: u32 = 3;
+    let mut restored = (0, 0);
+    for _ in 0..MAX_PASSES {
+        let before = peer_write_fingerprint(state, idx);
+        restored = warm_backend_once(state, idx);
+        if peer_write_fingerprint(state, idx) == before {
+            break;
+        }
+        // a lifecycle operation raced this pass; re-pull everything
+        // (warm_backend_once starts with a full purge, so redoing the
+        // pass replaces any stale data the race let through)
+    }
+    state.warmed_graphs.fetch_add(restored.0, Ordering::Relaxed);
+    state.backends[idx]
+        .warmed
+        .fetch_add(restored.1, Ordering::Relaxed);
+    restored
+}
+
+/// One warm-up pass: purge the target's (stale) cache, re-register
+/// every replicated graph it should hold from its peers' edge dumps,
+/// then replay the peers' cache entries that belong on this shard.
+/// **Every** healthy peer is consulted — with R < N, different graphs
+/// live on different peer subsets, so no single peer holds everything
+/// the recovering shard needs; restored graphs and entries are
+/// deduplicated across peers.
+fn warm_backend_once(state: &RouterState, idx: usize) -> (u64, u64) {
+    let target = &state.backends[idx];
+    let addr = target.addr;
+    let _ = forward(target, "POST", "/cache/purge", None);
+    let mut graphs_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut entries_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (peer_idx, peer) in state.backends.iter().enumerate() {
+        if peer_idx == idx || !peer.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let Ok(listing) = forward(peer, "GET", "/graphs", None) else {
+            continue;
+        };
+        let Ok(parsed) = json::parse(&listing.body_string()) else {
+            continue;
+        };
+        // 1) graphs: anything uploaded/mutated whose replica set includes
+        // the recovering shard is re-registered from the peer's edge dump
+        if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
+            for entry in loaded {
+                let (Some(name), Some(source)) = (
+                    entry.get("name").and_then(Value::as_str),
+                    entry.get("source").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                if source == "generated"
+                    || graphs_restored.contains(name)
+                    || !state.placement(name).contains(&idx)
+                {
+                    continue;
+                }
+                let encoded = encode_component(name);
+                let Ok(edges) = forward(peer, "GET", &format!("/graphs/{encoded}/edges"), None)
+                else {
+                    continue;
+                };
+                if edges.status != 200 {
+                    continue;
+                }
+                // an existing copy answers 409, which is fine: replace it
+                // via delete + register so mutated peers win
+                let mut client = Client::new(addr);
+                let _ = client.delete(&format!("/graphs/{encoded}"));
+                if client
+                    .post(
+                        &format!("/graphs?name={encoded}"),
+                        "text/plain",
+                        &edges.body,
+                    )
+                    .is_ok_and(|r| r.status == 201)
+                {
+                    graphs_restored.insert(name.to_string());
+                }
+            }
+        }
+        // 2) cache entries owned by this shard, replayed in chunks that
+        // stay far under the backend's body cap (dedup by the entry's
+        // full serialized key+body: peers replicating the same outcome
+        // hold identical bytes)
+        let Ok(dump) = forward(peer, "GET", "/cache/dump", None) else {
+            continue;
+        };
+        let Ok(Value::Arr(entries)) = json::parse(&dump.body_string()) else {
+            continue;
+        };
+        let mine: Vec<String> = entries
+            .iter()
+            .filter(|e| {
+                e.get("graph")
+                    .and_then(Value::as_str)
+                    .is_some_and(|g| state.placement(g).contains(&idx))
+            })
+            .map(|e| e.to_json())
+            .filter(|serialized| !entries_restored.contains(serialized))
+            .collect();
+        for chunk in mine.chunks(32) {
+            let payload = format!("[{}]", chunk.join(","));
+            if forward(target, "POST", "/cache/load", Some(payload.as_bytes()))
+                .is_ok_and(|r| r.status == 200)
+            {
+                for serialized in chunk {
+                    entries_restored.insert(serialized.clone());
+                }
+            }
+        }
+    }
+    (graphs_restored.len() as u64, entries_restored.len() as u64)
+}
+
+/// The health thread body: poll `/healthz` on every backend each
+/// interval; a backend that answers after being marked down is warmed
+/// (cache purge → graph re-registration → cache replay) before its
+/// healthy flag turns back on.
+fn health_loop(state: &RouterState, interval: Duration) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        for (i, b) in state.backends.iter().enumerate() {
+            let was_healthy = b.healthy.load(Ordering::Relaxed);
+            let ok = forward(b, "GET", "/healthz", None).is_ok_and(|r| r.status == 200);
+            match (was_healthy, ok) {
+                (true, false) => b.healthy.store(false, Ordering::Relaxed),
+                (false, true) => {
+                    warm_backend(state, i);
+                    b.healthy.store(true, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            if state.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        // sleep in small ticks so shutdown stays prompt
+        let mut slept = Duration::ZERO;
+        while slept < interval && !state.shutdown.load(Ordering::SeqCst) {
+            let tick = Duration::from_millis(50).min(interval - slept);
+            thread::sleep(tick);
+            slept += tick;
+        }
+    }
+}
+
+/// A running router; dropping it shuts it down and joins every thread.
+pub struct Router {
+    state: Arc<RouterState>,
+    pool: AcceptPool,
+    health: Option<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl Router {
+    /// Binds and starts routing; returns once the listener is live.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let threads = resolve_threads(config.threads);
+        let state = Arc::new(RouterState::new(config));
+        let shutdown_state = Arc::clone(&state);
+        let conn_state = Arc::clone(&state);
+        let pool = AcceptPool::start(
+            &state.config.addr,
+            threads,
+            "antruss-router",
+            Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
+            Arc::new(move |stream: TcpStream| {
+                run_connection(
+                    stream,
+                    conn_state.config.max_body_bytes,
+                    &conn_state.shutdown,
+                    &mut |req| handle(&conn_state, req),
+                    &mut || {
+                        conn_state.requests.fetch_add(1, Ordering::Relaxed);
+                        conn_state.errors.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            }),
+        )?;
+        let health = if state.config.health_interval_ms > 0 {
+            let health_state = Arc::clone(&state);
+            let interval = Duration::from_millis(state.config.health_interval_ms);
+            Some(
+                thread::Builder::new()
+                    .name("antruss-router-health".to_string())
+                    .spawn(move || health_loop(&health_state, interval))
+                    .expect("spawn health checker"),
+            )
+        } else {
+            None
+        };
+        Ok(Router {
+            state,
+            pool,
+            health,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr()
+    }
+
+    /// The shared state (handy for in-process inspection in tests).
+    pub fn state(&self) -> &Arc<RouterState> {
+        &self.state
+    }
+
+    fn stop(&mut self) -> String {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.pool.join();
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        format!(
+            "routed {} request(s) ({} failover(s), {} error(s)) across {} backend(s) in {:.1}s",
+            self.state.requests.load(Ordering::Relaxed),
+            self.state.failovers.load(Ordering::Relaxed),
+            self.state.errors.load(Ordering::Relaxed),
+            self.state.backends.len(),
+            self.started.elapsed().as_secs_f64()
+        )
+    }
+
+    /// Stops accepting, drains in-flight work, joins every thread and
+    /// reports totals.
+    pub fn shutdown(mut self) -> String {
+        self.stop()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn state_with_dead_backends(n: usize) -> RouterState {
+        // bind-and-drop: the freed ephemeral ports have no listener, so
+        // forwards fail fast with ECONNREFUSED
+        let backends = (0..n)
+            .map(|_| {
+                std::net::TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap()
+            })
+            .collect();
+        RouterState::new(RouterConfig {
+            backends,
+            ..RouterConfig::default()
+        })
+    }
+
+    #[test]
+    fn placement_uses_canonical_graph_keys() {
+        let st = state_with_dead_backends(4);
+        assert_eq!(st.placement("College:0.050"), st.placement("college:0.05"));
+        assert_eq!(st.placement("g").len(), 2, "R=2");
+    }
+
+    #[test]
+    fn solve_with_all_backends_dead_is_502() {
+        let st = state_with_dead_backends(2);
+        let resp = handle(
+            &st,
+            &req("POST", "/solve", r#"{"graph":"college:0.05","b":1}"#),
+        );
+        assert_eq!(resp.status, 502);
+        assert_eq!(st.errors.load(Ordering::Relaxed), 1);
+        // both replicas were tried and marked unhealthy
+        assert!(st
+            .backends
+            .iter()
+            .any(|b| !b.healthy.load(Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn malformed_solve_bodies_fail_fast_without_forwarding() {
+        let st = state_with_dead_backends(2);
+        for bad in ["not json", "[1]", r#"{"solver":"gas"}"#] {
+            let resp = handle(&st, &req("POST", "/solve", bad));
+            assert_eq!(resp.status, 400, "{bad}");
+        }
+        let fwd: u64 = st
+            .backends
+            .iter()
+            .map(|b| b.forwarded.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(fwd, 0, "malformed requests must not reach backends");
+    }
+
+    #[test]
+    fn ring_endpoint_reports_placement() {
+        let st = state_with_dead_backends(3);
+        let mut r = req("GET", "/ring", "");
+        r.query = vec![("graph".to_string(), "mygraph".to_string())];
+        let resp = handle(&st, &r);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"replicas\""), "{body}");
+        assert_eq!(handle(&st, &req("GET", "/ring", "")).status, 400);
+    }
+
+    #[test]
+    fn healthz_reflects_backend_state() {
+        let st = state_with_dead_backends(2);
+        assert_eq!(handle(&st, &req("GET", "/healthz", "")).status, 200);
+        for b in &st.backends {
+            b.healthy.store(false, Ordering::Relaxed);
+        }
+        assert_eq!(handle(&st, &req("GET", "/healthz", "")).status, 503);
+    }
+
+    #[test]
+    fn metrics_render_per_shard_series() {
+        let st = state_with_dead_backends(2);
+        let resp = handle(&st, &req("GET", "/metrics", ""));
+        let text = String::from_utf8(resp.body).unwrap();
+        for series in [
+            "antruss_router_requests_total",
+            "antruss_router_failovers_total",
+            "antruss_router_backends 2",
+            "antruss_router_replication 2",
+            "antruss_router_shard_healthy{shard=\"0\"",
+            "antruss_router_shard_requests_total{shard=\"1\"",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let st = state_with_dead_backends(1);
+        assert_eq!(handle(&st, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&st, &req("PUT", "/solve", "")).status, 405);
+    }
+}

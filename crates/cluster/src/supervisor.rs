@@ -1,0 +1,159 @@
+//! The cluster supervisor behind `antruss cluster`: starts N backend
+//! servers on ephemeral loopback ports, fronts them with a [`Router`],
+//! and tears the whole topology down in order (router first, so no
+//! request is routed into a dying backend).
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+use antruss_service::server::{install_sigint_handler, sigint_received};
+use antruss_service::{Server, ServerConfig};
+
+use crate::ring::DEFAULT_VNODES;
+use crate::router::{Router, RouterConfig};
+
+/// Topology of one supervised cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Backend count N.
+    pub backends: usize,
+    /// Replica factor R (clamped to `backends`).
+    pub replication: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Router bind address (`"127.0.0.1:0"` = ephemeral port).
+    pub router_addr: String,
+    /// Router worker threads.
+    pub router_threads: usize,
+    /// Health-check cadence, milliseconds.
+    pub health_interval_ms: u64,
+    /// Template for every backend. `addr` is overridden with an
+    /// ephemeral loopback port and `shard` with the backend's index.
+    pub backend: ServerConfig,
+}
+
+impl Default for ClusterConfig {
+    /// 3 backends, R=2, default ring and backend settings, router on an
+    /// ephemeral port.
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            backends: 3,
+            replication: 2,
+            vnodes: DEFAULT_VNODES,
+            router_addr: "127.0.0.1:0".to_string(),
+            router_threads: 4,
+            health_interval_ms: 500,
+            backend: ServerConfig::default(),
+        }
+    }
+}
+
+/// A running cluster: N backend [`Server`]s plus the fronting
+/// [`Router`].
+pub struct Cluster {
+    backends: Vec<Server>,
+    router: Router,
+}
+
+impl Cluster {
+    /// Starts the backends, then the router over their live addresses.
+    pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
+        if config.backends == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cluster needs at least one backend",
+            ));
+        }
+        let mut backends = Vec::with_capacity(config.backends);
+        for shard in 0..config.backends {
+            let backend_cfg = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shard: Some(shard as u32),
+                ..config.backend.clone()
+            };
+            backends.push(Server::start(backend_cfg)?);
+        }
+        let router = Router::start(RouterConfig {
+            addr: config.router_addr.clone(),
+            threads: config.router_threads,
+            backends: backends.iter().map(Server::addr).collect(),
+            replication: config.replication.clamp(1, config.backends),
+            vnodes: config.vnodes,
+            max_body_bytes: config.backend.max_body_bytes,
+            health_interval_ms: config.health_interval_ms,
+        })?;
+        Ok(Cluster { backends, router })
+    }
+
+    /// The router's bound address — the cluster's client-facing door.
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router.addr()
+    }
+
+    /// Backend addresses in shard order.
+    pub fn backend_addrs(&self) -> Vec<SocketAddr> {
+        self.backends.iter().map(Server::addr).collect()
+    }
+
+    /// The fronting router (for in-process inspection in tests).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Stops the router, then every backend; reports per-component
+    /// totals.
+    pub fn shutdown(self) -> String {
+        let mut report = self.router.shutdown();
+        for (i, b) in self.backends.into_iter().enumerate() {
+            report.push_str(&format!("\nshard {i}: {}", b.shutdown()));
+        }
+        report
+    }
+
+    /// Blocks until SIGINT (ctrl-c), then shuts the topology down
+    /// gracefully.
+    pub fn run_until_sigint(self) -> String {
+        install_sigint_handler();
+        while !sigint_received() {
+            thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_service::Client;
+
+    #[test]
+    fn cluster_starts_serves_and_shuts_down() {
+        let cluster = Cluster::start(ClusterConfig {
+            backends: 2,
+            health_interval_ms: 0, // no health thread in this smoke test
+            ..ClusterConfig::default()
+        })
+        .expect("cluster starts");
+        assert_eq!(cluster.backend_addrs().len(), 2);
+
+        let mut client = Client::new(cluster.router_addr());
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        let solvers = client.get("/solvers").unwrap();
+        assert_eq!(solvers.status, 200);
+        assert!(solvers.body_string().contains("gas"));
+
+        let report = cluster.shutdown();
+        assert!(report.contains("shard 1:"), "{report}");
+    }
+
+    #[test]
+    fn zero_backends_is_an_error() {
+        assert!(Cluster::start(ClusterConfig {
+            backends: 0,
+            ..ClusterConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,29 +1,68 @@
-//! `loadgen` — drive a running `antruss serve` with N concurrent clients
-//! and report throughput and cache behaviour.
+//! `loadgen` — drive a running `antruss serve` (or an `antruss cluster`
+//! router, or a whole cluster address set) with N concurrent clients
+//! and report throughput, latency percentiles, cache behaviour and
+//! per-shard distribution.
 //!
 //! ```sh
 //! antruss serve --addr 127.0.0.1:7171 &
 //! loadgen --addr 127.0.0.1:7171 --clients 8 --requests 100 \
 //!         --graph college:0.05 --solver gas --b 2 --seeds 4
+//!
+//! antruss cluster --addr 127.0.0.1:7171 --backends 3 &
+//! loadgen --addr 127.0.0.1:7171 --json        # writes BENCH_serve.json
+//! loadgen --addrs host1:7171,host2:7171       # clients spread round-robin
 //! ```
 //!
 //! Each client keeps one connection alive and posts `/solve` repeatedly,
 //! cycling the seed through `--seeds` distinct values so the run mixes
-//! cache misses (first occurrence of each seed) with hits (every repeat).
+//! cache misses (first occurrence of each seed) with hits (every
+//! repeat). When the target is a cluster router, the `x-antruss-shard`
+//! response header attributes every request to the backend that answered
+//! it, and the report shows the per-shard distribution. `--json` writes
+//! the whole report to `BENCH_serve.json` (override with `--out FILE`)
+//! so the repo's perf trajectory is recorded run over run.
 
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use antruss_bench::args::Args;
 use antruss_service::Client;
 
+/// One client thread's tally.
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    /// requests answered per shard id (`-1` = no shard header: a
+    /// standalone serve)
+    by_shard: BTreeMap<i64, u64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 fn main() {
     let args = Args::from_env();
-    let addr: SocketAddr = match args.get_str("addr").unwrap_or("127.0.0.1:7171").parse() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("bad --addr: {e}");
+    let addr_list = args
+        .get_str("addrs")
+        .map(|s| s.to_string())
+        .or_else(|| args.get_str("addr").map(|s| s.to_string()))
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let addrs: Vec<SocketAddr> = match addr_list
+        .split(',')
+        .map(|a| a.trim().parse::<SocketAddr>())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(a) if !a.is_empty() => a,
+        _ => {
+            eprintln!("bad --addr/--addrs {addr_list:?}: expected HOST:PORT[,HOST:PORT...]");
             std::process::exit(2);
         }
     };
@@ -33,34 +72,49 @@ fn main() {
     let solver = args.get_str("solver").unwrap_or("gas").to_string();
     let b: usize = args.get("b", 2);
     let seeds: u64 = args.get("seeds", 4);
+    let json_out = args.flag("json");
+    let out_path = args
+        .get_str("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
 
     println!(
-        "loadgen: {clients} client(s) x {requests} request(s) -> {addr} \
-         (graph {graph}, solver {solver}, b {b}, {seeds} distinct seed(s))"
+        "loadgen: {clients} client(s) x {requests} request(s) -> {} address(es) \
+         (graph {graph}, solver {solver}, b {b}, {seeds} distinct seed(s))",
+        addrs.len()
     );
 
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let hits = AtomicU64::new(0);
+    let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
     let started = Instant::now();
 
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let (graph, solver) = (&graph, &solver);
-            let (ok, failed, hits) = (&ok, &failed, &hits);
+            let (graph, solver, addrs) = (&graph, &solver, &addrs);
+            let (ok, failed, hits, tallies) = (&ok, &failed, &hits, &tallies);
             scope.spawn(move || {
-                let mut client = Client::new(addr);
+                let mut tally = Tally::default();
+                let mut client = Client::new(addrs[c % addrs.len()]);
                 for i in 0..requests {
                     let seed = ((c * requests + i) as u64) % seeds.max(1);
                     let body = format!(
                         "{{\"graph\":\"{graph}\",\"solver\":\"{solver}\",\"b\":{b},\"seed\":{seed}}}"
                     );
+                    let sent = Instant::now();
                     match client.post("/solve", "application/json", body.as_bytes()) {
                         Ok(resp) if resp.status == 200 => {
+                            tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
                             ok.fetch_add(1, Ordering::Relaxed);
                             if resp.header("x-antruss-cache") == Some("hit") {
                                 hits.fetch_add(1, Ordering::Relaxed);
                             }
+                            let shard = resp
+                                .header("x-antruss-shard")
+                                .and_then(|s| s.parse::<i64>().ok())
+                                .unwrap_or(-1);
+                            *tally.by_shard.entry(shard).or_insert(0) += 1;
                         }
                         Ok(resp) => {
                             failed.fetch_add(1, Ordering::Relaxed);
@@ -72,6 +126,7 @@ fn main() {
                         }
                     }
                 }
+                tallies.lock().unwrap().push(tally);
             });
         }
     });
@@ -80,13 +135,61 @@ fn main() {
     let ok = ok.load(Ordering::Relaxed);
     let failed = failed.load(Ordering::Relaxed);
     let hits = hits.load(Ordering::Relaxed);
-    println!(
-        "done: {ok} ok, {failed} failed in {elapsed:.2}s -> {:.1} req/s, cache-hit ratio {:.1}%",
-        ok as f64 / elapsed.max(1e-9),
-        100.0 * hits as f64 / (ok.max(1)) as f64
-    );
+    let req_per_sec = ok as f64 / elapsed.max(1e-9);
+    let hit_ratio = hits as f64 / (ok.max(1)) as f64;
 
-    match Client::new(addr).get("/metrics") {
+    let (mut latencies, mut by_shard) = (Vec::new(), BTreeMap::<i64, u64>::new());
+    for tally in tallies.into_inner().unwrap() {
+        latencies.extend(tally.latencies_ms);
+        for (shard, n) in tally.by_shard {
+            *by_shard.entry(shard).or_insert(0) += n;
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+
+    println!(
+        "done: {ok} ok, {failed} failed in {elapsed:.2}s -> {req_per_sec:.1} req/s, \
+         p50 {p50:.2}ms, p99 {p99:.2}ms, cache-hit ratio {:.1}%",
+        100.0 * hit_ratio
+    );
+    if by_shard.keys().any(|&s| s >= 0) {
+        println!("per-shard distribution:");
+        for (shard, n) in &by_shard {
+            let label = if *shard < 0 {
+                "unsharded".to_string()
+            } else {
+                format!("shard {shard}")
+            };
+            println!(
+                "  {label:>10}: {n} request(s) ({:.1}%)",
+                100.0 * *n as f64 / ok.max(1) as f64
+            );
+        }
+    }
+
+    if json_out {
+        let shards = by_shard
+            .iter()
+            .map(|(shard, n)| format!("{{\"shard\":{shard},\"requests\":{n}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let report = format!(
+            "{{\"addrs\":{:?},\"clients\":{clients},\"requests_per_client\":{requests},\
+             \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
+             \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
+             \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]}}",
+            addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+        );
+        match std::fs::write(&out_path, &report) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => eprintln!("cannot write {out_path}: {e}"),
+        }
+    }
+
+    match Client::new(addrs[0]).get("/metrics") {
         Ok(m) => {
             println!("\nserver /metrics:");
             print!("{}", m.body_string());

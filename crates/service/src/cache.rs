@@ -45,6 +45,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// Configured capacity (0 = caching disabled).
     pub capacity: usize,
+    /// Serialized outcome bytes currently resident (body bytes only, the
+    /// dominant term — keys are a few dozen bytes each).
+    pub resident_bytes: u64,
 }
 
 struct Entry {
@@ -65,6 +68,7 @@ pub struct OutcomeCache {
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
+    resident_bytes: u64,
 }
 
 impl OutcomeCache {
@@ -118,27 +122,88 @@ impl OutcomeCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                inner.map.remove(&lru);
+                if let Some(old) = inner.map.remove(&lru) {
+                    inner.resident_bytes -= old.body.len() as u64;
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.map.insert(
+        inner.resident_bytes += body.len() as u64;
+        if let Some(old) = inner.map.insert(
             key,
             Entry {
                 body,
                 last_used: tick,
             },
-        );
+        ) {
+            inner.resident_bytes -= old.body.len() as u64;
+        }
+    }
+
+    /// Every resident entry, for replication warm-up (`GET /cache/dump`).
+    /// A point-in-time copy: concurrent inserts after the snapshot are
+    /// simply not in it, which is fine — the router re-warms from a live
+    /// peer, not from a quiesced one.
+    pub fn dump(&self) -> Vec<(CacheKey, Arc<String>)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(CacheKey, Arc<String>)> = inner
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.body)))
+            .collect();
+        // deterministic order so dumps are diffable and tests are stable
+        out.sort_by(|(a, _), (b, _)| {
+            (
+                &a.graph, &a.solver, a.budget, a.seed, a.trials, a.k, a.policy,
+            )
+                .cmp(&(
+                    &b.graph, &b.solver, b.budget, b.seed, b.trials, b.k, b.policy,
+                ))
+        });
+        out
+    }
+
+    /// Drops every entry whose canonical graph key equals `graph`,
+    /// returning how many were purged. This is the mutation-driven
+    /// invalidation hook: a graph changed, so every outcome computed on
+    /// its old edges is garbage.
+    pub fn purge_graph(&self, graph: &str) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let doomed: Vec<CacheKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.graph == graph)
+            .cloned()
+            .collect();
+        for k in &doomed {
+            if let Some(e) = inner.map.remove(k) {
+                inner.resident_bytes -= e.body.len() as u64;
+            }
+        }
+        doomed.len()
+    }
+
+    /// Drops everything, returning how many entries were purged (used
+    /// when a recovered replica re-joins: anything it cached before dying
+    /// may predate mutations it missed).
+    pub fn purge_all(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.map.len();
+        inner.map.clear();
+        inner.resident_bytes = 0;
+        n
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().unwrap().map.len(),
+            entries: inner.map.len(),
             capacity: self.capacity,
+            resident_bytes: inner.resident_bytes,
         }
     }
 }
@@ -192,6 +257,56 @@ mod tests {
         c.insert(key("a", 0), Arc::new("A2".into()));
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(&key("a", 0)).unwrap().as_str(), "A2");
+    }
+
+    #[test]
+    fn resident_bytes_track_insert_overwrite_evict_purge() {
+        let c = OutcomeCache::new(2);
+        c.insert(key("a", 0), Arc::new("1234".into()));
+        assert_eq!(c.stats().resident_bytes, 4);
+        c.insert(key("a", 0), Arc::new("12".into())); // overwrite shrinks
+        assert_eq!(c.stats().resident_bytes, 2);
+        c.insert(key("b", 0), Arc::new("123456".into()));
+        assert_eq!(c.stats().resident_bytes, 8);
+        c.insert(key("c", 0), Arc::new("1".into())); // evicts the coldest (a)
+        assert_eq!(c.stats().resident_bytes, 7);
+        assert_eq!(c.purge_all(), 2);
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn purge_graph_is_selective() {
+        let c = OutcomeCache::new(8);
+        c.insert(key("a", 0), Arc::new("A0".into()));
+        c.insert(key("a", 1), Arc::new("A1".into()));
+        c.insert(key("b", 0), Arc::new("B0".into()));
+        assert_eq!(c.purge_graph("a"), 2);
+        assert_eq!(c.purge_graph("a"), 0);
+        assert!(c.get(&key("a", 0)).is_none());
+        assert!(c.get(&key("b", 0)).is_some());
+        assert_eq!(c.stats().resident_bytes, 2);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_complete() {
+        let c = OutcomeCache::new(8);
+        c.insert(key("b", 0), Arc::new("B".into()));
+        c.insert(key("a", 1), Arc::new("A1".into()));
+        c.insert(key("a", 0), Arc::new("A0".into()));
+        let dump = c.dump();
+        let graphs: Vec<(String, u64)> = dump
+            .iter()
+            .map(|(k, _)| (k.graph.clone(), k.seed))
+            .collect();
+        assert_eq!(
+            graphs,
+            vec![
+                ("a".to_string(), 0),
+                ("a".to_string(), 1),
+                ("b".to_string(), 0)
+            ]
+        );
+        assert_eq!(dump[2].1.as_str(), "B");
     }
 
     #[test]

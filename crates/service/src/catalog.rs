@@ -12,14 +12,20 @@
 //!   `POST /graphs` with a SNAP edge-list body.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use antruss_datasets::DatasetId;
-use antruss_graph::{io, CsrGraph};
+use antruss_graph::{io, CsrGraph, EdgeId, EdgeSet, GraphBuilder, VertexId};
+use antruss_truss::DynamicTruss;
 
 /// Registered (not generated) graphs beyond this are refused — the
 /// catalog is resident memory.
 pub const MAX_REGISTERED: usize = 128;
+
+/// A mutation batch may grow the vertex universe by at most this many
+/// new ids beyond the current `n` (a bounds check, not a feature: dense
+/// ids mean a single huge label would allocate the whole range).
+pub const MAX_NEW_VERTICES: u64 = 1 << 20;
 
 /// Why a catalog operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +40,11 @@ pub enum CatalogError {
     BadName(String),
     /// The uploaded edge list failed to parse.
     BadEdgeList(String),
+    /// The target is a built-in dataset analogue, which is immutable and
+    /// undeletable (it would regenerate pristine on next use anyway).
+    BuiltIn(String),
+    /// A mutation batch referenced vertex ids far beyond the graph.
+    BadMutation(String),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -52,6 +63,12 @@ impl std::fmt::Display for CatalogError {
                 "bad graph name {n:?} (use lower-case letters, digits, `_`, `.`, `-`)"
             ),
             CatalogError::BadEdgeList(e) => write!(f, "bad edge list: {e}"),
+            CatalogError::BuiltIn(n) => write!(
+                f,
+                "graph {n:?} is a built-in dataset analogue (immutable; register a copy \
+                 under another name to mutate or delete it)"
+            ),
+            CatalogError::BadMutation(e) => write!(f, "bad mutation: {e}"),
         }
     }
 }
@@ -90,10 +107,42 @@ pub fn canonical_key(spec: &str) -> String {
     }
 }
 
+/// What one `mutate` batch did, including the incremental-maintenance
+/// telemetry from [`DynamicTruss`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Edge pairs actually inserted (new, non-loop, deduplicated).
+    pub inserted: usize,
+    /// Edge pairs actually deleted (present before the batch).
+    pub deleted: usize,
+    /// Pairs that were no-ops: self loops, duplicates, already-present
+    /// inserts, missing deletes.
+    pub ignored: usize,
+    /// Vertex count after the batch.
+    pub vertices: usize,
+    /// Edge count after the batch.
+    pub edges: usize,
+    /// Maximum trussness after the batch.
+    pub k_max: u32,
+    /// Edges whose trussness changed across the batch.
+    pub changed: usize,
+    /// Edges re-peeled by the bounded maintenance passes (the affected
+    /// strata — a superset of `changed`, and typically far smaller than
+    /// the whole graph).
+    pub recomputed: usize,
+}
+
 /// The shared graph catalog (interior mutability; share via `Arc`).
 #[derive(Default)]
 pub struct Catalog {
     loaded: RwLock<HashMap<String, Loaded>>,
+    /// Serializes every namespace *write* (register, remove, mutate).
+    /// Mutation is a long read-modify-write — decompose, re-peel,
+    /// rebuild — and publishing its result unconditionally could
+    /// otherwise resurrect a concurrently-deleted graph or clobber a
+    /// concurrent re-registration under the same name. Reads (`get`,
+    /// `lookup`) never take this lock.
+    write_lock: Mutex<()>,
 }
 
 impl Catalog {
@@ -139,6 +188,7 @@ impl Catalog {
         }
         let graph =
             io::read_edge_list(edge_list).map_err(|e| CatalogError::BadEdgeList(e.to_string()))?;
+        let _serialize = self.write_lock.lock().unwrap();
         let mut loaded = self.loaded.write().unwrap();
         if loaded.contains_key(&name) {
             return Err(CatalogError::Duplicate(name));
@@ -155,6 +205,182 @@ impl Catalog {
             },
         );
         Ok(graph)
+    }
+
+    /// The graph under `name` **if it is already resident** — no dataset
+    /// generation side effect. Returns the graph and its source tag.
+    pub fn lookup(&self, name: &str) -> Option<(Arc<CsrGraph>, &'static str)> {
+        let key = canonical_key(name);
+        self.loaded
+            .read()
+            .unwrap()
+            .get(&key)
+            .map(|l| (Arc::clone(&l.graph), l.source))
+    }
+
+    /// Deletes the registered (or mutated) graph under `name`. Built-in
+    /// dataset analogues are refused ([`CatalogError::BuiltIn`], a 409 at
+    /// the HTTP layer): deleting one would only free memory until the
+    /// next request regenerates it.
+    pub fn remove(&self, name: &str) -> Result<(), CatalogError> {
+        let key = canonical_key(name);
+        if DatasetId::from_spec(&key).is_some() {
+            return Err(CatalogError::BuiltIn(key));
+        }
+        let _serialize = self.write_lock.lock().unwrap();
+        match self.loaded.write().unwrap().remove(&key) {
+            Some(_) => Ok(()),
+            None => Err(CatalogError::Unknown(key)),
+        }
+    }
+
+    /// Applies an edge insert/delete batch to the graph under `name`.
+    ///
+    /// Vertex ids refer to the graph's dense ids (`0..n`, as reported by
+    /// `/graphs` and solve outcomes); inserts may mint new vertices up to
+    /// [`MAX_NEW_VERTICES`] beyond `n`. The batch is routed through
+    /// [`DynamicTruss`]: a fixed universe graph (old edges ∪ inserts) is
+    /// decomposed once, then the insert and delete batches each trigger
+    /// one *bounded* re-peel of the affected stratum — the
+    /// [`MutationOutcome::recomputed`] count shows how local the update
+    /// was. The mutated graph replaces the old one under the same name;
+    /// callers must purge that graph's cached outcomes.
+    ///
+    /// Built-in dataset analogues are immutable ([`CatalogError::BuiltIn`]):
+    /// a replica that re-joins the cluster reconstructs registered graphs
+    /// from a peer's edge dump, which cannot resurrect a mutated built-in
+    /// whose name would regenerate pristine.
+    pub fn mutate(
+        &self,
+        name: &str,
+        inserts: &[(u64, u64)],
+        deletes: &[(u64, u64)],
+    ) -> Result<MutationOutcome, CatalogError> {
+        let key = canonical_key(name);
+        if DatasetId::from_spec(&key).is_some() {
+            return Err(CatalogError::BuiltIn(key));
+        }
+        let _serialize = self.write_lock.lock().unwrap();
+        let old = self
+            .lookup(&key)
+            .map(|(g, _)| g)
+            .ok_or_else(|| CatalogError::Unknown(key.clone()))?;
+
+        let n = old.num_vertices() as u64;
+        let limit = n + MAX_NEW_VERTICES;
+        for &(u, v) in inserts.iter().chain(deletes) {
+            if u >= limit || v >= limit {
+                return Err(CatalogError::BadMutation(format!(
+                    "vertex id {} is beyond the allowed universe of {limit} \
+                     (graph has {n} vertices)",
+                    u.max(v)
+                )));
+            }
+        }
+
+        // The fixed universe: every old edge plus every inserted pair.
+        // Dense mode keeps vertex ids stable; `ensure_vertex` preserves
+        // isolated vertices so ids never shift under deletion.
+        let mut b = GraphBuilder::dense();
+        for v in 0..n {
+            b.ensure_vertex(v);
+        }
+        for e in old.edges() {
+            let (u, v) = old.endpoints(e);
+            b.add_edge(u.0 as u64, v.0 as u64);
+        }
+        for &(u, v) in inserts {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let universe = b
+            .try_build()
+            .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
+
+        // Old edges are alive; inserts start dead and toggle in.
+        let mut alive = EdgeSet::new(universe.num_edges());
+        for e in old.edges() {
+            let (u, v) = old.endpoints(e);
+            let eid = universe
+                .edge_between(VertexId(u.0), VertexId(v.0))
+                .expect("old edge exists in universe");
+            alive.insert(eid);
+        }
+        let mut ignored = 0usize;
+        let mut fresh: Vec<EdgeId> = Vec::new();
+        let mut seen_fresh = EdgeSet::new(universe.num_edges());
+        for &(u, v) in inserts {
+            let eid = if u == v {
+                None
+            } else {
+                universe.edge_between(VertexId(u as u32), VertexId(v as u32))
+            };
+            match eid {
+                Some(e) if !alive.contains(e) && seen_fresh.insert(e) => fresh.push(e),
+                _ => ignored += 1, // self loop, duplicate, or already present
+            }
+        }
+        let mut dead: Vec<EdgeId> = Vec::new();
+        let mut seen_dead = EdgeSet::new(universe.num_edges());
+        for &(u, v) in deletes {
+            let out_of_range = u.max(v) >= universe.num_vertices() as u64;
+            let eid = if u == v || out_of_range {
+                None
+            } else {
+                universe.edge_between(VertexId(u as u32), VertexId(v as u32))
+            };
+            match eid {
+                Some(e) if (alive.contains(e) || seen_fresh.contains(e)) && seen_dead.insert(e) => {
+                    dead.push(e)
+                }
+                _ => ignored += 1, // not present (or already deleted in this batch)
+            }
+        }
+
+        let mut dt = DynamicTruss::with_alive(&universe, alive);
+        let (mut changed, mut recomputed) = (0usize, 0usize);
+        if let Some(s) = dt.insert_edges(fresh.iter().copied()) {
+            changed += s.changed;
+            recomputed += s.recomputed;
+        }
+        if let Some(s) = dt.remove_edges(dead.iter().copied()) {
+            changed += s.changed;
+            recomputed += s.recomputed;
+        }
+        let k_max = dt.info().k_max;
+
+        // Materialize the post-batch graph (the alive subset) for the
+        // solver engine, which wants a plain CsrGraph.
+        let mut b = GraphBuilder::dense();
+        for v in 0..universe.num_vertices() as u64 {
+            b.ensure_vertex(v);
+        }
+        for e in dt.alive().iter() {
+            let (u, v) = universe.endpoints(e);
+            b.add_edge(u.0 as u64, v.0 as u64);
+        }
+        let mutated = b
+            .try_build()
+            .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
+        let outcome = MutationOutcome {
+            inserted: fresh.len(),
+            deleted: dead.len(),
+            ignored,
+            vertices: mutated.num_vertices(),
+            edges: mutated.num_edges(),
+            k_max,
+            changed,
+            recomputed,
+        };
+        self.loaded.write().unwrap().insert(
+            key,
+            Loaded {
+                graph: Arc::new(mutated),
+                source: "mutated",
+            },
+        );
+        Ok(outcome)
     }
 
     /// Everything loaded so far, sorted by name.
@@ -229,6 +455,99 @@ mod tests {
         let again = c.get("tri").unwrap();
         assert!(Arc::ptr_eq(&g, &again));
         assert_eq!(c.entries()[0].source, "registered");
+    }
+
+    #[test]
+    fn remove_contract() {
+        let c = Catalog::new();
+        c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+        assert!(matches!(c.remove("nope"), Err(CatalogError::Unknown(_))));
+        assert!(matches!(
+            c.remove("college:0.05"),
+            Err(CatalogError::BuiltIn(_))
+        ));
+        c.remove("tri").unwrap();
+        assert!(matches!(c.remove("tri"), Err(CatalogError::Unknown(_))));
+        assert!(c.lookup("tri").is_none());
+        // the name is reusable after deletion
+        c.register("tri", b"0 1\n").unwrap();
+    }
+
+    #[test]
+    fn lookup_is_resident_only() {
+        let c = Catalog::new();
+        assert!(
+            c.lookup("college:0.05").is_none(),
+            "no generation side effect"
+        );
+        c.get("college:0.05").unwrap();
+        assert_eq!(c.lookup("College:0.050").unwrap().1, "generated");
+    }
+
+    #[test]
+    fn mutate_grows_triangle_to_k4_and_back() {
+        let c = Catalog::new();
+        c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+        let o = c.mutate("tri", &[(0, 3), (1, 3), (2, 3)], &[]).unwrap();
+        assert_eq!((o.inserted, o.deleted, o.ignored), (3, 0, 0));
+        assert_eq!((o.vertices, o.edges, o.k_max), (4, 6, 4));
+        assert!(o.changed >= 3, "trussness rose on the old edges too: {o:?}");
+        assert_eq!(c.lookup("tri").unwrap().1, "mutated");
+
+        // ignored accounting: re-insert an existing edge, delete a
+        // missing one, self loop
+        let o = c
+            .mutate("tri", &[(0, 1), (2, 2)], &[(0, 9), (1, 3)])
+            .unwrap();
+        assert_eq!((o.inserted, o.deleted, o.ignored), (0, 1, 3));
+        assert_eq!(o.edges, 5);
+
+        // the mutated graph is what `get` now serves
+        let g = c.get("tri").unwrap();
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.edge_between(VertexId(1), VertexId(3)).is_none());
+    }
+
+    #[test]
+    fn mutate_matches_scratch_decomposition() {
+        let c = Catalog::new();
+        // two 4-cliques sharing nothing, then bridge them densely
+        let mut edges = String::new();
+        for base in [0u32, 4] {
+            for u in base..base + 4 {
+                for v in (u + 1)..base + 4 {
+                    edges.push_str(&format!("{u} {v}\n"));
+                }
+            }
+        }
+        c.register("g", edges.as_bytes()).unwrap();
+        let o = c
+            .mutate("g", &[(0, 4), (0, 5), (1, 4), (1, 5), (2, 4)], &[(2, 3)])
+            .unwrap();
+        let g = c.get("g").unwrap();
+        let scratch = antruss_truss::decompose(&g);
+        assert_eq!(o.k_max, scratch.k_max, "incremental k_max must be exact");
+        assert_eq!(g.num_edges(), 12 + 5 - 1);
+    }
+
+    #[test]
+    fn mutate_rejects_builtins_unknowns_and_absurd_ids() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.mutate("college", &[(0, 1)], &[]),
+            Err(CatalogError::BuiltIn(_))
+        ));
+        assert!(matches!(
+            c.mutate("nope", &[(0, 1)], &[]),
+            Err(CatalogError::Unknown(_))
+        ));
+        c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+        assert!(matches!(
+            c.mutate("tri", &[(0, u64::MAX)], &[]),
+            Err(CatalogError::BadMutation(_))
+        ));
+        // refused mutations leave the graph untouched
+        assert_eq!(c.get("tri").unwrap().num_edges(), 3);
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl Client {
         self.request("POST", path, Some((content_type, body)))
     }
 
+    /// Issues a `DELETE`.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("DELETE", path, None)
+    }
+
     /// Whether an error means the server cannot have acted on the
     /// request: the socket broke with **zero** response bytes. The
     /// server answers every request it reads, so silence implies the

@@ -29,8 +29,20 @@
 //! | `GET /solvers` | the engine registry as JSON |
 //! | `GET /graphs` | loaded graphs + the built-in dataset slugs |
 //! | `POST /graphs?name=N` | register a SNAP edge-list body under `N` (201 / 400 / 409) |
+//! | `DELETE /graphs/{name}` | drop a registered graph and its cached outcomes (200 / 404 unknown / 409 built-in) |
+//! | `GET /graphs/{name}/edges` | the resident graph as a SNAP edge list (what a recovering replica re-registers from) |
+//! | `POST /graphs/{name}/mutate` | apply `{"insert":[[u,v],…],"delete":[[u,v],…]}` through incremental truss maintenance and purge the graph's cached outcomes |
+//! | `GET /cache/dump` | every resident outcome with its full key, for replica warm-up |
+//! | `POST /cache/load` | accept a (chunk of a) dump into the local cache |
+//! | `POST /cache/purge[?graph=N]` | drop one graph's cached outcomes, or everything |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | plain-text counters: requests, cache hits/misses/evictions, p50/p99 solve latency, in-flight |
+//! | `GET /metrics` | plain-text counters: requests, cache hits/misses/evictions/resident-bytes, purges, mutations, p50/p99 solve latency, in-flight, shard id |
+//!
+//! The `cache/*`, `mutate`, `edges` and shard-metric hooks exist for the
+//! cluster tier (`antruss cluster`, the `antruss-cluster` crate): a
+//! consistent-hash router places graphs on backends, replays `/cache/dump`
+//! into joining replicas, and fans `mutate` out to every replica of a
+//! graph so cached outcomes die everywhere the moment the graph changes.
 
 #![warn(missing_docs)]
 
@@ -42,6 +54,6 @@ pub mod metrics;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, OutcomeCache};
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{canonical_key, Catalog, CatalogError, MutationOutcome};
 pub use client::{Client, ClientResponse};
-pub use server::{handle, Server, ServerConfig, ServiceState};
+pub use server::{handle, AcceptPool, Server, ServerConfig, ServiceState};

@@ -26,6 +26,13 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Requests currently being handled.
     pub in_flight: AtomicU64,
+    /// Graph mutation batches applied (`POST /graphs/{name}/mutate`).
+    pub mutations: AtomicU64,
+    /// Cache entries dropped by purges (mutation invalidation, explicit
+    /// `/cache/purge`, graph deletion) — distinct from LRU evictions.
+    pub purged_entries: AtomicU64,
+    /// Cache entries accepted via `/cache/load` (replication warm-up).
+    pub warmed_entries: AtomicU64,
     latencies: Mutex<Ring>,
 }
 
@@ -43,6 +50,9 @@ impl Metrics {
             solves: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            purged_entries: AtomicU64::new(0),
+            warmed_entries: AtomicU64::new(0),
             latencies: Mutex::new(Ring {
                 buf: Vec::with_capacity(LATENCY_WINDOW),
                 next: 0,
@@ -77,9 +87,11 @@ impl Metrics {
         sorted[rank.min(sorted.len() - 1)]
     }
 
-    /// Renders the plain-text `/metrics` document.
-    pub fn render(&self, cache: &CacheStats, catalog_graphs: usize) -> String {
-        let mut out = String::with_capacity(512);
+    /// Renders the plain-text `/metrics` document. `shard` is the
+    /// backend's shard id when it runs as part of a cluster (`None` for
+    /// a standalone `serve`).
+    pub fn render(&self, cache: &CacheStats, catalog_graphs: usize, shard: Option<u32>) -> String {
+        let mut out = String::with_capacity(768);
         let mut line = |name: &str, v: String| {
             out.push_str(name);
             out.push(' ');
@@ -111,7 +123,26 @@ impl Metrics {
         line("antruss_cache_evictions_total", cache.evictions.to_string());
         line("antruss_cache_entries", cache.entries.to_string());
         line("antruss_cache_capacity", cache.capacity.to_string());
+        line(
+            "antruss_cache_resident_bytes",
+            cache.resident_bytes.to_string(),
+        );
+        line(
+            "antruss_cache_purged_entries_total",
+            self.purged_entries.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "antruss_cache_warmed_entries_total",
+            self.warmed_entries.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "antruss_mutations_total",
+            self.mutations.load(Ordering::Relaxed).to_string(),
+        );
         line("antruss_catalog_graphs", catalog_graphs.to_string());
+        if let Some(shard) = shard {
+            line("antruss_shard_id", shard.to_string());
+        }
         line(
             "antruss_solve_latency_p50_seconds",
             format!("{:.6}", self.latency_percentile(50.0)),
@@ -159,6 +190,7 @@ mod tests {
             evictions: 1,
             entries: 2,
             capacity: 64,
+            resident_bytes: 4096,
         }
     }
 
@@ -191,8 +223,10 @@ mod tests {
     fn render_lists_every_series() {
         let m = Metrics::new();
         m.requests.fetch_add(5, Ordering::Relaxed);
+        m.mutations.fetch_add(2, Ordering::Relaxed);
+        m.purged_entries.fetch_add(9, Ordering::Relaxed);
         m.observe_solve(Duration::from_millis(2));
-        let text = m.render(&stats(), 4);
+        let text = m.render(&stats(), 4, None);
         for series in [
             "antruss_uptime_seconds",
             "antruss_requests_total 5",
@@ -204,12 +238,22 @@ mod tests {
             "antruss_cache_evictions_total 1",
             "antruss_cache_entries 2",
             "antruss_cache_capacity 64",
+            "antruss_cache_resident_bytes 4096",
+            "antruss_cache_purged_entries_total 9",
+            "antruss_cache_warmed_entries_total 0",
+            "antruss_mutations_total 2",
             "antruss_catalog_graphs 4",
             "antruss_solve_latency_p50_seconds",
             "antruss_solve_latency_p99_seconds",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
+        assert!(
+            !text.contains("antruss_shard_id"),
+            "standalone has no shard"
+        );
+        let sharded = m.render(&stats(), 4, Some(3));
+        assert!(sharded.contains("antruss_shard_id 3"), "{sharded}");
     }
 
     #[test]

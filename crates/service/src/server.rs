@@ -56,6 +56,9 @@ pub struct ServerConfig {
     pub base_timeout_secs: u64,
     /// Largest per-solve thread count a request may ask for.
     pub max_solve_threads: usize,
+    /// Shard id when this backend is part of a cluster (`None` for a
+    /// standalone `serve`); surfaced in `/metrics` as `antruss_shard_id`.
+    pub shard: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +75,7 @@ impl Default for ServerConfig {
             exact_cap: 100_000,
             base_timeout_secs: 60,
             max_solve_threads: 8,
+            shard: None,
         }
     }
 }
@@ -130,17 +134,42 @@ fn route(state: &ServiceState, req: &Request) -> Response {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => Response::text(
             200,
-            state
-                .metrics
-                .render(&state.cache.stats(), state.catalog.len()),
+            state.metrics.render(
+                &state.cache.stats(),
+                state.catalog.len(),
+                state.config.shard,
+            ),
         ),
         ("GET", "/solvers") => list_solvers(),
         ("GET", "/graphs") => list_graphs(state),
         ("POST", "/graphs") => register_graph(state, req),
         ("POST", "/solve") => solve(state, req),
-        ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
+        ("GET", "/cache/dump") => dump_cache(state),
+        ("POST", "/cache/load") => load_cache(state, req),
+        ("POST", "/cache/purge") => purge_cache(state, req),
+        ("POST", p) if subresource(p, "/mutate").is_some() => {
+            mutate_graph(state, req, subresource(p, "/mutate").unwrap())
+        }
+        ("GET", p) if subresource(p, "/edges").is_some() => {
+            graph_edges(state, subresource(p, "/edges").unwrap())
+        }
+        ("DELETE", p) if p.strip_prefix("/graphs/").is_some_and(|n| !n.is_empty()) => {
+            delete_graph(state, p.strip_prefix("/graphs/").unwrap())
+        }
+        ("GET" | "POST" | "DELETE", _) => {
+            Response::error(404, &format!("no route for {}", req.path))
+        }
         _ => Response::error(405, &format!("method {} not allowed", req.method)),
     }
+}
+
+/// Extracts `{name}` from `/graphs/{name}{suffix}` (e.g. `/mutate`,
+/// `/edges`); `None` when the path has a different shape or an empty
+/// name. Shared with the cluster router so backend and router route the
+/// same paths identically.
+pub fn subresource<'p>(path: &'p str, suffix: &str) -> Option<&'p str> {
+    let name = path.strip_prefix("/graphs/")?.strip_suffix(suffix)?;
+    (!name.is_empty() && !name.contains('/')).then_some(name)
 }
 
 fn list_solvers() -> Response {
@@ -200,6 +229,264 @@ fn register_graph(state: &ServiceState, req: &Request) -> Response {
         ),
         Err(e @ CatalogError::Duplicate(_)) => Response::error(409, &e.to_string()),
         Err(e @ CatalogError::Full) => Response::error(429, &e.to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Serializes one cache key + body as a dump entry.
+fn dump_entry(key: &CacheKey, body: &str) -> String {
+    format!(
+        "{{\"graph\":{},\"solver\":{},\"b\":{},\"k\":{},\"seed\":{},\"trials\":{},\
+         \"policy\":{},\"body\":{}}}",
+        json::quoted(&key.graph),
+        json::quoted(&key.solver),
+        key.budget,
+        key.k.map_or("null".to_string(), |k| k.to_string()),
+        key.seed,
+        key.trials,
+        json::quoted(key.policy),
+        json::quoted(body),
+    )
+}
+
+/// `GET /cache/dump` — every resident outcome, for replica warm-up.
+fn dump_cache(state: &ServiceState) -> Response {
+    let entries = state.cache.dump();
+    let mut out = String::from("[");
+    for (i, (key, body)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&dump_entry(key, body));
+    }
+    out.push(']');
+    Response::json(200, out)
+}
+
+/// `POST /cache/load` — accept a (chunk of a) `/cache/dump` payload into
+/// the local cache. Entries are validated field-by-field; the body is
+/// stored verbatim, so a warmed hit replays the peer's exact bytes.
+fn load_cache(state: &ServiceState, req: &Request) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(entries) = parsed.as_array() else {
+        return Response::error(400, "body must be a JSON array of dump entries");
+    };
+    // two-phase: validate the whole payload before touching the cache,
+    // so a bad entry rejects the load atomically instead of leaving an
+    // uncounted partial prefix resident
+    let mut validated: Vec<(CacheKey, Arc<String>)> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        macro_rules! field {
+            ($name:literal, $conv:ident) => {
+                match entry.get($name).and_then(Value::$conv) {
+                    Some(v) => v,
+                    None => {
+                        return Response::error(
+                            400,
+                            concat!("dump entry missing or mistyped field \"", $name, "\""),
+                        )
+                    }
+                }
+            };
+        }
+        let graph = field!("graph", as_str);
+        let solver = field!("solver", as_str);
+        let budget = field!("b", as_u64) as usize;
+        let seed = field!("seed", as_u64);
+        let trials = field!("trials", as_u64) as usize;
+        let body = field!("body", as_str);
+        let k = match entry.get("k") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => match v.as_u64() {
+                Some(n) if n <= u32::MAX as u64 => Some(n as u32),
+                _ => return Response::error(400, "dump entry field \"k\" must be null or u32"),
+            },
+        };
+        let Some((policy, _)) = entry
+            .get("policy")
+            .and_then(Value::as_str)
+            .and_then(policy_from_str)
+        else {
+            return Response::error(
+                400,
+                "dump entry field \"policy\" must be paper|conservative|off",
+            );
+        };
+        validated.push((
+            CacheKey {
+                graph: crate::catalog::canonical_key(graph),
+                solver: solver.to_string(),
+                budget,
+                k,
+                seed,
+                trials,
+                policy,
+            },
+            Arc::new(body.to_string()),
+        ));
+    }
+    let loaded = validated.len() as u64;
+    for (key, body) in validated {
+        state.cache.insert(key, body);
+    }
+    state
+        .metrics
+        .warmed_entries
+        .fetch_add(loaded, Ordering::Relaxed);
+    Response::json(200, format!("{{\"loaded\":{loaded}}}"))
+}
+
+/// `POST /cache/purge[?graph=…]` — drop one graph's cached outcomes, or
+/// everything when no graph is named.
+fn purge_cache(state: &ServiceState, req: &Request) -> Response {
+    let purged = match req.query_param("graph") {
+        Some(g) => state.cache.purge_graph(&crate::catalog::canonical_key(g)),
+        None => state.cache.purge_all(),
+    };
+    state
+        .metrics
+        .purged_entries
+        .fetch_add(purged as u64, Ordering::Relaxed);
+    Response::json(200, format!("{{\"purged\":{purged}}}"))
+}
+
+/// The fields `POST /graphs/{name}/mutate` accepts.
+const MUTATE_FIELDS: &[&str] = &["insert", "delete"];
+
+/// Parses a mutate-body member (`"insert"`/`"delete"`) into vertex pairs.
+fn edge_pairs(body: &Value, member: &str) -> Result<Vec<(u64, u64)>, String> {
+    let Some(v) = body.get(member) else {
+        return Ok(Vec::new());
+    };
+    let Some(items) = v.as_array() else {
+        return Err(format!("\"{member}\" must be an array of [u, v] pairs"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item.as_array().and_then(|p| match p {
+            [a, b] => Some((a.as_u64()?, b.as_u64()?)),
+            _ => None,
+        });
+        match pair {
+            Some(p) => out.push(p),
+            None => {
+                return Err(format!(
+                    "\"{member}\" entries must be two-element arrays of non-negative integers"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `POST /graphs/{name}/mutate` — apply an edge insert/delete batch via
+/// incremental truss maintenance, then purge the graph's cached
+/// outcomes (they were computed on edges that no longer exist).
+fn mutate_graph(state: &ServiceState, req: &Request, name: &str) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Value::Obj(members) = &body else {
+        return Response::error(400, "body must be a JSON object");
+    };
+    if let Some(unknown) = members
+        .keys()
+        .find(|k| !MUTATE_FIELDS.contains(&k.as_str()))
+    {
+        return Response::error(
+            400,
+            &format!("unknown field {unknown:?} (expected {MUTATE_FIELDS:?})"),
+        );
+    }
+    let (inserts, deletes) = match (edge_pairs(&body, "insert"), edge_pairs(&body, "delete")) {
+        (Ok(i), Ok(d)) => (i, d),
+        (Err(e), _) | (_, Err(e)) => return Response::error(400, &e),
+    };
+    if inserts.is_empty() && deletes.is_empty() {
+        return Response::error(
+            400,
+            "empty batch: provide \"insert\" and/or \"delete\" pairs",
+        );
+    }
+    match state.catalog.mutate(name, &inserts, &deletes) {
+        Ok(o) => {
+            let key = crate::catalog::canonical_key(name);
+            let purged = state.cache.purge_graph(&key);
+            state.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .purged_entries
+                .fetch_add(purged as u64, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"graph\":{},\"inserted\":{},\"deleted\":{},\"ignored\":{},\
+                     \"vertices\":{},\"edges\":{},\"k_max\":{},\"changed\":{},\
+                     \"recomputed\":{},\"purged\":{}}}",
+                    json::quoted(&key),
+                    o.inserted,
+                    o.deleted,
+                    o.ignored,
+                    o.vertices,
+                    o.edges,
+                    o.k_max,
+                    o.changed,
+                    o.recomputed,
+                    purged
+                ),
+            )
+        }
+        Err(e @ CatalogError::Unknown(_)) => Response::error(404, &e.to_string()),
+        Err(e @ CatalogError::BuiltIn(_)) => Response::error(409, &e.to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// `GET /graphs/{name}/edges` — the resident graph as a SNAP edge list
+/// (what a recovering replica re-registers from). Resident-only: this
+/// never triggers dataset generation.
+fn graph_edges(state: &ServiceState, name: &str) -> Response {
+    match state.catalog.lookup(name) {
+        Some((graph, _)) => {
+            let mut out = Vec::with_capacity(graph.num_edges() * 8);
+            match antruss_graph::io::write_edge_list(&graph, &mut out) {
+                Ok(()) => Response::text(200, out),
+                Err(e) => Response::error(500, &format!("serializing {name:?}: {e}")),
+            }
+        }
+        None => Response::error(404, &format!("graph {name:?} is not resident")),
+    }
+}
+
+/// `DELETE /graphs/{name}` — drop a registered graph and its cached
+/// outcomes. 404 for unknown names, 409 for built-in dataset analogues.
+fn delete_graph(state: &ServiceState, name: &str) -> Response {
+    match state.catalog.remove(name) {
+        Ok(()) => {
+            let key = crate::catalog::canonical_key(name);
+            let purged = state.cache.purge_graph(&key);
+            state
+                .metrics
+                .purged_entries
+                .fetch_add(purged as u64, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!("{{\"deleted\":{},\"purged\":{purged}}}", json::quoted(&key)),
+            )
+        }
+        Err(e @ CatalogError::Unknown(_)) => Response::error(404, &e.to_string()),
+        Err(e @ CatalogError::BuiltIn(_)) => Response::error(409, &e.to_string()),
         Err(e) => Response::error(400, &e.to_string()),
     }
 }
@@ -335,47 +622,64 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         Ok(outcome) => {
             state.metrics.observe_solve(started.elapsed());
             let serialized = Arc::new(outcome.to_json());
-            state.cache.insert(key, Arc::clone(&serialized));
+            state.cache.insert(key.clone(), Arc::clone(&serialized));
+            // the graph may have been mutated or deleted *while* this
+            // solver ran, in which case the mutation's purge happened
+            // before our insert and the entry above is stale. The
+            // mutation publishes its new graph before purging, so
+            // re-checking identity after the insert closes the race:
+            // either the purge removed our entry, or we see the swap
+            // here and purge it ourselves.
+            let unchanged = state
+                .catalog
+                .lookup(&key.graph)
+                .is_some_and(|(current, _)| Arc::ptr_eq(&current, &graph));
+            if !unchanged {
+                state.cache.purge_graph(&key.graph);
+            }
             Response::json(200, serialized.as_str()).with_header("x-antruss-cache", "miss")
         }
         Err(e) => Response::error(400, &format!("{solver_name}: {e}")),
     }
 }
 
-/// A running server; dropping it shuts it down and joins every thread.
-pub struct Server {
+/// The shared TCP front: a non-blocking accept loop feeding a bounded
+/// `crossbeam` channel drained by a fixed worker pool (backpressure when
+/// every worker is busy). Extracted from [`Server`] so the cluster
+/// router can reuse the exact same socket discipline.
+pub struct AcceptPool {
     addr: SocketAddr,
-    state: Arc<ServiceState>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    started: Instant,
 }
 
-impl Server {
-    /// Binds and starts accepting; returns once the listener is live.
-    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+impl AcceptPool {
+    /// Binds `bind_addr` and starts `threads` workers, each running
+    /// `serve` per accepted connection. `is_shutdown` is polled by the
+    /// acceptor between accepts; once it turns true the acceptor exits
+    /// and dropping the channel sender releases the workers.
+    pub fn start(
+        bind_addr: &str,
+        threads: usize,
+        name: &str,
+        is_shutdown: Arc<dyn Fn() -> bool + Send + Sync>,
+        serve: Arc<dyn Fn(TcpStream) + Send + Sync>,
+    ) -> std::io::Result<AcceptPool> {
+        let listener = TcpListener::bind(bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let threads = match config.threads {
-            0 => thread::available_parallelism()
-                .map_or(4, |n| n.get())
-                .min(8),
-            n => n,
-        };
-        let state = Arc::new(ServiceState::new(config));
 
         let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(threads * 4);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = rx.clone();
-            let state = Arc::clone(&state);
+            let serve = Arc::clone(&serve);
             workers.push(
                 thread::Builder::new()
-                    .name(format!("antruss-worker-{i}"))
+                    .name(format!("{name}-worker-{i}"))
                     .spawn(move || {
                         while let Ok(stream) = rx.recv() {
-                            serve_connection(&state, stream);
+                            serve(stream);
                         }
                     })
                     .expect("spawn worker"),
@@ -383,13 +687,12 @@ impl Server {
         }
         drop(rx);
 
-        let acceptor_state = Arc::clone(&state);
         let acceptor = thread::Builder::new()
-            .name("antruss-acceptor".to_string())
+            .name(format!("{name}-acceptor"))
             .spawn(move || {
                 // `tx` lives in this thread; dropping it on exit is what
                 // releases the workers from `recv`
-                while !acceptor_state.shutdown.load(Ordering::SeqCst) {
+                while !is_shutdown() {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             let _ = stream.set_nonblocking(false);
@@ -411,18 +714,77 @@ impl Server {
             })
             .expect("spawn acceptor");
 
-        Ok(Server {
+        Ok(AcceptPool {
             addr,
-            state,
             acceptor: Some(acceptor),
             workers,
-            started: Instant::now(),
         })
     }
 
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Joins the acceptor and every worker. Idempotent; the caller must
+    /// have flipped its shutdown flag first, or this blocks forever.
+    pub fn join(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for AcceptPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Resolves a configured thread count (`0` = one per core, capped at 8).
+pub fn resolve_threads(configured: usize) -> usize {
+    match configured {
+        0 => thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(8),
+        n => n,
+    }
+}
+
+/// A running server; dropping it shuts it down and joins every thread.
+pub struct Server {
+    state: Arc<ServiceState>,
+    pool: AcceptPool,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds and starts accepting; returns once the listener is live.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let threads = resolve_threads(config.threads);
+        let state = Arc::new(ServiceState::new(config));
+        let shutdown_state = Arc::clone(&state);
+        let conn_state = Arc::clone(&state);
+        let pool = AcceptPool::start(
+            &state.config.addr,
+            threads,
+            "antruss",
+            Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
+            Arc::new(move |stream| serve_connection(&conn_state, stream)),
+        )?;
+        Ok(Server {
+            state,
+            pool,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr()
     }
 
     /// The shared state (handy for in-process inspection in tests).
@@ -432,12 +794,7 @@ impl Server {
 
     fn stop(&mut self) -> String {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.pool.join();
         let cache = self.state.cache.stats();
         format!(
             "served {} request(s) ({} solve(s), {} cache hit(s), {} error(s)) in {:.1}s",
@@ -460,7 +817,7 @@ impl Server {
     /// [`ServiceState::shutdown`] from another thread.
     pub fn run_until_sigint(self) -> String {
         install_sigint_handler();
-        while !SIGINT.load(Ordering::SeqCst) && !self.state.shutdown.load(Ordering::SeqCst) {
+        while !sigint_received() && !self.state.shutdown.load(Ordering::SeqCst) {
             thread::sleep(Duration::from_millis(100));
         }
         self.shutdown()
@@ -469,13 +826,18 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
-            let _ = self.stop();
-        }
+        let _ = self.stop();
     }
 }
 
 static SIGINT: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT arrived since [`install_sigint_handler`] (shared with
+/// the cluster supervisor, which fronts several servers with one
+/// handler).
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
 
 #[cfg(unix)]
 extern "C" fn on_sigint(_sig: i32) {
@@ -483,8 +845,10 @@ extern "C" fn on_sigint(_sig: i32) {
     SIGINT.store(true, Ordering::SeqCst);
 }
 
+/// Installs the process-wide SIGINT handler behind [`sigint_received`].
+/// Idempotent; a no-op on non-unix platforms.
 #[cfg(unix)]
-fn install_sigint_handler() {
+pub fn install_sigint_handler() {
     extern "C" {
         // libc is already linked by std; SIGINT = 2 everywhere we run
         fn signal(signum: i32, handler: usize) -> usize;
@@ -495,8 +859,10 @@ fn install_sigint_handler() {
     }
 }
 
+/// Installs the process-wide SIGINT handler behind [`sigint_received`].
+/// Idempotent; a no-op on non-unix platforms.
 #[cfg(not(unix))]
-fn install_sigint_handler() {}
+pub fn install_sigint_handler() {}
 
 /// Per-request inactivity timeout. Short enough that shutdown (polled
 /// between reads) completes promptly; keep-alive connections survive any
@@ -509,7 +875,20 @@ const READ_TIMEOUT: Duration = Duration::from_millis(250);
 /// whole pool and starve new connections.
 const IDLE_DEADLINE: Duration = Duration::from_secs(30);
 
-fn serve_connection(state: &ServiceState, mut stream: TcpStream) {
+/// Runs the HTTP/1.1 keep-alive loop on one accepted connection,
+/// routing every parsed request through `handle`. Shared by
+/// [`Server`] and the cluster router, so both speak the identical
+/// wire discipline (read timeouts, idle deadline, `100 Continue`,
+/// graceful close on shutdown). `protocol_error` is invoked once per
+/// request-level protocol failure (413/400) answered before the
+/// connection closes — the hook where callers count errors.
+pub fn run_connection(
+    mut stream: TcpStream,
+    max_body: usize,
+    shutdown: &AtomicBool,
+    handle: &mut dyn FnMut(&Request) -> Response,
+    protocol_error: &mut dyn FnMut(),
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true);
@@ -526,37 +905,30 @@ fn serve_connection(state: &ServiceState, mut stream: TcpStream) {
                 let _ = w.flush();
             }
         };
-        match read_request_expecting(
-            &mut stream,
-            &mut carry,
-            state.config.max_body_bytes,
-            &mut send_continue,
-        ) {
+        match read_request_expecting(&mut stream, &mut carry, max_body, &mut send_continue) {
             Ok(req) => {
                 idle_ticks = 0;
-                let resp = handle(state, &req);
-                let close = req.wants_close() || state.shutdown.load(Ordering::SeqCst);
+                let resp = handle(&req);
+                let close = req.wants_close() || shutdown.load(Ordering::SeqCst);
                 if resp.write_to(&mut stream, close).is_err() || close {
                     return;
                 }
             }
             Err(ReadError::Idle) => {
                 idle_ticks += 1;
-                if state.shutdown.load(Ordering::SeqCst) || idle_ticks >= max_idle_ticks {
+                if shutdown.load(Ordering::SeqCst) || idle_ticks >= max_idle_ticks {
                     return;
                 }
             }
             Err(ReadError::Eof) => return,
             Err(ReadError::TooLarge { limit }) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                protocol_error();
                 let _ = Response::error(413, &format!("body exceeds {limit} bytes"))
                     .write_to(&mut stream, true);
                 return;
             }
             Err(ReadError::Bad(msg)) => {
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                protocol_error();
                 let _ = Response::error(400, &msg).write_to(&mut stream, true);
                 return;
             }
@@ -566,6 +938,19 @@ fn serve_connection(state: &ServiceState, mut stream: TcpStream) {
         // connection's next request; that's the keep-alive loop
         let _ = stream.flush();
     }
+}
+
+fn serve_connection(state: &ServiceState, stream: TcpStream) {
+    run_connection(
+        stream,
+        state.config.max_body_bytes,
+        &state.shutdown,
+        &mut |req| handle(state, req),
+        &mut || {
+            state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        },
+    );
 }
 
 #[cfg(test)]
@@ -716,9 +1101,193 @@ mod tests {
     #[test]
     fn unknown_route_and_method() {
         assert_eq!(handle(&state(), &get("/nope")).status, 404);
+        // DELETE is routed (graph deletion) but has no other resources
         let mut del = get("/healthz");
         del.method = "DELETE".to_string();
-        assert_eq!(handle(&state(), &del).status, 405);
+        assert_eq!(handle(&state(), &del).status, 404);
+        let mut put = get("/healthz");
+        put.method = "PUT".to_string();
+        assert_eq!(handle(&state(), &put).status, 405);
+    }
+
+    fn delete(path: &str) -> Request {
+        let mut r = get(path);
+        r.method = "DELETE".to_string();
+        r
+    }
+
+    fn register_triangle(st: &ServiceState, name: &str) {
+        let mut req = post("/graphs", "0 1\n1 2\n2 0\n");
+        req.query = vec![("name".to_string(), name.to_string())];
+        assert_eq!(handle(st, &req).status, 201);
+    }
+
+    #[test]
+    fn delete_graph_contract() {
+        let st = state();
+        register_triangle(&st, "tri");
+        // cache an outcome so deletion has something to purge
+        assert_eq!(
+            handle(&st, &post("/solve", r#"{"graph":"tri","b":1}"#)).status,
+            200
+        );
+        assert_eq!(handle(&st, &delete("/graphs/missing")).status, 404);
+        assert_eq!(handle(&st, &delete("/graphs/college")).status, 409);
+        let ok = handle(&st, &delete("/graphs/tri"));
+        assert_eq!(ok.status, 200, "{}", body_str(&ok));
+        assert!(body_str(&ok).contains("\"purged\":1"), "{}", body_str(&ok));
+        assert_eq!(handle(&st, &delete("/graphs/tri")).status, 404, "gone now");
+        assert_eq!(
+            handle(&st, &post("/solve", r#"{"graph":"tri","b":1}"#)).status,
+            404,
+            "deleted graphs are unsolvable"
+        );
+    }
+
+    #[test]
+    fn mutate_applies_purges_and_reports_maintenance_stats() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let solve = post("/solve", r#"{"graph":"tri","b":1}"#);
+        assert_eq!(handle(&st, &solve).status, 200);
+        // grow the triangle into K4: insert vertex 3 connected to all
+        let resp = handle(
+            &st,
+            &post("/graphs/tri/mutate", r#"{"insert":[[0,3],[1,3],[2,3]]}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        let parsed = json::parse(&body_str(&resp)).unwrap();
+        assert_eq!(parsed.get("inserted").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("edges").unwrap().as_u64(), Some(6));
+        assert_eq!(parsed.get("k_max").unwrap().as_u64(), Some(4));
+        assert_eq!(parsed.get("purged").unwrap().as_u64(), Some(1));
+        // the stale cached outcome is gone: this is a fresh miss
+        let fresh = handle(&st, &solve);
+        assert!(fresh
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "x-antruss-cache" && v == "miss"));
+        // delete an edge again and check the 409/404 contract
+        let resp = handle(&st, &post("/graphs/tri/mutate", r#"{"delete":[[0,3]]}"#));
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        assert_eq!(
+            handle(
+                &st,
+                &post("/graphs/college/mutate", r#"{"insert":[[0,1]]}"#)
+            )
+            .status,
+            409
+        );
+        assert_eq!(
+            handle(
+                &st,
+                &post("/graphs/missing/mutate", r#"{"insert":[[0,1]]}"#)
+            )
+            .status,
+            404
+        );
+        for bad in [
+            "{}",                                 // empty batch
+            r#"{"insert":[[0]]}"#,                // not a pair
+            r#"{"insert":[[0,1,2]]}"#,            // too long
+            r#"{"inserts":[[0,1]]}"#,             // typo'd field
+            r#"{"insert":[["a","b"]]}"#,          // wrong type
+            r#"{"insert":[[0,99999999999999]]}"#, // far beyond the universe
+        ] {
+            let resp = handle(&st, &post("/graphs/tri/mutate", bad));
+            assert_eq!(resp.status, 400, "{bad} -> {}", body_str(&resp));
+        }
+    }
+
+    #[test]
+    fn cache_dump_load_round_trip() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let solve = post("/solve", r#"{"graph":"tri","b":1,"solver":"lazy"}"#);
+        let first = handle(&st, &solve);
+        assert_eq!(first.status, 200);
+        let dump = handle(&st, &get("/cache/dump"));
+        assert_eq!(dump.status, 200);
+        let dump_body = body_str(&dump);
+        assert!(dump_body.contains("\"solver\":\"lazy\""), "{dump_body}");
+
+        // replay the dump into a fresh server: the entry must hit there
+        let st2 = state();
+        let loaded = handle(&st2, &post("/cache/load", &dump_body));
+        assert_eq!(loaded.status, 200, "{}", body_str(&loaded));
+        assert!(body_str(&loaded).contains("\"loaded\":1"));
+        register_triangle(&st2, "tri");
+        let warmed = handle(&st2, &solve);
+        assert!(
+            warmed
+                .extra_headers
+                .iter()
+                .any(|(n, v)| n == "x-antruss-cache" && v == "hit"),
+            "warmed entry must hit"
+        );
+        assert_eq!(warmed.body, first.body, "and replay the peer's bytes");
+        assert_eq!(st2.metrics.warmed_entries.load(Ordering::Relaxed), 1);
+
+        for bad in [
+            "not json",
+            "{}",                 // not an array
+            r#"[{"graph":"g"}]"#, // missing fields
+            r#"[{"graph":"g","solver":"gas","b":1,"seed":1,"trials":1,"policy":"fast","body":"x"}]"#,
+        ] {
+            assert_eq!(handle(&st2, &post("/cache/load", bad)).status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn cache_load_is_atomic_on_invalid_entries() {
+        let st = state();
+        // one valid entry followed by an invalid one: nothing may load
+        let payload = r#"[
+            {"graph":"g","solver":"gas","b":1,"k":null,"seed":1,"trials":20,"policy":"paper","body":"{}"},
+            {"graph":"h","solver":"gas","b":1}
+        ]"#;
+        assert_eq!(handle(&st, &post("/cache/load", payload)).status, 400);
+        assert_eq!(st.cache.stats().entries, 0, "partial loads must not stick");
+        assert_eq!(st.metrics.warmed_entries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cache_purge_selective_and_full() {
+        let st = state();
+        register_triangle(&st, "a");
+        register_triangle(&st, "b");
+        assert_eq!(
+            handle(&st, &post("/solve", r#"{"graph":"a","b":1}"#)).status,
+            200
+        );
+        assert_eq!(
+            handle(&st, &post("/solve", r#"{"graph":"b","b":1}"#)).status,
+            200
+        );
+        let mut purge_a = post("/cache/purge", "");
+        purge_a.query = vec![("graph".to_string(), "a".to_string())];
+        assert!(body_str(&handle(&st, &purge_a)).contains("\"purged\":1"));
+        assert!(body_str(&handle(&st, &post("/cache/purge", ""))).contains("\"purged\":1"));
+        assert_eq!(st.cache.stats().entries, 0);
+        assert_eq!(st.metrics.purged_entries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn graph_edges_round_trips_through_registration() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let resp = handle(&st, &get("/graphs/tri/edges"));
+        assert_eq!(resp.status, 200);
+        let edges = body_str(&resp);
+        let st2 = state();
+        let mut req = post("/graphs", &edges);
+        req.query = vec![("name".to_string(), "tri2".to_string())];
+        assert_eq!(handle(&st2, &req).status, 201);
+        let (a, _) = st.catalog.lookup("tri").unwrap();
+        let (b, _) = st2.catalog.lookup("tri2").unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        // resident-only: a dataset spec that was never solved is a 404
+        assert_eq!(handle(&st, &get("/graphs/college/edges")).status, 404);
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   SNAP datasets;
 //! * [`service`] — the resident anchoring service (`antruss serve`): a
 //!   graph catalog and an outcome cache behind a hand-rolled HTTP/1.1
-//!   server, plus the client used by `loadgen` and the e2e tests.
+//!   server, plus the client used by `loadgen` and the e2e tests;
+//! * [`cluster`] — the sharded serving tier (`antruss cluster`): a
+//!   consistent-hash router placing graphs on N backend `serve`
+//!   processes with replica failover, cache warm-up for re-joining
+//!   replicas, and mutation-driven invalidation fanned out to every
+//!   replica of a graph.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub use antruss_cluster as cluster;
 pub use antruss_core as atr;
 pub use antruss_datasets as datasets;
 pub use antruss_graph as graph;

@@ -1,0 +1,435 @@
+//! End-to-end tests of the sharded serving tier: 3 backends behind the
+//! consistent-hash router, over real sockets.
+//!
+//! Covers the acceptance criteria: response parity with a single-process
+//! `serve`, failover that loses no registered graph, mutation batches
+//! that purge cached outcomes on every replica (observed via `/metrics`)
+//! with post-mutation solves matching a fresh solver run on the mutated
+//! graph, and warm-up of a backend that re-joins after dying.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use antruss::atr::engine::{registry, RunConfig};
+use antruss::atr::json::{self, Value};
+use antruss::cluster::{Cluster, ClusterConfig, Router, RouterConfig};
+use antruss::graph::GraphBuilder;
+use antruss::service::{Client, Server, ServerConfig};
+
+fn backend_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        max_body_bytes: 1024 * 1024,
+        ..ServerConfig::default()
+    }
+}
+
+fn start_backends(n: usize) -> Vec<Server> {
+    (0..n)
+        .map(|i| {
+            Server::start(ServerConfig {
+                shard: Some(i as u32),
+                ..backend_config()
+            })
+            .expect("bind backend")
+        })
+        .collect()
+}
+
+fn start_router(backends: &[SocketAddr], replication: usize, health_ms: u64) -> Router {
+    Router::start(RouterConfig {
+        backends: backends.to_vec(),
+        replication,
+        health_interval_ms: health_ms,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+}
+
+/// Strips every `elapsed_secs` member (the only wall-clock-dependent
+/// field) so outcomes from different processes compare equal.
+fn strip_elapsed(v: &Value) -> Value {
+    match v {
+        Value::Arr(items) => Value::Arr(items.iter().map(strip_elapsed).collect()),
+        Value::Obj(members) => Value::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k.as_str() != "elapsed_secs")
+                .map(|(k, v)| (k.clone(), strip_elapsed(v)))
+                .collect::<BTreeMap<_, _>>(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn outcomes_equal(a: &str, b: &str) -> bool {
+    strip_elapsed(&json::parse(a).unwrap()) == strip_elapsed(&json::parse(b).unwrap())
+}
+
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing in:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+/// The replica shard ids the router placed `graph` on.
+fn placement(router_addr: SocketAddr, graph: &str) -> Vec<usize> {
+    let resp = Client::new(router_addr)
+        .get(&format!("/ring?graph={graph}"))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    json::parse(&resp.body_string())
+        .unwrap()
+        .get("replicas")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("shard").unwrap().as_u64().unwrap() as usize)
+        .collect()
+}
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+/// A 3-backend R=2 cluster (via the supervisor) answers `/solve`
+/// byte-equivalently to a single-process `serve` — identical outcomes
+/// modulo wall-clock, and byte-identical replays on cache hits.
+#[test]
+fn cluster_answers_match_single_process_serve() {
+    let single = Server::start(backend_config()).expect("bind single serve");
+    let cluster = Cluster::start(ClusterConfig {
+        backends: 3,
+        replication: 2,
+        health_interval_ms: 0,
+        backend: backend_config(),
+        ..ClusterConfig::default()
+    })
+    .expect("start cluster");
+
+    let mut via_single = Client::new(single.addr());
+    let mut via_cluster = Client::new(cluster.router_addr());
+    for body in [
+        r#"{"graph":"college:0.05","solver":"gas","b":2}"#,
+        r#"{"graph":"college:0.05","solver":"lazy","b":2}"#,
+        r#"{"graph":"facebook:0.02","solver":"rand:sup","b":2,"seed":7,"trials":5}"#,
+    ] {
+        let a = via_single
+            .post("/solve", "application/json", body.as_bytes())
+            .unwrap();
+        let b = via_cluster
+            .post("/solve", "application/json", body.as_bytes())
+            .unwrap();
+        assert_eq!(a.status, 200, "{}", a.body_string());
+        assert_eq!(b.status, 200, "{}", b.body_string());
+        assert!(
+            b.header("x-antruss-shard").is_some(),
+            "router must attribute the answering shard"
+        );
+        assert!(
+            outcomes_equal(&a.body_string(), &b.body_string()),
+            "cluster diverges from single serve on {body}:\n{}\nvs\n{}",
+            a.body_string(),
+            b.body_string()
+        );
+        // a repeat through the router is a byte-identical cache hit
+        let b2 = via_cluster
+            .post("/solve", "application/json", body.as_bytes())
+            .unwrap();
+        assert_eq!(b2.header("x-antruss-cache"), Some("hit"));
+        assert_eq!(b.body, b2.body, "hit must replay the exact bytes");
+    }
+    single.shutdown();
+    cluster.shutdown();
+}
+
+/// With R=2, killing one backend loses no registered graph: the router
+/// fails over to the surviving replica and answers identically.
+#[test]
+fn killing_one_backend_loses_no_registered_graph() {
+    let mut backends: Vec<Option<Server>> = start_backends(3).into_iter().map(Some).collect();
+    let addrs: Vec<SocketAddr> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().addr())
+        .collect();
+    let router = start_router(&addrs, 2, 0);
+    let mut client = Client::new(router.addr());
+
+    // a 5-clique registered through the router lands on both replicas
+    let mut edges = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    let resp = client
+        .post("/graphs?name=k5", "text/plain", edges.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_string());
+    let replicas = placement(router.addr(), "k5");
+    assert_eq!(replicas.len(), 2);
+    for &shard in &replicas {
+        let listing = Client::new(addrs[shard]).get("/graphs").unwrap();
+        assert!(
+            listing.body_string().contains("\"k5\""),
+            "replica {shard} must hold k5: {}",
+            listing.body_string()
+        );
+    }
+
+    let body = br#"{"graph":"k5","solver":"gas","b":1}"#;
+    let before = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(before.status, 200, "{}", before.body_string());
+    let answered_by: usize = before.header("x-antruss-shard").unwrap().parse().unwrap();
+    assert_eq!(answered_by, replicas[0], "primary answers first");
+
+    // kill the primary; the router must fail over to the other replica
+    backends[replicas[0]].take().unwrap().shutdown();
+    let after = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body_string());
+    let failover_shard: usize = after.header("x-antruss-shard").unwrap().parse().unwrap();
+    assert_eq!(failover_shard, replicas[1], "the surviving replica answers");
+    assert!(
+        outcomes_equal(&before.body_string(), &after.body_string()),
+        "failover answer diverges"
+    );
+    // and the graph is still listed cluster-wide
+    let listing = client.get("/graphs").unwrap();
+    assert!(listing.body_string().contains("\"k5\""));
+
+    let report = router.shutdown();
+    assert!(report.contains("failover"), "{report}");
+    for b in backends.into_iter().flatten() {
+        b.shutdown();
+    }
+}
+
+/// A mutation batch through the router purges the graph's cached
+/// outcomes on *every* replica (observed via each backend's `/metrics`)
+/// and subsequent solves match a fresh solver run on the mutated graph.
+#[test]
+fn mutation_purges_every_replica_and_matches_fresh_solver_run() {
+    let backends = start_backends(3);
+    let addrs: Vec<SocketAddr> = backends.iter().map(Server::addr).collect();
+    let router = start_router(&addrs, 2, 0);
+    let mut client = Client::new(router.addr());
+
+    // two 4-cliques, vertices 0-3 and 4-7
+    let mut edges = String::new();
+    for base in [0u32, 4] {
+        for u in base..base + 4 {
+            for v in (u + 1)..base + 4 {
+                edges.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    assert_eq!(
+        client
+            .post("/graphs?name=twin", "text/plain", edges.as_bytes())
+            .unwrap()
+            .status,
+        201
+    );
+    let replicas = placement(router.addr(), "twin");
+
+    // cache an outcome on the primary
+    let body = br#"{"graph":"twin","solver":"gas","b":1}"#;
+    assert_eq!(
+        client
+            .post("/solve", "application/json", body)
+            .unwrap()
+            .status,
+        200
+    );
+
+    // mutate through the router: bridge the cliques, drop one edge
+    let batch = br#"{"insert":[[0,4],[0,5],[1,4],[1,5],[2,4]],"delete":[[2,3]]}"#;
+    let resp = client
+        .post("/graphs/twin/mutate", "application/json", batch)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    let replica_detail = resp.header("x-antruss-replicas").unwrap().to_string();
+
+    // every replica applied the mutation and purged its cache entries
+    for &shard in &replicas {
+        let metrics = Client::new(addrs[shard])
+            .get("/metrics")
+            .unwrap()
+            .body_string();
+        assert_eq!(
+            metric(&metrics, "antruss_mutations_total"),
+            1,
+            "replica {shard} must have applied the batch ({replica_detail}): {metrics}"
+        );
+        let graphs = Client::new(addrs[shard])
+            .get("/graphs")
+            .unwrap()
+            .body_string();
+        assert!(graphs.contains("\"mutated\""), "replica {shard}: {graphs}");
+    }
+    let primary_metrics = Client::new(addrs[replicas[0]])
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    assert!(
+        metric(&primary_metrics, "antruss_cache_purged_entries_total") >= 1,
+        "the cached outcome on the primary must be purged: {primary_metrics}"
+    );
+
+    // a fresh solve now reflects the mutated graph: compare against a
+    // direct engine run on an independently-built copy of it
+    let after = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body_string());
+    assert_eq!(
+        after.header("x-antruss-cache"),
+        Some("miss"),
+        "post-mutation solve must not replay a stale outcome"
+    );
+
+    let mut b = GraphBuilder::dense();
+    for v in 0..8u64 {
+        b.ensure_vertex(v);
+    }
+    for base in [0u64, 4] {
+        for u in base..base + 4 {
+            for v in (u + 1)..base + 4 {
+                if (u, v) != (2, 3) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    for (u, v) in [(0u64, 4u64), (0, 5), (1, 4), (1, 5), (2, 4)] {
+        b.add_edge(u, v);
+    }
+    let expected_graph = b.build();
+    let cfg = RunConfig::new(1)
+        .trials(20)
+        .seed(1)
+        .exact_cap(100_000)
+        .time_budget(Duration::from_secs(60));
+    let direct = registry()
+        .get("gas")
+        .unwrap()
+        .run(&expected_graph, &cfg)
+        .unwrap();
+    assert!(
+        outcomes_equal(&after.body_string(), &direct.to_json()),
+        "post-mutation solve diverges from a fresh run on the mutated graph:\n{}\nvs\n{}",
+        after.body_string(),
+        direct.to_json()
+    );
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+/// A backend that dies and re-joins on the same address is warmed by the
+/// health thread: stale cache purged, registered graphs re-registered
+/// from a peer, and the peer's cache entries replayed — so a subsequent
+/// failover serves the warmed bytes as a cache *hit*.
+#[test]
+fn rejoining_backend_is_warmed_from_a_peer() {
+    let mut backends: Vec<Option<Server>> = start_backends(2).into_iter().map(Some).collect();
+    let addrs: Vec<SocketAddr> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().addr())
+        .collect();
+    // R=2 over 2 backends: every graph lives on both
+    let router = start_router(&addrs, 2, 100);
+    let mut client = Client::new(router.addr());
+
+    let mut edges = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    assert_eq!(
+        client
+            .post("/graphs?name=k5", "text/plain", edges.as_bytes())
+            .unwrap()
+            .status,
+        201
+    );
+    let body = br#"{"graph":"k5","solver":"gas","b":1}"#;
+    let first = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_string());
+    let replicas = placement(router.addr(), "k5");
+    let (primary, secondary) = (replicas[0], replicas[1]);
+
+    // kill the secondary and wait for the health thread to notice
+    backends[secondary].take().unwrap().shutdown();
+    assert!(
+        poll_until(Duration::from_secs(15), || {
+            let h = Client::new(router.addr()).get("/healthz").unwrap();
+            h.body_string().contains("\"healthy\":false")
+        }),
+        "router never noticed the dead backend"
+    );
+
+    // resurrect it on the same address; the health thread must warm it
+    backends[secondary] = Some(
+        Server::start(ServerConfig {
+            addr: addrs[secondary].to_string(),
+            shard: Some(secondary as u32),
+            ..backend_config()
+        })
+        .expect("rebind the dead backend's address"),
+    );
+    assert!(
+        poll_until(Duration::from_secs(15), || {
+            let h = Client::new(router.addr()).get("/healthz").unwrap();
+            !h.body_string().contains("\"healthy\":false")
+        }),
+        "router never re-admitted the recovered backend"
+    );
+
+    // the recovered backend holds the graph again and the warmed entry
+    let graphs = Client::new(addrs[secondary])
+        .get("/graphs")
+        .unwrap()
+        .body_string();
+    assert!(graphs.contains("\"k5\""), "graph not restored: {graphs}");
+    let metrics = Client::new(addrs[secondary])
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    assert!(
+        metric(&metrics, "antruss_cache_warmed_entries_total") >= 1,
+        "cache not warmed: {metrics}"
+    );
+
+    // kill the primary: the warmed replica answers from cache with the
+    // primary's exact bytes
+    backends[primary].take().unwrap().shutdown();
+    let served = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(served.status, 200, "{}", served.body_string());
+    assert_eq!(
+        served.header("x-antruss-shard").unwrap(),
+        secondary.to_string(),
+        "the recovered replica must answer"
+    );
+    assert_eq!(served.header("x-antruss-cache"), Some("hit"));
+    assert_eq!(served.body, first.body, "warmed hit must replay the bytes");
+
+    router.shutdown();
+    for b in backends.into_iter().flatten() {
+        b.shutdown();
+    }
+}
