@@ -39,9 +39,12 @@ USAGE:
   antruss solvers
   antruss serve      [--addr HOST:PORT] [--threads N] [--cache N] [--max-body-mb N]
                      [--exact-cap N] [--base-timeout S] [--max-b N]
-  antruss cluster    [--backends N] [--replicas R] [--addr HOST:PORT] [--vnodes V]
-                     [--health-ms MS] [--threads N] [--cache N] [--max-body-mb N]
-                     [--exact-cap N] [--base-timeout S] [--max-b N]
+                     [--join ROUTER:PORT] [--advertise HOST:PORT] [--heartbeat-ms MS]
+  antruss cluster    [--backends N | --backend-addrs A:P,B:P,...] [--replicas R]
+                     [--addr HOST:PORT] [--vnodes V] [--health-ms MS]
+                     [--heartbeat-ms MS] [--miss-threshold N] [--threads N]
+                     [--cache N] [--max-body-mb N] [--exact-cap N]
+                     [--base-timeout S] [--max-b N]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -56,12 +59,18 @@ generate the built-in synthetic analogues.
 loaded in a shared catalog, repeated /solve requests are answered from
 an LRU outcome cache, and ctrl-c drains in-flight work before exiting
 (see the README's Serving section for the endpoints and curl examples).
+With --join ROUTER:PORT the backend registers with a running `antruss
+cluster` router, heartbeats, and deregisters on ctrl-c; --advertise
+overrides the address the router dials back (required when the bind
+address is not routable from the router's host).
 
 `antruss cluster` starts the sharded serving tier: N backend serve
-processes behind a consistent-hash router that places each graph on R
-replicas, fails over when a backend dies, warms re-joining replicas
-from a peer's cache dump, and fans graph mutations out to every
-replica (see the README's Cluster section).";
+processes (or, with --backend-addrs, external backends it does not
+spawn) behind a consistent-hash router that places each graph on R
+replicas, fails over when a backend dies, warms joining/re-joining
+replicas from surviving peers, evicts backends that miss
+--miss-threshold heartbeats in a row, and fans graph mutations out to
+every replica concurrently (see the README's Cluster section).";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -379,43 +388,97 @@ pub fn serve_config(args: &Args) -> antruss_service::ServerConfig {
     }
 }
 
+/// Resolves one `HOST:PORT` (hostname or IP literal) to a socket
+/// address — cross-host deployments name backends by hostname, so a
+/// bare `SocketAddr` parse would reject every documented example.
+pub fn resolve_addr(raw: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs as _;
+    raw.to_socket_addrs()
+        .map_err(|e| format!("bad address {raw:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("bad address {raw:?}: resolved to nothing"))
+}
+
+/// Parses a comma-separated `HOST:PORT[,HOST:PORT...]` list.
+pub fn parse_addr_list(raw: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(resolve_addr)
+        .collect()
+}
+
 /// Builds the cluster topology from the `cluster` flags. Backend safety
 /// valves reuse the `serve` flags (`--cache`, `--max-b`, `--exact-cap`,
-/// `--base-timeout`, `--max-body-mb`); backend addresses are ephemeral
-/// loopback ports chosen at startup.
-pub fn cluster_config(args: &Args) -> antruss_cluster::ClusterConfig {
+/// `--base-timeout`, `--max-body-mb`). Without `--backend-addrs` the
+/// supervisor spawns `--backends` in-process servers on ephemeral
+/// loopback ports; with it, the router fronts those external processes
+/// instead (and more can join at runtime via `antruss serve --join`).
+pub fn cluster_config(args: &Args) -> Result<antruss_cluster::ClusterConfig, String> {
     let defaults = antruss_cluster::ClusterConfig::default();
-    antruss_cluster::ClusterConfig {
+    let backend_addrs = match args.get_str("backend-addrs") {
+        Some(raw) => {
+            let addrs = parse_addr_list(raw)?;
+            if addrs.is_empty() {
+                return Err("cluster: --backend-addrs lists no addresses".to_string());
+            }
+            addrs
+        }
+        None => Vec::new(),
+    };
+    Ok(antruss_cluster::ClusterConfig {
         backends: args.get("backends", defaults.backends).max(1),
+        backend_addrs,
         replication: args.get("replicas", defaults.replication).max(1),
         vnodes: args.get("vnodes", defaults.vnodes).max(1),
         router_addr: args.get_str("addr").unwrap_or("127.0.0.1:7171").to_string(),
         router_threads: args.get("threads", defaults.router_threads),
         health_interval_ms: args.get("health-ms", defaults.health_interval_ms),
+        heartbeat_ms: args.get("heartbeat-ms", defaults.heartbeat_ms).max(1),
+        miss_threshold: args.get("miss-threshold", defaults.miss_threshold).max(1),
         backend: serve_config(args),
-    }
+    })
 }
 
 /// `antruss cluster` — run the sharded serving tier until ctrl-c: N
-/// backend serve processes behind a consistent-hash router.
+/// backend serve processes (or external `--backend-addrs`) behind a
+/// consistent-hash router.
 pub fn cmd_cluster(args: &Args) -> Result<String, String> {
-    let cfg = cluster_config(args);
+    let cfg = cluster_config(args)?;
     let cluster = antruss_cluster::Cluster::start(cfg.clone())
         .map_err(|e| format!("cluster: cannot start on {}: {e}", cfg.router_addr))?;
+    let external = !cfg.backend_addrs.is_empty();
+    let fronted = if external {
+        cfg.backend_addrs.len()
+    } else {
+        cfg.backends
+    };
     eprintln!(
-        "antruss cluster: router on http://{} fronting {} backend(s) (R={}, {} vnodes) — ctrl-c to stop",
+        "antruss cluster: router on http://{} fronting {} {} backend(s) (R={}, {} vnodes, \
+         heartbeat {} ms x{}) — ctrl-c to stop",
         cluster.router_addr(),
-        cfg.backends,
-        cfg.replication.min(cfg.backends),
+        fronted,
+        if external { "external" } else { "spawned" },
+        cfg.replication.min(fronted),
         cfg.vnodes,
+        cfg.heartbeat_ms,
+        cfg.miss_threshold,
     );
-    for (i, addr) in cluster.backend_addrs().iter().enumerate() {
-        eprintln!("  shard {i}: http://{addr}");
+    if external {
+        for (i, addr) in cfg.backend_addrs.iter().enumerate() {
+            eprintln!("  shard {i}: http://{addr} (external)");
+        }
+    } else {
+        for (i, addr) in cluster.backend_addrs().iter().enumerate() {
+            eprintln!("  shard {i}: http://{addr}");
+        }
     }
     Ok(cluster.run_until_sigint())
 }
 
 /// `antruss serve` — run the resident anchoring service until ctrl-c.
+/// With `--join ROUTER:PORT` the backend also registers with a cluster
+/// router, heartbeats while it runs, and deregisters on shutdown.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let cfg = serve_config(args);
     let server = antruss_service::Server::start(cfg.clone())
@@ -426,7 +489,36 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() },
         cfg.cache_capacity
     );
-    Ok(server.run_until_sigint())
+    let heartbeat = match args.get_str("join") {
+        None => None,
+        Some(raw) => {
+            let router = resolve_addr(raw).map_err(|e| format!("serve: bad --join: {e}"))?;
+            let advertise = match args.get_str("advertise") {
+                Some(a) => resolve_addr(a).map_err(|e| format!("serve: bad --advertise: {e}"))?,
+                None => server.addr(),
+            };
+            let interval = args
+                .get_str("heartbeat-ms")
+                .map(|_| args.get("heartbeat-ms", 1000u64));
+            let hb = antruss_service::HeartbeatClient::start(router, advertise, interval)
+                .map_err(|e| format!("serve: cannot join {router}: {e}"))?;
+            eprintln!("antruss serve: joined cluster router {router} as {advertise}");
+            Some(hb)
+        }
+    };
+    let report = server.run_until_sigint();
+    if let Some(hb) = heartbeat {
+        let left = hb.leave();
+        eprintln!(
+            "antruss serve: {} the cluster router",
+            if left {
+                "deregistered from"
+            } else {
+                "could not deregister from"
+            }
+        );
+    }
+    Ok(report)
 }
 
 /// `antruss solvers` — the registry line-up.
@@ -692,21 +784,59 @@ mod tests {
     fn cluster_config_reads_flags() {
         let cfg = cluster_config(&args(
             "cluster --backends 5 --replicas 3 --vnodes 64 --addr 0.0.0.0:9100 \
-             --health-ms 250 --cache 32",
-        ));
+             --health-ms 250 --cache 32 --heartbeat-ms 400 --miss-threshold 5",
+        ))
+        .unwrap();
         assert_eq!(cfg.backends, 5);
         assert_eq!(cfg.replication, 3);
         assert_eq!(cfg.vnodes, 64);
         assert_eq!(cfg.router_addr, "0.0.0.0:9100");
         assert_eq!(cfg.health_interval_ms, 250);
         assert_eq!(cfg.backend.cache_capacity, 32);
-        let defaults = cluster_config(&args("cluster"));
+        assert_eq!(cfg.heartbeat_ms, 400);
+        assert_eq!(cfg.miss_threshold, 5);
+        assert!(cfg.backend_addrs.is_empty());
+        let defaults = cluster_config(&args("cluster")).unwrap();
         assert_eq!(defaults.backends, 3);
         assert_eq!(defaults.replication, 2);
         assert_eq!(defaults.router_addr, "127.0.0.1:7171");
+        assert_eq!(defaults.heartbeat_ms, 1000);
+        assert_eq!(defaults.miss_threshold, 3);
         // degenerate values are clamped, not crashes
-        assert_eq!(cluster_config(&args("cluster --backends 0")).backends, 1);
-        assert_eq!(cluster_config(&args("cluster --replicas 0")).replication, 1);
+        assert_eq!(
+            cluster_config(&args("cluster --backends 0"))
+                .unwrap()
+                .backends,
+            1
+        );
+        assert_eq!(
+            cluster_config(&args("cluster --replicas 0"))
+                .unwrap()
+                .replication,
+            1
+        );
+    }
+
+    #[test]
+    fn cluster_config_parses_external_backend_addrs() {
+        let cfg = cluster_config(&args(
+            "cluster --backend-addrs 127.0.0.1:9001,127.0.0.1:9002",
+        ))
+        .unwrap();
+        assert_eq!(cfg.backend_addrs.len(), 2);
+        assert_eq!(cfg.backend_addrs[0], "127.0.0.1:9001".parse().unwrap());
+        // malformed and empty lists are loud errors
+        assert!(cluster_config(&args("cluster --backend-addrs nope")).is_err());
+        assert!(cluster_config(&args("cluster --backend-addrs ,,")).is_err());
+    }
+
+    #[test]
+    fn serve_join_rejects_bad_addresses() {
+        let err = run(&args("serve --addr 127.0.0.1:0 --join not-an-addr")).unwrap_err();
+        assert!(err.contains("--join"), "{err}");
+        // an unreachable router is reported as a join failure, not a hang
+        let err = run(&args("serve --addr 127.0.0.1:0 --join 127.0.0.1:1")).unwrap_err();
+        assert!(err.contains("cannot join"), "{err}");
     }
 
     #[test]

@@ -9,33 +9,51 @@
 //! to be first-class: the moment a graph's edges change, every cached
 //! outcome computed on the old edges is garbage, on every replica.
 //!
-//! Three layers:
+//! Five layers:
 //!
-//! * [`ring::HashRing`] — consistent-hash placement with virtual nodes:
-//!   balanced within a few percent of fair share, and resizing `N → N+1`
-//!   moves only ~`1/(N+1)` of the keys;
+//! * [`ring::HashRing`] — consistent-hash placement with virtual nodes
+//!   over stable per-member ring ids: balanced within a few percent of
+//!   fair share, resizing `N → N+1` moves only ~`1/(N+1)` of the keys,
+//!   and because survivors keep their ids, churn in the *middle* of the
+//!   member list is just as cheap;
+//! * [`membership::Membership`] — dynamic membership: external backends
+//!   join (`POST /members`), heartbeat, leave, and are evicted after a
+//!   configurable number of missed heartbeats; time is injected through
+//!   [`membership::Clock`] so every sequence is reproducible;
 //! * [`router::Router`] — the front-end process: routes `/solve` to a
-//!   graph's replicas in ring order with failover, fans graph lifecycle
-//!   operations (`POST /graphs`, `mutate`, `DELETE`) out to every
-//!   replica, health-checks backends, and warms a recovering replica
-//!   from a healthy peer (`/cache/purge` → graph re-registration from
-//!   `/graphs/{name}/edges` → `/cache/dump` replay);
+//!   graph's replicas in ring order with failover, scatter-gathers
+//!   graph lifecycle operations (`POST /graphs`, `mutate`, `DELETE`,
+//!   purge) to every replica concurrently, health-checks backends, and
+//!   warms recovering/joining replicas from healthy peers
+//!   (`/cache/purge` → graph re-registration from
+//!   `/graphs/{name}/edges` → **paged** `/cache/dump` replay);
 //! * [`supervisor::Cluster`] — `antruss cluster`: N backend servers on
-//!   ephemeral loopback ports plus the fronting router, supervised as
-//!   one unit.
+//!   ephemeral loopback ports *or* a set of external backend addresses
+//!   (`--backend-addrs`), fronted by the router and supervised as one
+//!   unit;
+//! * [`testkit::TestCluster`] — the deterministic in-process harness:
+//!   a manual clock plus fault hooks (kill, silence, leave) so
+//!   join/leave/evict sequences replay identically in CI.
 //!
 //! The backend side of the protocol (`/cache/dump`, `/cache/load`,
 //! `/cache/purge`, `/graphs/{name}/mutate` through incremental truss
-//! maintenance, `/graphs/{name}/edges`, shard-tagged `/metrics`) lives
-//! in `antruss-service`; this crate is purely the placement and
-//! supervision tier, so a router can front backends it did not spawn.
+//! maintenance, `/graphs/{name}/edges`, shard-tagged `/metrics`, and
+//! the `serve --join` heartbeat client) lives in `antruss-service`;
+//! this crate is purely the placement, membership and supervision tier,
+//! so a router can front backends it did not spawn.
 
 #![warn(missing_docs)]
 
+pub mod membership;
 pub mod ring;
 pub mod router;
 pub mod supervisor;
+pub mod testkit;
 
+pub use membership::{
+    Clock, ManualClock, Membership, MembershipConfig, MembershipEvent, SystemClock,
+};
 pub use ring::{key_point, HashRing, DEFAULT_VNODES};
-pub use router::{handle, BackendState, Router, RouterConfig, RouterState};
+pub use router::{handle, BackendState, Router, RouterConfig, RouterState, RouterView};
 pub use supervisor::{Cluster, ClusterConfig};
+pub use testkit::TestCluster;

@@ -1,0 +1,437 @@
+//! Dynamic cluster membership: who the backends are, whether they are
+//! still alive, and when a silent one is evicted.
+//!
+//! The router seeds this with the backends it was configured with
+//! (*static* members — health-checked but never evicted for missing
+//! heartbeats, since nobody heartbeats on their behalf) and grows it at
+//! runtime via `POST /members` (*dynamic* members — external
+//! `antruss serve --join` processes that must heartbeat every
+//! [`MembershipConfig::heartbeat_ms`] or be evicted after
+//! [`MembershipConfig::miss_threshold`] missed intervals).
+//!
+//! Every member is assigned a **ring id** at join that it keeps for its
+//! whole life: the ring hashes ids, not positions, so membership churn
+//! relocates only the keyspace of the member that actually changed
+//! (see [`crate::ring::HashRing::with_ids`]).
+//!
+//! Time is injected through the [`Clock`] trait so membership decisions
+//! are testable without real timers: production uses [`SystemClock`],
+//! the deterministic test harness ([`crate::testkit`]) drives a
+//! [`ManualClock`] by hand and calls the router's tick directly, making
+//! any join/leave/evict sequence exactly reproducible. Every transition
+//! is recorded in an event log the tests can assert against.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A source of monotonic milliseconds. Injected so eviction decisions
+/// (`now - last_heartbeat > deadline`) are a pure function of the clock,
+/// which the test harness controls.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary (per-clock) epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: monotonic milliseconds since construction.
+pub struct SystemClock {
+    started: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-driven clock for deterministic tests: time only moves when
+/// [`ManualClock::advance`] is called.
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at `start_ms`.
+    pub fn new(start_ms: u64) -> ManualClock {
+        ManualClock {
+            now: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Moves time forward by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Heartbeat cadence and tolerance of one membership domain.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// Expected heartbeat cadence for dynamic members, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Consecutive missable intervals before eviction: a dynamic member
+    /// silent for longer than `heartbeat_ms * miss_threshold` is evicted
+    /// on the next tick.
+    pub miss_threshold: u32,
+}
+
+impl Default for MembershipConfig {
+    /// 1 s heartbeats, evicted after 3 silent intervals.
+    fn default() -> MembershipConfig {
+        MembershipConfig {
+            heartbeat_ms: 1000,
+            miss_threshold: 3,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// How long a dynamic member may stay silent before eviction.
+    pub fn deadline_ms(&self) -> u64 {
+        self.heartbeat_ms
+            .saturating_mul(self.miss_threshold.max(1) as u64)
+    }
+}
+
+/// One member as the membership table sees it.
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// Where the backend listens.
+    pub addr: SocketAddr,
+    /// The stable id determining the member's ring points.
+    pub ring_id: u32,
+    /// Seeded from the router's configuration (exempt from heartbeat
+    /// eviction) vs. joined at runtime.
+    pub is_static: bool,
+    /// Clock reading when the member (last) joined.
+    pub joined_at_ms: u64,
+    /// Clock reading of the last heartbeat (== join time until the
+    /// first beat arrives).
+    pub last_heartbeat_ms: u64,
+}
+
+/// A membership transition, recorded for tests and `/members` reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A member registered (`rejoin` = the address was already known).
+    Joined {
+        /// The member's address.
+        addr: SocketAddr,
+        /// The ring id it was assigned.
+        ring_id: u32,
+        /// Whether the address was already a live member.
+        rejoin: bool,
+    },
+    /// A member deregistered gracefully (`DELETE /members/{addr}`).
+    Left {
+        /// The departed member's address.
+        addr: SocketAddr,
+    },
+    /// A dynamic member blew through the heartbeat deadline.
+    Evicted {
+        /// The evicted member's address.
+        addr: SocketAddr,
+        /// How long it had been silent, in clock milliseconds.
+        silent_ms: u64,
+    },
+}
+
+struct Inner {
+    members: Vec<MemberInfo>,
+    next_ring_id: u32,
+    events: Vec<MembershipEvent>,
+}
+
+/// The membership table: live members in stable join order, plus the
+/// event log of every transition.
+pub struct Membership {
+    clock: Arc<dyn Clock>,
+    config: MembershipConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Membership {
+    /// An empty table reading time from `clock`.
+    pub fn new(config: MembershipConfig, clock: Arc<dyn Clock>) -> Membership {
+        Membership {
+            clock,
+            config,
+            inner: Mutex::new(Inner {
+                members: Vec::new(),
+                next_ring_id: 0,
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configured cadence/tolerance.
+    pub fn config(&self) -> MembershipConfig {
+        self.config
+    }
+
+    /// The injected clock's current reading.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Registers `addrs` as static members (ring ids in order, starting
+    /// from the current counter). Called once by the router at startup.
+    pub fn seed_static(&self, addrs: &[SocketAddr]) {
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock().unwrap();
+        for &addr in addrs {
+            let ring_id = inner.next_ring_id;
+            inner.next_ring_id += 1;
+            inner.members.push(MemberInfo {
+                addr,
+                ring_id,
+                is_static: true,
+                joined_at_ms: now,
+                last_heartbeat_ms: now,
+            });
+        }
+    }
+
+    /// Registers a dynamic member (idempotent: re-joining an address
+    /// that is already a member refreshes its heartbeat and returns the
+    /// existing ring id). Returns `(ring_id, rejoin)`.
+    pub fn join(&self, addr: SocketAddr) -> (u32, bool) {
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(m) = inner.members.iter_mut().find(|m| m.addr == addr) {
+            m.last_heartbeat_ms = now;
+            let ring_id = m.ring_id;
+            inner.events.push(MembershipEvent::Joined {
+                addr,
+                ring_id,
+                rejoin: true,
+            });
+            return (ring_id, true);
+        }
+        let ring_id = inner.next_ring_id;
+        inner.next_ring_id += 1;
+        inner.members.push(MemberInfo {
+            addr,
+            ring_id,
+            is_static: false,
+            joined_at_ms: now,
+            last_heartbeat_ms: now,
+        });
+        inner.events.push(MembershipEvent::Joined {
+            addr,
+            ring_id,
+            rejoin: false,
+        });
+        (ring_id, false)
+    }
+
+    /// Records a heartbeat; `false` means the address is not a member
+    /// (evicted or never joined) and must re-join.
+    pub fn heartbeat(&self, addr: SocketAddr) -> bool {
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock().unwrap();
+        match inner.members.iter_mut().find(|m| m.addr == addr) {
+            Some(m) => {
+                m.last_heartbeat_ms = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a member gracefully; `false` when the address is unknown.
+    pub fn leave(&self, addr: SocketAddr) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.members.len();
+        inner.members.retain(|m| m.addr != addr);
+        let removed = inner.members.len() < before;
+        if removed {
+            inner.events.push(MembershipEvent::Left { addr });
+        }
+        removed
+    }
+
+    /// Evicts every dynamic member whose silence exceeds the deadline,
+    /// returning the evicted members. Static members are exempt.
+    pub fn evict_overdue(&self) -> Vec<MemberInfo> {
+        let now = self.clock.now_ms();
+        let deadline = self.config.deadline_ms();
+        let mut inner = self.inner.lock().unwrap();
+        let mut evicted = Vec::new();
+        inner.members.retain(|m| {
+            let silent = now.saturating_sub(m.last_heartbeat_ms);
+            if !m.is_static && silent > deadline {
+                evicted.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for m in &evicted {
+            let silent_ms = now.saturating_sub(m.last_heartbeat_ms);
+            inner.events.push(MembershipEvent::Evicted {
+                addr: m.addr,
+                silent_ms,
+            });
+        }
+        evicted
+    }
+
+    /// The live members in stable join order.
+    pub fn members(&self) -> Vec<MemberInfo> {
+        self.inner.lock().unwrap().members.clone()
+    }
+
+    /// Live member count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().members.len()
+    }
+
+    /// Whether the table has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the transition log (joins, leaves, evictions, in
+    /// order).
+    pub fn events(&self) -> Vec<MembershipEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn table(clock: &Arc<ManualClock>) -> Membership {
+        Membership::new(
+            MembershipConfig {
+                heartbeat_ms: 100,
+                miss_threshold: 3,
+            },
+            Arc::clone(clock) as Arc<dyn Clock>,
+        )
+    }
+
+    #[test]
+    fn join_is_idempotent_and_ids_are_stable() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        let (a, rejoin_a) = m.join(addr(1000));
+        let (b, _) = m.join(addr(1001));
+        assert!(!rejoin_a);
+        assert_ne!(a, b);
+        let (a2, rejoin) = m.join(addr(1000));
+        assert!(rejoin);
+        assert_eq!(a, a2, "re-join keeps the ring id");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn silent_members_are_evicted_exactly_past_the_deadline() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.join(addr(1000));
+        m.join(addr(1001));
+        clock.advance(250);
+        m.heartbeat(addr(1001)); // 1001 beats, 1000 stays silent
+        clock.advance(100); // 1000 silent for 350 > 300 = 100*3
+        let evicted = m.evict_overdue();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].addr, addr(1000));
+        assert_eq!(m.len(), 1);
+        assert!(m.evict_overdue().is_empty(), "eviction is one-shot");
+        // the survivor dies too once it goes silent past the deadline
+        clock.advance(301);
+        assert_eq!(m.evict_overdue().len(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn static_members_never_heartbeat_and_never_evict() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.seed_static(&[addr(1), addr(2)]);
+        clock.advance(1_000_000);
+        assert!(m.evict_overdue().is_empty());
+        assert_eq!(m.len(), 2);
+        let infos = m.members();
+        assert!(infos.iter().all(|i| i.is_static));
+        assert_eq!(
+            infos.iter().map(|i| i.ring_id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn heartbeats_defer_eviction_and_unknown_addresses_report_false() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.join(addr(1000));
+        for _ in 0..10 {
+            clock.advance(200); // inside the 300 ms deadline every time
+            assert!(m.heartbeat(addr(1000)));
+            assert!(m.evict_overdue().is_empty());
+        }
+        assert!(!m.heartbeat(addr(9999)), "unknown members must re-join");
+    }
+
+    #[test]
+    fn leave_removes_and_logs() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.join(addr(1000));
+        assert!(m.leave(addr(1000)));
+        assert!(!m.leave(addr(1000)));
+        let events = m.events();
+        assert_eq!(
+            events,
+            vec![
+                MembershipEvent::Joined {
+                    addr: addr(1000),
+                    ring_id: 0,
+                    rejoin: false
+                },
+                MembershipEvent::Left { addr: addr(1000) },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejoin_after_eviction_gets_a_fresh_ring_id() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        let (first, _) = m.join(addr(1000));
+        clock.advance(1000);
+        assert_eq!(m.evict_overdue().len(), 1);
+        let (second, rejoin) = m.join(addr(1000));
+        assert!(!rejoin, "an evicted member is a stranger again");
+        assert_ne!(first, second);
+    }
+}

@@ -45,31 +45,47 @@ fn vnode_point(node: u32, vnode: u32) -> u64 {
     mix(((node as u64 + 1) << 32) | vnode as u64)
 }
 
-/// A consistent-hash ring over `N` backends (identified by index
-/// `0..N`).
+/// A consistent-hash ring over `N` backends. Each backend is identified
+/// by a **ring id** — a stable `u32` that determines its points on the
+/// circle — and addressed by its *position* in the id list handed to the
+/// constructor. [`HashRing::new`] uses ids `0..N` (position == id); under
+/// dynamic membership the router assigns each member a ring id at join
+/// that it keeps for life, so evicting a member never relocates the
+/// points of survivors and only the dead member's ~`1/N` of the keyspace
+/// moves.
 #[derive(Debug, Clone)]
 pub struct HashRing {
-    /// `(point, backend)` sorted by point.
+    /// `(point, position-in-ids)` sorted by point.
     points: Vec<(u64, u32)>,
     nodes: usize,
     vnodes: usize,
 }
 
 impl HashRing {
-    /// A ring over `nodes` backends with `vnodes` points each.
-    /// `nodes == 0` is a valid (empty) ring that places nothing.
+    /// A ring over `nodes` backends with `vnodes` points each, using
+    /// ring ids `0..nodes`. `nodes == 0` is a valid (empty) ring that
+    /// places nothing.
     pub fn new(nodes: usize, vnodes: usize) -> HashRing {
+        let ids: Vec<u32> = (0..nodes as u32).collect();
+        HashRing::with_ids(&ids, vnodes)
+    }
+
+    /// A ring whose `i`-th backend owns the points of ring id `ids[i]`.
+    /// Ids must be distinct; [`replicas`](HashRing::replicas) returns
+    /// positions into `ids`, so callers map positions back to whatever
+    /// the ids identify (the router: its live-member vector).
+    pub fn with_ids(ids: &[u32], vnodes: usize) -> HashRing {
         let vnodes = vnodes.max(1);
-        let mut points = Vec::with_capacity(nodes * vnodes);
-        for node in 0..nodes as u32 {
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for (pos, &id) in ids.iter().enumerate() {
             for v in 0..vnodes as u32 {
-                points.push((vnode_point(node, v), node));
+                points.push((vnode_point(id, v), pos as u32));
             }
         }
         points.sort_unstable();
         HashRing {
             points,
-            nodes,
+            nodes: ids.len(),
             vnodes,
         }
     }
@@ -161,5 +177,42 @@ mod tests {
         for i in 0..20 {
             assert_eq!(ring.primary(&format!("g{i}")), Some(0));
         }
+    }
+
+    #[test]
+    fn with_ids_matches_new_for_the_identity_assignment() {
+        let a = HashRing::new(4, 32);
+        let b = HashRing::with_ids(&[0, 1, 2, 3], 32);
+        for i in 0..50 {
+            let key = format!("g{i}");
+            assert_eq!(a.replicas(&key, 2), b.replicas(&key, 2));
+        }
+    }
+
+    #[test]
+    fn removing_a_middle_member_only_moves_its_keys() {
+        // members keep their ring ids across the removal of id 1, so a
+        // key either keeps its owner or moves off the removed member
+        let before = HashRing::with_ids(&[0, 1, 2, 3], 64);
+        let after = HashRing::with_ids(&[0, 2, 3], 64);
+        let survivor_of = |pos_before: usize| match pos_before {
+            0 => Some(0usize),
+            1 => None,
+            n => Some(n - 1), // ids 2,3 shift down one position
+        };
+        let mut moved = 0usize;
+        for i in 0..2000 {
+            let key = format!("g{i}");
+            let old = before.primary(&key).unwrap();
+            let new = after.primary(&key).unwrap();
+            match survivor_of(old) {
+                Some(same) => assert_eq!(new, same, "key {key} reshuffled between survivors"),
+                None => moved += 1, // lived on the removed member
+            }
+        }
+        assert!(
+            (0.10..=0.40).contains(&(moved as f64 / 2000.0)),
+            "expected ~1/4 of keys to move, saw {moved}/2000"
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! The cluster front end: a router that places graphs on backends via
 //! the consistent-hash ring, forwards requests over the service's
-//! blocking client, fails over to replicas when a backend dies, and
-//! warms recovering replicas from a healthy peer.
+//! blocking client, fails over to replicas when a backend dies, warms
+//! recovering replicas from healthy peers — and, since the membership
+//! subsystem, grows and shrinks its backend set at runtime.
 //!
 //! ```text
 //!                        ┌────────────┐   /healthz poll + warm-up
@@ -11,8 +12,8 @@
 //!            │           ┌────────────┐               │
 //!            ├──────────►│ backend 1  │◄──────────────┤
 //!            │           └────────────┘               │
-//!            │           ┌────────────┐               │
-//!            └──────────►│ backend 2  │◄──────────────┘
+//!            │           ┌────────────┐     POST /members + heartbeats
+//!            └──────────►│ backend 2  │  (antruss serve --join)
 //!                        └────────────┘
 //! ```
 //!
@@ -23,15 +24,27 @@
 //!   unhealthy and fail over to the next replica;
 //! * graph lifecycle (`POST /graphs`, `DELETE /graphs/{name}`,
 //!   `POST /graphs/{name}/mutate`) fans out to **every** replica of the
-//!   graph, which is what keeps replicas interchangeable and kills
-//!   cached outcomes everywhere the moment a graph changes;
-//! * `/cache/purge` fans out to every backend;
-//! * `/graphs` merges every healthy backend's catalog; `/solvers` and
-//!   unknown graph reads proxy to any healthy backend.
+//!   graph *concurrently* (scatter-gather over the pooled connections:
+//!   the operation costs ~the slowest replica, not the sum), which is
+//!   what keeps replicas interchangeable and kills cached outcomes
+//!   everywhere the moment a graph changes. Every replica is attempted
+//!   even when an earlier one fails; per-replica statuses ride in
+//!   `x-antruss-replicas`;
+//! * `/cache/purge` fans out to every backend, concurrently;
+//! * `/graphs` merges every healthy backend's catalog (fetched
+//!   concurrently); `/solvers` and unknown graph reads proxy to any
+//!   healthy backend;
+//! * `POST /members`, `POST /members/heartbeat`, `GET /members` and
+//!   `DELETE /members/{addr}` are the membership protocol: external
+//!   backends join, heartbeat, and leave at runtime; a dynamic member
+//!   that misses its heartbeat deadline is evicted and its graphs
+//!   re-placed onto the survivors (re-warmed from surviving replicas
+//!   via the dump/load path, with `/cache/dump` pulled in pages so a
+//!   big cache is never buffered whole on the router).
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -40,6 +53,7 @@ use antruss_service::http::{Request, Response};
 use antruss_service::server::{resolve_threads, run_connection, subresource, AcceptPool};
 use antruss_service::{canonical_key, Client, ClientResponse};
 
+use crate::membership::{Clock, Membership, MembershipConfig, SystemClock};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
 /// Tunables of one router instance.
@@ -49,7 +63,9 @@ pub struct RouterConfig {
     pub addr: String,
     /// Router worker threads (0 = one per available core, capped at 8).
     pub threads: usize,
-    /// Backend addresses, in shard order (index = shard id).
+    /// Seed backend addresses (static members: health-checked but never
+    /// heartbeat-evicted). May be empty — external backends can join at
+    /// runtime via `POST /members`.
     pub backends: Vec<SocketAddr>,
     /// Replica factor R: how many backends own each graph.
     pub replication: usize,
@@ -57,15 +73,22 @@ pub struct RouterConfig {
     pub vnodes: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
-    /// Health-check cadence, in milliseconds (0 disables the checker —
-    /// failover then relies purely on forward errors, and recovered
-    /// backends are never warmed).
+    /// Health-check + membership-tick cadence, in milliseconds (0
+    /// disables the background thread — failover then relies purely on
+    /// forward errors, nothing is warmed automatically, and evictions
+    /// only happen when [`Router::tick`] is called by hand, which is
+    /// exactly what the deterministic test harness wants).
     pub health_interval_ms: u64,
+    /// Expected heartbeat cadence for dynamic members, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Missed-heartbeat intervals tolerated before eviction.
+    pub miss_threshold: u32,
 }
 
 impl Default for RouterConfig {
     /// Loopback ephemeral port, R=2, 256 vnodes, 8 MiB bodies, 500 ms
-    /// health cadence — and no backends, which the caller must supply.
+    /// health cadence, 1 s heartbeats with a 3-miss eviction threshold —
+    /// and no backends, which the caller supplies (or lets join).
     fn default() -> RouterConfig {
         RouterConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -75,19 +98,40 @@ impl Default for RouterConfig {
             vnodes: DEFAULT_VNODES,
             max_body_bytes: 8 * 1024 * 1024,
             health_interval_ms: 500,
+            heartbeat_ms: 1000,
+            miss_threshold: 3,
         }
     }
 }
 
 /// Idle keep-alive connections kept per backend. Workers check one out
 /// per forward and return it on success, so the hot path pays no TCP
-/// handshake (and no accept-poll latency on the backend side).
-const POOL_PER_BACKEND: usize = 8;
+/// handshake (and no accept-poll latency on the backend side). Kept
+/// deliberately small: a backend worker is dedicated to a connection
+/// for as long as it stays open, so every *idle* pooled connection pins
+/// a backend worker until the backend's idle deadline reaps it —
+/// over-pooling would starve small worker pools outright.
+const POOL_PER_BACKEND: usize = 4;
+
+/// Pooled connections idle longer than this are dropped at checkout
+/// instead of reused. Closing them promptly releases the backend worker
+/// each open connection pins, long before the backend's own 30 s idle
+/// deadline would — without this, a burst that opens more connections
+/// to a backend than it has workers can leave a later request queued
+/// behind an *idle* connection for the full deadline.
+const POOL_IDLE_MAX: Duration = Duration::from_secs(2);
+
+/// `/cache/dump` page size during warm-up replay: peers are drained
+/// `offset`/`limit` page by page, so the router holds at most one page
+/// of a peer's cache in memory instead of the whole dump.
+const DUMP_PAGE: usize = 64;
 
 /// Live view of one backend.
 pub struct BackendState {
-    /// The backend's address (index in the vector = shard id).
+    /// The backend's address.
     pub addr: SocketAddr,
+    /// The member's stable ring id (surfaced as `x-antruss-shard`).
+    pub ring_id: u32,
     /// Cleared on transport failure or failed health check; set after a
     /// successful check (plus warm-up when it was down).
     pub healthy: AtomicBool,
@@ -97,14 +141,16 @@ pub struct BackendState {
     pub failovers: AtomicU64,
     /// Cache entries pushed into this backend by warm-up.
     pub warmed: AtomicU64,
-    /// Idle keep-alive connections (checked out per forward).
-    pool: Mutex<Vec<Client>>,
+    /// Idle keep-alive connections (checked out per forward), newest
+    /// last, each stamped with when it went idle.
+    pool: Mutex<Vec<(Client, Instant)>>,
 }
 
 impl BackendState {
-    fn new(addr: SocketAddr) -> BackendState {
+    fn new(addr: SocketAddr, ring_id: u32) -> BackendState {
         BackendState {
             addr,
+            ring_id,
             healthy: AtomicBool::new(true),
             forwarded: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
@@ -114,18 +160,46 @@ impl BackendState {
     }
 
     fn checkout(&self) -> Client {
-        self.pool
-            .lock()
-            .unwrap()
-            .pop()
+        let mut pool = self.pool.lock().unwrap();
+        // retire EVERY over-age connection, not just the newest —
+        // entries at the bottom of this LIFO would otherwise sit idle
+        // forever, pinning a backend worker each (the pool holds at
+        // most POOL_PER_BACKEND entries, so the sweep is trivial)
+        pool.retain(|(_, idle_since)| idle_since.elapsed() < POOL_IDLE_MAX);
+        pool.pop()
+            .map(|(client, _)| client)
             .unwrap_or_else(|| Client::new(self.addr))
     }
 
     fn checkin(&self, client: Client) {
         let mut pool = self.pool.lock().unwrap();
         if pool.len() < POOL_PER_BACKEND {
-            pool.push(client);
+            pool.push((client, Instant::now()));
         }
+    }
+}
+
+/// An immutable snapshot of the live membership: the placement ring plus
+/// the member states, in stable membership order. Requests operate on
+/// one snapshot end to end; membership changes swap in a new one.
+pub struct RouterView {
+    /// The placement ring over the live members' ring ids.
+    pub ring: HashRing,
+    /// Per-member health and counters (position matches the ring's).
+    pub backends: Vec<Arc<BackendState>>,
+}
+
+impl RouterView {
+    /// The positions (into [`RouterView::backends`]) owning `graph`, in
+    /// preference order.
+    pub fn placement(&self, graph: &str, replication: usize) -> Vec<usize> {
+        self.ring
+            .replicas(&canonical_key(graph), replication.max(1))
+    }
+
+    /// The position of the member at `addr`, if it is live.
+    pub fn position_of(&self, addr: SocketAddr) -> Option<usize> {
+        self.backends.iter().position(|b| b.addr == addr)
     }
 }
 
@@ -133,10 +207,9 @@ impl BackendState {
 pub struct RouterState {
     /// The configuration the router started with.
     pub config: RouterConfig,
-    /// The placement ring over `config.backends`.
-    pub ring: HashRing,
-    /// Per-backend health and counters, indexed by shard id.
-    pub backends: Vec<BackendState>,
+    /// The membership table (joins, heartbeats, eviction policy).
+    pub membership: Membership,
+    view: RwLock<Arc<RouterView>>,
     /// Requests accepted (any route, any status).
     pub requests: AtomicU64,
     /// Responses with a 4xx/5xx status.
@@ -144,39 +217,102 @@ pub struct RouterState {
     /// Total failover events (a replica answered after an earlier one
     /// could not).
     pub failovers: AtomicU64,
-    /// Graphs re-registered into recovering backends by warm-up.
+    /// Graphs re-registered into recovering/joining backends by warm-up.
     pub warmed_graphs: AtomicU64,
+    /// Dynamic members registered over the router's lifetime.
+    pub joins: AtomicU64,
+    /// Dynamic members evicted for missing heartbeats.
+    pub evictions: AtomicU64,
     /// Flipped once; the acceptor, workers and health thread observe it.
     pub shutdown: AtomicBool,
     started: Instant,
 }
 
 impl RouterState {
-    /// Fresh state for `config`.
+    /// Fresh state for `config`, on the wall clock.
     pub fn new(config: RouterConfig) -> RouterState {
-        let ring = HashRing::new(config.backends.len(), config.vnodes);
-        let backends = config
-            .backends
-            .iter()
-            .map(|&addr| BackendState::new(addr))
-            .collect();
-        RouterState {
-            ring,
-            backends,
+        RouterState::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Fresh state reading time from `clock` (the deterministic test
+    /// harness injects a [`crate::membership::ManualClock`] here).
+    pub fn with_clock(config: RouterConfig, clock: Arc<dyn Clock>) -> RouterState {
+        let membership = Membership::new(
+            MembershipConfig {
+                heartbeat_ms: config.heartbeat_ms,
+                miss_threshold: config.miss_threshold,
+            },
+            clock,
+        );
+        membership.seed_static(&config.backends);
+        let state = RouterState {
+            membership,
+            view: RwLock::new(Arc::new(RouterView {
+                ring: HashRing::new(0, config.vnodes),
+                backends: Vec::new(),
+            })),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             warmed_graphs: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             config,
-        }
+        };
+        state.rebuild_view();
+        state
     }
 
-    /// The replica shard ids owning `graph`, in preference order.
+    /// The current membership snapshot.
+    pub fn view(&self) -> Arc<RouterView> {
+        Arc::clone(&self.view.read().unwrap())
+    }
+
+    /// Rebuilds the snapshot from the membership table, carrying over
+    /// the state (health flag, counters, connection pool) of members
+    /// that persist across the change. The write lock is held across
+    /// the read-compute-write, so two concurrent membership changes can
+    /// never publish a view computed from a stale member list (which
+    /// would silently drop the later change from routing).
+    pub fn rebuild_view(&self) {
+        self.rebuild_view_with(None);
+    }
+
+    /// Like [`RouterState::rebuild_view`], but a member appearing in
+    /// the view for the first time at `join_unhealthy` starts with
+    /// `healthy = false` — it joins the ring immediately but healthy
+    /// replicas are preferred over it until its warm-up finishes, so a
+    /// registered graph never 404s off a not-yet-warmed newcomer.
+    pub fn rebuild_view_with(&self, join_unhealthy: Option<SocketAddr>) {
+        let mut guard = self.view.write().unwrap();
+        let members = self.membership.members();
+        let old = Arc::clone(&guard);
+        let backends: Vec<Arc<BackendState>> = members
+            .iter()
+            .map(|m| {
+                old.backends
+                    .iter()
+                    .find(|b| b.addr == m.addr && b.ring_id == m.ring_id)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        let b = BackendState::new(m.addr, m.ring_id);
+                        if join_unhealthy == Some(m.addr) {
+                            b.healthy.store(false, Ordering::Relaxed);
+                        }
+                        Arc::new(b)
+                    })
+            })
+            .collect();
+        let ids: Vec<u32> = members.iter().map(|m| m.ring_id).collect();
+        let ring = HashRing::with_ids(&ids, self.config.vnodes);
+        *guard = Arc::new(RouterView { ring, backends });
+    }
+
+    /// The positions owning `graph` in the current snapshot.
     pub fn placement(&self, graph: &str) -> Vec<usize> {
-        self.ring
-            .replicas(&canonical_key(graph), self.config.replication.max(1))
+        self.view().placement(graph, self.config.replication)
     }
 }
 
@@ -207,9 +343,32 @@ fn forward(
     result
 }
 
-/// Converts a backend reply into a router reply, tagging the shard that
-/// answered and preserving the cache-disposition header.
-fn relay(resp: &ClientResponse, shard: usize) -> Response {
+/// Runs `op(0..n)` concurrently (one scoped thread per task beyond the
+/// first) and returns the results **in input order** — the
+/// scatter-gather primitive behind every replica fan-out. With `n <= 1`
+/// it runs inline, so single-replica operations pay no thread cost.
+fn scatter<R: Send>(n: usize, op: impl Fn(usize) -> R + Send + Sync) -> Vec<R> {
+    if n <= 1 {
+        return (0..n).map(op).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    thread::scope(|s| {
+        let op = &op;
+        // tasks 1..n on spawned threads, task 0 on the caller's thread
+        // (which would otherwise idle in join)
+        let handles: Vec<_> = (1..n).map(|i| s.spawn(move || op(i))).collect();
+        out[0] = Some(op(0));
+        for (slot, h) in out[1..].iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("scatter worker panicked"));
+        }
+    });
+    out.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Converts a backend reply into a router reply, tagging the ring id of
+/// the member that answered and preserving the cache-disposition header.
+fn relay(resp: &ClientResponse, ring_id: u32) -> Response {
     let content_type = resp.header("content-type").unwrap_or("application/json");
     let mut out = if content_type.starts_with("text/plain") {
         Response::text(resp.status, resp.body.clone())
@@ -219,7 +378,7 @@ fn relay(resp: &ClientResponse, shard: usize) -> Response {
     if let Some(v) = resp.header("x-antruss-cache") {
         out = out.with_header("x-antruss-cache", v);
     }
-    out.with_header("x-antruss-shard", &shard.to_string())
+    out.with_header("x-antruss-shard", &ring_id.to_string())
 }
 
 /// Routes one parsed request.
@@ -237,6 +396,12 @@ fn route(state: &RouterState, req: &Request) -> Response {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
         ("GET", "/ring") => ring_info(state, req),
+        ("GET", "/members") => members_list(state),
+        ("POST", "/members") => members_join(state, req),
+        ("POST", "/members/heartbeat") => members_heartbeat(state, req),
+        ("DELETE", p) if p.strip_prefix("/members/").is_some_and(|a| !a.is_empty()) => {
+            members_leave(state, p.strip_prefix("/members/").unwrap())
+        }
         ("GET", "/solvers") => proxy_any(state, "GET", "/solvers", None),
         ("GET", "/graphs") => merged_graphs(state),
         ("POST", "/solve") => route_solve(state, req),
@@ -256,29 +421,37 @@ fn route(state: &RouterState, req: &Request) -> Response {
 }
 
 fn healthz(state: &RouterState) -> Response {
-    let mut body = String::from("{\"status\":");
-    let healthy = state
+    let view = state.view();
+    let healthy = view
         .backends
         .iter()
         .filter(|b| b.healthy.load(Ordering::Relaxed))
         .count();
-    body.push_str(if healthy > 0 { "\"ok\"" } else { "\"down\"" });
+    // a member-less router is still a healthy router: it is up and
+    // waiting for backends to join
+    let ok = healthy > 0 || view.backends.is_empty();
+    let mut body = String::from("{\"status\":");
+    body.push_str(if ok { "\"ok\"" } else { "\"down\"" });
     body.push_str(",\"backends\":[");
-    for (i, b) in state.backends.iter().enumerate() {
+    for (i, b) in view.backends.iter().enumerate() {
         if i > 0 {
             body.push(',');
         }
         body.push_str(&format!(
-            "{{\"shard\":{i},\"addr\":{},\"healthy\":{}}}",
+            "{{\"shard\":{},\"addr\":{},\"healthy\":{}}}",
+            b.ring_id,
             json::quoted(&b.addr.to_string()),
             b.healthy.load(Ordering::Relaxed)
         ));
     }
     body.push_str("]}");
-    Response::json(if healthy > 0 { 200 } else { 503 }, body)
+    Response::json(if ok { 200 } else { 503 }, body)
 }
 
 fn render_metrics(state: &RouterState) -> String {
+    let view = state.view();
+    let members = state.membership.members();
+    let dynamic = members.iter().filter(|m| !m.is_static).count();
     let mut out = String::with_capacity(768);
     let mut line = |name: &str, v: String| {
         out.push_str(name);
@@ -306,13 +479,22 @@ fn render_metrics(state: &RouterState) -> String {
         "antruss_router_warmed_graphs_total",
         state.warmed_graphs.load(Ordering::Relaxed).to_string(),
     );
-    line("antruss_router_backends", state.backends.len().to_string());
+    line("antruss_router_backends", view.backends.len().to_string());
+    line("antruss_router_dynamic_members", dynamic.to_string());
+    line(
+        "antruss_router_joins_total",
+        state.joins.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_evictions_total",
+        state.evictions.load(Ordering::Relaxed).to_string(),
+    );
     line(
         "antruss_router_replication",
         state.config.replication.to_string(),
     );
-    for (i, b) in state.backends.iter().enumerate() {
-        let tag = format!("{{shard=\"{i}\",addr=\"{}\"}}", b.addr);
+    for b in &view.backends {
+        let tag = format!("{{shard=\"{}\",addr=\"{}\"}}", b.ring_id, b.addr);
         line(
             &format!("antruss_router_shard_healthy{tag}"),
             (b.healthy.load(Ordering::Relaxed) as u32).to_string(),
@@ -333,52 +515,199 @@ fn render_metrics(state: &RouterState) -> String {
     out
 }
 
-/// `GET /ring?graph=N` — where a graph lives (debugging, tests, ops).
+/// `GET /ring?graph=N` — where a graph lives; `GET /ring` without a
+/// graph — the whole membership as the ring sees it (debugging, tests,
+/// ops, and the acceptance check that a joined backend "appears in
+/// /ring").
 fn ring_info(state: &RouterState, req: &Request) -> Response {
+    let view = state.view();
     let Some(graph) = req.query_param("graph") else {
-        return Response::error(400, "missing ?graph= query parameter");
+        let members = state.membership.members();
+        let mut body = String::from("{\"members\":[");
+        for (i, m) in members.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let healthy = view
+                .position_of(m.addr)
+                .map(|p| view.backends[p].healthy.load(Ordering::Relaxed))
+                .unwrap_or(false);
+            body.push_str(&format!(
+                "{{\"shard\":{},\"addr\":{},\"static\":{},\"healthy\":{healthy}}}",
+                m.ring_id,
+                json::quoted(&m.addr.to_string()),
+                m.is_static
+            ));
+        }
+        body.push_str(&format!(
+            "],\"replication\":{},\"vnodes\":{}}}",
+            state.config.replication, state.config.vnodes
+        ));
+        return Response::json(200, body);
     };
     let key = canonical_key(graph);
-    let replicas = state.placement(graph);
+    let replicas = view.placement(graph, state.config.replication);
     let mut body = format!("{{\"graph\":{},\"replicas\":[", json::quoted(&key));
     for (i, r) in replicas.iter().enumerate() {
         if i > 0 {
             body.push(',');
         }
         body.push_str(&format!(
-            "{{\"shard\":{r},\"addr\":{}}}",
-            json::quoted(&state.backends[*r].addr.to_string())
+            "{{\"shard\":{},\"addr\":{}}}",
+            view.backends[*r].ring_id,
+            json::quoted(&view.backends[*r].addr.to_string())
         ));
     }
     body.push_str("]}");
     Response::json(200, body)
 }
 
+/// Parses the `{"addr":"host:port"}` body of the membership endpoints.
+fn member_addr(req: &Request) -> Result<SocketAddr, Response> {
+    let Some(text) = req.body_utf8() else {
+        return Err(Response::error(400, "body is not UTF-8"));
+    };
+    let parsed = json::parse(text).map_err(|e| Response::error(400, &e.to_string()))?;
+    let Some(addr) = parsed.get("addr").and_then(Value::as_str) else {
+        return Err(Response::error(400, "missing string field \"addr\""));
+    };
+    addr.parse::<SocketAddr>()
+        .map_err(|e| Response::error(400, &format!("bad member address {addr:?}: {e}")))
+}
+
+/// `POST /members` — an external backend registers itself. The member
+/// is placed on the ring immediately and warmed synchronously (purge →
+/// graph copies → streamed cache replay), so by the time the join
+/// response arrives the new backend can serve its share of the
+/// keyspace. Idempotent: a re-join refreshes the heartbeat and keeps
+/// the ring id.
+fn members_join(state: &RouterState, req: &Request) -> Response {
+    let addr = match member_addr(req) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    let (ring_id, rejoin) = state.membership.join(addr);
+    if !rejoin {
+        state.joins.fetch_add(1, Ordering::Relaxed);
+    }
+    // the newcomer goes on the ring immediately but unhealthy, so
+    // healthy replicas out-rank it until it is warmed — a solve routed
+    // during the warm-up window fails over instead of 404ing off the
+    // still-empty backend
+    state.rebuild_view_with(Some(addr));
+    // a joining backend's state is unknown (fresh process, or restarted
+    // with a stale cache): purge it and rebuild from the live peers
+    let (graphs, entries) = warm_backend(state, addr, true);
+    let view = state.view();
+    if let Some(idx) = view.position_of(addr) {
+        view.backends[idx].healthy.store(true, Ordering::Relaxed);
+    }
+    let cfg = state.membership.config();
+    Response::json(
+        if rejoin { 200 } else { 201 },
+        format!(
+            "{{\"addr\":{},\"shard\":{ring_id},\"rejoin\":{rejoin},\
+             \"heartbeat_ms\":{},\"miss_threshold\":{},\
+             \"warmed_graphs\":{graphs},\"warmed_entries\":{entries}}}",
+            json::quoted(&addr.to_string()),
+            cfg.heartbeat_ms,
+            cfg.miss_threshold
+        ),
+    )
+}
+
+/// `POST /members/heartbeat` — a dynamic member proves liveness. 404
+/// tells an evicted (or never-joined) member to re-join.
+fn members_heartbeat(state: &RouterState, req: &Request) -> Response {
+    let addr = match member_addr(req) {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    if state.membership.heartbeat(addr) {
+        Response::json(200, "{\"status\":\"ok\"}")
+    } else {
+        Response::error(404, &format!("{addr} is not a member; re-join"))
+    }
+}
+
+/// `GET /members` — the membership table with per-member silence.
+fn members_list(state: &RouterState) -> Response {
+    let view = state.view();
+    let now = state.membership.now_ms();
+    let cfg = state.membership.config();
+    let mut body = format!(
+        "{{\"heartbeat_ms\":{},\"miss_threshold\":{},\"members\":[",
+        cfg.heartbeat_ms, cfg.miss_threshold
+    );
+    for (i, m) in state.membership.members().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let healthy = view
+            .position_of(m.addr)
+            .map(|p| view.backends[p].healthy.load(Ordering::Relaxed))
+            .unwrap_or(false);
+        body.push_str(&format!(
+            "{{\"addr\":{},\"shard\":{},\"static\":{},\"healthy\":{healthy},\
+             \"silent_ms\":{}}}",
+            json::quoted(&m.addr.to_string()),
+            m.ring_id,
+            m.is_static,
+            now.saturating_sub(m.last_heartbeat_ms)
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `DELETE /members/{addr}` — graceful leave: the member comes off the
+/// ring and its graphs are re-placed onto (and re-warmed on) the
+/// survivors before the response returns.
+fn members_leave(state: &RouterState, raw: &str) -> Response {
+    let Ok(addr) = raw.parse::<SocketAddr>() else {
+        return Response::error(400, &format!("bad member address {raw:?}"));
+    };
+    if !state.membership.leave(addr) {
+        return Response::error(404, &format!("{addr} is not a member"));
+    }
+    state.rebuild_view();
+    let (graphs, entries) = rebalance(state);
+    Response::json(
+        200,
+        format!(
+            "{{\"left\":{},\"replaced_graphs\":{graphs},\"replayed_entries\":{entries}}}",
+            json::quoted(&addr.to_string())
+        ),
+    )
+}
+
 /// Forwards to the first healthy backend (any will do — e.g. `/solvers`
 /// is identical everywhere).
 fn proxy_any(state: &RouterState, method: &str, path: &str, body: Option<&[u8]>) -> Response {
-    let order: Vec<usize> = (0..state.backends.len()).collect();
-    try_in_order(state, &order, method, path, body)
+    let view = state.view();
+    let order: Vec<usize> = (0..view.backends.len()).collect();
+    try_in_order(state, &view, &order, method, path, body)
 }
 
 /// Forwards to `order`'s backends until one answers; transport failures
 /// mark the backend unhealthy and move on.
 fn try_in_order(
     state: &RouterState,
+    view: &RouterView,
     order: &[usize],
     method: &str,
     path: &str,
     body: Option<&[u8]>,
 ) -> Response {
     let mut skipped_any = false;
-    let mut tried = vec![false; state.backends.len()];
+    let mut tried = vec![false; view.backends.len()];
     // healthy backends first (in the given order), then a last-resort
     // pass over not-yet-tried unhealthy ones — they may have just come
     // back and the health thread not noticed yet
     let passes: [bool; 2] = [true, false];
     for &want_healthy in &passes {
         for &i in order {
-            let b = &state.backends[i];
+            let b = &view.backends[i];
             if tried[i] || b.healthy.load(Ordering::Relaxed) != want_healthy {
                 continue;
             }
@@ -393,7 +722,7 @@ fn try_in_order(
                     if skipped_any {
                         state.failovers.fetch_add(1, Ordering::Relaxed);
                     }
-                    return relay(&resp, i);
+                    return relay(&resp, b.ring_id);
                 }
                 Err(_) => {
                     b.healthy.store(false, Ordering::Relaxed);
@@ -424,11 +753,12 @@ fn route_solve(state: &RouterState, req: &Request) -> Response {
     let Some(graph) = parsed.get("graph").and_then(Value::as_str) else {
         return Response::error(400, "missing string field \"graph\"");
     };
-    let order = state.placement(graph);
+    let view = state.view();
+    let order = view.placement(graph, state.config.replication);
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
-    try_in_order(state, &order, "POST", "/solve", Some(&req.body))
+    try_in_order(state, &view, &order, "POST", "/solve", Some(&req.body))
 }
 
 /// Percent-encodes one path segment or query value for a forwarded
@@ -454,19 +784,21 @@ fn fan_out_register(state: &RouterState, req: &Request) -> Response {
     let Some(name) = req.query_param("name") else {
         return Response::error(400, "missing ?name= query parameter");
     };
-    let order = state.placement(name);
+    let view = state.view();
+    let order = view.placement(name, state.config.replication);
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
     let path = format!("/graphs?name={}", encode_component(name));
-    fan_out(state, &order, "POST", &path, Some(&req.body))
+    fan_out(&view, &order, "POST", &path, Some(&req.body))
 }
 
 /// `POST /graphs/{name}/mutate` and `DELETE /graphs/{name}` — applied on
 /// every replica so they stay interchangeable; each backend purges its
 /// own cached outcomes for the graph as part of the operation.
 fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response {
-    let order = state.placement(name);
+    let view = state.view();
+    let order = view.placement(name, state.config.replication);
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
@@ -478,13 +810,14 @@ fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response 
     } else {
         (None, format!("/graphs/{}", encode_component(name)))
     };
-    fan_out(state, &order, req.method.as_str(), &path, body)
+    fan_out(&view, &order, req.method.as_str(), &path, body)
 }
 
 /// `POST /cache/purge` — every backend drops the named graph's entries
 /// (or everything).
 fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
-    let order: Vec<usize> = (0..state.backends.len()).collect();
+    let view = state.view();
+    let order: Vec<usize> = (0..view.backends.len()).collect();
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
@@ -492,53 +825,66 @@ fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
         Some(g) => format!("/cache/purge?graph={}", encode_component(g)),
         None => "/cache/purge".to_string(),
     };
-    fan_out(state, &order, "POST", &path, None)
+    fan_out(&view, &order, "POST", &path, None)
 }
 
-/// Sends one operation to every listed backend. The relayed reply is the
-/// *best* one (lowest status) — e.g. a register that succeeds on one
-/// replica and 409s on another (already present from a previous life)
-/// reports the success; per-replica results ride in
-/// `x-antruss-replicas`. Backends that fail at transport level are
-/// marked unhealthy and reported as status 0.
+/// Sends one operation to every listed backend **concurrently**
+/// (scatter-gather: total latency ≈ the slowest replica, not the sum).
+/// Every replica is attempted even when others fail, so partial
+/// failures never leave a replica silently unattempted. The relayed
+/// reply is the *best* one (lowest status) — e.g. a register that
+/// succeeds on one replica and 409s on another (already present from a
+/// previous life) reports the success; per-replica results ride in
+/// `x-antruss-replicas` as `shard:status` pairs in placement order.
+/// Backends that fail at transport level are marked unhealthy and
+/// reported as status 0.
 fn fan_out(
-    state: &RouterState,
+    view: &RouterView,
     order: &[usize],
     method: &str,
     path: &str,
     body: Option<&[u8]>,
 ) -> Response {
-    let mut statuses: Vec<(usize, u16)> = Vec::with_capacity(order.len());
-    let mut best: Option<(usize, ClientResponse)> = None;
-    for &i in order {
-        let b = &state.backends[i];
+    let results: Vec<Option<ClientResponse>> = scatter(order.len(), |j| {
+        let b = &view.backends[order[j]];
         match forward(b, method, path, body) {
             Ok(resp) => {
                 b.forwarded.fetch_add(1, Ordering::Relaxed);
-                statuses.push((i, resp.status));
+                Some(resp)
+            }
+            Err(_) => {
+                b.healthy.store(false, Ordering::Relaxed);
+                b.failovers.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    });
+    let mut statuses: Vec<(u32, u16)> = Vec::with_capacity(order.len());
+    let mut best: Option<(u32, &ClientResponse)> = None;
+    for (j, result) in results.iter().enumerate() {
+        let ring_id = view.backends[order[j]].ring_id;
+        match result {
+            Some(resp) => {
+                statuses.push((ring_id, resp.status));
                 let better = match &best {
                     None => true,
                     Some((_, cur)) => resp.status < cur.status,
                 };
                 if better {
-                    best = Some((i, resp));
+                    best = Some((ring_id, resp));
                 }
             }
-            Err(_) => {
-                b.healthy.store(false, Ordering::Relaxed);
-                b.failovers.fetch_add(1, Ordering::Relaxed);
-                statuses.push((i, 0));
-            }
+            None => statuses.push((ring_id, 0)),
         }
     }
     match best {
-        Some((shard, resp)) => {
+        Some((ring_id, resp)) => {
             let detail = statuses
                 .iter()
                 .map(|(i, s)| format!("{i}:{s}"))
                 .collect::<Vec<_>>()
                 .join(",");
-            relay(&resp, shard).with_header("x-antruss-replicas", &detail)
+            relay(resp, ring_id).with_header("x-antruss-replicas", &detail)
         }
         None => Response::error(
             502,
@@ -550,25 +896,32 @@ fn fan_out(
     }
 }
 
-/// `GET /graphs` — the union of every healthy backend's catalog. Shards
-/// hold disjoint (except for replication) registered sets, so the
-/// cluster-level listing is the merge, deduplicated by name; the
-/// dataset-slug section is identical everywhere and taken from the
-/// first backend that answers.
+/// `GET /graphs` — the union of every healthy backend's catalog,
+/// fetched concurrently. Shards hold disjoint (except for replication)
+/// registered sets, so the cluster-level listing is the merge,
+/// deduplicated by name; the dataset-slug section is identical
+/// everywhere and taken from the first backend that answers.
 fn merged_graphs(state: &RouterState) -> Response {
+    let view = state.view();
+    let listings: Vec<Option<String>> = scatter(view.backends.len(), |i| {
+        let b = &view.backends[i];
+        if !b.healthy.load(Ordering::Relaxed) {
+            return None;
+        }
+        match forward(b, "GET", "/graphs", None) {
+            Ok(resp) => Some(resp.body_string()),
+            Err(_) => {
+                b.healthy.store(false, Ordering::Relaxed);
+                None
+            }
+        }
+    });
     let mut by_name: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
     let mut datasets: Option<String> = None;
     let mut answered = 0usize;
-    for b in &state.backends {
-        if !b.healthy.load(Ordering::Relaxed) {
-            continue;
-        }
-        let Ok(resp) = forward(b, "GET", "/graphs", None) else {
-            b.healthy.store(false, Ordering::Relaxed);
-            continue;
-        };
+    for listing in listings.into_iter().flatten() {
         answered += 1;
-        let Ok(parsed) = json::parse(&resp.body_string()) else {
+        let Ok(parsed) = json::parse(&listing) else {
             continue;
         };
         if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
@@ -602,9 +955,9 @@ fn merged_graphs(state: &RouterState) -> Response {
 /// A snapshot of the peers' write activity (mutations applied, entries
 /// purged, catalog size), used to detect graph lifecycle operations
 /// that raced a warm-up pass.
-fn peer_write_fingerprint(state: &RouterState, idx: usize) -> Vec<(usize, u64, u64, u64)> {
+fn peer_write_fingerprint(view: &RouterView, idx: usize) -> Vec<(usize, u64, u64, u64)> {
     let mut out = Vec::new();
-    for (peer_idx, peer) in state.backends.iter().enumerate() {
+    for (peer_idx, peer) in view.backends.iter().enumerate() {
         if peer_idx == idx || !peer.healthy.load(Ordering::Relaxed) {
             continue;
         }
@@ -628,47 +981,114 @@ fn peer_write_fingerprint(state: &RouterState, idx: usize) -> Vec<(usize, u64, u
     out
 }
 
-/// Re-warms backend `idx` after it recovered. Warm-up reads peer state
-/// (graph listings, edge dumps, cache dumps) over several requests, so
-/// a mutation or deletion landing mid-pass could be clobbered with
-/// stale pre-mutation data; each pass is therefore fenced by a
-/// [`peer_write_fingerprint`] and retried (bounded) until no write
-/// activity raced it. Returns `(graphs, entries)` restored by the last
-/// pass.
-fn warm_backend(state: &RouterState, idx: usize) -> (u64, u64) {
+/// Re-warms the backend at `addr` (recovery and join both land here).
+/// Warm-up reads peer state (graph listings, paged cache dumps) over
+/// several requests, so a mutation or deletion landing mid-pass could
+/// be clobbered with stale pre-mutation data; each pass is therefore
+/// fenced by a [`peer_write_fingerprint`] and retried (bounded) until
+/// no write activity raced it. Returns `(graphs, entries)` restored by
+/// the last pass.
+fn warm_backend(state: &RouterState, addr: SocketAddr, purge_first: bool) -> (u64, u64) {
     const MAX_PASSES: u32 = 3;
     let mut restored = (0, 0);
+    let mut target_idx = None;
     for _ in 0..MAX_PASSES {
-        let before = peer_write_fingerprint(state, idx);
-        restored = warm_backend_once(state, idx);
-        if peer_write_fingerprint(state, idx) == before {
+        // re-resolve the view each pass: membership may have changed
+        let view = state.view();
+        let Some(idx) = view.position_of(addr) else {
+            return (0, 0);
+        };
+        target_idx = Some(idx);
+        let before = peer_write_fingerprint(&view, idx);
+        restored = sync_backend_once(state, &view, idx, purge_first);
+        if peer_write_fingerprint(&view, idx) == before {
             break;
         }
         // a lifecycle operation raced this pass; re-pull everything
-        // (warm_backend_once starts with a full purge, so redoing the
-        // pass replaces any stale data the race let through)
+        // (a purge_first pass starts with a full purge, so redoing it
+        // replaces any stale data the race let through)
     }
     state.warmed_graphs.fetch_add(restored.0, Ordering::Relaxed);
-    state.backends[idx]
-        .warmed
-        .fetch_add(restored.1, Ordering::Relaxed);
+    if let Some(idx) = target_idx {
+        let view = state.view();
+        if let Some(b) = view.backends.get(idx) {
+            b.warmed.fetch_add(restored.1, Ordering::Relaxed);
+        }
+    }
     restored
 }
 
-/// One warm-up pass: purge the target's (stale) cache, re-register
-/// every replicated graph it should hold from its peers' edge dumps,
-/// then replay the peers' cache entries that belong on this shard.
+/// After a member leaves or is evicted, every graph it replicated needs
+/// a copy on whichever survivor the ring now places it on: sync every
+/// live backend **concurrently** against its peers (additive — nothing
+/// is purged). Returns summed `(graphs, entries)` restored.
+fn rebalance(state: &RouterState) -> (u64, u64) {
+    let view = state.view();
+    let results = scatter(view.backends.len(), |idx| {
+        if !view.backends[idx].healthy.load(Ordering::Relaxed) {
+            return (0, 0);
+        }
+        sync_backend_once(state, &view, idx, false)
+    });
+    let mut total = (0u64, 0u64);
+    for (idx, (g, e)) in results.into_iter().enumerate() {
+        total.0 += g;
+        total.1 += e;
+        view.backends[idx].warmed.fetch_add(e, Ordering::Relaxed);
+    }
+    state.warmed_graphs.fetch_add(total.0, Ordering::Relaxed);
+    total
+}
+
+/// One sync pass for the backend at `view.backends[idx]`:
+///
+/// 1. with `purge_first` (recovery/join: the target's state is stale or
+///    unknown) the target's cache is purged and every placed graph is
+///    force-replaced; without it (rebalance of a live survivor) only
+///    graphs the target is *missing* are copied and its resident state
+///    is left alone;
+/// 2. every replicated graph the ring places on the target is
+///    re-registered from a healthy peer's edge dump;
+/// 3. the peers' cache entries belonging to the target are replayed
+///    through `POST /cache/load`, pulled via **paged** `/cache/dump`
+///    requests (`offset`/`limit`) so no whole-cache payload is ever
+///    buffered on the router.
+///
 /// **Every** healthy peer is consulted — with R < N, different graphs
 /// live on different peer subsets, so no single peer holds everything
-/// the recovering shard needs; restored graphs and entries are
-/// deduplicated across peers.
-fn warm_backend_once(state: &RouterState, idx: usize) -> (u64, u64) {
-    let target = &state.backends[idx];
-    let addr = target.addr;
-    let _ = forward(target, "POST", "/cache/purge", None);
+/// the target needs; restored graphs and entries are deduplicated
+/// across peers.
+fn sync_backend_once(
+    state: &RouterState,
+    view: &RouterView,
+    idx: usize,
+    purge_first: bool,
+) -> (u64, u64) {
+    let target = &view.backends[idx];
+    if purge_first {
+        let _ = forward(target, "POST", "/cache/purge", None);
+    }
+    // what the target already holds (used in additive mode to leave
+    // resident graphs alone)
+    let mut present: std::collections::HashSet<String> = std::collections::HashSet::new();
+    if !purge_first {
+        let Ok(listing) = forward(target, "GET", "/graphs", None) else {
+            return (0, 0);
+        };
+        if let Ok(parsed) = json::parse(&listing.body_string()) {
+            if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
+                for entry in loaded {
+                    if let Some(name) = entry.get("name").and_then(Value::as_str) {
+                        present.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let replication = state.config.replication;
     let mut graphs_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut entries_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
-    for (peer_idx, peer) in state.backends.iter().enumerate() {
+    for (peer_idx, peer) in view.backends.iter().enumerate() {
         if peer_idx == idx || !peer.healthy.load(Ordering::Relaxed) {
             continue;
         }
@@ -679,7 +1099,7 @@ fn warm_backend_once(state: &RouterState, idx: usize) -> (u64, u64) {
             continue;
         };
         // 1) graphs: anything uploaded/mutated whose replica set includes
-        // the recovering shard is re-registered from the peer's edge dump
+        // the target is re-registered from the peer's edge dump
         if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
             for entry in loaded {
                 let (Some(name), Some(source)) = (
@@ -690,7 +1110,8 @@ fn warm_backend_once(state: &RouterState, idx: usize) -> (u64, u64) {
                 };
                 if source == "generated"
                     || graphs_restored.contains(name)
-                    || !state.placement(name).contains(&idx)
+                    || present.contains(name)
+                    || !view.placement(name, replication).contains(&idx)
                 {
                     continue;
                 }
@@ -703,76 +1124,110 @@ fn warm_backend_once(state: &RouterState, idx: usize) -> (u64, u64) {
                     continue;
                 }
                 // an existing copy answers 409, which is fine: replace it
-                // via delete + register so mutated peers win
-                let mut client = Client::new(addr);
-                let _ = client.delete(&format!("/graphs/{encoded}"));
-                if client
-                    .post(
-                        &format!("/graphs?name={encoded}"),
-                        "text/plain",
-                        &edges.body,
-                    )
-                    .is_ok_and(|r| r.status == 201)
+                // via delete + register so mutated peers win. Both go
+                // over the pooled connection — a fresh connection here
+                // would queue behind the idle pooled ones pinning the
+                // target's workers
+                let _ = forward(target, "DELETE", &format!("/graphs/{encoded}"), None);
+                if forward(
+                    target,
+                    "POST",
+                    &format!("/graphs?name={encoded}"),
+                    Some(&edges.body),
+                )
+                .is_ok_and(|r| r.status == 201)
                 {
                     graphs_restored.insert(name.to_string());
                 }
             }
         }
-        // 2) cache entries owned by this shard, replayed in chunks that
-        // stay far under the backend's body cap (dedup by the entry's
-        // full serialized key+body: peers replicating the same outcome
-        // hold identical bytes)
-        let Ok(dump) = forward(peer, "GET", "/cache/dump", None) else {
-            continue;
-        };
-        let Ok(Value::Arr(entries)) = json::parse(&dump.body_string()) else {
-            continue;
-        };
-        let mine: Vec<String> = entries
-            .iter()
-            .filter(|e| {
-                e.get("graph")
-                    .and_then(Value::as_str)
-                    .is_some_and(|g| state.placement(g).contains(&idx))
-            })
-            .map(|e| e.to_json())
-            .filter(|serialized| !entries_restored.contains(serialized))
-            .collect();
-        for chunk in mine.chunks(32) {
-            let payload = format!("[{}]", chunk.join(","));
-            if forward(target, "POST", "/cache/load", Some(payload.as_bytes()))
-                .is_ok_and(|r| r.status == 200)
-            {
-                for serialized in chunk {
-                    entries_restored.insert(serialized.clone());
+        // 2) cache entries owned by the target, replayed page by page
+        // (dedup by the entry's full serialized key+body: peers
+        // replicating the same outcome hold identical bytes)
+        let mut offset = 0usize;
+        loop {
+            let page = format!("/cache/dump?offset={offset}&limit={DUMP_PAGE}");
+            let Ok(dump) = forward(peer, "GET", &page, None) else {
+                break;
+            };
+            if dump.status != 200 {
+                break;
+            }
+            let Ok(parsed) = json::parse(&dump.body_string()) else {
+                break;
+            };
+            let total = parsed.get("total").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let Some(entries) = parsed.get("entries").and_then(Value::as_array) else {
+                break;
+            };
+            let fetched = entries.len();
+            let mine: Vec<String> = entries
+                .iter()
+                .filter(|e| {
+                    e.get("graph")
+                        .and_then(Value::as_str)
+                        .is_some_and(|g| view.placement(g, replication).contains(&idx))
+                })
+                .map(|e| e.to_json())
+                .filter(|serialized| !entries_restored.contains(serialized))
+                .collect();
+            if !mine.is_empty() {
+                let payload = format!("[{}]", mine.join(","));
+                if forward(target, "POST", "/cache/load", Some(payload.as_bytes()))
+                    .is_ok_and(|r| r.status == 200)
+                {
+                    for serialized in mine {
+                        entries_restored.insert(serialized);
+                    }
                 }
+            }
+            offset += fetched;
+            if fetched == 0 || offset >= total {
+                break;
             }
         }
     }
     (graphs_restored.len() as u64, entries_restored.len() as u64)
 }
 
-/// The health thread body: poll `/healthz` on every backend each
-/// interval; a backend that answers after being marked down is warmed
-/// (cache purge → graph re-registration → cache replay) before its
-/// healthy flag turns back on.
+/// One supervision pass: health-check every member (warming members
+/// that recovered), then evict dynamic members that blew the heartbeat
+/// deadline and re-place their graphs. The health thread runs this
+/// every interval; the deterministic test harness calls it directly via
+/// [`Router::tick`].
+pub fn tick_state(state: &RouterState) {
+    // 1) health: probe, mark, warm recoveries
+    let view = state.view();
+    for b in view.backends.iter() {
+        let was_healthy = b.healthy.load(Ordering::Relaxed);
+        let ok = forward(b, "GET", "/healthz", None).is_ok_and(|r| r.status == 200);
+        match (was_healthy, ok) {
+            (true, false) => b.healthy.store(false, Ordering::Relaxed),
+            (false, true) => {
+                warm_backend(state, b.addr, true);
+                b.healthy.store(true, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+    // 2) membership: evict the silent, re-place their graphs
+    let evicted = state.membership.evict_overdue();
+    if !evicted.is_empty() {
+        state
+            .evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        state.rebuild_view();
+        rebalance(state);
+    }
+}
+
+/// The health thread body: run [`tick_state`] every interval.
 fn health_loop(state: &RouterState, interval: Duration) {
     while !state.shutdown.load(Ordering::SeqCst) {
-        for (i, b) in state.backends.iter().enumerate() {
-            let was_healthy = b.healthy.load(Ordering::Relaxed);
-            let ok = forward(b, "GET", "/healthz", None).is_ok_and(|r| r.status == 200);
-            match (was_healthy, ok) {
-                (true, false) => b.healthy.store(false, Ordering::Relaxed),
-                (false, true) => {
-                    warm_backend(state, i);
-                    b.healthy.store(true, Ordering::Relaxed);
-                }
-                _ => {}
-            }
-            if state.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-        }
+        tick_state(state);
         // sleep in small ticks so shutdown stays prompt
         let mut slept = Duration::ZERO;
         while slept < interval && !state.shutdown.load(Ordering::SeqCst) {
@@ -792,16 +1247,18 @@ pub struct Router {
 }
 
 impl Router {
-    /// Binds and starts routing; returns once the listener is live.
+    /// Binds and starts routing; returns once the listener is live. An
+    /// empty backend list is valid: the router answers 503 until the
+    /// first member joins via `POST /members`.
     pub fn start(config: RouterConfig) -> std::io::Result<Router> {
-        if config.backends.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "router needs at least one backend",
-            ));
-        }
-        let threads = resolve_threads(config.threads);
-        let state = Arc::new(RouterState::new(config));
+        Router::start_with_state(RouterState::new(config))
+    }
+
+    /// Like [`Router::start`], but over a pre-built state (the test
+    /// harness builds one with an injected [`crate::membership::ManualClock`]).
+    pub fn start_with_state(state: RouterState) -> std::io::Result<Router> {
+        let threads = resolve_threads(state.config.threads);
+        let state = Arc::new(state);
         let shutdown_state = Arc::clone(&state);
         let conn_state = Arc::clone(&state);
         let pool = AcceptPool::start(
@@ -852,6 +1309,14 @@ impl Router {
         &self.state
     }
 
+    /// Runs one supervision pass (health + heartbeat evictions) on the
+    /// caller's thread. With `health_interval_ms = 0` this is the
+    /// *only* driver of evictions, which makes membership sequences
+    /// fully deterministic under the test harness's manual clock.
+    pub fn tick(&self) {
+        tick_state(&self.state);
+    }
+
     fn stop(&mut self) -> String {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
@@ -859,11 +1324,14 @@ impl Router {
             let _ = h.join();
         }
         format!(
-            "routed {} request(s) ({} failover(s), {} error(s)) across {} backend(s) in {:.1}s",
+            "routed {} request(s) ({} failover(s), {} error(s)) across {} backend(s) \
+             ({} join(s), {} eviction(s)) in {:.1}s",
             self.state.requests.load(Ordering::Relaxed),
             self.state.failovers.load(Ordering::Relaxed),
             self.state.errors.load(Ordering::Relaxed),
-            self.state.backends.len(),
+            self.state.view().backends.len(),
+            self.state.joins.load(Ordering::Relaxed),
+            self.state.evictions.load(Ordering::Relaxed),
             self.started.elapsed().as_secs_f64()
         )
     }
@@ -895,19 +1363,22 @@ mod tests {
         }
     }
 
-    fn state_with_dead_backends(n: usize) -> RouterState {
+    fn dead_addrs(n: usize) -> Vec<SocketAddr> {
         // bind-and-drop: the freed ephemeral ports have no listener, so
         // forwards fail fast with ECONNREFUSED
-        let backends = (0..n)
+        (0..n)
             .map(|_| {
                 std::net::TcpListener::bind("127.0.0.1:0")
                     .unwrap()
                     .local_addr()
                     .unwrap()
             })
-            .collect();
+            .collect()
+    }
+
+    fn state_with_dead_backends(n: usize) -> RouterState {
         RouterState::new(RouterConfig {
-            backends,
+            backends: dead_addrs(n),
             ..RouterConfig::default()
         })
     }
@@ -930,9 +1401,20 @@ mod tests {
         assert_eq!(st.errors.load(Ordering::Relaxed), 1);
         // both replicas were tried and marked unhealthy
         assert!(st
+            .view()
             .backends
             .iter()
             .any(|b| !b.healthy.load(Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn solve_with_no_members_is_503() {
+        let st = RouterState::new(RouterConfig::default());
+        let resp = handle(
+            &st,
+            &req("POST", "/solve", r#"{"graph":"college:0.05","b":1}"#),
+        );
+        assert_eq!(resp.status, 503);
     }
 
     #[test]
@@ -943,6 +1425,7 @@ mod tests {
             assert_eq!(resp.status, 400, "{bad}");
         }
         let fwd: u64 = st
+            .view()
             .backends
             .iter()
             .map(|b| b.forwarded.load(Ordering::Relaxed))
@@ -951,7 +1434,7 @@ mod tests {
     }
 
     #[test]
-    fn ring_endpoint_reports_placement() {
+    fn ring_endpoint_reports_placement_and_membership() {
         let st = state_with_dead_backends(3);
         let mut r = req("GET", "/ring", "");
         r.query = vec![("graph".to_string(), "mygraph".to_string())];
@@ -959,17 +1442,82 @@ mod tests {
         assert_eq!(resp.status, 200);
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.contains("\"replicas\""), "{body}");
-        assert_eq!(handle(&st, &req("GET", "/ring", "")).status, 400);
+        // without ?graph the endpoint now lists the membership
+        let resp = handle(&st, &req("GET", "/ring", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"members\""), "{body}");
+        assert!(body.contains("\"static\":true"), "{body}");
+    }
+
+    #[test]
+    fn members_join_heartbeat_and_leave_lifecycle() {
+        let st = state_with_dead_backends(1);
+        let addr = dead_addrs(1)[0];
+        let body = format!("{{\"addr\":\"{addr}\"}}");
+        let resp = handle(&st, &req("POST", "/members", &body));
+        assert_eq!(
+            resp.status,
+            201,
+            "{}",
+            String::from_utf8(resp.body).unwrap()
+        );
+        assert_eq!(st.view().backends.len(), 2);
+        assert_eq!(st.joins.load(Ordering::Relaxed), 1);
+        // re-join is idempotent (200, same ring id)
+        let resp = handle(&st, &req("POST", "/members", &body));
+        assert_eq!(resp.status, 200);
+        assert_eq!(st.joins.load(Ordering::Relaxed), 1);
+        // heartbeat known vs unknown
+        assert_eq!(
+            handle(&st, &req("POST", "/members/heartbeat", &body)).status,
+            200
+        );
+        assert_eq!(
+            handle(
+                &st,
+                &req("POST", "/members/heartbeat", "{\"addr\":\"127.0.0.1:1\"}")
+            )
+            .status,
+            404
+        );
+        // leave removes the member from the view
+        let resp = handle(&st, &req("DELETE", &format!("/members/{addr}"), ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(st.view().backends.len(), 1);
+        assert_eq!(
+            handle(&st, &req("DELETE", &format!("/members/{addr}"), "")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn malformed_member_bodies_are_400() {
+        let st = state_with_dead_backends(1);
+        for bad in ["not json", "{}", "{\"addr\":42}", "{\"addr\":\"nope\"}"] {
+            assert_eq!(
+                handle(&st, &req("POST", "/members", bad)).status,
+                400,
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            handle(&st, &req("DELETE", "/members/not-an-addr", "")).status,
+            400
+        );
     }
 
     #[test]
     fn healthz_reflects_backend_state() {
         let st = state_with_dead_backends(2);
         assert_eq!(handle(&st, &req("GET", "/healthz", "")).status, 200);
-        for b in &st.backends {
+        for b in st.view().backends.iter() {
             b.healthy.store(false, Ordering::Relaxed);
         }
         assert_eq!(handle(&st, &req("GET", "/healthz", "")).status, 503);
+        // a member-less router is up, not down
+        let empty = RouterState::new(RouterConfig::default());
+        assert_eq!(handle(&empty, &req("GET", "/healthz", "")).status, 200);
     }
 
     #[test]
@@ -981,6 +1529,9 @@ mod tests {
             "antruss_router_requests_total",
             "antruss_router_failovers_total",
             "antruss_router_backends 2",
+            "antruss_router_dynamic_members 0",
+            "antruss_router_joins_total 0",
+            "antruss_router_evictions_total 0",
             "antruss_router_replication 2",
             "antruss_router_shard_healthy{shard=\"0\"",
             "antruss_router_shard_requests_total{shard=\"1\"",

@@ -1,13 +1,14 @@
 //! The cluster supervisor behind `antruss cluster`: starts N backend
-//! servers on ephemeral loopback ports, fronts them with a [`Router`],
-//! and tears the whole topology down in order (router first, so no
-//! request is routed into a dying backend).
+//! servers on ephemeral loopback ports — or routes to *external*
+//! backend addresses (`--backend-addrs`) it does not own — fronts them
+//! with a [`Router`], and tears the whole topology down in order
+//! (router first, so no request is routed into a dying backend).
 
 use std::net::SocketAddr;
 use std::thread;
 use std::time::Duration;
 
-use antruss_service::server::{install_sigint_handler, sigint_received};
+use antruss_service::server::{install_sigint_handler, resolve_threads, sigint_received};
 use antruss_service::{Server, ServerConfig};
 
 use crate::ring::DEFAULT_VNODES;
@@ -16,9 +17,16 @@ use crate::router::{Router, RouterConfig};
 /// Topology of one supervised cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Backend count N.
+    /// Backend count N to spawn in-process (ignored when
+    /// `backend_addrs` is non-empty).
     pub backends: usize,
-    /// Replica factor R (clamped to `backends`).
+    /// External backend addresses: when non-empty the supervisor spawns
+    /// nothing and the router routes to these processes instead (they
+    /// typically run `antruss serve` on other hosts; more can join at
+    /// runtime via `antruss serve --join`).
+    pub backend_addrs: Vec<SocketAddr>,
+    /// Replica factor R (each placement is naturally capped at the
+    /// live member count; at least 1).
     pub replication: usize,
     /// Virtual nodes per backend on the ring.
     pub vnodes: usize,
@@ -26,24 +34,32 @@ pub struct ClusterConfig {
     pub router_addr: String,
     /// Router worker threads.
     pub router_threads: usize,
-    /// Health-check cadence, milliseconds.
+    /// Health-check + membership-tick cadence, milliseconds.
     pub health_interval_ms: u64,
-    /// Template for every backend. `addr` is overridden with an
+    /// Expected heartbeat cadence for dynamic members, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Missed-heartbeat intervals tolerated before eviction.
+    pub miss_threshold: u32,
+    /// Template for every spawned backend. `addr` is overridden with an
     /// ephemeral loopback port and `shard` with the backend's index.
     pub backend: ServerConfig,
 }
 
 impl Default for ClusterConfig {
-    /// 3 backends, R=2, default ring and backend settings, router on an
-    /// ephemeral port.
+    /// 3 spawned backends, R=2, default ring and backend settings,
+    /// router on an ephemeral port, 1 s heartbeats with a 3-miss
+    /// eviction threshold.
     fn default() -> ClusterConfig {
         ClusterConfig {
             backends: 3,
+            backend_addrs: Vec::new(),
             replication: 2,
             vnodes: DEFAULT_VNODES,
             router_addr: "127.0.0.1:0".to_string(),
             router_threads: 4,
             health_interval_ms: 500,
+            heartbeat_ms: 1000,
+            miss_threshold: 3,
             backend: ServerConfig::default(),
         }
     }
@@ -57,31 +73,51 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Starts the backends, then the router over their live addresses.
+    /// Starts the backends (unless external addresses were given), then
+    /// the router over the live addresses.
     pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
-        if config.backends == 0 {
+        if config.backends == 0 && config.backend_addrs.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                "cluster needs at least one backend",
+                "cluster needs at least one backend (spawned or --backend-addrs)",
             ));
         }
-        let mut backends = Vec::with_capacity(config.backends);
-        for shard in 0..config.backends {
-            let backend_cfg = ServerConfig {
-                addr: "127.0.0.1:0".to_string(),
-                shard: Some(shard as u32),
-                ..config.backend.clone()
-            };
-            backends.push(Server::start(backend_cfg)?);
-        }
+        let mut backends = Vec::new();
+        let router_backends: Vec<SocketAddr> = if config.backend_addrs.is_empty() {
+            // every open router connection pins one backend worker, so a
+            // backend must be able to hold one connection per router
+            // worker plus the health checker and a couple of concurrent
+            // warm-up syncs — otherwise a traffic burst queues behind
+            // idle connections
+            let backend_threads = resolve_threads(config.backend.threads)
+                .max(resolve_threads(config.router_threads) + 4);
+            for shard in 0..config.backends {
+                let backend_cfg = ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    threads: backend_threads,
+                    shard: Some(shard as u32),
+                    ..config.backend.clone()
+                };
+                backends.push(Server::start(backend_cfg)?);
+            }
+            backends.iter().map(Server::addr).collect()
+        } else {
+            config.backend_addrs.clone()
+        };
         let router = Router::start(RouterConfig {
             addr: config.router_addr.clone(),
             threads: config.router_threads,
-            backends: backends.iter().map(Server::addr).collect(),
-            replication: config.replication.clamp(1, config.backends),
+            // NOT clamped to the starting backend count: members join at
+            // runtime, and the ring already caps each placement at the
+            // live member count — a clamp here would freeze R at however
+            // many backends existed at startup
+            replication: config.replication.max(1),
+            backends: router_backends,
             vnodes: config.vnodes,
             max_body_bytes: config.backend.max_body_bytes,
             health_interval_ms: config.health_interval_ms,
+            heartbeat_ms: config.heartbeat_ms,
+            miss_threshold: config.miss_threshold,
         })?;
         Ok(Cluster { backends, router })
     }
@@ -155,5 +191,40 @@ mod tests {
             ..ClusterConfig::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn external_backend_addrs_are_routed_not_spawned() {
+        // two externally-owned backends (what `antruss serve` would be
+        // on other hosts) fronted via --backend-addrs
+        let ext: Vec<Server> = (0..2)
+            .map(|_| Server::start(ServerConfig::default()).expect("bind external backend"))
+            .collect();
+        let cluster = Cluster::start(ClusterConfig {
+            backends: 0,
+            backend_addrs: ext.iter().map(Server::addr).collect(),
+            health_interval_ms: 0,
+            ..ClusterConfig::default()
+        })
+        .expect("cluster starts over external backends");
+        assert!(
+            cluster.backend_addrs().is_empty(),
+            "external mode must spawn nothing"
+        );
+        let mut client = Client::new(cluster.router_addr());
+        let solvers = client.get("/solvers").unwrap();
+        assert_eq!(solvers.status, 200);
+        assert!(solvers.body_string().contains("gas"));
+        let ring = client.get("/ring").unwrap().body_string();
+        for s in &ext {
+            assert!(
+                ring.contains(&s.addr().to_string()),
+                "external backend missing from /ring: {ring}"
+            );
+        }
+        cluster.shutdown();
+        for s in ext {
+            s.shutdown();
+        }
     }
 }

@@ -1,0 +1,303 @@
+//! A deterministic in-process cluster harness for membership tests.
+//!
+//! Membership churn is timing-sensitive by nature — heartbeats race
+//! health checks race evictions — which is exactly what CI must not
+//! depend on. [`TestCluster`] removes every timer from the loop:
+//!
+//! * the router runs with `health_interval_ms = 0`, so **no background
+//!   thread** ever probes health or evicts anyone;
+//! * time is a [`ManualClock`] that only moves when the test calls
+//!   [`TestCluster::advance`];
+//! * heartbeats are sent only when the test calls
+//!   [`TestCluster::heartbeat`];
+//! * supervision happens only when the test calls
+//!   [`TestCluster::tick`] (one health + eviction pass on the caller's
+//!   thread).
+//!
+//! Fault hooks: [`TestCluster::kill`] hard-stops a backend's server
+//! (dead socket, silent heartbeats — a crash), [`TestCluster::silence`]
+//! just stops its heartbeats (a partition: the socket still answers),
+//! and [`TestCluster::leave`] deregisters gracefully. Any
+//! join/silence/advance/tick sequence therefore replays identically,
+//! and the membership event log ([`TestCluster::events`]) can be
+//! asserted verbatim.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use antruss_service::{Client, ClientResponse, Server, ServerConfig};
+
+use crate::membership::{ManualClock, MembershipEvent};
+use crate::router::{Router, RouterConfig, RouterState};
+
+/// Knobs of one deterministic test cluster.
+#[derive(Debug, Clone)]
+pub struct TestClusterConfig {
+    /// Replica factor R.
+    pub replication: usize,
+    /// Heartbeat cadence in (manual-)clock milliseconds.
+    pub heartbeat_ms: u64,
+    /// Missed intervals tolerated before eviction.
+    pub miss_threshold: u32,
+    /// Template for every backend the harness spawns.
+    pub backend: ServerConfig,
+}
+
+impl Default for TestClusterConfig {
+    /// R=2, 100 ms heartbeats, 3-miss eviction, small default backends.
+    fn default() -> TestClusterConfig {
+        TestClusterConfig {
+            replication: 2,
+            heartbeat_ms: 100,
+            miss_threshold: 3,
+            // 4 workers: concurrent warm-up syncs can hold several
+            // connections per backend at once (each open connection
+            // pins a worker), so 2 would risk queueing behind idle
+            // pooled connections
+            backend: ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: 4,
+                cache_capacity: 64,
+                ..ServerConfig::default()
+            },
+        }
+    }
+}
+
+struct TestBackend {
+    addr: SocketAddr,
+    server: Option<Server>,
+    silenced: bool,
+}
+
+/// The harness: a router on a manual clock plus the backends the test
+/// joined, killed, silenced or removed.
+pub struct TestCluster {
+    config: TestClusterConfig,
+    clock: Arc<ManualClock>,
+    router: Router,
+    backends: Vec<TestBackend>,
+}
+
+impl TestCluster {
+    /// Starts a router with **zero** members on a manual clock; join
+    /// backends with [`TestCluster::join`].
+    pub fn start(config: TestClusterConfig) -> std::io::Result<TestCluster> {
+        let clock = Arc::new(ManualClock::new(0));
+        let state = RouterState::with_clock(
+            RouterConfig {
+                replication: config.replication,
+                heartbeat_ms: config.heartbeat_ms,
+                miss_threshold: config.miss_threshold,
+                health_interval_ms: 0, // determinism: no background thread
+                ..RouterConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn crate::membership::Clock>,
+        );
+        let router = Router::start_with_state(state)?;
+        Ok(TestCluster {
+            config,
+            clock,
+            router,
+            backends: Vec::new(),
+        })
+    }
+
+    /// The fronting router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The router's client-facing address.
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router.addr()
+    }
+
+    /// A fresh client speaking to the router.
+    pub fn client(&self) -> Client {
+        Client::new(self.router.addr())
+    }
+
+    /// The address backend `idx` listens on (stable across kill).
+    pub fn backend_addr(&self, idx: usize) -> SocketAddr {
+        self.backends[idx].addr
+    }
+
+    /// A fresh client speaking directly to backend `idx`.
+    pub fn backend_client(&self, idx: usize) -> Client {
+        Client::new(self.backends[idx].addr)
+    }
+
+    /// Starts a backend server and registers it with the router
+    /// (`POST /members`), returning its harness index. The join warms
+    /// the new member synchronously, so on return it already holds its
+    /// share of the keyspace.
+    pub fn join(&mut self) -> std::io::Result<usize> {
+        let server = Server::start(self.config.backend.clone())?;
+        let addr = server.addr();
+        self.backends.push(TestBackend {
+            addr,
+            server: Some(server),
+            silenced: false,
+        });
+        let idx = self.backends.len() - 1;
+        let resp = self.post_members("/members", addr)?;
+        if resp.status != 200 && resp.status != 201 {
+            return Err(std::io::Error::other(format!(
+                "join of {addr} rejected: {} {}",
+                resp.status,
+                resp.body_string()
+            )));
+        }
+        Ok(idx)
+    }
+
+    /// Re-registers a previously killed backend on a **fresh** server
+    /// (same harness slot, new ephemeral address — a crashed process
+    /// restarted elsewhere).
+    pub fn rejoin(&mut self, idx: usize) -> std::io::Result<()> {
+        let server = Server::start(self.config.backend.clone())?;
+        let addr = server.addr();
+        self.backends[idx] = TestBackend {
+            addr,
+            server: Some(server),
+            silenced: false,
+        };
+        let resp = self.post_members("/members", addr)?;
+        if resp.status != 200 && resp.status != 201 {
+            return Err(std::io::Error::other(format!(
+                "rejoin of {addr} rejected: {}",
+                resp.status
+            )));
+        }
+        Ok(())
+    }
+
+    /// Sends one heartbeat for backend `idx` (no-op if silenced/killed).
+    pub fn heartbeat(&self, idx: usize) {
+        let b = &self.backends[idx];
+        if b.silenced || b.server.is_none() {
+            return;
+        }
+        let _ = self.post_members("/members/heartbeat", b.addr);
+    }
+
+    /// Heartbeats every live, unsilenced backend.
+    pub fn heartbeat_all(&self) {
+        for idx in 0..self.backends.len() {
+            self.heartbeat(idx);
+        }
+    }
+
+    /// Fault hook: hard-stops backend `idx`'s server — the socket goes
+    /// dead and (by construction) its heartbeats stop, like a crash.
+    pub fn kill(&mut self, idx: usize) {
+        if let Some(server) = self.backends[idx].server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Fault hook: stops backend `idx`'s heartbeats while its server
+    /// keeps answering — a router↔backend control-plane partition.
+    pub fn silence(&mut self, idx: usize) {
+        self.backends[idx].silenced = true;
+    }
+
+    /// Undoes [`TestCluster::silence`].
+    pub fn unsilence(&mut self, idx: usize) {
+        self.backends[idx].silenced = false;
+    }
+
+    /// Graceful leave: `DELETE /members/{addr}` (the server keeps
+    /// running, it just stops being a member).
+    pub fn leave(&self, idx: usize) -> std::io::Result<ClientResponse> {
+        let addr = self.backends[idx].addr;
+        Client::new(self.router.addr()).delete(&format!("/members/{addr}"))
+    }
+
+    /// Moves the manual clock forward by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.clock.advance(ms);
+    }
+
+    /// Runs one supervision pass (health checks + heartbeat evictions)
+    /// on this thread — the only driver of evictions in the harness.
+    pub fn tick(&self) {
+        self.router.tick();
+    }
+
+    /// The membership transition log, in order.
+    pub fn events(&self) -> Vec<MembershipEvent> {
+        self.router.state().membership.events()
+    }
+
+    /// The addresses currently on the ring, in membership order.
+    pub fn live_member_addrs(&self) -> Vec<SocketAddr> {
+        self.router
+            .state()
+            .membership
+            .members()
+            .iter()
+            .map(|m| m.addr)
+            .collect()
+    }
+
+    /// Shuts everything down, router first.
+    pub fn shutdown(mut self) -> String {
+        let mut report = self.router.shutdown();
+        for (i, b) in self.backends.iter_mut().enumerate() {
+            if let Some(server) = b.server.take() {
+                report.push_str(&format!("\nbackend {i}: {}", server.shutdown()));
+            }
+        }
+        report
+    }
+
+    fn post_members(&self, path: &str, addr: SocketAddr) -> std::io::Result<ClientResponse> {
+        let body = format!("{{\"addr\":\"{addr}\"}}");
+        Client::new(self.router.addr()).post(path, "application/json", body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_sequences_are_deterministic() {
+        let mut tc = TestCluster::start(TestClusterConfig::default()).unwrap();
+        let a = tc.join().unwrap();
+        let b = tc.join().unwrap();
+        assert_eq!(tc.live_member_addrs().len(), 2);
+
+        // b goes silent; a keeps beating. Exactly past the 300 ms
+        // deadline, one tick evicts b and only b — every time.
+        tc.silence(b);
+        for _ in 0..3 {
+            tc.advance(100);
+            tc.heartbeat(a);
+        }
+        tc.tick();
+        assert_eq!(tc.live_member_addrs().len(), 2, "at deadline, not past it");
+        tc.advance(1);
+        tc.tick();
+        let live = tc.live_member_addrs();
+        assert_eq!(live, vec![tc.backend_addr(a)]);
+
+        // the log records join, join, evict — in order
+        let events = tc.events();
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert!(matches!(
+            events[0],
+            MembershipEvent::Joined { rejoin: false, .. }
+        ));
+        assert!(matches!(
+            events[1],
+            MembershipEvent::Joined { rejoin: false, .. }
+        ));
+        assert!(
+            matches!(events[2], MembershipEvent::Evicted { addr, .. } if addr == tc.backend_addr(b))
+        );
+        tc.shutdown();
+    }
+}

@@ -20,7 +20,14 @@
 //! response header attributes every request to the backend that answered
 //! it, and the report shows the per-shard distribution. `--json` writes
 //! the whole report to `BENCH_serve.json` (override with `--out FILE`)
-//! so the repo's perf trajectory is recorded run over run.
+//! so the repo's perf trajectory is recorded run over run; the report
+//! carries the probed topology (`mode`: single / cluster-static /
+//! cluster-dynamic, and the live `backends` count) so entries from
+//! different runs are comparable. `--fanout` additionally measures
+//! graph-lifecycle fan-out latency (register/mutate/purge on a scratch
+//! graph, `--fanout-rounds` times): with the router's concurrent
+//! scatter-gather these sit at ~max of the single-replica latencies,
+//! not their sum.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -46,6 +53,117 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// What the target looks like from its `/metrics`: a cluster router
+/// with dynamic members, a static-membership router, or a standalone
+/// serve. Recorded in the JSON report so bench trajectory entries from
+/// different topologies are comparable.
+fn probe_topology(addr: SocketAddr) -> (String, u64) {
+    let Ok(m) = Client::new(addr).get("/metrics") else {
+        return ("unknown".to_string(), 0);
+    };
+    let text = m.body_string();
+    let read = |name: &str| -> Option<u64> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+    };
+    match read("antruss_router_backends") {
+        Some(backends) => {
+            let mode = if read("antruss_router_dynamic_members").unwrap_or(0) > 0 {
+                "cluster-dynamic"
+            } else {
+                "cluster-static"
+            };
+            (mode.to_string(), backends)
+        }
+        None => ("single".to_string(), 1),
+    }
+}
+
+/// Measures graph-lifecycle fan-out latency through a router: register
+/// → mutate → purge → delete on a scratch graph, reporting per-op
+/// milliseconds and the replica count that was hit (from
+/// `x-antruss-replicas`). With the concurrent scatter-gather fan-out
+/// these land at ~max of the single-replica latencies rather than their
+/// sum.
+fn fanout_bench(addr: SocketAddr, rounds: usize) -> Option<String> {
+    let mut client = Client::new(addr);
+    let name = "loadgen-fanout-bench";
+    // k5 edge list: small enough to be latency- not bandwidth-bound
+    let mut edges = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    let _ = client.delete(&format!("/graphs/{name}")); // leftovers
+    let mut register_ms = Vec::new();
+    let mut mutate_ms = Vec::new();
+    let mut purge_ms = Vec::new();
+    let mut replicas = 0usize;
+    for _ in 0..rounds.max(1) {
+        let sent = Instant::now();
+        let resp = client
+            .post(
+                &format!("/graphs?name={name}"),
+                "text/plain",
+                edges.as_bytes(),
+            )
+            .ok()?;
+        if resp.status != 201 {
+            eprintln!("fanout bench: register failed: {}", resp.body_string());
+            return None;
+        }
+        register_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        replicas = resp
+            .header("x-antruss-replicas")
+            .map(|v| v.split(',').count())
+            .unwrap_or(1);
+        let sent = Instant::now();
+        let resp = client
+            .post(
+                &format!("/graphs/{name}/mutate"),
+                "application/json",
+                br#"{"insert":[[0,5],[1,5]]}"#,
+            )
+            .ok()?;
+        if resp.status != 200 {
+            eprintln!("fanout bench: mutate failed: {}", resp.body_string());
+            return None;
+        }
+        mutate_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        let sent = Instant::now();
+        let resp = client
+            .post(
+                &format!("/cache/purge?graph={name}"),
+                "application/json",
+                b"",
+            )
+            .ok()?;
+        if resp.status != 200 {
+            return None;
+        }
+        purge_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        let _ = client.delete(&format!("/graphs/{name}"));
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile(v, 50.0)
+    };
+    let (r, m, p) = (
+        med(&mut register_ms),
+        med(&mut mutate_ms),
+        med(&mut purge_ms),
+    );
+    println!(
+        "fanout (R={replicas}): register p50 {r:.2}ms, mutate p50 {m:.2}ms, purge p50 {p:.2}ms"
+    );
+    Some(format!(
+        "{{\"replicas\":{replicas},\"rounds\":{rounds},\"register_p50_ms\":{r:.3},\
+         \"mutate_p50_ms\":{m:.3},\"purge_p50_ms\":{p:.3}}}"
+    ))
 }
 
 fn main() {
@@ -78,11 +196,18 @@ fn main() {
         .unwrap_or("BENCH_serve.json")
         .to_string();
 
+    let (mode, backends) = probe_topology(addrs[0]);
     println!(
         "loadgen: {clients} client(s) x {requests} request(s) -> {} address(es) \
-         (graph {graph}, solver {solver}, b {b}, {seeds} distinct seed(s))",
+         (graph {graph}, solver {solver}, b {b}, {seeds} distinct seed(s); \
+         target: {mode}, {backends} backend(s))",
         addrs.len()
     );
+    let fanout = if args.flag("fanout") {
+        fanout_bench(addrs[0], args.get("fanout-rounds", 5))
+    } else {
+        None
+    };
 
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -175,12 +300,17 @@ fn main() {
             .map(|(shard, n)| format!("{{\"shard\":{shard},\"requests\":{n}}}"))
             .collect::<Vec<_>>()
             .join(",");
+        let fanout_field = fanout
+            .as_ref()
+            .map(|f| format!(",\"fanout\":{f}"))
+            .unwrap_or_default();
         let report = format!(
-            "{{\"addrs\":{:?},\"clients\":{clients},\"requests_per_client\":{requests},\
+            "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
+             \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

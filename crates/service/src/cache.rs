@@ -55,6 +55,9 @@ struct Entry {
     last_used: u64,
 }
 
+/// One dump row: the full cache key plus the shared serialized body.
+pub type DumpEntry = (CacheKey, Arc<String>);
+
 /// A thread-safe LRU keyed by [`CacheKey`].
 pub struct OutcomeCache {
     capacity: usize,
@@ -69,6 +72,13 @@ struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
     resident_bytes: u64,
+    /// The last dump, reused verbatim until the next insert/purge
+    /// invalidates it — paged `/cache/dump` readers issue many requests
+    /// over one stable cache, and recloning + resorting the whole map
+    /// per page would make a full paged replay quadratic. Eagerly
+    /// cleared (rather than version-checked) so purged bodies are not
+    /// kept alive by a stale snapshot.
+    snapshot: Option<Arc<Vec<DumpEntry>>>,
 }
 
 impl OutcomeCache {
@@ -138,15 +148,22 @@ impl OutcomeCache {
         ) {
             inner.resident_bytes -= old.body.len() as u64;
         }
+        inner.snapshot = None;
     }
 
     /// Every resident entry, for replication warm-up (`GET /cache/dump`).
     /// A point-in-time copy: concurrent inserts after the snapshot are
     /// simply not in it, which is fine — the router re-warms from a live
-    /// peer, not from a quiesced one.
-    pub fn dump(&self) -> Vec<(CacheKey, Arc<String>)> {
-        let inner = self.inner.lock().unwrap();
-        let mut out: Vec<(CacheKey, Arc<String>)> = inner
+    /// peer, not from a quiesced one. The sorted snapshot is cached and
+    /// reused until the next insert/purge, so a paged reader walking the
+    /// dump `offset` by `offset` pays the clone + sort once, not per
+    /// page.
+    pub fn dump(&self) -> Arc<Vec<DumpEntry>> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(snap) = &inner.snapshot {
+            return Arc::clone(snap);
+        }
+        let mut out: Vec<DumpEntry> = inner
             .map
             .iter()
             .map(|(k, e)| (k.clone(), Arc::clone(&e.body)))
@@ -160,7 +177,9 @@ impl OutcomeCache {
                     &b.graph, &b.solver, b.budget, b.seed, b.trials, b.k, b.policy,
                 ))
         });
-        out
+        let snap = Arc::new(out);
+        inner.snapshot = Some(Arc::clone(&snap));
+        snap
     }
 
     /// Drops every entry whose canonical graph key equals `graph`,
@@ -180,6 +199,9 @@ impl OutcomeCache {
                 inner.resident_bytes -= e.body.len() as u64;
             }
         }
+        if !doomed.is_empty() {
+            inner.snapshot = None;
+        }
         doomed.len()
     }
 
@@ -191,6 +213,7 @@ impl OutcomeCache {
         let n = inner.map.len();
         inner.map.clear();
         inner.resident_bytes = 0;
+        inner.snapshot = None;
         n
     }
 

@@ -1,0 +1,202 @@
+//! The backend side of cluster membership: `antruss serve --join`.
+//!
+//! A standalone `serve` process can register itself with a running
+//! `antruss cluster` router and keep itself registered:
+//!
+//! 1. **join** — `POST /members {"addr": <advertised addr>}`; the
+//!    router places the backend on its ring, warms it from the existing
+//!    replicas, and answers with the heartbeat cadence it expects;
+//! 2. **heartbeat** — `POST /members/heartbeat` every interval; a 404
+//!    means the router evicted us (we were silent too long, or the
+//!    router restarted), so the client automatically re-joins;
+//! 3. **leave** — `DELETE /members/{addr}` on graceful shutdown, so the
+//!    router re-places our graphs immediately instead of waiting out
+//!    the miss threshold.
+//!
+//! The client is deliberately quiet about transient failures: a router
+//! that is briefly unreachable just costs missed beats, and as long as
+//! fewer than the router's `miss_threshold` are missed in a row nothing
+//! changes. [`HeartbeatClient::pause`] exists for tests that need a
+//! backend to *look* dead without stopping its server.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use antruss_core::json::{self, Value};
+
+use crate::client::Client;
+
+/// How the membership loop checks its flags while sleeping, so pause,
+/// interval changes and shutdown all take effect promptly.
+const TICK: Duration = Duration::from_millis(20);
+
+struct Inner {
+    router: SocketAddr,
+    advertise: SocketAddr,
+    interval_ms: AtomicU64,
+    paused: AtomicBool,
+    stop: AtomicBool,
+    /// Heartbeats acknowledged by the router.
+    beats: AtomicU64,
+    /// Times the client had to re-join after a 404 heartbeat.
+    rejoins: AtomicU64,
+}
+
+fn membership_body(addr: SocketAddr) -> Vec<u8> {
+    format!("{{\"addr\":\"{addr}\"}}").into_bytes()
+}
+
+/// One join exchange; returns the router-advertised heartbeat interval
+/// when present.
+fn join_once(router: SocketAddr, advertise: SocketAddr) -> std::io::Result<Option<u64>> {
+    let resp =
+        Client::new(router).post("/members", "application/json", &membership_body(advertise))?;
+    if resp.status != 200 && resp.status != 201 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "router {router} rejected join of {advertise}: {} {}",
+                resp.status,
+                resp.body_string()
+            ),
+        ));
+    }
+    Ok(json::parse(&resp.body_string())
+        .ok()
+        .and_then(|v| v.get("heartbeat_ms").and_then(Value::as_u64)))
+}
+
+/// Keeps one backend registered with a cluster router: joins on
+/// construction, heartbeats on a background thread, re-joins when
+/// evicted, and deregisters on [`HeartbeatClient::leave`].
+pub struct HeartbeatClient {
+    inner: Arc<Inner>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HeartbeatClient {
+    /// Joins `router` advertising `advertise` (the address *the router*
+    /// should dial — the server's bind address locally, a routable
+    /// host:port across machines) and starts the heartbeat thread.
+    /// `interval_ms` overrides the router-advertised cadence when
+    /// `Some`; errors if the initial join is refused or unreachable.
+    pub fn start(
+        router: SocketAddr,
+        advertise: SocketAddr,
+        interval_ms: Option<u64>,
+    ) -> std::io::Result<HeartbeatClient> {
+        let advertised = join_once(router, advertise)?;
+        let interval = interval_ms.or(advertised).unwrap_or(1000).max(1);
+        let inner = Arc::new(Inner {
+            router,
+            advertise,
+            interval_ms: AtomicU64::new(interval),
+            paused: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            beats: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let handle = thread::Builder::new()
+            .name("antruss-heartbeat".to_string())
+            .spawn(move || heartbeat_loop(&thread_inner))
+            .expect("spawn heartbeat thread");
+        Ok(HeartbeatClient {
+            inner,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address this client advertises to the router.
+    pub fn advertised(&self) -> SocketAddr {
+        self.inner.advertise
+    }
+
+    /// Heartbeats acknowledged so far (tests poll this to know the
+    /// loop is alive).
+    pub fn beats(&self) -> u64 {
+        self.inner.beats.load(Ordering::Relaxed)
+    }
+
+    /// Times the client re-joined after the router forgot it.
+    pub fn rejoins(&self) -> u64 {
+        self.inner.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// Stops sending heartbeats without stopping anything else — to the
+    /// router this backend now looks dead (fault injection for tests).
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes heartbeats after [`HeartbeatClient::pause`].
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Deregisters gracefully (`DELETE /members/{addr}`) and stops the
+    /// heartbeat thread. Returns whether the router acknowledged.
+    pub fn leave(mut self) -> bool {
+        self.stop_thread();
+        let addr = self.inner.advertise;
+        Client::new(self.inner.router)
+            .delete(&format!("/members/{addr}"))
+            .is_ok_and(|r| r.status == 200)
+    }
+
+    fn stop_thread(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatClient {
+    /// Stops the thread **without** leaving: a dropped (crashing)
+    /// backend should be noticed via missed heartbeats and evicted,
+    /// exactly like a real crash. Call [`HeartbeatClient::leave`] for a
+    /// graceful exit.
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+fn heartbeat_loop(inner: &Inner) {
+    let mut client = Client::new(inner.router);
+    let mut since_beat = Duration::ZERO;
+    while !inner.stop.load(Ordering::SeqCst) {
+        thread::sleep(TICK);
+        since_beat += TICK;
+        let interval = Duration::from_millis(inner.interval_ms.load(Ordering::Relaxed));
+        if since_beat < interval || inner.paused.load(Ordering::SeqCst) {
+            continue;
+        }
+        since_beat = Duration::ZERO;
+        match client.post(
+            "/members/heartbeat",
+            "application/json",
+            &membership_body(inner.advertise),
+        ) {
+            Ok(resp) if resp.status == 200 => {
+                inner.beats.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(resp) if resp.status == 404 => {
+                // evicted (or the router restarted): re-join and adopt
+                // whatever cadence it now advertises
+                if let Ok(advertised) = join_once(inner.router, inner.advertise) {
+                    inner.rejoins.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ms) = advertised {
+                        inner.interval_ms.store(ms.max(1), Ordering::Relaxed);
+                    }
+                }
+            }
+            // other statuses and transport errors: missed beat, retry
+            // next interval (the router tolerates miss_threshold-1)
+            _ => {}
+        }
+    }
+}

@@ -19,7 +19,11 @@
 //!   wall-clock caps), and graceful SIGINT shutdown that drains in-flight
 //!   work;
 //! * [`client::Client`] — the minimal blocking client used by the
-//!   `loadgen` bin, the e2e tests and `examples/service_client.rs`.
+//!   `loadgen` bin, the e2e tests and `examples/service_client.rs`;
+//! * [`heartbeat::HeartbeatClient`] — `antruss serve --join`: registers
+//!   a standalone backend with a cluster router, heartbeats on a
+//!   background thread, re-joins after eviction and deregisters on
+//!   graceful shutdown.
 //!
 //! ## Endpoints
 //!
@@ -32,7 +36,7 @@
 //! | `DELETE /graphs/{name}` | drop a registered graph and its cached outcomes (200 / 404 unknown / 409 built-in) |
 //! | `GET /graphs/{name}/edges` | the resident graph as a SNAP edge list (what a recovering replica re-registers from) |
 //! | `POST /graphs/{name}/mutate` | apply `{"insert":[[u,v],…],"delete":[[u,v],…]}` through incremental truss maintenance and purge the graph's cached outcomes |
-//! | `GET /cache/dump` | every resident outcome with its full key, for replica warm-up |
+//! | `GET /cache/dump[?offset=O&limit=L]` | resident outcomes with their full keys, for replica warm-up; with `offset`/`limit` a stable-ordered page in a `{"total",…,"entries"}` envelope so big caches stream instead of buffering |
 //! | `POST /cache/load` | accept a (chunk of a) dump into the local cache |
 //! | `POST /cache/purge[?graph=N]` | drop one graph's cached outcomes, or everything |
 //! | `GET /healthz` | liveness |
@@ -49,6 +53,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod heartbeat;
 pub mod http;
 pub mod metrics;
 pub mod server;
@@ -56,4 +61,5 @@ pub mod server;
 pub use cache::{CacheKey, CacheStats, OutcomeCache};
 pub use catalog::{canonical_key, Catalog, CatalogError, MutationOutcome};
 pub use client::{Client, ClientResponse};
+pub use heartbeat::HeartbeatClient;
 pub use server::{handle, AcceptPool, Server, ServerConfig, ServiceState};

@@ -19,9 +19,13 @@
 //!   server, plus the client used by `loadgen` and the e2e tests;
 //! * [`cluster`] — the sharded serving tier (`antruss cluster`): a
 //!   consistent-hash router placing graphs on N backend `serve`
-//!   processes with replica failover, cache warm-up for re-joining
-//!   replicas, and mutation-driven invalidation fanned out to every
-//!   replica of a graph.
+//!   processes — spawned, or external via `--backend-addrs`, or joining
+//!   at runtime through `antruss serve --join` — with dynamic
+//!   membership (heartbeats, miss-threshold eviction, ring resize with
+//!   re-warm from surviving replicas), replica failover, concurrent
+//!   scatter-gather lifecycle fan-out, paged cache-dump replay, and a
+//!   deterministic manual-clock test harness
+//!   ([`cluster::testkit`](antruss_cluster::testkit)).
 //!
 //! ## Quickstart
 //!

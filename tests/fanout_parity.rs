@@ -1,0 +1,403 @@
+//! Concurrency regressions for the cluster tier: the scatter-gather
+//! fan-out must be observably equivalent to the old sequential path
+//! (same per-replica purge counters, same post-mutate solve results,
+//! partial failures reported per replica), and the paged `/cache/dump`
+//! replay must reproduce the buffered replay byte-for-byte.
+
+use std::net::SocketAddr;
+
+use antruss::atr::json::{self, Value};
+use antruss::cluster::{Router, RouterConfig};
+use antruss::service::{handle, Client, Server, ServerConfig, ServiceState};
+
+fn backend_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+fn start_backends(n: usize) -> Vec<Server> {
+    (0..n)
+        .map(|i| {
+            Server::start(ServerConfig {
+                shard: Some(i as u32),
+                ..backend_config()
+            })
+            .expect("bind backend")
+        })
+        .collect()
+}
+
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing in:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+fn clique_edges(k: u32) -> String {
+    let mut edges = String::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    edges
+}
+
+/// The ring-id placement of `graph` as the router reports it.
+fn placement(router_addr: SocketAddr, graph: &str) -> Vec<usize> {
+    let resp = Client::new(router_addr)
+        .get(&format!("/ring?graph={graph}"))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    json::parse(&resp.body_string())
+        .unwrap()
+        .get("replicas")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("shard").unwrap().as_u64().unwrap() as usize)
+        .collect()
+}
+
+/// Two identical 3-backend topologies run the same workload — one
+/// through the router's concurrent scatter-gather, one by hand in the
+/// old sequential replica order — and must end in the same state: same
+/// per-replica mutation/purge counters, same post-mutate solve bytes.
+#[test]
+fn concurrent_fan_out_is_equivalent_to_the_sequential_path() {
+    let concurrent = start_backends(3);
+    let sequential = start_backends(3);
+    let router = Router::start(RouterConfig {
+        backends: concurrent.iter().map(Server::addr).collect(),
+        replication: 2,
+        health_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut via_router = Client::new(router.addr());
+
+    // identical registration; the sequential side applies each step
+    // replica-by-replica in placement order (the pre-scatter semantics)
+    let edges = clique_edges(6);
+    let resp = via_router
+        .post("/graphs?name=par", "text/plain", edges.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_string());
+    // static membership: ring ids == backend indices, and both
+    // topologies share one placement (same N, R, vnodes)
+    let replicas = placement(router.addr(), "par");
+    for &shard in &replicas {
+        let resp = Client::new(sequential[shard].addr())
+            .post("/graphs?name=par", "text/plain", edges.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 201);
+    }
+
+    // seed a cached outcome on every replica of both sides
+    let solve = br#"{"graph":"par","solver":"gas","b":1}"#;
+    assert_eq!(
+        via_router
+            .post("/solve", "application/json", solve)
+            .unwrap()
+            .status,
+        200
+    );
+    // the router caches only on the answering primary; mirror that, then
+    // also cache on the secondary of BOTH sides so purge counters have
+    // identical work to do everywhere
+    for backends in [&concurrent, &sequential] {
+        for &shard in &replicas {
+            assert_eq!(
+                Client::new(backends[shard].addr())
+                    .post("/solve", "application/json", solve)
+                    .unwrap()
+                    .status,
+                200
+            );
+        }
+    }
+
+    // mutate: concurrently via the router, sequentially by hand
+    let batch = br#"{"insert":[[0,6],[1,6],[2,6]],"delete":[[4,5]]}"#;
+    let resp = via_router
+        .post("/graphs/par/mutate", "application/json", batch)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    let concurrent_mutate = resp.body_string();
+    let replica_header = resp.header("x-antruss-replicas").unwrap().to_string();
+    assert_eq!(
+        replica_header.split(',').count(),
+        replicas.len(),
+        "every replica must be reported: {replica_header}"
+    );
+    let mut sequential_mutate = String::new();
+    for &shard in &replicas {
+        let resp = Client::new(sequential[shard].addr())
+            .post("/graphs/par/mutate", "application/json", batch)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        if sequential_mutate.is_empty() {
+            sequential_mutate = resp.body_string();
+        }
+    }
+    assert_eq!(
+        json::parse(&concurrent_mutate).unwrap(),
+        json::parse(&sequential_mutate).unwrap(),
+        "mutate reports diverge"
+    );
+
+    // purge: concurrently via the router (fan-out to all), sequentially
+    // by hand — then compare every backend's counters
+    assert_eq!(
+        via_router
+            .post("/cache/purge", "application/json", b"")
+            .unwrap()
+            .status,
+        200
+    );
+    for b in &sequential {
+        assert_eq!(
+            Client::new(b.addr())
+                .post("/cache/purge", "application/json", b"")
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    for (i, (c, s)) in concurrent.iter().zip(&sequential).enumerate() {
+        let cm = Client::new(c.addr()).get("/metrics").unwrap().body_string();
+        let sm = Client::new(s.addr()).get("/metrics").unwrap().body_string();
+        for series in [
+            "antruss_mutations_total",
+            "antruss_cache_purged_entries_total",
+            "antruss_catalog_graphs",
+        ] {
+            assert_eq!(
+                metric(&cm, series),
+                metric(&sm, series),
+                "backend {i} diverges on {series}\nconcurrent:\n{cm}\nsequential:\n{sm}"
+            );
+        }
+    }
+
+    // post-mutate solves agree byte-for-byte with the sequential
+    // primary's fresh run
+    let after_router = via_router
+        .post("/solve", "application/json", solve)
+        .unwrap();
+    assert_eq!(after_router.status, 200);
+    let after_sequential = Client::new(sequential[replicas[0]].addr())
+        .post("/solve", "application/json", solve)
+        .unwrap();
+    // strip every wall-clock field (top level and per round) before
+    // comparing
+    fn strip_elapsed(v: &Value) -> Value {
+        match v {
+            Value::Arr(items) => Value::Arr(items.iter().map(strip_elapsed).collect()),
+            Value::Obj(members) => Value::Obj(
+                members
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != "elapsed_secs")
+                    .map(|(k, v)| (k.clone(), strip_elapsed(v)))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    let strip = |s: &str| strip_elapsed(&json::parse(s).unwrap());
+    assert_eq!(
+        strip(&after_router.body_string()),
+        strip(&after_sequential.body_string()),
+        "post-mutate solve diverges"
+    );
+
+    router.shutdown();
+    for b in concurrent.into_iter().chain(sequential) {
+        b.shutdown();
+    }
+}
+
+/// Partial failure: with one replica dead, the fan-out still applies
+/// the operation on every live replica and reports the dead one as
+/// status 0 instead of aborting at the first error.
+#[test]
+fn fan_out_attempts_every_replica_under_partial_failure() {
+    let backends: Vec<Option<Server>> = start_backends(3).into_iter().map(Some).collect();
+    let addrs: Vec<SocketAddr> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().addr())
+        .collect();
+    let router = Router::start(RouterConfig {
+        backends: addrs.clone(),
+        replication: 2,
+        health_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::new(router.addr());
+
+    let edges = clique_edges(5);
+    assert_eq!(
+        client
+            .post("/graphs?name=part", "text/plain", edges.as_bytes())
+            .unwrap()
+            .status,
+        201
+    );
+    let replicas = placement(router.addr(), "part");
+
+    // kill the SECOND replica: the old sequential path would have hit
+    // it after the first, the property is that the op still lands on
+    // replica 0 and the dead one is reported, not skipped silently
+    let mut backends = backends;
+    backends[replicas[1]].take().unwrap().shutdown();
+
+    let resp = client
+        .post(
+            "/graphs/part/mutate",
+            "application/json",
+            br#"{"insert":[[0,5]]}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    let header = resp.header("x-antruss-replicas").unwrap();
+    let statuses: Vec<(usize, u16)> = header
+        .split(',')
+        .map(|p| {
+            let (shard, status) = p.split_once(':').unwrap();
+            (shard.parse().unwrap(), status.parse().unwrap())
+        })
+        .collect();
+    assert_eq!(statuses.len(), 2, "{header}");
+    assert_eq!(statuses[0], (replicas[0], 200), "{header}");
+    assert_eq!(
+        statuses[1],
+        (replicas[1], 0),
+        "dead replica must be attempted and reported: {header}"
+    );
+    // the surviving replica really applied it
+    let metrics = Client::new(addrs[replicas[0]])
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    assert_eq!(metric(&metrics, "antruss_mutations_total"), 1);
+
+    router.shutdown();
+    for b in backends.into_iter().flatten() {
+        b.shutdown();
+    }
+}
+
+/// Streamed (paged) `/cache/dump` replay into a fresh backend produces
+/// byte-for-byte the same cache as the buffered whole-dump replay.
+#[test]
+fn streamed_dump_replay_matches_buffered_replay_byte_for_byte() {
+    let source = ServiceState::new(backend_config());
+    let get = |path: &str| antruss::service::http::Request {
+        method: "GET".to_string(),
+        path: path.split('?').next().unwrap().to_string(),
+        query: path
+            .split_once('?')
+            .map(|(_, q)| {
+                q.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap();
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let post = |path: &str, body: &[u8]| antruss::service::http::Request {
+        method: "POST".to_string(),
+        path: path.split('?').next().unwrap().to_string(),
+        query: path
+            .split_once('?')
+            .map(|(_, q)| {
+                q.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap();
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        headers: Vec::new(),
+        body: body.to_vec(),
+    };
+
+    // populate: 3 graphs x 2 seeds = 6 cached outcomes
+    for name in ["a", "b", "c"] {
+        let resp = handle(
+            &source,
+            &post(&format!("/graphs?name={name}"), clique_edges(5).as_bytes()),
+        );
+        assert_eq!(resp.status, 201);
+        for seed in [1, 2] {
+            let body = format!("{{\"graph\":\"{name}\",\"b\":1,\"seed\":{seed}}}");
+            assert_eq!(
+                handle(&source, &post("/solve", body.as_bytes())).status,
+                200
+            );
+        }
+    }
+
+    // buffered replay: one whole-dump GET, one whole-dump load
+    let buffered_dump = handle(&source, &get("/cache/dump"));
+    assert_eq!(buffered_dump.status, 200);
+    let buffered_target = ServiceState::new(backend_config());
+    let resp = handle(&buffered_target, &post("/cache/load", &buffered_dump.body));
+    assert_eq!(resp.status, 200);
+
+    // streamed replay: pages of 2 entries, loaded page by page
+    let streamed_target = ServiceState::new(backend_config());
+    let mut offset = 0usize;
+    let mut pages = 0usize;
+    loop {
+        let resp = handle(
+            &source,
+            &get(&format!("/cache/dump?offset={offset}&limit=2")),
+        );
+        assert_eq!(resp.status, 200);
+        let parsed = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let total = parsed.get("total").unwrap().as_u64().unwrap() as usize;
+        let entries = parsed.get("entries").unwrap().as_array().unwrap();
+        if entries.is_empty() {
+            break;
+        }
+        let payload = format!(
+            "[{}]",
+            entries
+                .iter()
+                .map(Value::to_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let resp = handle(&streamed_target, &post("/cache/load", payload.as_bytes()));
+        assert_eq!(resp.status, 200);
+        offset += entries.len();
+        pages += 1;
+        if offset >= total {
+            break;
+        }
+    }
+    assert!(pages >= 3, "6 entries at limit=2 must take >= 3 pages");
+
+    // the two targets dump byte-for-byte identical caches
+    let buffered_bytes = handle(&buffered_target, &get("/cache/dump")).body;
+    let streamed_bytes = handle(&streamed_target, &get("/cache/dump")).body;
+    assert_eq!(
+        buffered_bytes, streamed_bytes,
+        "streamed replay diverges from buffered replay"
+    );
+    assert!(!buffered_bytes.is_empty());
+}

@@ -1,0 +1,209 @@
+//! End-to-end churn over real threads and sockets: external backends
+//! join a member-less router through the `antruss serve --join` code
+//! path ([`HeartbeatClient`]), serve routed traffic, and when one is
+//! killed mid-traffic the cluster keeps answering every request — then
+//! evicts the corpse within the heartbeat miss threshold and re-places
+//! its graphs, with byte-identical outcomes throughout.
+
+use std::time::{Duration, Instant};
+
+use antruss::cluster::{Router, RouterConfig};
+use antruss::service::{Client, HeartbeatClient, Server, ServerConfig};
+
+fn backend_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn ring_member_count(router_addr: std::net::SocketAddr) -> usize {
+    let Ok(resp) = Client::new(router_addr).get("/ring") else {
+        return usize::MAX;
+    };
+    let body = resp.body_string();
+    antruss::atr::json::parse(&body)
+        .ok()
+        .and_then(|v| v.get("members").map(|m| m.as_array().unwrap().len()))
+        .unwrap_or(usize::MAX)
+}
+
+#[test]
+fn joined_backends_serve_traffic_and_survive_a_mid_traffic_kill() {
+    // a router with NO backends: everything joins dynamically
+    let router = Router::start(RouterConfig {
+        replication: 2,
+        health_interval_ms: 100,
+        heartbeat_ms: 150,
+        miss_threshold: 3,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::new(router.addr());
+
+    // backend A joins exactly the way `antruss serve --join` does:
+    // a standalone Server plus a HeartbeatClient advertising it
+    let server_a = Server::start(backend_config()).expect("bind backend a");
+    let hb_a =
+        HeartbeatClient::start(router.addr(), server_a.addr(), None).expect("a joins the router");
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
+            == 1),
+        "backend a never appeared in /ring"
+    );
+
+    // register a graph and cache an outcome on A
+    let mut edges = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    assert_eq!(
+        client
+            .post("/graphs?name=k5", "text/plain", edges.as_bytes())
+            .unwrap()
+            .status,
+        201
+    );
+    let body = br#"{"graph":"k5","solver":"gas","b":1}"#;
+    let first = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_string());
+    let reference = first.body.clone();
+
+    // backend B joins; the join warms it synchronously, so it holds
+    // both the graph and A's cached outcome the moment /ring lists it
+    let server_b = Server::start(backend_config()).expect("bind backend b");
+    let hb_b =
+        HeartbeatClient::start(router.addr(), server_b.addr(), None).expect("b joins the router");
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
+            == 2),
+        "backend b never appeared in /ring"
+    );
+    let b_graphs = Client::new(server_b.addr())
+        .get("/graphs")
+        .unwrap()
+        .body_string();
+    assert!(
+        b_graphs.contains("\"k5\""),
+        "join did not warm b: {b_graphs}"
+    );
+
+    // traffic: 30 solves, killing A after the 10th — a process crash,
+    // so the server dies AND its heartbeats stop, with no leave
+    let mut server_a = Some(server_a);
+    let mut hb_a = Some(hb_a);
+    let mut failed = 0usize;
+    for i in 0..30 {
+        if i == 10 {
+            // dropping the heartbeat client stops its thread WITHOUT a
+            // leave — together with the server shutdown this is a crash
+            drop(hb_a.take());
+            server_a.take().unwrap().shutdown();
+        }
+        let resp = client.post("/solve", "application/json", body).unwrap();
+        if resp.status != 200 {
+            failed += 1;
+            continue;
+        }
+        assert_eq!(
+            resp.body, reference,
+            "request {i} diverged from the cached outcome"
+        );
+    }
+    assert_eq!(failed, 0, "zero failed requests through the kill");
+
+    // the corpse is evicted within the miss threshold (450 ms deadline
+    // + health cadence; generous CI budget)
+    assert!(
+        poll_until(Duration::from_secs(15), || ring_member_count(router.addr())
+            == 1),
+        "dead backend was never evicted"
+    );
+    assert_eq!(
+        router
+            .state()
+            .evictions
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // after eviction + re-placement the outcome is byte-identical and
+    // served as a cache hit by the survivor
+    let after = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body_string());
+    assert_eq!(
+        after.body, reference,
+        "post-eviction outcome must be byte-identical"
+    );
+    assert_eq!(after.header("x-antruss-cache"), Some("hit"));
+
+    // B leaves gracefully; the ring empties and further solves are 503
+    assert!(hb_b.leave(), "graceful leave must be acknowledged");
+    assert!(
+        poll_until(Duration::from_secs(5), || ring_member_count(router.addr())
+            == 0),
+        "graceful leave never emptied the ring"
+    );
+    let resp = client.post("/solve", "application/json", body).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_string());
+
+    router.shutdown();
+    server_b.shutdown();
+}
+
+/// An evicted-but-alive backend (heartbeats paused, server fine) is
+/// re-admitted automatically: its heartbeat client sees the 404 and
+/// re-joins, and the router re-warms it on the way in.
+#[test]
+fn paused_heartbeats_cause_eviction_then_automatic_rejoin() {
+    let router = Router::start(RouterConfig {
+        replication: 2,
+        health_interval_ms: 100,
+        heartbeat_ms: 100,
+        miss_threshold: 2,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+
+    let server = Server::start(backend_config()).expect("bind backend");
+    let hb = HeartbeatClient::start(router.addr(), server.addr(), None).expect("join");
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
+            == 1),
+        "backend never appeared"
+    );
+
+    hb.pause(); // partition: the server is fine, the beats stop
+    assert!(
+        poll_until(Duration::from_secs(15), || ring_member_count(router.addr())
+            == 0),
+        "silent backend was never evicted"
+    );
+
+    hb.resume(); // the next beat 404s and the client re-joins by itself
+    assert!(
+        poll_until(Duration::from_secs(15), || {
+            ring_member_count(router.addr()) == 1 && hb.rejoins() >= 1
+        }),
+        "paused backend never re-joined after resume"
+    );
+
+    router.shutdown();
+    drop(hb);
+    server.shutdown();
+}

@@ -1,0 +1,278 @@
+//! Membership properties: any join/leave/evict sequence keeps every
+//! graph placed on exactly `min(R, live)` distinct **live** members —
+//! first as a socket-free property over the membership table + ring,
+//! then as a deterministic end-to-end residency check through the
+//! [`antruss::cluster::testkit`] harness (real backends, manual clock,
+//! scripted faults).
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use antruss::cluster::testkit::{TestCluster, TestClusterConfig};
+use antruss::cluster::{Clock, ManualClock, MembershipEvent, RouterConfig, RouterState};
+use antruss::service::Client;
+use proptest::prelude::*;
+
+const R: usize = 3;
+
+fn state_on(clock: &Arc<ManualClock>) -> RouterState {
+    RouterState::with_clock(
+        RouterConfig {
+            replication: R,
+            heartbeat_ms: 100,
+            miss_threshold: 3,
+            health_interval_ms: 0,
+            ..RouterConfig::default()
+        },
+        Arc::clone(clock) as Arc<dyn Clock>,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Drive the membership table through an arbitrary op sequence
+    /// (join / graceful leave / heartbeat-starved eviction) and check
+    /// after every step: every graph key is placed on exactly
+    /// `min(R, live)` distinct positions, all of which map to live
+    /// members.
+    #[test]
+    fn placement_always_lands_on_r_distinct_live_members(
+        ops in prop::collection::vec(0u8..4, 1..40),
+        salt in 0u64..u64::MAX,
+    ) {
+        let clock = Arc::new(ManualClock::new(0));
+        let st = state_on(&clock);
+        let mut next_port: u16 = 20_000;
+        for (i, &op) in ops.iter().enumerate() {
+            let members = st.membership.members();
+            match op {
+                // bias toward joining so the table actually grows
+                0 | 1 => {
+                    let addr: SocketAddr =
+                        format!("10.9.0.1:{next_port}").parse().unwrap();
+                    next_port += 1;
+                    st.membership.join(addr);
+                }
+                2 if !members.is_empty() => {
+                    let pick = members[(salt as usize + i) % members.len()].addr;
+                    st.membership.leave(pick);
+                }
+                3 if !members.is_empty() => {
+                    // starve one member: everyone else beats, time jumps
+                    // past the 300 ms deadline, the tick evicts
+                    let pick = members[(salt as usize + i) % members.len()].addr;
+                    clock.advance(301);
+                    for m in &members {
+                        if m.addr != pick {
+                            st.membership.heartbeat(m.addr);
+                        }
+                    }
+                    st.membership.evict_overdue();
+                }
+                _ => continue,
+            }
+            st.rebuild_view();
+
+            let live: Vec<SocketAddr> =
+                st.membership.members().iter().map(|m| m.addr).collect();
+            let view = st.view();
+            prop_assert_eq!(view.backends.len(), live.len());
+            for g in 0..24 {
+                let graph = format!("graph-{salt:x}-{g}");
+                let placed = view.placement(&graph, R);
+                prop_assert_eq!(
+                    placed.len(),
+                    R.min(live.len()),
+                    "graph {} placed on {:?} of {} live member(s)",
+                    graph, &placed, live.len()
+                );
+                let distinct: HashSet<usize> = placed.iter().copied().collect();
+                prop_assert_eq!(distinct.len(), placed.len(), "replicas must be distinct");
+                for &p in &placed {
+                    prop_assert!(p < live.len(), "placement points at a dead position");
+                    prop_assert_eq!(view.backends[p].addr, live[p]);
+                }
+            }
+        }
+    }
+}
+
+/// The residency payloads the deterministic checks register.
+fn k_clique_edges(k: u32) -> String {
+    let mut edges = String::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    edges
+}
+
+/// Which of the cluster's backends actually hold `graph` resident.
+fn holders(tc: &TestCluster, backend_idxs: &[usize], graph: &str) -> Vec<usize> {
+    backend_idxs
+        .iter()
+        .copied()
+        .filter(|&i| {
+            tc.backend_client(i)
+                .get("/graphs")
+                .is_ok_and(|r| r.body_string().contains(&format!("\"{graph}\"")))
+        })
+        .collect()
+}
+
+/// The backend addresses the router's ring places `graph` on.
+fn placed_addrs(tc: &TestCluster, graph: &str) -> Vec<String> {
+    let resp = Client::new(tc.router_addr())
+        .get(&format!("/ring?graph={graph}"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.body_string();
+    let parsed = antruss::atr::json::parse(&body).unwrap();
+    parsed
+        .get("replicas")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("addr").unwrap().as_str().unwrap().to_string())
+        .collect()
+}
+
+/// Asserts the core invariant over real backends: every graph is
+/// resident on every backend its placement names, and the placement
+/// names exactly `min(R, live)` backends.
+fn assert_residency(tc: &TestCluster, live_idxs: &[usize], graphs: &[&str], r: usize) {
+    let live = tc.live_member_addrs().len();
+    for graph in graphs {
+        let placed = placed_addrs(tc, graph);
+        assert_eq!(
+            placed.len(),
+            r.min(live),
+            "{graph}: placed on {placed:?} with {live} live member(s)"
+        );
+        for addr in &placed {
+            let idx = live_idxs
+                .iter()
+                .copied()
+                .find(|&i| tc.backend_addr(i).to_string() == *addr)
+                .unwrap_or_else(|| panic!("{graph} placed on non-live {addr}"));
+            let holds = holders(tc, &[idx], graph);
+            assert_eq!(
+                holds,
+                vec![idx],
+                "{graph}: replica {addr} does not hold the graph"
+            );
+        }
+    }
+}
+
+/// A scripted join → leave → evict → re-join sequence over real
+/// backends, fully deterministic (manual clock, explicit ticks): after
+/// every membership change each registered graph is resident on exactly
+/// its `min(R, live)` placement replicas.
+#[test]
+fn scripted_churn_keeps_graphs_on_their_replicas() {
+    let mut tc = TestCluster::start(TestClusterConfig {
+        replication: 2,
+        ..TestClusterConfig::default()
+    })
+    .expect("start harness");
+    let graphs = ["alpha", "beta", "gamma", "delta"];
+
+    // three members join; graphs registered through the router
+    let a = tc.join().unwrap();
+    let b = tc.join().unwrap();
+    let c = tc.join().unwrap();
+    let mut client = tc.client();
+    for g in &graphs {
+        let resp = client
+            .post(
+                &format!("/graphs?name={g}"),
+                "text/plain",
+                k_clique_edges(5).as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body_string());
+    }
+    assert_residency(&tc, &[a, b, c], &graphs, 2);
+
+    // graceful leave of b: its graphs re-place onto the survivors
+    // before the DELETE even returns
+    assert_eq!(tc.leave(b).unwrap().status, 200);
+    assert_residency(&tc, &[a, c], &graphs, 2);
+
+    // a fourth member joins and is warmed with its share on arrival
+    let d = tc.join().unwrap();
+    assert_residency(&tc, &[a, c, d], &graphs, 2);
+
+    // c crashes (dead socket, silent heartbeats): after the deadline
+    // one tick evicts it and re-places its graphs
+    tc.kill(c);
+    for _ in 0..3 {
+        tc.advance(100);
+        tc.heartbeat(a);
+        tc.heartbeat(d);
+        tc.tick();
+    }
+    assert_eq!(
+        tc.live_member_addrs().len(),
+        3,
+        "at the deadline c is still a member"
+    );
+    tc.advance(1);
+    tc.heartbeat(a);
+    tc.heartbeat(d);
+    tc.tick();
+    assert_eq!(tc.live_member_addrs().len(), 2, "past it, c is evicted");
+    assert_residency(&tc, &[a, d], &graphs, 2);
+
+    // the event log replays the whole story in order
+    let events = tc.events();
+    let kinds: Vec<&str> = events
+        .iter()
+        .map(|e| match e {
+            MembershipEvent::Joined { .. } => "join",
+            MembershipEvent::Left { .. } => "leave",
+            MembershipEvent::Evicted { .. } => "evict",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec!["join", "join", "join", "leave", "join", "evict"],
+        "{events:?}"
+    );
+    tc.shutdown();
+}
+
+/// Replica counts follow the live membership: with fewer members than
+/// R every graph lands on all of them, and joins grow the replica sets
+/// back without losing residency.
+#[test]
+fn replica_sets_track_membership_below_r() {
+    let mut tc = TestCluster::start(TestClusterConfig {
+        replication: 3,
+        ..TestClusterConfig::default()
+    })
+    .expect("start harness");
+    let a = tc.join().unwrap();
+    let mut client = tc.client();
+    let resp = client
+        .post(
+            "/graphs?name=solo",
+            "text/plain",
+            k_clique_edges(4).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 201);
+    assert_residency(&tc, &[a], &["solo"], 3); // min(3, 1) = 1 replica
+
+    let b = tc.join().unwrap();
+    assert_residency(&tc, &[a, b], &["solo"], 3); // 2 replicas
+
+    let c = tc.join().unwrap();
+    assert_residency(&tc, &[a, b, c], &["solo"], 3); // 3 replicas
+    tc.shutdown();
+}
