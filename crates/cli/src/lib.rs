@@ -39,12 +39,14 @@ USAGE:
   antruss solvers
   antruss serve      [--addr HOST:PORT] [--threads N] [--cache N] [--max-body-mb N]
                      [--exact-cap N] [--base-timeout S] [--max-b N]
+                     [--data-dir DIR] [--fsync always|interval:MS|never]
                      [--join ROUTER:PORT] [--advertise HOST:PORT] [--heartbeat-ms MS]
   antruss cluster    [--backends N | --backend-addrs A:P,B:P,...] [--replicas R]
                      [--addr HOST:PORT] [--vnodes V] [--health-ms MS]
                      [--heartbeat-ms MS] [--miss-threshold N] [--threads N]
                      [--cache N] [--max-body-mb N] [--exact-cap N]
-                     [--base-timeout S] [--max-b N]
+                     [--base-timeout S] [--max-b N] [--data-dir DIR]
+                     [--fsync always|interval:MS|never]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -59,6 +61,11 @@ generate the built-in synthetic analogues.
 loaded in a shared catalog, repeated /solve requests are answered from
 an LRU outcome cache, and ctrl-c drains in-flight work before exiting
 (see the README's Serving section for the endpoints and curl examples).
+With --data-dir DIR the catalog is durable: every register/mutate/
+delete is appended to a checksummed write-ahead log before it is
+acknowledged, the WAL compacts into per-graph binary snapshots, and a
+restart (even after kill -9) replays snapshot + WAL tail; --fsync
+picks the durability/latency trade-off (default interval:100).
 With --join ROUTER:PORT the backend registers with a running `antruss
 cluster` router, heartbeats, and deregisters on ctrl-c; --advertise
 overrides the address the router dials back (required when the bind
@@ -370,10 +377,16 @@ pub fn cmd_compare(
     Ok(t.render())
 }
 
-/// Builds the service configuration from the `serve` flags.
-pub fn serve_config(args: &Args) -> antruss_service::ServerConfig {
+/// Builds the service configuration from the `serve` flags
+/// (`--data-dir DIR` makes the catalog durable; `--fsync` picks the
+/// WAL flush policy and rejects unknown spellings loudly).
+pub fn serve_config(args: &Args) -> Result<antruss_service::ServerConfig, String> {
     let defaults = antruss_service::ServerConfig::default();
-    antruss_service::ServerConfig {
+    let fsync = match args.get_str("fsync") {
+        None => defaults.fsync,
+        Some(raw) => antruss_store::FsyncPolicy::parse(raw).map_err(|e| format!("--fsync: {e}"))?,
+    };
+    Ok(antruss_service::ServerConfig {
         addr: args.get_str("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: args.get("threads", defaults.threads),
         cache_capacity: args.get("cache", defaults.cache_capacity),
@@ -385,7 +398,9 @@ pub fn serve_config(args: &Args) -> antruss_service::ServerConfig {
         base_timeout_secs: args.get("base-timeout", defaults.base_timeout_secs),
         max_solve_threads: defaults.max_solve_threads,
         shard: None,
-    }
+        data_dir: args.get_str("data-dir").map(String::from),
+        fsync,
+    })
 }
 
 /// Resolves one `HOST:PORT` (hostname or IP literal) to a socket
@@ -436,7 +451,7 @@ pub fn cluster_config(args: &Args) -> Result<antruss_cluster::ClusterConfig, Str
         health_interval_ms: args.get("health-ms", defaults.health_interval_ms),
         heartbeat_ms: args.get("heartbeat-ms", defaults.heartbeat_ms).max(1),
         miss_threshold: args.get("miss-threshold", defaults.miss_threshold).max(1),
-        backend: serve_config(args),
+        backend: serve_config(args)?,
     })
 }
 
@@ -480,7 +495,7 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
 /// With `--join ROUTER:PORT` the backend also registers with a cluster
 /// router, heartbeats while it runs, and deregisters on shutdown.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
-    let cfg = serve_config(args);
+    let cfg = serve_config(args)?;
     let server = antruss_service::Server::start(cfg.clone())
         .map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
     eprintln!(
@@ -489,6 +504,17 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() },
         cfg.cache_capacity
     );
+    if let Some(store) = server.state().store.as_deref() {
+        let s = store.stats();
+        eprintln!(
+            "antruss serve: durable catalog in {} (fsync {}; recovered {} graph(s) + {} op(s) in {} ms)",
+            store.dir().display(),
+            store.policy(),
+            s.recovered_graphs,
+            s.recovered_ops,
+            s.recovery_ms
+        );
+    }
     let heartbeat = match args.get_str("join") {
         None => None,
         Some(raw) => {
@@ -754,16 +780,63 @@ mod tests {
     #[test]
     fn serve_config_reads_flags() {
         let cfg = serve_config(&args(
-            "serve --addr 0.0.0.0:9000 --threads 2 --cache 16 --max-body-mb 1 --max-b 8",
-        ));
+            "serve --addr 0.0.0.0:9000 --threads 2 --cache 16 --max-body-mb 1 --max-b 8 \
+             --data-dir /tmp/antruss-data --fsync always",
+        ))
+        .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:9000");
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.cache_capacity, 16);
         assert_eq!(cfg.max_body_bytes, 1024 * 1024);
         assert_eq!(cfg.max_budget, 8);
-        let defaults = serve_config(&args("serve"));
+        assert_eq!(cfg.data_dir.as_deref(), Some("/tmp/antruss-data"));
+        assert_eq!(cfg.fsync, antruss_store::FsyncPolicy::Always);
+        let defaults = serve_config(&args("serve")).unwrap();
         assert_eq!(defaults.addr, "127.0.0.1:7171");
         assert_eq!(defaults.cache_capacity, 256);
+        assert_eq!(defaults.data_dir, None);
+        assert_eq!(defaults.fsync, antruss_store::FsyncPolicy::Interval(100));
+        let interval = serve_config(&args("serve --fsync interval:250")).unwrap();
+        assert_eq!(interval.fsync, antruss_store::FsyncPolicy::Interval(250));
+        // bad policies are loud errors, on serve and cluster alike
+        assert!(serve_config(&args("serve --fsync sometimes"))
+            .unwrap_err()
+            .contains("--fsync"));
+        assert!(cluster_config(&args("cluster --fsync nope")).is_err());
+    }
+
+    #[test]
+    fn serve_with_data_dir_recovers_across_runs() {
+        let dir = std::env::temp_dir().join(format!("antruss-cli-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = serve_config(&Args::parse(vec![
+            "serve".to_string(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--data-dir".to_string(),
+            dir.display().to_string(),
+        ]))
+        .unwrap();
+        let server = antruss_service::Server::start(cfg.clone()).unwrap();
+        let addr = server.addr();
+        let mut client = antruss_service::Client::new(addr);
+        assert_eq!(
+            client
+                .post("/graphs?name=tri", "text/plain", b"0 1\n1 2\n2 0\n")
+                .unwrap()
+                .status,
+            201
+        );
+        server.shutdown();
+        // same data dir, fresh process state: the graph is back
+        let server = antruss_service::Server::start(cfg).unwrap();
+        let listing = antruss_service::Client::new(server.addr())
+            .get("/graphs")
+            .unwrap()
+            .body_string();
+        assert!(listing.contains("\"tri\""), "not recovered: {listing}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Crash-consistency end to end, with a real process and a real
+//! SIGKILL: an `antruss serve --data-dir --join` backend is killed -9
+//! mid-mutation-traffic, restarted over the same data directory, and
+//! must come back byte-identical to a replica that never crashed —
+//! recovering its graphs from local disk first (asserted via the
+//! router's warm-skip counter and the backend's store metrics) and
+//! pulling only the outcome-cache delta from its peer.
+
+use std::io::BufRead as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use antruss_cluster::{Router, RouterConfig};
+use antruss_service::{Client, HeartbeatClient, Server, ServerConfig};
+use antruss_store::FsyncPolicy;
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn metric(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+}
+
+fn ring_member_count(router_addr: SocketAddr) -> usize {
+    let Ok(resp) = Client::new(router_addr).get("/metrics") else {
+        return usize::MAX;
+    };
+    metric(&resp.body_string(), "antruss_router_backends").unwrap_or(u64::MAX) as usize
+}
+
+/// A spawned `antruss serve` process plus the stderr watcher that
+/// captures its ephemeral bound address and join confirmation.
+struct SpawnedBackend {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl SpawnedBackend {
+    /// Spawns the real binary with `--data-dir` + `--join` and waits
+    /// until it reports both its listening address and a completed
+    /// (synchronously warmed) cluster join.
+    fn start(data_dir: &std::path::Path, router: SocketAddr) -> SpawnedBackend {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_antruss"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "8",
+                "--cache",
+                "64",
+                "--data-dir",
+                &data_dir.display().to_string(),
+                "--fsync",
+                "always",
+                "--join",
+                &router.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn antruss serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, rx) = mpsc::channel::<SocketAddr>();
+        std::thread::spawn(move || {
+            let mut addr = None;
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.split("listening on http://").nth(1) {
+                    addr = rest.split_whitespace().next().and_then(|a| a.parse().ok());
+                }
+                if line.contains("joined cluster router") {
+                    if let Some(addr) = addr {
+                        let _ = tx.send(addr);
+                    }
+                }
+                // keep draining so the child never blocks on stderr
+            }
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("backend never reported listening + joined");
+        SpawnedBackend { child, addr }
+    }
+
+    /// SIGKILL — no drain, no WAL flush beyond completed writes, no
+    /// graceful leave. `std::process::Child::kill` sends SIGKILL on
+    /// unix, which is exactly the crash being modeled.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkill_mid_mutation_recovers_byte_identical_from_disk() {
+    let base = std::env::temp_dir().join(format!("antruss-crash-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_a = base.join("backend-a");
+    let dir_b = base.join("backend-b");
+
+    // the cluster: an empty router; B is the never-crashed replica
+    // (in-process, also durable), A is the real process we will kill
+    let router = Router::start(RouterConfig {
+        replication: 2,
+        health_interval_ms: 100,
+        heartbeat_ms: 150,
+        miss_threshold: 3,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let server_b = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 8,
+        cache_capacity: 64,
+        data_dir: Some(dir_b.display().to_string()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    })
+    .expect("bind backend b");
+    let _hb_b = HeartbeatClient::start(router.addr(), server_b.addr(), None).expect("b joins");
+    let backend_a = SpawnedBackend::start(&dir_a, router.addr());
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
+            == 2),
+        "both backends never joined"
+    );
+
+    // two graphs through the router (R=2: both replicas hold both).
+    // "cold" will stay untouched after the crash — its disk copy must
+    // be recognized as current; "hot" keeps mutating — its disk copy
+    // must be detected as stale and re-pulled from B.
+    let mut client = Client::new(router.addr());
+    let mut edges = String::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    for name in ["cold", "hot"] {
+        let resp = client
+            .post(
+                &format!("/graphs?name={name}"),
+                "text/plain",
+                edges.as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body_string());
+    }
+    // cache the cold outcome on B, the replica that survives the crash
+    // (outcome JSON embeds the solve's wall-clock, so only a cache
+    // replay — not a recompute — can be byte-identical)
+    let cold_solve = br#"{"graph":"cold","solver":"gas","b":1}"#;
+    let first = Client::new(server_b.addr())
+        .post("/solve", "application/json", cold_solve)
+        .unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_string());
+    let cold_reference = first.body.clone();
+
+    // mutation traffic against "hot"; kill A with SIGKILL mid-stream.
+    // every request must keep succeeding (B absorbs the fan-out).
+    let mut doomed = Some(backend_a);
+    for i in 0..12u32 {
+        if i == 5 {
+            doomed.take().unwrap().kill_dash_nine();
+        }
+        let batch = format!("{{\"insert\":[[0,{}],[1,{}]]}}", 6 + i, 6 + i);
+        let resp = client
+            .post("/graphs/hot/mutate", "application/json", batch.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "mutation {i}: {}", resp.body_string());
+    }
+
+    // the corpse is evicted; the ring shrinks to B alone
+    assert!(
+        poll_until(Duration::from_secs(15), || ring_member_count(router.addr())
+            == 1),
+        "killed backend was never evicted"
+    );
+
+    // restart A over the same data directory: it recovers its catalog
+    // from snapshot + WAL tail locally, then re-joins. The join warm
+    // must recognize "cold" as already current (checksum match — no
+    // transfer) and replace only the diverged "hot".
+    let skipped_before = metric(
+        &Client::new(router.addr())
+            .get("/metrics")
+            .unwrap()
+            .body_string(),
+        "antruss_router_warm_skipped_graphs_total",
+    )
+    .unwrap();
+    let backend_a = SpawnedBackend::start(&dir_a, router.addr());
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
+            == 2),
+        "restarted backend never re-joined"
+    );
+
+    // 1) disk-first: the router skipped at least the "cold" transfer
+    let router_metrics = Client::new(router.addr())
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    let skipped_after =
+        metric(&router_metrics, "antruss_router_warm_skipped_graphs_total").unwrap();
+    assert!(
+        skipped_after > skipped_before,
+        "no graph was warm-skipped; disk recovery was not preferred:\n{router_metrics}"
+    );
+
+    // 2) the restarted process actually recovered from its store
+    let a_metrics = Client::new(backend_a.addr)
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    assert!(
+        metric(&a_metrics, "antruss_store_recovered_graphs").unwrap() >= 2
+            || metric(&a_metrics, "antruss_store_recovered_ops").unwrap() >= 2,
+        "store metrics show no recovery:\n{a_metrics}"
+    );
+    assert!(
+        a_metrics.contains("antruss_store_recovery_ms"),
+        "{a_metrics}"
+    );
+
+    // 3) byte-identical catalogs: names, shapes, content checksums and
+    // raw edge dumps all match the never-crashed replica
+    let mut a_client = Client::new(backend_a.addr);
+    let mut b_client = Client::new(server_b.addr());
+    let project = |body: &str| -> Vec<(String, u64, u64, String)> {
+        let parsed = antruss_core::json::parse(body).unwrap();
+        let mut rows: Vec<(String, u64, u64, String)> = parsed
+            .get("loaded")
+            .and_then(antruss_core::json::Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| {
+                (
+                    e.get("name").unwrap().as_str().unwrap().to_string(),
+                    e.get("vertices").unwrap().as_u64().unwrap(),
+                    e.get("edges").unwrap().as_u64().unwrap(),
+                    e.get("checksum").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    let a_listing = project(&a_client.get("/graphs").unwrap().body_string());
+    let b_listing = project(&b_client.get("/graphs").unwrap().body_string());
+    assert_eq!(a_listing, b_listing, "recovered catalog diverged");
+    assert_eq!(a_listing.len(), 2);
+    for name in ["cold", "hot"] {
+        let a_edges = a_client.get(&format!("/graphs/{name}/edges")).unwrap().body;
+        let b_edges = b_client.get(&format!("/graphs/{name}/edges")).unwrap().body;
+        assert_eq!(a_edges, b_edges, "{name}: edge dumps diverged");
+    }
+
+    // 4) byte-identical solve outcomes. "cold" was cached pre-crash on
+    // B: join warm replayed the peer's exact bytes into A — the
+    // O(cache delta) transfer — so A answers a *hit* with those bytes.
+    let a_cold = a_client
+        .post("/solve", "application/json", cold_solve)
+        .unwrap();
+    assert_eq!(a_cold.status, 200, "{}", a_cold.body_string());
+    assert_eq!(
+        a_cold.header("x-antruss-cache"),
+        Some("hit"),
+        "cold outcome was not warm-replayed into the recovered backend"
+    );
+    assert_eq!(
+        a_cold.body, cold_reference,
+        "pre-crash cached outcome diverged after recovery"
+    );
+    // "hot" mutated through the crash, so neither replica holds a
+    // cached outcome: both recompute. Recomputes embed their own
+    // wall-clock, so strip the timing fields and compare the rest —
+    // anchors, gains, rounds, reuse telemetry — exactly.
+    let hot_solve = br#"{"graph":"hot","solver":"gas","b":2}"#;
+    let a_hot = a_client
+        .post("/solve", "application/json", hot_solve)
+        .unwrap();
+    let b_hot = b_client
+        .post("/solve", "application/json", hot_solve)
+        .unwrap();
+    assert_eq!(a_hot.status, 200, "{}", a_hot.body_string());
+    assert_eq!(b_hot.status, 200, "{}", b_hot.body_string());
+    fn strip_elapsed(v: &mut antruss_core::json::Value) {
+        use antruss_core::json::Value;
+        match v {
+            Value::Obj(m) => {
+                m.remove("elapsed_secs");
+                for child in m.values_mut() {
+                    strip_elapsed(child);
+                }
+            }
+            Value::Arr(items) => items.iter_mut().for_each(strip_elapsed),
+            _ => {}
+        }
+    }
+    let mut a_parsed = antruss_core::json::parse(&a_hot.body_string()).unwrap();
+    let mut b_parsed = antruss_core::json::parse(&b_hot.body_string()).unwrap();
+    strip_elapsed(&mut a_parsed);
+    strip_elapsed(&mut b_parsed);
+    assert_eq!(
+        a_parsed, b_parsed,
+        "post-recovery solve diverged from the never-crashed replica"
+    );
+    // and once cached, replays are byte-identical on each replica
+    let a_hot_again = a_client
+        .post("/solve", "application/json", hot_solve)
+        .unwrap();
+    assert_eq!(a_hot_again.header("x-antruss-cache"), Some("hit"));
+    assert_eq!(a_hot_again.body, a_hot.body);
+
+    backend_a.kill_dash_nine();
+    router.shutdown();
+    server_b.shutdown();
+    std::fs::remove_dir_all(&base).unwrap();
+}

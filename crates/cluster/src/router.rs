@@ -219,6 +219,12 @@ pub struct RouterState {
     pub failovers: AtomicU64,
     /// Graphs re-registered into recovering/joining backends by warm-up.
     pub warmed_graphs: AtomicU64,
+    /// Graphs warm-up did **not** transfer because the joining backend
+    /// already held a byte-identical copy — the disk-first recovery
+    /// path (`antruss serve --data-dir`): a restarted member replays
+    /// its local WAL + snapshots, and only diverged graphs and the
+    /// outcome-cache delta cross the network.
+    pub warm_skipped_graphs: AtomicU64,
     /// Dynamic members registered over the router's lifetime.
     pub joins: AtomicU64,
     /// Dynamic members evicted for missing heartbeats.
@@ -255,6 +261,7 @@ impl RouterState {
             errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             warmed_graphs: AtomicU64::new(0),
+            warm_skipped_graphs: AtomicU64::new(0),
             joins: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -478,6 +485,13 @@ fn render_metrics(state: &RouterState) -> String {
     line(
         "antruss_router_warmed_graphs_total",
         state.warmed_graphs.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_warm_skipped_graphs_total",
+        state
+            .warm_skipped_graphs
+            .load(Ordering::Relaxed)
+            .to_string(),
     );
     line("antruss_router_backends", view.backends.len().to_string());
     line("antruss_router_dynamic_members", dynamic.to_string());
@@ -990,7 +1004,7 @@ fn peer_write_fingerprint(view: &RouterView, idx: usize) -> Vec<(usize, u64, u64
 /// the last pass.
 fn warm_backend(state: &RouterState, addr: SocketAddr, purge_first: bool) -> (u64, u64) {
     const MAX_PASSES: u32 = 3;
-    let mut restored = (0, 0);
+    let mut restored = SyncOutcome::default();
     let mut target_idx = None;
     for _ in 0..MAX_PASSES {
         // re-resolve the view each pass: membership may have changed
@@ -1008,14 +1022,19 @@ fn warm_backend(state: &RouterState, addr: SocketAddr, purge_first: bool) -> (u6
         // (a purge_first pass starts with a full purge, so redoing it
         // replaces any stale data the race let through)
     }
-    state.warmed_graphs.fetch_add(restored.0, Ordering::Relaxed);
+    state
+        .warmed_graphs
+        .fetch_add(restored.graphs, Ordering::Relaxed);
+    state
+        .warm_skipped_graphs
+        .fetch_add(restored.skipped, Ordering::Relaxed);
     if let Some(idx) = target_idx {
         let view = state.view();
         if let Some(b) = view.backends.get(idx) {
-            b.warmed.fetch_add(restored.1, Ordering::Relaxed);
+            b.warmed.fetch_add(restored.entries, Ordering::Relaxed);
         }
     }
-    restored
+    (restored.graphs, restored.entries)
 }
 
 /// After a member leaves or is evicted, every graph it replicated needs
@@ -1026,29 +1045,47 @@ fn rebalance(state: &RouterState) -> (u64, u64) {
     let view = state.view();
     let results = scatter(view.backends.len(), |idx| {
         if !view.backends[idx].healthy.load(Ordering::Relaxed) {
-            return (0, 0);
+            return SyncOutcome::default();
         }
         sync_backend_once(state, &view, idx, false)
     });
     let mut total = (0u64, 0u64);
-    for (idx, (g, e)) in results.into_iter().enumerate() {
-        total.0 += g;
-        total.1 += e;
-        view.backends[idx].warmed.fetch_add(e, Ordering::Relaxed);
+    for (idx, sync) in results.into_iter().enumerate() {
+        total.0 += sync.graphs;
+        total.1 += sync.entries;
+        view.backends[idx]
+            .warmed
+            .fetch_add(sync.entries, Ordering::Relaxed);
     }
     state.warmed_graphs.fetch_add(total.0, Ordering::Relaxed);
     total
 }
 
+/// What one [`sync_backend_once`] pass did.
+#[derive(Debug, Default, Clone, Copy)]
+struct SyncOutcome {
+    /// Graphs transferred from peers (edge dump → re-register).
+    graphs: u64,
+    /// Cache entries replayed into the target.
+    entries: u64,
+    /// Graphs the target already held byte-identically (matching
+    /// content checksum) — typically recovered from its own `--data-dir`
+    /// — so no transfer was needed.
+    skipped: u64,
+}
+
 /// One sync pass for the backend at `view.backends[idx]`:
 ///
-/// 1. with `purge_first` (recovery/join: the target's state is stale or
-///    unknown) the target's cache is purged and every placed graph is
-///    force-replaced; without it (rebalance of a live survivor) only
-///    graphs the target is *missing* are copied and its resident state
-///    is left alone;
+/// 1. with `purge_first` (recovery/join: the target's *cache* may
+///    predate mutations it missed) the target's outcome cache is
+///    purged and rebuilt from peers; without it (rebalance of a live
+///    survivor) the cache is only added to;
 /// 2. every replicated graph the ring places on the target is
-///    re-registered from a healthy peer's edge dump;
+///    re-registered from a healthy peer's edge dump — **unless** the
+///    target already holds a copy with the same content checksum (a
+///    restarted `--data-dir` member recovers its graphs from local
+///    disk before joining, so warm-up only transfers what actually
+///    diverged: O(cache delta) instead of O(graph bytes));
 /// 3. the peers' cache entries belonging to the target are replayed
 ///    through `POST /cache/load`, pulled via **paged** `/cache/dump`
 ///    requests (`offset`/`limit`) so no whole-cache payload is ever
@@ -1063,29 +1100,38 @@ fn sync_backend_once(
     view: &RouterView,
     idx: usize,
     purge_first: bool,
-) -> (u64, u64) {
+) -> SyncOutcome {
     let target = &view.backends[idx];
     if purge_first {
         let _ = forward(target, "POST", "/cache/purge", None);
     }
-    // what the target already holds (used in additive mode to leave
-    // resident graphs alone)
-    let mut present: std::collections::HashSet<String> = std::collections::HashSet::new();
-    if !purge_first {
-        let Ok(listing) = forward(target, "GET", "/graphs", None) else {
-            return (0, 0);
-        };
-        if let Ok(parsed) = json::parse(&listing.body_string()) {
-            if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
-                for entry in loaded {
-                    if let Some(name) = entry.get("name").and_then(Value::as_str) {
-                        present.insert(name.to_string());
+    // what the target already holds, by content checksum: a matching
+    // checksum means its copy (usually disk-recovered) is current and
+    // need not be transferred; a mismatch means it missed mutations
+    // and must be replaced
+    let mut present: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    match forward(target, "GET", "/graphs", None) {
+        Ok(listing) => {
+            if let Ok(parsed) = json::parse(&listing.body_string()) {
+                if let Some(loaded) = parsed.get("loaded").and_then(Value::as_array) {
+                    for entry in loaded {
+                        if let Some(name) = entry.get("name").and_then(Value::as_str) {
+                            let sum = entry
+                                .get("checksum")
+                                .and_then(Value::as_str)
+                                .unwrap_or("")
+                                .to_string();
+                            present.insert(name.to_string(), sum);
+                        }
                     }
                 }
             }
         }
+        Err(_) if !purge_first => return SyncOutcome::default(),
+        Err(_) => {} // unreadable target listing: fall back to full copy
     }
     let replication = state.config.replication;
+    let mut skipped: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut graphs_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut entries_restored: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (peer_idx, peer) in view.backends.iter().enumerate() {
@@ -1110,10 +1156,27 @@ fn sync_backend_once(
                 };
                 if source == "generated"
                     || graphs_restored.contains(name)
-                    || present.contains(name)
+                    || skipped.contains(name)
                     || !view.placement(name, replication).contains(&idx)
                 {
                     continue;
+                }
+                match present.get(name) {
+                    // byte-identical copy already resident (checksums
+                    // are content fingerprints): disk recovery beat the
+                    // network — nothing to transfer
+                    Some(target_sum)
+                        if !target_sum.is_empty()
+                            && entry.get("checksum").and_then(Value::as_str)
+                                == Some(target_sum) =>
+                    {
+                        skipped.insert(name.to_string());
+                        continue;
+                    }
+                    // additive rebalance leaves any resident copy alone
+                    // (a live survivor's copy is current by definition)
+                    Some(_) if !purge_first => continue,
+                    _ => {}
                 }
                 let encoded = encode_component(name);
                 let Ok(edges) = forward(peer, "GET", &format!("/graphs/{encoded}/edges"), None)
@@ -1187,7 +1250,11 @@ fn sync_backend_once(
             }
         }
     }
-    (graphs_restored.len() as u64, entries_restored.len() as u64)
+    SyncOutcome {
+        graphs: graphs_restored.len() as u64,
+        entries: entries_restored.len() as u64,
+        skipped: skipped.len() as u64,
+    }
 }
 
 /// One supervision pass: health-check every member (warming members

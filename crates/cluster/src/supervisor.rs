@@ -41,7 +41,10 @@ pub struct ClusterConfig {
     /// Missed-heartbeat intervals tolerated before eviction.
     pub miss_threshold: u32,
     /// Template for every spawned backend. `addr` is overridden with an
-    /// ephemeral loopback port and `shard` with the backend's index.
+    /// ephemeral loopback port and `shard` with the backend's index;
+    /// `data_dir`, when set, is treated as a *base* directory and each
+    /// backend gets its own `shard-N` subdirectory under it (shards
+    /// must never share a WAL).
     pub backend: ServerConfig,
 }
 
@@ -96,6 +99,11 @@ impl Cluster {
                     addr: "127.0.0.1:0".to_string(),
                     threads: backend_threads,
                     shard: Some(shard as u32),
+                    data_dir: config
+                        .backend
+                        .data_dir
+                        .as_ref()
+                        .map(|base| format!("{base}/shard-{shard}")),
                     ..config.backend.clone()
                 };
                 backends.push(Server::start(backend_cfg)?);
@@ -182,6 +190,29 @@ mod tests {
 
         let report = cluster.shutdown();
         assert!(report.contains("shard 1:"), "{report}");
+    }
+
+    #[test]
+    fn spawned_backends_get_per_shard_data_dirs() {
+        let base =
+            std::env::temp_dir().join(format!("antruss-supervisor-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let cluster = Cluster::start(ClusterConfig {
+            backends: 2,
+            health_interval_ms: 0,
+            backend: ServerConfig {
+                data_dir: Some(base.display().to_string()),
+                ..ServerConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .expect("cluster starts durable");
+        for shard in 0..2 {
+            let wal = base.join(format!("shard-{shard}")).join("wal.log");
+            assert!(wal.is_file(), "missing {}", wal.display());
+        }
+        cluster.shutdown();
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

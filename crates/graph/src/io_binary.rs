@@ -75,6 +75,25 @@ pub fn from_bytes(mut data: Bytes) -> Result<CsrGraph, GraphError> {
     Ok(g)
 }
 
+/// A stable content fingerprint of the graph: [`crate::hash::FxHasher`]
+/// over the vertex count and the canonical sorted edge array. Two graphs
+/// fingerprint equal iff they have the same dense-id edge set, across
+/// processes and machines (the hasher is unseeded) — the cluster tier
+/// compares these to decide whether a disk-recovered replica's copy is
+/// current or must be re-transferred from a peer.
+pub fn fingerprint(g: &CsrGraph) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = crate::hash::FxHasher::default();
+    h.write_u32(g.num_vertices() as u32);
+    h.write_u32(g.num_edges() as u32);
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        h.write_u32(u.0);
+        h.write_u32(v.0);
+    }
+    h.finish()
+}
+
 /// Writes the binary format to a writer.
 pub fn write_binary<W: Write>(g: &CsrGraph, mut w: W) -> Result<(), GraphError> {
     w.write_all(&to_bytes(g))?;
@@ -149,6 +168,17 @@ mod tests {
         buf.put_u32_le(0);
         buf.put_u32_le(7); // v = 7 >= n
         assert!(from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let g = gnm(60, 200, 4);
+        let h = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&h), "round-trip preserves it");
+        let other = gnm(60, 200, 5);
+        assert_ne!(fingerprint(&g), fingerprint(&other), "differing edge sets");
+        let fewer = gnm(60, 199, 4);
+        assert_ne!(fingerprint(&g), fingerprint(&fewer));
     }
 
     #[test]

@@ -27,7 +27,13 @@
 //! graph-lifecycle fan-out latency (register/mutate/purge on a scratch
 //! graph, `--fanout-rounds` times): with the router's concurrent
 //! scatter-gather these sit at ~max of the single-replica latencies,
-//! not their sum.
+//! not their sum. `--recovery` benchmarks the two restart paths side
+//! by side on throwaway in-process servers (`--recovery-graphs`
+//! controls the catalog size): **cold replay** — restart a
+//! `--data-dir` backend and recover snapshots + WAL + cache dump from
+//! local disk — against **peer re-warm** — rebuild the same state
+//! over HTTP from a live peer (edge dumps, re-registration, cache
+//! replay), which is what a diskless backend pays on every restart.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -36,7 +42,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use antruss_bench::args::Args;
-use antruss_service::Client;
+use antruss_service::{Client, Server, ServerConfig};
 
 /// One client thread's tally.
 #[derive(Default)]
@@ -166,6 +172,142 @@ fn fanout_bench(addr: SocketAddr, rounds: usize) -> Option<String> {
     ))
 }
 
+/// Benchmarks the two restart paths on throwaway in-process servers:
+/// a durable backend's **cold replay** (snapshots + WAL + persisted
+/// cache dump, all local disk) vs the cluster's **peer re-warm** (the
+/// same state pulled over HTTP from a live peer — edge dump,
+/// re-registration, cache dump/load — exactly the operations the
+/// router's warm path issues). Returns the JSON `recovery` section.
+fn recovery_bench(graphs: usize) -> Option<String> {
+    use antruss_graph::{gen::gnm, io};
+
+    let dir = std::env::temp_dir().join(format!("antruss-loadgen-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 4 * graphs.max(1),
+        data_dir: Some(dir.display().to_string()),
+        ..ServerConfig::default()
+    };
+    let diskless = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 4 * graphs.max(1),
+        ..ServerConfig::default()
+    };
+
+    // identical synthetic registered graphs for both paths
+    let lists: Vec<Vec<u8>> = (0..graphs)
+        .map(|i| {
+            let g = gnm(400, 1600, i as u64 + 1);
+            let mut out = Vec::new();
+            io::write_edge_list(&g, &mut out).expect("serialize bench graph");
+            out
+        })
+        .collect();
+    let mut edges_total = 0usize;
+    let populate = |addr, solve: bool| -> Option<()> {
+        let mut c = Client::new(addr);
+        for (i, list) in lists.iter().enumerate() {
+            let resp = c
+                .post(&format!("/graphs?name=bench-g{i}"), "text/plain", list)
+                .ok()?;
+            if resp.status != 201 {
+                eprintln!("recovery bench: register failed: {}", resp.body_string());
+                return None;
+            }
+            if solve {
+                let body = format!("{{\"graph\":\"bench-g{i}\",\"b\":1}}");
+                c.post("/solve", "application/json", body.as_bytes()).ok()?;
+            }
+        }
+        Some(())
+    };
+
+    // 1) populate the durable backend, mutate a little (a WAL tail to
+    // replay), shut down gracefully (persists the cache dump)
+    {
+        let server = Server::start(durable.clone()).ok()?;
+        populate(server.addr(), true)?;
+        let mut c = Client::new(server.addr());
+        c.post(
+            "/graphs/bench-g0/mutate",
+            "application/json",
+            br#"{"insert":[[0,400],[1,400],[2,400]]}"#,
+        )
+        .ok()?;
+        server.shutdown();
+    }
+
+    // 2) cold replay: restart over the same data dir (recovery runs
+    // inside Server::start, before the listener answers)
+    let started = Instant::now();
+    let server = Server::start(durable).ok()?;
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    let metrics = Client::new(server.addr())
+        .get("/metrics")
+        .ok()?
+        .body_string();
+    let read = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let (recovered_graphs, recovered_ops, warmed) = (
+        read("antruss_store_recovered_graphs"),
+        read("antruss_store_recovered_ops"),
+        read("antruss_cache_warmed_entries_total"),
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 3) peer re-warm: the same catalog + cache rebuilt over HTTP from
+    // a live peer into an empty backend — the diskless restart path
+    let peer = Server::start(diskless.clone()).ok()?;
+    populate(peer.addr(), true)?;
+    let target = Server::start(diskless).ok()?;
+    let mut from = Client::new(peer.addr());
+    let mut to = Client::new(target.addr());
+    let started = Instant::now();
+    for i in 0..graphs {
+        let edges = from.get(&format!("/graphs/bench-g{i}/edges")).ok()?;
+        edges_total += edges.body.len();
+        let resp = to
+            .post(
+                &format!("/graphs?name=bench-g{i}"),
+                "text/plain",
+                &edges.body,
+            )
+            .ok()?;
+        if resp.status != 201 {
+            return None;
+        }
+    }
+    let dump = from.get("/cache/dump").ok()?;
+    let loaded = to
+        .post("/cache/load", "application/json", &dump.body)
+        .ok()?;
+    if loaded.status != 200 {
+        return None;
+    }
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    peer.shutdown();
+    target.shutdown();
+
+    println!(
+        "recovery ({graphs} graph(s), {edges_total} edge-list byte(s)): \
+         cold disk replay {cold_ms:.1}ms ({recovered_graphs} graph(s), {recovered_ops} op(s), \
+         {warmed} cache entr(ies)) vs peer re-warm over HTTP {warm_ms:.1}ms"
+    );
+    Some(format!(
+        "{{\"graphs\":{graphs},\"edge_list_bytes\":{edges_total},\
+         \"cold_replay_ms\":{cold_ms:.3},\"peer_rewarm_ms\":{warm_ms:.3},\
+         \"recovered_graphs\":{recovered_graphs},\"recovered_ops\":{recovered_ops},\
+         \"warm_cache_entries\":{warmed}}}"
+    ))
+}
+
 fn main() {
     let args = Args::from_env();
     let addr_list = args
@@ -205,6 +347,11 @@ fn main() {
     );
     let fanout = if args.flag("fanout") {
         fanout_bench(addrs[0], args.get("fanout-rounds", 5))
+    } else {
+        None
+    };
+    let recovery = if args.flag("recovery") {
+        recovery_bench(args.get("recovery-graphs", 6))
     } else {
         None
     };
@@ -304,13 +451,17 @@ fn main() {
             .as_ref()
             .map(|f| format!(",\"fanout\":{f}"))
             .unwrap_or_default();
+        let recovery_field = recovery
+            .as_ref()
+            .map(|r| format!(",\"recovery\":{r}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

@@ -10,12 +10,20 @@
 //!   generation + CSR build happens once per spec, not per request;
 //! * **registered graphs** — arbitrary names uploaded via
 //!   `POST /graphs` with a SNAP edge-list body.
+//!
+//! With a [`Store`] attached (`antruss serve --data-dir`), every
+//! successful register / mutate / delete is appended to the write-ahead
+//! log **before** the method returns — so an acknowledged catalog write
+//! is recoverable — and the WAL is periodically compacted into
+//! per-graph binary snapshots. Dataset analogues are never persisted:
+//! they regenerate pristine from their spec.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use antruss_datasets::DatasetId;
-use antruss_graph::{io, CsrGraph, EdgeId, EdgeSet, GraphBuilder, VertexId};
+use antruss_graph::{io, io_binary, CsrGraph, EdgeId, EdgeSet, GraphBuilder, VertexId};
+use antruss_store::{CatalogOp, Store};
 use antruss_truss::DynamicTruss;
 
 /// Registered (not generated) graphs beyond this are refused — the
@@ -45,6 +53,10 @@ pub enum CatalogError {
     BuiltIn(String),
     /// A mutation batch referenced vertex ids far beyond the graph.
     BadMutation(String),
+    /// The write-ahead log rejected the operation (disk full, I/O
+    /// error); the catalog is unchanged and the client must not treat
+    /// the operation as applied. A 500 at the HTTP layer.
+    Storage(String),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -60,7 +72,8 @@ impl std::fmt::Display for CatalogError {
             CatalogError::Full => write!(f, "catalog full ({MAX_REGISTERED} registered graphs)"),
             CatalogError::BadName(n) => write!(
                 f,
-                "bad graph name {n:?} (use lower-case letters, digits, `_`, `.`, `-`)"
+                "bad graph name {n:?} (use lower-case letters, digits, `_`, `.`, `-`; \
+                 must not start with `.`)"
             ),
             CatalogError::BadEdgeList(e) => write!(f, "bad edge list: {e}"),
             CatalogError::BuiltIn(n) => write!(
@@ -69,6 +82,7 @@ impl std::fmt::Display for CatalogError {
                  under another name to mutate or delete it)"
             ),
             CatalogError::BadMutation(e) => write!(f, "bad mutation: {e}"),
+            CatalogError::Storage(e) => write!(f, "durable store refused the write: {e}"),
         }
     }
 }
@@ -84,13 +98,30 @@ pub struct CatalogEntry {
     pub vertices: usize,
     /// Edge count.
     pub edges: usize,
-    /// `"registered"` or `"generated"`.
+    /// `"registered"`, `"mutated"` or `"generated"`.
     pub source: &'static str,
+    /// Stable content fingerprint ([`io_binary::fingerprint`]): two
+    /// replicas hold the same graph iff these match, which is how the
+    /// cluster warm path decides whether a disk-recovered copy is
+    /// current.
+    pub checksum: u64,
 }
 
 struct Loaded {
     graph: Arc<CsrGraph>,
     source: &'static str,
+    checksum: u64,
+}
+
+impl Loaded {
+    fn new(graph: Arc<CsrGraph>, source: &'static str) -> Loaded {
+        let checksum = io_binary::fingerprint(&graph);
+        Loaded {
+            graph,
+            source,
+            checksum,
+        }
+    }
 }
 
 /// The canonical catalog key for `spec`: dataset specs normalize through
@@ -143,12 +174,128 @@ pub struct Catalog {
     /// concurrent re-registration under the same name. Reads (`get`,
     /// `lookup`) never take this lock.
     write_lock: Mutex<()>,
+    /// The durable store, attached once at startup (after recovery
+    /// replay, so replayed operations are not re-logged). `None` for an
+    /// in-memory catalog.
+    store: OnceLock<Arc<Store>>,
 }
 
 impl Catalog {
     /// An empty catalog; dataset specs load lazily.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Attaches the durable store: from here on, every successful
+    /// register / mutate / delete is WAL-logged before it returns.
+    /// Call **after** replaying recovered state, or replay would be
+    /// logged twice. Panics on a second attach.
+    pub fn attach_store(&self, store: Arc<Store>) {
+        self.store
+            .set(store)
+            .unwrap_or_else(|_| panic!("catalog store attached twice"));
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.get()
+    }
+
+    /// Appends `op` to the WAL when a store is attached. Called with
+    /// the write lock held, after validation but before publication:
+    /// an `Err` means nothing was applied and nothing was logged.
+    fn log(&self, op: &CatalogOp) -> Result<(), CatalogError> {
+        match self.store.get() {
+            Some(store) => store
+                .append(op)
+                .map_err(|e| CatalogError::Storage(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Folds the WAL into snapshots when it has outgrown its
+    /// thresholds. Called with the write lock held (so the snapshot
+    /// set is consistent with the log position) but *after* the
+    /// operation published; a compaction failure is logged and
+    /// retried on the next write rather than failing the request —
+    /// the operation itself is already durable in the WAL.
+    fn maybe_compact(&self) {
+        let Some(store) = self.store.get() else {
+            return;
+        };
+        if !store.should_compact() {
+            return;
+        }
+        if let Err(e) = store.compact(&self.persisted_entries()) {
+            eprintln!("antruss store: compaction failed (will retry): {e}");
+        }
+    }
+
+    /// Every graph the store persists (everything but dataset
+    /// analogues, which regenerate from their spec), sorted by name.
+    pub fn persisted_entries(&self) -> Vec<(String, Arc<CsrGraph>)> {
+        let loaded = self.loaded.read().unwrap();
+        let mut out: Vec<(String, Arc<CsrGraph>)> = loaded
+            .iter()
+            .filter(|(_, l)| l.source != "generated")
+            .map(|(name, l)| (name.clone(), Arc::clone(&l.graph)))
+            .collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Installs a recovered graph under `name` without logging,
+    /// replacing any resident copy (recovery replay is last-writer-wins).
+    pub fn install_recovered(&self, name: &str, graph: Arc<CsrGraph>) {
+        let _serialize = self.write_lock.lock().unwrap();
+        self.loaded
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Loaded::new(graph, "registered"));
+    }
+
+    /// Replays one recovered WAL operation, leniently: operations are
+    /// last-writer-wins, so a register overwrites, a mutate of a
+    /// missing graph is skipped, a delete of a missing name is a no-op.
+    /// (A WAL suffix may overlap state already restored from a snapshot
+    /// when a crash interrupted compaction; ordered lenient replay
+    /// converges — see [`antruss_store::wal`].) Never logs.
+    pub fn apply_recovered(&self, op: &CatalogOp) {
+        match op {
+            CatalogOp::Register { name, graph } => match io_binary::from_bytes(graph.clone()) {
+                Ok(g) => self.install_recovered(name, Arc::new(g)),
+                Err(e) => {
+                    eprintln!("antruss store: dropping unreadable WAL register of {name:?}: {e}")
+                }
+            },
+            CatalogOp::Mutate {
+                name,
+                inserts,
+                deletes,
+            } => {
+                let _serialize = self.write_lock.lock().unwrap();
+                let Some((old, _)) = self.lookup(name) else {
+                    return;
+                };
+                match apply_edge_batch(&old, inserts, deletes) {
+                    Ok((mutated, _)) => {
+                        self.loaded
+                            .write()
+                            .unwrap()
+                            .insert(name.clone(), Loaded::new(Arc::new(mutated), "mutated"));
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "antruss store: dropping unreplayable WAL mutate of {name:?}: {e}"
+                        )
+                    }
+                }
+            }
+            CatalogOp::Delete { name } => {
+                let _serialize = self.write_lock.lock().unwrap();
+                self.loaded.write().unwrap().remove(name);
+            }
+        }
     }
 
     /// Resolves `spec` to a shared graph, generating and caching dataset
@@ -166,17 +313,20 @@ impl Catalog {
         let graph = Arc::new(antruss_datasets::generate(id, scale));
         let mut loaded = self.loaded.write().unwrap();
         // two threads may race to generate the same spec; first insert wins
-        let entry = loaded.entry(key).or_insert(Loaded {
-            graph,
-            source: "generated",
-        });
+        let entry = loaded
+            .entry(key)
+            .or_insert_with(|| Loaded::new(graph, "generated"));
         Ok(Arc::clone(&entry.graph))
     }
 
-    /// Registers an uploaded edge list under `name`.
+    /// Registers an uploaded edge list under `name`. Names must not
+    /// start with `.`: a leading dot is reserved for the store's
+    /// temp-file discipline, so allowing it would create catalog
+    /// entries the durable snapshot layer cannot persist.
     pub fn register(&self, name: &str, edge_list: &[u8]) -> Result<Arc<CsrGraph>, CatalogError> {
         let name = name.trim().to_ascii_lowercase();
         if name.is_empty()
+            || name.starts_with('.')
             || !name
                 .bytes()
                 .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b"_.-".contains(&b))
@@ -189,21 +339,32 @@ impl Catalog {
         let graph =
             io::read_edge_list(edge_list).map_err(|e| CatalogError::BadEdgeList(e.to_string()))?;
         let _serialize = self.write_lock.lock().unwrap();
-        let mut loaded = self.loaded.write().unwrap();
-        if loaded.contains_key(&name) {
-            return Err(CatalogError::Duplicate(name));
-        }
-        if loaded.values().filter(|l| l.source == "registered").count() >= MAX_REGISTERED {
-            return Err(CatalogError::Full);
+        {
+            let loaded = self.loaded.read().unwrap();
+            if loaded.contains_key(&name) {
+                return Err(CatalogError::Duplicate(name));
+            }
+            if loaded.values().filter(|l| l.source == "registered").count() >= MAX_REGISTERED {
+                return Err(CatalogError::Full);
+            }
         }
         let graph = Arc::new(graph);
-        loaded.insert(
-            name,
-            Loaded {
-                graph: Arc::clone(&graph),
-                source: "registered",
-            },
-        );
+        // log before publish — if the WAL refuses, the client sees the
+        // failure and the catalog stays unchanged — and log *between*
+        // the read guard and the write guard: the append may fsync, and
+        // holding the loaded lock across disk I/O would stall every
+        // concurrent read. `write_lock` (held) serializes writers, and
+        // `get` can only insert dataset-spec keys (rejected above), so
+        // nothing can slip in between the check and the insert.
+        self.log(&CatalogOp::Register {
+            name: name.clone(),
+            graph: io_binary::to_bytes(&graph),
+        })?;
+        self.loaded
+            .write()
+            .unwrap()
+            .insert(name, Loaded::new(Arc::clone(&graph), "registered"));
+        self.maybe_compact();
         Ok(graph)
     }
 
@@ -228,10 +389,13 @@ impl Catalog {
             return Err(CatalogError::BuiltIn(key));
         }
         let _serialize = self.write_lock.lock().unwrap();
-        match self.loaded.write().unwrap().remove(&key) {
-            Some(_) => Ok(()),
-            None => Err(CatalogError::Unknown(key)),
+        if !self.loaded.read().unwrap().contains_key(&key) {
+            return Err(CatalogError::Unknown(key));
         }
+        self.log(&CatalogOp::Delete { name: key.clone() })?;
+        self.loaded.write().unwrap().remove(&key);
+        self.maybe_compact();
+        Ok(())
     }
 
     /// Applies an edge insert/delete batch to the graph under `name`.
@@ -265,124 +429,143 @@ impl Catalog {
             .lookup(&key)
             .map(|(g, _)| g)
             .ok_or_else(|| CatalogError::Unknown(key.clone()))?;
-
-        let n = old.num_vertices() as u64;
-        let limit = n + MAX_NEW_VERTICES;
-        for &(u, v) in inserts.iter().chain(deletes) {
-            if u >= limit || v >= limit {
-                return Err(CatalogError::BadMutation(format!(
-                    "vertex id {} is beyond the allowed universe of {limit} \
-                     (graph has {n} vertices)",
-                    u.max(v)
-                )));
-            }
-        }
-
-        // The fixed universe: every old edge plus every inserted pair.
-        // Dense mode keeps vertex ids stable; `ensure_vertex` preserves
-        // isolated vertices so ids never shift under deletion.
-        let mut b = GraphBuilder::dense();
-        for v in 0..n {
-            b.ensure_vertex(v);
-        }
-        for e in old.edges() {
-            let (u, v) = old.endpoints(e);
-            b.add_edge(u.0 as u64, v.0 as u64);
-        }
-        for &(u, v) in inserts {
-            if u != v {
-                b.add_edge(u, v);
-            }
-        }
-        let universe = b
-            .try_build()
-            .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
-
-        // Old edges are alive; inserts start dead and toggle in.
-        let mut alive = EdgeSet::new(universe.num_edges());
-        for e in old.edges() {
-            let (u, v) = old.endpoints(e);
-            let eid = universe
-                .edge_between(VertexId(u.0), VertexId(v.0))
-                .expect("old edge exists in universe");
-            alive.insert(eid);
-        }
-        let mut ignored = 0usize;
-        let mut fresh: Vec<EdgeId> = Vec::new();
-        let mut seen_fresh = EdgeSet::new(universe.num_edges());
-        for &(u, v) in inserts {
-            let eid = if u == v {
-                None
-            } else {
-                universe.edge_between(VertexId(u as u32), VertexId(v as u32))
-            };
-            match eid {
-                Some(e) if !alive.contains(e) && seen_fresh.insert(e) => fresh.push(e),
-                _ => ignored += 1, // self loop, duplicate, or already present
-            }
-        }
-        let mut dead: Vec<EdgeId> = Vec::new();
-        let mut seen_dead = EdgeSet::new(universe.num_edges());
-        for &(u, v) in deletes {
-            let out_of_range = u.max(v) >= universe.num_vertices() as u64;
-            let eid = if u == v || out_of_range {
-                None
-            } else {
-                universe.edge_between(VertexId(u as u32), VertexId(v as u32))
-            };
-            match eid {
-                Some(e) if (alive.contains(e) || seen_fresh.contains(e)) && seen_dead.insert(e) => {
-                    dead.push(e)
-                }
-                _ => ignored += 1, // not present (or already deleted in this batch)
-            }
-        }
-
-        let mut dt = DynamicTruss::with_alive(&universe, alive);
-        let (mut changed, mut recomputed) = (0usize, 0usize);
-        if let Some(s) = dt.insert_edges(fresh.iter().copied()) {
-            changed += s.changed;
-            recomputed += s.recomputed;
-        }
-        if let Some(s) = dt.remove_edges(dead.iter().copied()) {
-            changed += s.changed;
-            recomputed += s.recomputed;
-        }
-        let k_max = dt.info().k_max;
-
-        // Materialize the post-batch graph (the alive subset) for the
-        // solver engine, which wants a plain CsrGraph.
-        let mut b = GraphBuilder::dense();
-        for v in 0..universe.num_vertices() as u64 {
-            b.ensure_vertex(v);
-        }
-        for e in dt.alive().iter() {
-            let (u, v) = universe.endpoints(e);
-            b.add_edge(u.0 as u64, v.0 as u64);
-        }
-        let mutated = b
-            .try_build()
-            .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
-        let outcome = MutationOutcome {
-            inserted: fresh.len(),
-            deleted: dead.len(),
-            ignored,
-            vertices: mutated.num_vertices(),
-            edges: mutated.num_edges(),
-            k_max,
-            changed,
-            recomputed,
-        };
-        self.loaded.write().unwrap().insert(
-            key,
-            Loaded {
-                graph: Arc::new(mutated),
-                source: "mutated",
-            },
-        );
+        let (mutated, outcome) = apply_edge_batch(&old, inserts, deletes)?;
+        // log the *request* (not the result): replaying the raw batch
+        // through this same deterministic code reproduces the result
+        self.log(&CatalogOp::Mutate {
+            name: key.clone(),
+            inserts: inserts.to_vec(),
+            deletes: deletes.to_vec(),
+        })?;
+        self.loaded
+            .write()
+            .unwrap()
+            .insert(key, Loaded::new(Arc::new(mutated), "mutated"));
+        self.maybe_compact();
         Ok(outcome)
     }
+}
 
+/// The mutation core: applies an edge insert/delete batch to `old` via
+/// bounded incremental truss maintenance, returning the materialized
+/// post-batch graph and the batch telemetry. Pure (no catalog state),
+/// shared by the client-facing [`Catalog::mutate`] and WAL replay.
+fn apply_edge_batch(
+    old: &CsrGraph,
+    inserts: &[(u64, u64)],
+    deletes: &[(u64, u64)],
+) -> Result<(CsrGraph, MutationOutcome), CatalogError> {
+    let n = old.num_vertices() as u64;
+    let limit = n + MAX_NEW_VERTICES;
+    for &(u, v) in inserts.iter().chain(deletes) {
+        if u >= limit || v >= limit {
+            return Err(CatalogError::BadMutation(format!(
+                "vertex id {} is beyond the allowed universe of {limit} \
+                     (graph has {n} vertices)",
+                u.max(v)
+            )));
+        }
+    }
+
+    // The fixed universe: every old edge plus every inserted pair.
+    // Dense mode keeps vertex ids stable; `ensure_vertex` preserves
+    // isolated vertices so ids never shift under deletion.
+    let mut b = GraphBuilder::dense();
+    for v in 0..n {
+        b.ensure_vertex(v);
+    }
+    for e in old.edges() {
+        let (u, v) = old.endpoints(e);
+        b.add_edge(u.0 as u64, v.0 as u64);
+    }
+    for &(u, v) in inserts {
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    let universe = b
+        .try_build()
+        .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
+
+    // Old edges are alive; inserts start dead and toggle in.
+    let mut alive = EdgeSet::new(universe.num_edges());
+    for e in old.edges() {
+        let (u, v) = old.endpoints(e);
+        let eid = universe
+            .edge_between(VertexId(u.0), VertexId(v.0))
+            .expect("old edge exists in universe");
+        alive.insert(eid);
+    }
+    let mut ignored = 0usize;
+    let mut fresh: Vec<EdgeId> = Vec::new();
+    let mut seen_fresh = EdgeSet::new(universe.num_edges());
+    for &(u, v) in inserts {
+        let eid = if u == v {
+            None
+        } else {
+            universe.edge_between(VertexId(u as u32), VertexId(v as u32))
+        };
+        match eid {
+            Some(e) if !alive.contains(e) && seen_fresh.insert(e) => fresh.push(e),
+            _ => ignored += 1, // self loop, duplicate, or already present
+        }
+    }
+    let mut dead: Vec<EdgeId> = Vec::new();
+    let mut seen_dead = EdgeSet::new(universe.num_edges());
+    for &(u, v) in deletes {
+        let out_of_range = u.max(v) >= universe.num_vertices() as u64;
+        let eid = if u == v || out_of_range {
+            None
+        } else {
+            universe.edge_between(VertexId(u as u32), VertexId(v as u32))
+        };
+        match eid {
+            Some(e) if (alive.contains(e) || seen_fresh.contains(e)) && seen_dead.insert(e) => {
+                dead.push(e)
+            }
+            _ => ignored += 1, // not present (or already deleted in this batch)
+        }
+    }
+
+    let mut dt = DynamicTruss::with_alive(&universe, alive);
+    let (mut changed, mut recomputed) = (0usize, 0usize);
+    if let Some(s) = dt.insert_edges(fresh.iter().copied()) {
+        changed += s.changed;
+        recomputed += s.recomputed;
+    }
+    if let Some(s) = dt.remove_edges(dead.iter().copied()) {
+        changed += s.changed;
+        recomputed += s.recomputed;
+    }
+    let k_max = dt.info().k_max;
+
+    // Materialize the post-batch graph (the alive subset) for the
+    // solver engine, which wants a plain CsrGraph.
+    let mut b = GraphBuilder::dense();
+    for v in 0..universe.num_vertices() as u64 {
+        b.ensure_vertex(v);
+    }
+    for e in dt.alive().iter() {
+        let (u, v) = universe.endpoints(e);
+        b.add_edge(u.0 as u64, v.0 as u64);
+    }
+    let mutated = b
+        .try_build()
+        .map_err(|e| CatalogError::BadMutation(e.to_string()))?;
+    let outcome = MutationOutcome {
+        inserted: fresh.len(),
+        deleted: dead.len(),
+        ignored,
+        vertices: mutated.num_vertices(),
+        edges: mutated.num_edges(),
+        k_max,
+        changed,
+        recomputed,
+    };
+    Ok((mutated, outcome))
+}
+
+impl Catalog {
     /// Everything loaded so far, sorted by name.
     pub fn entries(&self) -> Vec<CatalogEntry> {
         let loaded = self.loaded.read().unwrap();
@@ -393,6 +576,7 @@ impl Catalog {
                 vertices: l.graph.num_vertices(),
                 edges: l.graph.num_edges(),
                 source: l.source,
+                checksum: l.checksum,
             })
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -413,6 +597,100 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use antruss_store::FsyncPolicy;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("antruss-catalog-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_catalog(dir: &std::path::Path) -> Catalog {
+        let (store, recovered) = Store::open(dir, FsyncPolicy::Always).unwrap();
+        let c = Catalog::new();
+        for (name, graph) in recovered.graphs {
+            c.install_recovered(&name, Arc::new(graph));
+        }
+        for op in &recovered.ops {
+            c.apply_recovered(op);
+        }
+        c.attach_store(Arc::new(store));
+        c
+    }
+
+    fn comparable(c: &Catalog) -> Vec<(String, usize, usize, u64)> {
+        c.entries()
+            .into_iter()
+            .map(|e| (e.name, e.vertices, e.edges, e.checksum))
+            .collect()
+    }
+
+    #[test]
+    fn durable_catalog_recovers_register_mutate_delete() {
+        let dir = tmp("recover");
+        let before = {
+            let c = durable_catalog(&dir);
+            c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+            c.register("gone", b"0 1\n").unwrap();
+            c.mutate("tri", &[(0, 3), (1, 3), (2, 3)], &[(0, 1)])
+                .unwrap();
+            c.remove("gone").unwrap();
+            comparable(&c)
+        };
+        let c2 = durable_catalog(&dir);
+        assert_eq!(comparable(&c2), before, "recovery must equal live state");
+        assert!(c2.lookup("gone").is_none());
+        // the recovered graph is mutable and its history keeps logging
+        c2.mutate("tri", &[(0, 1)], &[]).unwrap();
+        let after = comparable(&c2);
+        drop(c2); // release the data-dir lock before reopening
+        let c3 = durable_catalog(&dir);
+        assert_eq!(comparable(&c3), after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_recovery_and_drops_deleted_snapshots() {
+        let dir = tmp("compaction");
+        let before = {
+            let c = durable_catalog(&dir);
+            c.store().unwrap().set_compaction_thresholds(2, u64::MAX);
+            for i in 0..4 {
+                c.register(&format!("g{i}"), b"0 1\n1 2\n2 0\n").unwrap();
+            }
+            c.mutate("g0", &[(0, 3)], &[]).unwrap();
+            c.remove("g3").unwrap();
+            assert!(
+                c.store().unwrap().stats().compactions >= 1,
+                "thresholds of 2 records must have forced a compaction"
+            );
+            comparable(&c)
+        };
+        let c2 = durable_catalog(&dir);
+        assert_eq!(comparable(&c2), before);
+        assert!(
+            c2.store().unwrap().stats().recovered_graphs >= 1,
+            "at least one graph must come back from a snapshot"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generated_graphs_are_never_persisted() {
+        let dir = tmp("generated");
+        {
+            let c = durable_catalog(&dir);
+            c.get("college:0.05").unwrap();
+            c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+            assert_eq!(c.persisted_entries().len(), 1);
+        }
+        let c2 = durable_catalog(&dir);
+        assert_eq!(c2.len(), 1, "only the registered graph comes back");
+        assert!(c2.lookup("tri").is_some());
+        assert!(c2.lookup("college:0.05").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn dataset_specs_load_lazily_and_cache() {
@@ -561,6 +839,13 @@ mod tests {
             c.register("no spaces", b"0 1\n"),
             Err(CatalogError::BadName(_))
         ));
+        // leading dots are reserved for the store's temp files: a
+        // catalog entry the snapshot layer cannot persist must not exist
+        assert!(matches!(
+            c.register(".hidden", b"0 1\n"),
+            Err(CatalogError::BadName(_))
+        ));
+        assert!(c.register("not.hidden", b"0 1\n").is_ok());
         assert!(matches!(
             c.register("college", b"0 1\n"),
             Err(CatalogError::Duplicate(_))

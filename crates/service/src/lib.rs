@@ -23,7 +23,15 @@
 //! * [`heartbeat::HeartbeatClient`] — `antruss serve --join`: registers
 //!   a standalone backend with a cluster router, heartbeats on a
 //!   background thread, re-joins after eviction and deregisters on
-//!   graceful shutdown.
+//!   graceful shutdown;
+//! * durability (`antruss serve --data-dir`, the `antruss-store`
+//!   crate) — every successful catalog write is WAL-logged before it is
+//!   acknowledged, the WAL compacts into per-graph binary snapshots,
+//!   startup replays snapshot + WAL tail (tolerating a torn tail), and
+//!   graceful shutdown dumps the outcome cache for a warm restart;
+//!   `/metrics` grows an `antruss_store_*` section and `/graphs` a
+//!   per-graph content `checksum` the cluster tier uses to prefer
+//!   disk-recovered state over peer transfer.
 //!
 //! ## Endpoints
 //!
@@ -62,4 +70,4 @@ pub use cache::{CacheKey, CacheStats, OutcomeCache};
 pub use catalog::{canonical_key, Catalog, CatalogError, MutationOutcome};
 pub use client::{Client, ClientResponse};
 pub use heartbeat::HeartbeatClient;
-pub use server::{handle, AcceptPool, Server, ServerConfig, ServiceState};
+pub use server::{handle, parse_dump_entries, AcceptPool, Server, ServerConfig, ServiceState};

@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use antruss_store::StoreStats;
+
 use crate::cache::CacheStats;
 
 /// How many recent solve latencies the percentile window holds.
@@ -89,8 +91,15 @@ impl Metrics {
 
     /// Renders the plain-text `/metrics` document. `shard` is the
     /// backend's shard id when it runs as part of a cluster (`None` for
-    /// a standalone `serve`).
-    pub fn render(&self, cache: &CacheStats, catalog_graphs: usize, shard: Option<u32>) -> String {
+    /// a standalone `serve`); `store` is the durable-store section,
+    /// present only when the backend runs with `--data-dir`.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        catalog_graphs: usize,
+        shard: Option<u32>,
+        store: Option<&StoreStats>,
+    ) -> String {
         let mut out = String::with_capacity(768);
         let mut line = |name: &str, v: String| {
             out.push_str(name);
@@ -142,6 +151,26 @@ impl Metrics {
         line("antruss_catalog_graphs", catalog_graphs.to_string());
         if let Some(shard) = shard {
             line("antruss_shard_id", shard.to_string());
+        }
+        if let Some(s) = store {
+            line("antruss_store_wal_bytes", s.wal_bytes.to_string());
+            line("antruss_store_wal_records", s.wal_records.to_string());
+            line("antruss_store_snapshots", s.snapshots.to_string());
+            line("antruss_store_compactions_total", s.compactions.to_string());
+            line(
+                "antruss_store_last_compaction_ms",
+                s.last_compaction_ms.to_string(),
+            );
+            line("antruss_store_recovery_ms", s.recovery_ms.to_string());
+            line(
+                "antruss_store_recovered_graphs",
+                s.recovered_graphs.to_string(),
+            );
+            line("antruss_store_recovered_ops", s.recovered_ops.to_string());
+            line(
+                "antruss_store_dropped_wal_bytes",
+                s.dropped_bytes.to_string(),
+            );
         }
         line(
             "antruss_solve_latency_p50_seconds",
@@ -226,7 +255,7 @@ mod tests {
         m.mutations.fetch_add(2, Ordering::Relaxed);
         m.purged_entries.fetch_add(9, Ordering::Relaxed);
         m.observe_solve(Duration::from_millis(2));
-        let text = m.render(&stats(), 4, None);
+        let text = m.render(&stats(), 4, None, None);
         for series in [
             "antruss_uptime_seconds",
             "antruss_requests_total 5",
@@ -252,8 +281,42 @@ mod tests {
             !text.contains("antruss_shard_id"),
             "standalone has no shard"
         );
-        let sharded = m.render(&stats(), 4, Some(3));
+        assert!(
+            !text.contains("antruss_store_"),
+            "storeless metrics have no store section"
+        );
+        let sharded = m.render(&stats(), 4, Some(3), None);
         assert!(sharded.contains("antruss_shard_id 3"), "{sharded}");
+    }
+
+    #[test]
+    fn store_section_renders_when_durable() {
+        let m = Metrics::new();
+        let store = StoreStats {
+            wal_bytes: 1024,
+            wal_records: 7,
+            snapshots: 2,
+            compactions: 1,
+            last_compaction_ms: 12,
+            recovery_ms: 34,
+            recovered_graphs: 2,
+            recovered_ops: 5,
+            dropped_bytes: 9,
+        };
+        let text = m.render(&stats(), 4, None, Some(&store));
+        for series in [
+            "antruss_store_wal_bytes 1024",
+            "antruss_store_wal_records 7",
+            "antruss_store_snapshots 2",
+            "antruss_store_compactions_total 1",
+            "antruss_store_last_compaction_ms 12",
+            "antruss_store_recovery_ms 34",
+            "antruss_store_recovered_graphs 2",
+            "antruss_store_recovered_ops 5",
+            "antruss_store_dropped_wal_bytes 9",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ use antruss_core::engine::{registry, RunConfig};
 use antruss_core::json::{self, Value};
 use antruss_core::ReusePolicy;
 use antruss_datasets::DatasetId;
+use antruss_store::{FsyncPolicy, Store};
 
 use crate::cache::{CacheKey, OutcomeCache};
 use crate::catalog::{Catalog, CatalogError};
@@ -59,6 +60,15 @@ pub struct ServerConfig {
     /// Shard id when this backend is part of a cluster (`None` for a
     /// standalone `serve`); surfaced in `/metrics` as `antruss_shard_id`.
     pub shard: Option<u32>,
+    /// Durable data directory (`--data-dir`): when set, every
+    /// successful catalog write is WAL-logged before it is
+    /// acknowledged, the WAL compacts into per-graph snapshots, the
+    /// catalog recovers from disk at startup, and the outcome cache is
+    /// dumped on graceful shutdown for a warm restart. `None` keeps the
+    /// catalog purely in memory.
+    pub data_dir: Option<String>,
+    /// When WAL appends reach stable storage (`--fsync`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,8 @@ impl Default for ServerConfig {
             base_timeout_secs: 60,
             max_solve_threads: 8,
             shard: None,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -91,20 +103,71 @@ pub struct ServiceState {
     pub cache: OutcomeCache,
     /// Service counters.
     pub metrics: Metrics,
+    /// The durable store behind the catalog (`None` without
+    /// `data_dir`).
+    pub store: Option<Arc<Store>>,
     /// Flipped once; workers observe it between requests.
     pub shutdown: AtomicBool,
 }
 
 impl ServiceState {
-    /// Fresh state for `config`.
+    /// Fresh state for `config`. Panics if `config.data_dir` is set but
+    /// unusable — use [`ServiceState::open`] to handle that error.
     pub fn new(config: ServerConfig) -> ServiceState {
-        ServiceState {
-            cache: OutcomeCache::new(config.cache_capacity),
-            catalog: Catalog::new(),
-            metrics: Metrics::new(),
+        ServiceState::open(config).expect("open service state")
+    }
+
+    /// Fresh state for `config`, recovering the catalog (snapshots +
+    /// WAL tail) and the persisted outcome-cache dump from
+    /// `config.data_dir` when one is configured.
+    pub fn open(config: ServerConfig) -> std::io::Result<ServiceState> {
+        let catalog = Catalog::new();
+        let cache = OutcomeCache::new(config.cache_capacity);
+        let metrics = Metrics::new();
+        let mut store = None;
+        if let Some(dir) = &config.data_dir {
+            let recovery_started = Instant::now();
+            let (opened, recovered) = Store::open(dir, config.fsync)?;
+            let opened = Arc::new(opened);
+            for (name, graph) in recovered.graphs {
+                catalog.install_recovered(&name, Arc::new(graph));
+            }
+            for op in &recovered.ops {
+                catalog.apply_recovered(op);
+            }
+            // attach only now: replayed operations are already logged
+            catalog.attach_store(Arc::clone(&opened));
+            if let Some(dump) = opened.take_cache()? {
+                // a dropped WAL tail means the recovered catalog is
+                // older than the shutdown that wrote this dump — the
+                // cached outcomes may describe graphs we no longer
+                // have; recompute rather than serve stale bytes
+                if opened.stats().dropped_bytes > 0 {
+                    eprintln!("antruss store: discarding the cache dump (WAL tail was dropped)");
+                } else {
+                    match parse_dump_entries(&dump) {
+                        Ok(entries) => {
+                            let n = entries.len() as u64;
+                            for (key, body) in entries {
+                                cache.insert(key, body);
+                            }
+                            metrics.warmed_entries.fetch_add(n, Ordering::Relaxed);
+                        }
+                        Err(e) => eprintln!("antruss store: dropping stale cache dump: {e}"),
+                    }
+                }
+            }
+            opened.note_recovery_ms(recovery_started.elapsed().as_millis() as u64);
+            store = Some(opened);
+        }
+        Ok(ServiceState {
+            cache,
+            catalog,
+            metrics,
+            store,
             shutdown: AtomicBool::new(false),
             config,
-        }
+        })
     }
 }
 
@@ -138,6 +201,7 @@ fn route(state: &ServiceState, req: &Request) -> Response {
                 &state.cache.stats(),
                 state.catalog.len(),
                 state.config.shard,
+                state.store.as_deref().map(Store::stats).as_ref(),
             ),
         ),
         ("GET", "/solvers") => list_solvers(),
@@ -194,12 +258,15 @@ fn list_graphs(state: &ServiceState) -> Response {
         if i > 0 {
             body.push(',');
         }
+        // the checksum rides as a hex string: u64 does not survive a
+        // round-trip through JSON's f64 number space
         body.push_str(&format!(
-            "{{\"name\":{},\"vertices\":{},\"edges\":{},\"source\":{}}}",
+            "{{\"name\":{},\"vertices\":{},\"edges\":{},\"source\":{},\"checksum\":{}}}",
             json::quoted(&e.name),
             e.vertices,
             e.edges,
-            json::quoted(e.source)
+            json::quoted(e.source),
+            json::quoted(&format!("{:016x}", e.checksum))
         ));
     }
     body.push_str("],\"datasets\":[");
@@ -229,6 +296,7 @@ fn register_graph(state: &ServiceState, req: &Request) -> Response {
         ),
         Err(e @ CatalogError::Duplicate(_)) => Response::error(409, &e.to_string()),
         Err(e @ CatalogError::Full) => Response::error(429, &e.to_string()),
+        Err(e @ CatalogError::Storage(_)) => Response::error(500, &e.to_string()),
         Err(e) => Response::error(400, &e.to_string()),
     }
 }
@@ -304,23 +372,16 @@ fn dump_cache(state: &ServiceState, req: &Request) -> Response {
     )
 }
 
-/// `POST /cache/load` — accept a (chunk of a) `/cache/dump` payload into
-/// the local cache. Entries are validated field-by-field; the body is
-/// stored verbatim, so a warmed hit replays the peer's exact bytes.
-fn load_cache(state: &ServiceState, req: &Request) -> Response {
-    let Some(text) = req.body_utf8() else {
-        return Response::error(400, "body is not UTF-8");
-    };
-    let parsed = match json::parse(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &e.to_string()),
-    };
+/// Parses a `/cache/dump` payload (the whole dump or one streamed
+/// chunk) into validated cache entries. Shared by `POST /cache/load`
+/// and the startup load of the graceful-shutdown dump; all-or-nothing,
+/// so a bad entry rejects the payload instead of leaving an uncounted
+/// partial prefix resident.
+pub fn parse_dump_entries(text: &str) -> Result<Vec<(CacheKey, Arc<String>)>, String> {
+    let parsed = json::parse(text).map_err(|e| e.to_string())?;
     let Some(entries) = parsed.as_array() else {
-        return Response::error(400, "body must be a JSON array of dump entries");
+        return Err("body must be a JSON array of dump entries".to_string());
     };
-    // two-phase: validate the whole payload before touching the cache,
-    // so a bad entry rejects the load atomically instead of leaving an
-    // uncounted partial prefix resident
     let mut validated: Vec<(CacheKey, Arc<String>)> = Vec::with_capacity(entries.len());
     for entry in entries {
         macro_rules! field {
@@ -328,9 +389,9 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
                 match entry.get($name).and_then(Value::$conv) {
                     Some(v) => v,
                     None => {
-                        return Response::error(
-                            400,
-                            concat!("dump entry missing or mistyped field \"", $name, "\""),
+                        return Err(
+                            concat!("dump entry missing or mistyped field \"", $name, "\"")
+                                .to_string(),
                         )
                     }
                 }
@@ -347,7 +408,7 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
             Some(v) if v.is_null() => None,
             Some(v) => match v.as_u64() {
                 Some(n) if n <= u32::MAX as u64 => Some(n as u32),
-                _ => return Response::error(400, "dump entry field \"k\" must be null or u32"),
+                _ => return Err("dump entry field \"k\" must be null or u32".to_string()),
             },
         };
         let Some((policy, _)) = entry
@@ -355,10 +416,7 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
             .and_then(Value::as_str)
             .and_then(policy_from_str)
         else {
-            return Response::error(
-                400,
-                "dump entry field \"policy\" must be paper|conservative|off",
-            );
+            return Err("dump entry field \"policy\" must be paper|conservative|off".to_string());
         };
         validated.push((
             CacheKey {
@@ -373,6 +431,20 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
             Arc::new(body.to_string()),
         ));
     }
+    Ok(validated)
+}
+
+/// `POST /cache/load` — accept a (chunk of a) `/cache/dump` payload into
+/// the local cache. Entries are validated field-by-field; the body is
+/// stored verbatim, so a warmed hit replays the peer's exact bytes.
+fn load_cache(state: &ServiceState, req: &Request) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let validated = match parse_dump_entries(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
     let loaded = validated.len() as u64;
     for (key, body) in validated {
         state.cache.insert(key, body);
@@ -490,6 +562,7 @@ fn mutate_graph(state: &ServiceState, req: &Request, name: &str) -> Response {
         }
         Err(e @ CatalogError::Unknown(_)) => Response::error(404, &e.to_string()),
         Err(e @ CatalogError::BuiltIn(_)) => Response::error(409, &e.to_string()),
+        Err(e @ CatalogError::Storage(_)) => Response::error(500, &e.to_string()),
         Err(e) => Response::error(400, &e.to_string()),
     }
 }
@@ -528,6 +601,7 @@ fn delete_graph(state: &ServiceState, name: &str) -> Response {
         }
         Err(e @ CatalogError::Unknown(_)) => Response::error(404, &e.to_string()),
         Err(e @ CatalogError::BuiltIn(_)) => Response::error(409, &e.to_string()),
+        Err(e @ CatalogError::Storage(_)) => Response::error(500, &e.to_string()),
         Err(e) => Response::error(400, &e.to_string()),
     }
 }
@@ -803,10 +877,13 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts accepting; returns once the listener is live.
+    /// Binds and starts accepting; returns once the listener is live
+    /// (and, with a `data_dir`, once the catalog has recovered from
+    /// disk — so the first routed request already sees the durable
+    /// state).
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let threads = resolve_threads(config.threads);
-        let state = Arc::new(ServiceState::new(config));
+        let state = Arc::new(ServiceState::open(config)?);
         let shutdown_state = Arc::clone(&state);
         let conn_state = Arc::clone(&state);
         let pool = AcceptPool::start(
@@ -836,6 +913,23 @@ impl Server {
     fn stop(&mut self) -> String {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
+        // graceful shutdown persists the outcome cache for a warm
+        // restart; a crash simply skips this and the cache re-warms
+        // from peers or recomputes
+        if let Some(store) = &self.state.store {
+            let entries = self.state.cache.dump();
+            let mut dump = String::from("[");
+            for (i, (key, body)) in entries.iter().enumerate() {
+                if i > 0 {
+                    dump.push(',');
+                }
+                dump.push_str(&dump_entry(key, body));
+            }
+            dump.push(']');
+            if let Err(e) = store.persist_cache(&dump) {
+                eprintln!("antruss store: could not persist the outcome cache: {e}");
+            }
+        }
         let cache = self.state.cache.stats();
         format!(
             "served {} request(s) ({} solve(s), {} cache hit(s), {} error(s)) in {:.1}s",

@@ -1,0 +1,32 @@
+//! # antruss-store
+//!
+//! Durability for the serving tier's graph catalog. The paper's
+//! anchoring outcomes are deterministic functions of the graph, so the
+//! expensive state worth protecting is the catalog of registered graphs
+//! plus their mutation history — everything else (truss decompositions,
+//! solve outcomes) is recomputable or re-warmable from peers.
+//!
+//! Three pieces:
+//!
+//! * [`wal`] — [`CatalogOp`] (register / mutate edge-batch / delete) as
+//!   checksummed, length-prefixed, append-only records; torn-tail and
+//!   bit-flip tolerant replay;
+//! * [`store::Store`] — a data directory holding the WAL, per-graph
+//!   binary snapshots (the [`antruss_graph::io_binary`] `.antg` layout),
+//!   and the graceful-shutdown outcome-cache dump; compaction folds the
+//!   WAL into snapshots with write-temp + rename;
+//! * [`FsyncPolicy`] — `always` | `interval:<ms>` | `never`, the
+//!   durability/latency dial surfaced as `antruss serve --fsync`.
+//!
+//! The service (`antruss serve --data-dir`) appends every successful
+//! catalog write *before acknowledging it*, and replays snapshot + WAL
+//! tail at startup; the cluster tier then prefers this local recovery
+//! over peer transfer when re-admitting a restarted member.
+
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod wal;
+
+pub use store::{FsyncPolicy, Recovered, Store, StoreStats};
+pub use wal::CatalogOp;

@@ -1,0 +1,746 @@
+//! The durable store: a data directory holding the WAL, per-graph
+//! binary snapshots, and the optional outcome-cache dump.
+//!
+//! ```text
+//! <data-dir>/
+//!   wal.log          append-only CatalogOp records (see wal.rs)
+//!   snap/<name>.antg one binary snapshot per persisted graph
+//!   cache.json       outcome-cache dump from the last graceful shutdown
+//! ```
+//!
+//! Write path: every acknowledged register/mutate/delete is appended to
+//! the WAL first (fsynced per [`FsyncPolicy`]); when the WAL grows past
+//! the compaction thresholds the current graphs are snapshotted
+//! (write-temp + rename, so a crash mid-compaction leaves either the
+//! old or the new snapshot, never a torn one) and the WAL is reset.
+//!
+//! Recovery: load every snapshot, then replay the WAL tail over it.
+//! Operations are last-writer-wins (see [`CatalogOp`]), so replaying a
+//! WAL whose prefix is already reflected in a snapshot — the state a
+//! crash mid-compaction leaves — converges to the same catalog.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use antruss_graph::{io_binary, CsrGraph};
+
+use crate::wal::{self, CatalogOp, WAL_MAGIC};
+
+/// WAL record count past which [`Store::should_compact`] fires.
+pub const DEFAULT_COMPACT_RECORDS: u64 = 1024;
+
+/// WAL byte size past which [`Store::should_compact`] fires.
+pub const DEFAULT_COMPACT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: an acknowledged operation survives
+    /// power loss, at the cost of one sync per write.
+    Always,
+    /// `fsync` at most once per this many milliseconds: a machine crash
+    /// can lose up to ~one interval of *acknowledged* operations, but a
+    /// process crash (SIGKILL) loses nothing — the OS already has every
+    /// completed `write`. A background flusher syncs the tail, so the
+    /// bound holds even when an append is the last write for a while.
+    Interval(u64),
+    /// Never `fsync` explicitly; durability is whatever the OS flushes
+    /// on its own. Still crash-safe against process death.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always` | `interval:<ms>` | `never`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => match ms.parse::<u64>() {
+                    Ok(ms) if ms > 0 => Ok(FsyncPolicy::Interval(ms)),
+                    _ => Err(format!(
+                        "bad fsync interval {ms:?} (want a positive ms count)"
+                    )),
+                },
+                None => Err(format!(
+                    "unknown fsync policy {other:?} (expected always|interval:<ms>|never)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Interval(ms) => write!(f, "interval:{ms}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+impl Default for FsyncPolicy {
+    /// `interval:100` — crash-safe against process death, bounded loss
+    /// window against power loss, and no per-request sync stall.
+    fn default() -> FsyncPolicy {
+        FsyncPolicy::Interval(100)
+    }
+}
+
+/// A point-in-time snapshot of the store counters (the `/metrics`
+/// `store` section).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Current WAL size in bytes (header included).
+    pub wal_bytes: u64,
+    /// Records in the current WAL (since the last compaction).
+    pub wal_records: u64,
+    /// Graph snapshots currently on disk.
+    pub snapshots: u64,
+    /// Compactions performed over the store's lifetime.
+    pub compactions: u64,
+    /// Wall-clock milliseconds the last compaction took.
+    pub last_compaction_ms: u64,
+    /// Wall-clock milliseconds startup recovery took (disk load + replay).
+    pub recovery_ms: u64,
+    /// Graphs restored from snapshots at startup.
+    pub recovered_graphs: u64,
+    /// WAL operations replayed at startup.
+    pub recovered_ops: u64,
+    /// Torn/corrupt WAL tail bytes dropped at startup.
+    pub dropped_bytes: u64,
+}
+
+/// What [`Store::open`] found on disk: snapshots first, then the WAL
+/// tail to replay over them, in append order.
+pub struct Recovered {
+    /// Snapshotted graphs, sorted by name.
+    pub graphs: Vec<(String, CsrGraph)>,
+    /// WAL operations appended since the last compaction.
+    pub ops: Vec<CatalogOp>,
+}
+
+struct WalWriter {
+    file: File,
+    last_sync: Instant,
+    /// Set by appends that did not sync; the interval flusher clears it.
+    dirty: bool,
+}
+
+/// Takes an exclusive advisory lock on `DIR/.lock`. Two processes
+/// appending to one WAL would interleave records and tear each other's
+/// writes, so a second `Store::open` on a live directory must fail
+/// loudly instead. The lock is tied to the returned handle: the kernel
+/// releases it when the file closes — including on SIGKILL — so a
+/// crashed process never leaves a stale lock behind.
+#[cfg(unix)]
+fn lock_dir(dir: &Path) -> io::Result<File> {
+    use std::os::unix::io::AsRawFd as _;
+    extern "C" {
+        // libc is already linked by std; LOCK_EX|LOCK_NB = 2|4 on every
+        // unix we run (the same linking trick as the service's SIGINT
+        // handler)
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    let f = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(".lock"))?;
+    if unsafe { flock(f.as_raw_fd(), 2 | 4) } != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "data dir {} is already locked by another antruss process",
+                dir.display()
+            ),
+        ));
+    }
+    Ok(f)
+}
+
+/// Non-unix fallback: no advisory locking, the handle is just held.
+#[cfg(not(unix))]
+fn lock_dir(dir: &Path) -> io::Result<File> {
+    OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(".lock"))
+}
+
+/// One durable data directory. Share via `Arc`; appends are serialized
+/// internally (callers additionally serialize catalog writes, which
+/// fixes the log order to the apply order).
+pub struct Store {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    wal: Arc<Mutex<WalWriter>>,
+    /// Held for the store's lifetime; closing it (drop, or process
+    /// death) releases the directory to the next opener.
+    _dir_lock: File,
+    /// Stops the interval flusher thread.
+    flusher_stop: Arc<std::sync::atomic::AtomicBool>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    wal_bytes: AtomicU64,
+    wal_records: AtomicU64,
+    snapshots: AtomicU64,
+    compactions: AtomicU64,
+    last_compaction_ms: AtomicU64,
+    recovery_ms: AtomicU64,
+    recovered_graphs: AtomicU64,
+    recovered_ops: AtomicU64,
+    dropped_bytes: AtomicU64,
+    compact_records: AtomicU64,
+    compact_bytes: AtomicU64,
+}
+
+fn bad_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Store {
+    /// Opens (creating if absent) the data directory at `dir` and reads
+    /// everything back: snapshots, then the WAL tail. A torn or corrupt
+    /// WAL tail is dropped and the file truncated to its last good
+    /// record, so subsequent appends extend a clean log.
+    pub fn open<P: AsRef<Path>>(dir: P, policy: FsyncPolicy) -> io::Result<(Store, Recovered)> {
+        let started = Instant::now();
+        let dir = dir.as_ref().to_path_buf();
+        let snap_dir = dir.join("snap");
+        fs::create_dir_all(&snap_dir)?;
+        let dir_lock = lock_dir(&dir)?;
+
+        // leftovers of a compaction that crashed mid-write
+        for entry in fs::read_dir(&snap_dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(".tmp-") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+
+        let mut graphs: Vec<(String, CsrGraph)> = Vec::new();
+        for entry in fs::read_dir(&snap_dir)? {
+            let path = entry?.path();
+            let Some(stem) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".antg"))
+            else {
+                continue;
+            };
+            let graph = io_binary::read_binary_path(&path).map_err(bad_data)?;
+            graphs.push((stem.to_string(), graph));
+        }
+        graphs.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+        let wal_path = dir.join("wal.log");
+        let image = match fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let replayed = if image.is_empty() {
+            wal::Replay {
+                ops: Vec::new(),
+                good_len: 0,
+                dropped_bytes: 0,
+            }
+        } else {
+            wal::replay(&image)
+        };
+
+        let file = if replayed.good_len == 0 {
+            // fresh (or unusable) log: start over with a clean header
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&wal_path)?;
+            f.write_all(WAL_MAGIC)?;
+            f.sync_data()?;
+            f
+        } else {
+            let f = OpenOptions::new().write(true).open(&wal_path)?;
+            if replayed.good_len < image.len() as u64 {
+                f.set_len(replayed.good_len)?;
+                f.sync_data()?;
+            }
+            f
+        };
+        let mut writer = WalWriter {
+            file,
+            last_sync: Instant::now(),
+            dirty: false,
+        };
+        use std::io::Seek as _;
+        writer.file.seek(io::SeekFrom::End(0))?;
+        let wal = Arc::new(Mutex::new(writer));
+
+        // the interval policy's durability bound ("at most one interval
+        // behind") must hold even when writes stop: a background
+        // flusher syncs any append the piggyback path left dirty
+        let flusher_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flusher = if let FsyncPolicy::Interval(ms) = policy {
+            let wal = Arc::clone(&wal);
+            let stop = Arc::clone(&flusher_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("antruss-store-flusher".to_string())
+                    .spawn(move || {
+                        let tick = Duration::from_millis(ms.clamp(1, 100));
+                        let interval = Duration::from_millis(ms);
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(tick);
+                            let mut wal = wal.lock().unwrap();
+                            if wal.dirty
+                                && wal.last_sync.elapsed() >= interval
+                                && wal.file.sync_data().is_ok()
+                            {
+                                wal.dirty = false;
+                                wal.last_sync = Instant::now();
+                            }
+                        }
+                    })
+                    .expect("spawn store flusher"),
+            )
+        } else {
+            None
+        };
+
+        let wal_bytes = replayed.good_len.max(WAL_MAGIC.len() as u64);
+        let store = Store {
+            policy,
+            wal,
+            _dir_lock: dir_lock,
+            flusher_stop,
+            flusher,
+            wal_bytes: AtomicU64::new(wal_bytes),
+            wal_records: AtomicU64::new(replayed.ops.len() as u64),
+            snapshots: AtomicU64::new(graphs.len() as u64),
+            compactions: AtomicU64::new(0),
+            last_compaction_ms: AtomicU64::new(0),
+            recovery_ms: AtomicU64::new(started.elapsed().as_millis() as u64),
+            recovered_graphs: AtomicU64::new(graphs.len() as u64),
+            recovered_ops: AtomicU64::new(replayed.ops.len() as u64),
+            dropped_bytes: AtomicU64::new(replayed.dropped_bytes),
+            compact_records: AtomicU64::new(DEFAULT_COMPACT_RECORDS),
+            compact_bytes: AtomicU64::new(DEFAULT_COMPACT_BYTES),
+            dir,
+        };
+        Ok((
+            store,
+            Recovered {
+                graphs,
+                ops: replayed.ops,
+            },
+        ))
+    }
+
+    /// The data directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Appends one operation to the WAL and flushes per the fsync
+    /// policy. On `Ok`, the operation is in the log (and, under
+    /// [`FsyncPolicy::Always`], on stable storage) — only then may the
+    /// caller acknowledge it.
+    pub fn append(&self, op: &CatalogOp) -> io::Result<()> {
+        let record = wal::encode_record(op);
+        // replay treats any length prefix past MAX_RECORD_BYTES as
+        // corruption, so an oversized record must be refused *here* —
+        // writing it would acknowledge an operation that recovery then
+        // silently drops along with the whole WAL suffix
+        if record.len().saturating_sub(12) > wal::MAX_RECORD_BYTES as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "operation too large for the WAL ({} payload bytes; max {})",
+                    record.len() - 12,
+                    wal::MAX_RECORD_BYTES
+                ),
+            ));
+        }
+        let mut wal = self.wal.lock().unwrap();
+        wal.file.write_all(&record)?;
+        match self.policy {
+            FsyncPolicy::Always => {
+                wal.file.sync_data()?;
+                wal.last_sync = Instant::now();
+            }
+            FsyncPolicy::Interval(ms) => {
+                if wal.last_sync.elapsed().as_millis() as u64 >= ms {
+                    wal.file.sync_data()?;
+                    wal.last_sync = Instant::now();
+                    wal.dirty = false;
+                } else {
+                    // the background flusher picks this up within the
+                    // interval even if no further append arrives
+                    wal.dirty = true;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        self.wal_bytes
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        self.wal_records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether the WAL has outgrown its thresholds and the caller
+    /// should snapshot + reset via [`Store::compact`].
+    pub fn should_compact(&self) -> bool {
+        self.wal_records.load(Ordering::Relaxed) >= self.compact_records.load(Ordering::Relaxed)
+            || self.wal_bytes.load(Ordering::Relaxed) >= self.compact_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the compaction thresholds (tests and benchmarks force
+    /// early compactions with this).
+    pub fn set_compaction_thresholds(&self, records: u64, bytes: u64) {
+        self.compact_records
+            .store(records.max(1), Ordering::Relaxed);
+        self.compact_bytes.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Records the full recovery wall-clock (disk load + catalog
+    /// replay); [`Store::open`] pre-fills the disk-load share, the
+    /// service overwrites it once replay finishes.
+    pub fn note_recovery_ms(&self, ms: u64) {
+        self.recovery_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Snapshots `graphs` (the catalog's current persisted set) and
+    /// resets the WAL. Each snapshot is written to a temp file and
+    /// renamed into place; snapshots of graphs no longer in the set are
+    /// removed. Caller must serialize this with catalog writes so the
+    /// set is consistent with the log position.
+    pub fn compact(&self, graphs: &[(String, Arc<CsrGraph>)]) -> io::Result<()> {
+        let started = Instant::now();
+        let snap_dir = self.dir.join("snap");
+        let mut keep: Vec<String> = Vec::with_capacity(graphs.len());
+        for (name, graph) in graphs {
+            if !snapshot_safe(name) {
+                continue; // defensive: catalog names are pre-validated
+            }
+            let tmp = snap_dir.join(format!(".tmp-{name}.antg"));
+            let finally = snap_dir.join(format!("{name}.antg"));
+            let mut f = File::create(&tmp)?;
+            io_binary::write_binary(graph, &mut f).map_err(bad_data)?;
+            f.sync_data()?;
+            fs::rename(&tmp, &finally)?;
+            keep.push(format!("{name}.antg"));
+        }
+        for entry in fs::read_dir(&snap_dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !keep.iter().any(|k| k == name) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        // reset the WAL last: write-temp + rename, then swap the handle
+        let tmp = self.dir.join("wal.log.new");
+        let mut fresh = File::create(&tmp)?;
+        fresh.write_all(WAL_MAGIC)?;
+        fresh.sync_data()?;
+        {
+            let mut wal = self.wal.lock().unwrap();
+            fs::rename(&tmp, self.dir.join("wal.log"))?;
+            wal.file = OpenOptions::new()
+                .append(true)
+                .open(self.dir.join("wal.log"))?;
+            wal.last_sync = Instant::now();
+            wal.dirty = false;
+        }
+        self.wal_bytes
+            .store(WAL_MAGIC.len() as u64, Ordering::Relaxed);
+        self.wal_records.store(0, Ordering::Relaxed);
+        self.snapshots.store(keep.len() as u64, Ordering::Relaxed);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.last_compaction_ms
+            .store(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Persists an outcome-cache dump (the `/cache/dump` JSON) for a
+    /// warm restart. Written on graceful shutdown only; a crash simply
+    /// leaves no dump and the cache re-warms from peers or recomputes.
+    pub fn persist_cache(&self, dump_json: &str) -> io::Result<()> {
+        let tmp = self.dir.join("cache.json.new");
+        let mut f = File::create(&tmp)?;
+        f.write_all(dump_json.as_bytes())?;
+        f.sync_data()?;
+        fs::rename(&tmp, self.dir.join("cache.json"))
+    }
+
+    /// Takes (reads **and removes**) the persisted cache dump, if one
+    /// exists. Consumed on startup: the dump is only valid for the
+    /// exact catalog state it was written against, so it must never
+    /// survive into a later, possibly-diverged run.
+    pub fn take_cache(&self) -> io::Result<Option<String>> {
+        let path = self.dir.join("cache.json");
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                fs::remove_file(&path)?;
+                Ok(Some(text))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            last_compaction_ms: self.last_compaction_ms.load(Ordering::Relaxed),
+            recovery_ms: self.recovery_ms.load(Ordering::Relaxed),
+            recovered_graphs: self.recovered_graphs.load(Ordering::Relaxed),
+            recovered_ops: self.recovered_ops.load(Ordering::Relaxed),
+            dropped_bytes: self.dropped_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Store {
+    /// Stops the interval flusher and syncs any dirty WAL tail, so a
+    /// graceful shutdown never leaves acknowledged records unsynced.
+    fn drop(&mut self) {
+        self.flusher_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        if let Ok(mut wal) = self.wal.lock() {
+            if wal.dirty {
+                let _ = wal.file.sync_data();
+                wal.dirty = false;
+            }
+        }
+    }
+}
+
+/// Whether `name` may become a snapshot file name. Catalog names are
+/// validated to `[a-z0-9_.-]` (no leading dot) before they reach the
+/// store, so this only guards against a future caller skipping that
+/// validation.
+fn snapshot_safe(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b"_.-".contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antruss_graph::gen::gnm;
+    use bytes::Bytes;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("antruss-store-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = tmp("roundtrip");
+        let g = gnm(20, 50, 3);
+        let ops = vec![
+            CatalogOp::Register {
+                name: "g".to_string(),
+                graph: io_binary::to_bytes(&g),
+            },
+            CatalogOp::Mutate {
+                name: "g".to_string(),
+                inserts: vec![(0, 19)],
+                deletes: vec![],
+            },
+        ];
+        {
+            let (store, recovered) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+            assert!(recovered.graphs.is_empty() && recovered.ops.is_empty());
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+            assert_eq!(store.stats().wal_records, 2);
+        }
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.ops, ops);
+        assert_eq!(store.stats().recovered_ops, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_snapshots_and_resets_the_wal() {
+        let dir = tmp("compact");
+        let g = Arc::new(gnm(20, 50, 3));
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        store
+            .append(&CatalogOp::Register {
+                name: "g".to_string(),
+                graph: io_binary::to_bytes(&g),
+            })
+            .unwrap();
+        store.compact(&[("g".to_string(), Arc::clone(&g))]).unwrap();
+        let s = store.stats();
+        assert_eq!((s.wal_records, s.snapshots, s.compactions), (0, 1, 1));
+        // post-compaction appends land in the fresh log
+        store
+            .append(&CatalogOp::Delete {
+                name: "g".to_string(),
+            })
+            .unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.graphs.len(), 1);
+        assert_eq!(recovered.graphs[0].0, "g");
+        assert_eq!(recovered.graphs[0].1.num_edges(), g.num_edges());
+        assert_eq!(
+            recovered.ops,
+            vec![CatalogOp::Delete {
+                name: "g".to_string()
+            }]
+        );
+        // a second compaction with an empty set removes the snapshot
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        store.compact(&[]).unwrap();
+        assert_eq!(store.stats().snapshots, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp("torn");
+        {
+            let (store, _) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                store
+                    .append(&CatalogOp::Delete {
+                        name: format!("g{i}"),
+                    })
+                    .unwrap();
+            }
+        }
+        let path = dir.join("wal.log");
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.ops.len(), 2, "torn third record dropped");
+        assert!(store.stats().dropped_bytes > 0);
+        // the file was truncated to the good prefix: appending again
+        // yields a clean log of 3 records
+        store
+            .append(&CatalogOp::Delete {
+                name: "g9".to_string(),
+            })
+            .unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.ops.len(), 3);
+        assert_eq!(recovered.ops[2].name(), "g9");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn second_open_of_a_live_data_dir_is_refused() {
+        let dir = tmp("lock");
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        let err = match Store::open(&dir, FsyncPolicy::Never) {
+            Err(e) => e,
+            Ok(_) => panic!("second open of a live data dir must be refused"),
+        };
+        assert!(err.to_string().contains("locked"), "{err}");
+        // dropping the store releases the directory to the next opener
+        drop(store);
+        assert!(Store::open(&dir, FsyncPolicy::Never).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interval_policy_flushes_the_tail_without_further_appends() {
+        let dir = tmp("flusher");
+        let (store, _) = Store::open(&dir, FsyncPolicy::Interval(10)).unwrap();
+        store
+            .append(&CatalogOp::Delete {
+                name: "g".to_string(),
+            })
+            .unwrap();
+        // the piggyback path left this append dirty (last sync was at
+        // open); the background flusher must clear it within ~interval
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let cleared = loop {
+            if !store.wal.lock().unwrap().dirty {
+                break true;
+            }
+            if Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(cleared, "flusher never synced the dirty tail");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(
+            FsyncPolicy::parse("interval:250"),
+            Ok(FsyncPolicy::Interval(250))
+        );
+        assert!(FsyncPolicy::parse("interval:0").is_err());
+        assert!(FsyncPolicy::parse("interval:x").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::Interval(250).to_string(), "interval:250");
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::Interval(100));
+    }
+
+    #[test]
+    fn cache_dump_is_consumed_once() {
+        let dir = tmp("cache");
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.take_cache().unwrap(), None);
+        store.persist_cache("[1,2,3]").unwrap();
+        assert_eq!(store.take_cache().unwrap().as_deref(), Some("[1,2,3]"));
+        assert_eq!(store.take_cache().unwrap(), None, "consumed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn register_payloads_round_trip_through_real_graphs() {
+        let g = gnm(30, 80, 7);
+        let op = CatalogOp::Register {
+            name: "real".to_string(),
+            graph: io_binary::to_bytes(&g),
+        };
+        let CatalogOp::Register { graph, .. } = CatalogOp::decode(op.encode()).unwrap() else {
+            panic!("wrong op");
+        };
+        let h = io_binary::from_bytes(Bytes::from(graph.to_vec())).unwrap();
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,368 @@
+//! The write-ahead log: catalog operations as checksummed,
+//! length-prefixed binary records.
+//!
+//! File layout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "ANTWAL01"
+//! 8       …     records, back to back
+//! ```
+//!
+//! Record layout (all little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length L (u32)
+//! 4       8     FNV-1a 64 checksum of the payload (u64)
+//! 12      L     payload: one encoded CatalogOp
+//! ```
+//!
+//! A crash can tear the final record (partial length prefix, partial
+//! payload) or a disk fault can flip payload bits; both are detected by
+//! the length/checksum pair and replay stops *cleanly* at the last good
+//! record — everything before it is intact by construction, everything
+//! after it was never acknowledged under the `always` fsync policy.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// First 8 bytes of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"ANTWAL01";
+
+/// Sanity cap on one record's payload: a length prefix beyond this is
+/// corruption, not a real record (the largest legitimate payload is a
+/// registered graph's binary snapshot, well under this).
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+const TAG_REGISTER: u8 = 1;
+const TAG_MUTATE: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+/// One durable catalog operation — the WAL's unit of persistence.
+///
+/// Operations are *last-writer-wins* per edge and per name: replaying a
+/// WAL suffix over any state that already includes a prefix of it
+/// converges to the same catalog (inserts/deletes set absolute edge
+/// presence, register overwrites, delete removes), which is what makes
+/// recovery after a crash mid-compaction safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogOp {
+    /// A graph was registered under `name`; `graph` is the built graph
+    /// in the `.antg` binary layout (not the uploaded text, so replay
+    /// skips re-parsing and stores the exact canonical edge set).
+    Register {
+        /// The catalog name.
+        name: String,
+        /// The graph in [`antruss_graph::io_binary`] layout.
+        graph: Bytes,
+    },
+    /// An edge insert/delete batch was applied to `name`. The raw
+    /// request pairs are logged (pre-deduplication): replaying them
+    /// through the same maintenance code is deterministic.
+    Mutate {
+        /// The catalog name.
+        name: String,
+        /// Vertex pairs to insert.
+        inserts: Vec<(u64, u64)>,
+        /// Vertex pairs to delete.
+        deletes: Vec<(u64, u64)>,
+    },
+    /// The graph under `name` was deleted.
+    Delete {
+        /// The catalog name.
+        name: String,
+    },
+}
+
+impl CatalogOp {
+    /// The catalog name this operation targets.
+    pub fn name(&self) -> &str {
+        match self {
+            CatalogOp::Register { name, .. }
+            | CatalogOp::Mutate { name, .. }
+            | CatalogOp::Delete { name } => name,
+        }
+    }
+
+    /// Serializes the operation into its WAL payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        let put_name = |buf: &mut BytesMut, name: &str| {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+        };
+        match self {
+            CatalogOp::Register { name, graph } => {
+                buf.put_u8(TAG_REGISTER);
+                put_name(&mut buf, name);
+                buf.put_u32_le(graph.len() as u32);
+                buf.put_slice(graph);
+            }
+            CatalogOp::Mutate {
+                name,
+                inserts,
+                deletes,
+            } => {
+                buf.put_u8(TAG_MUTATE);
+                put_name(&mut buf, name);
+                buf.put_u32_le(inserts.len() as u32);
+                buf.put_u32_le(deletes.len() as u32);
+                for &(u, v) in inserts.iter().chain(deletes) {
+                    buf.put_u64_le(u);
+                    buf.put_u64_le(v);
+                }
+            }
+            CatalogOp::Delete { name } => {
+                buf.put_u8(TAG_DELETE);
+                put_name(&mut buf, name);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes one WAL payload. `None` means the payload is not a
+    /// well-formed operation (replay treats it like a checksum failure).
+    pub fn decode(mut data: Bytes) -> Option<CatalogOp> {
+        let take_name = |data: &mut Bytes| -> Option<String> {
+            if data.remaining() < 2 {
+                return None;
+            }
+            let len = data.get_u16_le() as usize;
+            if data.remaining() < len {
+                return None;
+            }
+            let mut raw = vec![0u8; len];
+            data.copy_to_slice(&mut raw);
+            String::from_utf8(raw).ok()
+        };
+        if data.remaining() < 1 {
+            return None;
+        }
+        let tag = data.get_u8();
+        let name = take_name(&mut data)?;
+        let op = match tag {
+            TAG_REGISTER => {
+                if data.remaining() < 4 {
+                    return None;
+                }
+                let len = data.get_u32_le() as usize;
+                if data.remaining() != len {
+                    return None;
+                }
+                CatalogOp::Register {
+                    name,
+                    graph: data.copy_to_bytes(len),
+                }
+            }
+            TAG_MUTATE => {
+                if data.remaining() < 8 {
+                    return None;
+                }
+                let ni = data.get_u32_le() as usize;
+                let nd = data.get_u32_le() as usize;
+                if data.remaining() != (ni + nd) * 16 {
+                    return None;
+                }
+                let mut take = |n: usize| -> Vec<(u64, u64)> {
+                    (0..n)
+                        .map(|_| (data.get_u64_le(), data.get_u64_le()))
+                        .collect()
+                };
+                let inserts = take(ni);
+                let deletes = take(nd);
+                CatalogOp::Mutate {
+                    name,
+                    inserts,
+                    deletes,
+                }
+            }
+            TAG_DELETE => {
+                if data.has_remaining() {
+                    return None;
+                }
+                CatalogOp::Delete { name }
+            }
+            _ => return None,
+        };
+        Some(op)
+    }
+}
+
+/// FNV-1a 64 over `data` — the WAL record checksum. Stable across
+/// processes and platforms (no per-process seed), cheap, and plenty to
+/// catch torn writes and bit flips (this is corruption *detection*, not
+/// an adversarial MAC).
+pub fn checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Frames one operation as a WAL record (length + checksum + payload).
+pub fn encode_record(op: &CatalogOp) -> Vec<u8> {
+    let payload = op.encode();
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// What replaying a WAL byte image produced.
+#[derive(Debug)]
+pub struct Replay {
+    /// The good records, in append order.
+    pub ops: Vec<CatalogOp>,
+    /// Byte offset just past the last good record — the length the file
+    /// should be truncated to before appending again.
+    pub good_len: u64,
+    /// Bytes past `good_len` that were dropped (torn tail, corrupt
+    /// record, or anything after one — order past a bad record is
+    /// unknowable, so replay never resynchronizes).
+    pub dropped_bytes: u64,
+}
+
+/// Replays a WAL byte image, stopping cleanly at the first torn or
+/// corrupt record. A missing/garbled magic drops the whole image (the
+/// file is not a WAL; `good_len` is 0 so the caller starts fresh).
+pub fn replay(data: &[u8]) -> Replay {
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Replay {
+            ops: Vec::new(),
+            good_len: 0,
+            dropped_bytes: data.len() as u64,
+        };
+    }
+    let mut ops = Vec::new();
+    let mut at = WAL_MAGIC.len();
+    loop {
+        let rest = &data[at..];
+        if rest.is_empty() {
+            break; // clean end
+        }
+        if rest.len() < 12 {
+            break; // torn length/checksum prefix
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break; // corrupt length prefix
+        }
+        let len = len as usize;
+        let want = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        if rest.len() < 12 + len {
+            break; // torn payload
+        }
+        let payload = &rest[12..12 + len];
+        if checksum64(payload) != want {
+            break; // flipped bits
+        }
+        let Some(op) = CatalogOp::decode(Bytes::from(payload.to_vec())) else {
+            break; // checksum ok but not a well-formed op
+        };
+        ops.push(op);
+        at += 12 + len;
+    }
+    Replay {
+        ops,
+        good_len: at as u64,
+        dropped_bytes: (data.len() - at) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<CatalogOp> {
+        vec![
+            CatalogOp::Register {
+                name: "tri".to_string(),
+                graph: Bytes::from_static(b"fake-graph-bytes"),
+            },
+            CatalogOp::Mutate {
+                name: "tri".to_string(),
+                inserts: vec![(0, 3), (1, 3)],
+                deletes: vec![(2, 0)],
+            },
+            CatalogOp::Delete {
+                name: "tri".to_string(),
+            },
+        ]
+    }
+
+    fn image(ops: &[CatalogOp]) -> Vec<u8> {
+        let mut out = WAL_MAGIC.to_vec();
+        for op in ops {
+            out.extend_from_slice(&encode_record(op));
+        }
+        out
+    }
+
+    #[test]
+    fn ops_round_trip() {
+        for op in ops() {
+            assert_eq!(CatalogOp::decode(op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn replay_reads_everything_back_in_order() {
+        let ops = ops();
+        let img = image(&ops);
+        let r = replay(&img);
+        assert_eq!(r.ops, ops);
+        assert_eq!(r.good_len, img.len() as u64);
+        assert_eq!(r.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_last_record() {
+        let ops = ops();
+        let img = image(&ops);
+        let whole = image(&ops[..2]);
+        for cut in whole.len() + 1..img.len() {
+            let r = replay(&img[..cut]);
+            assert_eq!(r.ops, ops[..2], "cut at {cut}");
+            assert_eq!(r.good_len, whole.len() as u64);
+            assert_eq!(r.dropped_bytes, (cut - whole.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_flip() {
+        let ops = ops();
+        let img = image(&ops);
+        let first = image(&ops[..1]).len();
+        // flip one payload byte of the second record
+        let mut bad = img.clone();
+        bad[first + 13] ^= 0x40;
+        let r = replay(&bad);
+        assert_eq!(r.ops, ops[..1]);
+        assert_eq!(r.good_len, first as u64);
+    }
+
+    #[test]
+    fn bad_magic_drops_the_whole_image() {
+        let mut img = image(&ops());
+        img[0] = b'X';
+        let r = replay(&img);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.good_len, 0);
+        assert_eq!(r.dropped_bytes, img.len() as u64);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corruption_not_allocation() {
+        let mut img = WAL_MAGIC.to_vec();
+        img.extend_from_slice(&u32::MAX.to_le_bytes());
+        img.extend_from_slice(&0u64.to_le_bytes());
+        let r = replay(&img);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.good_len, WAL_MAGIC.len() as u64);
+    }
+}

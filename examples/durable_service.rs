@@ -1,0 +1,99 @@
+//! Durability tour: run an `antruss serve` backend with a `--data-dir`
+//! equivalent, register and mutate a graph, shut the process state
+//! down, and start a **fresh** server over the same directory — the
+//! catalog (and the outcome cache, persisted on graceful shutdown)
+//! comes back without any peer or re-upload. Finishes by corrupting
+//! the WAL tail the way a crash would and showing recovery drop it
+//! cleanly.
+//!
+//! ```sh
+//! cargo run --release --example durable_service
+//! ```
+
+use antruss::service::{Client, Server, ServerConfig};
+use antruss::store::FsyncPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("antruss-durable-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // `antruss serve --data-dir DIR --fsync always`, programmatically
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 32,
+        data_dir: Some(dir.display().to_string()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    };
+
+    // ---- first life: register, mutate, solve, shut down gracefully
+    let server = Server::start(config.clone())?;
+    println!(
+        "first life on http://{} (data in {})",
+        server.addr(),
+        dir.display()
+    );
+    let mut client = Client::new(server.addr());
+    let mut edges = String::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    client.post("/graphs?name=k6", "text/plain", edges.as_bytes())?;
+    // each of these is in the write-ahead log *before* the 200 returns
+    let mutated = client.post(
+        "/graphs/k6/mutate",
+        "application/json",
+        br#"{"insert":[[0,6],[1,6],[2,6]],"delete":[[4,5]]}"#,
+    )?;
+    println!("mutate -> {}", mutated.body_string());
+    let solved = client.post("/solve", "application/json", br#"{"graph":"k6","b":2}"#)?;
+    let reference = solved.body.clone();
+    println!("solve  -> {} bytes (cache miss)", reference.len());
+    // graceful shutdown also dumps the outcome cache next to the WAL
+    println!("shutdown: {}", server.shutdown());
+
+    // ---- second life: same directory, no peers, nothing re-uploaded
+    let server = Server::start(config.clone())?;
+    let mut client = Client::new(server.addr());
+    let listing = client.get("/graphs")?.body_string();
+    println!("\nsecond life on http://{}", server.addr());
+    println!("recovered catalog: {listing}");
+    assert!(listing.contains("\"k6\""), "catalog must survive restart");
+    let replay = client.post("/solve", "application/json", br#"{"graph":"k6","b":2}"#)?;
+    assert_eq!(
+        replay.header("x-antruss-cache"),
+        Some("hit"),
+        "the persisted cache dump warms the restart"
+    );
+    assert_eq!(replay.body, reference, "warm hits replay the exact bytes");
+    println!("solve  -> byte-identical cache hit, no recomputation");
+    let metrics = client.get("/metrics")?.body_string();
+    for line in metrics.lines().filter(|l| l.starts_with("antruss_store_")) {
+        println!("  {line}");
+    }
+    println!("shutdown: {}", server.shutdown());
+
+    // ---- third life: tear the WAL tail like a crash mid-write would
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal)?;
+    std::fs::write(&wal, &bytes[..bytes.len() - 3])?;
+    println!(
+        "\ntore {} by 3 bytes to simulate a crash mid-append",
+        wal.display()
+    );
+    let server = Server::start(config)?;
+    let mut client = Client::new(server.addr());
+    let metrics = client.get("/metrics")?.body_string();
+    let dropped = metrics
+        .lines()
+        .find(|l| l.starts_with("antruss_store_dropped_wal_bytes"))
+        .unwrap_or("antruss_store_dropped_wal_bytes ?");
+    println!("third life recovered cleanly; {dropped}");
+    assert!(client.get("/graphs")?.body_string().contains("\"k6\""));
+    println!("shutdown: {}", server.shutdown());
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

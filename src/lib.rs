@@ -25,7 +25,12 @@
 //!   re-warm from surviving replicas), replica failover, concurrent
 //!   scatter-gather lifecycle fan-out, paged cache-dump replay, and a
 //!   deterministic manual-clock test harness
-//!   ([`cluster::testkit`](antruss_cluster::testkit)).
+//!   ([`cluster::testkit`](antruss_cluster::testkit));
+//! * [`store`] — durability beneath the serving tier (`antruss serve
+//!   --data-dir`): a checksummed write-ahead log of catalog operations,
+//!   per-graph binary snapshots with compaction, and torn-tail tolerant
+//!   crash recovery, so a restarted backend rebuilds its catalog from
+//!   local disk instead of pulling graphs over the network.
 //!
 //! ## Quickstart
 //!
@@ -66,4 +71,5 @@ pub use antruss_datasets as datasets;
 pub use antruss_graph as graph;
 pub use antruss_kcore as kcore;
 pub use antruss_service as service;
+pub use antruss_store as store;
 pub use antruss_truss as truss;

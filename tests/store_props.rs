@@ -1,0 +1,265 @@
+//! Property tests for the durable store: WAL records round-trip for
+//! arbitrary operation sequences, recovery reproduces the in-memory
+//! catalog exactly, and fault injection (truncated tails, flipped bits
+//! — corrupting the file directly) is detected and cleanly dropped
+//! instead of corrupting the recovered state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use antruss::service::Catalog;
+use antruss::store::wal::{self, CatalogOp, WAL_MAGIC};
+use antruss::store::{FsyncPolicy, Store};
+use proptest::prelude::*;
+
+/// A unique scratch directory per proptest case (cases run many times
+/// per process; pid alone is not enough).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "antruss-store-props-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One modeled catalog operation over a tiny name pool. Register
+/// payloads are arbitrary bytes at the WAL layer (framing does not
+/// interpret them); the recovery test builds real graphs instead.
+#[derive(Debug, Clone)]
+enum SimOp {
+    Register(u8, Vec<u8>),
+    Mutate(u8, Vec<(u8, u8)>, Vec<(u8, u8)>),
+    Delete(u8),
+}
+
+fn sim_name(id: u8) -> String {
+    format!("g{}", id % 3)
+}
+
+impl SimOp {
+    fn to_wal(&self) -> CatalogOp {
+        match self {
+            SimOp::Register(id, payload) => CatalogOp::Register {
+                name: sim_name(*id),
+                graph: bytes::Bytes::from(payload.clone()),
+            },
+            SimOp::Mutate(id, ins, del) => CatalogOp::Mutate {
+                name: sim_name(*id),
+                inserts: ins.iter().map(|&(u, v)| (u as u64, v as u64)).collect(),
+                deletes: del.iter().map(|&(u, v)| (u as u64, v as u64)).collect(),
+            },
+            SimOp::Delete(id) => CatalogOp::Delete {
+                name: sim_name(*id),
+            },
+        }
+    }
+}
+
+/// Decodes one generated `(tag, name, (a, b))` seed into an operation —
+/// the vendored proptest generates ranges/tuples/vectors only, so op
+/// variety comes from deterministic decoding (the same pattern the
+/// JSON property tests use). The arithmetic below fans two seed bytes
+/// into varied payload lengths, edge pairs (self loops included — the
+/// catalog must ignore them) and batch sizes.
+fn decode_op(tag: u8, name: u8, a: u8, b: u8) -> SimOp {
+    match tag % 3 {
+        0 => {
+            let payload = (0..(a as usize % 48))
+                .map(|i| a.wrapping_mul(31).wrapping_add(b.wrapping_mul(i as u8)))
+                .collect();
+            SimOp::Register(name, payload)
+        }
+        1 => {
+            let mix = |i: u8| {
+                (
+                    a.wrapping_add(i.wrapping_mul(7)) % 10,
+                    b.wrapping_add(i.wrapping_mul(3)) % 10,
+                )
+            };
+            let inserts = (0..a % 5).map(mix).collect();
+            let deletes = (0..b % 4).map(|i| mix(i.wrapping_add(a))).collect();
+            SimOp::Mutate(name, inserts, deletes)
+        }
+        _ => SimOp::Delete(name),
+    }
+}
+
+/// One seed tuple per op: `(tag, name, (a, b))`.
+type OpSeed = (u8, u8, (u8, u8));
+
+fn decode_ops(seeds: &[OpSeed]) -> Vec<SimOp> {
+    seeds
+        .iter()
+        .map(|&(t, n, (a, b))| decode_op(t, n, a, b))
+        .collect()
+}
+
+/// Frames `ops` exactly as the store's append path does.
+fn wal_image(ops: &[CatalogOp]) -> Vec<u8> {
+    let mut out = WAL_MAGIC.to_vec();
+    for op in ops {
+        out.extend_from_slice(&wal::encode_record(op));
+    }
+    out
+}
+
+/// A comparable projection of a catalog: name, shape, content checksum.
+fn observed(c: &Catalog) -> Vec<(String, usize, usize, u64)> {
+    c.entries()
+        .into_iter()
+        .map(|e| (e.name, e.vertices, e.edges, e.checksum))
+        .collect()
+}
+
+/// Replays everything a store recovered into a fresh catalog — the
+/// exact startup sequence of `ServiceState::open`.
+fn recover_catalog(dir: &std::path::Path) -> Catalog {
+    let (store, recovered) = Store::open(dir, FsyncPolicy::Always).expect("open store");
+    let c = Catalog::new();
+    for (name, graph) in recovered.graphs {
+        c.install_recovered(&name, Arc::new(graph));
+    }
+    for op in &recovered.ops {
+        c.apply_recovered(op);
+    }
+    c.attach_store(Arc::new(store));
+    c
+}
+
+/// Drives `ops` through a live durable catalog. Invalid operations
+/// (duplicate register, mutate/delete of a missing name) are refused by
+/// the catalog and — crucially — never logged, so they must not affect
+/// recovery either.
+fn drive(c: &Catalog, ops: &[SimOp]) {
+    for op in ops {
+        match op {
+            SimOp::Register(id, _) => {
+                // a tiny real edge list derived from the name id: the
+                // catalog needs parseable uploads, and distinct shapes
+                // per id make checksum mismatches detectable
+                let edges = format!("0 1\n1 2\n2 {}\n", 3 + (id % 4));
+                let _ = c.register(&sim_name(*id), edges.as_bytes());
+            }
+            SimOp::Mutate(id, ins, del) => {
+                let ins: Vec<(u64, u64)> = ins.iter().map(|&(u, v)| (u as u64, v as u64)).collect();
+                let del: Vec<(u64, u64)> = del.iter().map(|&(u, v)| (u as u64, v as u64)).collect();
+                let _ = c.mutate(&sim_name(*id), &ins, &del);
+            }
+            SimOp::Delete(id) => {
+                let _ = c.remove(&sim_name(*id));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any operation sequence survives framing + replay byte-exactly.
+    #[test]
+    fn wal_records_round_trip(
+        seeds in prop::collection::vec((0u8..6, 0u8..6, (0u8..255, 0u8..255)), 1..24),
+    ) {
+        let wal_ops: Vec<CatalogOp> = decode_ops(&seeds).iter().map(SimOp::to_wal).collect();
+        let replayed = wal::replay(&wal_image(&wal_ops));
+        prop_assert_eq!(replayed.ops, wal_ops);
+        prop_assert_eq!(replayed.dropped_bytes, 0);
+    }
+
+    /// Recovery (snapshots + WAL tail through the catalog's replay
+    /// path) reproduces the live catalog exactly — including after
+    /// forced mid-sequence compactions.
+    #[test]
+    fn recovery_equals_in_memory_state(
+        seeds in prop::collection::vec((0u8..6, 0u8..6, (0u8..255, 0u8..255)), 1..16),
+        compact_every in 2u64..6,
+    ) {
+        let dir = scratch("recovery");
+        let live = {
+            let c = recover_catalog(&dir);
+            // force frequent compactions so snapshots + tails interleave
+            c.store().unwrap().set_compaction_thresholds(compact_every, u64::MAX);
+            drive(&c, &decode_ops(&seeds));
+            observed(&c)
+        };
+        let recovered = recover_catalog(&dir);
+        prop_assert_eq!(observed(&recovered), live);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A truncated tail (the file cut at an arbitrary byte) loses only
+    /// unacknowledgeable suffix records: replay yields an exact prefix.
+    #[test]
+    fn truncated_tail_is_detected_and_dropped(
+        seeds in prop::collection::vec((0u8..6, 0u8..6, (0u8..255, 0u8..255)), 1..12),
+        cut_back in 1usize..200,
+    ) {
+        let wal_ops: Vec<CatalogOp> = decode_ops(&seeds).iter().map(SimOp::to_wal).collect();
+        let img = wal_image(&wal_ops);
+        let cut = img.len().saturating_sub(cut_back).max(WAL_MAGIC.len());
+        let replayed = wal::replay(&img[..cut]);
+        prop_assert!(replayed.ops.len() <= wal_ops.len());
+        let prefix = &wal_ops[..replayed.ops.len()];
+        prop_assert_eq!(&replayed.ops[..], prefix, "must be an exact prefix");
+        prop_assert_eq!(replayed.good_len as usize + replayed.dropped_bytes as usize, cut);
+        // everything the cut left whole is recovered
+        let whole = wal_image(prefix);
+        prop_assert!(whole.len() <= cut, "replay stopped before the cut reached a record");
+    }
+
+    /// A flipped bit anywhere in the record region is caught by the
+    /// checksum: replay still yields an exact prefix of the original
+    /// sequence (never garbage, never a panic).
+    #[test]
+    fn bit_flip_is_detected_and_dropped(
+        seeds in prop::collection::vec((0u8..6, 0u8..6, (0u8..255, 0u8..255)), 1..12),
+        pos_seed in 0u64..u64::MAX / 2,
+        bit in 0u8..8,
+    ) {
+        let wal_ops: Vec<CatalogOp> = decode_ops(&seeds).iter().map(SimOp::to_wal).collect();
+        let mut img = wal_image(&wal_ops);
+        let span = img.len() - WAL_MAGIC.len();
+        let pos = WAL_MAGIC.len() + (pos_seed as usize % span);
+        img[pos] ^= 1 << bit;
+        let replayed = wal::replay(&img);
+        prop_assert!(replayed.ops.len() <= wal_ops.len());
+        let prefix = &wal_ops[..replayed.ops.len()];
+        prop_assert_eq!(&replayed.ops[..], prefix, "must be an exact prefix");
+    }
+}
+
+/// End to end through real files: corrupt the WAL on disk (both fault
+/// modes), then recover through the full store + catalog path and
+/// assert the surviving prefix state plus continued writability.
+#[test]
+fn corrupted_wal_file_recovers_the_prefix_and_stays_writable() {
+    let dir = scratch("corrupt-e2e");
+    {
+        let c = recover_catalog(&dir);
+        c.register("g0", b"0 1\n1 2\n2 0\n").unwrap();
+        c.register("g1", b"0 1\n1 2\n2 3\n").unwrap();
+        c.register("g2", b"0 3\n").unwrap();
+    }
+    // flip one byte inside the *last* record's payload
+    let wal_path = dir.join("wal.log");
+    let mut img = std::fs::read(&wal_path).unwrap();
+    let pos = img.len() - 4;
+    img[pos] ^= 0x10;
+    std::fs::write(&wal_path, &img).unwrap();
+
+    let c = recover_catalog(&dir);
+    let names: Vec<String> = c.entries().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, ["g0", "g1"], "the corrupted third record is gone");
+    let stats = c.store().unwrap().stats();
+    assert!(stats.dropped_bytes > 0, "the drop is observable: {stats:?}");
+    // the truncated log accepts appends again and they recover cleanly
+    c.register("g9", b"0 1\n").unwrap();
+    drop(c);
+    let c = recover_catalog(&dir);
+    let names: Vec<String> = c.entries().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, ["g0", "g1", "g9"]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

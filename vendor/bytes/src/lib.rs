@@ -1,9 +1,10 @@
 //! Workspace-local stand-in for the `bytes` crate.
 //!
-//! Provides the subset `antruss-graph::io_binary` relies on: an immutable,
-//! cheaply sliceable [`Bytes`] buffer, a growable [`BytesMut`] builder,
-//! and the [`Buf`]/[`BufMut`] cursor traits (little-endian `u32` accessors
-//! only — the `.antg` format needs nothing else).
+//! Provides the subset `antruss-graph::io_binary` and the
+//! `antruss-store` WAL rely on: an immutable, cheaply sliceable
+//! [`Bytes`] buffer, a growable [`BytesMut`] builder, and the
+//! [`Buf`]/[`BufMut`] cursor traits (little-endian fixed-width
+//! accessors).
 
 #![warn(missing_docs)]
 
@@ -19,6 +20,12 @@ pub struct Bytes {
 }
 
 impl Bytes {
+    /// A buffer borrowing a `'static` slice (copied once; the real
+    /// crate's zero-copy static variant is irrelevant at these sizes).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes)
+    }
+
     /// Length in bytes of the active window.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -54,6 +61,14 @@ impl AsRef<[u8]> for Bytes {
         &self.data[self.start..self.end]
     }
 }
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
@@ -123,11 +138,37 @@ pub trait Buf {
     /// Copies `dst.len()` bytes out and advances. Panics on underflow.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte and advances. Panics on underflow.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    /// Reads a little-endian `u16` and advances. Panics on underflow.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
     /// Reads a little-endian `u32` and advances. Panics on underflow.
     fn get_u32_le(&mut self) -> u32 {
         let mut raw = [0u8; 4];
         self.copy_to_slice(&mut raw);
         u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64` and advances. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
     }
 }
 
@@ -148,13 +189,38 @@ impl Buf for Bytes {
     }
 }
 
+impl Bytes {
+    /// Splits off the next `len` bytes as an owned window and advances
+    /// (the real crate's `Buf::copy_to_bytes`, O(1) here via slicing).
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
 /// Write cursor appending to a byte sink.
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `u32` in little-endian order.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 }
