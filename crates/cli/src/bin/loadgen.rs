@@ -34,6 +34,13 @@
 //! local disk — against **peer re-warm** — rebuild the same state
 //! over HTTP from a live peer (edge dumps, re-registration, cache
 //! replay), which is what a diskless backend pays on every restart.
+//! `--edge` benchmarks the read-replica edge tier on a throwaway
+//! in-process server + edge pair (which is why this bin lives in
+//! `antruss-cli`, the one crate that links both tiers): a cached
+//! workload driven directly at the origin vs the same workload off the
+//! edge's own cache, then the origin is shut down and the run repeats
+//! offline — the `edge` JSON section records all three throughputs,
+//! the edge hit ratio and the offline failure count (which must be 0).
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -308,6 +315,137 @@ fn recovery_bench(graphs: usize) -> Option<String> {
     ))
 }
 
+/// Drives `requests` per client at `addr`, all solving `graph` with
+/// seeds cycling through `seeds` values. Returns (ok, failed,
+/// edge_hits, req_per_sec).
+fn drive(addr: SocketAddr, clients: usize, requests: usize, seeds: u64) -> (u64, u64, u64, f64) {
+    let ok = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let edge_hits = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (ok, failed, edge_hits) = (&ok, &failed, &edge_hits);
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                for i in 0..requests {
+                    let seed = ((c * requests + i) as u64) % seeds.max(1);
+                    let body = format!("{{\"graph\":\"edge-bench-g0\",\"b\":1,\"seed\":{seed}}}");
+                    match client.post("/solve", "application/json", body.as_bytes()) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if resp.header("x-antruss-edge") == Some("hit") {
+                                edge_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let ok = ok.load(Ordering::Relaxed);
+    (
+        ok,
+        failed.load(Ordering::Relaxed),
+        edge_hits.load(Ordering::Relaxed),
+        ok as f64 / elapsed.max(1e-9),
+    )
+}
+
+/// Benchmarks the edge tier on a throwaway in-process origin + edge:
+/// a fully cached workload directly at the origin, the same workload
+/// off the edge's cache, and the same workload again with the origin
+/// shut down (offline mode). Returns the JSON `edge` section.
+fn edge_bench(clients: usize, requests: usize, seeds: u64) -> Option<String> {
+    use antruss_edge::{Edge, EdgeConfig};
+    use antruss_graph::{gen::gnm, io};
+
+    let origin = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: clients + 4,
+        cache_capacity: 4 * seeds.max(1) as usize,
+        ..ServerConfig::default()
+    })
+    .ok()?;
+    let edge = Edge::start(EdgeConfig {
+        upstream: origin.addr().to_string(),
+        threads: clients + 4,
+        cache_capacity: 4 * seeds.max(1) as usize,
+        poll_wait_ms: 200,
+        retry_ms: 20,
+        ..EdgeConfig::default()
+    })
+    .ok()?;
+
+    let g = gnm(400, 1600, 1);
+    let mut list = Vec::new();
+    io::write_edge_list(&g, &mut list).expect("serialize bench graph");
+    let mut client = Client::new(edge.addr());
+    let resp = client
+        .post("/graphs?name=edge-bench-g0", "text/plain", &list)
+        .ok()?;
+    if resp.status != 421 {
+        eprintln!("edge bench: the edge accepted a write?");
+        return None;
+    }
+    let resp = Client::new(origin.addr())
+        .post("/graphs?name=edge-bench-g0", "text/plain", &list)
+        .ok()?;
+    if resp.status != 201 {
+        eprintln!("edge bench: register failed: {}", resp.body_string());
+        return None;
+    }
+
+    // warm both caches: one pass through the edge forwards each seed's
+    // miss to the origin and admits the relayed outcome at the edge
+    for seed in 0..seeds.max(1) {
+        let body = format!("{{\"graph\":\"edge-bench-g0\",\"b\":1,\"seed\":{seed}}}");
+        let resp = client
+            .post("/solve", "application/json", body.as_bytes())
+            .ok()?;
+        if resp.status != 200 {
+            eprintln!("edge bench: warm solve failed: {}", resp.body_string());
+            return None;
+        }
+    }
+
+    // one throwaway pass each so neither side pays first-connection
+    // and scheduler warm-up costs inside its measured window
+    drive(origin.addr(), clients, requests.min(50), seeds);
+    drive(edge.addr(), clients, requests.min(50), seeds);
+
+    let (direct_ok, direct_failed, _, direct_rps) = drive(origin.addr(), clients, requests, seeds);
+    let (edge_ok, edge_failed, edge_hits, edge_rps) = drive(edge.addr(), clients, requests, seeds);
+    let hit_ratio = edge_hits as f64 / edge_ok.max(1) as f64;
+    if direct_failed + edge_failed > 0 {
+        eprintln!("edge bench: {direct_failed} direct / {edge_failed} edge request(s) failed");
+        return None;
+    }
+
+    // offline: the origin disappears; every cached read must keep
+    // answering from the edge alone
+    origin.shutdown();
+    let (offline_ok, offline_failed, _, offline_rps) = drive(edge.addr(), clients, requests, seeds);
+
+    println!(
+        "edge ({clients} client(s) x {requests} request(s), {seeds} seed(s)): \
+         direct {direct_rps:.1} req/s ({direct_ok} ok) vs edge cache {edge_rps:.1} req/s \
+         ({edge_ok} ok, hit ratio {:.1}%) vs offline {offline_rps:.1} req/s \
+         ({offline_ok} ok, {offline_failed} failed)",
+        100.0 * hit_ratio
+    );
+    Some(format!(
+        "{{\"clients\":{clients},\"requests_per_client\":{requests},\"seeds\":{seeds},\
+         \"direct_req_per_sec\":{direct_rps:.1},\"edge_hit_req_per_sec\":{edge_rps:.1},\
+         \"edge_hit_ratio\":{hit_ratio:.4},\"offline_req_per_sec\":{offline_rps:.1},\
+         \"offline_failed\":{offline_failed}}}"
+    ))
+}
+
 fn main() {
     let args = Args::from_env();
     let addr_list = args
@@ -352,6 +490,11 @@ fn main() {
     };
     let recovery = if args.flag("recovery") {
         recovery_bench(args.get("recovery-graphs", 6))
+    } else {
+        None
+    };
+    let edge = if args.flag("edge") {
+        edge_bench(clients, requests, seeds)
     } else {
         None
     };
@@ -455,13 +598,17 @@ fn main() {
             .as_ref()
             .map(|r| format!(",\"recovery\":{r}"))
             .unwrap_or_default();
+        let edge_field = edge
+            .as_ref()
+            .map(|e| format!(",\"edge\":{e}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

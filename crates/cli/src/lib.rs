@@ -47,6 +47,8 @@ USAGE:
                      [--cache N] [--max-body-mb N] [--exact-cap N]
                      [--base-timeout S] [--max-b N] [--data-dir DIR]
                      [--fsync always|interval:MS|never]
+  antruss edge       --upstream HOST:PORT [--addr HOST:PORT] [--threads N] [--cache N]
+                     [--max-body-mb N] [--poll-wait-ms MS] [--retry-ms MS]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -77,7 +79,16 @@ spawn) behind a consistent-hash router that places each graph on R
 replicas, fails over when a backend dies, warms joining/re-joining
 replicas from surviving peers, evicts backends that miss
 --miss-threshold heartbeats in a row, and fans graph mutations out to
-every replica concurrently (see the README's Cluster section).";
+every replica concurrently (see the README's Cluster section).
+
+`antruss edge` starts a read-only edge replica in front of --upstream
+(a serve node, a cluster router, or another edge — edges daisy-chain):
+/solve is answered from a warm local outcome cache, misses are
+forwarded, and a background subscription to the upstream's /events
+feed invalidates exactly the graphs that changed. When the upstream is
+unreachable the edge keeps serving every cached read (responses gain
+x-antruss-stale); writes are always refused with 421 naming the
+upstream (see the README's Edge tier section).";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -526,8 +537,16 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             let interval = args
                 .get_str("heartbeat-ms")
                 .map(|_| args.get("heartbeat-ms", 1000u64));
-            let hb = antruss_service::HeartbeatClient::start(router, advertise, interval)
-                .map_err(|e| format!("serve: cannot join {router}: {e}"))?;
+            // a durable backend advertises its persisted cluster cursor
+            // on every (re-)join, so the router can catch it up from the
+            // event tail instead of a full dump/load re-warm
+            let cursor_store = server.state().store.clone();
+            let cursor: antruss_service::CursorSource =
+                std::sync::Arc::new(move || cursor_store.as_ref()?.load_cluster_cursor());
+            let hb = antruss_service::HeartbeatClient::start_with_cursor(
+                router, advertise, interval, cursor,
+            )
+            .map_err(|e| format!("serve: cannot join {router}: {e}"))?;
             eprintln!("antruss serve: joined cluster router {router} as {advertise}");
             Some(hb)
         }
@@ -545,6 +564,56 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         );
     }
     Ok(report)
+}
+
+/// Builds the edge configuration from the `edge` flags. `--upstream`
+/// is required — an edge with nothing behind it can serve nothing.
+pub fn edge_config(args: &Args) -> Result<antruss_edge::EdgeConfig, String> {
+    let defaults = antruss_edge::EdgeConfig::default();
+    let upstream = args
+        .get_str("upstream")
+        .ok_or("edge: missing --upstream HOST:PORT")?;
+    // resolve eagerly so a typo fails before the edge binds
+    antruss_edge::parse_upstream(upstream).map_err(|e| format!("edge: bad --upstream: {e}"))?;
+    Ok(antruss_edge::EdgeConfig {
+        addr: args.get_str("addr").unwrap_or("127.0.0.1:7272").to_string(),
+        upstream: upstream.to_string(),
+        threads: args.get("threads", defaults.threads),
+        cache_capacity: args.get("cache", defaults.cache_capacity),
+        max_body_bytes: args
+            .get("max-body-mb", defaults.max_body_bytes / (1024 * 1024))
+            .saturating_mul(1024 * 1024),
+        poll_wait_ms: args.get("poll-wait-ms", defaults.poll_wait_ms),
+        retry_ms: args.get("retry-ms", defaults.retry_ms).max(1),
+    })
+}
+
+/// `antruss edge` — run the read-replica edge tier until ctrl-c.
+pub fn cmd_edge(args: &Args) -> Result<String, String> {
+    let cfg = edge_config(args)?;
+    let mut edge = antruss_edge::Edge::start(cfg.clone())
+        .map_err(|e| format!("edge: cannot bind {}: {e}", cfg.addr))?;
+    eprintln!(
+        "antruss edge: listening on http://{} (upstream http://{}, cache {} entries) — ctrl-c to stop",
+        edge.addr(),
+        cfg.upstream,
+        cfg.cache_capacity
+    );
+    antruss_service::server::install_sigint_handler();
+    while !antruss_service::server::sigint_received() && !edge.state().is_shutdown() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let state = std::sync::Arc::clone(edge.state());
+    edge.shutdown();
+    let cache = state.cache.stats();
+    Ok(format!(
+        "served {} request(s) ({} cache hit(s), {} forwarded, {} stale serve(s), {} write(s) refused)",
+        state.metrics.requests.load(std::sync::atomic::Ordering::Relaxed),
+        cache.hits,
+        state.metrics.forwarded.load(std::sync::atomic::Ordering::Relaxed),
+        state.metrics.stale_serves.load(std::sync::atomic::Ordering::Relaxed),
+        state.metrics.writes_rejected.load(std::sync::atomic::Ordering::Relaxed),
+    ))
 }
 
 /// `antruss solvers` — the registry line-up.
@@ -592,6 +661,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "solvers" => Ok(cmd_solvers()),
         "serve" => cmd_serve(args),
         "cluster" => cmd_cluster(args),
+        "edge" => cmd_edge(args),
         "kcore" => {
             let spec = pos.get(1).ok_or("kcore: missing input")?;
             Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
@@ -851,6 +921,40 @@ mod tests {
     fn usage_mentions_serve() {
         assert!(USAGE.contains("antruss serve"), "{USAGE}");
         assert!(USAGE.contains("antruss cluster"), "{USAGE}");
+        assert!(USAGE.contains("antruss edge"), "{USAGE}");
+    }
+
+    #[test]
+    fn edge_config_reads_flags() {
+        let cfg = edge_config(&args(
+            "edge --upstream 127.0.0.1:7171 --addr 0.0.0.0:9300 --threads 3 --cache 64 \
+             --max-body-mb 2 --poll-wait-ms 500 --retry-ms 50",
+        ))
+        .unwrap();
+        assert_eq!(cfg.upstream, "127.0.0.1:7171");
+        assert_eq!(cfg.addr, "0.0.0.0:9300");
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.cache_capacity, 64);
+        assert_eq!(cfg.max_body_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.poll_wait_ms, 500);
+        assert_eq!(cfg.retry_ms, 50);
+        // http:// spellings are accepted, like every documented example
+        let cfg = edge_config(&args("edge --upstream http://127.0.0.1:7171/")).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7272");
+        // a missing or unresolvable upstream fails before binding
+        assert!(edge_config(&args("edge"))
+            .unwrap_err()
+            .contains("--upstream"));
+        assert!(edge_config(&args("edge --upstream nonsense")).is_err());
+    }
+
+    #[test]
+    fn edge_reports_bind_failures() {
+        let err = run(&args(
+            "edge --upstream 127.0.0.1:7171 --addr 999.999.999.999:1",
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
     }
 
     #[test]

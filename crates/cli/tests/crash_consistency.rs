@@ -191,17 +191,17 @@ fn sigkill_mid_mutation_recovers_byte_identical_from_disk() {
     );
 
     // restart A over the same data directory: it recovers its catalog
-    // from snapshot + WAL tail locally, then re-joins. The join warm
-    // must recognize "cold" as already current (checksum match — no
-    // transfer) and replace only the diverged "hot".
-    let skipped_before = metric(
-        &Client::new(router.addr())
-            .get("/metrics")
-            .unwrap()
-            .body_string(),
-        "antruss_router_warm_skipped_graphs_total",
-    )
-    .unwrap();
+    // from snapshot + WAL tail locally, advertises its persisted
+    // cluster cursor, and the router catches it up from the missed
+    // event tail — "cold" is not in the tail, so it is never even
+    // examined, let alone re-transferred; only the diverged "hot" is
+    // re-synced.
+    let before_metrics = Client::new(router.addr())
+        .get("/metrics")
+        .unwrap()
+        .body_string();
+    let catchup_before = metric(&before_metrics, "antruss_router_catchup_joins_total").unwrap();
+    let warmed_before = metric(&before_metrics, "antruss_router_warmed_graphs_total").unwrap();
     let backend_a = SpawnedBackend::start(&dir_a, router.addr());
     assert!(
         poll_until(Duration::from_secs(10), || ring_member_count(router.addr())
@@ -209,16 +209,22 @@ fn sigkill_mid_mutation_recovers_byte_identical_from_disk() {
         "restarted backend never re-joined"
     );
 
-    // 1) disk-first: the router skipped at least the "cold" transfer
+    // 1) disk-first: the re-join took the event-tail catch-up path (a
+    // full warm would have re-streamed everything), and at most the
+    // diverged "hot" was re-transferred
     let router_metrics = Client::new(router.addr())
         .get("/metrics")
         .unwrap()
         .body_string();
-    let skipped_after =
-        metric(&router_metrics, "antruss_router_warm_skipped_graphs_total").unwrap();
+    let catchup_after = metric(&router_metrics, "antruss_router_catchup_joins_total").unwrap();
     assert!(
-        skipped_after > skipped_before,
-        "no graph was warm-skipped; disk recovery was not preferred:\n{router_metrics}"
+        catchup_after > catchup_before,
+        "the cursor-advertising re-join did not take the catch-up path:\n{router_metrics}"
+    );
+    let warmed_after = metric(&router_metrics, "antruss_router_warmed_graphs_total").unwrap();
+    assert!(
+        warmed_after - warmed_before <= 1,
+        "catch-up re-transferred more than the diverged graph:\n{router_metrics}"
     );
 
     // 2) the restarted process actually recovered from its store

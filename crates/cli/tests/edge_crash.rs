@@ -1,0 +1,265 @@
+//! Edge offline mode end to end, with real processes and a real
+//! SIGKILL: an `antruss edge` in front of an `antruss serve --data-dir`
+//! keeps serving every previously cached read — zero failed requests —
+//! while the upstream is killed -9 mid-traffic, flags them stale, and
+//! when the upstream restarts over the same data directory and address
+//! it resumes the event stream from its cursor: no reset, no re-warm,
+//! and selective invalidation still works over the resumed feed.
+
+use std::io::BufRead as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use antruss_service::Client;
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn metric(addr: SocketAddr, name: &str) -> Option<u64> {
+    let resp = Client::new(addr).get("/metrics").ok()?;
+    resp.body_string()
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// A spawned `antruss` subcommand plus the address it reported on
+/// stderr ("listening on http://<addr> ...").
+struct Spawned {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Spawned {
+    fn start(args: &[&str]) -> Spawned {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_antruss"))
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn antruss");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, rx) = mpsc::channel::<SocketAddr>();
+        std::thread::spawn(move || {
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.split("listening on http://").nth(1) {
+                    if let Some(addr) = rest.split_whitespace().next().and_then(|a| a.parse().ok())
+                    {
+                        let _ = tx.send(addr);
+                    }
+                }
+                // keep draining so the child never blocks on stderr
+            }
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("process never reported its address");
+        Spawned { child, addr }
+    }
+
+    /// SIGKILL — no drain, no graceful close.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Spawned {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn edge_list() -> String {
+    let mut edges = String::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            edges.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    edges
+}
+
+fn solve_body(graph: &str) -> Vec<u8> {
+    format!("{{\"graph\":\"{graph}\",\"solver\":\"gas\",\"b\":1}}").into_bytes()
+}
+
+#[test]
+fn sigkill_upstream_mid_traffic_edge_serves_cached_and_resumes() {
+    let data_dir = std::env::temp_dir().join(format!("antruss-edge-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let dir = data_dir.display().to_string();
+
+    let serve_args = |addr: &str| {
+        vec![
+            "serve".to_string(),
+            "--addr".to_string(),
+            addr.to_string(),
+            "--threads".to_string(),
+            "8".to_string(),
+            "--cache".to_string(),
+            "64".to_string(),
+            "--data-dir".to_string(),
+            dir.clone(),
+            "--fsync".to_string(),
+            "always".to_string(),
+        ]
+    };
+    let argv = serve_args("127.0.0.1:0");
+    let upstream = Spawned::start(&argv.iter().map(String::as_str).collect::<Vec<_>>());
+    let up_addr = upstream.addr;
+
+    for name in ["cold", "hot"] {
+        let resp = Client::new(up_addr)
+            .post(
+                &format!("/graphs?name={name}"),
+                "text/plain",
+                edge_list().as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body_string());
+    }
+
+    let edge = Spawned::start(&[
+        "edge",
+        "--upstream",
+        &up_addr.to_string(),
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "8",
+        "--cache",
+        "64",
+        "--poll-wait-ms",
+        "200",
+        "--retry-ms",
+        "20",
+    ]);
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            metric(edge.addr, "antruss_edge_events_head_seq") == Some(2)
+        }),
+        "the edge never tailed the two registers"
+    );
+
+    // warm both outcomes at the edge (miss, then a local hit)
+    let mut references = Vec::new();
+    for name in ["cold", "hot"] {
+        let first = Client::new(edge.addr)
+            .post("/solve", "application/json", &solve_body(name))
+            .unwrap();
+        assert_eq!(first.status, 200, "{}", first.body_string());
+        let again = Client::new(edge.addr)
+            .post("/solve", "application/json", &solve_body(name))
+            .unwrap();
+        assert_eq!(again.header("x-antruss-edge"), Some("hit"));
+        assert_eq!(again.body, first.body, "a cache replay is byte-identical");
+        references.push(first.body);
+    }
+
+    // cached-read traffic; SIGKILL the upstream mid-stream. Every
+    // single request must keep succeeding with the cached bytes.
+    let mut doomed = Some(upstream);
+    let mut stale_seen = false;
+    for i in 0..16u32 {
+        if i == 5 {
+            doomed.take().unwrap().kill_dash_nine();
+        }
+        for (j, name) in ["cold", "hot"].iter().enumerate() {
+            let resp = Client::new(edge.addr)
+                .post("/solve", "application/json", &solve_body(name))
+                .unwrap();
+            assert_eq!(resp.status, 200, "request {i}/{name} failed mid-crash");
+            assert_eq!(resp.body, references[j], "stale or wrong bytes");
+            stale_seen |= resp.header("x-antruss-stale").is_some();
+        }
+    }
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(edge.addr, "antruss_edge_upstream_up") == Some(0)
+        }),
+        "the edge never noticed the crash"
+    );
+    // once the edge has noticed, offline hits are flagged
+    let resp = Client::new(edge.addr)
+        .post("/solve", "application/json", &solve_body("cold"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.header("x-antruss-stale").is_some() || stale_seen);
+    assert!(metric(edge.addr, "antruss_edge_stale_serves_total").unwrap_or(0) >= 1);
+
+    // an identity that was never cached has nowhere to go while the
+    // upstream is down — but that is the only thing allowed to fail
+    let resp = Client::new(edge.addr)
+        .post(
+            "/solve",
+            "application/json",
+            br#"{"graph":"cold","solver":"gas","b":2}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 503);
+
+    // restart over the same data dir *and* address: same event epoch,
+    // head rebuilt from the WAL — the subscriber resumes mid-stream
+    let argv = serve_args(&up_addr.to_string());
+    let upstream = Spawned::start(&argv.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(upstream.addr, up_addr);
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            metric(edge.addr, "antruss_edge_upstream_up") == Some(1)
+        }),
+        "the edge never reconnected"
+    );
+    assert_eq!(
+        metric(edge.addr, "antruss_edge_event_resets_total"),
+        Some(0),
+        "a same-identity restart must resume from the cursor, not reset"
+    );
+
+    // the cache survived: still a hit, no longer stale
+    let resp = Client::new(edge.addr)
+        .post("/solve", "application/json", &solve_body("cold"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-antruss-edge"), Some("hit"));
+    assert!(resp.header("x-antruss-stale").is_none());
+
+    // and the resumed feed still invalidates selectively
+    let resp = Client::new(up_addr)
+        .post(
+            "/graphs/hot/mutate",
+            "application/json",
+            b"{\"insert\":[[0,6],[1,6]]}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            metric(edge.addr, "antruss_edge_events_head_seq") == Some(3)
+        }),
+        "the mutation never arrived over the resumed stream"
+    );
+    let resp = Client::new(edge.addr)
+        .post("/solve", "application/json", &solve_body("hot"))
+        .unwrap();
+    assert_eq!(resp.header("x-antruss-edge"), Some("miss"), "hot dropped");
+    let resp = Client::new(edge.addr)
+        .post("/solve", "application/json", &solve_body("cold"))
+        .unwrap();
+    assert_eq!(resp.header("x-antruss-edge"), Some("hit"), "cold kept");
+    assert_eq!(resp.body, references[0]);
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -49,9 +49,10 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use antruss_core::json::{self, Value};
+use antruss_service::events::random_epoch;
 use antruss_service::http::{Request, Response};
 use antruss_service::server::{resolve_threads, run_connection, subresource, AcceptPool};
-use antruss_service::{canonical_key, Client, ClientResponse};
+use antruss_service::{canonical_key, Client, ClientResponse, Event, EventKind, EventLog};
 
 use crate::membership::{Clock, Membership, MembershipConfig, SystemClock};
 use crate::ring::{HashRing, DEFAULT_VNODES};
@@ -227,8 +228,20 @@ pub struct RouterState {
     pub warm_skipped_graphs: AtomicU64,
     /// Dynamic members registered over the router's lifetime.
     pub joins: AtomicU64,
+    /// Joins served by the event-tail catch-up path (the member
+    /// advertised a usable cluster cursor) instead of a full re-warm.
+    pub catchup_joins: AtomicU64,
     /// Dynamic members evicted for missing heartbeats.
     pub evictions: AtomicU64,
+    /// The router's own event log: one event per successful cluster
+    /// write (register / mutate / delete / purge), in the order the
+    /// router completed them. This is the cluster-level analogue of the
+    /// catalog event stream a single backend serves: edge replicas
+    /// subscribe to it via `GET /events`, and rejoining members replay
+    /// its tail to catch up instead of re-warming from scratch. Seqs
+    /// live in *router* space — they are unrelated to any backend's own
+    /// catalog seqs.
+    pub events: EventLog,
     /// Flipped once; the acceptor, workers and health thread observe it.
     pub shutdown: AtomicBool,
     started: Instant,
@@ -263,7 +276,9 @@ impl RouterState {
             warmed_graphs: AtomicU64::new(0),
             warm_skipped_graphs: AtomicU64::new(0),
             joins: AtomicU64::new(0),
+            catchup_joins: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            events: EventLog::new(random_epoch()),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             config,
@@ -333,12 +348,27 @@ fn forward(
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<ClientResponse> {
+    forward_with_headers(backend, method, path, body, &[])
+}
+
+/// Like [`forward`], with extra request headers riding along — the
+/// fan-out path uses this to stamp every cluster write with the
+/// router's event cursor (`x-antruss-cluster-seq`/`-epoch`), which the
+/// backend persists so a restart can advertise how far through the
+/// cluster history its durable state already is.
+fn forward_with_headers(
+    backend: &BackendState,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(String, String)],
+) -> std::io::Result<ClientResponse> {
     let mut client = backend.checkout();
     let result = match (method, body) {
         ("GET", _) => client.get(path),
-        ("DELETE", _) => client.delete(path),
-        ("POST", Some(b)) => client.post(path, "application/json", b),
-        ("POST", None) => client.post(path, "application/json", b""),
+        ("DELETE", _) => client.delete_with_headers(path, headers),
+        ("POST", Some(b)) => client.post_with_headers(path, "application/json", b, headers),
+        ("POST", None) => client.post_with_headers(path, "application/json", b"", headers),
         _ => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
             format!("router cannot forward method {method}"),
@@ -348,6 +378,24 @@ fn forward(
         backend.checkin(client);
     }
     result
+}
+
+/// The cursor headers riding every fanned-out cluster write. The seq is
+/// the head *before* the write's own event publishes (the event is only
+/// assigned after the fan-out completes), so a member's persisted
+/// cursor undercounts by exactly the in-flight write — catch-up then
+/// replays one extra event's graph, which is safe and idempotent.
+fn cursor_headers(state: &RouterState) -> Vec<(String, String)> {
+    vec![
+        (
+            "x-antruss-cluster-seq".to_string(),
+            state.events.head().to_string(),
+        ),
+        (
+            "x-antruss-cluster-epoch".to_string(),
+            state.events.epoch().to_string(),
+        ),
+    ]
 }
 
 /// Runs `op(0..n)` concurrently (one scoped thread per task beyond the
@@ -402,6 +450,7 @@ fn route(state: &RouterState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        ("GET", "/events") => events_feed(state, req),
         ("GET", "/ring") => ring_info(state, req),
         ("GET", "/members") => members_list(state),
         ("POST", "/members") => members_join(state, req),
@@ -455,6 +504,40 @@ fn healthz(state: &RouterState) -> Response {
     Response::json(if ok { 200 } else { 503 }, body)
 }
 
+/// `GET /events?since=S[&epoch=E][&wait=MS]` — the router's cluster
+/// event stream, with the same contract as a backend's catalog feed
+/// (see the service's `events_feed`): edge replicas pointed at the
+/// router subscribe here and get one event per completed cluster write.
+fn events_feed(state: &RouterState, req: &Request) -> Response {
+    macro_rules! u64_param {
+        ($name:literal, $default:expr) => {
+            match req.query_param($name) {
+                None => $default,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            400,
+                            concat!("\"", $name, "\" must be a non-negative integer"),
+                        )
+                    }
+                },
+            }
+        };
+    }
+    let since = u64_param!("since", 0);
+    let epoch = u64_param!("epoch", 0);
+    let wait = u64_param!("wait", 0);
+    let batch = if wait == 0 {
+        state.events.since(since, Some(epoch))
+    } else {
+        state
+            .events
+            .wait_since(since, Some(epoch), Duration::from_millis(wait))
+    };
+    Response::json(200, batch.render())
+}
+
 fn render_metrics(state: &RouterState) -> String {
     let view = state.view();
     let members = state.membership.members();
@@ -500,8 +583,20 @@ fn render_metrics(state: &RouterState) -> String {
         state.joins.load(Ordering::Relaxed).to_string(),
     );
     line(
+        "antruss_router_catchup_joins_total",
+        state.catchup_joins.load(Ordering::Relaxed).to_string(),
+    );
+    line(
         "antruss_router_evictions_total",
         state.evictions.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_router_events_epoch",
+        state.events.epoch().to_string(),
+    );
+    line(
+        "antruss_router_events_head_seq",
+        state.events.head().to_string(),
     );
     line(
         "antruss_router_replication",
@@ -589,17 +684,45 @@ fn member_addr(req: &Request) -> Result<SocketAddr, Response> {
         .map_err(|e| Response::error(400, &format!("bad member address {addr:?}: {e}")))
 }
 
+/// The optional cluster cursor a joining member advertises:
+/// `"cursor": <seq>` plus `"epoch": "<decimal-string>"` (a string, like
+/// the event wire format — a u64 epoch does not survive a float JSON
+/// number). `None` when absent or malformed — malformed just means the
+/// slower full re-warm. Epoch 0 is treated as absent: the event log
+/// reads a 0 hint as "first contact, never a mismatch", which would let
+/// a cursor from a different router's history slip through.
+fn member_cursor(req: &Request) -> Option<(u64, u64)> {
+    let parsed = json::parse(req.body_utf8()?).ok()?;
+    let cursor = parsed.get("cursor")?.as_u64()?;
+    let epoch: u64 = parsed.get("epoch")?.as_str()?.parse().ok()?;
+    (epoch != 0).then_some((epoch, cursor))
+}
+
 /// `POST /members` — an external backend registers itself. The member
-/// is placed on the ring immediately and warmed synchronously (purge →
-/// graph copies → streamed cache replay), so by the time the join
-/// response arrives the new backend can serve its share of the
-/// keyspace. Idempotent: a re-join refreshes the heartbeat and keeps
-/// the ring id.
+/// is placed on the ring immediately and warmed synchronously, so by
+/// the time the join response arrives the new backend can serve its
+/// share of the keyspace. Idempotent: a re-join refreshes the heartbeat
+/// and keeps the ring id.
+///
+/// Two warm paths:
+///
+/// * **catch-up** — the member advertised a cluster cursor (persisted
+///   from the `x-antruss-cluster-seq` headers riding fanned-out writes)
+///   that this router's event log can still replay: only the graphs
+///   touched by the missed tail are re-synced and only their cached
+///   outcomes purged — the member's disk-recovered catalog and warm
+///   cache survive. A purge-all event in the tail, an epoch mismatch
+///   (cursor from a previous router life) or a cursor outside retention
+///   all fall back to the full path;
+/// * **full** — no usable cursor: the member's state is unknown, so its
+///   cache is purged and everything is rebuilt from the live peers
+///   (dump/load remains the cold-start fallback).
 fn members_join(state: &RouterState, req: &Request) -> Response {
     let addr = match member_addr(req) {
         Ok(a) => a,
         Err(resp) => return resp,
     };
+    let advertised = member_cursor(req);
     let (ring_id, rejoin) = state.membership.join(addr);
     if !rejoin {
         state.joins.fetch_add(1, Ordering::Relaxed);
@@ -609,9 +732,26 @@ fn members_join(state: &RouterState, req: &Request) -> Response {
     // during the warm-up window fails over instead of 404ing off the
     // still-empty backend
     state.rebuild_view_with(Some(addr));
-    // a joining backend's state is unknown (fresh process, or restarted
-    // with a stale cache): purge it and rebuild from the live peers
-    let (graphs, entries) = warm_backend(state, addr, true);
+    // the missed event tail, when the advertised cursor is serveable
+    let tail = advertised.and_then(|(epoch, cursor)| {
+        let batch = state.events.since(cursor, Some(epoch));
+        let purge_all = batch
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Purge && e.graph.is_empty());
+        (!batch.reset && !purge_all).then_some(batch.events)
+    });
+    let (graphs, entries, warm) = match tail {
+        Some(events) => {
+            state.catchup_joins.fetch_add(1, Ordering::Relaxed);
+            let (g, e) = catch_up_backend(state, addr, &events);
+            (g, e, "catchup")
+        }
+        None => {
+            let (g, e) = warm_backend(state, addr, true);
+            (g, e, "full")
+        }
+    };
     let view = state.view();
     if let Some(idx) = view.position_of(addr) {
         view.backends[idx].healthy.store(true, Ordering::Relaxed);
@@ -621,11 +761,12 @@ fn members_join(state: &RouterState, req: &Request) -> Response {
         if rejoin { 200 } else { 201 },
         format!(
             "{{\"addr\":{},\"shard\":{ring_id},\"rejoin\":{rejoin},\
-             \"heartbeat_ms\":{},\"miss_threshold\":{},\
+             \"heartbeat_ms\":{},\"miss_threshold\":{},\"warm\":{},\
              \"warmed_graphs\":{graphs},\"warmed_entries\":{entries}}}",
             json::quoted(&addr.to_string()),
             cfg.heartbeat_ms,
-            cfg.miss_threshold
+            cfg.miss_threshold,
+            json::quoted(warm)
         ),
     )
 }
@@ -772,7 +913,17 @@ fn route_solve(state: &RouterState, req: &Request) -> Response {
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
+    // the freshness bound in *router* event space, read before the
+    // forward: a cluster write that completes later publishes a higher
+    // seq, so an edge subscribed to this router gates exactly as it
+    // would against a single backend. Sound for backend cache hits too,
+    // because a backend's gated insert (see the service cache) never
+    // retains a body that predates a completed cluster write.
+    let events_head = state.events.head();
+    let events_epoch = state.events.epoch();
     try_in_order(state, &view, &order, "POST", "/solve", Some(&req.body))
+        .with_header("x-antruss-events-head", &events_head.to_string())
+        .with_header("x-antruss-events-epoch", &events_epoch.to_string())
 }
 
 /// Percent-encodes one path segment or query value for a forwarded
@@ -804,7 +955,20 @@ fn fan_out_register(state: &RouterState, req: &Request) -> Response {
         return Response::error(503, "router has no backends");
     }
     let path = format!("/graphs?name={}", encode_component(name));
-    fan_out(&view, &order, "POST", &path, Some(&req.body))
+    let resp = fan_out(
+        &view,
+        &order,
+        "POST",
+        &path,
+        Some(&req.body),
+        &cursor_headers(state),
+    );
+    if resp.status < 400 {
+        state
+            .events
+            .publish(EventKind::Register, &canonical_key(name), None);
+    }
+    resp
 }
 
 /// `POST /graphs/{name}/mutate` and `DELETE /graphs/{name}` — applied on
@@ -816,15 +980,34 @@ fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response 
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
-    let (body, path) = if req.method == "POST" {
+    let (body, path, kind) = if req.method == "POST" {
         (
             Some(&req.body[..]),
             format!("/graphs/{}/mutate", encode_component(name)),
+            EventKind::Mutate,
         )
     } else {
-        (None, format!("/graphs/{}", encode_component(name)))
+        (
+            None,
+            format!("/graphs/{}", encode_component(name)),
+            EventKind::Delete,
+        )
     };
-    fan_out(&view, &order, req.method.as_str(), &path, body)
+    let resp = fan_out(
+        &view,
+        &order,
+        req.method.as_str(),
+        &path,
+        body,
+        &cursor_headers(state),
+    );
+    // the event publishes only after every replica was attempted and at
+    // least one applied the write: a solve that read the head before
+    // this point can never be stamped fresher than this mutation
+    if resp.status < 400 {
+        state.events.publish(kind, &canonical_key(name), None);
+    }
+    resp
 }
 
 /// `POST /cache/purge` — every backend drops the named graph's entries
@@ -835,11 +1018,19 @@ fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
     if order.is_empty() {
         return Response::error(503, "router has no backends");
     }
-    let path = match req.query_param("graph") {
+    let graph = req.query_param("graph");
+    let path = match graph {
         Some(g) => format!("/cache/purge?graph={}", encode_component(g)),
         None => "/cache/purge".to_string(),
     };
-    fan_out(&view, &order, "POST", &path, None)
+    let resp = fan_out(&view, &order, "POST", &path, None, &cursor_headers(state));
+    if resp.status < 400 {
+        // an empty graph name is the purge-all marker, as in the
+        // catalog's own event stream
+        let key = graph.map(canonical_key).unwrap_or_default();
+        state.events.publish(EventKind::Purge, &key, None);
+    }
+    resp
 }
 
 /// Sends one operation to every listed backend **concurrently**
@@ -858,10 +1049,11 @@ fn fan_out(
     method: &str,
     path: &str,
     body: Option<&[u8]>,
+    headers: &[(String, String)],
 ) -> Response {
     let results: Vec<Option<ClientResponse>> = scatter(order.len(), |j| {
         let b = &view.backends[order[j]];
-        match forward(b, method, path, body) {
+        match forward_with_headers(b, method, path, body, headers) {
             Ok(resp) => {
                 b.forwarded.fetch_add(1, Ordering::Relaxed);
                 Some(resp)
@@ -1035,6 +1227,246 @@ fn warm_backend(state: &RouterState, addr: SocketAddr, purge_first: bool) -> (u6
         }
     }
     (restored.graphs, restored.entries)
+}
+
+/// Catch-up warm for a rejoining member that advertised a usable
+/// cluster cursor: only the graphs named by the missed event tail are
+/// touched. Per touched graph the member's cached outcomes are purged
+/// (they may predate the missed writes) and, when the ring still
+/// places the graph on the member, its copy is re-synced from a
+/// healthy peer — with the same content-checksum skip as the full warm
+/// path, so a `--data-dir` member whose disk already replayed the
+/// write transfers nothing. Everything the tail does *not* name is
+/// left alone: that is the entire point — the member's warm cache and
+/// resident catalog survive the rejoin.
+///
+/// Fenced and retried like [`warm_backend`]: a write racing the pass
+/// re-runs it (each pass is idempotent). A final *fill* pass replays
+/// the peers' cached outcomes around whatever the member kept — a
+/// graceful restart reloads its own dump and keeps it (resident
+/// entries win), while a SIGKILLed member, whose cache died with the
+/// process, gets the peers' copies back without a full re-warm.
+fn catch_up_backend(state: &RouterState, addr: SocketAddr, events: &[Event]) -> (u64, u64) {
+    const MAX_PASSES: u32 = 3;
+    let mut touched: Vec<String> = Vec::new();
+    for ev in events {
+        if !touched.contains(&ev.graph) {
+            touched.push(ev.graph.clone());
+        }
+    }
+    let mut outcome = SyncOutcome::default();
+    if !touched.is_empty() {
+        for _ in 0..MAX_PASSES {
+            let view = state.view();
+            let Some(idx) = view.position_of(addr) else {
+                return (0, 0);
+            };
+            let before = peer_write_fingerprint(&view, idx);
+            outcome = catch_up_once(state, &view, idx, &touched);
+            if peer_write_fingerprint(&view, idx) == before {
+                break;
+            }
+        }
+        state
+            .warmed_graphs
+            .fetch_add(outcome.graphs, Ordering::Relaxed);
+        state
+            .warm_skipped_graphs
+            .fetch_add(outcome.skipped, Ordering::Relaxed);
+    }
+    let view = state.view();
+    if let Some(idx) = view.position_of(addr) {
+        outcome.entries += fill_cache_delta(&view, idx, state.config.replication);
+    }
+    (outcome.graphs, outcome.entries)
+}
+
+/// Replays the healthy peers' cached outcomes belonging to the member
+/// at `idx` through `POST /cache/load?mode=fill&stamp=H`, where `H` is
+/// the member's event head read *before* any peer dump. Resident
+/// entries win — the member's surviving cache is at least as fresh as
+/// a peer's copy of the same key — and a write fanned out mid-replay
+/// gates the now-stale bodies out (its purge seq outranks `H`), the
+/// same admission discipline edge replicas use, so unlike the full
+/// warm path this needs no fingerprint fence. Returns the entries
+/// offered to the member.
+fn fill_cache_delta(view: &RouterView, idx: usize, replication: usize) -> u64 {
+    let target = &view.backends[idx];
+    // a from-the-future cursor is answered with a reset batch carrying
+    // the current head — the cheapest way to read it over the wire
+    let head_probe = format!("/events?since={}", u64::MAX);
+    let head = match forward(target, "GET", &head_probe, None) {
+        Ok(resp) if resp.status == 200 => {
+            match antruss_service::EventBatch::parse(&resp.body_string()) {
+                Some(batch) => batch.head,
+                None => return 0,
+            }
+        }
+        _ => return 0,
+    };
+    let mut offered: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (peer_idx, peer) in view.backends.iter().enumerate() {
+        if peer_idx == idx || !peer.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let mut offset = 0usize;
+        loop {
+            let page = format!("/cache/dump?offset={offset}&limit={DUMP_PAGE}");
+            let Ok(dump) = forward(peer, "GET", &page, None) else {
+                break;
+            };
+            if dump.status != 200 {
+                break;
+            }
+            let Ok(parsed) = json::parse(&dump.body_string()) else {
+                break;
+            };
+            let total = parsed.get("total").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let Some(entries) = parsed.get("entries").and_then(Value::as_array) else {
+                break;
+            };
+            let fetched = entries.len();
+            let mine: Vec<String> = entries
+                .iter()
+                .filter(|e| {
+                    e.get("graph")
+                        .and_then(Value::as_str)
+                        .is_some_and(|g| view.placement(g, replication).contains(&idx))
+                })
+                .map(|e| e.to_json())
+                .filter(|serialized| !offered.contains(serialized))
+                .collect();
+            if !mine.is_empty() {
+                let payload = format!("[{}]", mine.join(","));
+                let path = format!("/cache/load?mode=fill&stamp={head}");
+                if forward(target, "POST", &path, Some(payload.as_bytes()))
+                    .is_ok_and(|r| r.status == 200)
+                {
+                    offered.extend(mine);
+                }
+            }
+            offset += fetched;
+            if fetched == 0 || offset >= total {
+                break;
+            }
+        }
+    }
+    offered.len() as u64
+}
+
+/// One catch-up pass over the `touched` graphs (canonical names from
+/// the missed event tail) for the member at `view.backends[idx]`.
+fn catch_up_once(
+    state: &RouterState,
+    view: &RouterView,
+    idx: usize,
+    touched: &[String],
+) -> SyncOutcome {
+    let target = &view.backends[idx];
+    let replication = state.config.replication;
+    // name → (checksum, source) listings; the target's tells us what a
+    // disk recovery already restored, the peers' what is current
+    let listing_of =
+        |b: &BackendState| -> Option<std::collections::HashMap<String, (String, String)>> {
+            let resp = forward(b, "GET", "/graphs", None).ok()?;
+            let parsed = json::parse(&resp.body_string()).ok()?;
+            let loaded = parsed.get("loaded").and_then(Value::as_array)?;
+            let mut out = std::collections::HashMap::new();
+            for entry in loaded {
+                let Some(name) = entry.get("name").and_then(Value::as_str) else {
+                    continue;
+                };
+                let sum = entry
+                    .get("checksum")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let source = entry
+                    .get("source")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                out.insert(name.to_string(), (sum, source));
+            }
+            Some(out)
+        };
+    // graph name -> (checksum, source) as reported by a backend's /graphs
+    type Listing = std::collections::HashMap<String, (String, String)>;
+    let present = listing_of(target).unwrap_or_default();
+    let peer_listings: Vec<(usize, Listing)> = view
+        .backends
+        .iter()
+        .enumerate()
+        .filter(|(peer_idx, peer)| *peer_idx != idx && peer.healthy.load(Ordering::Relaxed))
+        .filter_map(|(peer_idx, peer)| listing_of(peer).map(|l| (peer_idx, l)))
+        .collect();
+    let mut outcome = SyncOutcome::default();
+    for name in touched {
+        let encoded = encode_component(name);
+        // outcomes cached on the member for this graph may predate the
+        // missed writes: always drop them
+        let _ = forward(
+            target,
+            "POST",
+            &format!("/cache/purge?graph={encoded}"),
+            None,
+        );
+        if !view.placement(name, replication).contains(&idx) {
+            continue; // no longer this member's graph
+        }
+        // the current registered copy, from the first peer that has one
+        // (generated datasets are materialized locally and never synced)
+        let current = peer_listings.iter().find_map(|(peer_idx, listing)| {
+            listing
+                .get(name)
+                .filter(|(_, source)| source != "generated")
+                .map(|(sum, _)| (*peer_idx, sum.clone()))
+        });
+        match current {
+            Some((_, peer_sum))
+                if !peer_sum.is_empty()
+                    && present.get(name).map(|(sum, _)| sum.as_str())
+                        == Some(peer_sum.as_str()) =>
+            {
+                // the member's disk recovery already replayed this write
+                outcome.skipped += 1;
+            }
+            Some((peer_idx, _)) => {
+                let peer = &view.backends[peer_idx];
+                let Ok(edges) = forward(peer, "GET", &format!("/graphs/{encoded}/edges"), None)
+                else {
+                    continue;
+                };
+                if edges.status != 200 {
+                    continue;
+                }
+                let _ = forward(target, "DELETE", &format!("/graphs/{encoded}"), None);
+                if forward(
+                    target,
+                    "POST",
+                    &format!("/graphs?name={encoded}"),
+                    Some(&edges.body),
+                )
+                .is_ok_and(|r| r.status == 201)
+                {
+                    outcome.graphs += 1;
+                }
+            }
+            // no peer lists the graph: it was deleted cluster-wide while
+            // the member was away — drop any stale registered copy (but
+            // only when at least one peer listing was readable, so a
+            // blind pass never deletes real data)
+            None if !peer_listings.is_empty()
+                && present
+                    .get(name)
+                    .is_some_and(|(_, source)| source != "generated") =>
+            {
+                let _ = forward(target, "DELETE", &format!("/graphs/{encoded}"), None);
+            }
+            None => {}
+        }
+    }
+    outcome
 }
 
 /// After a member leaves or is evicted, every graph it replicated needs
@@ -1612,5 +2044,142 @@ mod tests {
         let st = state_with_dead_backends(1);
         assert_eq!(handle(&st, &req("GET", "/nope", "")).status, 404);
         assert_eq!(handle(&st, &req("PUT", "/solve", "")).status, 405);
+    }
+
+    #[test]
+    fn events_feed_serves_the_router_log() {
+        let st = state_with_dead_backends(2);
+        let resp = handle(&st, &req("GET", "/events", ""));
+        assert_eq!(resp.status, 200);
+        let batch =
+            antruss_service::EventBatch::parse(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(batch.head, 0);
+        assert_eq!(batch.epoch, st.events.epoch());
+        assert!(!batch.reset);
+        // a write that fails on every replica publishes no event — a
+        // subscriber must never be told to invalidate for a write that
+        // did not happen
+        let mut r = req("POST", "/graphs", "1 2\n2 3\n");
+        r.query = vec![("name".to_string(), "g".to_string())];
+        assert_eq!(handle(&st, &r).status, 502);
+        assert_eq!(st.events.head(), 0);
+        let mut bad = req("GET", "/events", "");
+        bad.query = vec![("since".to_string(), "x".to_string())];
+        assert_eq!(handle(&st, &bad).status, 400);
+    }
+
+    #[test]
+    fn solve_responses_carry_router_event_stamps() {
+        let st = state_with_dead_backends(2);
+        st.events.publish(EventKind::Register, "g", None);
+        let resp = handle(&st, &req("POST", "/solve", r#"{"graph":"g","b":1}"#));
+        assert_eq!(resp.status, 502);
+        let stamp = resp
+            .extra_headers
+            .iter()
+            .find(|(n, _)| n == "x-antruss-events-head")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(stamp, Some("1"));
+        let epoch = resp
+            .extra_headers
+            .iter()
+            .find(|(n, _)| n == "x-antruss-events-epoch")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(epoch, Some(st.events.epoch().to_string().as_str()));
+    }
+
+    #[test]
+    fn join_cursor_picks_the_warm_path() {
+        let st = state_with_dead_backends(1);
+        let epoch = st.events.epoch();
+        let addr = dead_addrs(1)[0];
+        let warm_of = |resp: Response| -> String {
+            let text = String::from_utf8(resp.body).unwrap();
+            let v = json::parse(&text).unwrap();
+            v.get("warm").and_then(Value::as_str).unwrap().to_string()
+        };
+        // no cursor → full re-warm
+        let body = format!("{{\"addr\":\"{addr}\"}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "full"
+        );
+        // a cursor from another router life (wrong epoch) → full
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"12345\",\"cursor\":0}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "full"
+        );
+        assert_eq!(st.catchup_joins.load(Ordering::Relaxed), 0);
+        // epoch 0 reads as "no cursor", never as a wildcard match
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"0\",\"cursor\":0}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "full"
+        );
+        // the right epoch with a current cursor → catch-up (empty tail)
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"{epoch}\",\"cursor\":0}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "catchup"
+        );
+        assert_eq!(st.catchup_joins.load(Ordering::Relaxed), 1);
+        // a cursor ahead of the head is unserveable → full
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"{epoch}\",\"cursor\":99}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "full"
+        );
+        // a purge-all in the missed tail invalidates everything the
+        // member holds → full, even with a valid cursor
+        st.events.publish(EventKind::Purge, "", None);
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"{epoch}\",\"cursor\":0}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "full"
+        );
+        // a plain graph tail is serveable → catch-up
+        st.events.publish(EventKind::Mutate, "g", None);
+        let body = format!("{{\"addr\":\"{addr}\",\"epoch\":\"{epoch}\",\"cursor\":1}}");
+        assert_eq!(
+            warm_of(handle(&st, &req("POST", "/members", &body))),
+            "catchup"
+        );
+        assert_eq!(st.catchup_joins.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fanned_out_writes_carry_the_cluster_cursor() {
+        let st = state_with_dead_backends(1);
+        st.events.publish(EventKind::Register, "g", None);
+        let headers = cursor_headers(&st);
+        assert_eq!(
+            headers[0],
+            (
+                "x-antruss-cluster-seq".to_string(),
+                st.events.head().to_string()
+            )
+        );
+        assert_eq!(
+            headers[1],
+            (
+                "x-antruss-cluster-epoch".to_string(),
+                st.events.epoch().to_string()
+            )
+        );
+    }
+
+    #[test]
+    fn router_metrics_include_event_series() {
+        let st = state_with_dead_backends(1);
+        st.events.publish(EventKind::Register, "g", None);
+        let text = String::from_utf8(handle(&st, &req("GET", "/metrics", "")).body).unwrap();
+        for series in [
+            "antruss_router_events_head_seq 1",
+            &format!("antruss_router_events_epoch {}", st.events.epoch()),
+            "antruss_router_catchup_joins_total 0",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
     }
 }

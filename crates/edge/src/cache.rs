@@ -1,0 +1,326 @@
+//! The edge outcome cache: an LRU over forwarded solve responses with
+//! an event-sequence admission gate.
+//!
+//! The gate is what keeps an edge correct under solve/mutate races.
+//! Every upstream `/solve` response carries the events head the body
+//! is fresh at (`x-antruss-events-head`, read upstream *before* the
+//! graph was resolved); every invalidating event the edge applies
+//! records the graph's invalidation seq here. An insert is admitted
+//! only when its freshness bound is at or past the graph's last
+//! invalidation — so a response computed on a pre-mutation graph
+//! (bound `< N`) can never enter the cache after the edge has dropped
+//! that graph's entries at event `N`. Gate check and insert happen
+//! under one lock, closing the check-then-act window against a
+//! concurrently applied event.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time snapshot of the edge-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeCacheStats {
+    /// Lookups answered locally.
+    pub hits: u64,
+    /// Lookups that had to forward upstream.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Inserts refused by the admission gate (stale bound or epoch).
+    pub refusals: u64,
+    /// Entries dropped by event-driven invalidation.
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 disables caching).
+    pub capacity: usize,
+    /// Serialized outcome bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+struct Entry {
+    body: Arc<String>,
+    /// Canonical graph key, for event-driven invalidation.
+    graph: String,
+    /// The events head the body is known fresh at.
+    stamp: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+    /// The upstream event epoch entries belong to. Inserts from any
+    /// other epoch are refused; [`EdgeCache::set_epoch`] drops
+    /// everything when the upstream identity changes.
+    epoch: u64,
+    /// Global admission floor: bounds from before this seq are refused
+    /// (purge-all events and epoch adoption raise it).
+    floor: u64,
+    /// Per-graph last invalidating event seq.
+    invalidated_at: HashMap<String, u64>,
+    resident_bytes: u64,
+}
+
+/// The gated LRU. Keys are the canonical solve identity rendered as a
+/// string (graph, solver, budget, k, seed, trials, policy).
+pub struct EdgeCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    refusals: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl EdgeCache {
+    /// A cache holding at most `capacity` bodies (0 disables caching).
+    /// Starts under epoch 0 — nothing is admitted until
+    /// [`EdgeCache::set_epoch`] adopts the upstream's identity.
+    pub fn new(capacity: usize) -> EdgeCache {
+        EdgeCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                epoch: 0,
+                floor: 0,
+                invalidated_at: HashMap::new(),
+                resident_bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            refusals: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch entries currently belong to (0 before first contact).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap().epoch
+    }
+
+    /// Looks `key` up, returning the body and its freshness bound.
+    pub fn get(&self, key: &str) -> Option<(Arc<String>, u64)> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((Arc::clone(&e.body), e.stamp))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits a forwarded response if its freshness bound (`stamp`,
+    /// under `epoch`) is not behind the graph's last invalidation.
+    /// Returns whether the entry was stored.
+    pub fn insert_gated(
+        &self,
+        key: String,
+        graph: &str,
+        body: Arc<String>,
+        stamp: u64,
+        epoch: u64,
+    ) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let gate = inner
+            .invalidated_at
+            .get(graph)
+            .copied()
+            .unwrap_or(0)
+            .max(inner.floor);
+        if epoch != inner.epoch || stamp < gate {
+            self.refusals.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                if let Some(old) = inner.map.remove(&lru) {
+                    inner.resident_bytes -= old.body.len() as u64;
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.resident_bytes += body.len() as u64;
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                body,
+                graph: graph.to_string(),
+                stamp,
+                last_used: tick,
+            },
+        ) {
+            inner.resident_bytes -= old.body.len() as u64;
+        }
+        true
+    }
+
+    /// Applies an invalidating event for one graph: drops its resident
+    /// entries and raises its admission gate to `seq`. Returns how many
+    /// entries were dropped.
+    pub fn invalidate_graph(&self, graph: &str, seq: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let at = inner.invalidated_at.entry(graph.to_string()).or_insert(0);
+        *at = (*at).max(seq);
+        let doomed: Vec<String> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.graph == graph)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            if let Some(e) = inner.map.remove(k) {
+                inner.resident_bytes -= e.body.len() as u64;
+            }
+        }
+        self.invalidated
+            .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        doomed.len()
+    }
+
+    /// Applies a purge-all event: drops everything and raises the
+    /// global admission floor to `seq`.
+    pub fn invalidate_all(&self, seq: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.floor = inner.floor.max(seq);
+        inner.invalidated_at.clear();
+        let n = inner.map.len();
+        inner.map.clear();
+        inner.resident_bytes = 0;
+        self.invalidated.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Adopts a new upstream identity (first contact or a reset):
+    /// drops everything and only admits bounds under `epoch` at or
+    /// past `head`.
+    pub fn set_epoch(&self, epoch: u64, head: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.map.len();
+        inner.epoch = epoch;
+        inner.floor = head;
+        inner.invalidated_at.clear();
+        inner.map.clear();
+        inner.resident_bytes = 0;
+        self.invalidated.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EdgeCacheStats {
+        let inner = self.inner.lock().unwrap();
+        EdgeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            refusals: self.refusals.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            resident_bytes: inner.resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    fn warm(c: &EdgeCache) {
+        c.set_epoch(7, 0);
+    }
+
+    #[test]
+    fn nothing_is_admitted_before_an_epoch_is_adopted() {
+        let c = EdgeCache::new(4);
+        assert!(!c.insert_gated("k".into(), "g", body("b"), 5, 7));
+        warm(&c);
+        assert!(c.insert_gated("k".into(), "g", body("b"), 5, 7));
+        assert_eq!(c.get("k").unwrap().1, 5);
+        assert_eq!(c.stats().refusals, 1);
+    }
+
+    #[test]
+    fn invalidation_drops_entries_and_gates_stale_bounds() {
+        let c = EdgeCache::new(8);
+        warm(&c);
+        assert!(c.insert_gated("a1".into(), "a", body("A1"), 3, 7));
+        assert!(c.insert_gated("b1".into(), "b", body("B1"), 3, 7));
+        assert_eq!(c.invalidate_graph("a", 4), 1);
+        assert!(c.get("a1").is_none());
+        assert!(c.get("b1").is_some(), "other graphs untouched");
+        // a response computed before event 4 must not re-enter
+        assert!(!c.insert_gated("a1".into(), "a", body("A1"), 3, 7));
+        // one computed at or after event 4 may
+        assert!(c.insert_gated("a1".into(), "a", body("A1'"), 4, 7));
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn purge_all_raises_the_floor_for_every_graph() {
+        let c = EdgeCache::new(8);
+        warm(&c);
+        assert!(c.insert_gated("a1".into(), "a", body("A"), 3, 7));
+        assert_eq!(c.invalidate_all(5), 1);
+        assert!(!c.insert_gated("b1".into(), "b", body("B"), 4, 7));
+        assert!(c.insert_gated("b1".into(), "b", body("B"), 5, 7));
+    }
+
+    #[test]
+    fn epoch_change_drops_and_refuses_old_epoch_bounds() {
+        let c = EdgeCache::new(8);
+        warm(&c);
+        assert!(c.insert_gated("a1".into(), "a", body("A"), 100, 7));
+        c.set_epoch(9, 2);
+        assert!(c.get("a1").is_none());
+        // an old-epoch bound is numerically huge but meaningless now
+        assert!(!c.insert_gated("a1".into(), "a", body("A"), 100, 7));
+        assert!(c.insert_gated("a1".into(), "a", body("A"), 2, 9));
+    }
+
+    #[test]
+    fn lru_eviction_and_byte_accounting() {
+        let c = EdgeCache::new(2);
+        warm(&c);
+        assert!(c.insert_gated("a".into(), "g", body("aa"), 1, 7));
+        assert!(c.insert_gated("b".into(), "g", body("bbbb"), 1, 7));
+        assert_eq!(c.stats().resident_bytes, 6);
+        c.get("a");
+        assert!(c.insert_gated("c".into(), "g", body("c"), 1, 7));
+        assert!(c.get("b").is_none(), "coldest entry evicted");
+        assert!(c.get("a").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().resident_bytes, 3);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let c = EdgeCache::new(0);
+        warm(&c);
+        assert!(!c.insert_gated("a".into(), "g", body("A"), 1, 7));
+        assert!(c.get("a").is_none());
+    }
+}

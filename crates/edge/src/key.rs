@@ -1,0 +1,124 @@
+//! Deriving the edge cache key from a `/solve` request body.
+//!
+//! The edge must key exactly the identity the upstream keys on —
+//! `(graph, solver, b, k, seed, trials, policy)`, with `threads`
+//! deliberately excluded (outcomes are thread-count-invariant) — and
+//! must *refuse to key* any body the upstream would reject, because
+//! two bodies mapping to one key must be interchangeable. A body we
+//! cannot key is simply forwarded uncached; the upstream stays the
+//! single authority on validation.
+
+use antruss_core::json::{self, Value};
+use antruss_service::canonical_key;
+use antruss_service::server::SOLVE_FIELDS;
+
+/// The canonical cache identity of one solve body: `(key, graph)`,
+/// where `graph` is the canonical graph key used for event-driven
+/// invalidation. `None` when the body would not be accepted verbatim
+/// by the upstream solve contract — such requests pass through the
+/// edge without touching the cache.
+pub(crate) fn solve_key(text: &str) -> Option<(String, String)> {
+    let v = json::parse(text).ok()?;
+    let Value::Obj(members) = &v else {
+        return None;
+    };
+    if members.keys().any(|k| !SOLVE_FIELDS.contains(&k.as_str())) {
+        return None;
+    }
+    let graph = canonical_key(v.get("graph")?.as_str()?);
+    let solver = match v.get("solver") {
+        None => "gas",
+        Some(s) => s.as_str()?,
+    };
+    let budget = match v.get("b") {
+        None => 10,
+        Some(x) => x.as_u64()?,
+    };
+    if budget == 0 {
+        return None;
+    }
+    let seed = match v.get("seed") {
+        None => 1,
+        Some(x) => x.as_u64()?,
+    };
+    let trials = match v.get("trials") {
+        None => 20,
+        Some(x) => x.as_u64()?,
+    };
+    // present-but-mistyped `threads` is a 400 upstream; it must not
+    // collapse onto a valid body's key
+    if let Some(t) = v.get("threads") {
+        t.as_u64()?;
+    }
+    let k = match v.get("k") {
+        None => "-".to_string(),
+        Some(x) => x.as_u64().filter(|n| *n <= u32::MAX as u64)?.to_string(),
+    };
+    let policy = match v.get("policy") {
+        None => "paper",
+        Some(x) => x
+            .as_str()
+            .filter(|p| matches!(*p, "paper" | "conservative" | "off"))?,
+    };
+    let key = format!("{graph}|{solver}|{budget}|{k}|{seed}|{trials}|{policy}");
+    Some((key, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_explicit_spellings() {
+        let implicit = solve_key(r#"{"graph":"tri"}"#).unwrap();
+        let explicit = solve_key(
+            r#"{"graph":" Tri ","solver":"gas","b":10,"seed":1,"trials":20,"policy":"paper"}"#,
+        )
+        .unwrap();
+        assert_eq!(implicit, explicit);
+        assert_eq!(implicit.1, "tri");
+    }
+
+    #[test]
+    fn threads_do_not_differentiate_keys() {
+        let a = solve_key(r#"{"graph":"g","threads":1}"#).unwrap();
+        let b = solve_key(r#"{"graph":"g","threads":8}"#).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_identities_get_distinct_keys() {
+        let base = solve_key(r#"{"graph":"g","b":2}"#).unwrap().0;
+        for other in [
+            r#"{"graph":"h","b":2}"#,
+            r#"{"graph":"g","b":3}"#,
+            r#"{"graph":"g","b":2,"solver":"lazy"}"#,
+            r#"{"graph":"g","b":2,"seed":9}"#,
+            r#"{"graph":"g","b":2,"trials":5}"#,
+            r#"{"graph":"g","b":2,"k":4}"#,
+            r#"{"graph":"g","b":2,"policy":"off"}"#,
+        ] {
+            assert_ne!(solve_key(other).unwrap().0, base, "{other}");
+        }
+    }
+
+    #[test]
+    fn bodies_the_upstream_rejects_are_not_keyed() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"solver":"gas"}"#,                 // missing graph
+            r#"{"graph":"g","bugdet":3}"#,         // unknown field
+            r#"{"graph":"g","b":0}"#,              // zero budget
+            r#"{"graph":"g","b":-1}"#,             // negative
+            r#"{"graph":"g","seed":"one"}"#,       // wrong type
+            r#"{"graph":"g","k":null}"#,           // null k is a 400
+            r#"{"graph":"g","k":99999999999999}"#, // k beyond u32
+            r#"{"graph":"g","threads":"many"}"#,   // mistyped threads
+            r#"{"graph":"g","policy":"fast"}"#,    // unknown policy
+            r#"{"graph":123}"#,                    // wrong type
+        ] {
+            assert!(solve_key(bad).is_none(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,751 @@
+//! `antruss edge`: a read-replica edge tier in front of a serving
+//! node (or cluster router, or another edge).
+//!
+//! The edge serves `/solve` from a warm local outcome cache, forwards
+//! misses upstream, and subscribes to the upstream's `/events` feed on
+//! a background thread so a mutation invalidates exactly the touched
+//! graph's entries — no TTLs, no polling of graph state. When the
+//! upstream becomes unreachable the edge keeps answering every read it
+//! has cached (offline mode), flagging responses with `x-antruss-stale`
+//! and reporting the staleness age in `/metrics`; when the upstream
+//! returns, the subscriber resumes from its cursor, so no re-warm is
+//! needed unless the upstream's history actually diverged.
+//!
+//! Edges daisy-chain: the mirror re-serves the upstream event sequence
+//! verbatim on this edge's own `/events`, so `--upstream` can point at
+//! another edge. Writes are refused with `421 Misdirected Request`
+//! naming the upstream — the edge is structurally incapable of
+//! mutating anything.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use antruss_core::json;
+use antruss_service::http::{Request, Response};
+use antruss_service::server::{resolve_threads, run_connection, AcceptPool};
+use antruss_service::{Client, ClientResponse, EventLog};
+
+mod cache;
+mod key;
+mod sync;
+
+pub use cache::{EdgeCache, EdgeCacheStats};
+pub use sync::parse_upstream;
+
+use key::solve_key;
+
+/// Everything configurable about one edge.
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Bind address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Upstream to forward misses to and subscribe to events from —
+    /// a serving node, a cluster router, or another edge.
+    pub upstream: String,
+    /// Worker threads (0 = one per core, capped).
+    pub threads: usize,
+    /// Outcome-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Long-poll budget per `/events` request, milliseconds.
+    pub poll_wait_ms: u64,
+    /// Backoff between subscriber attempts when the upstream is
+    /// unreachable, milliseconds.
+    pub retry_ms: u64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> EdgeConfig {
+        EdgeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            upstream: "127.0.0.1:7171".to_string(),
+            threads: 2,
+            cache_capacity: 1024,
+            max_body_bytes: 1024 * 1024,
+            poll_wait_ms: 2_000,
+            retry_ms: 200,
+        }
+    }
+}
+
+/// Edge-level counters (the cache keeps its own in
+/// [`EdgeCacheStats`]).
+#[derive(Default)]
+pub struct EdgeMetrics {
+    /// HTTP requests accepted (any endpoint, any status).
+    pub requests: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Requests forwarded upstream (any outcome with a response).
+    pub forwarded: AtomicU64,
+    /// Forward attempts that failed at the transport (upstream down).
+    pub forward_failures: AtomicU64,
+    /// Write requests refused with 421.
+    pub writes_rejected: AtomicU64,
+    /// Upstream events applied to the cache.
+    pub events_applied: AtomicU64,
+    /// Times the subscriber was reset (cursor unserveable upstream).
+    pub event_resets: AtomicU64,
+    /// Cache hits served while the upstream was unreachable.
+    pub stale_serves: AtomicU64,
+}
+
+/// Shared state behind every edge connection and the subscriber.
+pub struct EdgeState {
+    /// The configuration the edge was started with.
+    pub config: EdgeConfig,
+    /// Resolved upstream address.
+    pub upstream: SocketAddr,
+    upstream_display: String,
+    /// The gated outcome cache.
+    pub cache: EdgeCache,
+    /// The mirror of the upstream event log this edge re-serves.
+    pub mirror: EventLog,
+    /// Edge counters.
+    pub metrics: EdgeMetrics,
+    upstream_up: AtomicBool,
+    last_contact: Mutex<Instant>,
+    last_upstream_head: AtomicU64,
+    /// Last-known-good listing bodies (`/graphs`, `/solvers`) for
+    /// offline fallback.
+    listing: Mutex<HashMap<&'static str, Arc<String>>>,
+    clients: Mutex<Vec<Client>>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl EdgeState {
+    /// Builds the state, resolving the upstream address.
+    pub fn new(config: EdgeConfig) -> io::Result<Arc<EdgeState>> {
+        let upstream = parse_upstream(&config.upstream)?;
+        Ok(Arc::new(EdgeState {
+            cache: EdgeCache::new(config.cache_capacity),
+            // epoch 0 = "no upstream adopted yet"; the subscriber's
+            // first batch adopts the real identity
+            mirror: EventLog::new(0),
+            metrics: EdgeMetrics::default(),
+            upstream_up: AtomicBool::new(false),
+            last_contact: Mutex::new(Instant::now()),
+            last_upstream_head: AtomicU64::new(0),
+            listing: Mutex::new(HashMap::new()),
+            clients: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            upstream_display: config.upstream.clone(),
+            upstream,
+            config,
+        }))
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether the upstream answered the most recent attempt.
+    pub fn upstream_up(&self) -> bool {
+        self.upstream_up.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn mark_contact(&self) {
+        self.upstream_up.store(true, Ordering::SeqCst);
+        *self.last_contact.lock().unwrap() = Instant::now();
+    }
+
+    pub(crate) fn mark_down(&self) {
+        self.upstream_up.store(false, Ordering::SeqCst);
+    }
+
+    /// Seconds since the upstream last answered; 0 while it's up.
+    pub fn staleness_seconds(&self) -> u64 {
+        if self.upstream_up() {
+            return 0;
+        }
+        self.last_contact.lock().unwrap().elapsed().as_secs()
+    }
+
+    /// Forwards one request upstream over a pooled keep-alive
+    /// connection, tracking upstream reachability.
+    fn forward(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> io::Result<ClientResponse> {
+        let mut client = self
+            .clients
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| Client::new(self.upstream));
+        let result = match body {
+            Some((ct, b)) if method == "POST" => client.post(path, ct, b),
+            _ if method == "DELETE" => client.delete(path),
+            _ => client.get(path),
+        };
+        match result {
+            Ok(resp) => {
+                self.mark_contact();
+                self.clients.lock().unwrap().push(client);
+                self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+                Ok(resp)
+            }
+            Err(e) => {
+                self.mark_down();
+                self.metrics
+                    .forward_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Percent-encodes one path or query component (RFC 3986 unreserved
+/// bytes pass through). The edge parsed the decoded form; forwarding
+/// must re-encode it.
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Reassembles the request target (path + query) for forwarding.
+fn forward_target(req: &Request) -> String {
+    let mut target: String = req
+        .path
+        .split('/')
+        .map(encode_component)
+        .collect::<Vec<_>>()
+        .join("/");
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(&encode_component(k));
+        target.push('=');
+        target.push_str(&encode_component(v));
+    }
+    target
+}
+
+/// Rebuilds a local [`Response`] from an upstream reply, preserving
+/// the status, the content type and every `x-antruss-*` header.
+fn relay(up: ClientResponse) -> Response {
+    let text_plain = up
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain"));
+    let mut resp = if text_plain {
+        Response::text(up.status, up.body.clone())
+    } else {
+        Response::json(up.status, up.body.clone())
+    };
+    for (name, value) in &up.headers {
+        if name.starts_with("x-antruss-") {
+            resp = resp.with_header(name, value);
+        }
+    }
+    resp
+}
+
+/// Routes one parsed request. Public so in-process tests can drive an
+/// edge without a socket.
+pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
+    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = route(state, req);
+    if resp.status >= 400 {
+        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
+    fn subresource<'p>(path: &'p str, suffix: &str) -> Option<&'p str> {
+        path.strip_prefix("/graphs/")
+            .and_then(|rest| rest.strip_suffix(suffix))
+            .filter(|name| !name.is_empty() && !name.contains('/'))
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/events") => events_feed(state, req),
+        ("POST", "/solve") => solve(state, req),
+        ("GET", "/graphs") => listing(state, "/graphs"),
+        ("GET", "/solvers") => listing(state, "/solvers"),
+        ("GET", "/cache/dump") => passthrough_get(state, req),
+        ("GET", p) if subresource(p, "/edges").is_some() => passthrough_get(state, req),
+        ("POST", "/graphs" | "/cache/load" | "/cache/purge") => reject_write(state),
+        ("POST", p) if subresource(p, "/mutate").is_some() => reject_write(state),
+        ("DELETE", p) if p.strip_prefix("/graphs/").is_some_and(|n| !n.is_empty()) => {
+            reject_write(state)
+        }
+        ("GET" | "POST" | "DELETE", _) => {
+            Response::error(404, &format!("no route for {}", req.path))
+        }
+        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+fn healthz(state: &EdgeState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"role\":\"edge\",\"upstream\":{{\"addr\":{},\"up\":{}}},\
+             \"events\":{{\"epoch\":{},\"head\":{}}}}}",
+            json::quoted(&state.upstream_display),
+            state.upstream_up(),
+            json::quoted(&state.mirror.epoch().to_string()),
+            state.mirror.head()
+        ),
+    )
+}
+
+fn metrics(state: &EdgeState) -> Response {
+    let m = &state.metrics;
+    let c = state.cache.stats();
+    let head = state.mirror.head();
+    let upstream_head = state.last_upstream_head.load(Ordering::Relaxed);
+    let mut out = String::with_capacity(1024);
+    let mut line = |name: &str, value: String| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value);
+        out.push('\n');
+    };
+    line(
+        "antruss_edge_uptime_seconds",
+        state.started.elapsed().as_secs().to_string(),
+    );
+    line(
+        "antruss_edge_requests_total",
+        m.requests.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_http_errors_total",
+        m.errors.load(Ordering::Relaxed).to_string(),
+    );
+    line("antruss_edge_cache_hits_total", c.hits.to_string());
+    line("antruss_edge_cache_misses_total", c.misses.to_string());
+    line(
+        "antruss_edge_cache_evictions_total",
+        c.evictions.to_string(),
+    );
+    line(
+        "antruss_edge_cache_refused_inserts_total",
+        c.refusals.to_string(),
+    );
+    line(
+        "antruss_edge_cache_invalidated_entries_total",
+        c.invalidated.to_string(),
+    );
+    line("antruss_edge_cache_entries", c.entries.to_string());
+    line("antruss_edge_cache_capacity", c.capacity.to_string());
+    line(
+        "antruss_edge_cache_resident_bytes",
+        c.resident_bytes.to_string(),
+    );
+    line(
+        "antruss_edge_forwarded_total",
+        m.forwarded.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_forward_failures_total",
+        m.forward_failures.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_writes_rejected_total",
+        m.writes_rejected.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_events_applied_total",
+        m.events_applied.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_event_resets_total",
+        m.event_resets.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_events_epoch",
+        state.mirror.epoch().to_string(),
+    );
+    line("antruss_edge_events_head_seq", head.to_string());
+    line(
+        "antruss_edge_event_lag_seq",
+        upstream_head.saturating_sub(head).to_string(),
+    );
+    line(
+        "antruss_edge_upstream_up",
+        u64::from(state.upstream_up()).to_string(),
+    );
+    line(
+        "antruss_edge_stale_serves_total",
+        m.stale_serves.load(Ordering::Relaxed).to_string(),
+    );
+    line(
+        "antruss_edge_staleness_seconds",
+        state.staleness_seconds().to_string(),
+    );
+    Response::text(200, out)
+}
+
+/// `GET /events` off the mirror — identical contract to the serving
+/// node's feed, which is what lets edges daisy-chain.
+fn events_feed(state: &EdgeState, req: &Request) -> Response {
+    macro_rules! u64_param {
+        ($name:literal, $default:expr) => {
+            match req.query_param($name) {
+                None => $default,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            400,
+                            concat!("\"", $name, "\" must be a non-negative integer"),
+                        )
+                    }
+                },
+            }
+        };
+    }
+    let since = u64_param!("since", 0);
+    let epoch = u64_param!("epoch", 0);
+    let wait = u64_param!("wait", 0);
+    let batch = if wait == 0 {
+        state.mirror.since(since, Some(epoch))
+    } else {
+        state
+            .mirror
+            .wait_since(since, Some(epoch), Duration::from_millis(wait))
+    };
+    Response::json(200, batch.render())
+}
+
+fn reject_write(state: &EdgeState) -> Response {
+    state
+        .metrics
+        .writes_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    Response::error(
+        421,
+        &format!(
+            "this is a read-only edge; send writes to the upstream at {}",
+            state.upstream_display
+        ),
+    )
+}
+
+fn solve(state: &Arc<EdgeState>, req: &Request) -> Response {
+    // the key is derivable only for bodies the upstream would accept;
+    // anything else is forwarded verbatim, uncached
+    let keyed = req.body_utf8().and_then(solve_key);
+    if let Some((key, _)) = &keyed {
+        if let Some((body, stamp)) = state.cache.get(key) {
+            let mut resp = Response::json(200, body.as_bytes().to_vec())
+                .with_header("x-antruss-cache", "hit")
+                .with_header("x-antruss-edge", "hit")
+                .with_header("x-antruss-events-head", &stamp.to_string())
+                .with_header("x-antruss-events-epoch", &state.cache.epoch().to_string());
+            if !state.upstream_up() {
+                state.metrics.stale_serves.fetch_add(1, Ordering::Relaxed);
+                resp = resp.with_header("x-antruss-stale", &state.staleness_seconds().to_string());
+            }
+            return resp;
+        }
+    }
+    match state.forward("POST", "/solve", Some(("application/json", &req.body))) {
+        Ok(up) => {
+            if up.status == 200 {
+                if let Some((key, graph)) = keyed {
+                    // admit only when the upstream told us the body's
+                    // freshness bound — the gate defeats solve/mutate
+                    // races and epoch changes
+                    let bound = up
+                        .header("x-antruss-events-head")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    let epoch = up
+                        .header("x-antruss-events-epoch")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    if let (Some(stamp), Some(epoch), Ok(body)) =
+                        (bound, epoch, String::from_utf8(up.body.clone()))
+                    {
+                        state
+                            .cache
+                            .insert_gated(key, &graph, Arc::new(body), stamp, epoch);
+                    }
+                }
+            }
+            relay(up).with_header("x-antruss-edge", "miss")
+        }
+        Err(_) => Response::error(
+            503,
+            "upstream unreachable and this outcome is not cached at the edge",
+        ),
+    }
+}
+
+/// `GET /graphs` / `GET /solvers`: forward when the upstream is
+/// reachable, remember the last good body, and fall back to it
+/// (flagged stale) when it isn't.
+fn listing(state: &Arc<EdgeState>, path: &'static str) -> Response {
+    match state.forward("GET", path, None) {
+        Ok(up) => {
+            if up.status == 200 {
+                if let Ok(body) = String::from_utf8(up.body.clone()) {
+                    state.listing.lock().unwrap().insert(path, Arc::new(body));
+                }
+            }
+            relay(up)
+        }
+        Err(_) => match state.listing.lock().unwrap().get(path) {
+            Some(last) => Response::json(200, last.as_bytes().to_vec())
+                .with_header("x-antruss-stale", &state.staleness_seconds().to_string()),
+            None => Response::error(503, "upstream unreachable and no cached listing"),
+        },
+    }
+}
+
+/// Endpoints with no edge-side cache (`/cache/dump`, graph edge
+/// listings): pure passthrough, 503 when offline.
+fn passthrough_get(state: &Arc<EdgeState>, req: &Request) -> Response {
+    match state.forward("GET", &forward_target(req), None) {
+        Ok(up) => relay(up),
+        Err(_) => Response::error(503, "upstream unreachable"),
+    }
+}
+
+/// A running edge; dropping it shuts it down and joins every thread.
+pub struct Edge {
+    state: Arc<EdgeState>,
+    pool: AcceptPool,
+    subscriber: Option<JoinHandle<()>>,
+}
+
+impl Edge {
+    /// Binds, starts the worker pool and the event subscriber.
+    pub fn start(config: EdgeConfig) -> io::Result<Edge> {
+        let state = EdgeState::new(config)?;
+        let threads = resolve_threads(state.config.threads);
+        let pool = {
+            let accept_state = Arc::clone(&state);
+            let serve_state = Arc::clone(&state);
+            AcceptPool::start(
+                &state.config.addr,
+                threads,
+                "antruss-edge",
+                Arc::new(move || accept_state.is_shutdown()),
+                Arc::new(move |stream| {
+                    let state = Arc::clone(&serve_state);
+                    run_connection(
+                        stream,
+                        state.config.max_body_bytes,
+                        &state.shutdown,
+                        &mut |req| handle(&state, req),
+                        &mut || {
+                            state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                            state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                }),
+            )?
+        };
+        let subscriber = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("antruss-edge-sync".to_string())
+                .spawn(move || sync::run(state))
+                .expect("spawn edge subscriber")
+        };
+        Ok(Edge {
+            state,
+            pool,
+            subscriber: Some(subscriber),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr()
+    }
+
+    /// The shared state (for tests and metrics scraping in-process).
+    pub fn state(&self) -> &Arc<EdgeState> {
+        &self.state
+    }
+
+    /// Stops accepting, joins the workers and the subscriber.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.pool.join();
+        if let Some(s) = self.subscriber.take() {
+            let _ = s.join();
+        }
+    }
+}
+
+impl Drop for Edge {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_state() -> Arc<EdgeState> {
+        // port 9 (discard) is never listened on locally: forwards fail
+        // fast with ECONNREFUSED, which is exactly the offline case
+        EdgeState::new(EdgeConfig {
+            upstream: "127.0.0.1:9".to_string(),
+            ..EdgeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn header<'r>(resp: &'r Response, name: &str) -> Option<&'r str> {
+        resp.extra_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn writes_are_misdirected_to_the_upstream() {
+        let state = edge_state();
+        for (method, path) in [
+            ("POST", "/graphs"),
+            ("POST", "/graphs/g/mutate"),
+            ("POST", "/cache/load"),
+            ("POST", "/cache/purge"),
+            ("DELETE", "/graphs/g"),
+        ] {
+            let resp = handle(&state, &request(method, path, "{}"));
+            assert_eq!(resp.status, 421, "{method} {path}");
+            let body = String::from_utf8(resp.body.clone()).unwrap();
+            assert!(body.contains("127.0.0.1:9"), "{body}");
+        }
+        assert_eq!(state.metrics.writes_rejected.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn healthz_and_metrics_answer_without_an_upstream() {
+        let state = edge_state();
+        let health = handle(&state, &request("GET", "/healthz", ""));
+        assert_eq!(health.status, 200);
+        let body = String::from_utf8(health.body).unwrap();
+        assert!(body.contains("\"role\":\"edge\""), "{body}");
+        assert!(body.contains("\"up\":false"), "{body}");
+
+        let metrics = handle(&state, &request("GET", "/metrics", ""));
+        let text = String::from_utf8(metrics.body).unwrap();
+        for name in [
+            "antruss_edge_requests_total 2",
+            "antruss_edge_cache_capacity 1024",
+            "antruss_edge_upstream_up 0",
+            "antruss_edge_event_lag_seq 0",
+            "antruss_edge_writes_rejected_total 0",
+        ] {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+    }
+
+    #[test]
+    fn cached_outcomes_survive_the_upstream_being_down() {
+        let state = edge_state();
+        state.cache.set_epoch(7, 0);
+        let (key, graph) = solve_key(r#"{"graph":"g","b":2}"#).unwrap();
+        assert!(state.cache.insert_gated(
+            key,
+            &graph,
+            Arc::new("{\"outcome\":1}".to_string()),
+            3,
+            7
+        ));
+        let hit = handle(&state, &request("POST", "/solve", r#"{"graph":"g","b":2}"#));
+        assert_eq!(hit.status, 200);
+        assert_eq!(header(&hit, "x-antruss-edge"), Some("hit"));
+        assert_eq!(header(&hit, "x-antruss-events-head"), Some("3"));
+        assert_eq!(header(&hit, "x-antruss-events-epoch"), Some("7"));
+        assert!(header(&hit, "x-antruss-stale").is_some(), "upstream down");
+        assert_eq!(state.metrics.stale_serves.load(Ordering::Relaxed), 1);
+
+        // an uncached identity has nowhere to go
+        let miss = handle(&state, &request("POST", "/solve", r#"{"graph":"g","b":9}"#));
+        assert_eq!(miss.status, 503);
+    }
+
+    #[test]
+    fn events_feed_validates_params_and_serves_the_mirror() {
+        let state = edge_state();
+        let bad = handle(
+            &state,
+            &Request {
+                query: vec![("since".to_string(), "x".to_string())],
+                ..request("GET", "/events", "")
+            },
+        );
+        assert_eq!(bad.status, 400);
+
+        state.mirror.adopt(9, 4);
+        let resp = handle(&state, &request("GET", "/events", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"epoch\":\"9\""), "{body}");
+        assert!(body.contains("\"head\":4"), "{body}");
+        assert!(body.contains("\"reset\":true"), "cursor 0 is stale: {body}");
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_refused_locally() {
+        let state = edge_state();
+        assert_eq!(handle(&state, &request("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&state, &request("PUT", "/solve", "{}")).status, 405);
+    }
+
+    #[test]
+    fn forward_targets_are_re_encoded() {
+        let req = Request {
+            query: vec![("graph".to_string(), "a b".to_string())],
+            ..request("GET", "/graphs/a b/edges", "")
+        };
+        assert_eq!(forward_target(&req), "/graphs/a%20b/edges?graph=a%20b");
+    }
+
+    #[test]
+    fn edge_starts_serves_and_shuts_down_over_tcp() {
+        let mut edge = Edge::start(EdgeConfig {
+            upstream: "127.0.0.1:9".to_string(),
+            poll_wait_ms: 50,
+            retry_ms: 20,
+            ..EdgeConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::new(edge.addr());
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        let refused = client.post("/graphs", "application/json", b"{}").unwrap();
+        assert_eq!(refused.status, 421);
+        edge.shutdown();
+    }
+}

@@ -48,10 +48,19 @@ pub struct CacheStats {
     /// Serialized outcome bytes currently resident (body bytes only, the
     /// dominant term — keys are a few dozen bytes each).
     pub resident_bytes: u64,
+    /// Inserts refused because their freshness stamp predated a purge of
+    /// the same graph — a solve that raced a mutation and lost.
+    pub stale_refused: u64,
 }
 
 struct Entry {
     body: Arc<String>,
+    /// The catalog events head observed *before* the computing request
+    /// resolved its graph — the freshness bound an edge replica gates
+    /// on (see `x-antruss-events-head`). An entry computed before a
+    /// mutation at seq `N` always carries a stamp `< N`, so a stale
+    /// body can never masquerade as post-mutation.
+    stamp: u64,
     last_used: u64,
 }
 
@@ -65,6 +74,7 @@ pub struct OutcomeCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_refused: AtomicU64,
 }
 
 #[derive(Default)]
@@ -72,6 +82,14 @@ struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
     resident_bytes: u64,
+    /// Per-graph admission gates: the event seq each graph was last
+    /// purged at. An insert whose stamp is below its graph's gate was
+    /// computed before that purge's mutation and is refused outright —
+    /// this closes the window where a solve racing a mutation could
+    /// briefly park a stale body (see [`OutcomeCache::insert`]).
+    gates: HashMap<String, u64>,
+    /// The purge-all gate: a floor under every graph's gate.
+    floor: u64,
     /// The last dump, reused verbatim until the next insert/purge
     /// invalidates it — paged `/cache/dump` readers issue many requests
     /// over one stable cache, and recloning + resorting the whole map
@@ -92,11 +110,18 @@ impl OutcomeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_refused: AtomicU64::new(0),
         }
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        self.get_stamped(key).map(|(body, _)| body)
+    }
+
+    /// Like [`OutcomeCache::get`], also returning the entry's freshness
+    /// stamp (the events head recorded at [`OutcomeCache::insert`]).
+    pub fn get_stamped(&self, key: &CacheKey) -> Option<(Arc<String>, u64)> {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -104,7 +129,7 @@ impl OutcomeCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.body))
+                Some((Arc::clone(&entry.body), entry.stamp))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -115,12 +140,50 @@ impl OutcomeCache {
 
     /// Stores a freshly computed body, evicting the least-recently-used
     /// entry when at capacity. Concurrent solvers racing on the same key
-    /// simply overwrite each other with identical bytes.
-    pub fn insert(&self, key: CacheKey, body: Arc<String>) {
+    /// simply overwrite each other with identical bytes. `stamp` is the
+    /// catalog events head the body is known fresh at (see
+    /// [`OutcomeCache::get_stamped`]); callers without an event log
+    /// pass 0.
+    ///
+    /// The insert is *gated*: if `key.graph` was purged at an event seq
+    /// greater than `stamp` (see [`OutcomeCache::purge_graph`]), the
+    /// body was computed against a graph that has since changed and the
+    /// insert is refused. Gate check and insert are atomic under the
+    /// cache lock, so a mutation's purge can never interleave between
+    /// them — combined with the purge sweeping anything inserted
+    /// earlier, the cache can never retain a stale body, even
+    /// transiently. That invariant is what lets a cluster router stamp
+    /// relayed hits with its own event cursor.
+    pub fn insert(&self, key: CacheKey, body: Arc<String>, stamp: u64) {
+        self.insert_inner(key, body, stamp, false);
+    }
+
+    /// Like [`OutcomeCache::insert`], but an already-resident entry
+    /// wins: warm replay *fills* around what the local cache kept — a
+    /// member's surviving entries are at least as fresh as any peer's
+    /// copy of the same key — instead of overwriting it.
+    pub fn fill(&self, key: CacheKey, body: Arc<String>, stamp: u64) {
+        self.insert_inner(key, body, stamp, true);
+    }
+
+    fn insert_inner(&self, key: CacheKey, body: Arc<String>, stamp: u64, keep_existing: bool) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
+        if keep_existing && inner.map.contains_key(&key) {
+            return;
+        }
+        let gate = inner
+            .gates
+            .get(&key.graph)
+            .copied()
+            .unwrap_or(0)
+            .max(inner.floor);
+        if stamp < gate {
+            self.stale_refused.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
@@ -143,6 +206,7 @@ impl OutcomeCache {
             key,
             Entry {
                 body,
+                stamp,
                 last_used: tick,
             },
         ) {
@@ -185,9 +249,15 @@ impl OutcomeCache {
     /// Drops every entry whose canonical graph key equals `graph`,
     /// returning how many were purged. This is the mutation-driven
     /// invalidation hook: a graph changed, so every outcome computed on
-    /// its old edges is garbage.
-    pub fn purge_graph(&self, graph: &str) -> usize {
+    /// its old edges is garbage. `seq` is the event seq of the purge's
+    /// cause (the mutation/delete/purge event, or the current events
+    /// head): it becomes the graph's admission gate, so an in-flight
+    /// solve that started before the purge cannot re-insert its stale
+    /// result afterwards.
+    pub fn purge_graph(&self, graph: &str, seq: u64) -> usize {
         let mut inner = self.inner.lock().unwrap();
+        let gate = inner.gates.entry(graph.to_string()).or_insert(0);
+        *gate = (*gate).max(seq);
         let doomed: Vec<CacheKey> = inner
             .map
             .keys()
@@ -207,9 +277,14 @@ impl OutcomeCache {
 
     /// Drops everything, returning how many entries were purged (used
     /// when a recovered replica re-joins: anything it cached before dying
-    /// may predate mutations it missed).
-    pub fn purge_all(&self) -> usize {
+    /// may predate mutations it missed). `seq` becomes a floor under
+    /// every graph's admission gate, exactly as in
+    /// [`OutcomeCache::purge_graph`].
+    pub fn purge_all(&self, seq: u64) -> usize {
         let mut inner = self.inner.lock().unwrap();
+        inner.floor = inner.floor.max(seq);
+        // per-graph gates at or below the new floor are subsumed by it
+        inner.gates.retain(|_, g| *g > seq);
         let n = inner.map.len();
         inner.map.clear();
         inner.resident_bytes = 0;
@@ -227,6 +302,7 @@ impl OutcomeCache {
             entries: inner.map.len(),
             capacity: self.capacity,
             resident_bytes: inner.resident_bytes,
+            stale_refused: self.stale_refused.load(Ordering::Relaxed),
         }
     }
 }
@@ -251,7 +327,7 @@ mod tests {
     fn hit_miss_and_counters() {
         let c = OutcomeCache::new(4);
         assert!(c.get(&key("g", 1)).is_none());
-        c.insert(key("g", 1), Arc::new("body".to_string()));
+        c.insert(key("g", 1), Arc::new("body".to_string()), 0);
         assert_eq!(c.get(&key("g", 1)).unwrap().as_str(), "body");
         assert!(c.get(&key("g", 2)).is_none()); // differing seed = differing key
         let s = c.stats();
@@ -259,12 +335,22 @@ mod tests {
     }
 
     #[test]
+    fn stamps_ride_with_entries_and_overwrite() {
+        let c = OutcomeCache::new(4);
+        c.insert(key("g", 1), Arc::new("v1".to_string()), 7);
+        assert_eq!(c.get_stamped(&key("g", 1)).unwrap().1, 7);
+        c.insert(key("g", 1), Arc::new("v2".to_string()), 9);
+        let (body, stamp) = c.get_stamped(&key("g", 1)).unwrap();
+        assert_eq!((body.as_str(), stamp), ("v2", 9));
+    }
+
+    #[test]
     fn lru_evicts_the_coldest() {
         let c = OutcomeCache::new(2);
-        c.insert(key("a", 0), Arc::new("A".into()));
-        c.insert(key("b", 0), Arc::new("B".into()));
+        c.insert(key("a", 0), Arc::new("A".into()), 0);
+        c.insert(key("b", 0), Arc::new("B".into()), 0);
         c.get(&key("a", 0)); // refresh a; b is now coldest
-        c.insert(key("c", 0), Arc::new("C".into()));
+        c.insert(key("c", 0), Arc::new("C".into()), 0);
         assert!(c.get(&key("a", 0)).is_some());
         assert!(c.get(&key("b", 0)).is_none());
         assert!(c.get(&key("c", 0)).is_some());
@@ -275,9 +361,9 @@ mod tests {
     #[test]
     fn reinserting_an_existing_key_does_not_evict() {
         let c = OutcomeCache::new(2);
-        c.insert(key("a", 0), Arc::new("A".into()));
-        c.insert(key("b", 0), Arc::new("B".into()));
-        c.insert(key("a", 0), Arc::new("A2".into()));
+        c.insert(key("a", 0), Arc::new("A".into()), 0);
+        c.insert(key("b", 0), Arc::new("B".into()), 0);
+        c.insert(key("a", 0), Arc::new("A2".into()), 0);
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(&key("a", 0)).unwrap().as_str(), "A2");
     }
@@ -285,37 +371,76 @@ mod tests {
     #[test]
     fn resident_bytes_track_insert_overwrite_evict_purge() {
         let c = OutcomeCache::new(2);
-        c.insert(key("a", 0), Arc::new("1234".into()));
+        c.insert(key("a", 0), Arc::new("1234".into()), 0);
         assert_eq!(c.stats().resident_bytes, 4);
-        c.insert(key("a", 0), Arc::new("12".into())); // overwrite shrinks
+        c.insert(key("a", 0), Arc::new("12".into()), 0); // overwrite shrinks
         assert_eq!(c.stats().resident_bytes, 2);
-        c.insert(key("b", 0), Arc::new("123456".into()));
+        c.insert(key("b", 0), Arc::new("123456".into()), 0);
         assert_eq!(c.stats().resident_bytes, 8);
-        c.insert(key("c", 0), Arc::new("1".into())); // evicts the coldest (a)
+        c.insert(key("c", 0), Arc::new("1".into()), 0); // evicts the coldest (a)
         assert_eq!(c.stats().resident_bytes, 7);
-        assert_eq!(c.purge_all(), 2);
+        assert_eq!(c.purge_all(0), 2);
         assert_eq!(c.stats().resident_bytes, 0);
     }
 
     #[test]
     fn purge_graph_is_selective() {
         let c = OutcomeCache::new(8);
-        c.insert(key("a", 0), Arc::new("A0".into()));
-        c.insert(key("a", 1), Arc::new("A1".into()));
-        c.insert(key("b", 0), Arc::new("B0".into()));
-        assert_eq!(c.purge_graph("a"), 2);
-        assert_eq!(c.purge_graph("a"), 0);
+        c.insert(key("a", 0), Arc::new("A0".into()), 0);
+        c.insert(key("a", 1), Arc::new("A1".into()), 0);
+        c.insert(key("b", 0), Arc::new("B0".into()), 0);
+        assert_eq!(c.purge_graph("a", 0), 2);
+        assert_eq!(c.purge_graph("a", 0), 0);
         assert!(c.get(&key("a", 0)).is_none());
         assert!(c.get(&key("b", 0)).is_some());
         assert_eq!(c.stats().resident_bytes, 2);
     }
 
     #[test]
+    fn purge_gates_refuse_stale_inserts() {
+        let c = OutcomeCache::new(8);
+        // a mutation at seq 5 purges graph a; a straggling solve that
+        // read the events head before the mutation (stamp 4) must not
+        // re-park its stale body afterwards
+        c.purge_graph("a", 5);
+        c.insert(key("a", 0), Arc::new("stale".into()), 4);
+        assert!(c.get(&key("a", 0)).is_none());
+        assert_eq!(c.stats().stale_refused, 1);
+        // a solve that resolved the graph after the mutation is fine
+        c.insert(key("a", 0), Arc::new("fresh".into()), 5);
+        assert_eq!(c.get(&key("a", 0)).unwrap().as_str(), "fresh");
+        // other graphs are not gated
+        c.insert(key("b", 0), Arc::new("B".into()), 0);
+        assert!(c.get(&key("b", 0)).is_some());
+        // gates only ratchet upward
+        c.purge_graph("a", 3);
+        c.insert(key("a", 1), Arc::new("old".into()), 4);
+        assert!(c.get(&key("a", 1)).is_none());
+        assert_eq!(c.stats().stale_refused, 2);
+    }
+
+    #[test]
+    fn purge_all_floors_every_graph_gate() {
+        let c = OutcomeCache::new(8);
+        c.purge_graph("a", 9);
+        c.purge_all(6);
+        c.insert(key("b", 0), Arc::new("B".into()), 5); // below the floor
+        assert!(c.get(&key("b", 0)).is_none());
+        c.insert(key("b", 0), Arc::new("B".into()), 6);
+        assert!(c.get(&key("b", 0)).is_some());
+        // a's higher per-graph gate survives the lower floor
+        c.insert(key("a", 0), Arc::new("A".into()), 8);
+        assert!(c.get(&key("a", 0)).is_none());
+        c.insert(key("a", 0), Arc::new("A".into()), 9);
+        assert!(c.get(&key("a", 0)).is_some());
+    }
+
+    #[test]
     fn dump_is_sorted_and_complete() {
         let c = OutcomeCache::new(8);
-        c.insert(key("b", 0), Arc::new("B".into()));
-        c.insert(key("a", 1), Arc::new("A1".into()));
-        c.insert(key("a", 0), Arc::new("A0".into()));
+        c.insert(key("b", 0), Arc::new("B".into()), 0);
+        c.insert(key("a", 1), Arc::new("A1".into()), 0);
+        c.insert(key("a", 0), Arc::new("A0".into()), 0);
         let dump = c.dump();
         let graphs: Vec<(String, u64)> = dump
             .iter()
@@ -335,7 +460,7 @@ mod tests {
     #[test]
     fn capacity_zero_disables_caching() {
         let c = OutcomeCache::new(0);
-        c.insert(key("a", 0), Arc::new("A".into()));
+        c.insert(key("a", 0), Arc::new("A".into()), 0);
         assert!(c.get(&key("a", 0)).is_none());
         assert_eq!(c.stats().entries, 0);
         assert_eq!(c.stats().capacity, 0);

@@ -26,6 +26,8 @@ use antruss_graph::{io, io_binary, CsrGraph, EdgeId, EdgeSet, GraphBuilder, Vert
 use antruss_store::{CatalogOp, Store};
 use antruss_truss::DynamicTruss;
 
+use crate::events::{self, EventKind, EventLog};
+
 /// Registered (not generated) graphs beyond this are refused — the
 /// catalog is resident memory.
 pub const MAX_REGISTERED: usize = 128;
@@ -164,7 +166,6 @@ pub struct MutationOutcome {
 }
 
 /// The shared graph catalog (interior mutability; share via `Arc`).
-#[derive(Default)]
 pub struct Catalog {
     loaded: RwLock<HashMap<String, Loaded>>,
     /// Serializes every namespace *write* (register, remove, mutate).
@@ -178,12 +179,36 @@ pub struct Catalog {
     /// replay, so replayed operations are not re-logged). `None` for an
     /// in-memory catalog.
     store: OnceLock<Arc<Store>>,
+    /// The catalog event stream (`GET /events`). Every successful
+    /// write publishes exactly one event, inside the write lock and
+    /// *after* the new state is visible in `loaded` — so a subscriber
+    /// that acts on an event always observes the post-event catalog —
+    /// and in lockstep with the WAL, so event seqs *are* WAL op seqs.
+    events: EventLog,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog {
+            loaded: RwLock::default(),
+            write_lock: Mutex::default(),
+            store: OnceLock::new(),
+            // a diskless catalog's history dies with the process: a
+            // fresh epoch per construction forces subscribers to resync
+            events: EventLog::new(events::random_epoch()),
+        }
+    }
 }
 
 impl Catalog {
     /// An empty catalog; dataset specs load lazily.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The catalog's event stream.
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// Attaches the durable store: from here on, every successful
@@ -295,7 +320,50 @@ impl Catalog {
                 let _serialize = self.write_lock.lock().unwrap();
                 self.loaded.write().unwrap().remove(name);
             }
+            // a recovered purge touched only the (non-durable) outcome
+            // cache; it holds its WAL seq but replays as a catalog no-op
+            CatalogOp::Purge { .. } => {}
         }
+    }
+
+    /// Re-points the event stream at the store's durable history:
+    /// epoch from `events.meta`, the replayed WAL tail as the retained
+    /// event window (op `i` carries seq `base + i + 1`). Call after
+    /// recovery replay and before serving — a subscriber that was
+    /// tailing this data dir before the restart then resumes from its
+    /// cursor with no gap and no reset. Recovered register/mutate
+    /// events carry the *post-replay* checksum of their graph (the
+    /// per-op intermediates are gone), which is exactly what a
+    /// catching-up consumer needs anyway.
+    pub fn reseed_events_from_recovery(&self, store: &Store, ops: &[CatalogOp]) {
+        let base = store.event_base_seq();
+        let loaded = self.loaded.read().unwrap();
+        let events = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let (kind, name) = match op {
+                    CatalogOp::Register { name, .. } => (EventKind::Register, name),
+                    CatalogOp::Mutate { name, .. } => (EventKind::Mutate, name),
+                    CatalogOp::Delete { name } => (EventKind::Delete, name),
+                    CatalogOp::Purge { name } => (EventKind::Purge, name),
+                };
+                let checksum = match kind {
+                    EventKind::Register | EventKind::Mutate => {
+                        loaded.get(name.as_str()).map(|l| l.checksum)
+                    }
+                    _ => None,
+                };
+                events::Event {
+                    seq: base + i as u64 + 1,
+                    kind,
+                    graph: name.clone(),
+                    checksum,
+                }
+            })
+            .collect();
+        drop(loaded);
+        self.events.reseed(store.event_epoch(), base, events);
     }
 
     /// Resolves `spec` to a shared graph, generating and caching dataset
@@ -360,10 +428,11 @@ impl Catalog {
             name: name.clone(),
             graph: io_binary::to_bytes(&graph),
         })?;
-        self.loaded
-            .write()
-            .unwrap()
-            .insert(name, Loaded::new(Arc::clone(&graph), "registered"));
+        let entry = Loaded::new(Arc::clone(&graph), "registered");
+        let checksum = entry.checksum;
+        self.loaded.write().unwrap().insert(name.clone(), entry);
+        self.events
+            .publish(EventKind::Register, &name, Some(checksum));
         self.maybe_compact();
         Ok(graph)
     }
@@ -394,8 +463,23 @@ impl Catalog {
         }
         self.log(&CatalogOp::Delete { name: key.clone() })?;
         self.loaded.write().unwrap().remove(&key);
+        self.events.publish(EventKind::Delete, &key, None);
         self.maybe_compact();
         Ok(())
+    }
+
+    /// Records a cache purge in the operation stream: WAL-logged (so
+    /// the event's sequence number survives a restart) and published to
+    /// `/events` subscribers, who drop their entries for `graph` (or
+    /// everything, on `None`). The caller purges the local cache;
+    /// this only makes the purge observable. Returns the event seq.
+    pub fn note_purge(&self, graph: Option<&str>) -> Result<u64, CatalogError> {
+        let name = graph.map(canonical_key).unwrap_or_default();
+        let _serialize = self.write_lock.lock().unwrap();
+        self.log(&CatalogOp::Purge { name: name.clone() })?;
+        let seq = self.events.publish(EventKind::Purge, &name, None);
+        self.maybe_compact();
+        Ok(seq)
     }
 
     /// Applies an edge insert/delete batch to the graph under `name`.
@@ -437,10 +521,10 @@ impl Catalog {
             inserts: inserts.to_vec(),
             deletes: deletes.to_vec(),
         })?;
-        self.loaded
-            .write()
-            .unwrap()
-            .insert(key, Loaded::new(Arc::new(mutated), "mutated"));
+        let entry = Loaded::new(Arc::new(mutated), "mutated");
+        let checksum = entry.checksum;
+        self.loaded.write().unwrap().insert(key.clone(), entry);
+        self.events.publish(EventKind::Mutate, &key, Some(checksum));
         self.maybe_compact();
         Ok(outcome)
     }
@@ -615,6 +699,7 @@ mod tests {
         for op in &recovered.ops {
             c.apply_recovered(op);
         }
+        c.reseed_events_from_recovery(&store, &recovered.ops);
         c.attach_store(Arc::new(store));
         c
     }
@@ -674,6 +759,107 @@ mod tests {
             "at least one graph must come back from a snapshot"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn events_track_writes_and_cursors_survive_restart() {
+        use crate::events::EventKind;
+        let dir = tmp("events");
+        let (epoch, head) = {
+            let c = durable_catalog(&dir);
+            c.register("tri", b"0 1\n1 2\n2 0\n").unwrap();
+            c.mutate("tri", &[(0, 3)], &[]).unwrap();
+            c.note_purge(Some("tri")).unwrap();
+            c.remove("tri").unwrap();
+            let batch = c.events().since(0, None);
+            assert_eq!(
+                batch.events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+                vec![
+                    EventKind::Register,
+                    EventKind::Mutate,
+                    EventKind::Purge,
+                    EventKind::Delete
+                ]
+            );
+            assert_eq!(batch.head, 4);
+            assert!(batch.events[0].checksum.is_some());
+            // event seqs are WAL op seqs: the store agrees on the head
+            let store = c.store().unwrap();
+            assert_eq!(
+                store.event_base_seq() + store.stats().wal_records,
+                batch.head
+            );
+            (batch.epoch, batch.head)
+        };
+        // restart: same epoch, a mid-stream cursor resumes with no gap
+        let c2 = durable_catalog(&dir);
+        let batch = c2.events().since(2, Some(epoch));
+        assert!(!batch.reset, "durable cursor must survive the restart");
+        assert_eq!(batch.head, head);
+        assert_eq!(
+            batch.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // and new writes continue the same sequence
+        c2.register("tri", b"0 1\n").unwrap();
+        assert_eq!(c2.events().head(), head + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_is_published_only_after_the_new_state_is_visible() {
+        // the stale-cache regression (satellite): a subscriber that
+        // acts on a mutate event must observe the post-mutation
+        // catalog. If publication ever moved before the `loaded`
+        // insert, the checksum read on event receipt would lag the
+        // event's own checksum.
+        use crate::events::EventKind;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let c = Arc::new(Catalog::new());
+        c.register("g", b"0 1\n1 2\n2 0\n").unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let subscriber = {
+            let c = Arc::clone(&c);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cursor = c.events().head();
+                let mut checked = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch =
+                        c.events()
+                            .wait_since(cursor, None, std::time::Duration::from_millis(200));
+                    for e in &batch.events {
+                        if e.kind != EventKind::Mutate {
+                            continue;
+                        }
+                        // the catalog we see now must be at least as
+                        // new as the event we were just told about
+                        let seen = c
+                            .entries()
+                            .into_iter()
+                            .find(|en| en.name == e.graph)
+                            .map(|en| en.checksum);
+                        let current = c.events().since(e.seq, None);
+                        let superseded = current.events.iter().any(|later| later.graph == e.graph);
+                        assert!(
+                            superseded || seen == e.checksum,
+                            "event seq {} published before its state was visible",
+                            e.seq
+                        );
+                        checked += 1;
+                    }
+                    cursor = batch.head;
+                }
+                checked
+            })
+        };
+        for i in 0..100u64 {
+            c.mutate("g", &[(0, 3 + i)], &[]).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let checked = subscriber.join().unwrap();
+        assert!(checked > 0, "subscriber never observed a mutate event");
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Client {
 
     /// Issues a `GET`.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// Issues a `POST` with a body.
@@ -66,12 +66,36 @@ impl Client {
         content_type: &str,
         body: &[u8],
     ) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some((content_type, body)))
+        self.request("POST", path, Some((content_type, body)), &[])
+    }
+
+    /// Issues a `POST` with a body and extra request headers (name,
+    /// value pairs — names should be lower-case; values must not contain
+    /// CR/LF). The cluster router uses this to ride its event cursor
+    /// along with fanned-out writes.
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        headers: &[(String, String)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some((content_type, body)), headers)
     }
 
     /// Issues a `DELETE`.
     pub fn delete(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("DELETE", path, None)
+        self.request("DELETE", path, None, &[])
+    }
+
+    /// Issues a `DELETE` with extra request headers (see
+    /// [`Client::post_with_headers`]).
+    pub fn delete_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(String, String)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("DELETE", path, None, headers)
     }
 
     /// Whether an error means the server cannot have acted on the
@@ -94,13 +118,16 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<(&str, &[u8])>,
+        headers: &[(String, String)],
     ) -> std::io::Result<ClientResponse> {
         let reused = self.stream.is_some();
-        match self.request_once(method, path, body) {
+        match self.request_once(method, path, body, headers) {
             // retry exactly once, and only when a *reused* keep-alive
             // connection (which the server may have closed while idle)
             // failed before the server saw the request
-            Err(e) if reused && Self::is_unprocessed(&e) => self.request_once(method, path, body),
+            Err(e) if reused && Self::is_unprocessed(&e) => {
+                self.request_once(method, path, body, headers)
+            }
             other => other,
         }
     }
@@ -110,9 +137,13 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<(&str, &[u8])>,
+        headers: &[(String, String)],
     ) -> std::io::Result<ClientResponse> {
         let stream = self.stream()?;
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: antruss\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some((ct, b)) = body {
             head.push_str(&format!(
                 "content-type: {ct}\r\ncontent-length: {}\r\n",

@@ -1,0 +1,504 @@
+//! The catalog event stream: `GET /events?since=<seq>`.
+//!
+//! Every catalog write (register / mutate / delete / cache purge) is
+//! one event with a monotonically increasing sequence number. For a
+//! durable catalog the sequence *is* the WAL op sequence — seq `N` is
+//! the `N`-th operation ever appended to that data dir's log — so a
+//! subscriber's cursor survives the server restarting: it reconnects
+//! with `since=<last seq>` and receives exactly the operations it
+//! missed, no gaps, no full resync.
+//!
+//! Identity is an **epoch**: a random id minted when the store (or, for
+//! a diskless server, the process) is created. A cursor is only
+//! meaningful within one epoch; on mismatch — or when the cursor has
+//! fallen out of the retained window — the response carries
+//! `"reset": true` and the subscriber must drop its derived state and
+//! start from the current head.
+//!
+//! The log is an in-memory ring of the most recent events plus a
+//! condvar for long-polling; durability comes from the WAL underneath
+//! (the ring is re-seeded from the replayed ops at startup), not from
+//! this structure.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use antruss_core::json::{self, Value};
+
+/// How many events the ring retains by default. A subscriber that
+/// falls further behind than this gets a reset instead of a replay.
+pub const DEFAULT_RETAIN: usize = 4096;
+
+/// The longest server-side long-poll wait a client can request, ms.
+pub const MAX_WAIT_MS: u64 = 5_000;
+
+/// What happened to the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A graph was registered (or replaced) under its name.
+    Register,
+    /// An edge batch was applied to a graph.
+    Mutate,
+    /// A graph was deleted.
+    Delete,
+    /// A graph's cached outcomes (or, with an empty name, every cached
+    /// outcome) were purged.
+    Purge,
+}
+
+impl EventKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Register => "register",
+            EventKind::Mutate => "mutate",
+            EventKind::Delete => "delete",
+            EventKind::Purge => "purge",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "register" => Some(EventKind::Register),
+            "mutate" => Some(EventKind::Mutate),
+            "delete" => Some(EventKind::Delete),
+            "purge" => Some(EventKind::Purge),
+            _ => None,
+        }
+    }
+}
+
+/// One catalog event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the catalog's operation sequence (1-based).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The graph touched; empty for a purge-all.
+    pub graph: String,
+    /// The graph's content checksum *after* the operation, when known
+    /// (register / mutate). `None` for delete, purge, and recovered
+    /// events whose post-state is no longer loaded.
+    pub checksum: Option<u64>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"kind\":{},\"graph\":{}",
+            self.seq,
+            json::quoted(self.kind.as_str()),
+            json::quoted(&self.graph)
+        );
+        if let Some(c) = self.checksum {
+            out.push_str(&format!(
+                ",\"checksum\":{}",
+                json::quoted(&format!("{c:016x}"))
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Inner {
+    epoch: u64,
+    /// Last assigned sequence number.
+    head: u64,
+    /// Most recent events; `ring.back().seq == head` when non-empty.
+    /// Invariant: seqs in the ring are contiguous.
+    ring: VecDeque<Event>,
+}
+
+impl Inner {
+    /// The oldest cursor this ring can serve incrementally: a cursor
+    /// `c` is serveable iff `c >= floor` (events `c+1..=head` are all
+    /// retained).
+    fn floor(&self) -> u64 {
+        self.head - self.ring.len() as u64
+    }
+}
+
+/// One batch handed to a subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventBatch {
+    /// The log's epoch.
+    pub epoch: u64,
+    /// The head sequence at response time — the cursor to poll with
+    /// next (after a reset, the cursor to *restart* from).
+    pub head: u64,
+    /// The subscriber's cursor (or epoch) was not serveable: drop all
+    /// derived state and start over from `head`.
+    pub reset: bool,
+    /// Events after the cursor, in sequence order. Empty on reset.
+    pub events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// Renders the batch as the `/events` response body.
+    pub fn render(&self) -> String {
+        let events = self
+            .events
+            .iter()
+            .map(Event::render)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"epoch\":{},\"head\":{},\"reset\":{},\"events\":[{events}]}}",
+            json::quoted(&self.epoch.to_string()),
+            self.head,
+            self.reset
+        )
+    }
+
+    /// Parses a `/events` response body.
+    pub fn parse(body: &str) -> Option<EventBatch> {
+        let v = json::parse(body).ok()?;
+        let epoch = v.get("epoch")?.as_str()?.parse::<u64>().ok()?;
+        let head = v.get("head")?.as_u64()?;
+        let reset = matches!(v.get("reset"), Some(Value::Bool(true)));
+        let mut events = Vec::new();
+        for e in v.get("events")?.as_array()? {
+            events.push(Event {
+                seq: e.get("seq")?.as_u64()?,
+                kind: EventKind::parse(e.get("kind")?.as_str()?)?,
+                graph: e.get("graph")?.as_str()?.to_string(),
+                checksum: e
+                    .get("checksum")
+                    .and_then(Value::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok()),
+            });
+        }
+        Some(EventBatch {
+            epoch,
+            head,
+            reset,
+            events,
+        })
+    }
+}
+
+/// The in-memory event ring + long-poll rendezvous. One per catalog
+/// (server) or per mirror (edge); share via `Arc`.
+pub struct EventLog {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    retain: usize,
+}
+
+impl EventLog {
+    /// A fresh log under `epoch`, head 0.
+    pub fn new(epoch: u64) -> EventLog {
+        EventLog::with_retention(epoch, DEFAULT_RETAIN)
+    }
+
+    /// A fresh log retaining at most `retain` events.
+    pub fn with_retention(epoch: u64, retain: usize) -> EventLog {
+        EventLog {
+            inner: Mutex::new(Inner {
+                epoch,
+                head: 0,
+                ring: VecDeque::new(),
+            }),
+            cond: Condvar::new(),
+            retain: retain.max(1),
+        }
+    }
+
+    /// The log's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap().epoch
+    }
+
+    /// The last assigned sequence number.
+    pub fn head(&self) -> u64 {
+        self.inner.lock().unwrap().head
+    }
+
+    /// Re-points the log at a recovered history: `epoch` from the
+    /// store, `events` the tail replayed from the WAL carrying seqs
+    /// `base+1..`, head `base + events.len()`. Called once at startup,
+    /// before the listener answers.
+    pub fn reseed(&self, epoch: u64, base: u64, events: Vec<Event>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.epoch = epoch;
+        inner.head = base + events.len() as u64;
+        inner.ring = events.into();
+        while inner.ring.len() > self.retain {
+            inner.ring.pop_front();
+        }
+    }
+
+    /// Appends the next event, assigning `head + 1`. Returns the seq.
+    pub fn publish(&self, kind: EventKind, graph: &str, checksum: Option<u64>) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.head + 1;
+        Self::push(
+            &mut inner,
+            self.retain,
+            Event {
+                seq,
+                kind,
+                graph: graph.to_string(),
+                checksum,
+            },
+        );
+        self.cond.notify_all();
+        seq
+    }
+
+    /// Mirrors an upstream event at its *original* seq (daisy-chained
+    /// edges re-serve the upstream sequence space verbatim). Events at
+    /// or below the current head are ignored; a gap above head drops
+    /// the retained prefix so downstream cursors spanning the gap get
+    /// a reset instead of silently missing events.
+    pub fn mirror(&self, event: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        if event.seq <= inner.head {
+            return;
+        }
+        if event.seq != inner.head + 1 {
+            inner.ring.clear();
+        }
+        inner.head = event.seq;
+        Self::push(&mut inner, self.retain, event);
+        self.cond.notify_all();
+    }
+
+    /// Adopts a new upstream identity after a reset: clears the ring
+    /// and jumps to (`epoch`, `head`). Downstream subscribers reset in
+    /// turn.
+    pub fn adopt(&self, epoch: u64, head: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.epoch = epoch;
+        inner.head = head;
+        inner.ring.clear();
+        self.cond.notify_all();
+    }
+
+    fn push(inner: &mut Inner, retain: usize, event: Event) {
+        debug_assert_eq!(event.seq, inner.head.max(event.seq));
+        inner.head = event.seq;
+        inner.ring.push_back(event);
+        while inner.ring.len() > retain {
+            inner.ring.pop_front();
+        }
+    }
+
+    /// Events after `cursor`, without blocking. `epoch_hint` is the
+    /// subscriber's idea of the epoch (`None` / `0` = first contact,
+    /// never a mismatch).
+    pub fn since(&self, cursor: u64, epoch_hint: Option<u64>) -> EventBatch {
+        let inner = self.inner.lock().unwrap();
+        Self::batch(&inner, cursor, epoch_hint)
+    }
+
+    /// Long-poll: like [`EventLog::since`], but when there is nothing
+    /// past `cursor` (and no reset), waits up to `wait` for the next
+    /// publish.
+    pub fn wait_since(&self, cursor: u64, epoch_hint: Option<u64>, wait: Duration) -> EventBatch {
+        let deadline = Instant::now() + wait.min(Duration::from_millis(MAX_WAIT_MS));
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            let batch = Self::batch(&inner, cursor, epoch_hint);
+            if batch.reset || !batch.events.is_empty() {
+                return batch;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return batch;
+            }
+            let (guard, _) = self.cond.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    fn batch(inner: &Inner, cursor: u64, epoch_hint: Option<u64>) -> EventBatch {
+        let epoch_ok = match epoch_hint {
+            None | Some(0) => true,
+            Some(e) => e == inner.epoch,
+        };
+        // a cursor from the future is as unserveable as one that fell
+        // out of the window: the subscriber is talking about a
+        // different history
+        if !epoch_ok || cursor < inner.floor() || cursor > inner.head {
+            return EventBatch {
+                epoch: inner.epoch,
+                head: inner.head,
+                reset: !(epoch_ok && cursor == inner.head),
+                events: Vec::new(),
+            };
+        }
+        let skip = (cursor - inner.floor()) as usize;
+        EventBatch {
+            epoch: inner.epoch,
+            head: inner.head,
+            reset: false,
+            events: inner.ring.iter().skip(skip).cloned().collect(),
+        }
+    }
+}
+
+/// Mints a process-local epoch for diskless catalogs (no store to
+/// persist one): wall-clock nanos mixed with the pid. A restart gets a
+/// new epoch, which is correct — a diskless catalog's history dies
+/// with the process, so subscribers must resync.
+pub fn random_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = std::process::id() as u64;
+    // FNV-1a over both, same permutation as the WAL checksum
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in nanos.to_le_bytes().iter().chain(pid.to_le_bytes().iter()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(log: &EventLog, kind: EventKind, graph: &str) -> u64 {
+        log.publish(kind, graph, None)
+    }
+
+    #[test]
+    fn publish_assigns_contiguous_seqs_and_since_replays_them() {
+        let log = EventLog::new(7);
+        assert_eq!(ev(&log, EventKind::Register, "a"), 1);
+        assert_eq!(ev(&log, EventKind::Mutate, "a"), 2);
+        assert_eq!(ev(&log, EventKind::Delete, "b"), 3);
+        let batch = log.since(1, Some(7));
+        assert!(!batch.reset);
+        assert_eq!(batch.head, 3);
+        assert_eq!(
+            batch.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        // caught up: empty, no reset
+        let batch = log.since(3, Some(7));
+        assert!(!batch.reset && batch.events.is_empty());
+    }
+
+    #[test]
+    fn epoch_mismatch_and_stale_cursor_reset() {
+        let log = EventLog::with_retention(7, 2);
+        for i in 0..5 {
+            ev(&log, EventKind::Mutate, &format!("g{i}"));
+        }
+        // retention 2: only seqs 4,5 remain — cursor 1 is out of window
+        assert!(log.since(1, Some(7)).reset);
+        assert!(!log.since(3, Some(7)).reset);
+        assert!(log.since(3, Some(8)).reset, "wrong epoch");
+        assert!(log.since(99, Some(7)).reset, "cursor from the future");
+        assert!(!log.since(0, None).reset || log.since(0, None).head > 2);
+    }
+
+    #[test]
+    fn reseed_makes_recovered_tail_serveable() {
+        let log = EventLog::new(1);
+        log.reseed(
+            42,
+            10,
+            vec![
+                Event {
+                    seq: 11,
+                    kind: EventKind::Register,
+                    graph: "a".to_string(),
+                    checksum: Some(0xabc),
+                },
+                Event {
+                    seq: 12,
+                    kind: EventKind::Mutate,
+                    graph: "a".to_string(),
+                    checksum: None,
+                },
+            ],
+        );
+        assert_eq!((log.epoch(), log.head()), (42, 12));
+        let batch = log.since(10, Some(42));
+        assert!(!batch.reset);
+        assert_eq!(batch.events.len(), 2);
+        assert!(log.since(9, Some(42)).reset, "pre-compaction cursor");
+        // publishing continues the sequence
+        assert_eq!(ev(&log, EventKind::Delete, "a"), 13);
+    }
+
+    #[test]
+    fn mirror_preserves_seqs_and_gaps_force_resets() {
+        let log = EventLog::new(5);
+        let e = |seq| Event {
+            seq,
+            kind: EventKind::Mutate,
+            graph: "g".to_string(),
+            checksum: None,
+        };
+        log.adopt(5, 10);
+        log.mirror(e(11));
+        log.mirror(e(12));
+        log.mirror(e(12)); // duplicate: ignored
+        assert_eq!(log.head(), 12);
+        assert_eq!(log.since(10, Some(5)).events.len(), 2);
+        // a gap: downstream cursors before it must reset
+        log.mirror(e(20));
+        assert_eq!(log.head(), 20);
+        assert!(log.since(12, Some(5)).reset);
+        assert_eq!(log.since(19, Some(5)).events.len(), 1);
+    }
+
+    #[test]
+    fn wait_since_blocks_until_publish() {
+        let log = Arc::new(EventLog::new(3));
+        let bg = Arc::clone(&log);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            bg.publish(EventKind::Purge, "", None);
+        });
+        let started = Instant::now();
+        let batch = log.wait_since(0, Some(3), Duration::from_secs(5));
+        assert_eq!(batch.events.len(), 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "did not block forever"
+        );
+        t.join().unwrap();
+        // and times out cleanly when nothing arrives
+        let batch = log.wait_since(1, Some(3), Duration::from_millis(30));
+        assert!(batch.events.is_empty() && !batch.reset);
+    }
+
+    #[test]
+    fn batch_json_round_trips() {
+        let batch = EventBatch {
+            epoch: u64::MAX - 3,
+            head: 9,
+            reset: false,
+            events: vec![
+                Event {
+                    seq: 8,
+                    kind: EventKind::Register,
+                    graph: "g-1".to_string(),
+                    checksum: Some(0xdead_beef),
+                },
+                Event {
+                    seq: 9,
+                    kind: EventKind::Purge,
+                    graph: String::new(),
+                    checksum: None,
+                },
+            ],
+        };
+        assert_eq!(EventBatch::parse(&batch.render()), Some(batch));
+    }
+}

@@ -33,9 +33,18 @@ use crate::client::Client;
 /// interval changes and shutdown all take effect promptly.
 const TICK: Duration = Duration::from_millis(20);
 
+/// Where a join finds the cluster cursor to advertise: `(epoch, seq)`
+/// of the last cluster event this backend durably applied, or `None`
+/// when there is nothing to advertise (no `--data-dir`, or a fresh
+/// one). A closure rather than a value because the cursor advances
+/// while the process runs — an automatic re-join after an eviction
+/// must advertise the *current* cursor, not the one from startup.
+pub type CursorSource = Arc<dyn Fn() -> Option<(u64, u64)> + Send + Sync>;
+
 struct Inner {
     router: SocketAddr,
     advertise: SocketAddr,
+    cursor: CursorSource,
     interval_ms: AtomicU64,
     paused: AtomicBool,
     stop: AtomicBool,
@@ -45,15 +54,29 @@ struct Inner {
     rejoins: AtomicU64,
 }
 
-fn membership_body(addr: SocketAddr) -> Vec<u8> {
-    format!("{{\"addr\":\"{addr}\"}}").into_bytes()
+fn membership_body(addr: SocketAddr, cursor: Option<(u64, u64)>) -> Vec<u8> {
+    match cursor {
+        // the epoch is a string for the same reason as on the event
+        // wire: a random u64 does not survive a float JSON number
+        Some((epoch, seq)) => {
+            format!("{{\"addr\":\"{addr}\",\"epoch\":\"{epoch}\",\"cursor\":{seq}}}").into_bytes()
+        }
+        None => format!("{{\"addr\":\"{addr}\"}}").into_bytes(),
+    }
 }
 
 /// One join exchange; returns the router-advertised heartbeat interval
 /// when present.
-fn join_once(router: SocketAddr, advertise: SocketAddr) -> std::io::Result<Option<u64>> {
-    let resp =
-        Client::new(router).post("/members", "application/json", &membership_body(advertise))?;
+fn join_once(
+    router: SocketAddr,
+    advertise: SocketAddr,
+    cursor: Option<(u64, u64)>,
+) -> std::io::Result<Option<u64>> {
+    let resp = Client::new(router).post(
+        "/members",
+        "application/json",
+        &membership_body(advertise, cursor),
+    )?;
     if resp.status != 200 && resp.status != 201 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -88,11 +111,27 @@ impl HeartbeatClient {
         advertise: SocketAddr,
         interval_ms: Option<u64>,
     ) -> std::io::Result<HeartbeatClient> {
-        let advertised = join_once(router, advertise)?;
+        HeartbeatClient::start_with_cursor(router, advertise, interval_ms, Arc::new(|| None))
+    }
+
+    /// Like [`HeartbeatClient::start`], advertising a cluster cursor on
+    /// every join: `cursor` is consulted at the initial join and again
+    /// on each automatic re-join, so the router can catch the backend
+    /// up from its event tail instead of a full re-warm (`antruss serve
+    /// --join --data-dir` wires the durable store's persisted cursor in
+    /// here).
+    pub fn start_with_cursor(
+        router: SocketAddr,
+        advertise: SocketAddr,
+        interval_ms: Option<u64>,
+        cursor: CursorSource,
+    ) -> std::io::Result<HeartbeatClient> {
+        let advertised = join_once(router, advertise, cursor())?;
         let interval = interval_ms.or(advertised).unwrap_or(1000).max(1);
         let inner = Arc::new(Inner {
             router,
             advertise,
+            cursor,
             interval_ms: AtomicU64::new(interval),
             paused: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -179,7 +218,7 @@ fn heartbeat_loop(inner: &Inner) {
         match client.post(
             "/members/heartbeat",
             "application/json",
-            &membership_body(inner.advertise),
+            &membership_body(inner.advertise, None),
         ) {
             Ok(resp) if resp.status == 200 => {
                 inner.beats.fetch_add(1, Ordering::Relaxed);
@@ -187,7 +226,7 @@ fn heartbeat_loop(inner: &Inner) {
             Ok(resp) if resp.status == 404 => {
                 // evicted (or the router restarted): re-join and adopt
                 // whatever cadence it now advertises
-                if let Ok(advertised) = join_once(inner.router, inner.advertise) {
+                if let Ok(advertised) = join_once(inner.router, inner.advertise, (inner.cursor)()) {
                     inner.rejoins.fetch_add(1, Ordering::Relaxed);
                     if let Some(ms) = advertised {
                         inner.interval_ms.store(ms.max(1), Ordering::Relaxed);

@@ -61,6 +61,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod events;
 pub mod heartbeat;
 pub mod http;
 pub mod metrics;
@@ -69,5 +70,6 @@ pub mod server;
 pub use cache::{CacheKey, CacheStats, OutcomeCache};
 pub use catalog::{canonical_key, Catalog, CatalogError, MutationOutcome};
 pub use client::{Client, ClientResponse};
-pub use heartbeat::HeartbeatClient;
+pub use events::{Event, EventBatch, EventKind, EventLog};
+pub use heartbeat::{CursorSource, HeartbeatClient};
 pub use server::{handle, parse_dump_entries, AcceptPool, Server, ServerConfig, ServiceState};

@@ -92,13 +92,16 @@ impl Metrics {
     /// Renders the plain-text `/metrics` document. `shard` is the
     /// backend's shard id when it runs as part of a cluster (`None` for
     /// a standalone `serve`); `store` is the durable-store section,
-    /// present only when the backend runs with `--data-dir`.
+    /// present only when the backend runs with `--data-dir`; `events`
+    /// is the catalog event stream's `(epoch, head seq)` — what a
+    /// subscriber polls `/events` against.
     pub fn render(
         &self,
         cache: &CacheStats,
         catalog_graphs: usize,
         shard: Option<u32>,
         store: Option<&StoreStats>,
+        events: Option<(u64, u64)>,
     ) -> String {
         let mut out = String::with_capacity(768);
         let mut line = |name: &str, v: String| {
@@ -137,6 +140,10 @@ impl Metrics {
             cache.resident_bytes.to_string(),
         );
         line(
+            "antruss_cache_stale_inserts_refused_total",
+            cache.stale_refused.to_string(),
+        );
+        line(
             "antruss_cache_purged_entries_total",
             self.purged_entries.load(Ordering::Relaxed).to_string(),
         );
@@ -149,6 +156,10 @@ impl Metrics {
             self.mutations.load(Ordering::Relaxed).to_string(),
         );
         line("antruss_catalog_graphs", catalog_graphs.to_string());
+        if let Some((epoch, head)) = events {
+            line("antruss_events_epoch", epoch.to_string());
+            line("antruss_events_head_seq", head.to_string());
+        }
         if let Some(shard) = shard {
             line("antruss_shard_id", shard.to_string());
         }
@@ -220,6 +231,7 @@ mod tests {
             entries: 2,
             capacity: 64,
             resident_bytes: 4096,
+            stale_refused: 1,
         }
     }
 
@@ -255,7 +267,7 @@ mod tests {
         m.mutations.fetch_add(2, Ordering::Relaxed);
         m.purged_entries.fetch_add(9, Ordering::Relaxed);
         m.observe_solve(Duration::from_millis(2));
-        let text = m.render(&stats(), 4, None, None);
+        let text = m.render(&stats(), 4, None, None, Some((77, 12)));
         for series in [
             "antruss_uptime_seconds",
             "antruss_requests_total 5",
@@ -268,10 +280,13 @@ mod tests {
             "antruss_cache_entries 2",
             "antruss_cache_capacity 64",
             "antruss_cache_resident_bytes 4096",
+            "antruss_cache_stale_inserts_refused_total 1",
             "antruss_cache_purged_entries_total 9",
             "antruss_cache_warmed_entries_total 0",
             "antruss_mutations_total 2",
             "antruss_catalog_graphs 4",
+            "antruss_events_epoch 77",
+            "antruss_events_head_seq 12",
             "antruss_solve_latency_p50_seconds",
             "antruss_solve_latency_p99_seconds",
         ] {
@@ -285,7 +300,11 @@ mod tests {
             !text.contains("antruss_store_"),
             "storeless metrics have no store section"
         );
-        let sharded = m.render(&stats(), 4, Some(3), None);
+        let sharded = m.render(&stats(), 4, Some(3), None, None);
+        assert!(
+            !sharded.contains("antruss_events_"),
+            "no events section without an event log"
+        );
         assert!(sharded.contains("antruss_shard_id 3"), "{sharded}");
     }
 
@@ -303,7 +322,7 @@ mod tests {
             recovered_ops: 5,
             dropped_bytes: 9,
         };
-        let text = m.render(&stats(), 4, None, Some(&store));
+        let text = m.render(&stats(), 4, None, Some(&store), None);
         for series in [
             "antruss_store_wal_bytes 1024",
             "antruss_store_wal_records 7",

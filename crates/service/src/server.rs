@@ -135,6 +135,11 @@ impl ServiceState {
             for op in &recovered.ops {
                 catalog.apply_recovered(op);
             }
+            // re-point the event log at the durable history *before*
+            // the listener answers: the replayed WAL tail becomes the
+            // serveable event window, so a subscriber's cursor from
+            // before the restart resumes without a reset
+            catalog.reseed_events_from_recovery(&opened, &recovered.ops);
             // attach only now: replayed operations are already logged
             catalog.attach_store(Arc::clone(&opened));
             if let Some(dump) = opened.take_cache()? {
@@ -148,8 +153,12 @@ impl ServiceState {
                     match parse_dump_entries(&dump) {
                         Ok(entries) => {
                             let n = entries.len() as u64;
+                            // the dump was written at graceful shutdown
+                            // with no WAL tail dropped, so its entries
+                            // are fresh at the recovered events head
+                            let stamp = catalog.events().head();
                             for (key, body) in entries {
-                                cache.insert(key, body);
+                                cache.insert(key, body, stamp);
                             }
                             metrics.warmed_entries.fetch_add(n, Ordering::Relaxed);
                         }
@@ -188,13 +197,25 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
     let resp = route(state, req);
     if resp.status >= 400 {
         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    } else {
+        note_cluster_cursor(state, req);
     }
     resp
 }
 
 fn route(state: &ServiceState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/healthz") => {
+            let events = state.catalog.events();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"events\":{{\"epoch\":{},\"head\":{}}}}}",
+                    json::quoted(&events.epoch().to_string()),
+                    events.head()
+                ),
+            )
+        }
         ("GET", "/metrics") => Response::text(
             200,
             state.metrics.render(
@@ -202,8 +223,13 @@ fn route(state: &ServiceState, req: &Request) -> Response {
                 state.catalog.len(),
                 state.config.shard,
                 state.store.as_deref().map(Store::stats).as_ref(),
+                Some((
+                    state.catalog.events().epoch(),
+                    state.catalog.events().head(),
+                )),
             ),
         ),
+        ("GET", "/events") => events_feed(state, req),
         ("GET", "/solvers") => list_solvers(),
         ("GET", "/graphs") => list_graphs(state),
         ("POST", "/graphs") => register_graph(state, req),
@@ -224,6 +250,66 @@ fn route(state: &ServiceState, req: &Request) -> Response {
             Response::error(404, &format!("no route for {}", req.path))
         }
         _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+/// `GET /events?since=S[&epoch=E][&wait=MS]` — the catalog event
+/// stream. `since` is the subscriber's cursor (the last seq it has
+/// applied; 0 on first contact), `epoch` its idea of the log identity
+/// (omit or 0 on first contact), `wait` an optional long-poll budget in
+/// milliseconds (capped at [`crate::events::MAX_WAIT_MS`]). The
+/// response is an [`crate::events::EventBatch`]: `reset: true` means
+/// the cursor was unserveable and the subscriber must drop derived
+/// state and restart from `head`.
+fn events_feed(state: &ServiceState, req: &Request) -> Response {
+    macro_rules! u64_param {
+        ($name:literal, $default:expr) => {
+            match req.query_param($name) {
+                None => $default,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            400,
+                            concat!("\"", $name, "\" must be a non-negative integer"),
+                        )
+                    }
+                },
+            }
+        };
+    }
+    let since = u64_param!("since", 0);
+    let epoch = u64_param!("epoch", 0);
+    let wait = u64_param!("wait", 0);
+    let log = state.catalog.events();
+    let batch = if wait == 0 {
+        log.since(since, Some(epoch))
+    } else {
+        log.wait_since(since, Some(epoch), Duration::from_millis(wait))
+    };
+    Response::json(200, batch.render())
+}
+
+/// Persists the router-stamped cluster cursor (`x-antruss-cluster-seq`
+/// / `x-antruss-cluster-epoch` headers on fanned-out lifecycle writes)
+/// so a restarting backend can advertise how far through the cluster's
+/// event sequence its durable state already is — the router then
+/// catches it up from the event tail instead of re-streaming the whole
+/// cache. Best-effort: a failed write only costs the faster warm path.
+fn note_cluster_cursor(state: &ServiceState, req: &Request) {
+    let (Some(seq), Some(epoch)) = (
+        req.header("x-antruss-cluster-seq"),
+        req.header("x-antruss-cluster-epoch"),
+    ) else {
+        return;
+    };
+    let (Ok(seq), Ok(epoch)) = (seq.parse::<u64>(), epoch.parse::<u64>()) else {
+        return;
+    };
+    if let Some(store) = &state.store {
+        if let Err(e) = store.save_cluster_cursor(epoch, seq) {
+            eprintln!("antruss store: could not persist the cluster cursor: {e}");
+        }
     }
 }
 
@@ -434,12 +520,31 @@ pub fn parse_dump_entries(text: &str) -> Result<Vec<(CacheKey, Arc<String>)>, St
     Ok(validated)
 }
 
-/// `POST /cache/load` — accept a (chunk of a) `/cache/dump` payload into
-/// the local cache. Entries are validated field-by-field; the body is
-/// stored verbatim, so a warmed hit replays the peer's exact bytes.
+/// `POST /cache/load[?stamp=S][&mode=fill]` — accept a (chunk of a)
+/// `/cache/dump` payload into the local cache. Entries are validated
+/// field-by-field; the body is stored verbatim, so a warmed hit replays
+/// the peer's exact bytes. `stamp` pins the entries' freshness bound to
+/// an event seq the loader observed *before* reading the source dump —
+/// a mutation racing the replay then gates the now-stale bodies out
+/// (its purge seq outranks the stamp); without it, entries are stamped
+/// fresh as of now, which is what the router's fingerprint-fenced full
+/// warm relies on. `mode=fill` keeps any already-resident entry instead
+/// of overwriting it (catch-up replay around a surviving warm cache).
 fn load_cache(state: &ServiceState, req: &Request) -> Response {
     let Some(text) = req.body_utf8() else {
         return Response::error(400, "body is not UTF-8");
+    };
+    let stamp = match req.query_param("stamp") {
+        None => state.catalog.events().head(),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "\"stamp\" must be a non-negative integer"),
+        },
+    };
+    let fill = match req.query_param("mode") {
+        None => false,
+        Some("fill") => true,
+        Some(_) => return Response::error(400, "\"mode\" must be \"fill\""),
     };
     let validated = match parse_dump_entries(text) {
         Ok(v) => v,
@@ -447,7 +552,11 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
     };
     let loaded = validated.len() as u64;
     for (key, body) in validated {
-        state.cache.insert(key, body);
+        if fill {
+            state.cache.fill(key, body, stamp);
+        } else {
+            state.cache.insert(key, body, stamp);
+        }
     }
     state
         .metrics
@@ -457,12 +566,27 @@ fn load_cache(state: &ServiceState, req: &Request) -> Response {
 }
 
 /// `POST /cache/purge[?graph=…]` — drop one graph's cached outcomes, or
-/// everything when no graph is named.
+/// everything when no graph is named. The purge is journaled as a
+/// catalog event (so edge replicas drop their copies too); the entries
+/// leave the local cache before the event publishes, keeping the
+/// subscriber invariant — by the time an event is observable, its
+/// effect is.
 fn purge_cache(state: &ServiceState, req: &Request) -> Response {
-    let purged = match req.query_param("graph") {
-        Some(g) => state.cache.purge_graph(&crate::catalog::canonical_key(g)),
-        None => state.cache.purge_all(),
+    let graph = req.query_param("graph");
+    // gate future inserts at the pre-publish head: solves that resolved
+    // their graph before this purge keep their (still-correct) bodies
+    // admissible, while anything a later mutation invalidates is handled
+    // by that mutation's own higher gate
+    let gate = state.catalog.events().head();
+    let purged = match graph {
+        Some(g) => state
+            .cache
+            .purge_graph(&crate::catalog::canonical_key(g), gate),
+        None => state.cache.purge_all(gate),
     };
+    if let Err(e) = state.catalog.note_purge(graph) {
+        return Response::error(500, &e.to_string());
+    }
     state
         .metrics
         .purged_entries
@@ -535,7 +659,9 @@ fn mutate_graph(state: &ServiceState, req: &Request, name: &str) -> Response {
     match state.catalog.mutate(name, &inserts, &deletes) {
         Ok(o) => {
             let key = crate::catalog::canonical_key(name);
-            let purged = state.cache.purge_graph(&key);
+            // the mutation's event is published by now, so the current
+            // head gates out any straggling pre-mutation solve insert
+            let purged = state.cache.purge_graph(&key, state.catalog.events().head());
             state.metrics.mutations.fetch_add(1, Ordering::Relaxed);
             state
                 .metrics
@@ -589,7 +715,7 @@ fn delete_graph(state: &ServiceState, name: &str) -> Response {
     match state.catalog.remove(name) {
         Ok(()) => {
             let key = crate::catalog::canonical_key(name);
-            let purged = state.cache.purge_graph(&key);
+            let purged = state.cache.purge_graph(&key, state.catalog.events().head());
             state
                 .metrics
                 .purged_entries
@@ -607,8 +733,9 @@ fn delete_graph(state: &ServiceState, name: &str) -> Response {
 }
 
 /// The fields `/solve` accepts; anything else in the body is a 400 (typos
-/// like `"bugdet"` should fail loudly, not silently use a default).
-const SOLVE_FIELDS: &[&str] = &[
+/// like `"bugdet"` should fail loudly, not silently use a default). Public
+/// so the edge tier derives its cache keys from the identical contract.
+pub const SOLVE_FIELDS: &[&str] = &[
     "graph", "solver", "b", "seed", "trials", "threads", "k", "policy",
 ];
 
@@ -698,6 +825,13 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         },
     };
 
+    // the freshness bound for this response: the events head *before*
+    // the graph is resolved. If a mutation publishes seq N afterwards,
+    // this solve may have raced it and `events_head < N` tells an edge
+    // replica the body cannot be trusted past event N — which is
+    // exactly right, because the edge drops its copies at N.
+    let events_head = state.catalog.events().head();
+    let events_epoch = state.catalog.events().epoch();
     let graph = match state.catalog.get(graph_spec) {
         Ok(g) => g,
         Err(e) => return Response::error(404, &e.to_string()),
@@ -712,9 +846,15 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         trials,
         policy: policy_name,
     };
-    if let Some(hit) = state.cache.get(&key) {
+    if let Some((hit, stamp)) = state.cache.get_stamped(&key) {
         state.metrics.solves.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, hit.as_str()).with_header("x-antruss-cache", "hit");
+        // a hit replays the *computing* request's freshness bound, not
+        // the current head: the entry may have been inserted by a solve
+        // that raced a mutation whose purge has not landed yet
+        return Response::json(200, hit.as_str())
+            .with_header("x-antruss-cache", "hit")
+            .with_header("x-antruss-events-head", &stamp.to_string())
+            .with_header("x-antruss-events-epoch", &events_epoch.to_string());
     }
 
     let mut cfg = RunConfig::new(budget)
@@ -737,22 +877,19 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         Ok(outcome) => {
             state.metrics.observe_solve(started.elapsed());
             let serialized = Arc::new(outcome.to_json());
-            state.cache.insert(key.clone(), Arc::clone(&serialized));
             // the graph may have been mutated or deleted *while* this
-            // solver ran, in which case the mutation's purge happened
-            // before our insert and the entry above is stale. The
-            // mutation publishes its new graph before purging, so
-            // re-checking identity after the insert closes the race:
-            // either the purge removed our entry, or we see the swap
-            // here and purge it ourselves.
-            let unchanged = state
-                .catalog
-                .lookup(&key.graph)
-                .is_some_and(|(current, _)| Arc::ptr_eq(&current, &graph));
-            if !unchanged {
-                state.cache.purge_graph(&key.graph);
-            }
-            Response::json(200, serialized.as_str()).with_header("x-antruss-cache", "miss")
+            // solver ran. If the mutation's purge landed first, its gate
+            // (the mutation's event seq) exceeds our pre-resolve
+            // `events_head` and the cache refuses this insert; if we
+            // land first, the purge sweeps the entry. Either way the
+            // cache never retains a stale body.
+            state
+                .cache
+                .insert(key.clone(), Arc::clone(&serialized), events_head);
+            Response::json(200, serialized.as_str())
+                .with_header("x-antruss-cache", "miss")
+                .with_header("x-antruss-events-head", &events_head.to_string())
+                .with_header("x-antruss-events-epoch", &events_epoch.to_string())
         }
         Err(e) => Response::error(400, &format!("{solver_name}: {e}")),
     }
@@ -1481,6 +1618,189 @@ mod tests {
         handle(&st, &get("/healthz"));
         assert_eq!(st.metrics.errors.load(Ordering::Relaxed), 1);
         assert_eq!(st.metrics.requests.load(Ordering::Relaxed), 2);
+    }
+
+    fn header<'r>(resp: &'r Response, name: &str) -> Option<&'r str> {
+        resp.extra_headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn events_feed_tracks_catalog_writes() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let resp = handle(&st, &get("/events"));
+        assert_eq!(resp.status, 200);
+        let batch = crate::events::EventBatch::parse(&body_str(&resp)).unwrap();
+        assert!(!batch.reset);
+        assert_eq!(batch.head, 1);
+        assert_eq!(batch.events[0].kind, crate::events::EventKind::Register);
+        assert_eq!(batch.events[0].graph, "tri");
+
+        // mutate + delete extend the stream; a cursor past the register
+        // sees exactly the tail
+        assert_eq!(
+            handle(
+                &st,
+                &post("/graphs/tri/mutate", r#"{"insert":[[0,3],[1,3],[2,3]]}"#)
+            )
+            .status,
+            200
+        );
+        assert_eq!(handle(&st, &delete("/graphs/tri")).status, 200);
+        let mut req = get("/events");
+        req.query = vec![
+            ("since".to_string(), "1".to_string()),
+            ("epoch".to_string(), batch.epoch.to_string()),
+        ];
+        let tail = crate::events::EventBatch::parse(&body_str(&handle(&st, &req))).unwrap();
+        assert!(!tail.reset);
+        assert_eq!(
+            tail.events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![
+                crate::events::EventKind::Mutate,
+                crate::events::EventKind::Delete
+            ]
+        );
+        // a wrong epoch resets
+        let mut req = get("/events");
+        req.query = vec![
+            ("since".to_string(), "1".to_string()),
+            ("epoch".to_string(), "12345".to_string()),
+        ];
+        assert!(
+            crate::events::EventBatch::parse(&body_str(&handle(&st, &req)))
+                .unwrap()
+                .reset
+        );
+        // malformed cursors are 400
+        let mut req = get("/events");
+        req.query = vec![("since".to_string(), "nope".to_string())];
+        assert_eq!(handle(&st, &req).status, 400);
+        // healthz and metrics surface the head
+        assert!(body_str(&handle(&st, &get("/healthz"))).contains("\"head\":3"));
+        assert!(body_str(&handle(&st, &get("/metrics"))).contains("antruss_events_head_seq 3"));
+    }
+
+    #[test]
+    fn purge_publishes_an_event() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let mut purge = post("/cache/purge", "");
+        purge.query = vec![("graph".to_string(), "tri".to_string())];
+        assert_eq!(handle(&st, &purge).status, 200);
+        assert_eq!(handle(&st, &post("/cache/purge", "")).status, 200);
+        let batch =
+            crate::events::EventBatch::parse(&body_str(&handle(&st, &get("/events")))).unwrap();
+        assert_eq!(batch.head, 3);
+        assert_eq!(batch.events[1].kind, crate::events::EventKind::Purge);
+        assert_eq!(batch.events[1].graph, "tri");
+        assert_eq!(batch.events[2].graph, "", "purge-all has an empty graph");
+    }
+
+    #[test]
+    fn solve_responses_carry_their_freshness_bound() {
+        let st = state();
+        register_triangle(&st, "tri");
+        let solve = post("/solve", r#"{"graph":"tri","b":1}"#);
+        let miss = handle(&st, &solve);
+        assert_eq!(header(&miss, "x-antruss-events-head"), Some("1"));
+        let hit = handle(&st, &solve);
+        assert_eq!(header(&hit, "x-antruss-cache"), Some("hit"));
+        assert_eq!(
+            header(&hit, "x-antruss-events-head"),
+            Some("1"),
+            "a hit replays the computing request's bound"
+        );
+        // after a mutation the fresh miss carries the advanced head
+        assert_eq!(
+            handle(
+                &st,
+                &post("/graphs/tri/mutate", r#"{"insert":[[0,3],[1,3],[2,3]]}"#)
+            )
+            .status,
+            200
+        );
+        let fresh = handle(&st, &solve);
+        assert_eq!(header(&fresh, "x-antruss-cache"), Some("miss"));
+        assert_eq!(header(&fresh, "x-antruss-events-head"), Some("2"));
+    }
+
+    #[test]
+    fn cluster_cursor_headers_are_persisted() {
+        let dir =
+            std::env::temp_dir().join(format!("antruss-server-cursor-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let st = ServiceState::new(ServerConfig {
+                data_dir: Some(dir.to_string_lossy().into_owned()),
+                ..ServerConfig::default()
+            });
+            let mut req = post("/graphs", "0 1\n1 2\n2 0\n");
+            req.query = vec![("name".to_string(), "tri".to_string())];
+            req.headers = vec![
+                ("x-antruss-cluster-seq".to_string(), "42".to_string()),
+                ("x-antruss-cluster-epoch".to_string(), "9".to_string()),
+            ];
+            assert_eq!(handle(&st, &req).status, 201);
+            assert_eq!(
+                st.store.as_ref().unwrap().load_cluster_cursor(),
+                Some((9, 42))
+            );
+            // failed writes must not advance the cursor
+            let mut dup = req.clone();
+            dup.headers = vec![
+                ("x-antruss-cluster-seq".to_string(), "50".to_string()),
+                ("x-antruss-cluster-epoch".to_string(), "9".to_string()),
+            ];
+            assert_eq!(handle(&st, &dup).status, 409);
+            assert_eq!(
+                st.store.as_ref().unwrap().load_cluster_cursor(),
+                Some((9, 42))
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn events_survive_a_durable_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("antruss-server-events-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServerConfig {
+            data_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        };
+        let epoch;
+        {
+            let st = ServiceState::new(config());
+            register_triangle(&st, "tri");
+            assert_eq!(
+                handle(&st, &post("/graphs/tri/mutate", r#"{"insert":[[0,3]]}"#)).status,
+                200
+            );
+            epoch = st.catalog.events().epoch();
+            assert_eq!(st.catalog.events().head(), 2);
+        }
+        {
+            let st = ServiceState::new(config());
+            assert_eq!(st.catalog.events().epoch(), epoch, "epoch is durable");
+            // a subscriber cursor from before the restart resumes
+            // without a reset and sees the missed tail
+            let mut req = get("/events");
+            req.query = vec![
+                ("since".to_string(), "1".to_string()),
+                ("epoch".to_string(), epoch.to_string()),
+            ];
+            let batch = crate::events::EventBatch::parse(&body_str(&handle(&st, &req))).unwrap();
+            assert!(!batch.reset, "{batch:?}");
+            assert_eq!(batch.head, 2);
+            assert_eq!(batch.events.len(), 1);
+            assert_eq!(batch.events[0].kind, crate::events::EventKind::Mutate);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

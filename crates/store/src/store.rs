@@ -6,6 +6,8 @@
 //!   wal.log          append-only CatalogOp records (see wal.rs)
 //!   snap/<name>.antg one binary snapshot per persisted graph
 //!   cache.json       outcome-cache dump from the last graceful shutdown
+//!   events.meta      event-stream identity: epoch + base sequence
+//!   cluster.seq      last cluster event applied (best-effort cursor)
 //! ```
 //!
 //! Write path: every acknowledged register/mutate/delete is appended to
@@ -198,10 +200,73 @@ pub struct Store {
     dropped_bytes: AtomicU64,
     compact_records: AtomicU64,
     compact_bytes: AtomicU64,
+    /// Event-stream identity: a random id minted when the data dir is
+    /// created and kept for its lifetime, so a subscriber can tell "the
+    /// same log, resumed" from "a different store wearing the same
+    /// address".
+    event_epoch: u64,
+    /// WAL sequence numbers already folded into snapshots: the seq of
+    /// the first record of the *current* WAL is `event_base_seq + 1`.
+    event_base_seq: AtomicU64,
 }
 
 fn bad_data(e: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// A process-unique 64-bit id with no global state: wall-clock nanos
+/// mixed with the pid through the WAL's FNV permutation. Not
+/// cryptographic — it only has to distinguish store generations.
+fn random_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = std::process::id() as u64;
+    let h = wal::checksum64(&nanos.to_le_bytes()) ^ wal::checksum64(&pid.to_le_bytes());
+    h.max(1) // 0 is reserved for "no epoch"
+}
+
+/// Reads `events.meta` (`epoch base_seq`), minting and persisting a
+/// fresh identity when the file is absent (new data dir, or one created
+/// before event streaming existed — either way the stream starts here).
+fn load_or_create_events_meta(dir: &Path, wal_records: u64) -> io::Result<(u64, u64)> {
+    let path = dir.join("events.meta");
+    match fs::read_to_string(&path) {
+        Ok(text) => {
+            let mut it = text.split_whitespace();
+            let epoch = it.next().and_then(|s| s.parse::<u64>().ok());
+            let base = it.next().and_then(|s| s.parse::<u64>().ok());
+            if let (Some(epoch), Some(base)) = (epoch, base) {
+                if epoch != 0 {
+                    return Ok((epoch, base));
+                }
+            }
+            // unreadable meta: the cursor space is unknowable, so mint a
+            // new epoch — subscribers resync rather than alias sequences
+            let epoch = random_epoch();
+            write_events_meta(dir, epoch, 0)?;
+            Ok((epoch, 0))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // pre-existing WALs (written before events.meta) keep their
+            // records addressable: base stays 0 and the current records
+            // take seqs 1..=wal_records under the fresh epoch
+            let _ = wal_records;
+            let epoch = random_epoch();
+            write_events_meta(dir, epoch, 0)?;
+            Ok((epoch, 0))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn write_events_meta(dir: &Path, epoch: u64, base: u64) -> io::Result<()> {
+    let tmp = dir.join("events.meta.new");
+    let mut f = File::create(&tmp)?;
+    f.write_all(format!("{epoch} {base}\n").as_bytes())?;
+    f.sync_data()?;
+    fs::rename(&tmp, dir.join("events.meta"))
 }
 
 impl Store {
@@ -314,6 +379,9 @@ impl Store {
             None
         };
 
+        let (event_epoch, event_base_seq) =
+            load_or_create_events_meta(&dir, replayed.ops.len() as u64)?;
+
         let wal_bytes = replayed.good_len.max(WAL_MAGIC.len() as u64);
         let store = Store {
             policy,
@@ -332,6 +400,8 @@ impl Store {
             dropped_bytes: AtomicU64::new(replayed.dropped_bytes),
             compact_records: AtomicU64::new(DEFAULT_COMPACT_RECORDS),
             compact_bytes: AtomicU64::new(DEFAULT_COMPACT_BYTES),
+            event_epoch,
+            event_base_seq: AtomicU64::new(event_base_seq),
             dir,
         };
         Ok((
@@ -351,6 +421,42 @@ impl Store {
     /// The configured fsync policy.
     pub fn policy(&self) -> FsyncPolicy {
         self.policy
+    }
+
+    /// The event-stream epoch: minted once when the data dir is
+    /// created, stable across restarts and compactions. Cursors are
+    /// only meaningful within one epoch.
+    pub fn event_epoch(&self) -> u64 {
+        self.event_epoch
+    }
+
+    /// Sequence numbers already folded into snapshots: the op recovered
+    /// at `Recovered::ops[i]` carries event seq `event_base_seq + i + 1`,
+    /// and the recovered head is `event_base_seq + ops.len()`.
+    pub fn event_base_seq(&self) -> u64 {
+        self.event_base_seq.load(Ordering::Relaxed)
+    }
+
+    /// Persists the last cluster event this backend applied
+    /// (`router epoch`, `seq`) — the cursor it advertises when
+    /// re-joining so the router can catch it up from the event tail
+    /// instead of a full dump/load re-warm. Best-effort: losing it just
+    /// costs a cold-start warm.
+    pub fn save_cluster_cursor(&self, epoch: u64, seq: u64) -> io::Result<()> {
+        let tmp = self.dir.join("cluster.seq.new");
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("{epoch} {seq}\n").as_bytes())?;
+        f.sync_data()?;
+        fs::rename(&tmp, self.dir.join("cluster.seq"))
+    }
+
+    /// Reads the persisted cluster cursor, if any.
+    pub fn load_cluster_cursor(&self) -> Option<(u64, u64)> {
+        let text = fs::read_to_string(self.dir.join("cluster.seq")).ok()?;
+        let mut it = text.split_whitespace();
+        let epoch = it.next()?.parse::<u64>().ok()?;
+        let seq = it.next()?.parse::<u64>().ok()?;
+        Some((epoch, seq))
     }
 
     /// Appends one operation to the WAL and flushes per the fsync
@@ -428,6 +534,7 @@ impl Store {
     /// set is consistent with the log position.
     pub fn compact(&self, graphs: &[(String, Arc<CsrGraph>)]) -> io::Result<()> {
         let started = Instant::now();
+        let folded = self.wal_records.load(Ordering::Relaxed);
         let snap_dir = self.dir.join("snap");
         let mut keep: Vec<String> = Vec::with_capacity(graphs.len());
         for (name, graph) in graphs {
@@ -466,6 +573,11 @@ impl Store {
         self.wal_bytes
             .store(WAL_MAGIC.len() as u64, Ordering::Relaxed);
         self.wal_records.store(0, Ordering::Relaxed);
+        // the folded records' sequence numbers are spoken for: advance
+        // the base so the fresh WAL's first record continues the event
+        // sequence instead of reusing it
+        let base = self.event_base_seq.fetch_add(folded, Ordering::Relaxed) + folded;
+        write_events_meta(&self.dir, self.event_epoch, base)?;
         self.snapshots.store(keep.len() as u64, Ordering::Relaxed);
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.last_compaction_ms
@@ -717,6 +829,55 @@ mod tests {
         assert!(FsyncPolicy::parse("sometimes").is_err());
         assert_eq!(FsyncPolicy::Interval(250).to_string(), "interval:250");
         assert_eq!(FsyncPolicy::default(), FsyncPolicy::Interval(100));
+    }
+
+    #[test]
+    fn event_identity_survives_restart_and_compaction() {
+        let dir = tmp("events-meta");
+        let (epoch, head) = {
+            let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+            assert_ne!(store.event_epoch(), 0);
+            assert_eq!(store.event_base_seq(), 0);
+            for i in 0..3 {
+                store
+                    .append(&CatalogOp::Purge {
+                        name: format!("g{i}"),
+                    })
+                    .unwrap();
+            }
+            (store.event_epoch(), store.stats().wal_records)
+        };
+        // restart: same epoch, and base + replayed ops reproduces the head
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.event_epoch(), epoch);
+        assert_eq!(
+            store.event_base_seq() + recovered.ops.len() as u64,
+            head,
+            "recovered head diverged"
+        );
+        // compaction folds the WAL but the sequence space keeps advancing
+        store.compact(&[]).unwrap();
+        assert_eq!(store.event_base_seq(), 3);
+        store
+            .append(&CatalogOp::Purge {
+                name: "g9".to_string(),
+            })
+            .unwrap();
+        drop(store);
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.event_epoch(), epoch);
+        assert_eq!(store.event_base_seq() + recovered.ops.len() as u64, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cluster_cursor_round_trips() {
+        let dir = tmp("cluster-cursor");
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.load_cluster_cursor(), None);
+        store.save_cluster_cursor(7, 42).unwrap();
+        assert_eq!(store.load_cluster_cursor(), Some((7, 42)));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub const MAX_RECORD_BYTES: u32 = 1 << 28;
 const TAG_REGISTER: u8 = 1;
 const TAG_MUTATE: u8 = 2;
 const TAG_DELETE: u8 = 3;
+const TAG_PURGE: u8 = 4;
 
 /// One durable catalog operation — the WAL's unit of persistence.
 ///
@@ -72,6 +73,17 @@ pub enum CatalogOp {
         /// The catalog name.
         name: String,
     },
+    /// Cached outcomes for `name` (or everything, when `name` is empty)
+    /// were purged. The catalog itself is untouched — this exists so
+    /// *every* event kind the `/events` stream can emit consumes one
+    /// durable WAL sequence number: a purge that only bumped an
+    /// in-memory counter would make the recovered head lag the live
+    /// head after a crash, and a reconnecting subscriber's cursor would
+    /// alias different operations across the restart.
+    Purge {
+        /// The catalog name, or `""` for a purge of every graph.
+        name: String,
+    },
 }
 
 impl CatalogOp {
@@ -80,7 +92,8 @@ impl CatalogOp {
         match self {
             CatalogOp::Register { name, .. }
             | CatalogOp::Mutate { name, .. }
-            | CatalogOp::Delete { name } => name,
+            | CatalogOp::Delete { name }
+            | CatalogOp::Purge { name } => name,
         }
     }
 
@@ -114,6 +127,10 @@ impl CatalogOp {
             }
             CatalogOp::Delete { name } => {
                 buf.put_u8(TAG_DELETE);
+                put_name(&mut buf, name);
+            }
+            CatalogOp::Purge { name } => {
+                buf.put_u8(TAG_PURGE);
                 put_name(&mut buf, name);
             }
         }
@@ -181,6 +198,12 @@ impl CatalogOp {
                     return None;
                 }
                 CatalogOp::Delete { name }
+            }
+            TAG_PURGE => {
+                if data.has_remaining() {
+                    return None;
+                }
+                CatalogOp::Purge { name }
             }
             _ => return None,
         };
@@ -308,6 +331,24 @@ mod tests {
         for op in ops() {
             assert_eq!(CatalogOp::decode(op.encode()), Some(op));
         }
+    }
+
+    #[test]
+    fn purge_ops_round_trip_including_purge_all() {
+        for name in ["tri", ""] {
+            let op = CatalogOp::Purge {
+                name: name.to_string(),
+            };
+            assert_eq!(CatalogOp::decode(op.encode()), Some(op));
+        }
+        // trailing bytes after the name are corruption, like Delete
+        let mut raw = CatalogOp::Purge {
+            name: "tri".to_string(),
+        }
+        .encode()
+        .to_vec();
+        raw.push(0);
+        assert_eq!(CatalogOp::decode(Bytes::from(raw)), None);
     }
 
     #[test]

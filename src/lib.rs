@@ -30,7 +30,13 @@
 //!   --data-dir`): a checksummed write-ahead log of catalog operations,
 //!   per-graph binary snapshots with compaction, and torn-tail tolerant
 //!   crash recovery, so a restarted backend rebuilds its catalog from
-//!   local disk instead of pulling graphs over the network.
+//!   local disk instead of pulling graphs over the network;
+//! * [`edge`] — the read-replica edge tier (`antruss edge`): a warm
+//!   outcome cache in front of any serving node, router or other edge,
+//!   kept coherent by subscribing to the upstream's WAL-backed
+//!   `/events` feed (selective per-graph invalidation, no TTLs), with
+//!   offline serving of cached reads when the upstream is unreachable
+//!   and a mirrored event log so edges daisy-chain.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +74,7 @@
 pub use antruss_cluster as cluster;
 pub use antruss_core as atr;
 pub use antruss_datasets as datasets;
+pub use antruss_edge as edge;
 pub use antruss_graph as graph;
 pub use antruss_kcore as kcore;
 pub use antruss_service as service;

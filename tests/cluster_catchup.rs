@@ -1,0 +1,250 @@
+//! Live cursor catch-up over real threads and sockets: a durable
+//! backend joins a router, persists the cluster cursor riding the
+//! fanned-out writes, restarts from disk after missing a mutation, and
+//! re-joins advertising that cursor — the router replays only the
+//! missed event tail, so untouched graphs keep their disk-recovered
+//! state and warm cache instead of being re-streamed from peers.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use antruss::atr::json::{self, Value};
+use antruss::cluster::{Router, RouterConfig};
+use antruss::service::{Client, Server, ServerConfig};
+
+/// Strips every `elapsed_secs` member (the only wall-clock-dependent
+/// field) so freshly computed outcomes compare deterministically.
+fn strip_elapsed(v: &Value) -> Value {
+    match v {
+        Value::Arr(items) => Value::Arr(items.iter().map(strip_elapsed).collect()),
+        Value::Obj(members) => Value::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k.as_str() != "elapsed_secs")
+                .map(|(k, v)| (k.clone(), strip_elapsed(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn same_outcome(a: &[u8], b: &[u8]) -> bool {
+    let a = String::from_utf8_lossy(a);
+    let b = String::from_utf8_lossy(b);
+    strip_elapsed(&json::parse(&a).unwrap()) == strip_elapsed(&json::parse(&b).unwrap())
+}
+
+/// A small deterministic test graph: K5 plus a pendant edge, as a SNAP
+/// edge list. `extra` lets each graph differ so checksums do too.
+fn edge_list(extra: &str) -> Vec<u8> {
+    let mut body = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            body.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    body.push_str(extra);
+    body.into_bytes()
+}
+
+fn solve_body(graph: &str) -> Vec<u8> {
+    format!("{{\"graph\":\"{graph}\",\"solver\":\"gas\",\"b\":1}}").into_bytes()
+}
+
+fn register(router: std::net::SocketAddr, name: &str, extra: &str) {
+    let resp = Client::new(router)
+        .post(
+            &format!("/graphs?name={name}"),
+            "text/plain",
+            &edge_list(extra),
+        )
+        .expect("register");
+    assert_eq!(resp.status, 201, "register {name}: {}", resp.body_string());
+}
+
+fn solve(addr: std::net::SocketAddr, graph: &str) -> (Vec<u8>, String) {
+    let resp = Client::new(addr)
+        .post("/solve", "application/json", &solve_body(graph))
+        .expect("solve");
+    assert_eq!(resp.status, 200, "solve {graph}: {}", resp.body_string());
+    let cache = resp.header("x-antruss-cache").unwrap_or("").to_string();
+    (resp.body, cache)
+}
+
+#[test]
+fn durable_member_rejoins_via_event_tail_catchup() {
+    let data_dir = std::env::temp_dir().join(format!("antruss-catchup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // deterministic harness: no background health thread, manual joins
+    let router = Router::start(RouterConfig {
+        replication: 2,
+        health_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .expect("router");
+
+    let durable_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        data_dir: Some(data_dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    };
+    let memory_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    };
+
+    let a = Server::start(durable_config.clone()).expect("backend a");
+    let b = Server::start(memory_config).expect("backend b");
+    let a_addr = a.addr();
+    let b_addr = b.addr();
+    for addr in [a_addr, b_addr] {
+        let resp = Client::new(router.addr())
+            .post(
+                "/members",
+                "application/json",
+                format!("{{\"addr\":\"{addr}\"}}").as_bytes(),
+            )
+            .expect("join");
+        assert_eq!(resp.status, 201, "join {addr}: {}", resp.body_string());
+        assert!(
+            resp.body_string().contains("\"warm\":\"full\""),
+            "a cursor-less join takes the full warm path: {}",
+            resp.body_string()
+        );
+    }
+
+    // three graphs through the router; R=2 over two members fans every
+    // write to both, and the cluster-cursor headers riding the fan-out
+    // persist (epoch, seq) in backend a's store
+    register(router.addr(), "ga", "0 5\n");
+    register(router.addr(), "gb", "1 5\n");
+    register(router.addr(), "gc", "2 5\n");
+    let (ref_ga, _) = solve(router.addr(), "ga");
+    let (ref_gb, _) = solve(router.addr(), "gb");
+    let (ref_gc, _) = solve(router.addr(), "gc");
+
+    // seed backend a's own outcome cache so the warm-restart +
+    // catch-up path has something observable to preserve
+    let (direct_gb, _) = solve(a_addr, "gb");
+    assert!(
+        same_outcome(&direct_gb, &ref_gb),
+        "direct solve matches the routed one"
+    );
+    let (_, second) = solve(a_addr, "gb");
+    assert_eq!(second, "hit", "backend a's cache is seeded");
+
+    let store = a
+        .state()
+        .store
+        .clone()
+        .expect("durable backend exposes its store");
+    let cursor = store
+        .load_cluster_cursor()
+        .expect("fanned-out writes persisted a cluster cursor");
+    assert_eq!(
+        cursor.0,
+        router.state().events.epoch(),
+        "the persisted epoch is the router's"
+    );
+    drop(store); // release the data-dir lock so the restart can take it
+
+    // backend a leaves gracefully (the shutdown dumps its warm cache)
+    // and misses a mutation of ga
+    let resp = Client::new(router.addr())
+        .delete(&format!("/members/{a_addr}"))
+        .expect("leave");
+    assert_eq!(resp.status, 200, "leave: {}", resp.body_string());
+    a.shutdown();
+    let resp = Client::new(router.addr())
+        .post(
+            "/graphs/ga/mutate",
+            "application/json",
+            b"{\"insert\":[[3,6],[4,6]]}",
+        )
+        .expect("mutate");
+    assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
+    let (ref_ga2, _) = solve(router.addr(), "ga");
+    assert!(
+        !same_outcome(&ref_ga2, &ref_ga),
+        "the mutation changed the outcome"
+    );
+
+    // restart from the same data dir: the catalog recovers ga (stale),
+    // gb and gc (current), the cache dump reloads, and the re-join
+    // advertises the persisted cursor — exactly what `antruss serve
+    // --join --data-dir` does
+    let a = Server::start(durable_config).expect("backend a restart");
+    let a_addr = a.addr();
+    let (epoch, seq) = a
+        .state()
+        .store
+        .clone()
+        .expect("store survives restart")
+        .load_cluster_cursor()
+        .expect("cursor survives restart");
+    assert_eq!((epoch, seq), cursor);
+
+    let warmed_before = router.state().warmed_graphs.load(Ordering::Relaxed);
+    let skipped_before = router.state().warm_skipped_graphs.load(Ordering::Relaxed);
+    let resp = Client::new(router.addr())
+        .post(
+            "/members",
+            "application/json",
+            format!("{{\"addr\":\"{a_addr}\",\"epoch\":\"{epoch}\",\"cursor\":{seq}}}").as_bytes(),
+        )
+        .expect("rejoin");
+    assert_eq!(resp.status, 201, "rejoin: {}", resp.body_string());
+    let body = resp.body_string();
+    assert!(
+        body.contains("\"warm\":\"catchup\""),
+        "the advertised cursor takes the catch-up path: {body}"
+    );
+    assert_eq!(router.state().catchup_joins.load(Ordering::Relaxed), 1);
+
+    // the missed tail touches gc (the cursor undercounts by the write
+    // in flight when it was stamped) and ga (the mutation): gc's
+    // content matches and is skipped, ga is re-synced from b — gb is
+    // never touched, let alone re-streamed
+    let warmed = router.state().warmed_graphs.load(Ordering::Relaxed) - warmed_before;
+    let skipped = router.state().warm_skipped_graphs.load(Ordering::Relaxed) - skipped_before;
+    assert_eq!(
+        (warmed, skipped),
+        (1, 1),
+        "catch-up re-syncs only the mutated graph: {body}"
+    );
+
+    // gb kept its disk-recovered warm cache through restart + catch-up:
+    // a replay of the same cache entry is byte-identical
+    let (cached_gb, verdict) = solve(a_addr, "gb");
+    assert_eq!(cached_gb, direct_gb, "a cache replay is byte-identical");
+    assert_eq!(
+        verdict, "hit",
+        "an untouched graph's warm cache survives catch-up"
+    );
+
+    // ga was re-synced: its cached pre-mutation outcome is gone, and
+    // the catch-up's fill pass replayed b's post-mutation entry — the
+    // member answers a *hit* with the peer's exact bytes
+    let (caught_up_ga, verdict) = solve(a_addr, "ga");
+    assert_eq!(
+        caught_up_ga, ref_ga2,
+        "the fill pass replays the peer's post-mutation bytes"
+    );
+    assert_eq!(verdict, "hit", "the replayed entry serves as a hit");
+    let (routed_ga, _) = solve(router.addr(), "ga");
+    let (routed_gc, _) = solve(router.addr(), "gc");
+    assert!(same_outcome(&routed_ga, &ref_ga2));
+    assert!(same_outcome(&routed_gc, &ref_gc));
+
+    // give the keep-alive sockets a beat to drain before teardown
+    std::thread::sleep(Duration::from_millis(50));
+    a.shutdown();
+    b.shutdown();
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

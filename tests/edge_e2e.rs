@@ -1,0 +1,293 @@
+//! End-to-end edge tier over real threads and sockets: an edge (and a
+//! daisy-chained edge-behind-an-edge) serves byte-identical outcomes,
+//! invalidates exactly the graphs the upstream's event stream touches,
+//! keeps answering every cached read when the upstream goes away, and
+//! resumes the event stream from its cursor — no reset, no re-warm —
+//! when a durable upstream restarts on the same address.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use antruss::edge::{Edge, EdgeConfig};
+use antruss::service::{Client, Server, ServerConfig};
+
+fn edge_list(extra: &str) -> Vec<u8> {
+    let mut body = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            body.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    body.push_str(extra);
+    body.into_bytes()
+}
+
+fn solve_body(graph: &str) -> Vec<u8> {
+    format!("{{\"graph\":\"{graph}\",\"solver\":\"gas\",\"b\":1}}").into_bytes()
+}
+
+fn register(addr: SocketAddr, name: &str, extra: &str) {
+    let resp = Client::new(addr)
+        .post(
+            &format!("/graphs?name={name}"),
+            "text/plain",
+            &edge_list(extra),
+        )
+        .expect("register");
+    assert_eq!(resp.status, 201, "register {name}: {}", resp.body_string());
+}
+
+/// One solve; returns (body, x-antruss-edge header if any, stale header
+/// if any).
+fn solve(addr: SocketAddr, graph: &str) -> (Vec<u8>, Option<String>, Option<String>) {
+    let resp = Client::new(addr)
+        .post("/solve", "application/json", &solve_body(graph))
+        .expect("solve");
+    assert_eq!(resp.status, 200, "solve {graph}: {}", resp.body_string());
+    (
+        resp.body.clone(),
+        resp.header("x-antruss-edge").map(str::to_string),
+        resp.header("x-antruss-stale").map(str::to_string),
+    )
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let resp = Client::new(addr).get("/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    resp.body_string()
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no metric {name}"))
+}
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+// every persistent connection (event subscriber, pooled forward
+// client, test client) dedicates a worker on the node it dials, so the
+// nodes need enough workers to hold a chain plus the test's own client
+fn edge_config(upstream: SocketAddr) -> EdgeConfig {
+    EdgeConfig {
+        upstream: upstream.to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        poll_wait_ms: 200,
+        retry_ms: 20,
+        ..EdgeConfig::default()
+    }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+/// Parity, selective invalidation, and a daisy-chained second hop that
+/// inherits both properties through the first edge's mirrored feed.
+#[test]
+fn edge_parity_invalidation_and_daisy_chain() {
+    let server = Server::start(server_config()).expect("server");
+    register(server.addr(), "ga", "0 5\n");
+    register(server.addr(), "gb", "1 5\n");
+
+    let near = Edge::start(edge_config(server.addr())).expect("near edge");
+    let far = Edge::start(edge_config(near.addr())).expect("far edge");
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(far.addr(), "antruss_edge_events_head_seq") == 2
+        }),
+        "the far edge tails the registers through the near edge"
+    );
+
+    // a solve through the chain computes (and caches) upstream; the
+    // relayed bytes must equal what the origin then replays from its
+    // own cache — byte-identical parity
+    let (via_far, verdict, _) = solve(far.addr(), "ga");
+    assert_eq!(verdict.as_deref(), Some("miss"), "first solve forwards");
+    let (direct, _, _) = solve(server.addr(), "ga");
+    assert_eq!(via_far, direct, "edge parity is byte-identical");
+
+    // both hops cached the relay: each now serves it locally
+    let (hit_far, verdict, _) = solve(far.addr(), "ga");
+    assert_eq!(verdict.as_deref(), Some("hit"));
+    assert_eq!(hit_far, direct);
+    let (hit_near, verdict, _) = solve(near.addr(), "ga");
+    assert_eq!(verdict.as_deref(), Some("hit"));
+    assert_eq!(hit_near, direct);
+
+    // warm gb on both edges too
+    let (gb_ref, _, _) = solve(far.addr(), "gb");
+    let (_, verdict, _) = solve(far.addr(), "gb");
+    assert_eq!(verdict.as_deref(), Some("hit"));
+
+    // listings pass through byte-identically
+    let listed = Client::new(far.addr()).get("/graphs").unwrap();
+    let origin = Client::new(server.addr()).get("/graphs").unwrap();
+    assert_eq!(listed.body, origin.body, "listing parity");
+
+    // the edge is structurally read-only at every hop
+    for addr in [near.addr(), far.addr()] {
+        let refused = Client::new(addr)
+            .post(
+                "/graphs/ga/mutate",
+                "application/json",
+                b"{\"insert\":[[0,5]]}",
+            )
+            .unwrap();
+        assert_eq!(refused.status, 421, "writes are misdirected");
+    }
+
+    // mutate ga at the origin: the event ripples near -> far, and each
+    // edge drops exactly ga's entries
+    let resp = Client::new(server.addr())
+        .post(
+            "/graphs/ga/mutate",
+            "application/json",
+            b"{\"insert\":[[3,6],[4,6]]}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(far.addr(), "antruss_edge_events_head_seq") == 3
+        }),
+        "the mutation event reaches the far edge"
+    );
+
+    let (gb_after, verdict, _) = solve(far.addr(), "gb");
+    assert_eq!(verdict.as_deref(), Some("hit"), "gb was never invalidated");
+    assert_eq!(gb_after, gb_ref);
+
+    let (ga_after, verdict, _) = solve(far.addr(), "ga");
+    assert_eq!(verdict.as_deref(), Some("miss"), "ga was invalidated");
+    assert_ne!(ga_after, via_far, "the stale outcome is gone");
+    let (ga_direct, _, _) = solve(server.addr(), "ga");
+    assert_eq!(ga_after, ga_direct, "post-mutation parity");
+
+    assert_eq!(metric(far.addr(), "antruss_edge_event_resets_total"), 0);
+}
+
+/// Offline mode: the upstream disappears, every previously cached read
+/// keeps answering (flagged stale), and when a durable upstream comes
+/// back on the same address the subscriber resumes from its cursor —
+/// zero resets, no re-warm, and the cache survives the whole episode.
+#[test]
+fn edge_serves_cached_reads_offline_and_resumes_from_cursor() {
+    let data_dir = std::env::temp_dir().join(format!("antruss-edge-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let durable = |addr: String| ServerConfig {
+        addr,
+        data_dir: Some(data_dir.to_string_lossy().into_owned()),
+        ..server_config()
+    };
+
+    let server = Server::start(durable("127.0.0.1:0".to_string())).expect("server");
+    let upstream = server.addr();
+    register(upstream, "ga", "0 5\n");
+    register(upstream, "gb", "1 5\n");
+
+    let edge = Edge::start(edge_config(upstream)).expect("edge");
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(edge.addr(), "antruss_edge_events_head_seq") == 2
+        }),
+        "the edge tails the registers"
+    );
+    let (ga_ref, _, _) = solve(edge.addr(), "ga");
+    let (gb_ref, _, _) = solve(edge.addr(), "gb");
+    assert_eq!(Client::new(edge.addr()).get("/graphs").unwrap().status, 200);
+
+    // the upstream goes away; the subscriber notices within a beat
+    server.shutdown();
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(edge.addr(), "antruss_edge_upstream_up") == 0
+        }),
+        "the edge notices the upstream is gone"
+    );
+
+    // every cached read keeps answering — zero failures, flagged stale
+    for _ in 0..20 {
+        let (ga, verdict, stale) = solve(edge.addr(), "ga");
+        assert_eq!(ga, ga_ref, "offline reads are byte-identical");
+        assert_eq!(verdict.as_deref(), Some("hit"));
+        assert!(stale.is_some(), "offline hits carry x-antruss-stale");
+        let (gb, _, _) = solve(edge.addr(), "gb");
+        assert_eq!(gb, gb_ref);
+    }
+    assert!(metric(edge.addr(), "antruss_edge_stale_serves_total") >= 40);
+
+    // an identity that was never cached has nowhere to go
+    let miss = Client::new(edge.addr())
+        .post(
+            "/solve",
+            "application/json",
+            b"{\"graph\":\"ga\",\"solver\":\"gas\",\"b\":2}",
+        )
+        .unwrap();
+    assert_eq!(miss.status, 503, "uncached offline reads fail honestly");
+
+    // listings fall back to the last good body, flagged stale
+    let listed = Client::new(edge.addr()).get("/graphs").unwrap();
+    assert_eq!(listed.status, 200);
+    assert!(listed.header("x-antruss-stale").is_some());
+
+    // the durable upstream restarts on the same address: same event
+    // epoch, head rebuilt from the WAL — the subscriber resumes from
+    // its cursor instead of resetting
+    let server = Server::start(durable(upstream.to_string())).expect("server restart");
+    assert_eq!(server.addr(), upstream);
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(edge.addr(), "antruss_edge_upstream_up") == 1
+        }),
+        "the edge reconnects"
+    );
+    assert_eq!(
+        metric(edge.addr(), "antruss_edge_event_resets_total"),
+        0,
+        "a same-identity restart resumes mid-stream, no reset"
+    );
+
+    // the cache survived the outage and the reconnect
+    let (ga, verdict, stale) = solve(edge.addr(), "ga");
+    assert_eq!(ga, ga_ref);
+    assert_eq!(verdict.as_deref(), Some("hit"));
+    assert!(stale.is_none(), "reads are fresh again");
+
+    // and the resumed feed still invalidates selectively
+    let resp = Client::new(upstream)
+        .post(
+            "/graphs/ga/mutate",
+            "application/json",
+            b"{\"insert\":[[3,6],[4,6]]}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            metric(edge.addr(), "antruss_edge_events_head_seq") == 3
+        }),
+        "the mutation event arrives over the resumed stream"
+    );
+    let (_, verdict, _) = solve(edge.addr(), "ga");
+    assert_eq!(verdict.as_deref(), Some("miss"), "ga was invalidated");
+    let (gb, verdict, _) = solve(edge.addr(), "gb");
+    assert_eq!(verdict.as_deref(), Some("hit"), "gb still warm");
+    assert_eq!(gb, gb_ref);
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
