@@ -41,6 +41,13 @@
 //! edge's own cache, then the origin is shut down and the run repeats
 //! offline — the `edge` JSON section records all three throughputs,
 //! the edge hit ratio and the offline failure count (which must be 0).
+//! `--trace` samples per-phase latency breakdowns (`--trace-samples`
+//! requests): loadgen originates a trace id per request via the
+//! `x-antruss-trace`/`x-antruss-span` headers and parses the
+//! `x-antruss-hops` response header that every tier on the path appends
+//! to, reporting p50/p99 per tier phase (parse, cache, solve,
+//! serialize, forward, …) and the worst sampled request's full hop
+//! timeline — the `observability` JSON section.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -315,6 +322,118 @@ fn recovery_bench(graphs: usize) -> Option<String> {
     ))
 }
 
+/// Samples per-phase latency breakdowns by originating one trace per
+/// request (`x-antruss-trace`/`x-antruss-span` request headers) and
+/// parsing the `x-antruss-hops` response header every tier on the path
+/// appends to. Reports p50/p99 per `tier/phase` plus the worst sampled
+/// request's full hop timeline. Returns the JSON `observability`
+/// section.
+fn trace_bench(
+    addr: SocketAddr,
+    samples: usize,
+    graph: &str,
+    solver: &str,
+    b: usize,
+    seeds: u64,
+) -> Option<String> {
+    use antruss_obs::trace::{parse_hops, TraceContext, HOPS_HEADER, TRACE_HEADER};
+
+    let mut client = Client::new(addr);
+    let mut by_phase: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut worst: Option<(f64, String, Vec<antruss_obs::Hop>)> = None;
+    let mut traced = 0usize;
+    for i in 0..samples.max(1) {
+        let ctx = TraceContext::originate();
+        let seed = i as u64 % seeds.max(1);
+        let body =
+            format!("{{\"graph\":\"{graph}\",\"solver\":\"{solver}\",\"b\":{b},\"seed\":{seed}}}");
+        let sent = Instant::now();
+        let resp = client
+            .post_with_headers(
+                "/solve",
+                "application/json",
+                body.as_bytes(),
+                &ctx.headers(),
+            )
+            .ok()?;
+        let total_ms = sent.elapsed().as_secs_f64() * 1e3;
+        if resp.status != 200 {
+            eprintln!("trace bench: solve failed: {}", resp.body_string());
+            return None;
+        }
+        let hops = resp.header(HOPS_HEADER).map(parse_hops).unwrap_or_default();
+        if hops.is_empty() {
+            continue;
+        }
+        traced += 1;
+        for hop in &hops {
+            by_phase
+                .entry(format!("{}/total", hop.tier))
+                .or_default()
+                .push(hop.us as f64);
+            for (name, us) in &hop.phases {
+                by_phase
+                    .entry(format!("{}/{name}", hop.tier))
+                    .or_default()
+                    .push(*us as f64);
+            }
+        }
+        if worst.as_ref().is_none_or(|(w, _, _)| total_ms > *w) {
+            let trace_hex = resp.header(TRACE_HEADER).unwrap_or_default().to_string();
+            worst = Some((total_ms, trace_hex, hops));
+        }
+    }
+    if traced == 0 {
+        eprintln!("trace bench: the target never returned an {HOPS_HEADER} header");
+        return None;
+    }
+
+    println!("trace ({traced} sampled request(s)):");
+    let mut phases_json = Vec::new();
+    for (phase, vals) in &mut by_phase {
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = percentile(vals, 50.0);
+        let p99 = percentile(vals, 99.0);
+        println!(
+            "  {phase:>24}: p50 {p50:.0}us, p99 {p99:.0}us ({} obs)",
+            vals.len()
+        );
+        phases_json.push(format!(
+            "{{\"phase\":{phase:?},\"observations\":{},\"p50_us\":{p50:.1},\"p99_us\":{p99:.1}}}",
+            vals.len()
+        ));
+    }
+    let (worst_ms, worst_trace, worst_hops) = worst?;
+    println!("  worst sample {worst_ms:.2}ms (trace {worst_trace}):");
+    let mut timeline = Vec::new();
+    // hops arrive downstream-first; print outermost (client-facing) first
+    for hop in worst_hops.iter().rev() {
+        let detail = hop
+            .phases
+            .iter()
+            .map(|(n, us)| format!("{n} {us}us"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("    {:>8} {} {}us ({detail})", hop.tier, hop.op, hop.us);
+        let pj = hop
+            .phases
+            .iter()
+            .map(|(n, us)| format!("{n:?}:{us}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        timeline.push(format!(
+            "{{\"tier\":{:?},\"op\":{:?},\"us\":{},\"phases\":{{{pj}}}}}",
+            hop.tier, hop.op, hop.us
+        ));
+    }
+    Some(format!(
+        "{{\"samples\":{traced},\"phases\":[{}],\"worst_ms\":{worst_ms:.3},\
+         \"worst_trace\":{worst_trace:?},\"worst_timeline\":[{}]}}",
+        phases_json.join(","),
+        timeline.join(",")
+    ))
+}
+
 /// Drives `requests` per client at `addr`, all solving `graph` with
 /// seeds cycling through `seeds` values. Returns (ok, failed,
 /// edge_hits, req_per_sec).
@@ -498,6 +617,18 @@ fn main() {
     } else {
         None
     };
+    let trace = if args.flag("trace") {
+        trace_bench(
+            addrs[0],
+            args.get("trace-samples", 40),
+            &graph,
+            &solver,
+            b,
+            seeds,
+        )
+    } else {
+        None
+    };
 
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -602,13 +733,17 @@ fn main() {
             .as_ref()
             .map(|e| format!(",\"edge\":{e}"))
             .unwrap_or_default();
+        let trace_field = trace
+            .as_ref()
+            .map(|t| format!(",\"observability\":{t}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

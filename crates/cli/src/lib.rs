@@ -23,6 +23,7 @@ use antruss_datasets::DatasetId;
 use antruss_graph::stats::graph_stats;
 use antruss_graph::{io, CsrGraph, EdgeSet};
 use antruss_kcore::{core_decompose, AnchoredCoreness};
+use antruss_obs as obs;
 use antruss_truss::{decompose, hull_sizes};
 use std::fmt::Write as _;
 
@@ -41,14 +42,17 @@ USAGE:
                      [--exact-cap N] [--base-timeout S] [--max-b N]
                      [--data-dir DIR] [--fsync always|interval:MS|never]
                      [--join ROUTER:PORT] [--advertise HOST:PORT] [--heartbeat-ms MS]
+                     [--log-level error|warn|info|debug] [--log-json]
   antruss cluster    [--backends N | --backend-addrs A:P,B:P,...] [--replicas R]
                      [--addr HOST:PORT] [--vnodes V] [--health-ms MS]
                      [--heartbeat-ms MS] [--miss-threshold N] [--threads N]
                      [--cache N] [--max-body-mb N] [--exact-cap N]
                      [--base-timeout S] [--max-b N] [--data-dir DIR]
                      [--fsync always|interval:MS|never]
+                     [--log-level error|warn|info|debug] [--log-json]
   antruss edge       --upstream HOST:PORT [--addr HOST:PORT] [--threads N] [--cache N]
                      [--max-body-mb N] [--poll-wait-ms MS] [--retry-ms MS]
+                     [--log-level error|warn|info|debug] [--log-json]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -88,7 +92,14 @@ forwarded, and a background subscription to the upstream's /events
 feed invalidates exactly the graphs that changed. When the upstream is
 unreachable the edge keeps serving every cached read (responses gain
 x-antruss-stale); writes are always refused with 421 naming the
-upstream (see the README's Edge tier section).";
+upstream (see the README's Edge tier section).
+
+All serving commands log to stderr; --log-level gates verbosity
+(default info) and --log-json switches to one JSON object per line for
+log shippers. Each tier also serves GET /metrics (Prometheus text,
+including per-phase latency histograms) and GET /debug/traces (the
+slowest recent request traces; see the README's Observability
+section).";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -479,8 +490,9 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
     } else {
         cfg.backends
     };
-    eprintln!(
-        "antruss cluster: router on http://{} fronting {} {} backend(s) (R={}, {} vnodes, \
+    obs::info!(
+        "cluster",
+        "router on http://{} fronting {} {} backend(s) (R={}, {} vnodes, \
          heartbeat {} ms x{}) — ctrl-c to stop",
         cluster.router_addr(),
         fronted,
@@ -492,11 +504,11 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
     );
     if external {
         for (i, addr) in cfg.backend_addrs.iter().enumerate() {
-            eprintln!("  shard {i}: http://{addr} (external)");
+            obs::info!("cluster", "shard {i}: http://{addr} (external)");
         }
     } else {
         for (i, addr) in cluster.backend_addrs().iter().enumerate() {
-            eprintln!("  shard {i}: http://{addr}");
+            obs::info!("cluster", "shard {i}: http://{addr}");
         }
     }
     Ok(cluster.run_until_sigint())
@@ -509,16 +521,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let cfg = serve_config(args)?;
     let server = antruss_service::Server::start(cfg.clone())
         .map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
-    eprintln!(
-        "antruss serve: listening on http://{} ({} worker thread(s), cache {} entries) — ctrl-c to stop",
+    obs::info!(
+        "serve",
+        "listening on http://{} ({} worker thread(s), cache {} entries) — ctrl-c to stop",
         server.addr(),
-        if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() },
+        if cfg.threads == 0 {
+            "auto".to_string()
+        } else {
+            cfg.threads.to_string()
+        },
         cfg.cache_capacity
     );
     if let Some(store) = server.state().store.as_deref() {
         let s = store.stats();
-        eprintln!(
-            "antruss serve: durable catalog in {} (fsync {}; recovered {} graph(s) + {} op(s) in {} ms)",
+        obs::info!(
+            "serve",
+            "durable catalog in {} (fsync {}; recovered {} graph(s) + {} op(s) in {} ms)",
             store.dir().display(),
             store.policy(),
             s.recovered_graphs,
@@ -547,15 +565,16 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 router, advertise, interval, cursor,
             )
             .map_err(|e| format!("serve: cannot join {router}: {e}"))?;
-            eprintln!("antruss serve: joined cluster router {router} as {advertise}");
+            obs::info!("serve", "joined cluster router {router} as {advertise}");
             Some(hb)
         }
     };
     let report = server.run_until_sigint();
     if let Some(hb) = heartbeat {
         let left = hb.leave();
-        eprintln!(
-            "antruss serve: {} the cluster router",
+        obs::info!(
+            "serve",
+            "{} the cluster router",
             if left {
                 "deregistered from"
             } else {
@@ -593,8 +612,9 @@ pub fn cmd_edge(args: &Args) -> Result<String, String> {
     let cfg = edge_config(args)?;
     let mut edge = antruss_edge::Edge::start(cfg.clone())
         .map_err(|e| format!("edge: cannot bind {}: {e}", cfg.addr))?;
-    eprintln!(
-        "antruss edge: listening on http://{} (upstream http://{}, cache {} entries) — ctrl-c to stop",
+    obs::info!(
+        "edge",
+        "listening on http://{} (upstream http://{}, cache {} entries) — ctrl-c to stop",
         edge.addr(),
         cfg.upstream,
         cfg.cache_capacity
@@ -637,11 +657,24 @@ pub fn parse_policy(s: &str) -> Result<ReusePolicy, String> {
     }
 }
 
+/// Applies the shared `--log-level` / `--log-json` flags to the
+/// process-wide logger. A typo'd level is a loud error, not a silent
+/// fallback to the default.
+pub fn init_logging(args: &Args) -> Result<(), String> {
+    let level = match args.get_str("log-level") {
+        Some(raw) => obs::log::parse_level(raw)?,
+        None => obs::log::Level::Info,
+    };
+    obs::log::init(level, args.flag("log-json"));
+    Ok(())
+}
+
 /// Top-level dispatch; returns the report or an error message.
 pub fn run(args: &Args) -> Result<String, String> {
     let pos = args.positional();
     let cmd = pos.first().map(String::as_str).unwrap_or("help");
     let scale = args.get("scale", 1.0f64);
+    init_logging(args)?;
     match cmd {
         "help" | "--help" => Ok(USAGE.to_string()),
         "stats" => {
@@ -737,6 +770,14 @@ mod tests {
     fn help_and_unknown() {
         assert!(run(&args("help")).unwrap().contains("USAGE"));
         assert!(run(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn bad_log_level_is_a_loud_error() {
+        let err = run(&args("help --log-level loud")).unwrap_err();
+        assert!(err.contains("unknown log level"), "got: {err}");
+        // a valid spelling still dispatches the command
+        assert!(run(&args("help --log-level info")).is_ok());
     }
 
     #[test]

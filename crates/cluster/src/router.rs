@@ -49,9 +49,13 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use antruss_core::json::{self, Value};
+use antruss_obs::trace::{self, AssembledTrace};
+use antruss_obs::{Histogram, Hop, Registry, SlowTraces, TraceContext};
 use antruss_service::events::random_epoch;
 use antruss_service::http::{Request, Response};
-use antruss_service::server::{resolve_threads, run_connection, subresource, AcceptPool};
+use antruss_service::server::{
+    resolve_threads, run_connection, sigint_received, subresource, AcceptPool, SLOW_TRACE_CAP,
+};
 use antruss_service::{canonical_key, Client, ClientResponse, Event, EventKind, EventLog};
 
 use crate::membership::{Clock, Membership, MembershipConfig, SystemClock};
@@ -204,6 +208,18 @@ impl RouterView {
     }
 }
 
+/// The phases the router attributes request latency to, in the index
+/// order of [`RouterState::phase_hists`]: time queued behind the worker
+/// pool (first request of a connection only), idle keep-alive wait,
+/// request parse, downstream forwards (single-backend and fan-out
+/// alike), and the response write.
+const ROUTER_PHASES: [&str; 5] = ["queue_wait", "accept_wait", "parse", "forward", "write"];
+const PH_QUEUE_WAIT: usize = 0;
+const PH_ACCEPT_WAIT: usize = 1;
+const PH_PARSE: usize = 2;
+const PH_FORWARD: usize = 3;
+const PH_WRITE: usize = 4;
+
 /// Everything the router's request handlers share.
 pub struct RouterState {
     /// The configuration the router started with.
@@ -244,6 +260,13 @@ pub struct RouterState {
     pub events: EventLog,
     /// Flipped once; the acceptor, workers and health thread observe it.
     pub shutdown: AtomicBool,
+    /// End-to-end latency of every routed request.
+    pub request_hist: Histogram,
+    /// Per-phase latency, indexed by [`ROUTER_PHASES`].
+    phase_hists: [Histogram; ROUTER_PHASES.len()],
+    /// The slowest request timelines this router originated, served at
+    /// `GET /debug/traces` and dumped on SIGINT drain.
+    pub traces: SlowTraces,
     started: Instant,
 }
 
@@ -280,6 +303,9 @@ impl RouterState {
             evictions: AtomicU64::new(0),
             events: EventLog::new(random_epoch()),
             shutdown: AtomicBool::new(false),
+            request_hist: Histogram::new(),
+            phase_hists: std::array::from_fn(|_| Histogram::new()),
+            traces: SlowTraces::new(SLOW_TRACE_CAP),
             started: Instant::now(),
             config,
         };
@@ -336,19 +362,32 @@ impl RouterState {
     pub fn placement(&self, graph: &str) -> Vec<usize> {
         self.view().placement(graph, self.config.replication)
     }
+
+    /// Records `took` against the phase histogram at `idx` (one of the
+    /// `PH_*` indices into [`ROUTER_PHASES`]).
+    fn observe_phase(&self, idx: usize, took: Duration) {
+        self.phase_hists[idx].observe(took);
+    }
 }
 
 /// One forwarded exchange with a backend over a pooled keep-alive
 /// connection. The connection returns to the pool on success and is
 /// dropped on failure; the client's built-in single retry covers the
 /// idle-close race (a pooled connection the backend reaped mid-idle).
+/// Forwards issued on a request worker thread carry the request's trace
+/// context downstream; background forwards (health probes, warm-up)
+/// have no context and go out bare.
 fn forward(
     backend: &BackendState,
     method: &str,
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<ClientResponse> {
-    forward_with_headers(backend, method, path, body, &[])
+    let trace_headers: Vec<(String, String)> = match trace::current() {
+        Some(ctx) => ctx.headers().to_vec(),
+        None => Vec::new(),
+    };
+    forward_with_headers(backend, method, path, body, &trace_headers)
 }
 
 /// Like [`forward`], with extra request headers riding along — the
@@ -365,7 +404,7 @@ fn forward_with_headers(
 ) -> std::io::Result<ClientResponse> {
     let mut client = backend.checkout();
     let result = match (method, body) {
-        ("GET", _) => client.get(path),
+        ("GET", _) => client.get_with_headers(path, headers),
         ("DELETE", _) => client.delete_with_headers(path, headers),
         ("POST", Some(b)) => client.post_with_headers(path, "application/json", b, headers),
         ("POST", None) => client.post_with_headers(path, "application/json", b"", headers),
@@ -422,7 +461,8 @@ fn scatter<R: Send>(n: usize, op: impl Fn(usize) -> R + Send + Sync) -> Vec<R> {
 }
 
 /// Converts a backend reply into a router reply, tagging the ring id of
-/// the member that answered and preserving the cache-disposition header.
+/// the member that answered and preserving the cache-disposition and
+/// trace-hops headers (the router's own hop is appended in [`handle`]).
 fn relay(resp: &ClientResponse, ring_id: u32) -> Response {
     let content_type = resp.header("content-type").unwrap_or("application/json");
     let mut out = if content_type.starts_with("text/plain") {
@@ -433,23 +473,77 @@ fn relay(resp: &ClientResponse, ring_id: u32) -> Response {
     if let Some(v) = resp.header("x-antruss-cache") {
         out = out.with_header("x-antruss-cache", v);
     }
+    if let Some(v) = resp.header(trace::HOPS_HEADER) {
+        out = out.with_header(trace::HOPS_HEADER, v);
+    }
     out.with_header("x-antruss-shard", &ring_id.to_string())
 }
 
-/// Routes one parsed request.
+/// Paths whose traces never enter the slow ring: scrapes and polls
+/// would crowd out the requests worth debugging.
+fn untraced(path: &str) -> bool {
+    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+}
+
+/// Routes one parsed request: counts it, adopts or originates its
+/// trace, and appends the router's hop record after whatever hops the
+/// backend echoed back through [`relay`].
 pub fn handle(state: &RouterState, req: &Request) -> Response {
+    let started = Instant::now();
+    let (ctx, originated) = TraceContext::from_headers(
+        req.header(trace::TRACE_HEADER),
+        req.header(trace::SPAN_HEADER),
+    );
+    trace::begin_request(ctx);
     state.requests.fetch_add(1, Ordering::Relaxed);
-    let resp = route(state, req);
+    let mut resp = route(state, req);
     if resp.status >= 400 {
         state.errors.fetch_add(1, Ordering::Relaxed);
     }
-    resp
+    let elapsed = started.elapsed();
+    state.request_hist.observe(elapsed);
+    let hop = Hop {
+        tier: "router".to_string(),
+        span: ctx.span,
+        parent: ctx.parent,
+        us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        op: format!("{} {}", req.method, req.path),
+        phases: trace::take_phases()
+            .into_iter()
+            .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+    };
+    // the backend's hops ride the relayed response; pull them out so the
+    // router's own record appends to the same header instead of
+    // duplicating it
+    let downstream = resp
+        .extra_headers
+        .iter()
+        .position(|(n, _)| n == trace::HOPS_HEADER)
+        .map(|i| resp.extra_headers.remove(i).1)
+        .unwrap_or_default();
+    if originated && !untraced(&req.path) {
+        state
+            .traces
+            .record(AssembledTrace::assemble(&ctx, hop.clone(), &downstream));
+    }
+    let hops = trace::append_hop(
+        if downstream.is_empty() {
+            None
+        } else {
+            Some(&downstream)
+        },
+        &hop,
+    );
+    resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
+        .with_header(trace::HOPS_HEADER, &hops)
 }
 
 fn route(state: &RouterState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
         ("GET", "/events") => events_feed(state, req),
         ("GET", "/ring") => ring_info(state, req),
         ("GET", "/members") => members_list(state),
@@ -542,86 +636,93 @@ fn render_metrics(state: &RouterState) -> String {
     let view = state.view();
     let members = state.membership.members();
     let dynamic = members.iter().filter(|m| !m.is_static).count();
-    let mut out = String::with_capacity(768);
-    let mut line = |name: &str, v: String| {
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(&v);
-        out.push('\n');
-    };
-    line(
+    let mut reg = Registry::new();
+    reg.gauge(
         "antruss_router_uptime_seconds",
-        format!("{:.3}", state.started.elapsed().as_secs_f64()),
+        state.started.elapsed().as_secs_f64(),
     );
-    line(
+    reg.counter(
         "antruss_router_requests_total",
-        state.requests.load(Ordering::Relaxed).to_string(),
+        state.requests.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_errors_total",
-        state.errors.load(Ordering::Relaxed).to_string(),
+        state.errors.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_failovers_total",
-        state.failovers.load(Ordering::Relaxed).to_string(),
+        state.failovers.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_warmed_graphs_total",
-        state.warmed_graphs.load(Ordering::Relaxed).to_string(),
+        state.warmed_graphs.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_warm_skipped_graphs_total",
-        state
-            .warm_skipped_graphs
-            .load(Ordering::Relaxed)
-            .to_string(),
+        state.warm_skipped_graphs.load(Ordering::Relaxed),
     );
-    line("antruss_router_backends", view.backends.len().to_string());
-    line("antruss_router_dynamic_members", dynamic.to_string());
-    line(
+    reg.gauge("antruss_router_backends", view.backends.len() as f64);
+    reg.gauge("antruss_router_dynamic_members", dynamic as f64);
+    reg.counter(
         "antruss_router_joins_total",
-        state.joins.load(Ordering::Relaxed).to_string(),
+        state.joins.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_catchup_joins_total",
-        state.catchup_joins.load(Ordering::Relaxed).to_string(),
+        state.catchup_joins.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_router_evictions_total",
-        state.evictions.load(Ordering::Relaxed).to_string(),
+        state.evictions.load(Ordering::Relaxed),
     );
-    line(
-        "antruss_router_events_epoch",
-        state.events.epoch().to_string(),
-    );
-    line(
-        "antruss_router_events_head_seq",
-        state.events.head().to_string(),
-    );
-    line(
+    reg.gauge_u64("antruss_router_events_epoch", state.events.epoch());
+    reg.gauge_u64("antruss_router_events_head_seq", state.events.head());
+    reg.gauge(
         "antruss_router_replication",
-        state.config.replication.to_string(),
+        state.config.replication as f64,
     );
     for b in &view.backends {
-        let tag = format!("{{shard=\"{}\",addr=\"{}\"}}", b.ring_id, b.addr);
-        line(
-            &format!("antruss_router_shard_healthy{tag}"),
-            (b.healthy.load(Ordering::Relaxed) as u32).to_string(),
+        let shard = b.ring_id.to_string();
+        let addr = b.addr.to_string();
+        let labels: [(&str, &str); 2] = [("shard", &shard), ("addr", &addr)];
+        reg.gauge_with(
+            "antruss_router_shard_healthy",
+            &labels,
+            b.healthy.load(Ordering::Relaxed) as u8 as f64,
         );
-        line(
-            &format!("antruss_router_shard_requests_total{tag}"),
-            b.forwarded.load(Ordering::Relaxed).to_string(),
+        reg.counter_with(
+            "antruss_router_shard_requests_total",
+            &labels,
+            b.forwarded.load(Ordering::Relaxed),
         );
-        line(
-            &format!("antruss_router_shard_failovers_total{tag}"),
-            b.failovers.load(Ordering::Relaxed).to_string(),
+        reg.counter_with(
+            "antruss_router_shard_failovers_total",
+            &labels,
+            b.failovers.load(Ordering::Relaxed),
         );
-        line(
-            &format!("antruss_router_shard_warmed_entries_total{tag}"),
-            b.warmed.load(Ordering::Relaxed).to_string(),
+        reg.counter_with(
+            "antruss_router_shard_warmed_entries_total",
+            &labels,
+            b.warmed.load(Ordering::Relaxed),
         );
     }
-    out
+    let request = state.request_hist.snapshot();
+    reg.histogram("antruss_router_request_seconds", &[], &request);
+    reg.quantiles("antruss_router_request_quantile_seconds", &[], &request);
+    for (i, label) in ROUTER_PHASES.iter().enumerate() {
+        let snap = state.phase_hists[i].snapshot();
+        reg.histogram(
+            "antruss_router_request_phase_seconds",
+            &[("phase", label)],
+            &snap,
+        );
+        reg.quantiles(
+            "antruss_router_request_phase_quantile_seconds",
+            &[("phase", label)],
+            &snap,
+        );
+    }
+    reg.render()
 }
 
 /// `GET /ring?graph=N` — where a graph lives; `GET /ring` without a
@@ -867,7 +968,12 @@ fn try_in_order(
                 continue;
             }
             tried[i] = true;
-            match forward(b, method, path, body) {
+            let attempt = Instant::now();
+            let result = forward(b, method, path, body);
+            let took = attempt.elapsed();
+            state.observe_phase(PH_FORWARD, took);
+            trace::note_phase("forward", took);
+            match result {
                 Ok(resp) => {
                     b.forwarded.fetch_add(1, Ordering::Relaxed);
                     // an unhealthy backend that answers is NOT marked
@@ -956,6 +1062,7 @@ fn fan_out_register(state: &RouterState, req: &Request) -> Response {
     }
     let path = format!("/graphs?name={}", encode_component(name));
     let resp = fan_out(
+        state,
         &view,
         &order,
         "POST",
@@ -994,6 +1101,7 @@ fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response 
         )
     };
     let resp = fan_out(
+        state,
         &view,
         &order,
         req.method.as_str(),
@@ -1023,7 +1131,15 @@ fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
         Some(g) => format!("/cache/purge?graph={}", encode_component(g)),
         None => "/cache/purge".to_string(),
     };
-    let resp = fan_out(&view, &order, "POST", &path, None, &cursor_headers(state));
+    let resp = fan_out(
+        state,
+        &view,
+        &order,
+        "POST",
+        &path,
+        None,
+        &cursor_headers(state),
+    );
     if resp.status < 400 {
         // an empty graph name is the purge-all marker, as in the
         // catalog's own event stream
@@ -1044,6 +1160,7 @@ fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
 /// Backends that fail at transport level are marked unhealthy and
 /// reported as status 0.
 fn fan_out(
+    state: &RouterState,
     view: &RouterView,
     order: &[usize],
     method: &str,
@@ -1051,6 +1168,15 @@ fn fan_out(
     body: Option<&[u8]>,
     headers: &[(String, String)],
 ) -> Response {
+    // the scatter workers run on scoped threads where the request's
+    // thread-local trace context is invisible — capture it here and ride
+    // it on the explicit headers instead
+    let mut headers = headers.to_vec();
+    if let Some(ctx) = trace::current() {
+        headers.extend(ctx.headers());
+    }
+    let headers = &headers[..];
+    let started = Instant::now();
     let results: Vec<Option<ClientResponse>> = scatter(order.len(), |j| {
         let b = &view.backends[order[j]];
         match forward_with_headers(b, method, path, body, headers) {
@@ -1083,6 +1209,9 @@ fn fan_out(
             None => statuses.push((ring_id, 0)),
         }
     }
+    let took = started.elapsed();
+    state.observe_phase(PH_FORWARD, took);
+    trace::note_phase("fanout", took);
     match best {
         Some((ring_id, resp)) => {
             let detail = statuses
@@ -1109,12 +1238,19 @@ fn fan_out(
 /// everywhere and taken from the first backend that answers.
 fn merged_graphs(state: &RouterState) -> Response {
     let view = state.view();
+    // as in fan_out: the trace context must be captured before the
+    // scatter threads, which cannot see this request's thread-local
+    let trace_headers: Vec<(String, String)> = match trace::current() {
+        Some(ctx) => ctx.headers().to_vec(),
+        None => Vec::new(),
+    };
+    let started = Instant::now();
     let listings: Vec<Option<String>> = scatter(view.backends.len(), |i| {
         let b = &view.backends[i];
         if !b.healthy.load(Ordering::Relaxed) {
             return None;
         }
-        match forward(b, "GET", "/graphs", None) {
+        match forward_with_headers(b, "GET", "/graphs", None, &trace_headers) {
             Ok(resp) => Some(resp.body_string()),
             Err(_) => {
                 b.healthy.store(false, Ordering::Relaxed);
@@ -1122,6 +1258,9 @@ fn merged_graphs(state: &RouterState) -> Response {
             }
         }
     });
+    let took = started.elapsed();
+    state.observe_phase(PH_FORWARD, took);
+    trace::note_phase("fanout", took);
     let mut by_name: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
     let mut datasets: Option<String> = None;
     let mut answered = 0usize;
@@ -1765,12 +1904,23 @@ impl Router {
             threads,
             "antruss-router",
             Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
-            Arc::new(move |stream: TcpStream| {
+            Arc::new(move |stream: TcpStream, accepted: Instant| {
+                // the queue wait is a property of the connection's first
+                // request only; keep-alive follow-ups were never queued
+                let mut queued = Some(accepted.elapsed());
                 run_connection(
                     stream,
                     conn_state.config.max_body_bytes,
                     &conn_state.shutdown,
-                    &mut |req| handle(&conn_state, req),
+                    &mut |req, phases| {
+                        if let Some(q) = queued.take() {
+                            conn_state.observe_phase(PH_QUEUE_WAIT, q);
+                        }
+                        conn_state.observe_phase(PH_ACCEPT_WAIT, phases.wait);
+                        conn_state.observe_phase(PH_PARSE, phases.parse);
+                        handle(&conn_state, req)
+                    },
+                    &mut |_req, took| conn_state.observe_phase(PH_WRITE, took),
                     &mut || {
                         conn_state.requests.fetch_add(1, Ordering::Relaxed);
                         conn_state.errors.fetch_add(1, Ordering::Relaxed);
@@ -1821,6 +1971,20 @@ impl Router {
         self.pool.join();
         if let Some(h) = self.health.take() {
             let _ = h.join();
+        }
+        if sigint_received() {
+            // the router keeps no data dir: the drain snapshot goes to
+            // stderr, mirroring the backend's --data-dir-less path
+            eprintln!(
+                "--- final metrics snapshot ---\n{}",
+                render_metrics(&self.state)
+            );
+            if !self.state.traces.is_empty() {
+                eprintln!(
+                    "--- slowest traces ---\n{}",
+                    self.state.traces.render_text()
+                );
+            }
         }
         format!(
             "routed {} request(s) ({} failover(s), {} error(s)) across {} backend(s) \

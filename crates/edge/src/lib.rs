@@ -26,8 +26,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use antruss_core::json;
+use antruss_obs::trace::{self, AssembledTrace};
+use antruss_obs::{Histogram, Hop, Registry, SlowTraces, TraceContext};
 use antruss_service::http::{Request, Response};
-use antruss_service::server::{resolve_threads, run_connection, AcceptPool};
+use antruss_service::server::{
+    resolve_threads, run_connection, sigint_received, AcceptPool, SLOW_TRACE_CAP,
+};
 use antruss_service::{Client, ClientResponse, EventLog};
 
 mod cache;
@@ -96,6 +100,25 @@ pub struct EdgeMetrics {
     pub stale_serves: AtomicU64,
 }
 
+/// The phases the edge attributes request latency to, in the index
+/// order of [`EdgeState::phase_hists`]: time queued behind the worker
+/// pool (first request of a connection only), idle keep-alive wait,
+/// request parse, local cache lookup, upstream forward, response write.
+const EDGE_PHASES: [&str; 6] = [
+    "queue_wait",
+    "accept_wait",
+    "parse",
+    "cache_lookup",
+    "forward",
+    "write",
+];
+const PH_QUEUE_WAIT: usize = 0;
+const PH_ACCEPT_WAIT: usize = 1;
+const PH_PARSE: usize = 2;
+const PH_CACHE_LOOKUP: usize = 3;
+const PH_FORWARD: usize = 4;
+const PH_WRITE: usize = 5;
+
 /// Shared state behind every edge connection and the subscriber.
 pub struct EdgeState {
     /// The configuration the edge was started with.
@@ -116,6 +139,13 @@ pub struct EdgeState {
     /// offline fallback.
     listing: Mutex<HashMap<&'static str, Arc<String>>>,
     clients: Mutex<Vec<Client>>,
+    /// End-to-end latency of every edge request.
+    pub request_hist: Histogram,
+    phase_hists: [Histogram; EDGE_PHASES.len()],
+    /// The slowest request timelines this edge originated (usually the
+    /// full edge→router→backend chain), served at `GET /debug/traces`
+    /// and dumped on SIGINT drain.
+    pub traces: SlowTraces,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -135,6 +165,9 @@ impl EdgeState {
             last_upstream_head: AtomicU64::new(0),
             listing: Mutex::new(HashMap::new()),
             clients: Mutex::new(Vec::new()),
+            request_hist: Histogram::new(),
+            phase_hists: std::array::from_fn(|_| Histogram::new()),
+            traces: SlowTraces::new(SLOW_TRACE_CAP),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             upstream_display: config.upstream.clone(),
@@ -170,25 +203,42 @@ impl EdgeState {
         self.last_contact.lock().unwrap().elapsed().as_secs()
     }
 
+    /// Records `took` against the phase histogram at `idx` (one of the
+    /// `PH_*` indices into [`EDGE_PHASES`]).
+    fn observe_phase(&self, idx: usize, took: Duration) {
+        self.phase_hists[idx].observe(took);
+    }
+
     /// Forwards one request upstream over a pooled keep-alive
-    /// connection, tracking upstream reachability.
+    /// connection, tracking upstream reachability. The current
+    /// request's trace context (if any) rides along, so a miss
+    /// forwarded through router to backend comes back with the full
+    /// hop chain.
     fn forward(
         &self,
         method: &str,
         path: &str,
         body: Option<(&str, &[u8])>,
     ) -> io::Result<ClientResponse> {
+        let headers: Vec<(String, String)> = match trace::current() {
+            Some(ctx) => ctx.headers().to_vec(),
+            None => Vec::new(),
+        };
         let mut client = self
             .clients
             .lock()
             .unwrap()
             .pop()
             .unwrap_or_else(|| Client::new(self.upstream));
+        let started = Instant::now();
         let result = match body {
-            Some((ct, b)) if method == "POST" => client.post(path, ct, b),
-            _ if method == "DELETE" => client.delete(path),
-            _ => client.get(path),
+            Some((ct, b)) if method == "POST" => client.post_with_headers(path, ct, b, &headers),
+            _ if method == "DELETE" => client.delete_with_headers(path, &headers),
+            _ => client.get_with_headers(path, &headers),
         };
+        let took = started.elapsed();
+        self.observe_phase(PH_FORWARD, took);
+        trace::note_phase("forward", took);
         match result {
             Ok(resp) => {
                 self.mark_contact();
@@ -259,15 +309,66 @@ fn relay(up: ClientResponse) -> Response {
     resp
 }
 
+/// Paths whose traces never enter the slow ring: scrapes and polls
+/// would crowd out the requests worth debugging.
+fn untraced(path: &str) -> bool {
+    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+}
+
 /// Routes one parsed request. Public so in-process tests can drive an
-/// edge without a socket.
+/// edge without a socket. Adopts or originates the request's trace;
+/// the edge is usually the outermost tier, so it is usually the one
+/// assembling the full timeline into its slow-trace ring.
 pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
+    let started = Instant::now();
+    let (ctx, originated) = TraceContext::from_headers(
+        req.header(trace::TRACE_HEADER),
+        req.header(trace::SPAN_HEADER),
+    );
+    trace::begin_request(ctx);
     state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let resp = route(state, req);
+    let mut resp = route(state, req);
     if resp.status >= 400 {
         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
-    resp
+    let elapsed = started.elapsed();
+    state.request_hist.observe(elapsed);
+    let hop = Hop {
+        tier: "edge".to_string(),
+        span: ctx.span,
+        parent: ctx.parent,
+        us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        op: format!("{} {}", req.method, req.path),
+        phases: trace::take_phases()
+            .into_iter()
+            .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+    };
+    // relay() preserved the upstream's x-antruss-* headers verbatim —
+    // pull the downstream hops (and the redundant trace id) back out so
+    // this tier appends its own hop to one combined header
+    let downstream = resp
+        .extra_headers
+        .iter()
+        .position(|(n, _)| n == trace::HOPS_HEADER)
+        .map(|i| resp.extra_headers.remove(i).1)
+        .unwrap_or_default();
+    resp.extra_headers.retain(|(n, _)| n != trace::TRACE_HEADER);
+    if originated && !untraced(&req.path) {
+        state
+            .traces
+            .record(AssembledTrace::assemble(&ctx, hop.clone(), &downstream));
+    }
+    let hops = trace::append_hop(
+        if downstream.is_empty() {
+            None
+        } else {
+            Some(&downstream)
+        },
+        &hop,
+    );
+    resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
+        .with_header(trace::HOPS_HEADER, &hops)
 }
 
 fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
@@ -279,6 +380,7 @@ fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
+        ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
         ("GET", "/events") => events_feed(state, req),
         ("POST", "/solve") => solve(state, req),
         ("GET", "/graphs") => listing(state, "/graphs"),
@@ -316,87 +418,85 @@ fn metrics(state: &EdgeState) -> Response {
     let c = state.cache.stats();
     let head = state.mirror.head();
     let upstream_head = state.last_upstream_head.load(Ordering::Relaxed);
-    let mut out = String::with_capacity(1024);
-    let mut line = |name: &str, value: String| {
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(&value);
-        out.push('\n');
-    };
-    line(
+    let mut reg = Registry::new();
+    reg.gauge(
         "antruss_edge_uptime_seconds",
-        state.started.elapsed().as_secs().to_string(),
+        state.started.elapsed().as_secs() as f64,
     );
-    line(
+    reg.counter(
         "antruss_edge_requests_total",
-        m.requests.load(Ordering::Relaxed).to_string(),
+        m.requests.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_edge_http_errors_total",
-        m.errors.load(Ordering::Relaxed).to_string(),
+        m.errors.load(Ordering::Relaxed),
     );
-    line("antruss_edge_cache_hits_total", c.hits.to_string());
-    line("antruss_edge_cache_misses_total", c.misses.to_string());
-    line(
-        "antruss_edge_cache_evictions_total",
-        c.evictions.to_string(),
-    );
-    line(
-        "antruss_edge_cache_refused_inserts_total",
-        c.refusals.to_string(),
-    );
-    line(
+    reg.counter("antruss_edge_cache_hits_total", c.hits);
+    reg.counter("antruss_edge_cache_misses_total", c.misses);
+    reg.counter("antruss_edge_cache_evictions_total", c.evictions);
+    reg.counter("antruss_edge_cache_refused_inserts_total", c.refusals);
+    reg.counter(
         "antruss_edge_cache_invalidated_entries_total",
-        c.invalidated.to_string(),
+        c.invalidated,
     );
-    line("antruss_edge_cache_entries", c.entries.to_string());
-    line("antruss_edge_cache_capacity", c.capacity.to_string());
-    line(
-        "antruss_edge_cache_resident_bytes",
-        c.resident_bytes.to_string(),
-    );
-    line(
+    reg.gauge("antruss_edge_cache_entries", c.entries as f64);
+    reg.gauge("antruss_edge_cache_capacity", c.capacity as f64);
+    reg.gauge("antruss_edge_cache_resident_bytes", c.resident_bytes as f64);
+    reg.counter(
         "antruss_edge_forwarded_total",
-        m.forwarded.load(Ordering::Relaxed).to_string(),
+        m.forwarded.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_edge_forward_failures_total",
-        m.forward_failures.load(Ordering::Relaxed).to_string(),
+        m.forward_failures.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_edge_writes_rejected_total",
-        m.writes_rejected.load(Ordering::Relaxed).to_string(),
+        m.writes_rejected.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_edge_events_applied_total",
-        m.events_applied.load(Ordering::Relaxed).to_string(),
+        m.events_applied.load(Ordering::Relaxed),
     );
-    line(
+    reg.counter(
         "antruss_edge_event_resets_total",
-        m.event_resets.load(Ordering::Relaxed).to_string(),
+        m.event_resets.load(Ordering::Relaxed),
     );
-    line(
-        "antruss_edge_events_epoch",
-        state.mirror.epoch().to_string(),
-    );
-    line("antruss_edge_events_head_seq", head.to_string());
-    line(
+    reg.gauge_u64("antruss_edge_events_epoch", state.mirror.epoch());
+    reg.gauge_u64("antruss_edge_events_head_seq", head);
+    reg.gauge_u64(
         "antruss_edge_event_lag_seq",
-        upstream_head.saturating_sub(head).to_string(),
+        upstream_head.saturating_sub(head),
     );
-    line(
+    reg.gauge(
         "antruss_edge_upstream_up",
-        u64::from(state.upstream_up()).to_string(),
+        u64::from(state.upstream_up()) as f64,
     );
-    line(
+    reg.counter(
         "antruss_edge_stale_serves_total",
-        m.stale_serves.load(Ordering::Relaxed).to_string(),
+        m.stale_serves.load(Ordering::Relaxed),
     );
-    line(
+    reg.gauge(
         "antruss_edge_staleness_seconds",
-        state.staleness_seconds().to_string(),
+        state.staleness_seconds() as f64,
     );
-    Response::text(200, out)
+    let request = state.request_hist.snapshot();
+    reg.histogram("antruss_edge_request_seconds", &[], &request);
+    reg.quantiles("antruss_edge_request_quantile_seconds", &[], &request);
+    for (i, label) in EDGE_PHASES.iter().enumerate() {
+        let snap = state.phase_hists[i].snapshot();
+        reg.histogram(
+            "antruss_edge_request_phase_seconds",
+            &[("phase", label)],
+            &snap,
+        );
+        reg.quantiles(
+            "antruss_edge_request_phase_quantile_seconds",
+            &[("phase", label)],
+            &snap,
+        );
+    }
+    Response::text(200, reg.render())
 }
 
 /// `GET /events` off the mirror — identical contract to the serving
@@ -450,7 +550,12 @@ fn solve(state: &Arc<EdgeState>, req: &Request) -> Response {
     // anything else is forwarded verbatim, uncached
     let keyed = req.body_utf8().and_then(solve_key);
     if let Some((key, _)) = &keyed {
-        if let Some((body, stamp)) = state.cache.get(key) {
+        let lookup = Instant::now();
+        let cached = state.cache.get(key);
+        let took = lookup.elapsed();
+        state.observe_phase(PH_CACHE_LOOKUP, took);
+        trace::note_phase("cache", took);
+        if let Some((body, stamp)) = cached {
             let mut resp = Response::json(200, body.as_bytes().to_vec())
                 .with_header("x-antruss-cache", "hit")
                 .with_header("x-antruss-edge", "hit")
@@ -529,6 +634,9 @@ pub struct Edge {
     state: Arc<EdgeState>,
     pool: AcceptPool,
     subscriber: Option<JoinHandle<()>>,
+    /// The drain snapshot prints at most once, even though `Drop` calls
+    /// [`Edge::shutdown`] again after an explicit shutdown.
+    drained: bool,
 }
 
 impl Edge {
@@ -544,13 +652,25 @@ impl Edge {
                 threads,
                 "antruss-edge",
                 Arc::new(move || accept_state.is_shutdown()),
-                Arc::new(move |stream| {
+                Arc::new(move |stream, accepted: Instant| {
                     let state = Arc::clone(&serve_state);
+                    // the queue wait is a property of the connection's
+                    // first request only; keep-alive follow-ups were
+                    // never queued
+                    let mut queued = Some(accepted.elapsed());
                     run_connection(
                         stream,
                         state.config.max_body_bytes,
                         &state.shutdown,
-                        &mut |req| handle(&state, req),
+                        &mut |req, phases| {
+                            if let Some(q) = queued.take() {
+                                state.observe_phase(PH_QUEUE_WAIT, q);
+                            }
+                            state.observe_phase(PH_ACCEPT_WAIT, phases.wait);
+                            state.observe_phase(PH_PARSE, phases.parse);
+                            handle(&state, req)
+                        },
+                        &mut |_req, took| state.observe_phase(PH_WRITE, took),
                         &mut || {
                             state.metrics.requests.fetch_add(1, Ordering::Relaxed);
                             state.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -570,6 +690,7 @@ impl Edge {
             state,
             pool,
             subscriber: Some(subscriber),
+            drained: false,
         })
     }
 
@@ -583,12 +704,28 @@ impl Edge {
         &self.state
     }
 
-    /// Stops accepting, joins the workers and the subscriber.
+    /// Stops accepting, joins the workers and the subscriber. On a
+    /// SIGINT-driven shutdown the final metrics snapshot and the
+    /// slow-trace dump go to stderr (the edge keeps no data dir).
     pub fn shutdown(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
         if let Some(s) = self.subscriber.take() {
             let _ = s.join();
+        }
+        if sigint_received() && !self.drained {
+            self.drained = true;
+            let snapshot = metrics(&self.state);
+            eprintln!(
+                "--- final metrics snapshot ---\n{}",
+                String::from_utf8_lossy(&snapshot.body)
+            );
+            if !self.state.traces.is_empty() {
+                eprintln!(
+                    "--- slowest traces ---\n{}",
+                    self.state.traces.render_text()
+                );
+            }
         }
     }
 }

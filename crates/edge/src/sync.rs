@@ -14,6 +14,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use antruss_obs as obs;
 use antruss_service::{Client, Event, EventBatch, EventKind};
 
 use crate::EdgeState;
@@ -80,6 +81,11 @@ pub(crate) fn run(state: Arc<EdgeState>) {
                 state.mark_contact();
                 let Some(batch) = EventBatch::parse(&resp.body_string()) else {
                     // an unparseable feed is a broken peer: reconnect
+                    obs::warn!(
+                        "edge-sync",
+                        "unparseable /events body from {}; reconnecting",
+                        state.upstream
+                    );
                     client = None;
                     sleep_retry(&state);
                     continue;
@@ -92,6 +98,13 @@ pub(crate) fn run(state: Arc<EdgeState>) {
                     // epoch change, fell out of retention): drop all
                     // derived state and restart from its head
                     state.metrics.event_resets.fetch_add(1, Ordering::Relaxed);
+                    obs::warn!(
+                        "edge-sync",
+                        "upstream cannot replay cursor {cursor} (epoch {epoch}); \
+                         resetting to epoch {} head {}",
+                        batch.epoch,
+                        batch.head
+                    );
                     state.cache.set_epoch(batch.epoch, batch.head);
                     state.mirror.adopt(batch.epoch, batch.head);
                     epoch = batch.epoch;
@@ -116,7 +129,14 @@ pub(crate) fn run(state: Arc<EdgeState>) {
                 state.mark_contact();
                 sleep_retry(&state);
             }
-            Err(_) => {
+            Err(e) => {
+                if state.upstream_up() {
+                    obs::warn!(
+                        "edge-sync",
+                        "upstream {} unreachable ({e}); serving cached reads offline",
+                        state.upstream
+                    );
+                }
                 client = None;
                 state.mark_down();
                 sleep_retry(&state);

@@ -1,0 +1,266 @@
+//! Lock-free log2 latency histograms.
+//!
+//! Observations are durations bucketed by the bit length of their
+//! nanosecond value: bucket `i` holds values in `[2^(i-1), 2^i)` (bucket
+//! 0 holds exactly zero). Recording is one relaxed atomic increment per
+//! observation — no lock, no sampling window — so histograms sit on hot
+//! request paths, merge across threads and processes by bucket-wise
+//! addition, and never forget old samples the way a bounded ring does.
+//!
+//! The price of log2 buckets is resolution: a quantile read from the
+//! histogram lands in the same bucket as the exact order statistic, so
+//! it is off by **less than a factor of two** (`tests/obs_props.rs`
+//! pins the bound). For latency attribution — "is the p99 in solve
+//! compute or in socket writes?" — that is exactly enough.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: bit lengths 0..=63 of a nanosecond value
+/// (bucket 63 additionally absorbs everything above `2^63`).
+pub const BUCKETS: usize = 64;
+
+/// The bucket an observation of `ns` nanoseconds falls into.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A mergeable, lock-free latency histogram (see the module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw nanosecond value.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Folds every observation of `other` into `self` (bucket-wise
+    /// addition — the merged histogram is indistinguishable from one
+    /// that observed the concatenated stream).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts, for rendering and
+    /// quantile reads.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed nanoseconds (for means).
+    pub sum_ns: u64,
+}
+
+impl HistSnapshot {
+    /// Total number of observations (derived from the buckets, so it is
+    /// always consistent with them).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of observations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) in nanoseconds, estimated by
+    /// linear interpolation inside the bucket holding the target rank.
+    /// Returns 0 for an empty histogram. The estimate lands in the same
+    /// log2 bucket as the exact order statistic, so it is within a
+    /// factor of two of it.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lower = bucket_lower(i) as f64;
+                let upper = bucket_upper(i) as f64;
+                let into = (rank - cum) as f64 / c as f64;
+                return lower + (upper - lower) * into;
+            }
+            cum += c;
+        }
+        bucket_upper(BUCKETS - 1) as f64
+    }
+
+    /// The `q`-quantile in seconds.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_ns(q) / 1e9
+    }
+
+    /// Cumulative `(upper_bound_ns, count <= upper_bound)` pairs for
+    /// every bucket up to the highest non-empty one — the Prometheus
+    /// `_bucket{le=...}` series (the renderer appends `+Inf` itself).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cum = 0u64;
+        for i in 0..=last {
+            cum += self.buckets[i];
+            out.push((bucket_upper(i), cum));
+        }
+        out
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_line() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_values() {
+        let h = Histogram::new();
+        for ns in 1..=1000u64 {
+            h.observe_ns(ns * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.quantile_ns(0.5);
+        let exact = 500_000.0;
+        assert!(p50 <= 2.0 * exact && 2.0 * p50 >= exact, "p50 {p50}");
+        let p99 = s.quantile_ns(0.99);
+        let exact = 990_000.0;
+        assert!(p99 <= 2.0 * exact && 2.0 * p99 >= exact, "p99 {p99}");
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for ns in [0u64, 5, 17, 1_000, 42_000, 9_999_999] {
+            a.observe_ns(ns);
+            all.observe_ns(ns);
+        }
+        for ns in [3u64, 17, 512, 70_000_000] {
+            b.observe_ns(ns);
+            all.observe_ns(ns);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_ns(0.99), 0.0);
+        assert!(s.cumulative().is_empty());
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let h = Histogram::new();
+        for ns in [1u64, 1, 3, 900, 70_000, 70_000, 5_000_000] {
+            h.observe_ns(ns);
+        }
+        let cum = h.snapshot().cumulative();
+        assert!(!cum.is_empty());
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cum.last().unwrap().1, 7);
+    }
+}

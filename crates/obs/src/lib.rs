@@ -1,0 +1,31 @@
+//! Telemetry for the antruss serving tiers.
+//!
+//! Four small, dependency-free pieces that every tier (server, router,
+//! edge) shares:
+//!
+//! * [`hist`] — fixed-bucket log2 latency [`Histogram`]s: lock-free
+//!   (one atomic per bucket), mergeable (bucket-wise addition), with
+//!   quantile estimates that are provably within a factor of two of the
+//!   exact order statistic.
+//! * [`registry`] — a [`Registry`] of named counters / gauges /
+//!   histograms with label support and one Prometheus-text renderer, so
+//!   all `/metrics` endpoints agree on `# TYPE` lines, label escaping
+//!   and value formatting.
+//! * [`trace`] — cross-tier trace propagation: a [`TraceContext`]
+//!   carried on `x-antruss-trace`/`x-antruss-span` request headers, hop
+//!   timing echoed back on the `x-antruss-hops` response header, and a
+//!   bounded [`SlowTraces`] ring of the worst assembled traces (served
+//!   at `GET /debug/traces`, dumped on SIGINT drain).
+//! * [`log`] — a leveled [`log!`] facility with an optional JSON mode,
+//!   replacing ad-hoc `eprintln!`s on health/heartbeat/recovery paths.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use registry::Registry;
+pub use trace::{Hop, SlowTraces, TraceContext};

@@ -1,0 +1,371 @@
+//! One Prometheus-text renderer for every `/metrics` endpoint.
+//!
+//! Each tier keeps its own long-lived atomics and [`Histogram`]s and, on
+//! every scrape, builds a [`Registry`], registers the current values and
+//! calls [`Registry::render`]. The registry owns the things a hand-rolled
+//! string builder gets subtly wrong per tier: `# TYPE` lines (exactly one
+//! per family), duplicate-series detection, label escaping, and value
+//! formatting (integral values render without a decimal point, so
+//! `name value` lines stay greppable/parseable by the line-prefix
+//! consumers in `loadgen` and the router's warm path).
+
+use crate::hist::HistSnapshot;
+use std::time::Duration;
+
+/// The quantiles every latency histogram exposes alongside its buckets.
+pub const QUANTILES: [(f64, &str); 4] = [
+    (0.5, "0.5"),
+    (0.95, "0.95"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Sample {
+    /// `(labels, value)` — labels already rendered (`{k="v"}` or
+    /// empty), the value already formatted. Formatting at registration
+    /// keeps 64-bit integers (epochs, seqs) exact instead of routing
+    /// them through an `f64` with a 53-bit mantissa.
+    Scalar(String, String),
+    /// `(labels, snapshot)` — expands to `_bucket`/`_sum`/`_count`.
+    /// Boxed: a snapshot is 64 buckets, far larger than a scalar.
+    Hist(String, Box<HistSnapshot>),
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// A per-scrape collection of metric families; see the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Renders a value the way the pre-registry renderers did: integral
+/// values without a decimal point, everything else with six decimals.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &str, kind: Kind) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert_eq!(
+                self.families[i].kind, kind,
+                "metric family {name:?} registered with two kinds"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().unwrap()
+    }
+
+    fn push_scalar(&mut self, name: &str, kind: Kind, labels: &[(&str, &str)], v: String) {
+        let rendered = render_labels(labels);
+        let fam = self.family(name, kind);
+        debug_assert!(
+            !fam.samples
+                .iter()
+                .any(|s| matches!(s, Sample::Scalar(l, _) if *l == rendered)),
+            "duplicate series {name}{rendered}"
+        );
+        fam.samples.push(Sample::Scalar(rendered, v));
+    }
+
+    /// Registers a monotone counter (rendered exactly, never through
+    /// floating point).
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.push_scalar(name, Kind::Counter, &[], v.to_string());
+    }
+
+    /// Registers a labeled counter series (same name, many label sets).
+    pub fn counter_with(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.push_scalar(name, Kind::Counter, labels, v.to_string());
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.push_scalar(name, Kind::Gauge, &[], fmt_value(v));
+    }
+
+    /// Registers a labeled gauge series.
+    pub fn gauge_with(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.push_scalar(name, Kind::Gauge, labels, fmt_value(v));
+    }
+
+    /// Registers a gauge holding an exact 64-bit integer — epochs and
+    /// sequence ids exceed an `f64` mantissa and must not be rounded.
+    pub fn gauge_u64(&mut self, name: &str, v: u64) {
+        self.push_scalar(name, Kind::Gauge, &[], v.to_string());
+    }
+
+    /// Registers a histogram snapshot under `name` (expanded at render
+    /// time into `{name}_bucket{le=...}` / `{name}_sum` / `{name}_count`
+    /// with bounds in seconds).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistSnapshot) {
+        let rendered = render_labels(labels);
+        let fam = self.family(name, Kind::Histogram);
+        fam.samples
+            .push(Sample::Hist(rendered, Box::new(snap.clone())));
+    }
+
+    /// Registers the standard [`QUANTILES`] of `snap` as a gauge family
+    /// `name{q="0.5|0.95|0.99|0.999"}` in seconds, appending `labels` to
+    /// each series.
+    pub fn quantiles(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistSnapshot) {
+        for (q, tag) in QUANTILES {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("q", tag));
+            self.gauge_with(name, &all, snap.quantile_seconds(q));
+        }
+    }
+
+    /// Renders every family as Prometheus text exposition: one `# TYPE`
+    /// line per family, then its samples in registration order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.as_str()));
+            for sample in &fam.samples {
+                match sample {
+                    Sample::Scalar(labels, v) => {
+                        out.push_str(&format!("{}{} {v}\n", fam.name, labels));
+                    }
+                    Sample::Hist(labels, snap) => render_hist(&mut out, &fam.name, labels, snap),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats a bucket bound in seconds without trailing zero noise.
+fn fmt_le(ns: u64) -> String {
+    let secs = Duration::from_nanos(ns).as_secs_f64();
+    let s = format!("{secs:.9}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    if trimmed.is_empty() {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn render_hist(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) {
+    // re-open the label set to append le="..."
+    let with = |extra: &str| -> String {
+        if labels.is_empty() {
+            format!("{{{extra}}}")
+        } else {
+            format!("{},{extra}}}", &labels[..labels.len() - 1])
+        }
+    };
+    let mut total = 0u64;
+    for (upper, cum) in snap.cumulative() {
+        out.push_str(&format!(
+            "{name}_bucket{} {cum}\n",
+            with(&format!("le=\"{}\"", fmt_le(upper)))
+        ));
+        total = cum;
+    }
+    debug_assert_eq!(total, snap.count());
+    out.push_str(&format!(
+        "{name}_bucket{} {}\n",
+        with("le=\"+Inf\""),
+        snap.count()
+    ));
+    out.push_str(&format!(
+        "{name}_sum{labels} {}\n",
+        fmt_value(snap.sum_seconds())
+    ));
+    out.push_str(&format!("{name}_count{labels} {}\n", snap.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn renders_types_and_plain_lines() {
+        let mut r = Registry::new();
+        r.counter("antruss_requests_total", 5);
+        r.gauge("antruss_uptime_seconds", 12.5);
+        r.gauge("antruss_cache_entries", 42.0);
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE antruss_requests_total counter\n"),
+            "{text}"
+        );
+        assert!(text.contains("antruss_requests_total 5\n"), "{text}");
+        assert!(
+            text.contains("antruss_uptime_seconds 12.500000\n"),
+            "{text}"
+        );
+        // integral gauges render without a decimal point (line-prefix
+        // parsers depend on this)
+        assert!(text.contains("antruss_cache_entries 42\n"), "{text}");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let mut r = Registry::new();
+        r.gauge_with("antruss_shard_healthy", &[("shard", "0")], 1.0);
+        r.gauge_with("antruss_shard_healthy", &[("shard", "1")], 0.0);
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE antruss_shard_healthy").count(), 1);
+        assert!(
+            text.contains("antruss_shard_healthy{shard=\"0\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_shard_healthy{shard=\"1\"} 0\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn big_integers_render_exactly() {
+        // a full 64-bit epoch would be rounded by an f64 mantissa
+        let epoch = u64::MAX - 3;
+        let mut r = Registry::new();
+        r.gauge_u64("antruss_events_epoch", epoch);
+        r.counter("antruss_big_total", epoch);
+        let text = r.render();
+        assert!(
+            text.contains(&format!("antruss_events_epoch {epoch}\n")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("antruss_big_total {epoch}\n")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        r.gauge_with("g", &[("addr", "a\"b\\c")], 1.0);
+        assert!(r.render().contains("g{addr=\"a\\\"b\\\\c\"} 1\n"));
+    }
+
+    #[test]
+    fn histograms_expand_to_bucket_sum_count() {
+        let h = Histogram::new();
+        h.observe_ns(1_000); // ~1us
+        h.observe_ns(1_000_000); // ~1ms
+        let mut r = Registry::new();
+        r.histogram(
+            "antruss_phase_seconds",
+            &[("phase", "parse")],
+            &h.snapshot(),
+        );
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE antruss_phase_seconds histogram\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_phase_seconds_bucket{phase=\"parse\",le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_phase_seconds_count{phase=\"parse\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_phase_seconds_sum{phase=\"parse\"}"),
+            "{text}"
+        );
+        // cumulative counts end at the total
+        let inf = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap();
+        assert_eq!(inf, "2");
+    }
+
+    #[test]
+    fn quantile_family_renders_q_labels() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe_ns(2_000_000);
+        }
+        let mut r = Registry::new();
+        r.quantiles(
+            "antruss_phase_quantile_seconds",
+            &[("phase", "solve")],
+            &h.snapshot(),
+        );
+        let text = r.render();
+        for tag in ["0.5", "0.95", "0.99", "0.999"] {
+            assert!(
+                text.contains(&format!(
+                    "antruss_phase_quantile_seconds{{phase=\"solve\",q=\"{tag}\"}}"
+                )),
+                "{text}"
+            );
+        }
+    }
+}

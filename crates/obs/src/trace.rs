@@ -1,0 +1,541 @@
+//! Cross-tier trace propagation.
+//!
+//! A request entering any tier either **adopts** the trace carried on
+//! its `x-antruss-trace` / `x-antruss-span` headers (the incoming span
+//! becomes the parent) or **originates** a fresh one. When a tier
+//! forwards downstream it sends the same trace id and its own span id;
+//! each tier appends one [`Hop`] record — span, parent, wall time,
+//! per-phase timings — to the `x-antruss-hops` response header on the
+//! way back, so the originating tier (or a tracing client like
+//! `loadgen --trace`) can assemble the full edge→router→backend
+//! timeline from a single header.
+//!
+//! The tier that originated a trace keeps the worst assembled timelines
+//! in a bounded [`SlowTraces`] ring, served at `GET /debug/traces` and
+//! dumped on SIGINT drain.
+//!
+//! Handler plumbing rides a thread-local (one request at a time per
+//! worker thread): [`begin_request`] installs the context, phase
+//! measurements deep in the handler call [`note_phase`], and
+//! [`take_phases`] drains them into the hop record. This keeps the
+//! `handle(&state, &request)` signatures of all three tiers unchanged.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Request header carrying the 16-hex trace id.
+pub const TRACE_HEADER: &str = "x-antruss-trace";
+/// Request header carrying the caller's span id (our parent).
+pub const SPAN_HEADER: &str = "x-antruss-span";
+/// Response header accumulating one encoded [`Hop`] record per tier.
+pub const HOPS_HEADER: &str = "x-antruss-hops";
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A fresh non-zero id: SplitMix64 over wall clock, a process-wide
+/// counter and the pid — unique enough for correlating hops without a
+/// random-number dependency.
+fn fresh_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(t ^ c.rotate_left(32) ^ ((std::process::id() as u64) << 17));
+    id.max(1)
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// The identity one request carries through the tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every hop of the request.
+    pub trace: u64,
+    /// The caller's span id (zero when this tier originated the trace).
+    pub parent: u64,
+    /// This tier's span id.
+    pub span: u64,
+}
+
+impl TraceContext {
+    /// Starts a brand-new trace at this tier.
+    pub fn originate() -> TraceContext {
+        TraceContext {
+            trace: fresh_id(),
+            parent: 0,
+            span: fresh_id(),
+        }
+    }
+
+    /// Adopts the trace named by incoming header values, or originates
+    /// one. Returns `(context, originated)` — `originated` is true when
+    /// no (valid) incoming trace id was present, which makes this tier
+    /// responsible for assembling the timeline.
+    pub fn from_headers(trace: Option<&str>, span: Option<&str>) -> (TraceContext, bool) {
+        match trace.and_then(parse_hex) {
+            Some(t) => (
+                TraceContext {
+                    trace: t,
+                    parent: span.and_then(parse_hex).unwrap_or(0),
+                    span: fresh_id(),
+                },
+                false,
+            ),
+            None => (TraceContext::originate(), true),
+        }
+    }
+
+    /// The `(x-antruss-trace, x-antruss-span)` header pair a downstream
+    /// forward of this request must carry — our span becomes its parent.
+    pub fn headers(&self) -> [(String, String); 2] {
+        [
+            (TRACE_HEADER.to_string(), format!("{:016x}", self.trace)),
+            (SPAN_HEADER.to_string(), format!("{:016x}", self.span)),
+        ]
+    }
+
+    /// The trace id as 16 hex digits.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace)
+    }
+}
+
+/// One tier's contribution to a trace: its span, timing and phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Which tier recorded the hop (`server`, `router`, `edge`).
+    pub tier: String,
+    /// This hop's span id.
+    pub span: u64,
+    /// The parent span id (zero at the originating hop).
+    pub parent: u64,
+    /// Wall time the tier spent on the request, in microseconds.
+    pub us: u64,
+    /// The request path (sanitized for the wire).
+    pub op: String,
+    /// Named phase timings in microseconds (`parse`, `cache`, `solve`, …).
+    pub phases: Vec<(String, u64)>,
+}
+
+/// Strips the characters the `k=v;…,`-structured wire format reserves.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if matches!(c, ',' | ';' | '=' | ' ' | '\r' | '\n') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl Hop {
+    /// Encodes the hop as one `k=v;…` record for [`HOPS_HEADER`].
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "tier={};span={:016x};parent={:016x};us={};op={}",
+            sanitize(&self.tier),
+            self.span,
+            self.parent,
+            self.us,
+            sanitize(&self.op)
+        );
+        for (name, us) in &self.phases {
+            out.push_str(&format!(";{}_us={us}", sanitize(name)));
+        }
+        out
+    }
+
+    /// Decodes one record; `None` when the required fields are missing.
+    pub fn decode(s: &str) -> Option<Hop> {
+        let mut hop = Hop {
+            tier: String::new(),
+            span: 0,
+            parent: 0,
+            us: 0,
+            op: String::new(),
+            phases: Vec::new(),
+        };
+        for field in s.split(';') {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "tier" => hop.tier = v.to_string(),
+                "span" => hop.span = parse_hex(v)?,
+                "parent" => hop.parent = parse_hex(v)?,
+                "us" => hop.us = v.parse().ok()?,
+                "op" => hop.op = v.to_string(),
+                other => {
+                    if let (Some(name), Ok(us)) = (other.strip_suffix("_us"), v.parse()) {
+                        hop.phases.push((name.to_string(), us));
+                    }
+                    // unknown fields from a newer peer are skipped
+                }
+            }
+        }
+        if hop.tier.is_empty() || hop.span == 0 {
+            return None;
+        }
+        Some(hop)
+    }
+}
+
+/// Parses an `x-antruss-hops` header value (downstream-first order).
+/// Malformed records are dropped, not fatal.
+pub fn parse_hops(header: &str) -> Vec<Hop> {
+    header.split(',').filter_map(Hop::decode).collect()
+}
+
+/// Appends `hop` to an existing hops header value (or starts one).
+pub fn append_hop(prev: Option<&str>, hop: &Hop) -> String {
+    match prev {
+        Some(p) if !p.is_empty() => format!("{p},{}", hop.encode()),
+        _ => hop.encode(),
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+    static PHASES: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `ctx` as the worker thread's current trace context and
+/// clears any stale phase notes. Handlers call this on entry.
+pub fn begin_request(ctx: TraceContext) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
+    PHASES.with(|p| p.borrow_mut().clear());
+}
+
+/// The current request's trace context, if one is installed (forwarding
+/// code uses this to stamp downstream requests).
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| *c.borrow())
+}
+
+/// Records a named phase duration against the current request. Safe to
+/// call with no active trace (the note is still collected for the hop
+/// record of whoever drains it).
+pub fn note_phase(name: &'static str, d: Duration) {
+    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    PHASES.with(|p| {
+        let mut phases = p.borrow_mut();
+        if let Some(slot) = phases.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += us;
+        } else {
+            phases.push((name, us));
+        }
+    });
+}
+
+/// Drains the phases noted since [`begin_request`] and uninstalls the
+/// trace context.
+pub fn take_phases() -> Vec<(&'static str, u64)> {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    PHASES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// One fully assembled request timeline, worst-first in [`SlowTraces`].
+#[derive(Debug, Clone)]
+pub struct AssembledTrace {
+    /// The 16-hex trace id shared by every hop.
+    pub trace: String,
+    /// The request path at the originating tier.
+    pub op: String,
+    /// Total wall time at the originating tier, microseconds.
+    pub total_us: u64,
+    /// Wall-clock completion time, unix milliseconds.
+    pub unix_ms: u64,
+    /// Hops, downstream-first (backend, router, …, originator last).
+    pub hops: Vec<Hop>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl AssembledTrace {
+    /// Builds a timeline from this tier's own hop (already holding the
+    /// total) plus the hops echoed back by downstream tiers.
+    pub fn assemble(ctx: &TraceContext, own: Hop, downstream: &str) -> AssembledTrace {
+        let mut hops = parse_hops(downstream);
+        let total_us = own.us;
+        let op = own.op.clone();
+        hops.push(own);
+        AssembledTrace {
+            trace: format!("{:016x}", ctx.trace),
+            op,
+            total_us,
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            hops,
+        }
+    }
+
+    /// The timeline as a JSON object.
+    pub fn to_json(&self) -> String {
+        let hops: Vec<String> = self
+            .hops
+            .iter()
+            .map(|h| {
+                let phases: Vec<String> = h
+                    .phases
+                    .iter()
+                    .map(|(n, us)| format!("\"{}\":{us}", json_escape(n)))
+                    .collect();
+                format!(
+                    "{{\"tier\":\"{}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\"us\":{},\"op\":\"{}\",\"phases\":{{{}}}}}",
+                    json_escape(&h.tier),
+                    h.span,
+                    h.parent,
+                    h.us,
+                    json_escape(&h.op),
+                    phases.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"trace\":\"{}\",\"op\":\"{}\",\"total_us\":{},\"unix_ms\":{},\"hops\":[{}]}}",
+            json_escape(&self.trace),
+            json_escape(&self.op),
+            self.total_us,
+            self.unix_ms,
+            hops.join(",")
+        )
+    }
+}
+
+/// A bounded ring of the worst (slowest) assembled traces.
+#[derive(Debug)]
+pub struct SlowTraces {
+    cap: usize,
+    worst: Mutex<Vec<AssembledTrace>>,
+}
+
+impl SlowTraces {
+    /// A ring keeping the `cap` slowest traces.
+    pub fn new(cap: usize) -> SlowTraces {
+        SlowTraces {
+            cap: cap.max(1),
+            worst: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers one assembled trace; kept only while it ranks among the
+    /// `cap` worst seen so far.
+    pub fn record(&self, t: AssembledTrace) {
+        let mut worst = self.worst.lock().unwrap();
+        let at = worst
+            .iter()
+            .position(|w| w.total_us < t.total_us)
+            .unwrap_or(worst.len());
+        if at < self.cap {
+            worst.insert(at, t);
+            worst.truncate(self.cap);
+        }
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.worst.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring as the `GET /debug/traces` JSON body.
+    pub fn to_json(&self) -> String {
+        let worst = self.worst.lock().unwrap();
+        let traces: Vec<String> = worst.iter().map(AssembledTrace::to_json).collect();
+        format!(
+            "{{\"count\":{},\"traces\":[{}]}}",
+            worst.len(),
+            traces.join(",")
+        )
+    }
+
+    /// A human-readable dump for the SIGINT drain.
+    pub fn render_text(&self) -> String {
+        let worst = self.worst.lock().unwrap();
+        let mut out = String::new();
+        for t in worst.iter() {
+            out.push_str(&format!(
+                "trace {} {} total {:.3}ms\n",
+                t.trace,
+                t.op,
+                t.total_us as f64 / 1000.0
+            ));
+            for h in t.hops.iter().rev() {
+                let phases: Vec<String> = h
+                    .phases
+                    .iter()
+                    .map(|(n, us)| format!("{n} {:.3}ms", *us as f64 / 1000.0))
+                    .collect();
+                out.push_str(&format!(
+                    "  [{}] span {:016x} parent {:016x} {:.3}ms {}\n",
+                    h.tier,
+                    h.span,
+                    h.parent,
+                    h.us as f64 / 1000.0,
+                    phases.join(" ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn originate_and_adopt() {
+        let (origin, originated) = TraceContext::from_headers(None, None);
+        assert!(originated);
+        assert_eq!(origin.parent, 0);
+        let headers = origin.headers();
+        assert_eq!(headers[0].0, TRACE_HEADER);
+        let (adopted, originated) =
+            TraceContext::from_headers(Some(&headers[0].1), Some(&headers[1].1));
+        assert!(!originated);
+        assert_eq!(adopted.trace, origin.trace);
+        assert_eq!(adopted.parent, origin.span);
+        assert_ne!(adopted.span, origin.span);
+        // garbage trace ids originate instead of crashing
+        let (_, originated) = TraceContext::from_headers(Some("zzz"), None);
+        assert!(originated);
+    }
+
+    #[test]
+    fn hop_round_trip() {
+        let hop = Hop {
+            tier: "router".to_string(),
+            span: 0xabc,
+            parent: 0xdef,
+            us: 1234,
+            op: "/solve".to_string(),
+            phases: vec![("forward".to_string(), 1000), ("parse".to_string(), 12)],
+        };
+        let decoded = Hop::decode(&hop.encode()).unwrap();
+        assert_eq!(decoded, hop);
+    }
+
+    #[test]
+    fn hops_header_appends_and_parses() {
+        let a = Hop {
+            tier: "server".to_string(),
+            span: 1,
+            parent: 2,
+            us: 10,
+            op: "/solve".to_string(),
+            phases: vec![],
+        };
+        let b = Hop {
+            tier: "router".to_string(),
+            span: 2,
+            parent: 3,
+            us: 20,
+            op: "/solve".to_string(),
+            phases: vec![],
+        };
+        let header = append_hop(Some(&append_hop(None, &a)), &b);
+        let hops = parse_hops(&header);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].tier, "server");
+        assert_eq!(hops[1].tier, "router");
+        // a corrupt record is dropped without taking the rest with it
+        let hops = parse_hops(&format!("garbage,{header}"));
+        assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn thread_local_phase_notes() {
+        begin_request(TraceContext::originate());
+        assert!(current().is_some());
+        note_phase("cache", Duration::from_micros(5));
+        note_phase("solve", Duration::from_micros(100));
+        note_phase("cache", Duration::from_micros(3));
+        let phases = take_phases();
+        assert!(current().is_none());
+        assert_eq!(phases, vec![("cache", 8), ("solve", 100)]);
+        // drained: a second take is empty
+        assert!(take_phases().is_empty());
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_worst() {
+        let ring = SlowTraces::new(2);
+        for us in [50u64, 10, 90, 70] {
+            ring.record(AssembledTrace {
+                trace: format!("{us:016x}"),
+                op: "/solve".to_string(),
+                total_us: us,
+                unix_ms: 0,
+                hops: vec![],
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        let json = ring.to_json();
+        assert!(json.contains("\"total_us\":90"), "{json}");
+        assert!(json.contains("\"total_us\":70"), "{json}");
+        assert!(!json.contains("\"total_us\":50"), "{json}");
+    }
+
+    #[test]
+    fn assembled_trace_serializes() {
+        let ctx = TraceContext::originate();
+        let downstream = Hop {
+            tier: "server".to_string(),
+            span: 7,
+            parent: ctx.span,
+            us: 900,
+            op: "/solve".to_string(),
+            phases: vec![("solve".to_string(), 800)],
+        };
+        let own = Hop {
+            tier: "edge".to_string(),
+            span: ctx.span,
+            parent: 0,
+            us: 1000,
+            op: "/solve".to_string(),
+            phases: vec![("forward".to_string(), 950)],
+        };
+        let t = AssembledTrace::assemble(&ctx, own, &downstream.encode());
+        assert_eq!(t.total_us, 1000);
+        assert_eq!(t.hops.len(), 2);
+        let json = t.to_json();
+        assert!(
+            json.contains(&format!("\"trace\":\"{}\"", ctx.trace_hex())),
+            "{json}"
+        );
+        assert!(json.contains("\"solve\":800"), "{json}");
+        assert!(SlowTraces::new(4).is_empty());
+    }
+}

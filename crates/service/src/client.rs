@@ -59,6 +59,17 @@ impl Client {
         self.request("GET", path, None, &[])
     }
 
+    /// Issues a `GET` with extra request headers (see
+    /// [`Client::post_with_headers`]). Forwarding tiers use this to
+    /// propagate trace context on read paths.
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(String, String)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None, headers)
+    }
+
     /// Issues a `POST` with a body.
     pub fn post(
         &mut self,

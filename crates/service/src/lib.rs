@@ -72,4 +72,6 @@ pub use catalog::{canonical_key, Catalog, CatalogError, MutationOutcome};
 pub use client::{Client, ClientResponse};
 pub use events::{Event, EventBatch, EventKind, EventLog};
 pub use heartbeat::{CursorSource, HeartbeatClient};
-pub use server::{handle, parse_dump_entries, AcceptPool, Server, ServerConfig, ServiceState};
+pub use server::{
+    handle, parse_dump_entries, AcceptPool, ConnPhases, Server, ServerConfig, ServiceState,
+};

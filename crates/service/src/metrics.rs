@@ -1,23 +1,101 @@
-//! Service counters and the `/metrics` text rendering.
+//! Service counters, phase-attributed latency histograms, and the
+//! `/metrics` rendering through the shared [`antruss_obs::Registry`].
 //!
-//! Counters are lock-free atomics; solve latencies go into a bounded
-//! ring (the most recent [`LATENCY_WINDOW`] observations) from which
-//! p50/p99 are computed on demand — a windowed estimate, which is what a
-//! resident service wants: percentiles that track current behaviour
-//! instead of averaging over its whole uptime.
+//! Counters are lock-free atomics. Latencies go into
+//! [`antruss_obs::Histogram`]s — log2-bucket, one atomic per bucket, no
+//! lock, no sampling window — recorded twice over: once per request
+//! **phase** (accept wait, worker-queue wait, parse, cache lookup, solve
+//! compute, serialize, socket write), so a p99 can be *attributed*, and
+//! once per **endpoint class** (solve, mutation, warm, events long-poll,
+//! graph reads, everything else), so no endpoint is invisible. The
+//! rendering preserves every pre-registry series name (`docs/metrics.md`
+//! is the reference table).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use antruss_obs::{Histogram, Registry};
 use antruss_store::StoreStats;
 
 use crate::cache::CacheStats;
 
-/// How many recent solve latencies the percentile window holds.
-pub const LATENCY_WINDOW: usize = 1024;
+/// The per-request phases every tier attributes latency to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Connection accepted → first request byte seen (client think time
+    /// on keep-alive connections counts here, not against the server).
+    AcceptWait = 0,
+    /// Accepted connection sat in the worker-pool queue.
+    QueueWait = 1,
+    /// Reading + parsing the request head and body.
+    Parse = 2,
+    /// Outcome-cache lookup.
+    CacheLookup = 3,
+    /// Solver compute.
+    Solve = 4,
+    /// Serializing the outcome to JSON.
+    Serialize = 5,
+    /// Writing the response to the socket.
+    Write = 6,
+}
 
-/// All service-level counters (share via `Arc`).
+/// Every phase with its exposition label, in recording order.
+pub const PHASES: [(Phase, &str); 7] = [
+    (Phase::AcceptWait, "accept_wait"),
+    (Phase::QueueWait, "queue_wait"),
+    (Phase::Parse, "parse"),
+    (Phase::CacheLookup, "cache_lookup"),
+    (Phase::Solve, "solve"),
+    (Phase::Serialize, "serialize"),
+    (Phase::Write, "write"),
+];
+
+/// The endpoint classes whose latency is tracked separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointClass {
+    /// `POST /solve`.
+    Solve = 0,
+    /// Catalog writes: register, mutate, delete.
+    Mutate = 1,
+    /// Replication warm-up: cache dump/load/purge.
+    Warm = 2,
+    /// `GET /events` (long-poll durations show up here by design).
+    Events = 3,
+    /// Catalog reads: `/graphs`, `/graphs/{name}/edges`, `/solvers`.
+    Graphs = 4,
+    /// Everything else (`/healthz`, `/metrics`, debug, 404s).
+    Other = 5,
+}
+
+/// Every endpoint class with its exposition label.
+pub const ENDPOINTS: [(EndpointClass, &str); 6] = [
+    (EndpointClass::Solve, "solve"),
+    (EndpointClass::Mutate, "mutate"),
+    (EndpointClass::Warm, "warm"),
+    (EndpointClass::Events, "events"),
+    (EndpointClass::Graphs, "graphs"),
+    (EndpointClass::Other, "other"),
+];
+
+impl EndpointClass {
+    /// Classifies one request by method and path.
+    pub fn of(method: &str, path: &str) -> EndpointClass {
+        match (method, path) {
+            (_, "/solve") => EndpointClass::Solve,
+            ("POST" | "DELETE", p) if p == "/graphs" || p.starts_with("/graphs/") => {
+                EndpointClass::Mutate
+            }
+            (_, p) if p.starts_with("/cache/") => EndpointClass::Warm,
+            (_, "/events") => EndpointClass::Events,
+            (_, p) if p == "/graphs" || p == "/solvers" || p.starts_with("/graphs/") => {
+                EndpointClass::Graphs
+            }
+            _ => EndpointClass::Other,
+        }
+    }
+}
+
+/// All service-level counters and histograms (share via `Arc`).
 pub struct Metrics {
     started: Instant,
     /// HTTP requests accepted (any endpoint, any status).
@@ -35,12 +113,8 @@ pub struct Metrics {
     pub purged_entries: AtomicU64,
     /// Cache entries accepted via `/cache/load` (replication warm-up).
     pub warmed_entries: AtomicU64,
-    latencies: Mutex<Ring>,
-}
-
-struct Ring {
-    buf: Vec<f64>,
-    next: usize,
+    phases: [Histogram; PHASES.len()],
+    endpoints: [Histogram; ENDPOINTS.len()],
 }
 
 impl Metrics {
@@ -55,46 +129,47 @@ impl Metrics {
             mutations: AtomicU64::new(0),
             purged_entries: AtomicU64::new(0),
             warmed_entries: AtomicU64::new(0),
-            latencies: Mutex::new(Ring {
-                buf: Vec::with_capacity(LATENCY_WINDOW),
-                next: 0,
-            }),
+            phases: std::array::from_fn(|_| Histogram::new()),
+            endpoints: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
-    /// Records one solve's wall-clock time.
+    /// The histogram recording `phase`.
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.phases[phase as usize]
+    }
+
+    /// Records one duration against `phase`.
+    pub fn observe_phase(&self, phase: Phase, d: Duration) {
+        self.phases[phase as usize].observe(d);
+    }
+
+    /// Records one request's total handler latency against its endpoint
+    /// class.
+    pub fn observe_endpoint(&self, class: EndpointClass, d: Duration) {
+        self.endpoints[class as usize].observe(d);
+    }
+
+    /// Records one solve's compute wall-clock time.
     pub fn observe_solve(&self, elapsed: Duration) {
         self.solves.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.latencies.lock().unwrap();
-        let secs = elapsed.as_secs_f64();
-        if ring.buf.len() < LATENCY_WINDOW {
-            ring.buf.push(secs);
-        } else {
-            let at = ring.next;
-            ring.buf[at] = secs;
-        }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+        self.observe_phase(Phase::Solve, elapsed);
     }
 
-    /// The `p`-th percentile (0–100) of the latency window, in seconds
-    /// (0.0 while the window is empty).
+    /// The `p`-th percentile (0–100) of solve compute latency over the
+    /// process lifetime, in seconds (0.0 before the first solve).
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        let ring = self.latencies.lock().unwrap();
-        if ring.buf.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = ring.buf.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.phase(Phase::Solve)
+            .snapshot()
+            .quantile_seconds(p / 100.0)
     }
 
-    /// Renders the plain-text `/metrics` document. `shard` is the
-    /// backend's shard id when it runs as part of a cluster (`None` for
-    /// a standalone `serve`); `store` is the durable-store section,
-    /// present only when the backend runs with `--data-dir`; `events`
-    /// is the catalog event stream's `(epoch, head seq)` — what a
-    /// subscriber polls `/events` against.
+    /// Renders the `/metrics` document through the shared registry.
+    /// `shard` is the backend's shard id when it runs as part of a
+    /// cluster (`None` for a standalone `serve`); `store` is the
+    /// durable-store section, present only when the backend runs with
+    /// `--data-dir`; `events` is the catalog event stream's
+    /// `(epoch, head seq)` — what a subscriber polls `/events` against.
     pub fn render(
         &self,
         cache: &CacheStats,
@@ -103,95 +178,105 @@ impl Metrics {
         store: Option<&StoreStats>,
         events: Option<(u64, u64)>,
     ) -> String {
-        let mut out = String::with_capacity(768);
-        let mut line = |name: &str, v: String| {
-            out.push_str(name);
-            out.push(' ');
-            out.push_str(&v);
-            out.push('\n');
-        };
-        line(
+        let mut r = Registry::new();
+        r.gauge(
             "antruss_uptime_seconds",
-            format!("{:.3}", self.started.elapsed().as_secs_f64()),
+            self.started.elapsed().as_secs_f64(),
         );
-        line(
+        r.counter(
             "antruss_requests_total",
-            self.requests.load(Ordering::Relaxed).to_string(),
+            self.requests.load(Ordering::Relaxed),
         );
-        line(
+        r.counter(
             "antruss_solve_requests_total",
-            self.solves.load(Ordering::Relaxed).to_string(),
+            self.solves.load(Ordering::Relaxed),
         );
-        line(
+        r.counter(
             "antruss_http_errors_total",
-            self.errors.load(Ordering::Relaxed).to_string(),
+            self.errors.load(Ordering::Relaxed),
         );
-        line(
+        r.gauge(
             "antruss_in_flight_requests",
-            self.in_flight.load(Ordering::Relaxed).to_string(),
+            self.in_flight.load(Ordering::Relaxed) as f64,
         );
-        line("antruss_cache_hits_total", cache.hits.to_string());
-        line("antruss_cache_misses_total", cache.misses.to_string());
-        line("antruss_cache_evictions_total", cache.evictions.to_string());
-        line("antruss_cache_entries", cache.entries.to_string());
-        line("antruss_cache_capacity", cache.capacity.to_string());
-        line(
-            "antruss_cache_resident_bytes",
-            cache.resident_bytes.to_string(),
-        );
-        line(
+        r.counter("antruss_cache_hits_total", cache.hits);
+        r.counter("antruss_cache_misses_total", cache.misses);
+        r.counter("antruss_cache_evictions_total", cache.evictions);
+        r.gauge("antruss_cache_entries", cache.entries as f64);
+        r.gauge("antruss_cache_capacity", cache.capacity as f64);
+        r.gauge("antruss_cache_resident_bytes", cache.resident_bytes as f64);
+        r.counter(
             "antruss_cache_stale_inserts_refused_total",
-            cache.stale_refused.to_string(),
+            cache.stale_refused,
         );
-        line(
+        r.counter(
             "antruss_cache_purged_entries_total",
-            self.purged_entries.load(Ordering::Relaxed).to_string(),
+            self.purged_entries.load(Ordering::Relaxed),
         );
-        line(
+        r.counter(
             "antruss_cache_warmed_entries_total",
-            self.warmed_entries.load(Ordering::Relaxed).to_string(),
+            self.warmed_entries.load(Ordering::Relaxed),
         );
-        line(
+        r.counter(
             "antruss_mutations_total",
-            self.mutations.load(Ordering::Relaxed).to_string(),
+            self.mutations.load(Ordering::Relaxed),
         );
-        line("antruss_catalog_graphs", catalog_graphs.to_string());
+        r.gauge("antruss_catalog_graphs", catalog_graphs as f64);
         if let Some((epoch, head)) = events {
-            line("antruss_events_epoch", epoch.to_string());
-            line("antruss_events_head_seq", head.to_string());
+            r.gauge_u64("antruss_events_epoch", epoch);
+            r.gauge_u64("antruss_events_head_seq", head);
         }
         if let Some(shard) = shard {
-            line("antruss_shard_id", shard.to_string());
+            r.gauge("antruss_shard_id", shard as f64);
         }
         if let Some(s) = store {
-            line("antruss_store_wal_bytes", s.wal_bytes.to_string());
-            line("antruss_store_wal_records", s.wal_records.to_string());
-            line("antruss_store_snapshots", s.snapshots.to_string());
-            line("antruss_store_compactions_total", s.compactions.to_string());
-            line(
+            r.gauge("antruss_store_wal_bytes", s.wal_bytes as f64);
+            r.gauge("antruss_store_wal_records", s.wal_records as f64);
+            r.gauge("antruss_store_snapshots", s.snapshots as f64);
+            r.counter("antruss_store_compactions_total", s.compactions);
+            r.gauge(
                 "antruss_store_last_compaction_ms",
-                s.last_compaction_ms.to_string(),
+                s.last_compaction_ms as f64,
             );
-            line("antruss_store_recovery_ms", s.recovery_ms.to_string());
-            line(
-                "antruss_store_recovered_graphs",
-                s.recovered_graphs.to_string(),
-            );
-            line("antruss_store_recovered_ops", s.recovered_ops.to_string());
-            line(
-                "antruss_store_dropped_wal_bytes",
-                s.dropped_bytes.to_string(),
+            r.gauge("antruss_store_recovery_ms", s.recovery_ms as f64);
+            r.gauge("antruss_store_recovered_graphs", s.recovered_graphs as f64);
+            r.gauge("antruss_store_recovered_ops", s.recovered_ops as f64);
+            r.gauge("antruss_store_dropped_wal_bytes", s.dropped_bytes as f64);
+        }
+        for (phase, label) in PHASES {
+            let snap = self.phases[phase as usize].snapshot();
+            r.histogram("antruss_request_phase_seconds", &[("phase", label)], &snap);
+            r.quantiles(
+                "antruss_request_phase_quantile_seconds",
+                &[("phase", label)],
+                &snap,
             );
         }
-        line(
+        for (class, label) in ENDPOINTS {
+            let snap = self.endpoints[class as usize].snapshot();
+            r.histogram(
+                "antruss_endpoint_latency_seconds",
+                &[("endpoint", label)],
+                &snap,
+            );
+            r.quantiles(
+                "antruss_endpoint_latency_quantile_seconds",
+                &[("endpoint", label)],
+                &snap,
+            );
+        }
+        // the historical summary gauges, now derived from the solve
+        // phase histogram (cumulative since start, no longer windowed)
+        let solve = self.phase(Phase::Solve).snapshot();
+        r.gauge(
             "antruss_solve_latency_p50_seconds",
-            format!("{:.6}", self.latency_percentile(50.0)),
+            solve.quantile_seconds(0.5),
         );
-        line(
+        r.gauge(
             "antruss_solve_latency_p99_seconds",
-            format!("{:.6}", self.latency_percentile(99.0)),
+            solve.quantile_seconds(0.99),
         );
-        out
+        r.render()
     }
 }
 
@@ -236,28 +321,61 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_over_a_known_window() {
+    fn percentiles_over_a_known_stream() {
         let m = Metrics::new();
         for ms in 1..=100u64 {
             m.observe_solve(Duration::from_millis(ms));
         }
+        // log2 buckets: the estimate is within a factor of two of the
+        // exact order statistic
         let p50 = m.latency_percentile(50.0);
+        assert!((0.025..=0.100).contains(&p50), "{p50}");
         let p99 = m.latency_percentile(99.0);
-        assert!((0.045..=0.055).contains(&p50), "{p50}");
-        assert!((0.095..=0.100).contains(&p99), "{p99}");
+        assert!((0.0495..=0.198).contains(&p99), "{p99}");
         assert_eq!(Metrics::new().latency_percentile(50.0), 0.0);
     }
 
     #[test]
-    fn window_wraps_and_forgets_old_samples() {
+    fn histograms_are_cumulative_not_windowed() {
+        // the old Mutex<Ring> forgot everything past 1024 samples; the
+        // histogram keeps the whole lifetime, so an early stall stays
+        // visible in the tail
         let m = Metrics::new();
-        for _ in 0..LATENCY_WINDOW {
-            m.observe_solve(Duration::from_secs(10));
-        }
-        for _ in 0..LATENCY_WINDOW {
+        m.observe_solve(Duration::from_secs(10));
+        for _ in 0..2000 {
             m.observe_solve(Duration::from_millis(1));
         }
-        assert!(m.latency_percentile(99.0) < 0.01);
+        assert_eq!(m.solves.load(Ordering::Relaxed), 2001);
+        assert_eq!(m.phase(Phase::Solve).snapshot().count(), 2001);
+        assert!(m.latency_percentile(99.99) > 5.0);
+    }
+
+    #[test]
+    fn endpoint_classification() {
+        assert_eq!(EndpointClass::of("POST", "/solve"), EndpointClass::Solve);
+        assert_eq!(EndpointClass::of("POST", "/graphs"), EndpointClass::Mutate);
+        assert_eq!(
+            EndpointClass::of("POST", "/graphs/tri/mutate"),
+            EndpointClass::Mutate
+        );
+        assert_eq!(
+            EndpointClass::of("DELETE", "/graphs/tri"),
+            EndpointClass::Mutate
+        );
+        assert_eq!(EndpointClass::of("GET", "/cache/dump"), EndpointClass::Warm);
+        assert_eq!(
+            EndpointClass::of("POST", "/cache/load"),
+            EndpointClass::Warm
+        );
+        assert_eq!(EndpointClass::of("GET", "/events"), EndpointClass::Events);
+        assert_eq!(EndpointClass::of("GET", "/graphs"), EndpointClass::Graphs);
+        assert_eq!(
+            EndpointClass::of("GET", "/graphs/tri/edges"),
+            EndpointClass::Graphs
+        );
+        assert_eq!(EndpointClass::of("GET", "/solvers"), EndpointClass::Graphs);
+        assert_eq!(EndpointClass::of("GET", "/healthz"), EndpointClass::Other);
+        assert_eq!(EndpointClass::of("GET", "/metrics"), EndpointClass::Other);
     }
 
     #[test]
@@ -267,6 +385,7 @@ mod tests {
         m.mutations.fetch_add(2, Ordering::Relaxed);
         m.purged_entries.fetch_add(9, Ordering::Relaxed);
         m.observe_solve(Duration::from_millis(2));
+        m.observe_endpoint(EndpointClass::Events, Duration::from_millis(250));
         let text = m.render(&stats(), 4, None, None, Some((77, 12)));
         for series in [
             "antruss_uptime_seconds",
@@ -289,6 +408,13 @@ mod tests {
             "antruss_events_head_seq 12",
             "antruss_solve_latency_p50_seconds",
             "antruss_solve_latency_p99_seconds",
+            // the new phase + endpoint families, with TYPE lines
+            "# TYPE antruss_request_phase_seconds histogram",
+            "antruss_request_phase_seconds_count{phase=\"solve\"} 1",
+            "antruss_request_phase_quantile_seconds{phase=\"solve\",q=\"0.99\"}",
+            "# TYPE antruss_endpoint_latency_seconds histogram",
+            "antruss_endpoint_latency_seconds_count{endpoint=\"events\"} 1",
+            "antruss_endpoint_latency_quantile_seconds{endpoint=\"solve\",q=\"0.5\"}",
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }

@@ -33,10 +33,15 @@ use antruss_core::ReusePolicy;
 use antruss_datasets::DatasetId;
 use antruss_store::{FsyncPolicy, Store};
 
+use antruss_obs::{self as obs, trace, Hop, SlowTraces, TraceContext};
+
 use crate::cache::{CacheKey, OutcomeCache};
 use crate::catalog::{Catalog, CatalogError};
 use crate::http::{read_request_expecting, ReadError, Request, Response};
-use crate::metrics::{InFlight, Metrics};
+use crate::metrics::{EndpointClass, InFlight, Metrics, Phase};
+
+/// How many worst-case traces each tier's `/debug/traces` ring keeps.
+pub const SLOW_TRACE_CAP: usize = 16;
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
@@ -106,6 +111,9 @@ pub struct ServiceState {
     /// The durable store behind the catalog (`None` without
     /// `data_dir`).
     pub store: Option<Arc<Store>>,
+    /// The worst request timelines this tier originated
+    /// (`GET /debug/traces`).
+    pub traces: SlowTraces,
     /// Flipped once; workers observe it between requests.
     pub shutdown: AtomicBool,
 }
@@ -148,7 +156,7 @@ impl ServiceState {
                 // cached outcomes may describe graphs we no longer
                 // have; recompute rather than serve stale bytes
                 if opened.stats().dropped_bytes > 0 {
-                    eprintln!("antruss store: discarding the cache dump (WAL tail was dropped)");
+                    obs::warn!("store", "discarding the cache dump (WAL tail was dropped)");
                 } else {
                     match parse_dump_entries(&dump) {
                         Ok(entries) => {
@@ -162,7 +170,7 @@ impl ServiceState {
                             }
                             metrics.warmed_entries.fetch_add(n, Ordering::Relaxed);
                         }
-                        Err(e) => eprintln!("antruss store: dropping stale cache dump: {e}"),
+                        Err(e) => obs::warn!("store", "dropping stale cache dump: {e}"),
                     }
                 }
             }
@@ -174,6 +182,7 @@ impl ServiceState {
             catalog,
             metrics,
             store,
+            traces: SlowTraces::new(SLOW_TRACE_CAP),
             shutdown: AtomicBool::new(false),
             config,
         })
@@ -189,9 +198,23 @@ fn policy_from_str(s: &str) -> Option<(&'static str, ReusePolicy)> {
     }
 }
 
-/// Routes one parsed request. Counts it in the metrics, including the
-/// in-flight gauge and, for `/solve` misses, the solve-latency window.
+/// Paths whose traces never enter the slow ring: scrapes and polls
+/// would crowd out the requests worth debugging.
+fn untraced(path: &str) -> bool {
+    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+}
+
+/// Routes one parsed request. Counts it in the metrics (in-flight
+/// gauge, endpoint-class histogram, phase histograms via the handlers),
+/// adopts or originates the request's trace, and stamps the response
+/// with `x-antruss-trace` plus this tier's hop record.
 pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    let started = Instant::now();
+    let (ctx, originated) = TraceContext::from_headers(
+        req.header(trace::TRACE_HEADER),
+        req.header(trace::SPAN_HEADER),
+    );
+    trace::begin_request(ctx);
     let _guard = InFlight::enter(&state.metrics);
     state.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let resp = route(state, req);
@@ -200,7 +223,33 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
     } else {
         note_cluster_cursor(state, req);
     }
-    resp
+    let elapsed = started.elapsed();
+    state
+        .metrics
+        .observe_endpoint(EndpointClass::of(&req.method, &req.path), elapsed);
+    let hop = Hop {
+        tier: "server".to_string(),
+        span: ctx.span,
+        parent: ctx.parent,
+        us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        op: format!("{} {}", req.method, req.path),
+        phases: trace::take_phases()
+            .into_iter()
+            .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+    };
+    if originated && !untraced(&req.path) {
+        // no downstream tiers below a backend: the timeline is just us
+        state
+            .traces
+            .record(antruss_obs::trace::AssembledTrace::assemble(
+                &ctx,
+                hop.clone(),
+                "",
+            ));
+    }
+    resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
+        .with_header(trace::HOPS_HEADER, &trace::append_hop(None, &hop))
 }
 
 fn route(state: &ServiceState, req: &Request) -> Response {
@@ -230,6 +279,7 @@ fn route(state: &ServiceState, req: &Request) -> Response {
             ),
         ),
         ("GET", "/events") => events_feed(state, req),
+        ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
         ("GET", "/solvers") => list_solvers(),
         ("GET", "/graphs") => list_graphs(state),
         ("POST", "/graphs") => register_graph(state, req),
@@ -308,7 +358,7 @@ fn note_cluster_cursor(state: &ServiceState, req: &Request) {
     };
     if let Some(store) = &state.store {
         if let Err(e) = store.save_cluster_cursor(epoch, seq) {
-            eprintln!("antruss store: could not persist the cluster cursor: {e}");
+            obs::warn!("store", "could not persist the cluster cursor: {e}");
         }
     }
 }
@@ -846,7 +896,12 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         trials,
         policy: policy_name,
     };
-    if let Some((hit, stamp)) = state.cache.get_stamped(&key) {
+    let lookup_started = Instant::now();
+    let cached = state.cache.get_stamped(&key);
+    let lookup = lookup_started.elapsed();
+    state.metrics.observe_phase(Phase::CacheLookup, lookup);
+    trace::note_phase("cache", lookup);
+    if let Some((hit, stamp)) = cached {
         state.metrics.solves.fetch_add(1, Ordering::Relaxed);
         // a hit replays the *computing* request's freshness bound, not
         // the current head: the entry may have been inserted by a solve
@@ -875,8 +930,14 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
     let started = Instant::now();
     match solver.run(&graph, &cfg) {
         Ok(outcome) => {
-            state.metrics.observe_solve(started.elapsed());
+            let solved = started.elapsed();
+            state.metrics.observe_solve(solved);
+            trace::note_phase("solve", solved);
+            let serialize_started = Instant::now();
             let serialized = Arc::new(outcome.to_json());
+            let serialized_in = serialize_started.elapsed();
+            state.metrics.observe_phase(Phase::Serialize, serialized_in);
+            trace::note_phase("serialize", serialized_in);
             // the graph may have been mutated or deleted *while* this
             // solver ran. If the mutation's purge landed first, its gate
             // (the mutation's event seq) exceeds our pre-resolve
@@ -907,21 +968,23 @@ pub struct AcceptPool {
 
 impl AcceptPool {
     /// Binds `bind_addr` and starts `threads` workers, each running
-    /// `serve` per accepted connection. `is_shutdown` is polled by the
-    /// acceptor between accepts; once it turns true the acceptor exits
-    /// and dropping the channel sender releases the workers.
+    /// `serve` per accepted connection (the `Instant` is the accept
+    /// time, so the tier can attribute worker-queue wait). `is_shutdown`
+    /// is polled by the acceptor between accepts; once it turns true the
+    /// acceptor exits and dropping the channel sender releases the
+    /// workers.
     pub fn start(
         bind_addr: &str,
         threads: usize,
         name: &str,
         is_shutdown: Arc<dyn Fn() -> bool + Send + Sync>,
-        serve: Arc<dyn Fn(TcpStream) + Send + Sync>,
+        serve: Arc<dyn Fn(TcpStream, Instant) + Send + Sync>,
     ) -> std::io::Result<AcceptPool> {
         let listener = TcpListener::bind(bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(threads * 4);
+        let (tx, rx) = crossbeam::channel::bounded::<(TcpStream, Instant)>(threads * 4);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = rx.clone();
@@ -930,8 +993,8 @@ impl AcceptPool {
                 thread::Builder::new()
                     .name(format!("{name}-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            serve(stream);
+                        while let Ok((stream, accepted)) = rx.recv() {
+                            serve(stream, accepted);
                         }
                     })
                     .expect("spawn worker"),
@@ -948,7 +1011,7 @@ impl AcceptPool {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             let _ = stream.set_nonblocking(false);
-                            if tx.send(stream).is_err() {
+                            if tx.send((stream, Instant::now())).is_err() {
                                 break;
                             }
                         }
@@ -1028,7 +1091,7 @@ impl Server {
             threads,
             "antruss",
             Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
-            Arc::new(move |stream| serve_connection(&conn_state, stream)),
+            Arc::new(move |stream, accepted| serve_connection(&conn_state, stream, accepted)),
         )?;
         Ok(Server {
             state,
@@ -1064,8 +1127,11 @@ impl Server {
             }
             dump.push(']');
             if let Err(e) = store.persist_cache(&dump) {
-                eprintln!("antruss store: could not persist the outcome cache: {e}");
+                obs::warn!("store", "could not persist the outcome cache: {e}");
             }
+        }
+        if sigint_received() {
+            drain_snapshot(&self.state);
         }
         let cache = self.state.cache.stats();
         format!(
@@ -1099,6 +1165,41 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         let _ = self.stop();
+    }
+}
+
+/// Emits the final observability snapshot of a SIGINT drain: the full
+/// metrics document plus the slow-trace dump — into `--data-dir`
+/// (`final_metrics.prom`, `slow_traces.json`) when one is configured,
+/// to stderr otherwise, so the last state of a stopping process is
+/// never lost with it.
+fn drain_snapshot(state: &ServiceState) {
+    let metrics = state.metrics.render(
+        &state.cache.stats(),
+        state.catalog.len(),
+        state.config.shard,
+        state.store.as_deref().map(Store::stats).as_ref(),
+        Some((
+            state.catalog.events().epoch(),
+            state.catalog.events().head(),
+        )),
+    );
+    if let Some(dir) = &state.config.data_dir {
+        let dir = std::path::Path::new(dir);
+        if std::fs::write(dir.join("final_metrics.prom"), &metrics).is_ok()
+            && std::fs::write(dir.join("slow_traces.json"), state.traces.to_json()).is_ok()
+        {
+            obs::info!(
+                "serve",
+                "drain: wrote final_metrics.prom and slow_traces.json to {}",
+                dir.display()
+            );
+            return;
+        }
+    }
+    eprintln!("--- final metrics snapshot ---\n{metrics}");
+    if !state.traces.is_empty() {
+        eprintln!("--- slowest traces ---\n{}", state.traces.render_text());
     }
 }
 
@@ -1147,18 +1248,34 @@ const READ_TIMEOUT: Duration = Duration::from_millis(250);
 /// whole pool and starve new connections.
 const IDLE_DEADLINE: Duration = Duration::from_secs(30);
 
+/// What the connection loop measured about the request it hands the
+/// handler: time the connection sat idle before this request's bytes
+/// arrived (client think time on keep-alive connections) and the time
+/// spent reading + parsing them.
+pub struct ConnPhases {
+    /// Full idle read-timeout ticks before the request arrived.
+    pub wait: Duration,
+    /// Duration of the successful read + parse (includes any sub-tick
+    /// wait for the first byte).
+    pub parse: Duration,
+}
+
 /// Runs the HTTP/1.1 keep-alive loop on one accepted connection,
-/// routing every parsed request through `handle`. Shared by
-/// [`Server`] and the cluster router, so both speak the identical
-/// wire discipline (read timeouts, idle deadline, `100 Continue`,
-/// graceful close on shutdown). `protocol_error` is invoked once per
-/// request-level protocol failure (413/400) answered before the
-/// connection closes — the hook where callers count errors.
+/// routing every parsed request through `handle` (with the loop's
+/// [`ConnPhases`] timings). Shared by [`Server`] and the cluster
+/// router, so both speak the identical wire discipline (read timeouts,
+/// idle deadline, `100 Continue`, graceful close on shutdown). `wrote`
+/// is invoked after each response write with the time the socket write
+/// took — the hook where callers feed their write-phase histogram.
+/// `protocol_error` is invoked once per request-level protocol failure
+/// (413/400) answered before the connection closes — the hook where
+/// callers count errors.
 pub fn run_connection(
     mut stream: TcpStream,
     max_body: usize,
     shutdown: &AtomicBool,
-    handle: &mut dyn FnMut(&Request) -> Response,
+    handle: &mut dyn FnMut(&Request, &ConnPhases) -> Response,
+    wrote: &mut dyn FnMut(&Request, Duration),
     protocol_error: &mut dyn FnMut(),
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
@@ -1167,6 +1284,7 @@ pub fn run_connection(
     let mut carry = Vec::new();
     let max_idle_ticks = (IDLE_DEADLINE.as_millis() / READ_TIMEOUT.as_millis()).max(1) as u32;
     let mut idle_ticks = 0u32;
+    let mut waited = Duration::ZERO;
     loop {
         // `100 Continue` interim responses go through a clone of the
         // stream: the read side is mid-request in `read_request_expecting`
@@ -1177,17 +1295,27 @@ pub fn run_connection(
                 let _ = w.flush();
             }
         };
+        let read_started = Instant::now();
         match read_request_expecting(&mut stream, &mut carry, max_body, &mut send_continue) {
             Ok(req) => {
                 idle_ticks = 0;
-                let resp = handle(&req);
+                let phases = ConnPhases {
+                    wait: waited,
+                    parse: read_started.elapsed(),
+                };
+                waited = Duration::ZERO;
+                let resp = handle(&req, &phases);
                 let close = req.wants_close() || shutdown.load(Ordering::SeqCst);
-                if resp.write_to(&mut stream, close).is_err() || close {
+                let write_started = Instant::now();
+                let written = resp.write_to(&mut stream, close);
+                wrote(&req, write_started.elapsed());
+                if written.is_err() || close {
                     return;
                 }
             }
             Err(ReadError::Idle) => {
                 idle_ticks += 1;
+                waited += read_started.elapsed();
                 if shutdown.load(Ordering::SeqCst) || idle_ticks >= max_idle_ticks {
                     return;
                 }
@@ -1212,12 +1340,23 @@ pub fn run_connection(
     }
 }
 
-fn serve_connection(state: &ServiceState, stream: TcpStream) {
+fn serve_connection(state: &ServiceState, stream: TcpStream, accepted: Instant) {
+    // the queue wait is a property of the connection's first request
+    // only; keep-alive follow-ups were never queued
+    let mut queued = Some(accepted.elapsed());
     run_connection(
         stream,
         state.config.max_body_bytes,
         &state.shutdown,
-        &mut |req| handle(state, req),
+        &mut |req, phases| {
+            if let Some(q) = queued.take() {
+                state.metrics.observe_phase(Phase::QueueWait, q);
+            }
+            state.metrics.observe_phase(Phase::AcceptWait, phases.wait);
+            state.metrics.observe_phase(Phase::Parse, phases.parse);
+            handle(state, req)
+        },
+        &mut |_req, took| state.metrics.observe_phase(Phase::Write, took),
         &mut || {
             state.metrics.requests.fetch_add(1, Ordering::Relaxed);
             state.metrics.errors.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,286 @@
+//! Exposition-format lint over every tier's live `/metrics`.
+//!
+//! Boots one backend, a router fronting it, and an edge in front of the
+//! router — all in-process — drives a little traffic, and scrapes each
+//! tier **twice**. The lint then enforces what Prometheus scrapers
+//! assume and hand-rolled renderers quietly break:
+//!
+//! * every sample belongs to a family declared by exactly one `# TYPE`
+//!   line, and no series (name + label set) appears twice in a scrape;
+//! * counters (`# TYPE … counter`, plus histogram `_count`/`_bucket`
+//!   series) never go backwards between the two scrapes;
+//! * within a scrape, every histogram's `_bucket` series cumulate: the
+//!   counts are non-decreasing as `le` increases, ending at `+Inf`
+//!   equal to `_count`.
+//!
+//! CI runs this as a step (`cargo run --release --example
+//! metrics_lint`); it exits non-zero listing every violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+
+use antruss::cluster::{Router, RouterConfig};
+use antruss::edge::{Edge, EdgeConfig};
+use antruss::service::{Client, Server, ServerConfig};
+
+/// One parsed scrape: `# TYPE` declarations and every sample line.
+struct Scrape {
+    tier: &'static str,
+    /// family name -> declared type (`counter`, `gauge`, `histogram`).
+    types: BTreeMap<String, String>,
+    /// full series key (name incl. labels) -> value, in exposition order.
+    samples: Vec<(String, f64)>,
+}
+
+/// The family a series belongs to: the name with labels stripped, then
+/// with histogram suffixes folded onto the base family.
+fn family_of(series: &str, types: &BTreeMap<String, String>) -> String {
+    let name = series.split('{').next().unwrap_or(series);
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|t| t == "histogram") {
+                return base.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+fn parse_scrape(tier: &'static str, text: &str, errors: &mut Vec<String>) -> Scrape {
+    let mut types = BTreeMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut it = decl.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind)) => {
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        errors.push(format!("{tier}: duplicate # TYPE for {name}"));
+                    }
+                }
+                _ => errors.push(format!("{tier}: malformed TYPE line {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        // a sample is `name{labels} value` or `name value`; labels may
+        // contain spaces inside quotes, so split at the last space
+        let Some(split_at) = line.rfind(' ') else {
+            errors.push(format!("{tier}: malformed sample line {line:?}"));
+            continue;
+        };
+        let (series, value) = line.split_at(split_at);
+        let Ok(value) = value.trim().parse::<f64>() else {
+            errors.push(format!("{tier}: non-numeric value in {line:?}"));
+            continue;
+        };
+        samples.push((series.to_string(), value));
+    }
+    Scrape {
+        tier,
+        types,
+        samples,
+    }
+}
+
+/// Per-scrape lints: unique series, every sample typed.
+fn lint_scrape(s: &Scrape, errors: &mut Vec<String>) {
+    let mut seen = BTreeSet::new();
+    for (series, _) in &s.samples {
+        if !seen.insert(series.clone()) {
+            errors.push(format!("{}: duplicate series {series}", s.tier));
+        }
+        let family = family_of(series, &s.types);
+        if !s.types.contains_key(&family) {
+            errors.push(format!(
+                "{}: sample {series} has no # TYPE line (family {family})",
+                s.tier
+            ));
+        }
+    }
+    lint_buckets(s, errors);
+}
+
+/// The `le` bound of a `_bucket` series, and the series key with the
+/// `le` label removed (to group one histogram's buckets together).
+fn le_of(series: &str) -> Option<(String, f64)> {
+    let (name, rest) = series.split_once('{')?;
+    if !name.ends_with("_bucket") {
+        return None;
+    }
+    let labels = rest.strip_suffix('}')?;
+    let mut le = None;
+    let mut others = Vec::new();
+    for part in labels.split(',') {
+        match part.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+            Some("+Inf") => le = Some(f64::INFINITY),
+            Some(v) => le = Some(v.parse().ok()?),
+            None => others.push(part),
+        }
+    }
+    Some((format!("{name}{{{}}}", others.join(",")), le?))
+}
+
+/// Within one scrape, every histogram's buckets must cumulate and end
+/// at `+Inf` == `_count`.
+fn lint_buckets(s: &Scrape, errors: &mut Vec<String>) {
+    let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (series, value) in &s.samples {
+        if let Some((group, le)) = le_of(series) {
+            groups.entry(group).or_default().push((le, *value));
+        }
+    }
+    for (group, buckets) in groups {
+        for w in buckets.windows(2) {
+            if w[0].0 >= w[1].0 {
+                errors.push(format!("{}: {group} le bounds not increasing", s.tier));
+            }
+            if w[0].1 > w[1].1 {
+                errors.push(format!(
+                    "{}: {group} bucket counts decrease ({} then {})",
+                    s.tier, w[0].1, w[1].1
+                ));
+            }
+        }
+        match buckets.last() {
+            Some((le, _)) if le.is_infinite() => {}
+            _ => errors.push(format!("{}: {group} has no +Inf bucket", s.tier)),
+        }
+    }
+}
+
+/// Across two scrapes of the same tier, counter-typed families and
+/// histogram `_bucket`/`_count` series must be monotone.
+fn lint_monotone(first: &Scrape, second: &Scrape, errors: &mut Vec<String>) {
+    let earlier: BTreeMap<&str, f64> = first
+        .samples
+        .iter()
+        .map(|(s, v)| (s.as_str(), *v))
+        .collect();
+    for (series, now) in &second.samples {
+        let family = family_of(series, &second.types);
+        let counts = second.types.get(&family).is_some_and(|t| t == "counter")
+            || (series.contains("_bucket") || series.contains("_count"))
+                && second.types.get(&family).is_some_and(|t| t == "histogram");
+        if !counts {
+            continue;
+        }
+        if let Some(&before) = earlier.get(series.as_str()) {
+            if *now < before {
+                errors.push(format!(
+                    "{}: counter {series} went backwards ({before} -> {now})",
+                    second.tier
+                ));
+            }
+        }
+    }
+}
+
+fn scrape(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) -> Scrape {
+    let resp = Client::new(addr).get("/metrics").expect("scrape /metrics");
+    assert_eq!(resp.status, 200, "{tier} /metrics status {}", resp.status);
+    parse_scrape(tier, &resp.body_string(), errors)
+}
+
+fn drive(addr: SocketAddr, solves: usize) {
+    let mut c = Client::new(addr);
+    for seed in 0..solves {
+        let body = format!("{{\"graph\":\"lint\",\"solver\":\"gas\",\"b\":1,\"seed\":{seed}}}");
+        let resp = c
+            .post("/solve", "application/json", body.as_bytes())
+            .expect("solve");
+        assert_eq!(resp.status, 200, "solve: {}", resp.body_string());
+    }
+}
+
+fn main() {
+    let backend = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("backend");
+    let router = Router::start(RouterConfig {
+        backends: vec![backend.addr()],
+        ..RouterConfig::default()
+    })
+    .expect("router");
+    let edge = Edge::start(EdgeConfig {
+        upstream: router.addr().to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        poll_wait_ms: 200,
+        retry_ms: 20,
+        ..EdgeConfig::default()
+    })
+    .expect("edge");
+
+    let mut list = String::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            list.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    let resp = Client::new(router.addr())
+        .post("/graphs?name=lint", "text/plain", list.as_bytes())
+        .expect("register");
+    assert_eq!(resp.status, 201, "register: {}", resp.body_string());
+
+    let mut errors = Vec::new();
+    let tiers: [(&'static str, SocketAddr); 3] = [
+        ("backend", backend.addr()),
+        ("router", router.addr()),
+        ("edge", edge.addr()),
+    ];
+
+    drive(edge.addr(), 4);
+    let first: Vec<Scrape> = tiers
+        .iter()
+        .map(|&(tier, addr)| scrape(tier, addr, &mut errors))
+        .collect();
+    // more traffic, including a mutation, between the two scrapes
+    drive(edge.addr(), 4);
+    let resp = Client::new(router.addr())
+        .post(
+            "/graphs/lint/mutate",
+            "application/json",
+            br#"{"insert":[[0,6],[1,6]]}"#,
+        )
+        .expect("mutate");
+    assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
+    drive(edge.addr(), 2);
+    let second: Vec<Scrape> = tiers
+        .iter()
+        .map(|&(tier, addr)| scrape(tier, addr, &mut errors))
+        .collect();
+
+    let mut families = 0usize;
+    let mut series = 0usize;
+    for (a, b) in first.iter().zip(second.iter()) {
+        lint_scrape(a, &mut errors);
+        lint_scrape(b, &mut errors);
+        lint_monotone(a, b, &mut errors);
+        families += b.types.len();
+        series += b.samples.len();
+    }
+
+    drop(edge);
+    router.shutdown();
+    backend.shutdown();
+
+    if errors.is_empty() {
+        println!(
+            "metrics lint: {families} famil(ies), {series} series across {} tier(s) x 2 scrapes — clean",
+            tiers.len()
+        );
+    } else {
+        eprintln!("metrics lint: {} violation(s):", errors.len());
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+}

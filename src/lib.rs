@@ -77,6 +77,7 @@ pub use antruss_datasets as datasets;
 pub use antruss_edge as edge;
 pub use antruss_graph as graph;
 pub use antruss_kcore as kcore;
+pub use antruss_obs as obs;
 pub use antruss_service as service;
 pub use antruss_store as store;
 pub use antruss_truss as truss;

@@ -1,0 +1,113 @@
+//! Property tests for the observability histograms: the invariants the
+//! Prometheus renderer and the cross-thread phase attribution lean on.
+//!
+//! A log2 histogram trades resolution for a lock-free hot path, so the
+//! one quantitative promise it makes — every quantile estimate is
+//! within a factor of two of the exact order statistic — is pinned
+//! here, along with bucket monotonicity (what `_bucket{le=...}` series
+//! require) and merge-equals-concatenation (what per-thread histogram
+//! folding requires).
+
+use antruss::obs::hist::{bucket_lower, bucket_of, bucket_upper, BUCKETS};
+use antruss::obs::Histogram;
+use proptest::prelude::*;
+
+/// Exact `q`-quantile of a sample by sorting, with the same
+/// ceil-rank convention the histogram uses.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observation lands in the bucket whose `[lower, upper]`
+    /// range contains it, and cumulative counts are monotone with the
+    /// last one equal to the total — the exposition-format contract of
+    /// the `_bucket{le=...}` series.
+    #[test]
+    fn buckets_contain_and_cumulate(values in prop::collection::vec(0u64..u64::MAX, 1..300)) {
+        let h = Histogram::new();
+        for &ns in &values {
+            let b = bucket_of(ns);
+            prop_assert!(b < BUCKETS);
+            prop_assert!(bucket_lower(b) <= ns && ns <= bucket_upper(b),
+                "ns {ns} outside bucket {b} [{}, {}]", bucket_lower(b), bucket_upper(b));
+            h.observe_ns(ns);
+        }
+        let cum = h.snapshot().cumulative();
+        prop_assert!(!cum.is_empty());
+        for w in cum.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "le bounds must increase");
+            prop_assert!(w[0].1 <= w[1].1, "cumulative counts must be monotone");
+        }
+        prop_assert_eq!(cum.last().unwrap().1, values.len() as u64);
+    }
+
+    /// Merging histogram B into A is indistinguishable from one
+    /// histogram that observed both streams — the property that lets
+    /// per-thread histograms fold into one exported family.
+    #[test]
+    fn merge_equals_concatenated_observations(
+        a_vals in prop::collection::vec(0u64..1_000_000_000u64, 0..200),
+        b_vals in prop::collection::vec(0u64..1_000_000_000u64, 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let concat = Histogram::new();
+        for &ns in &a_vals {
+            a.observe_ns(ns);
+            concat.observe_ns(ns);
+        }
+        for &ns in &b_vals {
+            b.observe_ns(ns);
+            concat.observe_ns(ns);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), concat.snapshot());
+    }
+
+    /// Every reported quantile is within a factor of two of the exact
+    /// order statistic (log2 buckets: the estimate lands in the same
+    /// bucket as the true value).
+    #[test]
+    fn quantiles_within_factor_two(
+        values in prop::collection::vec(1u64..100_000_000_000u64, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &ns in &values {
+            h.observe_ns(ns);
+        }
+        let snap = h.snapshot();
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let est = snap.quantile_ns(q);
+            let exact = exact_quantile(&values, q) as f64;
+            prop_assert!(est <= 2.0 * exact && 2.0 * est >= exact,
+                "q{q}: estimate {est} vs exact {exact} outside factor-2");
+        }
+    }
+}
+
+/// A snapshot's count is derived from the buckets, so it can never
+/// disagree with them — even under concurrent recording.
+#[test]
+fn concurrent_observers_never_lose_counts() {
+    use std::sync::Arc;
+    let h = Arc::new(Histogram::new());
+    let threads = 8;
+    let per_thread = 5000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    h.observe_ns(t * 1_000_003 + i * 17);
+                }
+            });
+        }
+    });
+    assert_eq!(h.snapshot().count(), threads * per_thread);
+}

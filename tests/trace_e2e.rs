@@ -1,0 +1,191 @@
+//! End-to-end distributed tracing over real sockets: one trace id spans
+//! edge → router → backend, each tier contributes a hop with its own
+//! span, the parent chain points back to the originator, and the
+//! originating tier's `/debug/traces` ring captures the assembled
+//! timeline.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use antruss::cluster::{Router, RouterConfig};
+use antruss::edge::{Edge, EdgeConfig};
+use antruss::obs::trace::{parse_hops, TraceContext, HOPS_HEADER, TRACE_HEADER};
+use antruss::obs::Hop;
+use antruss::service::{Client, Server, ServerConfig};
+
+fn edge_list() -> Vec<u8> {
+    let mut body = String::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            body.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    body.into_bytes()
+}
+
+fn start_chain() -> (Server, Router, Edge) {
+    let backend = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("backend");
+    let router = Router::start(RouterConfig {
+        backends: vec![backend.addr()],
+        ..RouterConfig::default()
+    })
+    .expect("router");
+    let edge = Edge::start(EdgeConfig {
+        upstream: router.addr().to_string(),
+        threads: 4,
+        cache_capacity: 64,
+        poll_wait_ms: 200,
+        retry_ms: 20,
+        ..EdgeConfig::default()
+    })
+    .expect("edge");
+    (backend, router, edge)
+}
+
+fn hop_of<'a>(hops: &'a [Hop], tier: &str) -> &'a Hop {
+    hops.iter()
+        .find(|h| h.tier == tier)
+        .unwrap_or_else(|| panic!("no {tier} hop in {hops:?}"))
+}
+
+fn solve_traced(addr: SocketAddr, extra: &[(String, String)]) -> (String, Vec<Hop>) {
+    let resp = Client::new(addr)
+        .post_with_headers(
+            "/solve",
+            "application/json",
+            br#"{"graph":"traced","solver":"gas","b":1}"#,
+            extra,
+        )
+        .expect("solve");
+    assert_eq!(resp.status, 200, "solve: {}", resp.body_string());
+    let trace = resp
+        .header(TRACE_HEADER)
+        .expect("response must carry the trace id")
+        .to_string();
+    let hops = parse_hops(resp.header(HOPS_HEADER).expect("response must carry hops"));
+    (trace, hops)
+}
+
+/// A cache-miss solve through the full chain: one trace id, three hops
+/// (server, router, edge) with distinct spans, a parent chain rooted at
+/// the originating edge, nested wall times, and per-phase attribution
+/// reaching back from the backend's solve loop.
+#[test]
+fn one_trace_spans_edge_router_backend() {
+    let (backend, router, edge) = start_chain();
+    let resp = Client::new(router.addr())
+        .post("/graphs?name=traced", "text/plain", &edge_list())
+        .expect("register");
+    assert_eq!(resp.status, 201, "register: {}", resp.body_string());
+
+    let (trace, hops) = solve_traced(edge.addr(), &[]);
+    assert_eq!(trace.len(), 16, "trace id is 16 hex chars: {trace}");
+    assert_eq!(
+        hops.len(),
+        3,
+        "every tier contributes exactly one hop: {hops:?}"
+    );
+    // hops accumulate downstream-first
+    assert_eq!(hops[0].tier, "server");
+    assert_eq!(hops[1].tier, "router");
+    assert_eq!(hops[2].tier, "edge");
+
+    let (server, routr, edg) = (
+        hop_of(&hops, "server"),
+        hop_of(&hops, "router"),
+        hop_of(&hops, "edge"),
+    );
+    // distinct spans, parent chain rooted at the originator
+    assert_ne!(server.span, routr.span);
+    assert_ne!(routr.span, edg.span);
+    assert_eq!(edg.parent, 0, "the edge originated this trace");
+    assert_eq!(routr.parent, edg.span);
+    assert_eq!(server.parent, routr.span);
+    // wall times nest: each tier's total includes everything below it
+    assert!(
+        server.us <= routr.us && routr.us <= edg.us,
+        "hop times must nest: server {} <= router {} <= edge {}",
+        server.us,
+        routr.us,
+        edg.us
+    );
+    // a cache miss reaches the backend's solver; the forwarding tiers
+    // attribute their time to the forward phase
+    assert!(
+        server.phases.iter().any(|(n, _)| n == "solve"),
+        "backend hop phases: {:?}",
+        server.phases
+    );
+    assert!(
+        routr.phases.iter().any(|(n, _)| n == "forward"),
+        "router hop phases: {:?}",
+        routr.phases
+    );
+    assert!(
+        edg.phases.iter().any(|(n, _)| n == "forward"),
+        "edge hop phases: {:?}",
+        edg.phases
+    );
+
+    // the originating edge's slow-trace ring holds the assembled trace
+    let resp = Client::new(edge.addr())
+        .get("/debug/traces")
+        .expect("debug traces");
+    assert_eq!(resp.status, 200);
+    let body = resp.body_string();
+    assert!(
+        body.contains(&trace),
+        "edge /debug/traces must contain trace {trace}: {body}"
+    );
+    for tier in ["server", "router", "edge"] {
+        assert!(body.contains(tier), "assembled trace names {tier}: {body}");
+    }
+
+    drop(edge);
+    router.shutdown();
+    backend.shutdown();
+}
+
+/// A caller that brings its own trace context stays the originator: the
+/// tiers adopt its trace id, parent their hops under the caller's span,
+/// and none of them file the trace in their own slow ring.
+#[test]
+fn client_supplied_trace_is_adopted_not_recorded() {
+    let (backend, router, edge) = start_chain();
+    let resp = Client::new(router.addr())
+        .post("/graphs?name=traced", "text/plain", &edge_list())
+        .expect("register");
+    assert_eq!(resp.status, 201);
+
+    let ctx = TraceContext::originate();
+    let (trace, hops) = solve_traced(edge.addr(), &ctx.headers());
+    assert_eq!(trace, format!("{:016x}", ctx.trace), "trace id adopted");
+    assert_eq!(
+        hop_of(&hops, "edge").parent,
+        ctx.span,
+        "the edge hop parents under the caller's span"
+    );
+
+    // no tier originated, so no tier recorded it
+    std::thread::sleep(Duration::from_millis(50));
+    for addr in [edge.addr(), router.addr(), backend.addr()] {
+        let body = Client::new(addr)
+            .get("/debug/traces")
+            .expect("debug traces")
+            .body_string();
+        assert!(
+            !body.contains(&trace),
+            "{addr} recorded a trace it did not originate: {body}"
+        );
+    }
+
+    drop(edge);
+    router.shutdown();
+    backend.shutdown();
+}
