@@ -47,7 +47,13 @@
 //! `x-antruss-hops` response header that every tier on the path appends
 //! to, reporting p50/p99 per tier phase (parse, cache, solve,
 //! serialize, forward, …) and the worst sampled request's full hop
-//! timeline — the `observability` JSON section.
+//! timeline — the `observability` JSON section. `--slo SPEC` (same
+//! syntax as the server flag, e.g. `availability=99.9,p99_ms=5`)
+//! grades the main run against the objectives: observed availability
+//! (ok / attempted) and observed p99 vs their targets, plus the worst
+//! `antruss_slo_burn_rate` the target itself currently reports (so a
+//! bench entry records both what the client saw and what the server's
+//! own burn-rate evaluation concluded) — the `slo` JSON section.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -434,6 +440,95 @@ fn trace_bench(
     ))
 }
 
+/// Grades the finished main run against `--slo` objectives: observed
+/// availability (ok / attempted) and observed p99 against their
+/// targets, plus the worst `antruss_slo_burn_rate` gauge the target
+/// itself exports (absent when the server was not started with
+/// `--slo`). Returns the JSON `slo` section.
+fn slo_section(
+    addr: SocketAddr,
+    objectives: &[antruss_obs::slo::Objective],
+    ok: u64,
+    failed: u64,
+    p99_ms: f64,
+) -> String {
+    use antruss_obs::slo::SloKind;
+
+    let attempted = ok + failed;
+    let observed_availability = if attempted == 0 {
+        100.0
+    } else {
+        100.0 * ok as f64 / attempted as f64
+    };
+
+    let mut parts = Vec::new();
+    for obj in objectives {
+        let (observed, target, unit) = match obj.kind {
+            SloKind::Availability => (observed_availability, obj.target, "percent"),
+            SloKind::LatencyP99 => (p99_ms, obj.target * 1e3, "ms"),
+        };
+        let met = match obj.kind {
+            SloKind::Availability => observed >= target,
+            SloKind::LatencyP99 => observed <= target,
+        };
+        println!(
+            "slo {}: observed {observed:.3} vs target {target:.3} {unit} -> {}",
+            obj.name,
+            if met { "met" } else { "MISSED" }
+        );
+        parts.push(format!(
+            "{{\"name\":{:?},\"target\":{target:.3},\"observed\":{observed:.3},\
+             \"unit\":{unit:?},\"met\":{met}}}",
+            obj.name
+        ));
+    }
+
+    // the target's own verdict: the worst burn-rate gauge it exports
+    let mut worst: Option<(String, String, f64)> = None;
+    if let Ok(m) = Client::new(addr).get("/metrics") {
+        for line in m.body_string().lines() {
+            let Some(rest) = line.strip_prefix("antruss_slo_burn_rate{") else {
+                continue;
+            };
+            let Some((labels, value)) = rest.split_once("} ") else {
+                continue;
+            };
+            let Ok(v) = value.trim().parse::<f64>() else {
+                continue;
+            };
+            let label = |key: &str| {
+                labels
+                    .split(',')
+                    .find_map(|kv| kv.strip_prefix(&format!("{key}=\"")))
+                    .map(|s| s.trim_end_matches('"').to_string())
+                    .unwrap_or_default()
+            };
+            if worst.as_ref().is_none_or(|(_, _, w)| v > *w) {
+                worst = Some((label("objective"), label("window"), v));
+            }
+        }
+    }
+    let worst_field = match &worst {
+        Some((objective, window, rate)) => {
+            println!("slo worst burn at target: {objective} over {window} = {rate:.3}");
+            format!(
+                ",\"worst_burn\":{{\"objective\":{objective:?},\"window\":{window:?},\
+                 \"rate\":{rate:.3}}}"
+            )
+        }
+        None => {
+            println!("slo: the target exports no antruss_slo_burn_rate (started without --slo?)");
+            String::new()
+        }
+    };
+
+    format!(
+        "{{\"attempted\":{attempted},\"observed_availability\":{observed_availability:.4},\
+         \"observed_p99_ms\":{p99_ms:.3},\"objectives\":[{}]{worst_field}}}",
+        parts.join(",")
+    )
+}
+
 /// Drives `requests` per client at `addr`, all solving `graph` with
 /// seeds cycling through `seeds` values. Returns (ok, failed,
 /// edge_hits, req_per_sec).
@@ -594,6 +689,18 @@ fn main() {
         .get_str("out")
         .unwrap_or("BENCH_serve.json")
         .to_string();
+    // parse before the run so a bad spec fails fast, not after minutes
+    // of load
+    let slo_objectives = match args.get_str("slo") {
+        Some(spec) => match antruss_obs::slo::parse_slos(spec) {
+            Ok(objectives) => Some(objectives),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
 
     let (mode, backends) = probe_topology(addrs[0]);
     println!(
@@ -715,6 +822,12 @@ fn main() {
         }
     }
 
+    // graded after the run: the section needs the run's own
+    // ok/failed/p99 numbers
+    let slo = slo_objectives
+        .as_ref()
+        .map(|objectives| slo_section(addrs[0], objectives, ok, failed, p99));
+
     if json_out {
         let shards = by_shard
             .iter()
@@ -737,13 +850,17 @@ fn main() {
             .as_ref()
             .map(|t| format!(",\"observability\":{t}"))
             .unwrap_or_default();
+        let slo_field = slo
+            .as_ref()
+            .map(|s| format!(",\"slo\":{s}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}{slo_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

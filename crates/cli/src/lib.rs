@@ -42,6 +42,7 @@ USAGE:
                      [--exact-cap N] [--base-timeout S] [--max-b N]
                      [--data-dir DIR] [--fsync always|interval:MS|never]
                      [--join ROUTER:PORT] [--advertise HOST:PORT] [--heartbeat-ms MS]
+                     [--metrics-interval SECS] [--slo availability=99.9,p99_ms=5]
                      [--log-level error|warn|info|debug] [--log-json]
   antruss cluster    [--backends N | --backend-addrs A:P,B:P,...] [--replicas R]
                      [--addr HOST:PORT] [--vnodes V] [--health-ms MS]
@@ -49,10 +50,13 @@ USAGE:
                      [--cache N] [--max-body-mb N] [--exact-cap N]
                      [--base-timeout S] [--max-b N] [--data-dir DIR]
                      [--fsync always|interval:MS|never]
+                     [--metrics-interval SECS] [--slo availability=99.9,p99_ms=5]
                      [--log-level error|warn|info|debug] [--log-json]
   antruss edge       --upstream HOST:PORT [--addr HOST:PORT] [--threads N] [--cache N]
                      [--max-body-mb N] [--poll-wait-ms MS] [--retry-ms MS]
+                     [--metrics-interval SECS] [--slo availability=99.9,p99_ms=5]
                      [--log-level error|warn|info|debug] [--log-json]
+  antruss top        <HOST:PORT> [--interval SECS] [--once]
   antruss routes     <edges.txt | dataset-slug> [--scale F]
   antruss kcore      <edges.txt | dataset-slug> [--b N] [--scale F]
   antruss resilience <edges.txt | dataset-slug> [--b N] [--scale F]
@@ -97,9 +101,20 @@ upstream (see the README's Edge tier section).
 All serving commands log to stderr; --log-level gates verbosity
 (default info) and --log-json switches to one JSON object per line for
 log shippers. Each tier also serves GET /metrics (Prometheus text,
-including per-phase latency histograms) and GET /debug/traces (the
-slowest recent request traces; see the README's Observability
-section).";
+including per-phase latency histograms), GET /metrics/history (a
+bounded ring of recent samples, taken every --metrics-interval),
+GET /readyz (503 while draining, for load balancers) and GET
+/debug/traces (the slowest recent request traces). With --slo the tier
+evaluates its objectives as multi-window burn rates over that history
+and /healthz reports ok|degraded|critical naming the burning
+objective; the router additionally federates every member's summary at
+GET /cluster/overview (see the README's Observability section).
+
+`antruss top HOST:PORT` renders a live dashboard over any tier's
+telemetry: pointed at a router it polls /cluster/overview (per-member
+health, throughput, p99, cache hit ratio, staleness); pointed at a
+serve node or edge it falls back to /healthz + /metrics/history.
+--once prints a single frame for scripts.";
 
 /// Loads a graph from a file path or dataset slug.
 pub fn load_input(spec: &str, scale: f64) -> Result<CsrGraph, String> {
@@ -399,6 +414,24 @@ pub fn cmd_compare(
     Ok(t.render())
 }
 
+/// Parses the shared telemetry flags: `--metrics-interval SECS`
+/// (history sampler cadence, fractional seconds accepted, 0 disables)
+/// and `--slo KEY=VALUE[,KEY=VALUE...]` (service-level objectives).
+pub fn telemetry_flags(
+    args: &Args,
+    default_interval_ms: u64,
+) -> Result<(u64, Vec<obs::slo::Objective>), String> {
+    let secs = args.get("metrics-interval", default_interval_ms as f64 / 1000.0);
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("--metrics-interval: bad value {secs}"));
+    }
+    let slos = match args.get_str("slo") {
+        None => Vec::new(),
+        Some(raw) => obs::slo::parse_slos(raw).map_err(|e| format!("--slo: {e}"))?,
+    };
+    Ok(((secs * 1000.0).round() as u64, slos))
+}
+
 /// Builds the service configuration from the `serve` flags
 /// (`--data-dir DIR` makes the catalog durable; `--fsync` picks the
 /// WAL flush policy and rejects unknown spellings loudly).
@@ -408,6 +441,7 @@ pub fn serve_config(args: &Args) -> Result<antruss_service::ServerConfig, String
         None => defaults.fsync,
         Some(raw) => antruss_store::FsyncPolicy::parse(raw).map_err(|e| format!("--fsync: {e}"))?,
     };
+    let (metrics_interval_ms, slos) = telemetry_flags(args, defaults.metrics_interval_ms)?;
     Ok(antruss_service::ServerConfig {
         addr: args.get_str("addr").unwrap_or("127.0.0.1:7171").to_string(),
         threads: args.get("threads", defaults.threads),
@@ -422,6 +456,8 @@ pub fn serve_config(args: &Args) -> Result<antruss_service::ServerConfig, String
         shard: None,
         data_dir: args.get_str("data-dir").map(String::from),
         fsync,
+        metrics_interval_ms,
+        slos,
     })
 }
 
@@ -594,6 +630,7 @@ pub fn edge_config(args: &Args) -> Result<antruss_edge::EdgeConfig, String> {
         .ok_or("edge: missing --upstream HOST:PORT")?;
     // resolve eagerly so a typo fails before the edge binds
     antruss_edge::parse_upstream(upstream).map_err(|e| format!("edge: bad --upstream: {e}"))?;
+    let (metrics_interval_ms, slos) = telemetry_flags(args, defaults.metrics_interval_ms)?;
     Ok(antruss_edge::EdgeConfig {
         addr: args.get_str("addr").unwrap_or("127.0.0.1:7272").to_string(),
         upstream: upstream.to_string(),
@@ -604,6 +641,8 @@ pub fn edge_config(args: &Args) -> Result<antruss_edge::EdgeConfig, String> {
             .saturating_mul(1024 * 1024),
         poll_wait_ms: args.get("poll-wait-ms", defaults.poll_wait_ms),
         retry_ms: args.get("retry-ms", defaults.retry_ms).max(1),
+        metrics_interval_ms,
+        slos,
     })
 }
 
@@ -634,6 +673,195 @@ pub fn cmd_edge(args: &Args) -> Result<String, String> {
         state.metrics.stale_serves.load(std::sync::atomic::Ordering::Relaxed),
         state.metrics.writes_rejected.load(std::sync::atomic::Ordering::Relaxed),
     ))
+}
+
+/// ANSI color for a health level (`ok` green, `degraded` yellow,
+/// everything else — `critical`, `down`, `unknown` — red).
+fn level_color(level: &str) -> &'static str {
+    match level {
+        "ok" | "ready" => "\x1b[32m",
+        "degraded" | "unknown" | "draining" => "\x1b[33m",
+        _ => "\x1b[31m",
+    }
+}
+
+fn colored(level: &str) -> String {
+    format!("{}{level}\x1b[0m", level_color(level))
+}
+
+fn num(v: Option<&antruss_core::json::Value>) -> f64 {
+    v.and_then(antruss_core::json::Value::as_f64).unwrap_or(0.0)
+}
+
+fn text<'v>(v: Option<&'v antruss_core::json::Value>, default: &'v str) -> &'v str {
+    v.and_then(antruss_core::json::Value::as_str)
+        .unwrap_or(default)
+}
+
+/// Renders one dashboard frame from a router's `/cluster/overview`
+/// body: the router's own summary line plus one table row per member.
+pub fn render_overview_frame(addr: &str, body: &str) -> Result<String, String> {
+    let v = antruss_core::json::parse(body).map_err(|e| format!("top: bad overview JSON: {e}"))?;
+    let mut out = String::new();
+    let router = v.get("router");
+    let status = text(router.and_then(|r| r.get("status")), "unknown");
+    let _ = writeln!(out, "antruss top — {addr} (cluster overview)");
+    let _ = writeln!(
+        out,
+        "router  status {}  requests {}  throughput {:.1}/s  p99 {:.1} ms  events {}",
+        colored(status),
+        num(router.and_then(|r| r.get("requests"))) as u64,
+        num(router.and_then(|r| r.get("throughput"))),
+        num(router.and_then(|r| r.get("p99_seconds"))) * 1000.0,
+        num(router.and_then(|r| r.get("events_head"))) as u64,
+    );
+    let mut t = Table::new([
+        "shard", "addr", "health", "ready", "req/s", "p99 ms", "hit %", "events", "stale s",
+    ]);
+    for m in v
+        .get("members")
+        .and_then(antruss_core::json::Value::as_array)
+        .unwrap_or(&[])
+    {
+        let status = text(m.get("status"), "unknown");
+        let ready = text(m.get("ready"), "unknown");
+        t.row([
+            format!("{}", num(m.get("shard")) as u64),
+            text(m.get("addr"), "?").to_string(),
+            colored(status),
+            colored(ready),
+            format!("{:.1}", num(m.get("throughput"))),
+            format!("{:.1}", num(m.get("p99_seconds")) * 1000.0),
+            format!("{:.1}", num(m.get("hit_ratio")) * 100.0),
+            format!("{}", num(m.get("events_head")) as u64),
+            format!("{:.1}", num(m.get("staleness_seconds"))),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// Renders one dashboard frame for a single tier (serve or edge) from
+/// its `/healthz` and `/metrics/history` bodies: the health verdict
+/// plus the latest point of each key counter/latency series.
+pub fn render_tier_frame(addr: &str, healthz: &str, history: &str) -> Result<String, String> {
+    let h = antruss_core::json::parse(healthz).map_err(|e| format!("top: bad healthz: {e}"))?;
+    let status = text(h.get("status"), "unknown");
+    let mut out = String::new();
+    let _ = writeln!(out, "antruss top — {addr} (single tier)");
+    let mut line = format!("status {}", colored(status));
+    if let Some(burning) = h.get("burning").and_then(antruss_core::json::Value::as_str) {
+        let _ = write!(line, "  burning {}", colored(burning));
+    }
+    let _ = writeln!(out, "{line}");
+    let v = antruss_core::json::parse(history).map_err(|e| format!("top: bad history: {e}"))?;
+    let mut t = Table::new(["series", "latest", "rate/s"]);
+    for s in v
+        .get("series")
+        .and_then(antruss_core::json::Value::as_array)
+        .unwrap_or(&[])
+    {
+        let name = text(s.get("name"), "?");
+        let labels = text(s.get("labels"), "");
+        let counter = [
+            "requests_total",
+            "errors_total",
+            "cache_hits_total",
+            "cache_misses_total",
+        ]
+        .iter()
+        .any(|suffix| name.ends_with(suffix));
+        let p99 = labels.contains("q=\"0.99\"")
+            && (labels == "{q=\"0.99\"}" || labels.contains("endpoint=\"solve\""));
+        if !counter && !p99 {
+            continue;
+        }
+        let Some(last) = s
+            .get("points")
+            .and_then(antruss_core::json::Value::as_array)
+            .and_then(<[_]>::last)
+        else {
+            continue;
+        };
+        let rate = last
+            .get("rate")
+            .and_then(antruss_core::json::Value::as_f64)
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        let value = num(last.get("value"));
+        t.row([
+            format!("{name}{labels}"),
+            if p99 {
+                format!("{:.1} ms", value * 1000.0)
+            } else {
+                format!("{value:.0}")
+            },
+            rate,
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// Fetches and renders one `antruss top` frame: `/cluster/overview`
+/// when the address is a router, falling back to `/healthz` +
+/// `/metrics/history` for a serve node or an edge.
+pub fn top_frame(addr: std::net::SocketAddr) -> Result<String, String> {
+    let mut client = antruss_service::Client::new(addr);
+    let overview = client
+        .get("/cluster/overview")
+        .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
+    if overview.status == 200 {
+        return render_overview_frame(&addr.to_string(), &overview.body_string());
+    }
+    let healthz = client
+        .get("/healthz")
+        .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
+    let history = client
+        .get("/metrics/history")
+        .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
+    if history.status != 200 {
+        return Err(format!(
+            "top: {addr} serves neither /cluster/overview nor /metrics/history \
+             (is it an antruss tier with history enabled?)"
+        ));
+    }
+    render_tier_frame(
+        &addr.to_string(),
+        &healthz.body_string(),
+        &history.body_string(),
+    )
+}
+
+/// `antruss top <addr>` — a live ANSI dashboard over a tier's
+/// telemetry, polling every `--interval` seconds until ctrl-c
+/// (`--once` prints a single frame and exits, for scripts and tests).
+pub fn cmd_top(args: &Args) -> Result<String, String> {
+    let pos = args.positional();
+    let raw = pos.get(1).ok_or("top: missing address (HOST:PORT)")?;
+    let addr = resolve_addr(raw).map_err(|e| format!("top: {e}"))?;
+    if args.flag("once") {
+        return top_frame(addr);
+    }
+    let interval = args.get("interval", 2.0f64).max(0.1);
+    antruss_service::server::install_sigint_handler();
+    let mut frames = 0u64;
+    while !antruss_service::server::sigint_received() {
+        match top_frame(addr) {
+            // \x1b[2J\x1b[H = clear screen + home, the classic top(1) dance
+            Ok(frame) => print!("\x1b[2J\x1b[H{frame}"),
+            Err(e) => print!("\x1b[2J\x1b[H{e}\n(retrying)"),
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frames += 1;
+        let mut slept = 0.0;
+        while slept < interval && !antruss_service::server::sigint_received() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            slept += 0.1;
+        }
+    }
+    Ok(format!("rendered {frames} frame(s)"))
 }
 
 /// `antruss solvers` — the registry line-up.
@@ -695,6 +923,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "serve" => cmd_serve(args),
         "cluster" => cmd_cluster(args),
         "edge" => cmd_edge(args),
+        "top" => cmd_top(args),
         "kcore" => {
             let spec = pos.get(1).ok_or("kcore: missing input")?;
             Ok(cmd_kcore(&load_input(spec, scale)?, args.get("b", 10)))
@@ -963,6 +1192,98 @@ mod tests {
         assert!(USAGE.contains("antruss serve"), "{USAGE}");
         assert!(USAGE.contains("antruss cluster"), "{USAGE}");
         assert!(USAGE.contains("antruss edge"), "{USAGE}");
+        assert!(USAGE.contains("antruss top"), "{USAGE}");
+        assert!(USAGE.contains("--slo"), "{USAGE}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_reject() {
+        let cfg = serve_config(&args(
+            "serve --metrics-interval 1.5 --slo availability=99.9",
+        ))
+        .unwrap();
+        assert_eq!(cfg.metrics_interval_ms, 1500);
+        assert_eq!(cfg.slos.len(), 1);
+        let defaults = serve_config(&args("serve")).unwrap();
+        assert_eq!(defaults.metrics_interval_ms, 5000);
+        assert!(defaults.slos.is_empty());
+        // 0 disables the sampler; bad objectives are loud errors
+        assert_eq!(
+            serve_config(&args("serve --metrics-interval 0"))
+                .unwrap()
+                .metrics_interval_ms,
+            0
+        );
+        assert!(serve_config(&args("serve --slo latency=fast"))
+            .unwrap_err()
+            .contains("--slo"));
+        // the same flags flow into the edge and cluster configs
+        let edge = edge_config(&args(
+            "edge --upstream 127.0.0.1:7171 --metrics-interval 2 --slo p99_ms=5",
+        ))
+        .unwrap();
+        assert_eq!(edge.metrics_interval_ms, 2000);
+        assert_eq!(edge.slos.len(), 1);
+        let cluster = cluster_config(&args("cluster --slo availability=99.9")).unwrap();
+        assert_eq!(cluster.backend.slos.len(), 1);
+    }
+
+    #[test]
+    fn top_renders_overview_and_tier_frames() {
+        let overview = r#"{"router":{"status":"ok","requests":120,"throughput":4.5,
+            "p99_seconds":0.0021,"events_head":7,"replication":2},
+            "members":[{"shard":0,"addr":"127.0.0.1:9001","static":true,"healthy":true,
+            "ready":"ready","status":"ok","requests":60,"throughput":2.2,"errors":1,
+            "p99_seconds":0.0018,"hit_ratio":0.93,"events_head":5,"staleness_seconds":0.4},
+            {"shard":1,"addr":"127.0.0.1:9002","static":false,"healthy":false,
+            "ready":"draining","status":"down"}],"ts":100.0}"#;
+        let frame = render_overview_frame("127.0.0.1:7171", overview).unwrap();
+        assert!(frame.contains("cluster overview"), "{frame}");
+        assert!(frame.contains("127.0.0.1:9001"), "{frame}");
+        assert!(frame.contains("draining"), "{frame}");
+        assert!(frame.contains("93.0"), "hit ratio as percent: {frame}");
+
+        let healthz = r#"{"status":"degraded","burning":"availability"}"#;
+        let history = r#"{"interval_seconds":5,"series":[
+            {"name":"antruss_requests_total","labels":"","kind":"counter",
+             "points":[{"ts":0,"value":10},{"ts":5,"value":20,"rate":2.0}]},
+            {"name":"antruss_endpoint_latency_seconds","labels":"{endpoint=\"solve\",q=\"0.99\"}",
+             "kind":"window_quantile","points":[{"ts":5,"value":0.004}]},
+            {"name":"antruss_uptime_seconds","labels":"","kind":"gauge",
+             "points":[{"ts":5,"value":5}]}]}"#;
+        let frame = render_tier_frame("127.0.0.1:7171", healthz, history).unwrap();
+        assert!(frame.contains("degraded"), "{frame}");
+        assert!(frame.contains("availability"), "{frame}");
+        assert!(frame.contains("antruss_requests_total"), "{frame}");
+        assert!(frame.contains("4.0 ms"), "{frame}");
+        assert!(!frame.contains("antruss_uptime_seconds"), "{frame}");
+
+        // bad bodies are errors, not panics
+        assert!(render_overview_frame("x", "nope").is_err());
+        assert!(render_tier_frame("x", "nope", "{}").is_err());
+    }
+
+    #[test]
+    fn top_command_validates_its_address() {
+        assert!(run(&args("top")).unwrap_err().contains("missing address"));
+        assert!(run(&args("top not-an-addr --once")).is_err());
+    }
+
+    #[test]
+    fn top_once_renders_a_live_server_frame() {
+        let server = antruss_service::Server::start(antruss_service::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            metrics_interval_ms: 0, // sample by hand below
+            ..antruss_service::ServerConfig::default()
+        })
+        .unwrap();
+        let state = server.state();
+        state.record_history(100.0);
+        state.record_history(105.0);
+        let frame = run(&args(&format!("top {} --once", server.addr()))).unwrap();
+        assert!(frame.contains("single tier"), "{frame}");
+        assert!(frame.contains("antruss_requests_total"), "{frame}");
+        server.shutdown();
     }
 
     #[test]

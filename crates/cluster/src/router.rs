@@ -42,6 +42,7 @@
 //!   via the dump/load path, with `/cache/dump` pulled in pages so a
 //!   big cache is never buffered whole on the router).
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -49,12 +50,14 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use antruss_core::json::{self, Value};
+use antruss_obs::slo::{self, Objective, SloReport, SloSources};
 use antruss_obs::trace::{self, AssembledTrace};
-use antruss_obs::{Histogram, Hop, Registry, SlowTraces, TraceContext};
+use antruss_obs::{Histogram, Hop, Recorder, Registry, SlowTraces, TraceContext};
 use antruss_service::events::random_epoch;
 use antruss_service::http::{Request, Response};
 use antruss_service::server::{
-    resolve_threads, run_connection, sigint_received, subresource, AcceptPool, SLOW_TRACE_CAP,
+    epoch_now, metrics_history, readyz, resolve_threads, run_connection, sigint_received,
+    spawn_history_sampler, subresource, AcceptPool, SLOW_TRACE_CAP,
 };
 use antruss_service::{canonical_key, Client, ClientResponse, Event, EventKind, EventLog};
 
@@ -88,6 +91,13 @@ pub struct RouterConfig {
     pub heartbeat_ms: u64,
     /// Missed-heartbeat intervals tolerated before eviction.
     pub miss_threshold: u32,
+    /// Cadence of the metrics-history sampler, milliseconds (0 disables
+    /// it — tests then drive [`RouterState::record_history`] by hand
+    /// with synthetic timestamps).
+    pub metrics_interval_ms: u64,
+    /// Service-level objectives evaluated over the history ring
+    /// (empty = no SLO engine; `/healthz` keeps its `ok`/`down` body).
+    pub slos: Vec<Objective>,
 }
 
 impl Default for RouterConfig {
@@ -105,6 +115,8 @@ impl Default for RouterConfig {
             health_interval_ms: 500,
             heartbeat_ms: 1000,
             miss_threshold: 3,
+            metrics_interval_ms: 5000,
+            slos: Vec::new(),
         }
     }
 }
@@ -220,6 +232,37 @@ const PH_PARSE: usize = 2;
 const PH_FORWARD: usize = 3;
 const PH_WRITE: usize = 4;
 
+/// What the health tick learned about one member the last time it
+/// visited: readiness, SLO status, and the key series `GET
+/// /cluster/overview` federates. One summary per member address,
+/// refreshed every tick; a member the tick cannot reach keeps its last
+/// summary with `status = "down"` so the overview still names it.
+#[derive(Debug, Clone)]
+pub struct MemberSummary {
+    /// `/readyz` verdict: `Some(true)` ready, `Some(false)` draining,
+    /// `None` when the member predates `/readyz` or was unreachable.
+    pub ready: Option<bool>,
+    /// The member's own health verdict: `ok`/`degraded`/`critical`
+    /// from its `/healthz` body, or `down` when unreachable.
+    pub status: String,
+    /// The objective the member reported as burning, if any.
+    pub burning: Option<String>,
+    /// Lifetime `antruss_requests_total` at the last probe.
+    pub requests: f64,
+    /// Requests/second between the two most recent probes.
+    pub throughput: f64,
+    /// Lifetime `antruss_http_errors_total` at the last probe.
+    pub errors: f64,
+    /// The member's lifetime solve p99, seconds.
+    pub p99_seconds: f64,
+    /// Cache hits / (hits + misses), or 0 before any lookup.
+    pub hit_ratio: f64,
+    /// The member's catalog event head seq (its own seq space).
+    pub events_head: u64,
+    /// Unix seconds when this summary was last refreshed.
+    pub updated_ts: f64,
+}
+
 /// Everything the router's request handlers share.
 pub struct RouterState {
     /// The configuration the router started with.
@@ -267,6 +310,13 @@ pub struct RouterState {
     /// The slowest request timelines this router originated, served at
     /// `GET /debug/traces` and dumped on SIGINT drain.
     pub traces: SlowTraces,
+    /// Bounded metrics-history ring behind `GET /metrics/history`,
+    /// sampled from [`build_registry`] every `metrics_interval_ms` and
+    /// feeding the SLO burn-rate windows.
+    pub recorder: Recorder,
+    /// Last-known per-member summaries, refreshed by [`tick_state`] and
+    /// served at `GET /cluster/overview`.
+    overview: Mutex<BTreeMap<SocketAddr, MemberSummary>>,
     started: Instant,
 }
 
@@ -306,6 +356,8 @@ impl RouterState {
             request_hist: Histogram::new(),
             phase_hists: std::array::from_fn(|_| Histogram::new()),
             traces: SlowTraces::new(SLOW_TRACE_CAP),
+            recorder: Recorder::new(config.metrics_interval_ms as f64 / 1000.0),
+            overview: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
             config,
         };
@@ -367,6 +419,43 @@ impl RouterState {
     /// `PH_*` indices into [`ROUTER_PHASES`]).
     fn observe_phase(&self, idx: usize, took: Duration) {
         self.phase_hists[idx].observe(took);
+    }
+
+    /// Samples the router's registry into the history ring at unix
+    /// second `ts` (the sampler thread passes the wall clock; tests
+    /// pass synthetic trajectories).
+    pub fn record_history(&self, ts: f64) {
+        self.recorder.record(ts, &build_registry(self));
+    }
+
+    /// Evaluates the configured objectives over the history ring,
+    /// anchored at the last recorded sample (so synthetic-time tests
+    /// and the live sampler agree on "now").
+    pub fn slo_report(&self) -> SloReport {
+        let now = self.recorder.last_ts().unwrap_or_else(epoch_now);
+        slo::evaluate(
+            &self.config.slos,
+            &self.recorder,
+            &router_slo_sources(),
+            now,
+        )
+    }
+
+    /// The last-known summary for `addr`, if the health tick has
+    /// visited it.
+    pub fn member_summary(&self, addr: SocketAddr) -> Option<MemberSummary> {
+        self.overview.lock().unwrap().get(&addr).cloned()
+    }
+}
+
+/// Which recorder series feed the router's SLO engine: its own request
+/// and error counters, and the per-interval p99 the recorder derives
+/// from the request histogram.
+fn router_slo_sources() -> SloSources {
+    SloSources {
+        requests: "antruss_router_requests_total".to_string(),
+        errors: "antruss_router_errors_total".to_string(),
+        p99: "antruss_router_request_seconds{q=\"0.99\"}".to_string(),
     }
 }
 
@@ -482,7 +571,12 @@ fn relay(resp: &ClientResponse, ring_id: u32) -> Response {
 /// Paths whose traces never enter the slow ring: scrapes and polls
 /// would crowd out the requests worth debugging.
 fn untraced(path: &str) -> bool {
-    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+    path == "/healthz"
+        || path == "/readyz"
+        || path.starts_with("/metrics")
+        || path == "/cluster/overview"
+        || path == "/events"
+        || path.starts_with("/debug/")
 }
 
 /// Routes one parsed request: counts it, adopts or originates its
@@ -542,7 +636,10 @@ pub fn handle(state: &RouterState, req: &Request) -> Response {
 fn route(state: &RouterState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
+        ("GET", "/readyz") => readyz(state.shutdown.load(Ordering::SeqCst) || sigint_received()),
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
+        ("GET", "/cluster/overview") => cluster_overview(state),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
         ("GET", "/events") => events_feed(state, req),
         ("GET", "/ring") => ring_info(state, req),
@@ -581,7 +678,21 @@ fn healthz(state: &RouterState) -> Response {
     // waiting for backends to join
     let ok = healthy > 0 || view.backends.is_empty();
     let mut body = String::from("{\"status\":");
-    body.push_str(if ok { "\"ok\"" } else { "\"down\"" });
+    let mut slo_json = None;
+    if !ok {
+        body.push_str("\"down\"");
+    } else if state.config.slos.is_empty() {
+        body.push_str("\"ok\"");
+    } else {
+        // reachability is necessary but no longer sufficient: with
+        // objectives configured the verdict is the SLO burn level
+        let report = state.slo_report();
+        body.push_str(&json::quoted(report.level().as_str()));
+        if let Some(burning) = report.burning() {
+            body.push_str(&format!(",\"burning\":{}", json::quoted(burning.name)));
+        }
+        slo_json = Some(report.to_json());
+    }
     body.push_str(",\"backends\":[");
     for (i, b) in view.backends.iter().enumerate() {
         if i > 0 {
@@ -594,8 +705,95 @@ fn healthz(state: &RouterState) -> Response {
             b.healthy.load(Ordering::Relaxed)
         ));
     }
-    body.push_str("]}");
+    body.push(']');
+    if let Some(slo) = slo_json {
+        body.push_str(&format!(",\"slo\":{slo}"));
+    }
+    body.push('}');
     Response::json(if ok { 200 } else { 503 }, body)
+}
+
+/// `GET /cluster/overview` — the federated view the health tick
+/// maintains: the router's own SLO verdict and throughput, plus one
+/// entry per member with its health level, request rate, solve p99,
+/// cache hit ratio, event head, and how stale that summary is. Members
+/// the tick has not visited yet (or a router running with
+/// `health_interval_ms = 0` and no manual ticks) report an empty list.
+fn cluster_overview(state: &RouterState) -> Response {
+    let now = epoch_now();
+    let view = state.view();
+    let members = state.membership.members();
+    let summaries = state.overview.lock().unwrap().clone();
+    let mut body = String::from("{");
+    // the router's own summary, from its history ring
+    let throughput = state
+        .recorder
+        .latest("antruss_router_requests_total")
+        .and_then(|p| p.rate)
+        .unwrap_or(0.0);
+    let p99 = state
+        .recorder
+        .latest("antruss_router_request_seconds{q=\"0.99\"}")
+        .map(|p| p.value)
+        .unwrap_or(0.0);
+    let status = if state.config.slos.is_empty() {
+        "ok".to_string()
+    } else {
+        state.slo_report().level().as_str().to_string()
+    };
+    body.push_str(&format!(
+        "\"router\":{{\"status\":{},\"requests\":{},\"throughput\":{throughput:.3},\
+         \"p99_seconds\":{p99:.6},\"events_head\":{},\"replication\":{}}}",
+        json::quoted(&status),
+        state.requests.load(Ordering::Relaxed),
+        state.events.head(),
+        state.config.replication,
+    ));
+    body.push_str(",\"members\":[");
+    for (i, m) in members.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let healthy = view
+            .position_of(m.addr)
+            .map(|p| view.backends[p].healthy.load(Ordering::Relaxed))
+            .unwrap_or(false);
+        body.push_str(&format!(
+            "{{\"shard\":{},\"addr\":{},\"static\":{},\"healthy\":{healthy}",
+            m.ring_id,
+            json::quoted(&m.addr.to_string()),
+            m.is_static,
+        ));
+        match summaries.get(&m.addr) {
+            Some(s) => {
+                let ready = match s.ready {
+                    Some(true) => "\"ready\"",
+                    Some(false) => "\"draining\"",
+                    None => "\"unknown\"",
+                };
+                body.push_str(&format!(
+                    ",\"ready\":{ready},\"status\":{},\"requests\":{},\
+                     \"throughput\":{:.3},\"errors\":{},\"p99_seconds\":{:.6},\
+                     \"hit_ratio\":{:.4},\"events_head\":{},\"staleness_seconds\":{:.1}",
+                    json::quoted(&s.status),
+                    s.requests as u64,
+                    s.throughput,
+                    s.errors as u64,
+                    s.p99_seconds,
+                    s.hit_ratio,
+                    s.events_head,
+                    (now - s.updated_ts).max(0.0),
+                ));
+                if let Some(burning) = &s.burning {
+                    body.push_str(&format!(",\"burning\":{}", json::quoted(burning)));
+                }
+            }
+            None => body.push_str(",\"ready\":\"unknown\",\"status\":\"unknown\""),
+        }
+        body.push('}');
+    }
+    body.push_str(&format!("],\"ts\":{now:.1}}}"));
+    Response::json(200, body)
 }
 
 /// `GET /events?since=S[&epoch=E][&wait=MS]` — the router's cluster
@@ -633,6 +831,13 @@ fn events_feed(state: &RouterState, req: &Request) -> Response {
 }
 
 fn render_metrics(state: &RouterState) -> String {
+    build_registry(state).render()
+}
+
+/// Builds the router's registry: served at `GET /metrics`, sampled
+/// into the history ring, and (when objectives are configured) carrying
+/// the `antruss_slo_*` gauge families.
+pub fn build_registry(state: &RouterState) -> Registry {
     let view = state.view();
     let members = state.membership.members();
     let dynamic = members.iter().filter(|m| !m.is_static).count();
@@ -722,7 +927,10 @@ fn render_metrics(state: &RouterState) -> String {
             &snap,
         );
     }
-    reg.render()
+    if !state.config.slos.is_empty() {
+        state.slo_report().register(&mut reg);
+    }
+    reg
 }
 
 /// `GET /ring?graph=N` — where a graph lives; `GET /ring` without a
@@ -1834,11 +2042,24 @@ fn sync_backend_once(
 /// every interval; the deterministic test harness calls it directly via
 /// [`Router::tick`].
 pub fn tick_state(state: &RouterState) {
-    // 1) health: probe, mark, warm recoveries
+    // 1) health: probe, mark, warm recoveries — and pull each member's
+    // summary (SLO verdict + key series) into the overview while we're
+    // already visiting it
     let view = state.view();
+    let mut draining: Vec<SocketAddr> = Vec::new();
     for b in view.backends.iter() {
         let was_healthy = b.healthy.load(Ordering::Relaxed);
-        let ok = forward(b, "GET", "/healthz", None).is_ok_and(|r| r.status == 200);
+        // readiness first: an explicit 503 from `/readyz` means the
+        // member is draining — believe it over raw miss counts instead
+        // of waiting out the heartbeat deadline (404 = member predates
+        // `/readyz`; transport error = let the health probe decide)
+        let ready = match forward(b, "GET", "/readyz", None) {
+            Ok(r) if r.status == 200 => Some(true),
+            Ok(r) if r.status == 503 => Some(false),
+            _ => None,
+        };
+        let healthz_ok = probe_member(state, b, ready);
+        let ok = healthz_ok && ready != Some(false);
         match (was_healthy, ok) {
             (true, false) => b.healthy.store(false, Ordering::Relaxed),
             (false, true) => {
@@ -1847,11 +2068,34 @@ pub fn tick_state(state: &RouterState) {
             }
             _ => {}
         }
+        if ready == Some(false) {
+            draining.push(b.addr);
+        }
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
-    // 2) membership: evict the silent, re-place their graphs
+    // 2) readiness eviction: a draining *dynamic* member is rotated out
+    // now rather than after miss_threshold silent heartbeats (static
+    // seeds stay listed — they were marked unhealthy above and resume
+    // on recovery)
+    let mut left = 0u64;
+    for addr in draining {
+        let dynamic = state
+            .membership
+            .members()
+            .iter()
+            .any(|m| m.addr == addr && !m.is_static);
+        if dynamic && state.membership.leave(addr) {
+            left += 1;
+        }
+    }
+    if left > 0 {
+        state.evictions.fetch_add(left, Ordering::Relaxed);
+        state.rebuild_view();
+        rebalance(state);
+    }
+    // 3) membership: evict the silent, re-place their graphs
     let evicted = state.membership.evict_overdue();
     if !evicted.is_empty() {
         state
@@ -1860,6 +2104,91 @@ pub fn tick_state(state: &RouterState) {
         state.rebuild_view();
         rebalance(state);
     }
+}
+
+/// Refreshes the overview entry for one member: its `/healthz` verdict
+/// (status level and burning objective, if its own SLO engine reports
+/// one) and the key series federated from its `/metrics` text —
+/// lifetime requests/errors, cache hit ratio, catalog event head, and
+/// solve p99. Throughput is the request-counter delta against the
+/// previous visit. Returns whether `/healthz` answered 200; an
+/// unreachable member keeps its last numbers with `status = "down"` so
+/// the overview still names it (and its staleness keeps growing).
+fn probe_member(state: &RouterState, b: &BackendState, ready: Option<bool>) -> bool {
+    let now = epoch_now();
+    let prev = state.overview.lock().unwrap().get(&b.addr).cloned();
+    let health = forward(b, "GET", "/healthz", None).ok();
+    let healthz_ok = health.as_ref().is_some_and(|r| r.status == 200);
+    let (status, burning) = match &health {
+        None => ("down".to_string(), None),
+        Some(r) => {
+            let parsed = json::parse(&r.body_string()).ok();
+            let status = parsed
+                .as_ref()
+                .and_then(|v| v.get("status"))
+                .and_then(|s| s.as_str())
+                .map(str::to_string)
+                .unwrap_or_else(|| if healthz_ok { "ok" } else { "down" }.to_string());
+            let burning = parsed
+                .as_ref()
+                .and_then(|v| v.get("burning"))
+                .and_then(|s| s.as_str())
+                .map(str::to_string);
+            (status, burning)
+        }
+    };
+    let mut summary = MemberSummary {
+        ready,
+        status,
+        burning,
+        requests: 0.0,
+        throughput: 0.0,
+        errors: 0.0,
+        p99_seconds: 0.0,
+        hit_ratio: 0.0,
+        events_head: 0,
+        updated_ts: now,
+    };
+    match forward(b, "GET", "/metrics", None) {
+        Ok(resp) => {
+            let text = resp.body_string();
+            let read = |name: &str| -> f64 {
+                text.lines()
+                    .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0)
+            };
+            summary.requests = read("antruss_requests_total");
+            summary.errors = read("antruss_http_errors_total");
+            let hits = read("antruss_cache_hits_total");
+            let misses = read("antruss_cache_misses_total");
+            if hits + misses > 0.0 {
+                summary.hit_ratio = hits / (hits + misses);
+            }
+            summary.events_head = read("antruss_events_head_seq") as u64;
+            summary.p99_seconds =
+                read("antruss_endpoint_latency_quantile_seconds{endpoint=\"solve\",q=\"0.99\"}");
+            if let Some(p) = &prev {
+                let dt = now - p.updated_ts;
+                if dt > 0.0 && summary.requests >= p.requests {
+                    summary.throughput = (summary.requests - p.requests) / dt;
+                }
+            }
+        }
+        Err(_) => {
+            if let Some(p) = prev {
+                summary = MemberSummary {
+                    ready,
+                    status: "down".to_string(),
+                    burning: None,
+                    throughput: 0.0,
+                    ..p
+                };
+            }
+        }
+    }
+    state.overview.lock().unwrap().insert(b.addr, summary);
+    healthz_ok
 }
 
 /// The health thread body: run [`tick_state`] every interval.
@@ -1881,6 +2210,7 @@ pub struct Router {
     state: Arc<RouterState>,
     pool: AcceptPool,
     health: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     started: Instant,
 }
 
@@ -1940,10 +2270,23 @@ impl Router {
         } else {
             None
         };
+        let sampler = if state.config.metrics_interval_ms > 0 {
+            let shutdown_state = Arc::clone(&state);
+            let record_state = Arc::clone(&state);
+            Some(spawn_history_sampler(
+                "antruss-router-sampler",
+                state.config.metrics_interval_ms,
+                Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
+                Arc::new(move |ts| record_state.record_history(ts)),
+            ))
+        } else {
+            None
+        };
         Ok(Router {
             state,
             pool,
             health,
+            sampler,
             started: Instant::now(),
         })
     }
@@ -1970,6 +2313,9 @@ impl Router {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
         if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.take() {
             let _ = h.join();
         }
         if sigint_received() {
@@ -2345,5 +2691,88 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing {series} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn readyz_and_metrics_history_routes_respond() {
+        let st = RouterState::new(RouterConfig::default());
+        let ready = handle(&st, &req("GET", "/readyz", ""));
+        assert_eq!(ready.status, 200);
+        assert!(String::from_utf8(ready.body).unwrap().contains("ready"));
+        handle(&st, &req("GET", "/healthz", ""));
+        st.record_history(100.0);
+        handle(&st, &req("GET", "/healthz", ""));
+        st.record_history(105.0);
+        let resp = handle(&st, &req("GET", "/metrics/history", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        let parsed = json::parse(&body).expect("history is valid JSON");
+        assert!(parsed.get("interval_seconds").is_some(), "{body}");
+        assert!(
+            body.contains("\"name\":\"antruss_router_requests_total\""),
+            "{body}"
+        );
+        // the per-interval p99 series the SLO engine reads
+        assert!(body.contains("antruss_router_request_seconds"), "{body}");
+        assert!(body.contains("q=\\\"0.99\\\""), "{body}");
+        // draining flips readiness
+        st.shutdown.store(true, Ordering::SeqCst);
+        assert_eq!(handle(&st, &req("GET", "/readyz", "")).status, 503);
+    }
+
+    #[test]
+    fn slo_level_flows_into_router_healthz_and_metrics() {
+        let st = RouterState::new(RouterConfig {
+            slos: slo::parse_slos("availability=99.0").unwrap(),
+            ..RouterConfig::default()
+        });
+        st.record_history(0.0);
+        handle(&st, &req("GET", "/healthz", ""));
+        st.record_history(5.0);
+        let health = String::from_utf8(handle(&st, &req("GET", "/healthz", "")).body).unwrap();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"slo\":{"), "{health}");
+        // deliberate 404s are router errors; enough of them burn the
+        // availability budget
+        for _ in 0..50 {
+            handle(&st, &req("GET", "/no/such/route", ""));
+        }
+        st.record_history(10.0);
+        let burned = String::from_utf8(handle(&st, &req("GET", "/healthz", "")).body).unwrap();
+        assert!(burned.contains("\"status\":\"critical\""), "{burned}");
+        assert!(burned.contains("\"burning\":\"availability\""), "{burned}");
+        let metrics = String::from_utf8(handle(&st, &req("GET", "/metrics", "")).body).unwrap();
+        for needle in [
+            "antruss_slo_health 2",
+            "antruss_slo_target{objective=\"availability\"} 99",
+            "antruss_slo_burn_rate{objective=\"availability\",window=\"5m\"}",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+        }
+    }
+
+    #[test]
+    fn cluster_overview_names_unvisited_and_dead_members() {
+        let st = state_with_dead_backends(2);
+        let before =
+            String::from_utf8(handle(&st, &req("GET", "/cluster/overview", "")).body).unwrap();
+        let parsed = json::parse(&before).expect("overview is valid JSON");
+        assert_eq!(
+            parsed
+                .get("members")
+                .and_then(Value::as_array)
+                .map(<[_]>::len),
+            Some(2),
+            "{before}"
+        );
+        assert!(before.contains("\"status\":\"unknown\""), "{before}");
+        // after a tick the dead members are visited and reported down
+        tick_state(&st);
+        let after =
+            String::from_utf8(handle(&st, &req("GET", "/cluster/overview", "")).body).unwrap();
+        json::parse(&after).expect("overview is valid JSON");
+        assert!(after.contains("\"status\":\"down\""), "{after}");
+        assert!(after.contains("\"router\":{"), "{after}");
+        assert!(after.contains("\"throughput\":"), "{after}");
     }
 }

@@ -126,6 +126,11 @@ impl Cluster {
             health_interval_ms: config.health_interval_ms,
             heartbeat_ms: config.heartbeat_ms,
             miss_threshold: config.miss_threshold,
+            // one --metrics-interval / --slo flag configures every tier
+            // of a supervised cluster: the router samples and evaluates
+            // on the same cadence and objectives as its backends
+            metrics_interval_ms: config.backend.metrics_interval_ms,
+            slos: config.backend.slos.clone(),
         })?;
         Ok(Cluster { backends, router })
     }

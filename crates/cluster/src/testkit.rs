@@ -58,6 +58,7 @@ impl Default for TestClusterConfig {
                 addr: "127.0.0.1:0".to_string(),
                 threads: 4,
                 cache_capacity: 64,
+                metrics_interval_ms: 0, // determinism: tests sample by hand
                 ..ServerConfig::default()
             },
         }
@@ -89,7 +90,8 @@ impl TestCluster {
                 replication: config.replication,
                 heartbeat_ms: config.heartbeat_ms,
                 miss_threshold: config.miss_threshold,
-                health_interval_ms: 0, // determinism: no background thread
+                health_interval_ms: 0,  // determinism: no background thread
+                metrics_interval_ms: 0, // determinism: tests sample by hand
                 ..RouterConfig::default()
             },
             Arc::clone(&clock) as Arc<dyn crate::membership::Clock>,
@@ -126,6 +128,14 @@ impl TestCluster {
     /// A fresh client speaking directly to backend `idx`.
     pub fn backend_client(&self, idx: usize) -> Client {
         Client::new(self.backends[idx].addr)
+    }
+
+    /// The in-process server behind backend `idx`, if it is alive
+    /// (None after [`TestCluster::kill`]). Gives tests direct access to
+    /// the backend's [`antruss_service::server::ServiceState`] — e.g.
+    /// to drive its history recorder with synthetic timestamps.
+    pub fn backend_server(&self, idx: usize) -> Option<&Server> {
+        self.backends[idx].server.as_ref()
     }
 
     /// Starts a backend server and registers it with the router

@@ -26,11 +26,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use antruss_core::json;
+use antruss_obs::slo::{self, Objective, SloReport, SloSources};
 use antruss_obs::trace::{self, AssembledTrace};
-use antruss_obs::{Histogram, Hop, Registry, SlowTraces, TraceContext};
+use antruss_obs::{Histogram, Hop, Recorder, Registry, SlowTraces, TraceContext};
 use antruss_service::http::{Request, Response};
 use antruss_service::server::{
-    resolve_threads, run_connection, sigint_received, AcceptPool, SLOW_TRACE_CAP,
+    epoch_now, metrics_history, readyz, resolve_threads, run_connection, sigint_received,
+    spawn_history_sampler, AcceptPool, SLOW_TRACE_CAP,
 };
 use antruss_service::{Client, ClientResponse, EventLog};
 
@@ -62,6 +64,13 @@ pub struct EdgeConfig {
     /// Backoff between subscriber attempts when the upstream is
     /// unreachable, milliseconds.
     pub retry_ms: u64,
+    /// Cadence of the metrics-history sampler, milliseconds (0 disables
+    /// it — tests then drive [`EdgeState::record_history`] by hand with
+    /// synthetic timestamps).
+    pub metrics_interval_ms: u64,
+    /// Service-level objectives evaluated over the history ring
+    /// (empty = no SLO engine; `/healthz` keeps reporting `ok`).
+    pub slos: Vec<Objective>,
 }
 
 impl Default for EdgeConfig {
@@ -74,6 +83,8 @@ impl Default for EdgeConfig {
             max_body_bytes: 1024 * 1024,
             poll_wait_ms: 2_000,
             retry_ms: 200,
+            metrics_interval_ms: 5000,
+            slos: Vec::new(),
         }
     }
 }
@@ -146,6 +157,10 @@ pub struct EdgeState {
     /// full edge→router→backend chain), served at `GET /debug/traces`
     /// and dumped on SIGINT drain.
     pub traces: SlowTraces,
+    /// Bounded metrics-history ring behind `GET /metrics/history`,
+    /// sampled from [`build_registry`] every `metrics_interval_ms` and
+    /// feeding the SLO burn-rate windows.
+    pub recorder: Recorder,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -168,6 +183,7 @@ impl EdgeState {
             request_hist: Histogram::new(),
             phase_hists: std::array::from_fn(|_| Histogram::new()),
             traces: SlowTraces::new(SLOW_TRACE_CAP),
+            recorder: Recorder::new(config.metrics_interval_ms as f64 / 1000.0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             upstream_display: config.upstream.clone(),
@@ -207,6 +223,21 @@ impl EdgeState {
     /// `PH_*` indices into [`EDGE_PHASES`]).
     fn observe_phase(&self, idx: usize, took: Duration) {
         self.phase_hists[idx].observe(took);
+    }
+
+    /// Samples the edge's registry into the history ring at unix second
+    /// `ts` (the sampler thread passes the wall clock; tests pass
+    /// synthetic trajectories).
+    pub fn record_history(&self, ts: f64) {
+        self.recorder.record(ts, &build_registry(self));
+    }
+
+    /// Evaluates the configured objectives over the history ring,
+    /// anchored at the last recorded sample (so synthetic-time tests
+    /// and the live sampler agree on "now").
+    pub fn slo_report(&self) -> SloReport {
+        let now = self.recorder.last_ts().unwrap_or_else(epoch_now);
+        slo::evaluate(&self.config.slos, &self.recorder, &edge_slo_sources(), now)
     }
 
     /// Forwards one request upstream over a pooled keep-alive
@@ -312,7 +343,22 @@ fn relay(up: ClientResponse) -> Response {
 /// Paths whose traces never enter the slow ring: scrapes and polls
 /// would crowd out the requests worth debugging.
 fn untraced(path: &str) -> bool {
-    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+    path == "/healthz"
+        || path == "/readyz"
+        || path.starts_with("/metrics")
+        || path == "/events"
+        || path.starts_with("/debug/")
+}
+
+/// Which recorder series feed the edge's SLO engine: its own request
+/// and error counters, and the per-interval p99 the recorder derives
+/// from the request histogram.
+fn edge_slo_sources() -> SloSources {
+    SloSources {
+        requests: "antruss_edge_requests_total".to_string(),
+        errors: "antruss_edge_http_errors_total".to_string(),
+        p99: "antruss_edge_request_seconds{q=\"0.99\"}".to_string(),
+    }
 }
 
 /// Routes one parsed request. Public so in-process tests can drive an
@@ -379,7 +425,9 @@ fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
     }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
+        ("GET", "/readyz") => readyz(state.is_shutdown() || sigint_received()),
         ("GET", "/metrics") => metrics(state),
+        ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
         ("GET", "/events") => events_feed(state, req),
         ("POST", "/solve") => solve(state, req),
@@ -400,11 +448,21 @@ fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
 }
 
 fn healthz(state: &EdgeState) -> Response {
+    let mut status = String::from("\"ok\"");
+    let mut slo_json = String::new();
+    if !state.config.slos.is_empty() {
+        let report = state.slo_report();
+        status = json::quoted(report.level().as_str());
+        if let Some(burning) = report.burning() {
+            status.push_str(&format!(",\"burning\":{}", json::quoted(burning.name)));
+        }
+        slo_json = format!(",\"slo\":{}", report.to_json());
+    }
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"role\":\"edge\",\"upstream\":{{\"addr\":{},\"up\":{}}},\
-             \"events\":{{\"epoch\":{},\"head\":{}}}}}",
+            "{{\"status\":{status},\"role\":\"edge\",\"upstream\":{{\"addr\":{},\"up\":{}}},\
+             \"events\":{{\"epoch\":{},\"head\":{}}}{slo_json}}}",
             json::quoted(&state.upstream_display),
             state.upstream_up(),
             json::quoted(&state.mirror.epoch().to_string()),
@@ -414,6 +472,13 @@ fn healthz(state: &EdgeState) -> Response {
 }
 
 fn metrics(state: &EdgeState) -> Response {
+    Response::text(200, build_registry(state).render())
+}
+
+/// Builds the edge's registry: served at `GET /metrics`, sampled into
+/// the history ring, and (when objectives are configured) carrying the
+/// `antruss_slo_*` gauge families.
+pub fn build_registry(state: &EdgeState) -> Registry {
     let m = &state.metrics;
     let c = state.cache.stats();
     let head = state.mirror.head();
@@ -496,7 +561,10 @@ fn metrics(state: &EdgeState) -> Response {
             &snap,
         );
     }
-    Response::text(200, reg.render())
+    if !state.config.slos.is_empty() {
+        state.slo_report().register(&mut reg);
+    }
+    reg
 }
 
 /// `GET /events` off the mirror — identical contract to the serving
@@ -634,6 +702,7 @@ pub struct Edge {
     state: Arc<EdgeState>,
     pool: AcceptPool,
     subscriber: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     /// The drain snapshot prints at most once, even though `Drop` calls
     /// [`Edge::shutdown`] again after an explicit shutdown.
     drained: bool,
@@ -686,10 +755,23 @@ impl Edge {
                 .spawn(move || sync::run(state))
                 .expect("spawn edge subscriber")
         };
+        let sampler = if state.config.metrics_interval_ms > 0 {
+            let shutdown_state = Arc::clone(&state);
+            let record_state = Arc::clone(&state);
+            Some(spawn_history_sampler(
+                "antruss-edge-sampler",
+                state.config.metrics_interval_ms,
+                Arc::new(move || shutdown_state.is_shutdown()),
+                Arc::new(move |ts| record_state.record_history(ts)),
+            ))
+        } else {
+            None
+        };
         Ok(Edge {
             state,
             pool,
             subscriber: Some(subscriber),
+            sampler,
             drained: false,
         })
     }
@@ -711,6 +793,9 @@ impl Edge {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
         if let Some(s) = self.subscriber.take() {
+            let _ = s.join();
+        }
+        if let Some(s) = self.sampler.take() {
             let _ = s.join();
         }
         if sigint_received() && !self.drained {
@@ -884,5 +969,57 @@ mod tests {
         let refused = client.post("/graphs", "application/json", b"{}").unwrap();
         assert_eq!(refused.status, 421);
         edge.shutdown();
+    }
+
+    #[test]
+    fn readyz_and_metrics_history_respond() {
+        let state = edge_state();
+        let ready = handle(&state, &request("GET", "/readyz", ""));
+        assert_eq!(ready.status, 200);
+        handle(&state, &request("GET", "/healthz", ""));
+        state.record_history(100.0);
+        handle(&state, &request("GET", "/healthz", ""));
+        state.record_history(105.0);
+        let resp = handle(&state, &request("GET", "/metrics/history", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        let parsed = antruss_core::json::parse(&body).expect("history is valid JSON");
+        assert!(parsed.get("interval_seconds").is_some(), "{body}");
+        assert!(
+            body.contains("\"name\":\"antruss_edge_requests_total\""),
+            "{body}"
+        );
+        assert!(body.contains("q=\\\"0.99\\\""), "{body}");
+        state.shutdown.store(true, Ordering::SeqCst);
+        assert_eq!(handle(&state, &request("GET", "/readyz", "")).status, 503);
+    }
+
+    #[test]
+    fn slo_level_flows_into_edge_healthz_and_metrics() {
+        let state = EdgeState::new(EdgeConfig {
+            upstream: "127.0.0.1:9".to_string(),
+            slos: slo::parse_slos("availability=99.0").unwrap(),
+            ..EdgeConfig::default()
+        })
+        .unwrap();
+        state.record_history(0.0);
+        handle(&state, &request("GET", "/healthz", ""));
+        state.record_history(5.0);
+        let health =
+            String::from_utf8(handle(&state, &request("GET", "/healthz", "")).body).unwrap();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"slo\":{"), "{health}");
+        // deliberate 404s are edge errors; enough of them burn the
+        // availability budget
+        for _ in 0..50 {
+            handle(&state, &request("GET", "/no/such/route", ""));
+        }
+        state.record_history(10.0);
+        let burned =
+            String::from_utf8(handle(&state, &request("GET", "/healthz", "")).body).unwrap();
+        assert!(burned.contains("\"status\":\"critical\""), "{burned}");
+        assert!(burned.contains("\"burning\":\"availability\""), "{burned}");
+        let text = String::from_utf8(handle(&state, &request("GET", "/metrics", "")).body).unwrap();
+        assert!(text.contains("antruss_slo_health 2"), "{text}");
     }
 }

@@ -1,0 +1,632 @@
+//! Retained metrics history: a fixed-size ring per series.
+//!
+//! `/metrics` is a point-in-time snapshot; the [`Recorder`] turns it
+//! into a trajectory. A sampler thread (one per tier) builds the tier's
+//! [`Registry`] every `--metrics-interval` and calls
+//! [`Recorder::record`]; the recorder keeps, per series, a bounded ring
+//! of timestamped points:
+//!
+//! * **counters** — the raw cumulative value plus the per-interval
+//!   rate (`Δvalue / Δt`, clamped at zero so a process restart never
+//!   renders a negative rate);
+//! * **gauges** — the value as sampled;
+//! * **histograms** — *per-interval* quantiles: each sample diffs the
+//!   histogram snapshot against the previous one (log2 buckets are
+//!   monotone, so bucket-wise subtraction is exact) and stores the
+//!   [`QUANTILES`] of just that interval's observations as
+//!   `name{...,q="..."}` series. Lifetime quantile gauges can never
+//!   recover from one bad minute; interval quantiles make regressions
+//!   *and recoveries* visible, which is what the SLO burn-rate engine
+//!   ([`crate::slo`]) evaluates.
+//!
+//! **Bounded memory, by construction:** at most [`MAX_SERIES`] distinct
+//! series (excess series are counted in `dropped_series`, never stored)
+//! times [`MAX_POINTS`] points per series, each point three `f64`s plus
+//! the one-time key string — ~24 B/point, < 2 MiB at the default caps.
+//! The ring never grows past its cap no matter how long the process
+//! runs; `tests/history_props.rs` pins the invariant.
+
+use crate::hist::{HistSnapshot, BUCKETS};
+use crate::registry::QUANTILES;
+use crate::Registry;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default cap on distinct series the recorder will retain.
+pub const MAX_SERIES: usize = 512;
+
+/// Default cap on points per series (at the default 5 s interval this
+/// is ~21 minutes of full-resolution history — enough to cover the SLO
+/// fast windows at full fidelity; slow windows see downsampled rings).
+pub const MAX_POINTS: usize = 256;
+
+/// Cap on points per series returned by [`Recorder::render_json`];
+/// longer rings are downsampled (extrema-preserving, see
+/// [`downsample`]) before serving.
+pub const MAX_SERVED_POINTS: usize = 128;
+
+/// What a series holds per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone counter: points carry value + per-interval rate.
+    Counter,
+    /// Gauge: points carry the sampled value.
+    Gauge,
+    /// Per-interval histogram quantile (seconds).
+    WindowQuantile,
+}
+
+impl SeriesKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::WindowQuantile => "window_quantile",
+        }
+    }
+}
+
+/// One timestamped observation in a series ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Sample time, seconds (unix epoch from the sampler thread;
+    /// synthetic in tests — the recorder only compares/diffs them).
+    pub ts: f64,
+    /// Counter: cumulative value. Gauge: value. WindowQuantile:
+    /// quantile in seconds over the interval ending at `ts`.
+    pub value: f64,
+    /// Counters only: `Δvalue / Δt` vs the previous point, clamped at
+    /// zero; `None` on the first point of a ring.
+    pub rate: Option<f64>,
+}
+
+#[derive(Debug)]
+struct Series {
+    name: String,
+    labels: String,
+    kind: SeriesKind,
+    points: VecDeque<Point>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Keyed by `name{labels}` — the exposition line prefix.
+    series: BTreeMap<String, Series>,
+    /// Previous raw histogram snapshot per `name{labels}`, diffed on
+    /// the next sample.
+    prev_hists: BTreeMap<String, HistSnapshot>,
+    /// Series refused because [`MAX_SERIES`] distinct keys already
+    /// exist (counted once per refused sample, so growth is visible).
+    dropped_series: u64,
+    /// Newest sample timestamp.
+    last_ts: f64,
+    /// Total `record` calls.
+    samples: u64,
+}
+
+/// Point-in-time accounting of a [`Recorder`] — what the bounded-memory
+/// property test asserts against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Distinct series currently retained.
+    pub series: usize,
+    /// Total points across every ring.
+    pub total_points: usize,
+    /// Samples refused by the series cap.
+    pub dropped_series: u64,
+    /// `record` calls so far.
+    pub samples: u64,
+}
+
+/// The fixed-size ring store behind `GET /metrics/history`.
+#[derive(Debug)]
+pub struct Recorder {
+    interval_seconds: f64,
+    max_series: usize,
+    max_points: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// A recorder with the default caps; `interval_seconds` is the
+    /// sampler period (advisory — stored for the JSON header, the
+    /// recorder itself accepts whatever timestamps it is given).
+    pub fn new(interval_seconds: f64) -> Recorder {
+        Recorder::with_caps(interval_seconds, MAX_SERIES, MAX_POINTS)
+    }
+
+    /// A recorder with explicit caps (tests shrink them).
+    pub fn with_caps(interval_seconds: f64, max_series: usize, max_points: usize) -> Recorder {
+        Recorder {
+            interval_seconds,
+            max_series,
+            max_points: max_points.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The sampler period this recorder was configured with.
+    pub fn interval_seconds(&self) -> f64 {
+        self.interval_seconds
+    }
+
+    /// Samples every scalar and histogram series of `registry` at time
+    /// `ts` (seconds).
+    pub fn record(&self, ts: f64, registry: &Registry) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.samples += 1;
+        inner.last_ts = if inner.samples == 1 {
+            ts
+        } else {
+            inner.last_ts.max(ts)
+        };
+        for s in registry.scalar_samples() {
+            let kind = if s.counter {
+                SeriesKind::Counter
+            } else {
+                SeriesKind::Gauge
+            };
+            push_point(
+                &mut inner,
+                &s.name,
+                &s.labels,
+                kind,
+                ts,
+                s.value,
+                self.max_series,
+                self.max_points,
+            );
+        }
+        for (name, labels, snap) in registry.hist_samples() {
+            let key = format!("{name}{labels}");
+            let diff = match inner.prev_hists.get(&key) {
+                Some(prev) => snap_diff(&snap, prev),
+                None => snap.clone(),
+            };
+            inner.prev_hists.insert(key, snap);
+            for (q, tag) in QUANTILES {
+                let qlabels = labels_with_q(&labels, tag);
+                let value = if diff.count() == 0 {
+                    0.0
+                } else {
+                    diff.quantile_seconds(q)
+                };
+                push_point(
+                    &mut inner,
+                    &name,
+                    &qlabels,
+                    SeriesKind::WindowQuantile,
+                    ts,
+                    value,
+                    self.max_series,
+                    self.max_points,
+                );
+            }
+        }
+    }
+
+    /// The newest sample timestamp seen, if any — the evaluation "now"
+    /// for SLO windows (live samplers feed wall time; tests feed
+    /// synthetic time, and windows stay consistent either way).
+    pub fn last_ts(&self) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        if inner.samples == 0 {
+            None
+        } else {
+            Some(inner.last_ts)
+        }
+    }
+
+    /// Current accounting (see [`RecorderStats`]).
+    pub fn stats(&self) -> RecorderStats {
+        let inner = self.inner.lock().unwrap();
+        RecorderStats {
+            series: inner.series.len(),
+            total_points: inner.series.values().map(|s| s.points.len()).sum(),
+            dropped_series: inner.dropped_series,
+            samples: inner.samples,
+        }
+    }
+
+    /// The raw ring of the series keyed `name{labels}` (oldest first);
+    /// empty if unknown. Key = the exposition line prefix, e.g.
+    /// `antruss_requests_total` or
+    /// `antruss_request_phase_seconds{phase="solve",q="0.99"}`.
+    pub fn series_points(&self, key: &str) -> Vec<Point> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .series
+            .get(key)
+            .map(|s| s.points.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The newest point of series `key`.
+    pub fn latest(&self, key: &str) -> Option<Point> {
+        let inner = self.inner.lock().unwrap();
+        inner.series.get(key).and_then(|s| s.points.back().copied())
+    }
+
+    /// Counter delta over the window `[start, now]`: newest value minus
+    /// the value at the latest point not after `start` (the window is
+    /// clamped to available history). Clamped at zero; 0.0 with fewer
+    /// than two points.
+    pub fn window_delta(&self, key: &str, start: f64) -> f64 {
+        let inner = self.inner.lock().unwrap();
+        let Some(s) = inner.series.get(key) else {
+            return 0.0;
+        };
+        let Some(last) = s.points.back() else {
+            return 0.0;
+        };
+        let mut base = None;
+        for p in s.points.iter() {
+            if p.ts <= start {
+                base = Some(p.value);
+            } else {
+                break;
+            }
+        }
+        let base = base.unwrap_or_else(|| s.points.front().map(|p| p.value).unwrap_or(0.0));
+        if s.points.len() < 2 {
+            return 0.0;
+        }
+        (last.value - base).max(0.0)
+    }
+
+    /// Maximum value over points with `ts >= start`; `None` if the
+    /// window is empty.
+    pub fn window_max(&self, key: &str, start: f64) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        inner.series.get(key).and_then(|s| {
+            s.points
+                .iter()
+                .filter(|p| p.ts >= start)
+                .map(|p| p.value)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                })
+        })
+    }
+
+    /// Renders the `GET /metrics/history` JSON body. `series` filters
+    /// to families whose *name* equals the filter (every label set of
+    /// it); `since` drops points at or before that timestamp. Rings
+    /// longer than [`MAX_SERVED_POINTS`] are downsampled.
+    pub fn render_json(&self, series: Option<&str>, since: Option<f64>) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut body = String::with_capacity(4096);
+        body.push('{');
+        body.push_str(&format!(
+            "\"interval_seconds\":{},\"points_cap\":{},\"series_cap\":{},\"served_points_cap\":{},\"dropped_series\":{},\"samples\":{},\"series\":[",
+            fmt_f64(self.interval_seconds),
+            self.max_points,
+            self.max_series,
+            MAX_SERVED_POINTS,
+            inner.dropped_series,
+            inner.samples,
+        ));
+        let mut first = true;
+        for s in inner.series.values() {
+            if let Some(filter) = series {
+                if s.name != filter {
+                    continue;
+                }
+            }
+            let pts: Vec<Point> = s
+                .points
+                .iter()
+                .filter(|p| since.is_none_or(|t| p.ts > t))
+                .copied()
+                .collect();
+            if pts.is_empty() && series.is_none() {
+                continue;
+            }
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"kind\":\"{}\",\"points\":[",
+                jesc(&s.name),
+                jesc(&s.labels),
+                s.kind.as_str()
+            ));
+            let served = downsample(&pts, MAX_SERVED_POINTS);
+            for (i, p) in served.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"ts\":{},\"value\":{}",
+                    fmt_f64(p.ts),
+                    fmt_f64(p.value)
+                ));
+                if let Some(rate) = p.rate {
+                    body.push_str(&format!(",\"rate\":{}", fmt_f64(rate)));
+                }
+                body.push('}');
+            }
+            body.push_str("]}");
+        }
+        body.push_str("]}");
+        body
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_point(
+    inner: &mut Inner,
+    name: &str,
+    labels: &str,
+    kind: SeriesKind,
+    ts: f64,
+    value: f64,
+    max_series: usize,
+    max_points: usize,
+) {
+    let key = format!("{name}{labels}");
+    if !inner.series.contains_key(&key) {
+        if inner.series.len() >= max_series {
+            inner.dropped_series += 1;
+            return;
+        }
+        inner.series.insert(
+            key.clone(),
+            Series {
+                name: name.to_string(),
+                labels: labels.to_string(),
+                kind,
+                points: VecDeque::with_capacity(max_points.min(64)),
+            },
+        );
+    }
+    let s = inner.series.get_mut(&key).unwrap();
+    let rate = if kind == SeriesKind::Counter {
+        s.points.back().and_then(|prev| {
+            let dt = ts - prev.ts;
+            if dt > 0.0 {
+                Some(((value - prev.value) / dt).max(0.0))
+            } else {
+                None
+            }
+        })
+    } else {
+        None
+    };
+    if s.points.len() >= max_points {
+        s.points.pop_front();
+    }
+    s.points.push_back(Point { ts, value, rate });
+}
+
+/// Bucket-wise `cur - prev` (both monotone under sampling, so
+/// saturating subtraction only fires on a histogram reset).
+fn snap_diff(cur: &HistSnapshot, prev: &HistSnapshot) -> HistSnapshot {
+    let mut buckets = [0u64; BUCKETS];
+    for (i, out) in buckets.iter_mut().enumerate() {
+        *out = cur.buckets[i].saturating_sub(prev.buckets[i]);
+    }
+    HistSnapshot {
+        buckets,
+        sum_ns: cur.sum_ns.saturating_sub(prev.sum_ns),
+    }
+}
+
+/// Appends `q="tag"` to an already-rendered label set.
+fn labels_with_q(labels: &str, tag: &str) -> String {
+    if labels.is_empty() {
+        format!("{{q=\"{tag}\"}}")
+    } else {
+        format!("{},q=\"{tag}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Reduces `points` to at most `max` (≥ 2) of its *own* points: the
+/// ring is split into chunks and each chunk contributes its minimum and
+/// maximum point, in timestamp order. Because the output is a subset of
+/// the input, downsampling can never invent an extremum — the served
+/// min/max always bracket within the recorded min/max
+/// (`tests/history_props.rs` pins this).
+pub fn downsample(points: &[Point], max: usize) -> Vec<Point> {
+    let max = max.max(2);
+    if points.len() <= max {
+        return points.to_vec();
+    }
+    let chunks = max / 2;
+    let chunk_len = points.len().div_ceil(chunks);
+    let mut out = Vec::with_capacity(max);
+    for chunk in points.chunks(chunk_len) {
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for (i, p) in chunk.iter().enumerate() {
+            if p.value < chunk[lo].value {
+                lo = i;
+            }
+            if p.value >= chunk[hi].value {
+                hi = i;
+            }
+        }
+        let (a, b) = (lo.min(hi), lo.max(hi));
+        out.push(chunk[a]);
+        if b != a {
+            out.push(chunk[b]);
+        }
+    }
+    out
+}
+
+/// JSON number rendering: finite, compact, never `NaN`/`inf` (which
+/// would break strict parsers).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn jesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn registry(requests: u64, cache_entries: f64) -> Registry {
+        let mut r = Registry::new();
+        r.counter("antruss_requests_total", requests);
+        r.gauge("antruss_cache_entries", cache_entries);
+        r
+    }
+
+    #[test]
+    fn counters_get_rates_gauges_do_not() {
+        let rec = Recorder::new(5.0);
+        rec.record(0.0, &registry(0, 1.0));
+        rec.record(5.0, &registry(100, 2.0));
+        rec.record(10.0, &registry(150, 3.0));
+        let pts = rec.series_points("antruss_requests_total");
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].rate, None);
+        assert_eq!(pts[1].rate, Some(20.0));
+        assert_eq!(pts[2].rate, Some(10.0));
+        let gauge = rec.series_points("antruss_cache_entries");
+        assert!(gauge.iter().all(|p| p.rate.is_none()));
+    }
+
+    #[test]
+    fn counter_reset_clamps_rate_at_zero() {
+        let rec = Recorder::new(5.0);
+        rec.record(0.0, &registry(500, 0.0));
+        rec.record(5.0, &registry(3, 0.0)); // restart: counter went backwards
+        let pts = rec.series_points("antruss_requests_total");
+        assert_eq!(pts[1].rate, Some(0.0));
+    }
+
+    #[test]
+    fn ring_caps_points_and_series() {
+        let rec = Recorder::with_caps(1.0, 1, 4);
+        for i in 0..50u64 {
+            rec.record(i as f64, &registry(i, i as f64));
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.series, 1, "second series refused by the cap");
+        assert_eq!(stats.total_points, 4);
+        assert!(stats.dropped_series > 0);
+        let pts = rec.series_points("antruss_requests_total");
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts.last().unwrap().ts, 49.0);
+    }
+
+    #[test]
+    fn histogram_samples_become_interval_quantiles() {
+        let h = Histogram::new();
+        let build = |h: &Histogram| {
+            let mut r = Registry::new();
+            r.histogram(
+                "antruss_phase_seconds",
+                &[("phase", "solve")],
+                &h.snapshot(),
+            );
+            r
+        };
+        let rec = Recorder::new(5.0);
+        for _ in 0..100 {
+            h.observe_ns(1_000_000); // ~1ms
+        }
+        rec.record(0.0, &build(&h));
+        for _ in 0..100 {
+            h.observe_ns(64_000_000); // ~64ms: only the new interval sees it
+        }
+        rec.record(5.0, &build(&h));
+        let key = "antruss_phase_seconds{phase=\"solve\",q=\"0.99\"}";
+        let pts = rec.series_points(key);
+        assert_eq!(pts.len(), 2);
+        // first interval: ~1ms (within 2x); second: ~64ms, NOT the
+        // lifetime blend — the diff isolates the interval
+        assert!(pts[0].value < 0.004, "{pts:?}");
+        assert!(pts[1].value > 0.03, "{pts:?}");
+        let p50 = rec.series_points("antruss_phase_seconds{phase=\"solve\",q=\"0.5\"}");
+        assert_eq!(p50.len(), 2);
+    }
+
+    #[test]
+    fn window_queries() {
+        let rec = Recorder::new(5.0);
+        for (ts, v) in [(0.0, 0u64), (10.0, 100), (20.0, 150), (30.0, 160)] {
+            rec.record(ts, &registry(v, v as f64 / 10.0));
+        }
+        // full window
+        assert_eq!(rec.window_delta("antruss_requests_total", -1.0), 160.0);
+        // window starting at ts=10: baseline is the point AT 10
+        assert_eq!(rec.window_delta("antruss_requests_total", 10.0), 60.0);
+        // window starting mid-gap: baseline is the latest point <= start
+        assert_eq!(rec.window_delta("antruss_requests_total", 15.0), 60.0);
+        assert_eq!(rec.window_max("antruss_cache_entries", 15.0), Some(16.0));
+        assert_eq!(rec.window_max("antruss_cache_entries", 99.0), None);
+        assert_eq!(rec.window_delta("no_such_series", 0.0), 0.0);
+    }
+
+    #[test]
+    fn json_filters_by_series_and_since() {
+        let rec = Recorder::new(5.0);
+        rec.record(10.0, &registry(5, 1.0));
+        rec.record(20.0, &registry(9, 2.0));
+        let all = rec.render_json(None, None);
+        assert!(all.contains("\"name\":\"antruss_requests_total\""), "{all}");
+        assert!(all.contains("\"name\":\"antruss_cache_entries\""), "{all}");
+        assert!(all.contains("\"kind\":\"counter\""), "{all}");
+        assert!(all.contains("\"rate\":"), "{all}");
+        let one = rec.render_json(Some("antruss_cache_entries"), None);
+        assert!(!one.contains("antruss_requests_total"), "{one}");
+        assert!(one.contains("\"kind\":\"gauge\""), "{one}");
+        let late = rec.render_json(Some("antruss_cache_entries"), Some(15.0));
+        assert!(late.contains("\"ts\":20"), "{late}");
+        assert!(!late.contains("\"ts\":10"), "{late}");
+    }
+
+    #[test]
+    fn downsample_is_a_subset_preserving_extrema() {
+        let points: Vec<Point> = (0..1000)
+            .map(|i| Point {
+                ts: i as f64,
+                value: ((i * 37) % 101) as f64,
+                rate: None,
+            })
+            .collect();
+        let ds = downsample(&points, 64);
+        assert!(ds.len() <= 64);
+        let in_min = points.iter().map(|p| p.value).fold(f64::MAX, f64::min);
+        let in_max = points.iter().map(|p| p.value).fold(f64::MIN, f64::max);
+        let out_min = ds.iter().map(|p| p.value).fold(f64::MAX, f64::min);
+        let out_max = ds.iter().map(|p| p.value).fold(f64::MIN, f64::max);
+        assert!(out_min >= in_min && out_max <= in_max);
+        // every served point is a recorded point
+        for p in &ds {
+            assert!(points.contains(p));
+        }
+        // timestamps stay ordered
+        for w in ds.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        // short rings pass through untouched
+        assert_eq!(downsample(&points[..10], 64), points[..10].to_vec());
+    }
+}

@@ -18,14 +18,26 @@
 //!   at `GET /debug/traces`, dumped on SIGINT drain).
 //! * [`log`] — a leveled [`log!`] facility with an optional JSON mode,
 //!   replacing ad-hoc `eprintln!`s on health/heartbeat/recovery paths.
+//! * [`history`] — a bounded ring [`history::Recorder`] that samples a
+//!   tier's registry every `--metrics-interval` and serves the
+//!   trajectory (counter rates, gauges, per-interval histogram
+//!   quantiles) at `GET /metrics/history`.
+//! * [`slo`] — configurable objectives (`--slo availability=99.9,
+//!   p99_ms=5`) evaluated as multi-window burn rates over the history
+//!   ring; exported as `antruss_slo_*` gauges and as the
+//!   `ok|degraded|critical` status `/healthz` now reports.
 
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod history;
 pub mod log;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
+pub use history::Recorder;
 pub use registry::Registry;
+pub use slo::{Level, Objective, SloReport, SloSources};
 pub use trace::{Hop, SlowTraces, TraceContext};

@@ -62,6 +62,24 @@ pub struct Registry {
     families: Vec<Family>,
 }
 
+/// One scalar (counter or gauge) series read back out of a built
+/// [`Registry`] — what [`crate::history::Recorder`] samples. Histogram
+/// families are skipped: every tier registers sibling
+/// `*_quantile_seconds{q}` gauge families, which show up here as
+/// scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarSample {
+    /// Family name, e.g. `antruss_requests_total`.
+    pub name: String,
+    /// Rendered label set, `{k="v",...}` or empty.
+    pub labels: String,
+    /// `true` for counter families (sampled as rates), `false` for
+    /// gauges (sampled as-is).
+    pub counter: bool,
+    /// The registered value, parsed back from its exposition rendering.
+    pub value: f64,
+}
+
 fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
@@ -176,6 +194,48 @@ impl Registry {
             all.push(("q", tag));
             self.gauge_with(name, &all, snap.quantile_seconds(q));
         }
+    }
+
+    /// Every scalar series currently registered, in registration order.
+    /// Histogram samples are skipped (their quantile-gauge siblings are
+    /// scalars and cover them); a value that fails to parse back (never
+    /// produced by [`fmt_value`]) is skipped too.
+    pub fn scalar_samples(&self) -> Vec<ScalarSample> {
+        let mut out = Vec::new();
+        for fam in &self.families {
+            let counter = fam.kind == Kind::Counter;
+            if fam.kind == Kind::Histogram {
+                continue;
+            }
+            for sample in &fam.samples {
+                if let Sample::Scalar(labels, v) = sample {
+                    if let Ok(value) = v.parse::<f64>() {
+                        out.push(ScalarSample {
+                            name: fam.name.clone(),
+                            labels: labels.clone(),
+                            counter,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every histogram series currently registered as
+    /// `(name, rendered_labels, snapshot)` — what the history recorder
+    /// diffs into per-interval quantiles.
+    pub fn hist_samples(&self) -> Vec<(String, String, HistSnapshot)> {
+        let mut out = Vec::new();
+        for fam in &self.families {
+            for sample in &fam.samples {
+                if let Sample::Hist(labels, snap) = sample {
+                    out.push((fam.name.clone(), labels.clone(), (**snap).clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Renders every family as Prometheus text exposition: one `# TYPE`
@@ -344,6 +404,28 @@ mod tests {
             .next()
             .unwrap();
         assert_eq!(inf, "2");
+    }
+
+    #[test]
+    fn scalar_samples_read_back_counters_and_gauges() {
+        let mut r = Registry::new();
+        r.counter("antruss_requests_total", 5);
+        r.gauge_with("antruss_quantile", &[("q", "0.99")], 0.25);
+        let h = Histogram::new();
+        h.observe_ns(1_000);
+        r.histogram(
+            "antruss_phase_seconds",
+            &[("phase", "parse")],
+            &h.snapshot(),
+        );
+        let samples = r.scalar_samples();
+        assert_eq!(samples.len(), 2, "{samples:?}");
+        assert_eq!(samples[0].name, "antruss_requests_total");
+        assert!(samples[0].counter);
+        assert_eq!(samples[0].value, 5.0);
+        assert_eq!(samples[1].labels, "{q=\"0.99\"}");
+        assert!(!samples[1].counter);
+        assert!((samples[1].value - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! SLO objectives evaluated as multi-window burn rates over the
+//! metrics history ring.
+//!
+//! An objective is either an **availability** target (`availability=
+//! 99.9`: at most 0.1% of requests may error) or a **p99 latency**
+//! objective (`p99_ms=5`: the per-interval p99 should stay under 5 ms).
+//! Both are turned into *burn rates* — "how many times faster than
+//! budget are we failing" — over three windows of the
+//! [`crate::history::Recorder`]:
+//!
+//! * availability burn over a window = `error_fraction / error_budget`
+//!   where the fractions come from counter deltas across the window;
+//! * latency burn over a window = `worst per-interval p99 / objective`.
+//!
+//! Health levels use the classic paired-window rule (a short window
+//! confirms the problem is *still happening*, a long window confirms it
+//! is *material*), which is also what makes recovery visible quickly:
+//! the fast window drains in [`WINDOW_FAST_SECS`] and the level clears
+//! with it, even though the long windows still remember the incident.
+//!
+//! * **critical** — fast (5m) *and* mid (1h) burn ≥ the critical
+//!   threshold ([`CRIT_AVAILABILITY_BURN`] 14.4, the classic
+//!   2%-of-30-day-budget-per-hour rate, or [`CRIT_LATENCY_BURN`]).
+//! * **degraded** — fast burn ≥ 1 and either mid (1h) or slow (6h)
+//!   burn ≥ 1.
+//! * **ok** — everything else. With no objectives configured the
+//!   report is always ok (`/healthz` keeps its historical behavior).
+//!
+//! Windows are clamped to available history, so a freshly started
+//! process evaluates over whatever trajectory it has.
+
+use crate::history::Recorder;
+use crate::Registry;
+
+/// Fast window: 5 minutes. Drains quickly — governs how fast levels
+/// clear after recovery.
+pub const WINDOW_FAST_SECS: f64 = 300.0;
+/// Mid window: 1 hour — the "is it material" confirmation for critical.
+pub const WINDOW_MID_SECS: f64 = 3600.0;
+/// Slow window: 6 hours — catches slow sustained burns.
+pub const WINDOW_SLOW_SECS: f64 = 21600.0;
+
+/// Every evaluation window with its exposition label.
+pub const WINDOWS: [(f64, &str); 3] = [
+    (WINDOW_FAST_SECS, "5m"),
+    (WINDOW_MID_SECS, "1h"),
+    (WINDOW_SLOW_SECS, "6h"),
+];
+
+/// Critical availability burn: spending 30-day budget 14.4x too fast
+/// (2% of the monthly budget per hour).
+pub const CRIT_AVAILABILITY_BURN: f64 = 14.4;
+/// Critical latency burn: worst interval p99 at 2x the objective.
+pub const CRIT_LATENCY_BURN: f64 = 2.0;
+
+/// What an [`Objective`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Fraction of non-error responses, target in percent (`99.9`).
+    Availability,
+    /// Per-interval p99 latency bound, objective in seconds.
+    LatencyP99,
+}
+
+/// One configured objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// What is measured.
+    pub kind: SloKind,
+    /// Exposition label: `availability` or `p99_ms`.
+    pub name: &'static str,
+    /// Availability: target percent (0–100). Latency: objective in
+    /// **seconds** (the flag takes milliseconds).
+    pub target: f64,
+}
+
+/// Parses a `--slo` flag value: comma-separated `key=value` pairs,
+/// keys `availability` (percent) and `p99_ms` (milliseconds).
+/// `parse_slos("availability=99.9,p99_ms=5")` — empty string parses to
+/// no objectives.
+pub fn parse_slos(spec: &str) -> Result<Vec<Objective>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--slo: expected key=value, got {part:?}"))?;
+        let v: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("--slo: {key}: not a number: {value:?}"))?;
+        match key.trim() {
+            "availability" => {
+                if !(0.0..=100.0).contains(&v) {
+                    return Err(format!("--slo: availability must be 0-100, got {v}"));
+                }
+                if out
+                    .iter()
+                    .any(|o: &Objective| o.kind == SloKind::Availability)
+                {
+                    return Err("--slo: availability given twice".to_string());
+                }
+                out.push(Objective {
+                    kind: SloKind::Availability,
+                    name: "availability",
+                    target: v,
+                });
+            }
+            "p99_ms" => {
+                if v <= 0.0 {
+                    return Err(format!("--slo: p99_ms must be positive, got {v}"));
+                }
+                if out
+                    .iter()
+                    .any(|o: &Objective| o.kind == SloKind::LatencyP99)
+                {
+                    return Err("--slo: p99_ms given twice".to_string());
+                }
+                out.push(Objective {
+                    kind: SloKind::LatencyP99,
+                    name: "p99_ms",
+                    target: v / 1000.0,
+                });
+            }
+            other => return Err(format!("--slo: unknown objective {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Which recorder series an evaluation reads. Keys are exposition line
+/// prefixes (`name{labels}`) as stored by the recorder — each tier
+/// points these at its own metric names.
+#[derive(Debug, Clone)]
+pub struct SloSources {
+    /// Monotone request counter, e.g. `antruss_requests_total`.
+    pub requests: String,
+    /// Monotone error counter, e.g. `antruss_http_errors_total`.
+    pub errors: String,
+    /// Per-interval p99 series, e.g.
+    /// `antruss_endpoint_latency_seconds{endpoint="solve",q="0.99"}`.
+    pub p99: String,
+}
+
+/// Health level, ordered: worse compares greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No objective burning.
+    Ok = 0,
+    /// Budget burning faster than earned.
+    Degraded = 1,
+    /// Burning fast enough to page.
+    Critical = 2,
+}
+
+impl Level {
+    /// The `/healthz` status string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Ok => "ok",
+            Level::Degraded => "degraded",
+            Level::Critical => "critical",
+        }
+    }
+}
+
+/// One objective's evaluation.
+#[derive(Debug, Clone)]
+pub struct ObjectiveStatus {
+    /// `availability` or `p99_ms`.
+    pub name: &'static str,
+    /// The configured target (percent, or seconds for latency).
+    pub target: f64,
+    /// This objective's level.
+    pub level: Level,
+    /// Burn rate per window, in [`WINDOWS`] order (5m, 1h, 6h).
+    pub burns: [f64; 3],
+}
+
+impl ObjectiveStatus {
+    /// The objective's worst burn across windows.
+    pub fn worst_burn(&self) -> f64 {
+        self.burns.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A full evaluation: the overall level is the worst objective's.
+#[derive(Debug, Clone, Default)]
+pub struct SloReport {
+    /// Per-objective results (empty when no objectives are configured).
+    pub objectives: Vec<ObjectiveStatus>,
+}
+
+impl SloReport {
+    /// Worst level across objectives ([`Level::Ok`] when empty).
+    pub fn level(&self) -> Level {
+        self.objectives
+            .iter()
+            .map(|o| o.level)
+            .max()
+            .unwrap_or(Level::Ok)
+    }
+
+    /// The worst-burning objective, if any is above [`Level::Ok`].
+    pub fn burning(&self) -> Option<&ObjectiveStatus> {
+        self.objectives
+            .iter()
+            .filter(|o| o.level > Level::Ok)
+            .max_by(|a, b| a.worst_burn().total_cmp(&b.worst_burn()))
+    }
+
+    /// Registers the `antruss_slo_*` gauge families on `r`.
+    pub fn register(&self, r: &mut Registry) {
+        r.gauge("antruss_slo_health", self.level() as u8 as f64);
+        for o in &self.objectives {
+            r.gauge_with("antruss_slo_target", &[("objective", o.name)], o.target);
+            r.gauge_with(
+                "antruss_slo_level",
+                &[("objective", o.name)],
+                o.level as u8 as f64,
+            );
+            for (i, (_, label)) in WINDOWS.iter().enumerate() {
+                r.gauge_with(
+                    "antruss_slo_burn_rate",
+                    &[("objective", o.name), ("window", label)],
+                    o.burns[i],
+                );
+            }
+        }
+    }
+
+    /// The `"slo":{...}` JSON object embedded in `/healthz` bodies:
+    /// overall status, and per-objective targets/burns/levels.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"status\":\"{}\"", self.level().as_str());
+        if let Some(burning) = self.burning() {
+            out.push_str(&format!(",\"burning\":\"{}\"", burning.name));
+        }
+        out.push_str(",\"objectives\":[");
+        for (i, o) in self.objectives.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"objective\":\"{}\",\"target\":{:.6},\"level\":\"{}\",\"burn\":{{\"5m\":{:.3},\"1h\":{:.3},\"6h\":{:.3}}}}}",
+                o.name,
+                o.target,
+                o.level.as_str(),
+                o.burns[0],
+                o.burns[1],
+                o.burns[2]
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Evaluates `objectives` against `rec` at time `now` (same clock the
+/// recorder was fed). See the module docs for the level rules.
+pub fn evaluate(
+    objectives: &[Objective],
+    rec: &Recorder,
+    sources: &SloSources,
+    now: f64,
+) -> SloReport {
+    let mut report = SloReport::default();
+    for obj in objectives {
+        let mut burns = [0.0f64; 3];
+        for (i, (secs, _)) in WINDOWS.iter().enumerate() {
+            let start = now - secs;
+            burns[i] = match obj.kind {
+                SloKind::Availability => {
+                    let requests = rec.window_delta(&sources.requests, start);
+                    let errors = rec.window_delta(&sources.errors, start);
+                    if requests <= 0.0 {
+                        0.0
+                    } else {
+                        let fraction = (errors / requests).clamp(0.0, 1.0);
+                        let budget = (1.0 - obj.target / 100.0).max(1e-9);
+                        fraction / budget
+                    }
+                }
+                SloKind::LatencyP99 => {
+                    let worst = rec.window_max(&sources.p99, start).unwrap_or(0.0);
+                    worst / obj.target
+                }
+            };
+        }
+        let crit = match obj.kind {
+            SloKind::Availability => CRIT_AVAILABILITY_BURN,
+            SloKind::LatencyP99 => CRIT_LATENCY_BURN,
+        };
+        let level = if burns[0] >= crit && burns[1] >= crit {
+            Level::Critical
+        } else if burns[0] >= 1.0 && (burns[1] >= 1.0 || burns[2] >= 1.0) {
+            Level::Degraded
+        } else {
+            Level::Ok
+        };
+        report.objectives.push(ObjectiveStatus {
+            name: obj.name,
+            target: obj.target,
+            level,
+            burns,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources() -> SloSources {
+        SloSources {
+            requests: "req_total".to_string(),
+            errors: "err_total".to_string(),
+            p99: "lat{q=\"0.99\"}".to_string(),
+        }
+    }
+
+    /// Feeds the recorder a synthetic trajectory: per-step
+    /// `(requests_cum, errors_cum, p99_seconds)` at `interval`-spaced
+    /// timestamps starting at 0.
+    fn feed(steps: &[(u64, u64, f64)], interval: f64) -> (Recorder, f64) {
+        let rec = Recorder::new(interval);
+        let mut now = 0.0;
+        for (i, (req, err, p99)) in steps.iter().enumerate() {
+            now = i as f64 * interval;
+            let mut r = Registry::new();
+            r.counter("req_total", *req);
+            r.counter("err_total", *err);
+            r.gauge_with("lat", &[("q", "0.99")], *p99);
+            rec.record(now, &r);
+        }
+        (rec, now)
+    }
+
+    #[test]
+    fn parse_slos_accepts_the_documented_spec() {
+        let objs = parse_slos("availability=99.9,p99_ms=5").unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0].kind, SloKind::Availability);
+        assert_eq!(objs[0].target, 99.9);
+        assert_eq!(objs[1].kind, SloKind::LatencyP99);
+        assert!((objs[1].target - 0.005).abs() < 1e-12);
+        assert!(parse_slos("").unwrap().is_empty());
+        assert!(parse_slos(" p99_ms = 2 ").is_ok());
+        for bad in [
+            "availability",
+            "availability=banana",
+            "availability=101",
+            "p99_ms=0",
+            "p99_ms=-1",
+            "rps=5",
+            "availability=99,availability=98",
+        ] {
+            assert!(parse_slos(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_objectives_are_always_ok() {
+        let (rec, now) = feed(&[(0, 0, 9.0), (100, 100, 9.0)], 5.0);
+        let report = evaluate(&[], &rec, &sources(), now);
+        assert_eq!(report.level(), Level::Ok);
+        assert!(report.burning().is_none());
+    }
+
+    #[test]
+    fn clean_traffic_is_ok() {
+        let (rec, now) = feed(&[(0, 0, 0.001), (1000, 0, 0.001), (2000, 1, 0.002)], 5.0);
+        let objs = parse_slos("availability=99.9,p99_ms=5").unwrap();
+        let report = evaluate(&objs, &rec, &sources(), now);
+        assert_eq!(report.level(), Level::Ok, "{report:?}");
+    }
+
+    #[test]
+    fn heavy_errors_go_critical_and_recovery_clears_in_the_fast_window() {
+        let objs = parse_slos("availability=99.0").unwrap();
+        // 20% errors: fraction 0.2 / budget 0.01 = burn 20 > 14.4
+        let (rec, now) = feed(&[(0, 0, 0.0), (1000, 200, 0.0), (2000, 400, 0.0)], 5.0);
+        let report = evaluate(&objs, &rec, &sources(), now);
+        assert_eq!(report.level(), Level::Critical, "{report:?}");
+        assert_eq!(report.burning().unwrap().name, "availability");
+
+        // recovery: clean traffic for longer than the fast window —
+        // the 5m burn drains and the level clears even though the 1h
+        // window still contains the incident
+        let mut ts = now;
+        let mut req = 2000u64;
+        while ts < now + WINDOW_FAST_SECS + 120.0 {
+            ts += 5.0;
+            req += 100;
+            let mut reg = Registry::new();
+            reg.counter("req_total", req);
+            reg.counter("err_total", 400);
+            rec.record(ts, &reg);
+        }
+        let after = evaluate(&objs, &rec, &sources(), ts);
+        assert_eq!(after.level(), Level::Ok, "{after:?}");
+        // the 1h window still remembers the incident...
+        assert!(after.objectives[0].burns[1] > 1.0, "{after:?}");
+        // ...but the fast window is clean
+        assert!(after.objectives[0].burns[0] < 1.0, "{after:?}");
+    }
+
+    #[test]
+    fn slow_latency_degrades_and_double_objective_is_critical() {
+        let objs = parse_slos("p99_ms=5").unwrap();
+        // p99 at 6ms: burn 1.2 on every window → degraded
+        let (rec, now) = feed(&[(0, 0, 0.006), (10, 0, 0.006), (20, 0, 0.006)], 5.0);
+        let report = evaluate(&objs, &rec, &sources(), now);
+        assert_eq!(report.level(), Level::Degraded, "{report:?}");
+        // p99 at 12ms: burn 2.4 ≥ 2.0 on fast+mid → critical
+        let (rec, now) = feed(&[(0, 0, 0.012), (10, 0, 0.012)], 5.0);
+        let report = evaluate(&objs, &rec, &sources(), now);
+        assert_eq!(report.level(), Level::Critical, "{report:?}");
+    }
+
+    #[test]
+    fn report_renders_gauges_and_json() {
+        let objs = parse_slos("availability=99.9,p99_ms=5").unwrap();
+        let (rec, now) = feed(&[(0, 0, 0.001), (100, 50, 0.001)], 5.0);
+        let report = evaluate(&objs, &rec, &sources(), now);
+        let mut r = Registry::new();
+        report.register(&mut r);
+        let text = r.render();
+        for needle in [
+            "# TYPE antruss_slo_health gauge",
+            "antruss_slo_target{objective=\"availability\"} 99.9",
+            "antruss_slo_target{objective=\"p99_ms\"} 0.005",
+            "antruss_slo_burn_rate{objective=\"availability\",window=\"5m\"}",
+            "antruss_slo_burn_rate{objective=\"availability\",window=\"1h\"}",
+            "antruss_slo_burn_rate{objective=\"availability\",window=\"6h\"}",
+            "antruss_slo_level{objective=\"availability\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        let json = report.to_json();
+        assert!(json.starts_with("{\"status\":\""), "{json}");
+        assert!(json.contains("\"burning\":\"availability\""), "{json}");
+        assert!(json.contains("\"objective\":\"p99_ms\""), "{json}");
+        assert!(json.contains("\"5m\":"), "{json}");
+    }
+}

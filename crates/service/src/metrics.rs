@@ -165,11 +165,7 @@ impl Metrics {
     }
 
     /// Renders the `/metrics` document through the shared registry.
-    /// `shard` is the backend's shard id when it runs as part of a
-    /// cluster (`None` for a standalone `serve`); `store` is the
-    /// durable-store section, present only when the backend runs with
-    /// `--data-dir`; `events` is the catalog event stream's
-    /// `(epoch, head seq)` — what a subscriber polls `/events` against.
+    /// See [`Metrics::registry`] for the arguments.
     pub fn render(
         &self,
         cache: &CacheStats,
@@ -178,6 +174,26 @@ impl Metrics {
         store: Option<&StoreStats>,
         events: Option<(u64, u64)>,
     ) -> String {
+        self.registry(cache, catalog_graphs, shard, store, events)
+            .render()
+    }
+
+    /// Builds the full metrics [`Registry`] — shared by the `/metrics`
+    /// renderer and the history sampler, so the trajectory records
+    /// exactly what a scrape would have seen. `shard` is the backend's
+    /// shard id when it runs as part of a cluster (`None` for a
+    /// standalone `serve`); `store` is the durable-store section,
+    /// present only when the backend runs with `--data-dir`; `events`
+    /// is the catalog event stream's `(epoch, head seq)` — what a
+    /// subscriber polls `/events` against.
+    pub fn registry(
+        &self,
+        cache: &CacheStats,
+        catalog_graphs: usize,
+        shard: Option<u32>,
+        store: Option<&StoreStats>,
+        events: Option<(u64, u64)>,
+    ) -> Registry {
         let mut r = Registry::new();
         r.gauge(
             "antruss_uptime_seconds",
@@ -276,7 +292,7 @@ impl Metrics {
             "antruss_solve_latency_p99_seconds",
             solve.quantile_seconds(0.99),
         );
-        r.render()
+        r
     }
 }
 

@@ -22,10 +22,10 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use antruss_core::engine::{registry, RunConfig};
 use antruss_core::json::{self, Value};
@@ -33,7 +33,8 @@ use antruss_core::ReusePolicy;
 use antruss_datasets::DatasetId;
 use antruss_store::{FsyncPolicy, Store};
 
-use antruss_obs::{self as obs, trace, Hop, SlowTraces, TraceContext};
+use antruss_obs::slo::{self, Objective, SloReport, SloSources};
+use antruss_obs::{self as obs, trace, Hop, Recorder, Registry, SlowTraces, TraceContext};
 
 use crate::cache::{CacheKey, OutcomeCache};
 use crate::catalog::{Catalog, CatalogError};
@@ -74,6 +75,16 @@ pub struct ServerConfig {
     pub data_dir: Option<String>,
     /// When WAL appends reach stable storage (`--fsync`).
     pub fsync: FsyncPolicy,
+    /// History sampler period in milliseconds (`--metrics-interval`,
+    /// default 5000). 0 disables the sampler thread — history then only
+    /// grows when something calls [`ServiceState::record_history`]
+    /// explicitly (what tests and the metrics lint do).
+    pub metrics_interval_ms: u64,
+    /// SLO objectives evaluated over the history ring (`--slo`). Empty
+    /// (the default) keeps `/healthz` always `ok` — existing traffic
+    /// deliberately probes 4xx paths and must not degrade a node that
+    /// never opted into an availability objective.
+    pub slos: Vec<Objective>,
 }
 
 impl Default for ServerConfig {
@@ -93,7 +104,43 @@ impl Default for ServerConfig {
             shard: None,
             data_dir: None,
             fsync: FsyncPolicy::default(),
+            metrics_interval_ms: 5000,
+            slos: Vec::new(),
         }
+    }
+}
+
+/// Wall-clock seconds since the unix epoch — the timestamp scale every
+/// live history sampler records in (tests record synthetic time
+/// instead; the recorder only ever compares timestamps).
+pub fn epoch_now() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// `GET /metrics/history?series=<name>&since=<ts>` — shared by all
+/// three tiers (each passes its own recorder).
+pub fn metrics_history(recorder: &Recorder, req: &Request) -> Response {
+    let since = match req.query_param("since") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(t) if t.is_finite() => Some(t),
+            _ => return Response::error(400, "\"since\" must be a finite timestamp"),
+        },
+    };
+    Response::json(200, recorder.render_json(req.query_param("series"), since))
+}
+
+/// `GET /readyz` — readiness, as opposed to `/healthz` liveness: 503
+/// while draining so load balancers and the router rotate traffic away
+/// *before* the listener goes down, 200 otherwise. Shared by all tiers.
+pub fn readyz(draining: bool) -> Response {
+    if draining {
+        Response::json(503, "{\"status\":\"draining\"}".to_string())
+    } else {
+        Response::json(200, "{\"status\":\"ready\"}".to_string())
     }
 }
 
@@ -114,6 +161,13 @@ pub struct ServiceState {
     /// The worst request timelines this tier originated
     /// (`GET /debug/traces`).
     pub traces: SlowTraces,
+    /// The bounded metrics-history ring behind `GET /metrics/history`
+    /// and the SLO burn-rate evaluation.
+    pub recorder: Recorder,
+    /// Debug fault injection (`POST /debug/delay?ms=`): artificial
+    /// solver latency in milliseconds, applied to every cache-missing
+    /// solve. 0 (the default) injects nothing.
+    pub solve_delay_ms: AtomicU64,
     /// Flipped once; workers observe it between requests.
     pub shutdown: AtomicBool,
 }
@@ -183,9 +237,54 @@ impl ServiceState {
             metrics,
             store,
             traces: SlowTraces::new(SLOW_TRACE_CAP),
+            recorder: Recorder::new(config.metrics_interval_ms as f64 / 1000.0),
+            solve_delay_ms: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             config,
         })
+    }
+
+    /// The full registry a `/metrics` scrape renders: tier metrics plus
+    /// the `antruss_slo_*` gauges when objectives are configured. The
+    /// history sampler records exactly this, so the trajectory and the
+    /// scrape can never disagree.
+    pub fn build_registry(&self) -> Registry {
+        let mut r = self.metrics.registry(
+            &self.cache.stats(),
+            self.catalog.len(),
+            self.config.shard,
+            self.store.as_deref().map(Store::stats).as_ref(),
+            Some((self.catalog.events().epoch(), self.catalog.events().head())),
+        );
+        if !self.config.slos.is_empty() {
+            self.slo_report().register(&mut r);
+        }
+        r
+    }
+
+    /// Evaluates the configured objectives over the recorded history
+    /// (empty report — always `ok` — without `--slo`).
+    pub fn slo_report(&self) -> SloReport {
+        let now = self.recorder.last_ts().unwrap_or_else(epoch_now);
+        slo::evaluate(&self.config.slos, &self.recorder, &slo_sources(), now)
+    }
+
+    /// Samples the current registry into the history ring at `ts`
+    /// (seconds — the sampler thread passes [`epoch_now`], tests pass
+    /// synthetic time).
+    pub fn record_history(&self, ts: f64) {
+        self.recorder.record(ts, &self.build_registry());
+    }
+}
+
+/// The series the backend's SLO objectives read: overall request and
+/// error counters, and the per-interval p99 of the solve endpoint
+/// class.
+fn slo_sources() -> SloSources {
+    SloSources {
+        requests: "antruss_requests_total".to_string(),
+        errors: "antruss_http_errors_total".to_string(),
+        p99: "antruss_endpoint_latency_seconds{endpoint=\"solve\",q=\"0.99\"}".to_string(),
     }
 }
 
@@ -201,7 +300,11 @@ fn policy_from_str(s: &str) -> Option<(&'static str, ReusePolicy)> {
 /// Paths whose traces never enter the slow ring: scrapes and polls
 /// would crowd out the requests worth debugging.
 fn untraced(path: &str) -> bool {
-    path == "/healthz" || path == "/metrics" || path == "/events" || path.starts_with("/debug/")
+    path == "/healthz"
+        || path == "/readyz"
+        || path.starts_with("/metrics")
+        || path == "/events"
+        || path.starts_with("/debug/")
 }
 
 /// Routes one parsed request. Counts it in the metrics (in-flight
@@ -256,30 +359,40 @@ fn route(state: &ServiceState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let events = state.catalog.events();
-            Response::json(
-                200,
-                format!(
-                    "{{\"status\":\"ok\",\"events\":{{\"epoch\":{},\"head\":{}}}}}",
-                    json::quoted(&events.epoch().to_string()),
-                    events.head()
-                ),
-            )
+            let report = state.slo_report();
+            let mut body = format!("{{\"status\":\"{}\"", report.level().as_str());
+            if let Some(burning) = report.burning() {
+                body.push_str(&format!(",\"burning\":\"{}\"", burning.name));
+            }
+            body.push_str(&format!(
+                ",\"events\":{{\"epoch\":{},\"head\":{}}}",
+                json::quoted(&events.epoch().to_string()),
+                events.head()
+            ));
+            if !state.config.slos.is_empty() {
+                body.push_str(&format!(",\"slo\":{}", report.to_json()));
+            }
+            body.push('}');
+            // always HTTP 200: a degraded node is alive — readiness
+            // and LB rotation act on /readyz and the status field
+            Response::json(200, body)
         }
-        ("GET", "/metrics") => Response::text(
-            200,
-            state.metrics.render(
-                &state.cache.stats(),
-                state.catalog.len(),
-                state.config.shard,
-                state.store.as_deref().map(Store::stats).as_ref(),
-                Some((
-                    state.catalog.events().epoch(),
-                    state.catalog.events().head(),
-                )),
-            ),
-        ),
+        ("GET", "/readyz") => readyz(state.shutdown.load(Ordering::SeqCst) || sigint_received()),
+        ("GET", "/metrics") => Response::text(200, state.build_registry().render()),
+        ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
         ("GET", "/events") => events_feed(state, req),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
+        ("POST", "/debug/delay") => {
+            let ms = match req.query_param("ms") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => return Response::error(400, "\"ms\" must be a non-negative integer"),
+                },
+                None => return Response::error(400, "\"ms\" query parameter required"),
+            };
+            state.solve_delay_ms.store(ms, Ordering::SeqCst);
+            Response::json(200, format!("{{\"solve_delay_ms\":{ms}}}"))
+        }
         ("GET", "/solvers") => list_solvers(),
         ("GET", "/graphs") => list_graphs(state),
         ("POST", "/graphs") => register_graph(state, req),
@@ -928,6 +1041,13 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
     }
 
     let started = Instant::now();
+    // debug fault injection (POST /debug/delay?ms=): makes the solve
+    // phase — and therefore the SLO latency objective — controllably
+    // slow, which is what the degraded-then-recovered e2e drives
+    let injected_ms = state.solve_delay_ms.load(Ordering::Relaxed);
+    if injected_ms > 0 {
+        thread::sleep(Duration::from_millis(injected_ms));
+    }
     match solver.run(&graph, &cfg) {
         Ok(outcome) => {
             let solved = started.elapsed();
@@ -1073,7 +1193,35 @@ pub fn resolve_threads(configured: usize) -> usize {
 pub struct Server {
     state: Arc<ServiceState>,
     pool: AcceptPool,
+    sampler: Option<JoinHandle<()>>,
     started: Instant,
+}
+
+/// Spawns the history sampler: every `interval_ms` it records the
+/// tier's full registry into `recorder`-backed history (via `record`,
+/// which receives the wall-clock timestamp). Sub-sleeps so shutdown
+/// (polled via `is_shutdown`) is prompt. Shared by all three tiers.
+pub fn spawn_history_sampler(
+    name: &'static str,
+    interval_ms: u64,
+    is_shutdown: Arc<dyn Fn() -> bool + Send + Sync>,
+    record: Arc<dyn Fn(f64) + Send + Sync>,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("{name}-sampler"))
+        .spawn(move || {
+            let interval = Duration::from_millis(interval_ms.max(1));
+            let step = Duration::from_millis(interval_ms.clamp(1, 25));
+            let mut next = Instant::now() + interval;
+            while !is_shutdown() {
+                thread::sleep(step);
+                if Instant::now() >= next {
+                    record(epoch_now());
+                    next = Instant::now() + interval;
+                }
+            }
+        })
+        .expect("spawn history sampler")
 }
 
 impl Server {
@@ -1093,9 +1241,22 @@ impl Server {
             Arc::new(move || shutdown_state.shutdown.load(Ordering::SeqCst)),
             Arc::new(move |stream, accepted| serve_connection(&conn_state, stream, accepted)),
         )?;
+        let sampler = if state.config.metrics_interval_ms > 0 {
+            let sample_state = Arc::clone(&state);
+            let stop_state = Arc::clone(&state);
+            Some(spawn_history_sampler(
+                "antruss",
+                state.config.metrics_interval_ms,
+                Arc::new(move || stop_state.shutdown.load(Ordering::SeqCst)),
+                Arc::new(move |ts| sample_state.record_history(ts)),
+            ))
+        } else {
+            None
+        };
         Ok(Server {
             state,
             pool,
+            sampler,
             started: Instant::now(),
         })
     }
@@ -1113,6 +1274,9 @@ impl Server {
     fn stop(&mut self) -> String {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.pool.join();
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         // graceful shutdown persists the outcome cache for a warm
         // restart; a crash simply skips this and the cache re-warms
         // from peers or recomputes
@@ -1174,16 +1338,7 @@ impl Drop for Server {
 /// to stderr otherwise, so the last state of a stopping process is
 /// never lost with it.
 fn drain_snapshot(state: &ServiceState) {
-    let metrics = state.metrics.render(
-        &state.cache.stats(),
-        state.catalog.len(),
-        state.config.shard,
-        state.store.as_deref().map(Store::stats).as_ref(),
-        Some((
-            state.catalog.events().epoch(),
-            state.catalog.events().head(),
-        )),
-    );
+    let metrics = state.build_registry().render();
     if let Some(dir) = &state.config.data_dir {
         let dir = std::path::Path::new(dir);
         if std::fs::write(dir.join("final_metrics.prom"), &metrics).is_ok()
@@ -1403,6 +1558,118 @@ mod tests {
         let m = handle(&st, &get("/metrics"));
         assert_eq!(m.status, 200);
         assert!(body_str(&m).contains("antruss_requests_total"));
+    }
+
+    #[test]
+    fn readyz_flips_to_503_while_draining() {
+        let st = state();
+        let ready = handle(&st, &get("/readyz"));
+        assert_eq!(ready.status, 200);
+        assert!(body_str(&ready).contains("\"status\":\"ready\""));
+        st.shutdown.store(true, Ordering::SeqCst);
+        let draining = handle(&st, &get("/readyz"));
+        assert_eq!(draining.status, 503);
+        assert!(body_str(&draining).contains("\"status\":\"draining\""));
+        // liveness stays 200 throughout the drain
+        assert_eq!(handle(&st, &get("/healthz")).status, 200);
+    }
+
+    #[test]
+    fn metrics_history_serves_recorded_samples() {
+        let st = state();
+        handle(&st, &get("/healthz"));
+        st.record_history(100.0);
+        handle(&st, &get("/healthz"));
+        st.record_history(105.0);
+        let resp = handle(&st, &get("/metrics/history"));
+        assert_eq!(resp.status, 200);
+        let body = body_str(&resp);
+        let parsed = json::parse(&body).expect("history is valid JSON");
+        assert!(parsed.get("interval_seconds").is_some(), "{body}");
+        assert!(
+            body.contains("\"name\":\"antruss_requests_total\""),
+            "{body}"
+        );
+        assert!(body.contains("\"rate\":"), "{body}");
+        // the per-interval quantile series derived from the phase hists
+        assert!(body.contains("antruss_endpoint_latency_seconds"), "{body}");
+        assert!(body.contains("q=\\\"0.99\\\""), "{body}");
+        // ?series= filters to one family
+        let mut filtered = get("/metrics/history");
+        filtered.query = vec![("series".to_string(), "antruss_cache_entries".to_string())];
+        let one = body_str(&handle(&st, &filtered));
+        assert!(one.contains("antruss_cache_entries"), "{one}");
+        assert!(!one.contains("antruss_requests_total"), "{one}");
+        // bad ?since= is a 400
+        let mut bad = get("/metrics/history");
+        bad.query = vec![("since".to_string(), "banana".to_string())];
+        assert_eq!(handle(&st, &bad).status, 400);
+    }
+
+    #[test]
+    fn slo_objectives_flow_into_healthz_and_metrics() {
+        let config = ServerConfig {
+            slos: slo::parse_slos("availability=99.0,p99_ms=5").unwrap(),
+            ..ServerConfig::default()
+        };
+        let st = ServiceState::new(config);
+        // clean history: two samples with zero errors
+        st.record_history(0.0);
+        handle(&st, &get("/healthz"));
+        st.record_history(5.0);
+        let health = body_str(&handle(&st, &get("/healthz")));
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"slo\":{"), "{health}");
+        assert!(
+            health.contains("\"objective\":\"availability\""),
+            "{health}"
+        );
+        let metrics = body_str(&handle(&st, &get("/metrics")));
+        for needle in [
+            "antruss_slo_health 0",
+            "antruss_slo_target{objective=\"availability\"} 99",
+            "antruss_slo_burn_rate{objective=\"p99_ms\",window=\"5m\"}",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+        }
+        // heavy errors flip the status (deliberate 404s are errors)
+        for _ in 0..50 {
+            handle(&st, &get("/no/such/route"));
+        }
+        st.record_history(10.0);
+        let burned = body_str(&handle(&st, &get("/healthz")));
+        assert!(burned.contains("\"status\":\"critical\""), "{burned}");
+        assert!(burned.contains("\"burning\":\"availability\""), "{burned}");
+        // without --slo the same traffic stays ok (the seed contract)
+        let plain = state();
+        for _ in 0..50 {
+            handle(&plain, &get("/no/such/route"));
+        }
+        plain.record_history(0.0);
+        plain.record_history(5.0);
+        assert!(body_str(&handle(&plain, &get("/healthz"))).contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn debug_delay_injects_solve_latency() {
+        let st = state();
+        let mut set = post("/debug/delay", "");
+        set.query = vec![("ms".to_string(), "30".to_string())];
+        assert_eq!(handle(&st, &set).status, 200);
+        let started = Instant::now();
+        let resp = handle(
+            &st,
+            &post("/solve", r#"{"graph":"college:0.05","solver":"gas","b":2}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        // clearing restores fast solves (cache hit path skips the delay)
+        let mut clear = post("/debug/delay", "");
+        clear.query = vec![("ms".to_string(), "0".to_string())];
+        assert_eq!(handle(&st, &clear).status, 200);
+        assert_eq!(st.solve_delay_ms.load(Ordering::SeqCst), 0);
+        let no_ms = post("/debug/delay", "");
+        assert_eq!(handle(&st, &no_ms).status, 400);
     }
 
     #[test]

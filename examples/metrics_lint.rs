@@ -10,8 +10,15 @@
 //! * counters (`# TYPE … counter`, plus histogram `_count`/`_bucket`
 //!   series) never go backwards between the two scrapes;
 //! * within a scrape, every histogram's `_bucket` series cumulate: the
-//!   counts are non-decreasing as `le` increases, ending at `+Inf`
-//!   equal to `_count`.
+//!   counts are non-decreasing as `le` increases, ending at a `+Inf`
+//!   bucket equal to `_count`;
+//! * every tier's `GET /metrics/history` is valid JSON whose series
+//!   count stays within the advertised `series_cap` (the retention
+//!   ring's bounded-memory contract), with numeric points under every
+//!   series;
+//! * the router's `GET /cluster/overview` is valid JSON naming each
+//!   member's health, and every tier's `/healthz` carries a `status`
+//!   field while `/readyz` answers `ready` on a live tier.
 //!
 //! CI runs this as a step (`cargo run --release --example
 //! metrics_lint`); it exits non-zero listing every violation.
@@ -19,8 +26,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
 
+use antruss::atr::json;
 use antruss::cluster::{Router, RouterConfig};
 use antruss::edge::{Edge, EdgeConfig};
+use antruss::obs::slo::parse_slos;
 use antruss::service::{Client, Server, ServerConfig};
 
 /// One parsed scrape: `# TYPE` declarations and every sample line.
@@ -178,6 +187,141 @@ fn lint_monotone(first: &Scrape, second: &Scrape, errors: &mut Vec<String>) {
     }
 }
 
+/// `GET /metrics/history` must be valid JSON, its series count within
+/// the advertised `series_cap` (bounded memory), every point numeric.
+fn lint_history(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) {
+    let resp = Client::new(addr)
+        .get("/metrics/history")
+        .expect("scrape /metrics/history");
+    if resp.status != 200 {
+        errors.push(format!("{tier}: /metrics/history status {}", resp.status));
+        return;
+    }
+    let body = resp.body_string();
+    let doc = match json::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            errors.push(format!("{tier}: /metrics/history is not JSON: {e}"));
+            return;
+        }
+    };
+    let series_cap = doc.get("series_cap").and_then(|v| v.as_u64()).unwrap_or(0);
+    if series_cap == 0 {
+        errors.push(format!("{tier}: history advertises no series_cap"));
+    }
+    let Some(series) = doc.get("series").and_then(|v| v.as_array()) else {
+        errors.push(format!("{tier}: history has no series array"));
+        return;
+    };
+    if series.len() as u64 > series_cap {
+        errors.push(format!(
+            "{tier}: history serves {} series, over its own cap {series_cap}",
+            series.len()
+        ));
+    }
+    if doc.get("samples").and_then(|v| v.as_u64()).unwrap_or(0) < 2 {
+        errors.push(format!("{tier}: history holds fewer than 2 samples"));
+    }
+    for s in series {
+        let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let Some(points) = s.get("points").and_then(|v| v.as_array()) else {
+            errors.push(format!("{tier}: history series {name} has no points"));
+            continue;
+        };
+        for p in points {
+            if p.get("ts").and_then(|v| v.as_f64()).is_none()
+                || p.get("value").and_then(|v| v.as_f64()).is_none()
+            {
+                errors.push(format!(
+                    "{tier}: history series {name} has a non-numeric point"
+                ));
+                break;
+            }
+        }
+    }
+    // the ?since= validator must reject garbage loudly, not serve it
+    let bad = Client::new(addr)
+        .get("/metrics/history?since=garbage")
+        .expect("bad since");
+    if bad.status != 400 {
+        errors.push(format!(
+            "{tier}: /metrics/history?since=garbage answered {} instead of 400",
+            bad.status
+        ));
+    }
+}
+
+/// The router's `/cluster/overview` must be valid JSON with a router
+/// summary and a health field per member.
+fn lint_overview(addr: SocketAddr, expected_members: usize, errors: &mut Vec<String>) {
+    let resp = Client::new(addr)
+        .get("/cluster/overview")
+        .expect("scrape /cluster/overview");
+    if resp.status != 200 {
+        errors.push(format!("router: /cluster/overview status {}", resp.status));
+        return;
+    }
+    let body = resp.body_string();
+    let doc = match json::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            errors.push(format!("router: /cluster/overview is not JSON: {e}"));
+            return;
+        }
+    };
+    if doc
+        .get("router")
+        .and_then(|r| r.get("status"))
+        .and_then(|v| v.as_str())
+        .is_none()
+    {
+        errors.push("router: overview has no router.status".to_string());
+    }
+    let Some(members) = doc.get("members").and_then(|v| v.as_array()) else {
+        errors.push("router: overview has no members array".to_string());
+        return;
+    };
+    if members.len() != expected_members {
+        errors.push(format!(
+            "router: overview lists {} member(s), expected {expected_members}",
+            members.len()
+        ));
+    }
+    for m in members {
+        let addr = m.get("addr").and_then(|v| v.as_str()).unwrap_or("?");
+        if m.get("status").and_then(|v| v.as_str()).is_none() {
+            errors.push(format!("router: overview member {addr} has no status"));
+        }
+        if m.get("healthy").and_then(|v| v.as_bool()).is_none() {
+            errors.push(format!(
+                "router: overview member {addr} has no healthy flag"
+            ));
+        }
+    }
+}
+
+/// `/healthz` must carry a `status` field and `/readyz` must answer
+/// `ready` with 200 on a live, undraining tier.
+fn lint_health(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) {
+    let health = Client::new(addr).get("/healthz").expect("scrape /healthz");
+    match json::parse(&health.body_string()) {
+        Ok(doc) => {
+            if doc.get("status").and_then(|v| v.as_str()).is_none() {
+                errors.push(format!("{tier}: /healthz has no status field"));
+            }
+        }
+        Err(e) => errors.push(format!("{tier}: /healthz is not JSON: {e}")),
+    }
+    let ready = Client::new(addr).get("/readyz").expect("scrape /readyz");
+    if ready.status != 200 || !ready.body_string().contains("ready") {
+        errors.push(format!(
+            "{tier}: /readyz on a live tier answered {} {:?}",
+            ready.status,
+            ready.body_string()
+        ));
+    }
+}
+
 fn scrape(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) -> Scrape {
     let resp = Client::new(addr).get("/metrics").expect("scrape /metrics");
     assert_eq!(resp.status, 200, "{tier} /metrics status {}", resp.status);
@@ -196,15 +340,24 @@ fn drive(addr: SocketAddr, solves: usize) {
 }
 
 fn main() {
+    // objectives on every tier so the antruss_slo_* families go through
+    // the exposition lint too; interval 0 = no sampler thread, history
+    // is recorded by hand at synthetic timestamps so the run is
+    // deterministic
+    let slos = parse_slos("availability=99.0,p99_ms=500").expect("lint slos");
     let backend = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 4,
         cache_capacity: 64,
+        metrics_interval_ms: 0,
+        slos: slos.clone(),
         ..ServerConfig::default()
     })
     .expect("backend");
     let router = Router::start(RouterConfig {
         backends: vec![backend.addr()],
+        metrics_interval_ms: 0,
+        slos: slos.clone(),
         ..RouterConfig::default()
     })
     .expect("router");
@@ -214,6 +367,8 @@ fn main() {
         cache_capacity: 64,
         poll_wait_ms: 200,
         retry_ms: 20,
+        metrics_interval_ms: 0,
+        slos,
         ..EdgeConfig::default()
     })
     .expect("edge");
@@ -236,7 +391,16 @@ fn main() {
         ("edge", edge.addr()),
     ];
 
+    // two hand-recorded history samples per tier straddle the first
+    // scrape, so /metrics/history serves rated points everywhere
+    let record_all = |ts: f64| {
+        backend.state().record_history(ts);
+        router.state().record_history(ts);
+        edge.state().record_history(ts);
+    };
+
     drive(edge.addr(), 4);
+    record_all(100.0);
     let first: Vec<Scrape> = tiers
         .iter()
         .map(|&(tier, addr)| scrape(tier, addr, &mut errors))
@@ -252,6 +416,7 @@ fn main() {
         .expect("mutate");
     assert_eq!(resp.status, 200, "mutate: {}", resp.body_string());
     drive(edge.addr(), 2);
+    record_all(105.0);
     let second: Vec<Scrape> = tiers
         .iter()
         .map(|&(tier, addr)| scrape(tier, addr, &mut errors))
@@ -266,6 +431,16 @@ fn main() {
         families += b.types.len();
         series += b.samples.len();
     }
+
+    // retained-telemetry and health surfaces, per tier; one manual
+    // supervision pass populates the router's federated overview before
+    // it is linted
+    for &(tier, addr) in &tiers {
+        lint_history(tier, addr, &mut errors);
+        lint_health(tier, addr, &mut errors);
+    }
+    router.tick();
+    lint_overview(router.addr(), 1, &mut errors);
 
     drop(edge);
     router.shutdown();

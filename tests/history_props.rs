@@ -1,0 +1,303 @@
+//! Property tests for the retained-telemetry layer: the metrics
+//! history ring and the SLO burn-rate evaluation on top of it.
+//!
+//! The ring's one hard promise is bounded memory — no traffic pattern
+//! may grow it past its caps — and its derived data must never lie:
+//! counter rates are non-negative for monotone inputs, and the
+//! downsampler only ever *selects* recorded points, so it cannot
+//! invent an extremum a dashboard would then page on. The burn-rate
+//! evaluation is pinned against a brute-force oracle computed straight
+//! from the raw trajectory, including the rule that makes recovery
+//! observable: a clean fast window always reads `ok`.
+
+use antruss::obs::history::{downsample, Point, Recorder};
+use antruss::obs::slo::{
+    evaluate, parse_slos, Level, SloKind, SloSources, CRIT_AVAILABILITY_BURN, CRIT_LATENCY_BURN,
+    WINDOWS,
+};
+use antruss::obs::Registry;
+use proptest::prelude::*;
+
+fn sources() -> SloSources {
+    SloSources {
+        requests: "req_total".to_string(),
+        errors: "err_total".to_string(),
+        p99: "lat{q=\"0.99\"}".to_string(),
+    }
+}
+
+/// Feeds cumulative `(requests, errors, p99_seconds)` steps at
+/// `interval`-spaced synthetic timestamps into a recorder with the
+/// given ring caps; returns the recorder and the final timestamp.
+fn feed(steps: &[(u64, u64, f64)], interval: f64, max_points: usize) -> (Recorder, f64) {
+    let rec = Recorder::with_caps(interval, 64, max_points);
+    let mut now = 0.0;
+    for (i, &(req, err, p99)) in steps.iter().enumerate() {
+        now = i as f64 * interval;
+        let mut r = Registry::new();
+        r.counter("req_total", req);
+        r.counter("err_total", err);
+        r.gauge_with("lat", &[("q", "0.99")], p99);
+        rec.record(now, &r);
+    }
+    (rec, now)
+}
+
+/// Oracle for [`Recorder::window_delta`] over the *retained* raw
+/// trajectory: newest value minus the value at the latest point not
+/// after `start` (first retained point if the window predates the
+/// ring), clamped at zero.
+fn brute_delta(points: &[(f64, f64)], start: f64) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let last = points.last().unwrap().1;
+    let mut base = None;
+    for &(ts, v) in points {
+        if ts <= start {
+            base = Some(v);
+        } else {
+            break;
+        }
+    }
+    (last - base.unwrap_or(points[0].1)).max(0.0)
+}
+
+/// Oracle for [`Recorder::window_max`]: max value at `ts >= start`.
+fn brute_max(points: &[(f64, f64)], start: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|(ts, _)| *ts >= start)
+        .map(|&(_, v)| v)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No sampling pattern grows the ring past its caps: at most
+    /// `max_series` series, at most `max_points` points per ring, and
+    /// every series refused by the cap is visible in `dropped_series`.
+    #[test]
+    fn ring_memory_is_bounded(widths in prop::collection::vec(1usize..20, 1..120)) {
+        const MAX_SERIES: usize = 8;
+        const MAX_POINTS: usize = 16;
+        let rec = Recorder::with_caps(1.0, MAX_SERIES, MAX_POINTS);
+        for (i, &width) in widths.iter().enumerate() {
+            let mut r = Registry::new();
+            for s in 0..width {
+                r.counter(&format!("s{s}_total"), i as u64);
+            }
+            rec.record(i as f64, &r);
+        }
+        let stats = rec.stats();
+        prop_assert!(stats.series <= MAX_SERIES, "{} series", stats.series);
+        prop_assert!(
+            stats.total_points <= MAX_SERIES * MAX_POINTS,
+            "{} points",
+            stats.total_points
+        );
+        for s in 0..20 {
+            prop_assert!(rec.series_points(&format!("s{s}_total")).len() <= MAX_POINTS);
+        }
+        if widths.iter().any(|&w| w > MAX_SERIES) {
+            prop_assert!(stats.dropped_series > 0, "cap overflow must be visible");
+        }
+        prop_assert_eq!(stats.samples, widths.len() as u64);
+    }
+
+    /// A monotone counter never yields a negative rate, the first
+    /// retained point aside (`rate: None`), and each rate is exactly
+    /// Δvalue/Δts of its neighbouring points. A counter reset
+    /// (restart) clamps at zero instead of going negative.
+    #[test]
+    fn counter_rates_are_non_negative(
+        increments in prop::collection::vec(0u64..1000, 2..60),
+        resets in prop::collection::vec(0u8..8, 2..60),
+        interval_ds in 10u32..600,
+    ) {
+        let interval = interval_ds as f64 / 10.0;
+        let rec = Recorder::with_caps(interval, 4, 256);
+        let mut cum = 0u64;
+        for (i, &inc) in increments.iter().enumerate() {
+            // an occasional reset models a process restart
+            if resets.get(i).copied().unwrap_or(1) == 0 {
+                cum = 0;
+            }
+            cum += inc;
+            let mut r = Registry::new();
+            r.counter("c_total", cum);
+            rec.record(i as f64 * interval, &r);
+        }
+        let points = rec.series_points("c_total");
+        prop_assert_eq!(points.len(), increments.len());
+        prop_assert_eq!(points[0].rate, None);
+        for w in points.windows(2) {
+            let rate = w[1].rate.expect("every later point carries a rate");
+            prop_assert!(rate >= 0.0, "negative rate {rate}");
+            let expected = ((w[1].value - w[0].value) / (w[1].ts - w[0].ts)).max(0.0);
+            prop_assert!((rate - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Downsampling is a pure selection: every served point is one of
+    /// the recorded points (same ts, value and rate), order is
+    /// preserved, the budget holds, and the global minimum and maximum
+    /// survive verbatim — the served curve can narrow, never widen.
+    #[test]
+    fn downsampling_never_invents_extrema(
+        values in prop::collection::vec(0u32..100_000, 1..400),
+        max in 2usize..64,
+    ) {
+        let points: Vec<Point> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Point {
+                ts: i as f64,
+                value: v as f64 * 1e-3,
+                rate: if i == 0 { None } else { Some(i as f64) },
+            })
+            .collect();
+        let served = downsample(&points, max);
+        prop_assert!(!served.is_empty());
+        prop_assert!(served.len() <= points.len().max(2));
+        prop_assert!(served.len() <= max.max(2), "{} > {max}", served.len());
+        for w in served.windows(2) {
+            prop_assert!(w[0].ts < w[1].ts, "served points out of order");
+        }
+        for p in &served {
+            prop_assert!(
+                points.iter().any(|q| q == p),
+                "served point {p:?} was never recorded"
+            );
+        }
+        let min = |ps: &[Point]| ps.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+        let max_of = |ps: &[Point]| ps.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(min(&served), min(&points), "minimum lost");
+        prop_assert_eq!(max_of(&served), max_of(&points), "maximum lost");
+    }
+
+    /// The burn-rate evaluation agrees with a brute-force oracle
+    /// computed from the raw retained trajectory, window by window,
+    /// and the ok/degraded/critical level follows the documented
+    /// rules exactly.
+    #[test]
+    fn burn_rates_match_the_brute_force_oracle(
+        steps in prop::collection::vec((0u64..50, 0u64..50, 0u32..20_000), 2..80),
+        interval_s in 30u32..120,
+    ) {
+        let interval = interval_s as f64;
+        const MAX_POINTS: usize = 32; // small ring: eviction is in play
+        let objectives = parse_slos("availability=99.0,p99_ms=5").unwrap();
+        let mut cum = Vec::new();
+        let (mut req, mut err) = (0u64, 0u64);
+        for &(r, e, p99_us) in &steps {
+            req += r;
+            err += e.min(r); // errors are a subset of requests
+            cum.push((req, err, p99_us as f64 * 1e-6));
+        }
+        let (rec, now) = feed(&cum, interval, MAX_POINTS);
+        let report = evaluate(&objectives, &rec, &sources(), now);
+        prop_assert_eq!(report.objectives.len(), 2);
+
+        // raw trajectories, truncated exactly like the ring
+        let keep = cum.len().saturating_sub(MAX_POINTS);
+        let project = |f: fn(&(u64, u64, f64)) -> f64| -> Vec<(f64, f64)> {
+            cum.iter()
+                .enumerate()
+                .skip(keep)
+                .map(|(i, s)| (i as f64 * interval, f(s)))
+                .collect()
+        };
+        let reqs = project(|s| s.0 as f64);
+        let errs = project(|s| s.1 as f64);
+        let lats = project(|s| s.2);
+
+        for (i, (secs, _)) in WINDOWS.iter().enumerate() {
+            let start = now - secs;
+            let d_req = brute_delta(&reqs, start);
+            let d_err = brute_delta(&errs, start);
+            let avail_burn = if d_req <= 0.0 {
+                0.0
+            } else {
+                (d_err / d_req).clamp(0.0, 1.0) / (1.0 - 0.99f64).max(1e-9)
+            };
+            let lat_burn = brute_max(&lats, start).unwrap_or(0.0) / 0.005;
+            prop_assert!(
+                (report.objectives[0].burns[i] - avail_burn).abs() < 1e-6,
+                "availability window {i}: {} vs oracle {avail_burn}",
+                report.objectives[0].burns[i]
+            );
+            prop_assert!(
+                (report.objectives[1].burns[i] - lat_burn).abs() < 1e-6,
+                "latency window {i}: {} vs oracle {lat_burn}",
+                report.objectives[1].burns[i]
+            );
+        }
+        for (o, crit) in report
+            .objectives
+            .iter()
+            .zip([CRIT_AVAILABILITY_BURN, CRIT_LATENCY_BURN])
+        {
+            let expected = if o.burns[0] >= crit && o.burns[1] >= crit {
+                Level::Critical
+            } else if o.burns[0] >= 1.0 && (o.burns[1] >= 1.0 || o.burns[2] >= 1.0) {
+                Level::Degraded
+            } else {
+                Level::Ok
+            };
+            prop_assert_eq!(o.level, expected, "{}", o.name);
+        }
+        prop_assert_eq!(
+            report.level(),
+            report.objectives.iter().map(|o| o.level).max().unwrap()
+        );
+    }
+
+    /// The fast window is a necessary condition at every level, so
+    /// *any* incident history followed by one clean fast window of
+    /// traffic reads `ok` again — recovery is never masked by the
+    /// slow windows still remembering the incident.
+    #[test]
+    fn a_clean_fast_window_always_recovers(
+        dirty in prop::collection::vec((0u64..50, 0u64..50, 0u32..2_000_000), 1..40),
+    ) {
+        let objectives = parse_slos("availability=99.0,p99_ms=5").unwrap();
+        let interval = 60.0;
+        let mut cum = Vec::new();
+        let (mut req, mut err) = (0u64, 0u64);
+        for &(r, e, p99_us) in &dirty {
+            req += r;
+            err += e.min(r);
+            cum.push((req, err, p99_us as f64 * 1e-6));
+        }
+        // one full fast window (300 s = 6 clean steps, the first of
+        // which still sits inside the window) of error-free, fast
+        // traffic
+        for _ in 0..6 {
+            req += 100;
+            cum.push((req, err, 0.001));
+        }
+        let (rec, now) = feed(&cum, interval, 256);
+        let report = evaluate(&objectives, &rec, &sources(), now);
+        prop_assert_eq!(
+            report.level(),
+            Level::Ok,
+            "burns: {:?} / {:?}",
+            report.objectives[0].burns,
+            report.objectives[1].burns
+        );
+        prop_assert!(report.burning().is_none());
+    }
+}
+
+/// `SloKind` is part of the public parse surface the CLI leans on;
+/// keep its mapping pinned outside the proptest loop.
+#[test]
+fn parse_maps_keys_to_kinds() {
+    let objs = parse_slos("p99_ms=5,availability=99.9").unwrap();
+    assert_eq!(objs[0].kind, SloKind::LatencyP99);
+    assert_eq!(objs[1].kind, SloKind::Availability);
+}

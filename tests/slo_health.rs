@@ -1,0 +1,158 @@
+//! End-to-end SLO health on real sockets: injected solve latency
+//! flips a backend's `/healthz` from `ok` to a burning state, the
+//! router's federated `/cluster/overview` reports the same verdict
+//! after its next supervision pass, and one clean fast window of
+//! traffic clears everything back to `ok`.
+//!
+//! Determinism: the testkit runs every tier with
+//! `metrics_interval_ms = 0` (no sampler threads), so history samples
+//! are recorded by hand at synthetic timestamps — the SLO windows see
+//! exactly the trajectory the test scripted, wall-clock speed aside.
+
+use antruss::atr::json;
+use antruss::cluster::testkit::{TestCluster, TestClusterConfig};
+use antruss::obs::slo::parse_slos;
+use antruss::service::{Client, ServerConfig};
+
+/// Registers a small graph directly at the backend and returns a
+/// client for it.
+fn register_graph(mut c: Client) -> Client {
+    let mut list = String::new();
+    for u in 0..8u32 {
+        for v in (u + 1)..8 {
+            list.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    let resp = c
+        .post("/graphs?name=slo-g", "text/plain", list.as_bytes())
+        .expect("register");
+    assert_eq!(resp.status, 201, "register: {}", resp.body_string());
+    c
+}
+
+/// Drives `n` cache-missing solves (fresh seeds per call) so the
+/// injected delay lands in the solve phase every time.
+fn drive(c: &mut Client, seed0: u64, n: u64) {
+    for seed in seed0..seed0 + n {
+        let body = format!("{{\"graph\":\"slo-g\",\"b\":1,\"seed\":{seed}}}");
+        let resp = c
+            .post("/solve", "application/json", body.as_bytes())
+            .expect("solve");
+        assert_eq!(resp.status, 200, "solve: {}", resp.body_string());
+    }
+}
+
+/// The `status` string of a tier's `/healthz`, plus the optional
+/// `burning` objective name.
+fn health_of(addr: std::net::SocketAddr) -> (String, Option<String>) {
+    let resp = Client::new(addr).get("/healthz").expect("healthz");
+    let doc = json::parse(&resp.body_string()).expect("healthz is JSON");
+    (
+        doc.get("status")
+            .and_then(|v| v.as_str())
+            .expect("status field")
+            .to_string(),
+        doc.get("burning")
+            .and_then(|v| v.as_str())
+            .map(str::to_string),
+    )
+}
+
+/// The backend's `status` as the router's `/cluster/overview` reports
+/// it.
+fn overview_status(router: std::net::SocketAddr, backend: &str) -> String {
+    let resp = Client::new(router)
+        .get("/cluster/overview")
+        .expect("overview");
+    assert_eq!(resp.status, 200);
+    let body = resp.body_string();
+    let doc = json::parse(&body).expect("overview is JSON");
+    let members = doc
+        .get("members")
+        .and_then(|v| v.as_array())
+        .expect("members array");
+    members
+        .iter()
+        .find(|m| m.get("addr").and_then(|v| v.as_str()) == Some(backend))
+        .unwrap_or_else(|| panic!("member {backend} missing from {body}"))
+        .get("status")
+        .and_then(|v| v.as_str())
+        .expect("member status")
+        .to_string()
+}
+
+#[test]
+fn injected_latency_degrades_healthz_and_overview_then_recovers() {
+    let mut tc = TestCluster::start(TestClusterConfig {
+        replication: 1,
+        backend: ServerConfig {
+            // a 20 ms p99 objective: the injected 80 ms delay burns it
+            // hard, honest sub-millisecond solves never come close
+            slos: parse_slos("p99_ms=20").expect("slos"),
+            ..TestClusterConfig::default().backend
+        },
+        ..TestClusterConfig::default()
+    })
+    .expect("cluster");
+    let b = tc.join().expect("join backend");
+    let backend_addr = tc.backend_addr(b).to_string();
+    let record = |ts: f64| {
+        tc.backend_server(b)
+            .expect("backend alive")
+            .state()
+            .record_history(ts);
+    };
+
+    // phase 1 — honest traffic: two samples of fast solves read ok
+    let mut c = register_graph(tc.backend_client(b));
+    drive(&mut c, 0, 4);
+    record(100.0);
+    drive(&mut c, 100, 4);
+    record(160.0);
+    let (status, burning) = health_of(tc.backend_addr(b));
+    assert_eq!(status, "ok", "clean traffic must read ok");
+    assert_eq!(burning, None);
+    tc.tick();
+    assert_eq!(overview_status(tc.router_addr(), &backend_addr), "ok");
+
+    // phase 2 — the solve phase goes slow (a regression rollout)
+    let resp = c
+        .post("/debug/delay?ms=80", "application/json", b"")
+        .expect("inject delay");
+    assert_eq!(resp.status, 200, "{}", resp.body_string());
+    drive(&mut c, 200, 4);
+    record(220.0);
+    let (status, burning) = health_of(tc.backend_addr(b));
+    assert!(
+        status == "degraded" || status == "critical",
+        "slow solves must burn the latency objective, got {status:?}"
+    );
+    assert_eq!(burning.as_deref(), Some("p99_ms"));
+    // the router's next supervision pass federates the verdict
+    tc.tick();
+    let federated = overview_status(tc.router_addr(), &backend_addr);
+    assert_eq!(
+        federated, status,
+        "overview must carry the member's own verdict"
+    );
+
+    // phase 3 — rollback: the delay is gone, and after one clean fast
+    // window (300 s of synthetic time) the fast-window-necessary rule
+    // clears the health even though slow windows still remember the
+    // incident
+    let resp = c
+        .post("/debug/delay?ms=0", "application/json", b"")
+        .expect("clear delay");
+    assert_eq!(resp.status, 200);
+    drive(&mut c, 300, 4);
+    record(470.0);
+    drive(&mut c, 400, 4);
+    record(530.0);
+    let (status, burning) = health_of(tc.backend_addr(b));
+    assert_eq!(status, "ok", "a clean fast window must clear the burn");
+    assert_eq!(burning, None);
+    tc.tick();
+    assert_eq!(overview_status(tc.router_addr(), &backend_addr), "ok");
+
+    tc.shutdown();
+}
