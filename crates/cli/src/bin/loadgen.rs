@@ -11,6 +11,7 @@
 //! antruss cluster --addr 127.0.0.1:7171 --backends 3 &
 //! loadgen --addr 127.0.0.1:7171 --json        # writes BENCH_serve.json
 //! loadgen --addrs host1:7171,host2:7171       # clients spread round-robin
+//! loadgen --addrs r1:7171,r2:7172 --kill-router "$ROUTER_PID"  # chaos drill
 //! ```
 //!
 //! Each client keeps one connection alive and posts `/solve` repeatedly,
@@ -54,6 +55,17 @@
 //! `antruss_slo_burn_rate` the target itself currently reports (so a
 //! bench entry records both what the client saw and what the server's
 //! own burn-rate evaluation concluded) — the `slo` JSON section.
+//!
+//! With multiple `--addrs` a client does not just round-robin at
+//! startup: when its current target stops answering (a transport
+//! error), it **retargets** — re-dials the next address in the list and
+//! retries the same request there — so losing one router of a
+//! replicated control plane costs a failover gap, not failed requests.
+//! `--kill-router PID` turns the main run into a chaos drill: halfway
+//! through the request budget loadgen SIGKILLs that pid (a router you
+//! spawned) and records the failover gap (ms from the kill to the first
+//! request a retargeted client got answered) alongside the failed count
+//! and retarget count — the `control_plane` JSON section.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -71,6 +83,24 @@ struct Tally {
     /// requests answered per shard id (`-1` = no shard header: a
     /// standalone serve)
     by_shard: BTreeMap<i64, u64>,
+}
+
+/// SIGKILL a router process mid-run — the chaos half of the
+/// `--kill-router` drill. Raw syscall because the workspace links no
+/// libc crate.
+#[cfg(unix)]
+fn sigkill(pid: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    if unsafe { kill(pid, 9) } != 0 {
+        eprintln!("kill-router: kill({pid}, SIGKILL) failed — wrong pid?");
+    }
+}
+
+#[cfg(not(unix))]
+fn sigkill(pid: i32) {
+    eprintln!("kill-router: not supported on this platform (pid {pid} untouched)");
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -689,6 +719,16 @@ fn main() {
         .get_str("out")
         .unwrap_or("BENCH_serve.json")
         .to_string();
+    let kill_pid: Option<i32> = match args.get_str("kill-router") {
+        Some(raw) => match raw.parse() {
+            Ok(pid) => Some(pid),
+            Err(_) => {
+                eprintln!("bad --kill-router {raw:?}: expected a pid");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     // parse before the run so a bad spec fails fast, not after minutes
     // of load
     let slo_objectives = match args.get_str("slo") {
@@ -740,6 +780,14 @@ fn main() {
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let hits = AtomicU64::new(0);
+    // control-plane drill bookkeeping: requests started (the kill
+    // trigger), retargets taken, and the kill→recovery gap endpoints
+    // (nanos since `started`; u64::MAX = "never happened")
+    let attempted = AtomicU64::new(0);
+    let retargets = AtomicU64::new(0);
+    let kill_nanos = AtomicU64::new(u64::MAX);
+    let recover_nanos = AtomicU64::new(u64::MAX);
+    let kill_after = ((clients * requests) as u64 / 2).max(1);
     let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
     let started = Instant::now();
 
@@ -747,35 +795,79 @@ fn main() {
         for c in 0..clients {
             let (graph, solver, addrs) = (&graph, &solver, &addrs);
             let (ok, failed, hits, tallies) = (&ok, &failed, &hits, &tallies);
+            let (attempted, retargets) = (&attempted, &retargets);
+            let (kill_nanos, recover_nanos) = (&kill_nanos, &recover_nanos);
             scope.spawn(move || {
                 let mut tally = Tally::default();
-                let mut client = Client::new(addrs[c % addrs.len()]);
+                let mut at = c % addrs.len();
+                let mut client = Client::new(addrs[at]);
+                // set while this client is on a failed-over connection
+                // whose first success closes the failover gap
+                let mut retargeted = false;
                 for i in 0..requests {
+                    let n = attempted.fetch_add(1, Ordering::Relaxed) + 1;
+                    if n == kill_after {
+                        if let Some(pid) = kill_pid {
+                            kill_nanos
+                                .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            sigkill(pid);
+                            eprintln!("kill-router: SIGKILLed pid {pid} after {n} request(s)");
+                        }
+                    }
                     let seed = ((c * requests + i) as u64) % seeds.max(1);
                     let body = format!(
                         "{{\"graph\":\"{graph}\",\"solver\":\"{solver}\",\"b\":{b},\"seed\":{seed}}}"
                     );
                     let sent = Instant::now();
-                    match client.post("/solve", "application/json", body.as_bytes()) {
-                        Ok(resp) if resp.status == 200 => {
-                            tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-                            ok.fetch_add(1, Ordering::Relaxed);
-                            if resp.header("x-antruss-cache") == Some("hit") {
-                                hits.fetch_add(1, Ordering::Relaxed);
+                    let mut tried = 0;
+                    loop {
+                        match client.post("/solve", "application/json", body.as_bytes()) {
+                            Ok(resp) if resp.status == 200 => {
+                                if retargeted {
+                                    recover_nanos.fetch_min(
+                                        started.elapsed().as_nanos() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    retargeted = false;
+                                }
+                                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                if resp.header("x-antruss-cache") == Some("hit") {
+                                    hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let shard = resp
+                                    .header("x-antruss-shard")
+                                    .and_then(|s| s.parse::<i64>().ok())
+                                    .unwrap_or(-1);
+                                *tally.by_shard.entry(shard).or_insert(0) += 1;
+                                break;
                             }
-                            let shard = resp
-                                .header("x-antruss-shard")
-                                .and_then(|s| s.parse::<i64>().ok())
-                                .unwrap_or(-1);
-                            *tally.by_shard.entry(shard).or_insert(0) += 1;
-                        }
-                        Ok(resp) => {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                            eprintln!("request failed: {} {}", resp.status, resp.body_string());
-                        }
-                        Err(e) => {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                            eprintln!("request error: {e}");
+                            Ok(resp) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "request failed: {} {}",
+                                    resp.status,
+                                    resp.body_string()
+                                );
+                                break;
+                            }
+                            // transport error: retarget — retry this
+                            // same request against the next address
+                            // before giving up on it (no-op with one
+                            // address, where this stays a failure)
+                            Err(e) => {
+                                tried += 1;
+                                if tried < addrs.len() {
+                                    at += 1;
+                                    client = Client::new(addrs[at % addrs.len()]);
+                                    retargets.fetch_add(1, Ordering::Relaxed);
+                                    retargeted = true;
+                                    continue;
+                                }
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("request error: {e}");
+                                break;
+                            }
                         }
                     }
                 }
@@ -828,6 +920,28 @@ fn main() {
         .as_ref()
         .map(|objectives| slo_section(addrs[0], objectives, ok, failed, p99));
 
+    // the chaos drill's verdict: how long the kill was visible, and
+    // whether any request was actually lost despite it
+    let retargets = retargets.load(Ordering::Relaxed);
+    let control_plane = kill_pid.map(|pid| {
+        let killed_at = kill_nanos.load(Ordering::Relaxed);
+        let recovered_at = recover_nanos.load(Ordering::Relaxed);
+        let gap_ms = match (killed_at, recovered_at) {
+            (u64::MAX, _) | (_, u64::MAX) => 0.0,
+            (k, r) => (r.saturating_sub(k)) as f64 / 1e6,
+        };
+        println!(
+            "control plane drill: killed pid {pid} mid-run -> failover gap {gap_ms:.1}ms, \
+             {retargets} retarget(s), {failed} failed request(s)"
+        );
+        format!(
+            "{{\"routers\":{},\"killed_pid\":{pid},\"kill_after_requests\":{kill_after},\
+             \"failover_gap_ms\":{gap_ms:.1},\"failed_requests\":{failed},\
+             \"retargets\":{retargets}}}",
+            addrs.len()
+        )
+    });
+
     if json_out {
         let shards = by_shard
             .iter()
@@ -854,13 +968,17 @@ fn main() {
             .as_ref()
             .map(|s| format!(",\"slo\":{s}"))
             .unwrap_or_default();
+        let control_plane_field = control_plane
+            .as_ref()
+            .map(|c| format!(",\"control_plane\":{c}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}{slo_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}{slo_field}{control_plane_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {
@@ -869,12 +987,17 @@ fn main() {
         }
     }
 
-    match Client::new(addrs[0]).get("/metrics") {
-        Ok(m) => {
+    // the drill may have killed addrs[0]: scrape the first address
+    // that still answers
+    match addrs
+        .iter()
+        .find_map(|&a| Client::new(a).get("/metrics").ok())
+    {
+        Some(m) => {
             println!("\nserver /metrics:");
             print!("{}", m.body_string());
         }
-        Err(e) => eprintln!("could not fetch /metrics: {e}"),
+        None => eprintln!("could not fetch /metrics from any address"),
     }
     if failed > 0 {
         std::process::exit(1);

@@ -41,7 +41,7 @@ USAGE:
   antruss serve      [--addr HOST:PORT] [--threads N] [--cache N] [--max-body-mb N]
                      [--exact-cap N] [--base-timeout S] [--max-b N]
                      [--data-dir DIR] [--fsync always|interval:MS|never]
-                     [--join ROUTER:PORT] [--advertise HOST:PORT] [--heartbeat-ms MS]
+                     [--join ROUTER:PORT[,ROUTER:PORT...]] [--advertise HOST:PORT] [--heartbeat-ms MS]
                      [--metrics-interval SECS] [--slo availability=99.9,p99_ms=5]
                      [--log-level error|warn|info|debug] [--log-json]
   antruss cluster    [--backends N | --backend-addrs A:P,B:P,...] [--replicas R]
@@ -50,6 +50,7 @@ USAGE:
                      [--cache N] [--max-body-mb N] [--exact-cap N]
                      [--base-timeout S] [--max-b N] [--data-dir DIR]
                      [--fsync always|interval:MS|never]
+                     [--peers ROUTER:PORT,...] [--router-data-dir DIR]
                      [--metrics-interval SECS] [--slo availability=99.9,p99_ms=5]
                      [--log-level error|warn|info|debug] [--log-json]
   antruss edge       --upstream HOST:PORT [--addr HOST:PORT] [--threads N] [--cache N]
@@ -79,7 +80,10 @@ picks the durability/latency trade-off (default interval:100).
 With --join ROUTER:PORT the backend registers with a running `antruss
 cluster` router, heartbeats, and deregisters on ctrl-c; --advertise
 overrides the address the router dials back (required when the bind
-address is not routable from the router's host).
+address is not routable from the router's host). Against a replicated
+control plane, --join takes the whole router list (comma-separated):
+the backend heartbeats one router and fails over to the next when it
+becomes unreachable.
 
 `antruss cluster` starts the sharded serving tier: N backend serve
 processes (or, with --backend-addrs, external backends it does not
@@ -87,7 +91,14 @@ spawn) behind a consistent-hash router that places each graph on R
 replicas, fails over when a backend dies, warms joining/re-joining
 replicas from surviving peers, evicts backends that miss
 --miss-threshold heartbeats in a row, and fans graph mutations out to
-every replica concurrently (see the README's Cluster section).
+every replica concurrently (see the README's Cluster section). With
+--peers the router replicates the control plane: it gossips the
+dynamic member table with the listed peer routers on every health
+tick, so any router can take joins, heartbeats, and evictions for all
+of them; --router-data-dir makes the member table durable, so a
+restarted router recovers its dynamic members and event cursor from
+disk instead of waiting out re-joins (see the README's Replicated
+routers section).
 
 `antruss edge` starts a read-only edge replica in front of --upstream
 (a serve node, a cluster router, or another edge — edges daisy-chain):
@@ -510,6 +521,18 @@ pub fn cluster_config(args: &Args) -> Result<antruss_cluster::ClusterConfig, Str
         heartbeat_ms: args.get("heartbeat-ms", defaults.heartbeat_ms).max(1),
         miss_threshold: args.get("miss-threshold", defaults.miss_threshold).max(1),
         backend: serve_config(args)?,
+        peers: match args.get_str("peers") {
+            Some(raw) => {
+                let peers =
+                    parse_addr_list(raw).map_err(|e| format!("cluster: bad --peers: {e}"))?;
+                if peers.is_empty() {
+                    return Err("cluster: --peers lists no addresses".to_string());
+                }
+                peers
+            }
+            None => Vec::new(),
+        },
+        router_data_dir: args.get_str("router-data-dir").map(String::from),
     })
 }
 
@@ -583,7 +606,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let heartbeat = match args.get_str("join") {
         None => None,
         Some(raw) => {
-            let router = resolve_addr(raw).map_err(|e| format!("serve: bad --join: {e}"))?;
+            let routers = parse_addr_list(raw).map_err(|e| format!("serve: bad --join: {e}"))?;
+            if routers.is_empty() {
+                return Err("serve: --join lists no addresses".to_string());
+            }
             let advertise = match args.get_str("advertise") {
                 Some(a) => resolve_addr(a).map_err(|e| format!("serve: bad --advertise: {e}"))?,
                 None => server.addr(),
@@ -597,11 +623,18 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             let cursor_store = server.state().store.clone();
             let cursor: antruss_service::CursorSource =
                 std::sync::Arc::new(move || cursor_store.as_ref()?.load_cluster_cursor());
-            let hb = antruss_service::HeartbeatClient::start_with_cursor(
-                router, advertise, interval, cursor,
+            let hb = antruss_service::HeartbeatClient::start_multi(
+                routers.clone(),
+                advertise,
+                interval,
+                cursor,
             )
-            .map_err(|e| format!("serve: cannot join {router}: {e}"))?;
-            obs::info!("serve", "joined cluster router {router} as {advertise}");
+            .map_err(|e| format!("serve: cannot join {raw}: {e}"))?;
+            obs::info!(
+                "serve",
+                "joined cluster router(s) {raw} as {advertise} ({} failover spare(s))",
+                routers.len() - 1
+            );
             Some(hb)
         }
     };
@@ -1376,6 +1409,31 @@ mod tests {
         // an unreachable router is reported as a join failure, not a hang
         let err = run(&args("serve --addr 127.0.0.1:0 --join 127.0.0.1:1")).unwrap_err();
         assert!(err.contains("cannot join"), "{err}");
+        // with a router list, *every* router must refuse before the join
+        // fails — and the error names the whole list
+        let err = run(&args(
+            "serve --addr 127.0.0.1:0 --join 127.0.0.1:1,127.0.0.1:2",
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot join 127.0.0.1:1,127.0.0.1:2"), "{err}");
+        assert!(run(&args("serve --addr 127.0.0.1:0 --join ,,")).is_err());
+    }
+
+    #[test]
+    fn cluster_config_parses_peers_and_router_data_dir() {
+        let cfg = cluster_config(&args(
+            "cluster --peers 127.0.0.1:9101,127.0.0.1:9102 --router-data-dir /tmp/antruss-router",
+        ))
+        .unwrap();
+        assert_eq!(cfg.peers.len(), 2);
+        assert_eq!(cfg.peers[0], "127.0.0.1:9101".parse().unwrap());
+        assert_eq!(cfg.router_data_dir.as_deref(), Some("/tmp/antruss-router"));
+        let defaults = cluster_config(&args("cluster")).unwrap();
+        assert!(defaults.peers.is_empty());
+        assert_eq!(defaults.router_data_dir, None);
+        // malformed and empty peer lists are loud errors
+        assert!(cluster_config(&args("cluster --peers nope")).is_err());
+        assert!(cluster_config(&args("cluster --peers ,,")).is_err());
     }
 
     #[test]

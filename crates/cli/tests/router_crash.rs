@@ -1,0 +1,206 @@
+//! Router crash-recovery end to end, with a real process and a real
+//! SIGKILL: an `antruss cluster --router-data-dir` router admits a
+//! dynamic member, is killed -9, and is restarted on the same port over
+//! the same data directory. The restarted router must recover the
+//! dynamic member from its member-op log — the member's heartbeat
+//! client never re-joins (its beats just start succeeding again), and
+//! the router's own join counter stays at zero.
+
+use std::io::BufRead as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use antruss_service::{Client, HeartbeatClient, Server, ServerConfig};
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn metric(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+}
+
+fn router_metrics(addr: SocketAddr) -> String {
+    Client::new(addr)
+        .get("/metrics")
+        .map(|r| r.body_string())
+        .unwrap_or_default()
+}
+
+fn ring_member_count(addr: SocketAddr) -> usize {
+    metric(&router_metrics(addr), "antruss_router_backends").unwrap_or(u64::MAX) as usize
+}
+
+/// A spawned `antruss cluster` router process plus its bound address,
+/// captured from the startup log line.
+struct SpawnedRouter {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl SpawnedRouter {
+    /// Spawns the real binary fronting `backend` with a durable member
+    /// table in `data_dir`, binding `addr` (`127.0.0.1:0` first run,
+    /// the captured port on restart), and waits for the router line.
+    fn start(addr: &str, backend: SocketAddr, data_dir: &std::path::Path) -> SpawnedRouter {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_antruss"))
+            .args([
+                "cluster",
+                "--addr",
+                addr,
+                "--backend-addrs",
+                &backend.to_string(),
+                "--router-data-dir",
+                &data_dir.display().to_string(),
+                "--health-ms",
+                "100",
+                "--heartbeat-ms",
+                "300",
+                "--miss-threshold",
+                "10",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn antruss cluster");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, rx) = mpsc::channel::<SocketAddr>();
+        std::thread::spawn(move || {
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.split("router on http://").nth(1) {
+                    if let Some(addr) = rest.split_whitespace().next().and_then(|a| a.parse().ok())
+                    {
+                        let _ = tx.send(addr);
+                    }
+                }
+                // keep draining so the child never blocks on stderr
+            }
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("router never reported its address");
+        SpawnedRouter { child, addr }
+    }
+
+    /// SIGKILL — the member table in memory is gone; only the member-op
+    /// log under `--router-data-dir` survives.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkilled_router_recovers_members_from_disk_with_zero_rejoins() {
+    let base =
+        std::env::temp_dir().join(format!("antruss-router-crash-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data_dir = base.join("router");
+
+    // one static backend the router fronts, one dynamic backend that
+    // joins through the `serve --join` heartbeat client
+    let static_backend = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 8,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind static backend");
+    let router = SpawnedRouter::start("127.0.0.1:0", static_backend.addr(), &data_dir);
+    let router_addr = router.addr;
+
+    let dynamic_backend = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 8,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind dynamic backend");
+    let hb =
+        HeartbeatClient::start(router_addr, dynamic_backend.addr(), None).expect("dynamic join");
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router_addr)
+            == 2),
+        "dynamic member never appeared on the ring"
+    );
+    let before = router_metrics(router_addr);
+    assert_eq!(
+        metric(&before, "antruss_router_joins_total"),
+        Some(1),
+        "exactly the one dynamic join before the crash:\n{before}"
+    );
+    let beats_before_crash = hb.beats();
+
+    // kill -9 the router; its in-memory member table dies with it. The
+    // member's heartbeats fail silently in the meantime (transport
+    // errors are just missed beats).
+    router.kill_dash_nine();
+
+    // restart on the SAME port over the SAME data dir: the member table
+    // comes back from the member-op log before the socket even opens
+    let router = SpawnedRouter::start(&router_addr.to_string(), static_backend.addr(), &data_dir);
+    assert_eq!(router.addr, router_addr, "restart must rebind the port");
+    assert!(
+        poll_until(Duration::from_secs(10), || ring_member_count(router_addr)
+            == 2),
+        "restarted router did not recover the dynamic member"
+    );
+
+    // recovered from disk, not re-joined: the router counted a
+    // recovery, its join counter is still zero, and the heartbeat
+    // client never saw a 404 (zero re-join round-trips) — its beats
+    // simply resumed against the recovered table
+    let after = router_metrics(router_addr);
+    assert!(
+        metric(&after, "antruss_router_member_recover_total").unwrap_or(0) >= 1,
+        "recovery was not counted:\n{after}"
+    );
+    assert_eq!(
+        metric(&after, "antruss_router_joins_total"),
+        Some(0),
+        "recovery must take zero re-join round-trips:\n{after}"
+    );
+    assert!(
+        poll_until(Duration::from_secs(10), || hb.beats() > beats_before_crash),
+        "heartbeats never resumed against the recovered member table"
+    );
+    assert_eq!(
+        hb.rejoins(),
+        0,
+        "the member was made to re-join instead of being recovered"
+    );
+
+    // the recovered membership is fully serveable: traffic routes
+    // across both members
+    let mut client = Client::new(router_addr);
+    let resp = client
+        .post("/graphs?name=tri", "text/plain", b"0 1\n1 2\n2 0\n")
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_string());
+    let solved = client
+        .post(
+            "/solve",
+            "application/json",
+            br#"{"graph":"tri","solver":"gas","b":1}"#,
+        )
+        .unwrap();
+    assert_eq!(solved.status, 200, "{}", solved.body_string());
+
+    drop(hb);
+    router.kill_dash_nine();
+    static_backend.shutdown();
+    dynamic_backend.shutdown();
+    std::fs::remove_dir_all(&base).unwrap();
+}

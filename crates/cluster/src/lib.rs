@@ -51,7 +51,8 @@ pub mod supervisor;
 pub mod testkit;
 
 pub use membership::{
-    Clock, ManualClock, Membership, MembershipConfig, MembershipEvent, SystemClock,
+    Clock, ManualClock, MemberOp, MemberOpKind, Membership, MembershipConfig, MembershipEvent,
+    SystemClock,
 };
 pub use ring::{key_point, HashRing, DEFAULT_VNODES};
 pub use router::{handle, BackendState, Router, RouterConfig, RouterState, RouterView};

@@ -20,11 +20,27 @@
 //! [`ManualClock`] by hand and calls the router's tick directly, making
 //! any join/leave/evict sequence exactly reproducible. Every transition
 //! is recorded in an event log the tests can assert against.
+//!
+//! Every *dynamic* transition is also a versioned [`MemberOp`] — a
+//! last-writer-wins record keyed by address, sequenced with a
+//! Lamport-style counter (each mint takes `max seen + 1`). The op
+//! stream is what makes the control plane replicable: peer routers
+//! exchange their per-address latest ops on a gossip tick and converge
+//! by [`Membership::apply_op`] (a commutative, idempotent per-address
+//! max), and a `--data-dir` router logs each op through the store's
+//! `OpLog` so a restart recovers its dynamic members from disk instead
+//! of waiting out re-joins. Ring ids ride *inside* the op, so every
+//! router that applies a Join derives the identical [`crate::ring`]
+//! placement without coordination.
 
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use antruss_core::json::{self, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A source of monotonic milliseconds. Injected so eviction decisions
 /// (`now - last_heartbeat > deadline`) are a pure function of the clock,
@@ -158,10 +174,212 @@ pub enum MembershipEvent {
     },
 }
 
+/// What a [`MemberOp`] did to its address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberOpKind {
+    /// The address (re-)registered as a dynamic member.
+    Join,
+    /// The address deregistered gracefully.
+    Leave,
+    /// The address blew the heartbeat deadline and was evicted.
+    Evict,
+}
+
+impl MemberOpKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemberOpKind::Join => "join",
+            MemberOpKind::Leave => "leave",
+            MemberOpKind::Evict => "evict",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<MemberOpKind> {
+        match s {
+            "join" => Some(MemberOpKind::Join),
+            "leave" => Some(MemberOpKind::Leave),
+            "evict" => Some(MemberOpKind::Evict),
+            _ => None,
+        }
+    }
+
+    /// Tie-break rank for ops minted with the same seq: removal beats
+    /// registration, so two routers that saw a same-seq conflict still
+    /// settle on one winner.
+    fn rank(self) -> u8 {
+        match self {
+            MemberOpKind::Join => 0,
+            MemberOpKind::Leave => 1,
+            MemberOpKind::Evict => 2,
+        }
+    }
+}
+
+const OP_TAG_JOIN: u8 = 1;
+const OP_TAG_LEAVE: u8 = 2;
+const OP_TAG_EVICT: u8 = 3;
+
+/// One versioned membership transition — the unit of gossip and of the
+/// router's durable member log. Last-writer-wins per address: of two
+/// ops for the same address, the one that [`MemberOp::supersedes`] the
+/// other determines whether the address is a member, and with which
+/// ring id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberOp {
+    /// Lamport-style sequence: the minting router's `max seen + 1`.
+    pub seq: u64,
+    /// What happened.
+    pub kind: MemberOpKind,
+    /// The dynamic member the op is about.
+    pub addr: SocketAddr,
+    /// The ring id the member holds while the op stands (meaningful for
+    /// Join; carried on Leave/Evict for the record).
+    pub ring_id: u32,
+}
+
+impl MemberOp {
+    /// Whether this op beats `other` for the same address: higher seq
+    /// wins; on equal seqs removal beats registration, then ring id
+    /// breaks the tie. A strict total order, so applying any op set in
+    /// any interleaving (with duplicates) converges.
+    pub fn supersedes(&self, other: &MemberOp) -> bool {
+        (self.seq, self.kind.rank(), self.ring_id) > (other.seq, other.kind.rank(), other.ring_id)
+    }
+
+    /// Serializes the op as one durable-log payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(match self.kind {
+            MemberOpKind::Join => OP_TAG_JOIN,
+            MemberOpKind::Leave => OP_TAG_LEAVE,
+            MemberOpKind::Evict => OP_TAG_EVICT,
+        });
+        buf.put_u64_le(self.seq);
+        buf.put_u32_le(self.ring_id);
+        let addr = self.addr.to_string();
+        buf.put_u16_le(addr.len() as u16);
+        buf.put_slice(addr.as_bytes());
+        buf.freeze()
+    }
+
+    /// Deserializes one durable-log payload. `None` means the payload
+    /// is not a well-formed op (treated like a checksum failure).
+    pub fn decode(mut data: Bytes) -> Option<MemberOp> {
+        if data.remaining() < 1 + 8 + 4 + 2 {
+            return None;
+        }
+        let kind = match data.get_u8() {
+            OP_TAG_JOIN => MemberOpKind::Join,
+            OP_TAG_LEAVE => MemberOpKind::Leave,
+            OP_TAG_EVICT => MemberOpKind::Evict,
+            _ => return None,
+        };
+        let seq = data.get_u64_le();
+        let ring_id = data.get_u32_le();
+        let len = data.get_u16_le() as usize;
+        if data.remaining() != len {
+            return None; // trailing bytes are corruption
+        }
+        let mut raw = vec![0u8; len];
+        data.copy_to_slice(&mut raw);
+        let addr = String::from_utf8(raw).ok()?.parse().ok()?;
+        Some(MemberOp {
+            seq,
+            kind,
+            addr,
+            ring_id,
+        })
+    }
+
+    /// Renders the op as one gossip-wire JSON object; `silent_ms` is
+    /// the sender's heartbeat freshness for the member, when live
+    /// (relative, so it survives per-process clock epochs).
+    pub fn render_json(&self, silent_ms: Option<u64>) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"kind\":{},\"addr\":{},\"ring_id\":{}",
+            self.seq,
+            json::quoted(self.kind.as_str()),
+            json::quoted(&self.addr.to_string()),
+            self.ring_id
+        );
+        if let Some(ms) = silent_ms {
+            out.push_str(&format!(",\"silent_ms\":{ms}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one gossip-wire JSON object back into the op and the
+    /// sender's freshness claim.
+    pub fn parse_json(v: &Value) -> Option<(MemberOp, Option<u64>)> {
+        let op = MemberOp {
+            seq: v.get("seq")?.as_u64()?,
+            kind: MemberOpKind::parse(v.get("kind")?.as_str()?)?,
+            addr: v.get("addr")?.as_str()?.parse().ok()?,
+            ring_id: v.get("ring_id")?.as_u64()? as u32,
+        };
+        let silent_ms = v.get("silent_ms").and_then(Value::as_u64);
+        Some((op, silent_ms))
+    }
+}
+
 struct Inner {
     members: Vec<MemberInfo>,
     next_ring_id: u32,
     events: Vec<MembershipEvent>,
+    /// Per-address latest op — the state gossip exchanges and the
+    /// durable log reconstructs. Dynamic members only.
+    ops: BTreeMap<SocketAddr, MemberOp>,
+    /// Highest op seq seen or minted; the next mint takes `max + 1`.
+    max_seq: u64,
+}
+
+impl Inner {
+    /// Mints the next op (`max_seq + 1`) and records it as the
+    /// address's latest.
+    fn mint(inner: &mut Inner, kind: MemberOpKind, addr: SocketAddr, ring_id: u32) -> MemberOp {
+        inner.max_seq += 1;
+        let op = MemberOp {
+            seq: inner.max_seq,
+            kind,
+            addr,
+            ring_id,
+        };
+        inner.ops.insert(addr, op);
+        op
+    }
+
+    /// A ring id for a newly joining dynamic member: a hash of the
+    /// address and join seq rather than a counter, so two peer routers
+    /// admitting different members concurrently cannot mint colliding
+    /// ids (the high bit keeps the hash space disjoint from the small
+    /// static-seed counter ids). Seq-dependent, so an evicted address
+    /// re-joining gets fresh ring points, same as before.
+    fn fresh_dynamic_ring_id(inner: &Inner, addr: SocketAddr, seq: u64) -> u32 {
+        let mut salt = 0u64;
+        loop {
+            // FNV-1a over addr + seq + salt, folded to 31 bits
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            for b in addr
+                .to_string()
+                .bytes()
+                .chain(seq.to_le_bytes())
+                .chain(salt.to_le_bytes())
+            {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            let id = ((h ^ (h >> 32)) as u32) | 0x8000_0000;
+            if !inner.members.iter().any(|m| m.ring_id == id) {
+                return id;
+            }
+            salt += 1;
+        }
+    }
 }
 
 /// The membership table: live members in stable join order, plus the
@@ -182,6 +400,8 @@ impl Membership {
                 members: Vec::new(),
                 next_ring_id: 0,
                 events: Vec::new(),
+                ops: BTreeMap::new(),
+                max_seq: 0,
             }),
         }
     }
@@ -216,22 +436,28 @@ impl Membership {
 
     /// Registers a dynamic member (idempotent: re-joining an address
     /// that is already a member refreshes its heartbeat and returns the
-    /// existing ring id). Returns `(ring_id, rejoin)`.
+    /// existing ring id). Returns `(ring_id, rejoin)`. Mints a Join
+    /// [`MemberOp`] either way, so peers and the durable log learn that
+    /// the member (re-)asserted itself.
     pub fn join(&self, addr: SocketAddr) -> (u32, bool) {
         let now = self.clock.now_ms();
         let mut inner = self.inner.lock().unwrap();
-        if let Some(m) = inner.members.iter_mut().find(|m| m.addr == addr) {
-            m.last_heartbeat_ms = now;
-            let ring_id = m.ring_id;
+        if let Some(i) = inner.members.iter().position(|m| m.addr == addr) {
+            inner.members[i].last_heartbeat_ms = now;
+            let ring_id = inner.members[i].ring_id;
+            let is_static = inner.members[i].is_static;
             inner.events.push(MembershipEvent::Joined {
                 addr,
                 ring_id,
                 rejoin: true,
             });
+            if !is_static {
+                Inner::mint(&mut inner, MemberOpKind::Join, addr, ring_id);
+            }
             return (ring_id, true);
         }
-        let ring_id = inner.next_ring_id;
-        inner.next_ring_id += 1;
+        let seq = inner.max_seq + 1;
+        let ring_id = Inner::fresh_dynamic_ring_id(&inner, addr, seq);
         inner.members.push(MemberInfo {
             addr,
             ring_id,
@@ -244,6 +470,7 @@ impl Membership {
             ring_id,
             rejoin: false,
         });
+        Inner::mint(&mut inner, MemberOpKind::Join, addr, ring_id);
         (ring_id, false)
     }
 
@@ -262,19 +489,23 @@ impl Membership {
     }
 
     /// Removes a member gracefully; `false` when the address is unknown.
+    /// Mints a Leave [`MemberOp`] for dynamic members.
     pub fn leave(&self, addr: SocketAddr) -> bool {
         let mut inner = self.inner.lock().unwrap();
-        let before = inner.members.len();
-        inner.members.retain(|m| m.addr != addr);
-        let removed = inner.members.len() < before;
-        if removed {
-            inner.events.push(MembershipEvent::Left { addr });
+        let Some(i) = inner.members.iter().position(|m| m.addr == addr) else {
+            return false;
+        };
+        let departed = inner.members.remove(i);
+        inner.events.push(MembershipEvent::Left { addr });
+        if !departed.is_static {
+            Inner::mint(&mut inner, MemberOpKind::Leave, addr, departed.ring_id);
         }
-        removed
+        true
     }
 
     /// Evicts every dynamic member whose silence exceeds the deadline,
-    /// returning the evicted members. Static members are exempt.
+    /// returning the evicted members. Static members are exempt. Mints
+    /// an Evict [`MemberOp`] per eviction.
     pub fn evict_overdue(&self) -> Vec<MemberInfo> {
         let now = self.clock.now_ms();
         let deadline = self.config.deadline_ms();
@@ -295,8 +526,172 @@ impl Membership {
                 addr: m.addr,
                 silent_ms,
             });
+            Inner::mint(&mut inner, MemberOpKind::Evict, m.addr, m.ring_id);
         }
         evicted
+    }
+
+    /// Applies one op from a peer or the durable log: per-address
+    /// last-writer-wins. Returns `true` iff the op superseded what this
+    /// table knew and changed (or re-asserted) the address's state.
+    /// Commutative and idempotent — any interleaving of the same op
+    /// set, duplicates included, converges to the same member table.
+    ///
+    /// Static members are never touched: an op can only ever describe a
+    /// dynamic member, and a table where the address is a static seed
+    /// ignores the op's table effect while still recording its seq.
+    pub fn apply_op(&self, op: MemberOp) -> bool {
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock().unwrap();
+        inner.max_seq = inner.max_seq.max(op.seq);
+        if let Some(prev) = inner.ops.get(&op.addr) {
+            if !op.supersedes(prev) {
+                return false;
+            }
+        }
+        inner.ops.insert(op.addr, op);
+        match op.kind {
+            MemberOpKind::Join => {
+                if let Some(i) = inner.members.iter().position(|m| m.addr == op.addr) {
+                    if inner.members[i].is_static {
+                        return true;
+                    }
+                    if inner.members[i].ring_id != op.ring_id {
+                        inner.members[i].ring_id = op.ring_id;
+                        inner.members[i].joined_at_ms = now;
+                    }
+                    inner.members[i].last_heartbeat_ms = now;
+                    inner.events.push(MembershipEvent::Joined {
+                        addr: op.addr,
+                        ring_id: op.ring_id,
+                        rejoin: true,
+                    });
+                } else {
+                    inner.members.push(MemberInfo {
+                        addr: op.addr,
+                        ring_id: op.ring_id,
+                        is_static: false,
+                        joined_at_ms: now,
+                        last_heartbeat_ms: now,
+                    });
+                    inner.events.push(MembershipEvent::Joined {
+                        addr: op.addr,
+                        ring_id: op.ring_id,
+                        rejoin: false,
+                    });
+                }
+            }
+            MemberOpKind::Leave | MemberOpKind::Evict => {
+                let before = inner.members.len();
+                inner.members.retain(|m| m.addr != op.addr || m.is_static);
+                if inner.members.len() < before {
+                    inner.events.push(match op.kind {
+                        MemberOpKind::Leave => MembershipEvent::Left { addr: op.addr },
+                        _ => MembershipEvent::Evicted {
+                            addr: op.addr,
+                            silent_ms: 0,
+                        },
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Replays a recovered op stream in log order. Returns how many ops
+    /// took effect. Members recovered this way start with a full
+    /// heartbeat deadline (their last-heartbeat is "now"), so a
+    /// restarted router does not instantly evict everyone it recovered.
+    pub fn recover(&self, ops: &[MemberOp]) -> usize {
+        ops.iter().filter(|&&op| self.apply_op(op)).count()
+    }
+
+    /// The per-address latest ops, in address order — the full gossip
+    /// state and what a durable-log compaction keeps.
+    pub fn ops(&self) -> Vec<MemberOp> {
+        self.inner.lock().unwrap().ops.values().copied().collect()
+    }
+
+    /// The latest op for one address, if any.
+    pub fn last_op(&self, addr: SocketAddr) -> Option<MemberOp> {
+        self.inner.lock().unwrap().ops.get(&addr).copied()
+    }
+
+    /// Highest op seq seen or minted.
+    pub fn max_seq(&self) -> u64 {
+        self.inner.lock().unwrap().max_seq
+    }
+
+    /// Advances the Lamport counter past a seq seen but *not* applied —
+    /// the veto path: refusing a peer's stale eviction must still mint
+    /// its refresh op above the refused op's seq, or the refusal loses
+    /// the very conflict it is trying to win.
+    pub fn observe_seq(&self, seq: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.max_seq = inner.max_seq.max(seq);
+    }
+
+    /// Whether `addr` is a live member inside its heartbeat deadline.
+    /// The gossip layer uses this to veto a peer's stale eviction: a
+    /// member this router heard from recently is not dead just because
+    /// a partitioned peer stopped hearing it.
+    pub fn is_fresh(&self, addr: SocketAddr) -> bool {
+        let now = self.clock.now_ms();
+        let deadline = self.config.deadline_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .members
+            .iter()
+            .any(|m| m.addr == addr && now.saturating_sub(m.last_heartbeat_ms) <= deadline)
+    }
+
+    /// Adopts a peer's heartbeat-freshness claim (`silent_ms` on the
+    /// peer's clock) if it is fresher than what this table knows — a
+    /// member may be heartbeating the peer and not us. Relative time, so
+    /// it composes across per-process clock epochs.
+    pub fn observe_freshness(&self, addr: SocketAddr, silent_ms: u64) {
+        let now = self.clock.now_ms();
+        let claimed = now.saturating_sub(silent_ms);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(m) = inner
+            .members
+            .iter_mut()
+            .find(|m| m.addr == addr && !m.is_static)
+        {
+            if claimed > m.last_heartbeat_ms {
+                m.last_heartbeat_ms = claimed;
+            }
+        }
+    }
+
+    /// Per-address silence of every live dynamic member, for gossip
+    /// freshness claims.
+    pub fn freshness(&self) -> Vec<(SocketAddr, u64)> {
+        let now = self.clock.now_ms();
+        self.inner
+            .lock()
+            .unwrap()
+            .members
+            .iter()
+            .filter(|m| !m.is_static)
+            .map(|m| (m.addr, now.saturating_sub(m.last_heartbeat_ms)))
+            .collect()
+    }
+
+    /// Mints a fresh Join op re-asserting a live member (same ring id,
+    /// new seq) — the eviction veto. The new op supersedes any Evict a
+    /// partitioned peer minted earlier, so gossiping it back restores
+    /// the member everywhere without a placement change. `None` if the
+    /// address is not currently a dynamic member.
+    pub fn mint_refresh(&self, addr: SocketAddr) -> Option<MemberOp> {
+        let mut inner = self.inner.lock().unwrap();
+        let ring_id = inner
+            .members
+            .iter()
+            .find(|m| m.addr == addr && !m.is_static)?
+            .ring_id;
+        Some(Inner::mint(&mut inner, MemberOpKind::Join, addr, ring_id))
     }
 
     /// The live members in stable join order.
@@ -406,7 +801,7 @@ mod tests {
     fn leave_removes_and_logs() {
         let clock = Arc::new(ManualClock::new(0));
         let m = table(&clock);
-        m.join(addr(1000));
+        let (ring_id, _) = m.join(addr(1000));
         assert!(m.leave(addr(1000)));
         assert!(!m.leave(addr(1000)));
         let events = m.events();
@@ -415,12 +810,223 @@ mod tests {
             vec![
                 MembershipEvent::Joined {
                     addr: addr(1000),
-                    ring_id: 0,
+                    ring_id,
                     rejoin: false
                 },
                 MembershipEvent::Left { addr: addr(1000) },
             ]
         );
+    }
+
+    #[test]
+    fn ops_are_minted_with_increasing_seqs_across_the_lifecycle() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.seed_static(&[addr(1)]);
+        assert!(m.ops().is_empty(), "static seeding mints no ops");
+        let (rid, _) = m.join(addr(1000));
+        let join = m.last_op(addr(1000)).unwrap();
+        assert_eq!(join.kind, MemberOpKind::Join);
+        assert_eq!(join.ring_id, rid);
+        assert_eq!(join.seq, 1);
+        m.join(addr(1001));
+        assert_eq!(m.max_seq(), 2);
+        m.leave(addr(1001));
+        assert_eq!(m.last_op(addr(1001)).unwrap().kind, MemberOpKind::Leave);
+        clock.advance(1000);
+        assert_eq!(m.evict_overdue().len(), 1);
+        let evict = m.last_op(addr(1000)).unwrap();
+        assert_eq!(evict.kind, MemberOpKind::Evict);
+        assert_eq!(evict.ring_id, rid);
+        assert_eq!(m.max_seq(), 4);
+        // leave of a static member mints nothing
+        m.leave(addr(1));
+        assert_eq!(m.max_seq(), 4);
+    }
+
+    #[test]
+    fn dynamic_ring_ids_avoid_the_static_counter_space() {
+        let clock = Arc::new(ManualClock::new(0));
+        let m = table(&clock);
+        m.seed_static(&[addr(1), addr(2), addr(3)]);
+        for port in 1000..1032 {
+            let (rid, _) = m.join(addr(port));
+            assert!(rid & 0x8000_0000 != 0, "dynamic ids carry the high bit");
+        }
+        let ids: std::collections::BTreeSet<u32> =
+            m.members().iter().map(|mi| mi.ring_id).collect();
+        assert_eq!(ids.len(), m.len(), "all ring ids distinct");
+    }
+
+    #[test]
+    fn op_encode_decode_round_trips() {
+        for (kind, seq, ring_id) in [
+            (MemberOpKind::Join, 1, 0x8000_0001),
+            (MemberOpKind::Leave, u64::MAX, 7),
+            (MemberOpKind::Evict, 42, u32::MAX),
+        ] {
+            let op = MemberOp {
+                seq,
+                kind,
+                addr: addr(2000),
+                ring_id,
+            };
+            assert_eq!(MemberOp::decode(op.encode()), Some(op));
+        }
+        assert_eq!(MemberOp::decode(Bytes::from_static(b"")), None);
+        assert_eq!(
+            MemberOp::decode(Bytes::from_static(b"\x09garbage....")),
+            None
+        );
+        // trailing bytes are corruption
+        let mut long = MemberOp {
+            seq: 1,
+            kind: MemberOpKind::Join,
+            addr: addr(2000),
+            ring_id: 5,
+        }
+        .encode()
+        .to_vec();
+        long.push(0);
+        assert_eq!(MemberOp::decode(Bytes::from(long)), None);
+    }
+
+    #[test]
+    fn op_json_round_trips_with_and_without_freshness() {
+        let op = MemberOp {
+            seq: 9,
+            kind: MemberOpKind::Evict,
+            addr: addr(2000),
+            ring_id: 0x8000_0009,
+        };
+        for silent in [None, Some(0), Some(1234)] {
+            let rendered = op.render_json(silent);
+            let v = json::parse(&rendered).unwrap();
+            assert_eq!(MemberOp::parse_json(&v), Some((op, silent)));
+        }
+    }
+
+    #[test]
+    fn apply_op_is_lww_idempotent_and_order_free() {
+        let clock = Arc::new(ManualClock::new(0));
+        let a = table(&clock);
+        let b = table(&clock);
+        let join = MemberOp {
+            seq: 1,
+            kind: MemberOpKind::Join,
+            addr: addr(1000),
+            ring_id: 0x8000_0001,
+        };
+        let evict = MemberOp {
+            seq: 2,
+            kind: MemberOpKind::Evict,
+            addr: addr(1000),
+            ring_id: 0x8000_0001,
+        };
+        let rejoin = MemberOp {
+            seq: 3,
+            kind: MemberOpKind::Join,
+            addr: addr(1000),
+            ring_id: 0x8000_0002,
+        };
+        // a sees the ops in order with duplicates; b sees them reversed
+        for op in [join, join, evict, rejoin, evict, rejoin] {
+            a.apply_op(op);
+        }
+        for op in [rejoin, evict, join] {
+            b.apply_op(op);
+        }
+        let (ma, mb) = (a.members(), b.members());
+        assert_eq!(ma.len(), 1);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(ma[0].ring_id, rejoin.ring_id);
+        assert_eq!(mb[0].ring_id, rejoin.ring_id);
+        assert_eq!(a.max_seq(), 3);
+        assert_eq!(b.max_seq(), 3);
+        assert!(!a.apply_op(rejoin), "duplicates never re-apply");
+    }
+
+    #[test]
+    fn same_seq_conflicts_settle_on_removal() {
+        let clock = Arc::new(ManualClock::new(0));
+        let a = table(&clock);
+        let b = table(&clock);
+        let join = MemberOp {
+            seq: 5,
+            kind: MemberOpKind::Join,
+            addr: addr(1000),
+            ring_id: 0x8000_0001,
+        };
+        let evict = MemberOp {
+            seq: 5,
+            kind: MemberOpKind::Evict,
+            addr: addr(1000),
+            ring_id: 0x8000_0001,
+        };
+        a.apply_op(join);
+        a.apply_op(evict);
+        b.apply_op(evict);
+        b.apply_op(join);
+        assert!(a.is_empty());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn refresh_op_beats_a_stale_eviction_without_moving_the_ring() {
+        let clock = Arc::new(ManualClock::new(0));
+        let healthy = table(&clock);
+        let partitioned = table(&clock);
+        let (rid, _) = healthy.join(addr(1000));
+        let join = healthy.last_op(addr(1000)).unwrap();
+        partitioned.apply_op(join);
+        // the partitioned router stops hearing heartbeats and evicts
+        clock.advance(1000);
+        healthy.heartbeat(addr(1000));
+        assert_eq!(partitioned.evict_overdue().len(), 1);
+        let evict = partitioned.last_op(addr(1000)).unwrap();
+        // healthy vetoes: the member is fresh, so instead of applying
+        // the eviction it observes its seq and mints a refresh join
+        // that supersedes it
+        assert!(healthy.is_fresh(addr(1000)));
+        healthy.observe_seq(evict.seq);
+        let refresh = healthy.mint_refresh(addr(1000)).unwrap();
+        assert_eq!(refresh.ring_id, rid, "veto keeps the ring id");
+        assert!(refresh.supersedes(&evict));
+        assert!(partitioned.apply_op(refresh));
+        assert_eq!(partitioned.members().len(), 1);
+        assert_eq!(partitioned.members()[0].ring_id, rid);
+    }
+
+    #[test]
+    fn recover_rebuilds_the_table_with_a_full_deadline() {
+        let clock = Arc::new(ManualClock::new(0));
+        let original = table(&clock);
+        original.join(addr(1000));
+        original.join(addr(1001));
+        original.leave(addr(1001));
+        let log = original.ops();
+        clock.advance(10_000); // long after every deadline
+        let restarted = table(&clock);
+        assert_eq!(restarted.recover(&log), 2);
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted.members()[0].addr, addr(1000));
+        assert!(
+            restarted.evict_overdue().is_empty(),
+            "recovered members get a fresh deadline"
+        );
+        assert_eq!(restarted.max_seq(), original.max_seq());
+    }
+
+    #[test]
+    fn freshness_claims_only_ever_advance_heartbeats() {
+        let clock = Arc::new(ManualClock::new(1_000));
+        let m = table(&clock);
+        m.join(addr(1000));
+        clock.advance(500); // silent for 500 locally
+        m.observe_freshness(addr(1000), 100); // peer heard it 100 ms ago
+        assert_eq!(m.freshness(), vec![(addr(1000), 100)]);
+        m.observe_freshness(addr(1000), 400); // staler claim: ignored
+        assert_eq!(m.freshness(), vec![(addr(1000), 100)]);
     }
 
     #[test]

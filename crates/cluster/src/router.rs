@@ -44,6 +44,7 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
@@ -60,8 +61,11 @@ use antruss_service::server::{
     spawn_history_sampler, subresource, AcceptPool, SLOW_TRACE_CAP,
 };
 use antruss_service::{canonical_key, Client, ClientResponse, Event, EventKind, EventLog};
+use antruss_store::store::{read_events_meta, write_events_meta};
+use antruss_store::OpLog;
+use bytes::Bytes;
 
-use crate::membership::{Clock, Membership, MembershipConfig, SystemClock};
+use crate::membership::{Clock, MemberOp, MemberOpKind, Membership, MembershipConfig, SystemClock};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
 /// Tunables of one router instance.
@@ -98,6 +102,16 @@ pub struct RouterConfig {
     /// Service-level objectives evaluated over the history ring
     /// (empty = no SLO engine; `/healthz` keeps its `ok`/`down` body).
     pub slos: Vec<Objective>,
+    /// Peer router addresses to gossip the dynamic member table with on
+    /// every supervision tick (empty = standalone router, no gossip).
+    /// Re-pointable at runtime via [`RouterState::set_peers`] — the
+    /// test harness wires ephemeral-port peers after they bind.
+    pub peers: Vec<SocketAddr>,
+    /// Data directory for the router's durable control-plane state: the
+    /// `members.log` op log (dynamic member table) and `events.meta`
+    /// (event-stream epoch + head). `None` = memory only; a restart
+    /// then waits out re-joins instead of recovering from disk.
+    pub data_dir: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -117,6 +131,8 @@ impl Default for RouterConfig {
             miss_threshold: 3,
             metrics_interval_ms: 5000,
             slos: Vec::new(),
+            peers: Vec::new(),
+            data_dir: None,
         }
     }
 }
@@ -317,18 +333,58 @@ pub struct RouterState {
     /// Last-known per-member summaries, refreshed by [`tick_state`] and
     /// served at `GET /cluster/overview`.
     overview: Mutex<BTreeMap<SocketAddr, MemberSummary>>,
+    /// Peer routers gossiped with on every tick (see
+    /// [`RouterState::set_peers`]).
+    peers: Mutex<Vec<SocketAddr>>,
+    /// The durable member-op log (`--router-data-dir`): every dynamic
+    /// membership transition — minted locally or absorbed from a peer —
+    /// is appended (fsync'd) before the next tick, and a restart
+    /// recovers the member table from it instead of waiting out
+    /// re-joins.
+    member_log: Option<OpLog>,
+    /// Outbound gossip exchanges attempted (one per peer per tick).
+    pub gossip_rounds: AtomicU64,
+    /// Ops absorbed from peers that changed this router's member table.
+    pub gossip_applied: AtomicU64,
+    /// Outbound gossip exchanges that failed at the transport or HTTP
+    /// level.
+    pub gossip_failures: AtomicU64,
+    /// Peer evictions vetoed because the member was fresh here (the
+    /// eviction/gossip race: a member heartbeating this router must not
+    /// flap just because a partitioned peer stopped hearing it).
+    pub gossip_vetoes: AtomicU64,
+    /// Dynamic members recovered from the durable op log at startup.
+    pub members_recovered: AtomicU64,
     started: Instant,
 }
 
 impl RouterState {
-    /// Fresh state for `config`, on the wall clock.
+    /// Fresh state for `config`, on the wall clock. Panics when the
+    /// configured data dir cannot be opened — use
+    /// [`RouterState::try_with_clock`] to surface the error.
     pub fn new(config: RouterConfig) -> RouterState {
         RouterState::with_clock(config, Arc::new(SystemClock::new()))
     }
 
     /// Fresh state reading time from `clock` (the deterministic test
     /// harness injects a [`crate::membership::ManualClock`] here).
+    /// Panics when the configured data dir cannot be opened.
     pub fn with_clock(config: RouterConfig, clock: Arc<dyn Clock>) -> RouterState {
+        RouterState::try_with_clock(config, clock).expect("open router state")
+    }
+
+    /// Like [`RouterState::with_clock`], surfacing data-dir errors
+    /// (unreadable disk, a second router already holding the dir lock)
+    /// instead of panicking. With a data dir configured, the dynamic
+    /// member table is recovered from `members.log` — recovered members
+    /// start with a full heartbeat deadline, and zero re-join
+    /// round-trips are needed — and the event-stream identity (epoch +
+    /// head) from `events.meta`, so cursors persisted by backends
+    /// before the restart stay serveable.
+    pub fn try_with_clock(
+        config: RouterConfig,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<RouterState> {
         let membership = Membership::new(
             MembershipConfig {
                 heartbeat_ms: config.heartbeat_ms,
@@ -337,8 +393,40 @@ impl RouterState {
             clock,
         );
         membership.seed_static(&config.backends);
+        let mut member_log = None;
+        let mut event_meta = None;
+        if let Some(dir) = &config.data_dir {
+            let (log, payloads) = OpLog::open(dir, "members.log")?;
+            let ops: Vec<MemberOp> = payloads.into_iter().filter_map(MemberOp::decode).collect();
+            membership.recover(&ops);
+            // superseded records accumulate across restarts; keep only
+            // each address's surviving op on disk
+            let latest: Vec<Bytes> = membership.ops().iter().map(MemberOp::encode).collect();
+            if (latest.len() as u64) < log.records() {
+                log.compact(&latest)?;
+            }
+            event_meta = read_events_meta(Path::new(dir));
+            member_log = Some(log);
+        }
+        let recovered_members = membership.members().iter().filter(|m| !m.is_static).count() as u64;
+        let events = EventLog::new(random_epoch());
+        if let Some((epoch, head)) = event_meta {
+            events.reseed(epoch, head, Vec::new());
+        } else if let Some(dir) = &config.data_dir {
+            // persist the fresh identity now, so even a router that
+            // restarts before its first publish keeps one epoch
+            write_events_meta(Path::new(dir), events.epoch(), 0)?;
+        }
         let state = RouterState {
             membership,
+            events,
+            member_log,
+            peers: Mutex::new(config.peers.clone()),
+            gossip_rounds: AtomicU64::new(0),
+            gossip_applied: AtomicU64::new(0),
+            gossip_failures: AtomicU64::new(0),
+            gossip_vetoes: AtomicU64::new(0),
+            members_recovered: AtomicU64::new(recovered_members),
             view: RwLock::new(Arc::new(RouterView {
                 ring: HashRing::new(0, config.vnodes),
                 backends: Vec::new(),
@@ -351,7 +439,6 @@ impl RouterState {
             joins: AtomicU64::new(0),
             catchup_joins: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            events: EventLog::new(random_epoch()),
             shutdown: AtomicBool::new(false),
             request_hist: Histogram::new(),
             phase_hists: std::array::from_fn(|_| Histogram::new()),
@@ -362,12 +449,45 @@ impl RouterState {
             config,
         };
         state.rebuild_view();
-        state
+        Ok(state)
     }
 
     /// The current membership snapshot.
     pub fn view(&self) -> Arc<RouterView> {
         Arc::clone(&self.view.read().unwrap())
+    }
+
+    /// The peer routers currently gossiped with.
+    pub fn peers(&self) -> Vec<SocketAddr> {
+        self.peers.lock().unwrap().clone()
+    }
+
+    /// Re-points the gossip peer set (the test harness starts routers
+    /// on ephemeral ports and wires them together afterwards).
+    pub fn set_peers(&self, peers: Vec<SocketAddr>) {
+        *self.peers.lock().unwrap() = peers;
+    }
+
+    /// Appends one member op to the durable log (no-op without a data
+    /// dir). Failures are reported, not fatal: a router that cannot
+    /// persist keeps serving — it just recovers less after a restart.
+    fn persist_op(&self, op: &MemberOp) {
+        if let Some(log) = &self.member_log {
+            if let Err(e) = log.append(&op.encode()) {
+                eprintln!("antruss-router: failed to log member op: {e}");
+            }
+        }
+    }
+
+    /// Persists ops the membership table minted on its own (join /
+    /// leave / eviction paths mint internally; the latest per-address
+    /// op is what must survive a restart).
+    fn persist_latest_op(&self, addr: SocketAddr) {
+        if self.member_log.is_some() {
+            if let Some(op) = self.membership.last_op(addr) {
+                self.persist_op(&op);
+            }
+        }
     }
 
     /// Rebuilds the snapshot from the membership table, carrying over
@@ -646,6 +766,7 @@ fn route(state: &RouterState, req: &Request) -> Response {
         ("GET", "/members") => members_list(state),
         ("POST", "/members") => members_join(state, req),
         ("POST", "/members/heartbeat") => members_heartbeat(state, req),
+        ("POST", "/gossip") => gossip_exchange(state, req),
         ("DELETE", p) if p.strip_prefix("/members/").is_some_and(|a| !a.is_empty()) => {
             members_leave(state, p.strip_prefix("/members/").unwrap())
         }
@@ -880,6 +1001,30 @@ pub fn build_registry(state: &RouterState) -> Registry {
         "antruss_router_evictions_total",
         state.evictions.load(Ordering::Relaxed),
     );
+    reg.gauge(
+        "antruss_router_gossip_peers",
+        state.peers.lock().unwrap().len() as f64,
+    );
+    reg.counter(
+        "antruss_router_gossip_rounds_total",
+        state.gossip_rounds.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "antruss_router_gossip_ops_applied_total",
+        state.gossip_applied.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "antruss_router_gossip_failures_total",
+        state.gossip_failures.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "antruss_router_gossip_vetoes_total",
+        state.gossip_vetoes.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "antruss_router_member_recover_total",
+        state.members_recovered.load(Ordering::Relaxed),
+    );
     reg.gauge_u64("antruss_router_events_epoch", state.events.epoch());
     reg.gauge_u64("antruss_router_events_head_seq", state.events.head());
     reg.gauge(
@@ -1033,6 +1178,7 @@ fn members_join(state: &RouterState, req: &Request) -> Response {
     };
     let advertised = member_cursor(req);
     let (ring_id, rejoin) = state.membership.join(addr);
+    state.persist_latest_op(addr);
     if !rejoin {
         state.joins.fetch_add(1, Ordering::Relaxed);
     }
@@ -1124,6 +1270,129 @@ fn members_list(state: &RouterState) -> Response {
     Response::json(200, body)
 }
 
+/// Renders this router's full gossip state: its per-address latest ops,
+/// each Join carrying the member's heartbeat silence (relative
+/// milliseconds, so the claim composes across per-process clock epochs).
+fn render_gossip_body(state: &RouterState) -> String {
+    let freshness: BTreeMap<SocketAddr, u64> = state.membership.freshness().into_iter().collect();
+    let mut body = format!("{{\"from\":{},\"ops\":[", json::quoted(&state.config.addr));
+    for (i, op) in state.membership.ops().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let silent = if op.kind == MemberOpKind::Join {
+            freshness.get(&op.addr).copied()
+        } else {
+            None
+        };
+        body.push_str(&op.render_json(silent));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// Absorbs one batch of peer ops into the member table; returns how
+/// many took effect. Two deviations from blind last-writer-wins:
+///
+/// * **eviction veto** — an Evict that would supersede our state for a
+///   member that is *fresh here* (heartbeating inside its deadline) is
+///   refused: the peer was partitioned from the member, not the member
+///   dead. The refusal mints a refresh Join above the evict's seq, so
+///   the bidirectional exchange carries the veto back and the member
+///   never flaps off any ring;
+/// * **freshness adoption** — a Join's `silent_ms` claim advances our
+///   heartbeat view of the member when the peer heard it more recently,
+///   so a member heartbeating only its primary router survives the
+///   other routers' deadlines too.
+fn absorb_gossip(state: &RouterState, ops: &[(MemberOp, Option<u64>)]) -> u64 {
+    let mut applied = 0u64;
+    for &(op, silent_ms) in ops {
+        let supersedes = state
+            .membership
+            .last_op(op.addr)
+            .is_none_or(|prev| op.supersedes(&prev));
+        if op.kind == MemberOpKind::Evict && supersedes && state.membership.is_fresh(op.addr) {
+            state.membership.observe_seq(op.seq);
+            if let Some(refresh) = state.membership.mint_refresh(op.addr) {
+                state.persist_op(&refresh);
+                state.gossip_vetoes.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
+        if state.membership.apply_op(op) {
+            state.persist_op(&op);
+            applied += 1;
+        }
+        if op.kind == MemberOpKind::Join {
+            if let Some(ms) = silent_ms {
+                state.membership.observe_freshness(op.addr, ms);
+            }
+        }
+    }
+    if applied > 0 {
+        state.gossip_applied.fetch_add(applied, Ordering::Relaxed);
+        state.rebuild_view();
+        rebalance(state);
+    }
+    applied
+}
+
+/// Parses a gossip body (`{"from":...,"ops":[...]}`) into ops with
+/// their freshness claims.
+fn parse_gossip_body(text: &str) -> Option<Vec<(MemberOp, Option<u64>)>> {
+    let parsed = json::parse(text).ok()?;
+    let ops = parsed.get("ops")?.as_array()?;
+    ops.iter().map(MemberOp::parse_json).collect()
+}
+
+/// `POST /gossip` — one half of a bidirectional anti-entropy exchange:
+/// absorb the sender's per-address latest ops, answer with ours. Both
+/// sides converge to the identical member table (and therefore the
+/// identical ring placement) after one successful round trip.
+fn gossip_exchange(state: &RouterState, req: &Request) -> Response {
+    let Some(text) = req.body_utf8() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let Some(ops) = parse_gossip_body(text) else {
+        return Response::error(400, "malformed gossip body");
+    };
+    absorb_gossip(state, &ops);
+    Response::json(200, render_gossip_body(state))
+}
+
+/// The outbound half, run on every supervision tick *before* eviction
+/// decisions: push our op table to every peer, absorb each reply. A
+/// peer that cannot be reached counts a failure and is retried next
+/// tick — gossip is idempotent, so missed rounds only delay
+/// convergence.
+fn gossip_peers(state: &RouterState) {
+    let peers = state.peers();
+    if peers.is_empty() {
+        return;
+    }
+    let body = render_gossip_body(state);
+    for peer in peers {
+        state.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        let mut client = Client::new(peer);
+        let reply = client
+            .post("/gossip", "application/json", body.as_bytes())
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| parse_gossip_body(&r.body_string()));
+        match reply {
+            Some(ops) => {
+                absorb_gossip(state, &ops);
+            }
+            None => {
+                state.gossip_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
 /// `DELETE /members/{addr}` — graceful leave: the member comes off the
 /// ring and its graphs are re-placed onto (and re-warmed on) the
 /// survivors before the response returns.
@@ -1134,6 +1403,7 @@ fn members_leave(state: &RouterState, raw: &str) -> Response {
     if !state.membership.leave(addr) {
         return Response::error(404, &format!("{addr} is not a member"));
     }
+    state.persist_latest_op(addr);
     state.rebuild_view();
     let (graphs, entries) = rebalance(state);
     Response::json(
@@ -1257,6 +1527,20 @@ fn encode_component(s: &str) -> String {
     out
 }
 
+/// Publishes one cluster event and (with a data dir) persists the
+/// stream's epoch + head, so a restarted router reseeds its event log
+/// where it left off and members' persisted cursors stay serveable —
+/// catch-up joins survive router restarts, not just member restarts.
+fn publish_event(state: &RouterState, kind: EventKind, graph: &str, checksum: Option<u64>) -> u64 {
+    let seq = state.events.publish(kind, graph, checksum);
+    if let Some(dir) = &state.config.data_dir {
+        if let Err(e) = write_events_meta(Path::new(dir), state.events.epoch(), seq) {
+            eprintln!("antruss-router: failed to persist event cursor: {e}");
+        }
+    }
+    seq
+}
+
 /// `POST /graphs?name=N` — register on every replica of `N`, so losing
 /// any single backend loses no graph.
 fn fan_out_register(state: &RouterState, req: &Request) -> Response {
@@ -1279,9 +1563,7 @@ fn fan_out_register(state: &RouterState, req: &Request) -> Response {
         &cursor_headers(state),
     );
     if resp.status < 400 {
-        state
-            .events
-            .publish(EventKind::Register, &canonical_key(name), None);
+        publish_event(state, EventKind::Register, &canonical_key(name), None);
     }
     resp
 }
@@ -1321,7 +1603,7 @@ fn fan_out_graph_op(state: &RouterState, req: &Request, name: &str) -> Response 
     // least one applied the write: a solve that read the head before
     // this point can never be stamped fresher than this mutation
     if resp.status < 400 {
-        state.events.publish(kind, &canonical_key(name), None);
+        publish_event(state, kind, &canonical_key(name), None);
     }
     resp
 }
@@ -1352,7 +1634,7 @@ fn fan_out_purge(state: &RouterState, req: &Request) -> Response {
         // an empty graph name is the purge-all marker, as in the
         // catalog's own event stream
         let key = graph.map(canonical_key).unwrap_or_default();
-        state.events.publish(EventKind::Purge, &key, None);
+        publish_event(state, EventKind::Purge, &key, None);
     }
     resp
 }
@@ -2042,6 +2324,10 @@ fn sync_backend_once(
 /// every interval; the deterministic test harness calls it directly via
 /// [`Router::tick`].
 pub fn tick_state(state: &RouterState) {
+    // 0) gossip: exchange member-op tables with every peer router
+    // first, so a peer's freshness claims (a member heartbeating *it*,
+    // not us) land before this tick's own eviction decisions
+    gossip_peers(state);
     // 1) health: probe, mark, warm recoveries — and pull each member's
     // summary (SLO verdict + key series) into the overview while we're
     // already visiting it
@@ -2087,6 +2373,7 @@ pub fn tick_state(state: &RouterState) {
             .iter()
             .any(|m| m.addr == addr && !m.is_static);
         if dynamic && state.membership.leave(addr) {
+            state.persist_latest_op(addr);
             left += 1;
         }
     }
@@ -2098,6 +2385,9 @@ pub fn tick_state(state: &RouterState) {
     // 3) membership: evict the silent, re-place their graphs
     let evicted = state.membership.evict_overdue();
     if !evicted.is_empty() {
+        for m in &evicted {
+            state.persist_latest_op(m.addr);
+        }
         state
             .evictions
             .fetch_add(evicted.len() as u64, Ordering::Relaxed);
@@ -2219,7 +2509,10 @@ impl Router {
     /// empty backend list is valid: the router answers 503 until the
     /// first member joins via `POST /members`.
     pub fn start(config: RouterConfig) -> std::io::Result<Router> {
-        Router::start_with_state(RouterState::new(config))
+        Router::start_with_state(RouterState::try_with_clock(
+            config,
+            Arc::new(SystemClock::new()),
+        )?)
     }
 
     /// Like [`Router::start`], but over a pre-built state (the test

@@ -46,6 +46,15 @@ pub struct ClusterConfig {
     /// backend gets its own `shard-N` subdirectory under it (shards
     /// must never share a WAL).
     pub backend: ServerConfig,
+    /// Peer router addresses this cluster's router gossips the dynamic
+    /// member table with (`--peers`): run two `antruss cluster`
+    /// processes pointed at each other and either router can admit,
+    /// heartbeat, or evict a member for both.
+    pub peers: Vec<SocketAddr>,
+    /// Data directory for the *router's* control-plane state
+    /// (`--router-data-dir`): the durable member-op log plus the event
+    /// cursor, recovered on restart.
+    pub router_data_dir: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -64,6 +73,8 @@ impl Default for ClusterConfig {
             heartbeat_ms: 1000,
             miss_threshold: 3,
             backend: ServerConfig::default(),
+            peers: Vec::new(),
+            router_data_dir: None,
         }
     }
 }
@@ -131,6 +142,8 @@ impl Cluster {
             // on the same cadence and objectives as its backends
             metrics_interval_ms: config.backend.metrics_interval_ms,
             slos: config.backend.slos.clone(),
+            peers: config.peers.clone(),
+            data_dir: config.router_data_dir.clone(),
         })?;
         Ok(Cluster { backends, router })
     }

@@ -21,13 +21,23 @@
 //! join/silence/advance/tick sequence therefore replays identically,
 //! and the membership event log ([`TestCluster::events`]) can be
 //! asserted verbatim.
+//!
+//! The harness also runs **N replicated routers** off the same manual
+//! clock (`routers` in the config): they gossip the dynamic member
+//! table on every tick, so a member admitted via one router appears on
+//! every router's ring. Router fault hooks mirror the backend ones:
+//! [`TestCluster::kill_router`] hard-stops a router,
+//! [`TestCluster::restart_router`] rebinds it on the *same* port
+//! (recovering its durable state when a `router_data_dir` is set), and
+//! [`TestCluster::partition_router`] / [`TestCluster::heal_router`]
+//! cut and restore its gossip links without killing it.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 use antruss_service::{Client, ClientResponse, Server, ServerConfig};
 
-use crate::membership::{ManualClock, MembershipEvent};
+use crate::membership::{Clock, ManualClock, MembershipEvent};
 use crate::router::{Router, RouterConfig, RouterState};
 
 /// Knobs of one deterministic test cluster.
@@ -35,19 +45,29 @@ use crate::router::{Router, RouterConfig, RouterState};
 pub struct TestClusterConfig {
     /// Replica factor R.
     pub replication: usize,
+    /// Replicated routers to run (min 1), gossiping over peer links the
+    /// harness wires after the ephemeral ports are known.
+    pub routers: usize,
     /// Heartbeat cadence in (manual-)clock milliseconds.
     pub heartbeat_ms: u64,
     /// Missed intervals tolerated before eviction.
     pub miss_threshold: u32,
     /// Template for every backend the harness spawns.
     pub backend: ServerConfig,
+    /// Base directory for durable router state: router `i` opens
+    /// `<base>/router-<i>` and recovers its member table + event cursor
+    /// from it across [`TestCluster::restart_router`]. `None` = memory
+    /// only.
+    pub router_data_dir: Option<String>,
 }
 
 impl Default for TestClusterConfig {
-    /// R=2, 100 ms heartbeats, 3-miss eviction, small default backends.
+    /// One router, R=2, 100 ms heartbeats, 3-miss eviction, small
+    /// default backends, no durable router state.
     fn default() -> TestClusterConfig {
         TestClusterConfig {
             replication: 2,
+            routers: 1,
             heartbeat_ms: 100,
             miss_threshold: 3,
             // 4 workers: concurrent warm-up syncs can hold several
@@ -61,6 +81,7 @@ impl Default for TestClusterConfig {
                 metrics_interval_ms: 0, // determinism: tests sample by hand
                 ..ServerConfig::default()
             },
+            router_data_dir: None,
         }
     }
 }
@@ -71,53 +92,178 @@ struct TestBackend {
     silenced: bool,
 }
 
-/// The harness: a router on a manual clock plus the backends the test
-/// joined, killed, silenced or removed.
+struct TestRouter {
+    /// `None` after [`TestCluster::kill_router`].
+    router: Option<Router>,
+    /// Stable across kill/restart (restarts rebind the same port).
+    addr: SocketAddr,
+    /// Gossip links cut ([`TestCluster::partition_router`])?
+    partitioned: bool,
+    /// The durable state directory, when the harness is durable.
+    data_dir: Option<String>,
+}
+
+/// The harness: replicated routers on one manual clock plus the
+/// backends the test joined, killed, silenced or removed.
 pub struct TestCluster {
     config: TestClusterConfig,
     clock: Arc<ManualClock>,
-    router: Router,
+    routers: Vec<TestRouter>,
     backends: Vec<TestBackend>,
 }
 
 impl TestCluster {
-    /// Starts a router with **zero** members on a manual clock; join
-    /// backends with [`TestCluster::join`].
+    /// Starts the configured routers with **zero** members on a shared
+    /// manual clock and wires their gossip links; join backends with
+    /// [`TestCluster::join`].
     pub fn start(config: TestClusterConfig) -> std::io::Result<TestCluster> {
         let clock = Arc::new(ManualClock::new(0));
-        let state = RouterState::with_clock(
+        let mut routers = Vec::new();
+        for i in 0..config.routers.max(1) {
+            let data_dir = config
+                .router_data_dir
+                .as_ref()
+                .map(|base| format!("{base}/router-{i}"));
+            let router = TestCluster::start_router(&config, &clock, "127.0.0.1:0", &data_dir)?;
+            let addr = router.addr();
+            routers.push(TestRouter {
+                router: Some(router),
+                addr,
+                partitioned: false,
+                data_dir,
+            });
+        }
+        let tc = TestCluster {
+            config,
+            clock,
+            routers,
+            backends: Vec::new(),
+        };
+        tc.rewire_peers();
+        Ok(tc)
+    }
+
+    fn start_router(
+        config: &TestClusterConfig,
+        clock: &Arc<ManualClock>,
+        addr: &str,
+        data_dir: &Option<String>,
+    ) -> std::io::Result<Router> {
+        let state = RouterState::try_with_clock(
             RouterConfig {
+                addr: addr.to_string(),
                 replication: config.replication,
                 heartbeat_ms: config.heartbeat_ms,
                 miss_threshold: config.miss_threshold,
                 health_interval_ms: 0,  // determinism: no background thread
                 metrics_interval_ms: 0, // determinism: tests sample by hand
+                data_dir: data_dir.clone(),
                 ..RouterConfig::default()
             },
-            Arc::clone(&clock) as Arc<dyn crate::membership::Clock>,
-        );
-        let router = Router::start_with_state(state)?;
-        Ok(TestCluster {
-            config,
-            clock,
-            router,
-            backends: Vec::new(),
-        })
+            Arc::clone(clock) as Arc<dyn Clock>,
+        )?;
+        Router::start_with_state(state)
     }
 
-    /// The fronting router.
+    /// Points every live router's gossip peer set at the other live,
+    /// unpartitioned routers (a partitioned router gets no peers, and
+    /// nobody gossips *to* it).
+    fn rewire_peers(&self) {
+        let reachable: Vec<(usize, SocketAddr)> = self
+            .routers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.router.is_some() && !r.partitioned)
+            .map(|(i, r)| (i, r.addr))
+            .collect();
+        for (i, r) in self.routers.iter().enumerate() {
+            let Some(router) = &r.router else { continue };
+            let peers = if r.partitioned {
+                Vec::new()
+            } else {
+                reachable
+                    .iter()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| *a)
+                    .collect()
+            };
+            router.state().set_peers(peers);
+        }
+    }
+
+    /// The fronting (first) router.
     pub fn router(&self) -> &Router {
-        &self.router
+        self.router_at(0)
     }
 
-    /// The router's client-facing address.
+    /// Router `idx` (panics if it was killed and not restarted).
+    pub fn router_at(&self, idx: usize) -> &Router {
+        self.routers[idx]
+            .router
+            .as_ref()
+            .expect("router was killed")
+    }
+
+    /// The first router's client-facing address.
     pub fn router_addr(&self) -> SocketAddr {
-        self.router.addr()
+        self.routers[0].addr
     }
 
-    /// A fresh client speaking to the router.
+    /// Router `idx`'s address (stable across kill/restart).
+    pub fn router_addr_at(&self, idx: usize) -> SocketAddr {
+        self.routers[idx].addr
+    }
+
+    /// A fresh client speaking to the first router.
     pub fn client(&self) -> Client {
-        Client::new(self.router.addr())
+        Client::new(self.routers[0].addr)
+    }
+
+    /// A fresh client speaking to router `idx`.
+    pub fn client_at(&self, idx: usize) -> Client {
+        Client::new(self.routers[idx].addr)
+    }
+
+    /// Fault hook: hard-stops router `idx` — its socket goes dead, its
+    /// in-memory member table is gone. Surviving routers keep its
+    /// address in their peer sets and count gossip failures against it
+    /// until it is restarted, exactly like production.
+    pub fn kill_router(&mut self, idx: usize) {
+        if let Some(router) = self.routers[idx].router.take() {
+            router.shutdown();
+        }
+    }
+
+    /// Restarts a killed router on the **same port** (and, when the
+    /// harness is durable, the same data dir — so the restart recovers
+    /// its member table and event cursor from disk instead of waiting
+    /// out re-joins). Gossip links are rewired afterwards.
+    pub fn restart_router(&mut self, idx: usize) -> std::io::Result<()> {
+        assert!(
+            self.routers[idx].router.is_none(),
+            "restart_router on a live router"
+        );
+        let addr = self.routers[idx].addr.to_string();
+        let data_dir = self.routers[idx].data_dir.clone();
+        let router = TestCluster::start_router(&self.config, &self.clock, &addr, &data_dir)?;
+        self.routers[idx].addr = router.addr();
+        self.routers[idx].router = Some(router);
+        self.routers[idx].partitioned = false;
+        self.rewire_peers();
+        Ok(())
+    }
+
+    /// Fault hook: cuts router `idx`'s gossip links both ways while it
+    /// keeps serving — a control-plane partition between routers.
+    pub fn partition_router(&mut self, idx: usize) {
+        self.routers[idx].partitioned = true;
+        self.rewire_peers();
+    }
+
+    /// Undoes [`TestCluster::partition_router`].
+    pub fn heal_router(&mut self, idx: usize) {
+        self.routers[idx].partitioned = false;
+        self.rewire_peers();
     }
 
     /// The address backend `idx` listens on (stable across kill).
@@ -138,11 +284,18 @@ impl TestCluster {
         self.backends[idx].server.as_ref()
     }
 
-    /// Starts a backend server and registers it with the router
+    /// Starts a backend server and registers it with the first router
     /// (`POST /members`), returning its harness index. The join warms
     /// the new member synchronously, so on return it already holds its
     /// share of the keyspace.
     pub fn join(&mut self) -> std::io::Result<usize> {
+        self.join_via(0)
+    }
+
+    /// Like [`TestCluster::join`], registering with router
+    /// `router_idx` — the other routers learn the member via gossip on
+    /// their next tick.
+    pub fn join_via(&mut self, router_idx: usize) -> std::io::Result<usize> {
         let server = Server::start(self.config.backend.clone())?;
         let addr = server.addr();
         self.backends.push(TestBackend {
@@ -151,7 +304,7 @@ impl TestCluster {
             silenced: false,
         });
         let idx = self.backends.len() - 1;
-        let resp = self.post_members("/members", addr)?;
+        let resp = self.post_members_via(router_idx, "/members", addr)?;
         if resp.status != 200 && resp.status != 201 {
             return Err(std::io::Error::other(format!(
                 "join of {addr} rejected: {} {}",
@@ -173,7 +326,7 @@ impl TestCluster {
             server: Some(server),
             silenced: false,
         };
-        let resp = self.post_members("/members", addr)?;
+        let resp = self.post_members_via(0, "/members", addr)?;
         if resp.status != 200 && resp.status != 201 {
             return Err(std::io::Error::other(format!(
                 "rejoin of {addr} rejected: {}",
@@ -183,13 +336,21 @@ impl TestCluster {
         Ok(())
     }
 
-    /// Sends one heartbeat for backend `idx` (no-op if silenced/killed).
+    /// Sends one heartbeat for backend `idx` to the first router (no-op
+    /// if silenced/killed).
     pub fn heartbeat(&self, idx: usize) {
+        self.heartbeat_via(0, idx);
+    }
+
+    /// Sends one heartbeat for backend `idx` to router `router_idx` —
+    /// how a test models a backend failing its heartbeats over to a
+    /// surviving router.
+    pub fn heartbeat_via(&self, router_idx: usize, idx: usize) {
         let b = &self.backends[idx];
         if b.silenced || b.server.is_none() {
             return;
         }
-        let _ = self.post_members("/members/heartbeat", b.addr);
+        let _ = self.post_members_via(router_idx, "/members/heartbeat", b.addr);
     }
 
     /// Heartbeats every live, unsilenced backend.
@@ -218,11 +379,11 @@ impl TestCluster {
         self.backends[idx].silenced = false;
     }
 
-    /// Graceful leave: `DELETE /members/{addr}` (the server keeps
-    /// running, it just stops being a member).
+    /// Graceful leave: `DELETE /members/{addr}` via the first router
+    /// (the server keeps running, it just stops being a member).
     pub fn leave(&self, idx: usize) -> std::io::Result<ClientResponse> {
         let addr = self.backends[idx].addr;
-        Client::new(self.router.addr()).delete(&format!("/members/{addr}"))
+        Client::new(self.routers[0].addr).delete(&format!("/members/{addr}"))
     }
 
     /// Moves the manual clock forward by `ms`.
@@ -230,20 +391,48 @@ impl TestCluster {
         self.clock.advance(ms);
     }
 
-    /// Runs one supervision pass (health checks + heartbeat evictions)
-    /// on this thread — the only driver of evictions in the harness.
+    /// Runs one supervision pass (gossip + health checks + heartbeat
+    /// evictions) on the first router — the only driver of evictions in
+    /// the harness.
     pub fn tick(&self) {
-        self.router.tick();
+        self.tick_router(0);
     }
 
-    /// The membership transition log, in order.
+    /// One supervision pass on router `idx` only.
+    pub fn tick_router(&self, idx: usize) {
+        if let Some(router) = &self.routers[idx].router {
+            router.tick();
+        }
+    }
+
+    /// One supervision pass on every live router, in index order — a
+    /// full gossip round: after `tick_all`, any op known to one
+    /// reachable router is known to all of them (each exchange is
+    /// bidirectional, so one sweep converges a line topology too).
+    pub fn tick_all(&self) {
+        for idx in 0..self.routers.len() {
+            self.tick_router(idx);
+        }
+    }
+
+    /// The first router's membership transition log, in order.
     pub fn events(&self) -> Vec<MembershipEvent> {
-        self.router.state().membership.events()
+        self.events_at(0)
     }
 
-    /// The addresses currently on the ring, in membership order.
+    /// Router `idx`'s membership transition log.
+    pub fn events_at(&self, idx: usize) -> Vec<MembershipEvent> {
+        self.router_at(idx).state().membership.events()
+    }
+
+    /// The addresses on the first router's ring, in membership order.
     pub fn live_member_addrs(&self) -> Vec<SocketAddr> {
-        self.router
+        self.live_member_addrs_at(0)
+    }
+
+    /// The addresses on router `idx`'s ring, in membership order.
+    pub fn live_member_addrs_at(&self, idx: usize) -> Vec<SocketAddr> {
+        self.router_at(idx)
             .state()
             .membership
             .members()
@@ -252,9 +441,17 @@ impl TestCluster {
             .collect()
     }
 
-    /// Shuts everything down, router first.
+    /// Shuts everything down, routers first.
     pub fn shutdown(mut self) -> String {
-        let mut report = self.router.shutdown();
+        let mut report = String::new();
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            if let Some(router) = r.router.take() {
+                if i > 0 {
+                    report.push_str(&format!("\nrouter {i}: "));
+                }
+                report.push_str(&router.shutdown());
+            }
+        }
         for (i, b) in self.backends.iter_mut().enumerate() {
             if let Some(server) = b.server.take() {
                 report.push_str(&format!("\nbackend {i}: {}", server.shutdown()));
@@ -263,9 +460,14 @@ impl TestCluster {
         report
     }
 
-    fn post_members(&self, path: &str, addr: SocketAddr) -> std::io::Result<ClientResponse> {
+    fn post_members_via(
+        &self,
+        router_idx: usize,
+        path: &str,
+        addr: SocketAddr,
+    ) -> std::io::Result<ClientResponse> {
         let body = format!("{{\"addr\":\"{addr}\"}}");
-        Client::new(self.router.addr()).post(path, "application/json", body.as_bytes())
+        Client::new(self.routers[router_idx].addr).post(path, "application/json", body.as_bytes())
     }
 }
 
@@ -308,6 +510,40 @@ mod tests {
         assert!(
             matches!(events[2], MembershipEvent::Evicted { addr, .. } if addr == tc.backend_addr(b))
         );
+        tc.shutdown();
+    }
+
+    #[test]
+    fn replicated_routers_gossip_members_to_each_other() {
+        let mut tc = TestCluster::start(TestClusterConfig {
+            routers: 2,
+            ..TestClusterConfig::default()
+        })
+        .unwrap();
+        let a = tc.join_via(0).unwrap();
+        assert_eq!(tc.live_member_addrs_at(0).len(), 1);
+        assert_eq!(
+            tc.live_member_addrs_at(1).len(),
+            0,
+            "router 1 has not gossiped yet"
+        );
+        tc.tick_all();
+        assert_eq!(
+            tc.live_member_addrs_at(1),
+            vec![tc.backend_addr(a)],
+            "one gossip round carries the join to the peer"
+        );
+        // identical ring ids on both routers → identical placement
+        let shard_on = |idx: usize| {
+            tc.router_at(idx)
+                .state()
+                .membership
+                .members()
+                .iter()
+                .map(|m| m.ring_id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shard_on(0), shard_on(1));
         tc.shutdown();
     }
 }

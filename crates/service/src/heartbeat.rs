@@ -18,9 +18,16 @@
 //! fewer than the router's `miss_threshold` are missed in a row nothing
 //! changes. [`HeartbeatClient::pause`] exists for tests that need a
 //! backend to *look* dead without stopping its server.
+//!
+//! With **multiple routers** (`--join addr1,addr2` against a replicated
+//! control plane) the client heartbeats one router at a time and fails
+//! over on a transport error: the routers gossip the member table, so
+//! any of them can take the beats, and a 404 from the new target (it
+//! has not absorbed our join yet) is just the usual re-join. The first
+//! router that accepts the initial join wins; the rest are spares.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -42,7 +49,10 @@ const TICK: Duration = Duration::from_millis(20);
 pub type CursorSource = Arc<dyn Fn() -> Option<(u64, u64)> + Send + Sync>;
 
 struct Inner {
-    router: SocketAddr,
+    routers: Vec<SocketAddr>,
+    /// Index (mod `routers.len()`) of the router currently taking our
+    /// beats.
+    active: AtomicUsize,
     advertise: SocketAddr,
     cursor: CursorSource,
     interval_ms: AtomicU64,
@@ -52,6 +62,24 @@ struct Inner {
     beats: AtomicU64,
     /// Times the client had to re-join after a 404 heartbeat.
     rejoins: AtomicU64,
+    /// Times the client rotated to the next router after a transport
+    /// error.
+    failovers: AtomicU64,
+}
+
+impl Inner {
+    fn active_router(&self) -> SocketAddr {
+        self.routers[self.active.load(Ordering::Relaxed) % self.routers.len()]
+    }
+
+    /// Rotates to the next router; no-op with a single router (the
+    /// transport error is then just a missed beat, as before).
+    fn rotate(&self) {
+        if self.routers.len() > 1 {
+            self.active.fetch_add(1, Ordering::Relaxed);
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 fn membership_body(addr: SocketAddr, cursor: Option<(u64, u64)>) -> Vec<u8> {
@@ -126,10 +154,46 @@ impl HeartbeatClient {
         interval_ms: Option<u64>,
         cursor: CursorSource,
     ) -> std::io::Result<HeartbeatClient> {
-        let advertised = join_once(router, advertise, cursor())?;
+        HeartbeatClient::start_multi(vec![router], advertise, interval_ms, cursor)
+    }
+
+    /// Like [`HeartbeatClient::start_with_cursor`] against a replicated
+    /// control plane: the first router (in order) that accepts the join
+    /// becomes the active target, and the heartbeat thread fails over
+    /// to the next on a transport error. Errors only when *every*
+    /// router refuses or is unreachable.
+    pub fn start_multi(
+        routers: Vec<SocketAddr>,
+        advertise: SocketAddr,
+        interval_ms: Option<u64>,
+        cursor: CursorSource,
+    ) -> std::io::Result<HeartbeatClient> {
+        if routers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "heartbeat client needs at least one router address",
+            ));
+        }
+        let mut advertised = None;
+        let mut active = None;
+        let mut last_err = None;
+        for (i, &router) in routers.iter().enumerate() {
+            match join_once(router, advertise, cursor()) {
+                Ok(a) => {
+                    advertised = a;
+                    active = Some(i);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some(active) = active else {
+            return Err(last_err.expect("at least one join attempt"));
+        };
         let interval = interval_ms.or(advertised).unwrap_or(1000).max(1);
         let inner = Arc::new(Inner {
-            router,
+            routers,
+            active: AtomicUsize::new(active),
             advertise,
             cursor,
             interval_ms: AtomicU64::new(interval),
@@ -137,6 +201,7 @@ impl HeartbeatClient {
             stop: AtomicBool::new(false),
             beats: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         });
         let thread_inner = Arc::clone(&inner);
         let handle = thread::Builder::new()
@@ -165,6 +230,12 @@ impl HeartbeatClient {
         self.inner.rejoins.load(Ordering::Relaxed)
     }
 
+    /// Times the client rotated to another router after a transport
+    /// error (always 0 with a single router).
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::Relaxed)
+    }
+
     /// Stops sending heartbeats without stopping anything else — to the
     /// router this backend now looks dead (fault injection for tests).
     pub fn pause(&self) {
@@ -181,7 +252,7 @@ impl HeartbeatClient {
     pub fn leave(mut self) -> bool {
         self.stop_thread();
         let addr = self.inner.advertise;
-        Client::new(self.inner.router)
+        Client::new(self.inner.active_router())
             .delete(&format!("/members/{addr}"))
             .is_ok_and(|r| r.status == 200)
     }
@@ -205,7 +276,8 @@ impl Drop for HeartbeatClient {
 }
 
 fn heartbeat_loop(inner: &Inner) {
-    let mut client = Client::new(inner.router);
+    let mut target = inner.active_router();
+    let mut client = Client::new(target);
     let mut since_beat = Duration::ZERO;
     while !inner.stop.load(Ordering::SeqCst) {
         thread::sleep(TICK);
@@ -215,6 +287,13 @@ fn heartbeat_loop(inner: &Inner) {
             continue;
         }
         since_beat = Duration::ZERO;
+        let active = inner.active_router();
+        if active != target {
+            // a failover rotated the active router since the last beat:
+            // drop the pinned connection and dial the new target
+            target = active;
+            client = Client::new(target);
+        }
         match client.post(
             "/members/heartbeat",
             "application/json",
@@ -224,18 +303,30 @@ fn heartbeat_loop(inner: &Inner) {
                 inner.beats.fetch_add(1, Ordering::Relaxed);
             }
             Ok(resp) if resp.status == 404 => {
-                // evicted (or the router restarted): re-join and adopt
-                // whatever cadence it now advertises
-                if let Ok(advertised) = join_once(inner.router, inner.advertise, (inner.cursor)()) {
-                    inner.rejoins.fetch_add(1, Ordering::Relaxed);
-                    if let Some(ms) = advertised {
-                        inner.interval_ms.store(ms.max(1), Ordering::Relaxed);
+                // evicted (or the router restarted, or we just failed
+                // over to a replica that has not absorbed our join via
+                // gossip yet): re-join and adopt whatever cadence the
+                // target now advertises
+                match join_once(target, inner.advertise, (inner.cursor)()) {
+                    Ok(advertised) => {
+                        inner.rejoins.fetch_add(1, Ordering::Relaxed);
+                        if let Some(ms) = advertised {
+                            inner.interval_ms.store(ms.max(1), Ordering::Relaxed);
+                        }
                     }
+                    // refusals (InvalidData) are not a router outage:
+                    // only rotate when the join could not be delivered
+                    Err(e) if e.kind() != std::io::ErrorKind::InvalidData => inner.rotate(),
+                    Err(_) => {}
                 }
             }
-            // other statuses and transport errors: missed beat, retry
-            // next interval (the router tolerates miss_threshold-1)
-            _ => {}
+            // other statuses: missed beat, retry next interval (the
+            // router tolerates miss_threshold-1 in a row)
+            Ok(_) => {}
+            // transport error: the active router is unreachable — fail
+            // over to the next one (a no-op with a single router, where
+            // this stays a missed beat exactly as before)
+            Err(_) => inner.rotate(),
         }
     }
 }

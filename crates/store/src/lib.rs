@@ -16,7 +16,10 @@
 //!   and the graceful-shutdown outcome-cache dump; compaction folds the
 //!   WAL into snapshots with write-temp + rename;
 //! * [`FsyncPolicy`] — `always` | `interval:<ms>` | `never`, the
-//!   durability/latency dial surfaced as `antruss serve --fsync`.
+//!   durability/latency dial surfaced as `antruss serve --fsync`;
+//! * [`oplog::OpLog`] — the same record discipline over opaque
+//!   payloads, for durable state defined in other crates (the cluster
+//!   router's `MemberOp` stream logs through this).
 //!
 //! The service (`antruss serve --data-dir`) appends every successful
 //! catalog write *before acknowledging it*, and replays snapshot + WAL
@@ -25,8 +28,10 @@
 
 #![warn(missing_docs)]
 
+pub mod oplog;
 pub mod store;
 pub mod wal;
 
+pub use oplog::OpLog;
 pub use store::{FsyncPolicy, Recovered, Store, StoreStats};
 pub use wal::CatalogOp;

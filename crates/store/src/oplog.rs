@@ -1,0 +1,257 @@
+//! A payload-agnostic append-only operation log with the WAL's record
+//! discipline (length + FNV-1a checksum framing, torn-tail-tolerant
+//! replay, exclusive dir lock), for durable state whose operation type
+//! lives in another crate.
+//!
+//! The first consumer is the cluster router's member table: `MemberOp`
+//! is defined in `antruss-cluster` (which depends on this crate, not
+//! the other way around), so the router logs encoded ops through
+//! [`OpLog`] and decodes the replayed payloads itself. Appends are
+//! `fsync`ed unconditionally — membership transitions are rare and
+//! each one re-places a slice of the keyspace, so the control plane
+//! always takes the `FsyncPolicy::Always` trade.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bytes::Bytes;
+
+use crate::store::lock_dir;
+use crate::wal::{self, MAX_RECORD_BYTES};
+
+/// First 8 bytes of every [`OpLog`] file — distinct from the catalog
+/// WAL's magic so neither replayer ever misreads the other's records.
+pub const OPLOG_MAGIC: &[u8; 8] = b"ANTOPL01";
+
+/// One durable operation log inside a data directory. Share via `Arc`;
+/// appends are serialized internally.
+pub struct OpLog {
+    file: Mutex<File>,
+    path: PathBuf,
+    /// Held for the log's lifetime; closing it (drop, or process death)
+    /// releases the directory to the next opener.
+    _dir_lock: File,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    recovered: u64,
+    dropped_bytes: u64,
+}
+
+impl OpLog {
+    /// Opens (creating if absent) `dir/<name>` and replays every intact
+    /// record, truncating a torn or corrupt tail so subsequent appends
+    /// extend a clean log. Takes the directory's exclusive lock — two
+    /// processes appending to one log would tear each other's records.
+    pub fn open<P: AsRef<Path>>(dir: P, name: &str) -> io::Result<(OpLog, Vec<Bytes>)> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let dir_lock = lock_dir(dir)?;
+        let path = dir.join(name);
+        let image = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let replayed = wal::replay_raw(&image, OPLOG_MAGIC);
+        let file = if image.is_empty() || replayed.good_len == 0 {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            f.write_all(OPLOG_MAGIC)?;
+            f.sync_data()?;
+            f
+        } else {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            if replayed.good_len < image.len() as u64 {
+                f.set_len(replayed.good_len)?;
+                f.sync_data()?;
+            }
+            f
+        };
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        let bytes = replayed.good_len.max(OPLOG_MAGIC.len() as u64);
+        let log = OpLog {
+            file: Mutex::new(file),
+            path,
+            _dir_lock: dir_lock,
+            records: AtomicU64::new(replayed.payloads.len() as u64),
+            bytes: AtomicU64::new(bytes),
+            recovered: replayed.payloads.len() as u64,
+            dropped_bytes: replayed.dropped_bytes,
+        };
+        Ok((log, replayed.payloads))
+    }
+
+    /// Appends one payload and syncs it to stable storage. On `Ok` the
+    /// record survives SIGKILL and power loss.
+    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_RECORD_BYTES as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "payload too large for the op log ({} bytes; max {MAX_RECORD_BYTES})",
+                    payload.len()
+                ),
+            ));
+        }
+        let record = wal::encode_raw_record(payload);
+        let mut file = self.file.lock().unwrap();
+        file.write_all(&record)?;
+        file.sync_data()?;
+        self.bytes.fetch_add(record.len() as u64, Ordering::Relaxed);
+        self.records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rewrites the whole log as `payloads` (write-temp + rename, so a
+    /// crash mid-compaction leaves either the old or the new log).
+    /// Callers compact when superseded records dominate — the member
+    /// table only needs each address's *latest* op.
+    pub fn compact(&self, payloads: &[Bytes]) -> io::Result<()> {
+        let tmp = self.path.with_extension("new");
+        let mut fresh = File::create(&tmp)?;
+        fresh.write_all(OPLOG_MAGIC)?;
+        let mut total = OPLOG_MAGIC.len() as u64;
+        for p in payloads {
+            let record = wal::encode_raw_record(p);
+            fresh.write_all(&record)?;
+            total += record.len() as u64;
+        }
+        fresh.sync_data()?;
+        let mut file = self.file.lock().unwrap();
+        fs::rename(&tmp, &self.path)?;
+        let mut swapped = OpenOptions::new().append(true).open(&self.path)?;
+        swapped.seek(io::SeekFrom::End(0))?;
+        *file = swapped;
+        self.bytes.store(total, Ordering::Relaxed);
+        self.records.store(payloads.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records in the log right now (recovered + appended since open).
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Current log size in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records recovered at open.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Torn/corrupt tail bytes dropped at open.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("antruss-oplog-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = tmp("roundtrip");
+        {
+            let (log, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+            assert!(recovered.is_empty());
+            log.append(b"alpha").unwrap();
+            log.append(b"").unwrap();
+            log.append(b"gamma").unwrap();
+            assert_eq!(log.records(), 3);
+        }
+        let (log, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+        assert_eq!(
+            recovered,
+            vec![
+                Bytes::from_static(b"alpha"),
+                Bytes::from_static(b""),
+                Bytes::from_static(b"gamma"),
+            ]
+        );
+        assert_eq!(log.recovered(), 3);
+        // appends extend the recovered log
+        log.append(b"delta").unwrap();
+        drop(log);
+        let (_, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+        assert_eq!(recovered.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp("torn");
+        {
+            let (log, _) = OpLog::open(&dir, "ops.log").unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+        }
+        let path = dir.join("ops.log");
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let (log, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+        assert_eq!(recovered, vec![Bytes::from_static(b"one")]);
+        assert!(log.dropped_bytes() > 0);
+        log.append(b"three").unwrap();
+        drop(log);
+        let (_, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+        assert_eq!(
+            recovered,
+            vec![Bytes::from_static(b"one"), Bytes::from_static(b"three")]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_keeps_only_the_given_payloads() {
+        let dir = tmp("compact");
+        let (log, _) = OpLog::open(&dir, "ops.log").unwrap();
+        for i in 0..5 {
+            log.append(format!("op{i}").as_bytes()).unwrap();
+        }
+        log.compact(&[Bytes::from_static(b"latest")]).unwrap();
+        assert_eq!(log.records(), 1);
+        // post-compaction appends land after the surviving records
+        log.append(b"after").unwrap();
+        drop(log);
+        let (_, recovered) = OpLog::open(&dir, "ops.log").unwrap();
+        assert_eq!(
+            recovered,
+            vec![Bytes::from_static(b"latest"), Bytes::from_static(b"after")]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn second_open_of_a_live_log_dir_is_refused() {
+        let dir = tmp("lock");
+        let (log, _) = OpLog::open(&dir, "ops.log").unwrap();
+        assert!(OpLog::open(&dir, "ops.log").is_err());
+        drop(log);
+        assert!(OpLog::open(&dir, "ops.log").is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

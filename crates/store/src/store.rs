@@ -141,7 +141,7 @@ struct WalWriter {
 /// releases it when the file closes — including on SIGKILL — so a
 /// crashed process never leaves a stale lock behind.
 #[cfg(unix)]
-fn lock_dir(dir: &Path) -> io::Result<File> {
+pub(crate) fn lock_dir(dir: &Path) -> io::Result<File> {
     use std::os::unix::io::AsRawFd as _;
     extern "C" {
         // libc is already linked by std; LOCK_EX|LOCK_NB = 2|4 on every
@@ -168,7 +168,7 @@ fn lock_dir(dir: &Path) -> io::Result<File> {
 
 /// Non-unix fallback: no advisory locking, the handle is just held.
 #[cfg(not(unix))]
-fn lock_dir(dir: &Path) -> io::Result<File> {
+pub(crate) fn lock_dir(dir: &Path) -> io::Result<File> {
     OpenOptions::new()
         .create(true)
         .truncate(false)
@@ -261,12 +261,25 @@ fn load_or_create_events_meta(dir: &Path, wal_records: u64) -> io::Result<(u64, 
     }
 }
 
-fn write_events_meta(dir: &Path, epoch: u64, base: u64) -> io::Result<()> {
+/// Persists an event-stream identity (`epoch base_seq`) into `dir` with
+/// write-temp + rename. Public because the cluster router reuses the
+/// same file format for *its* event cursor inside its own data dir.
+pub fn write_events_meta(dir: &Path, epoch: u64, base: u64) -> io::Result<()> {
     let tmp = dir.join("events.meta.new");
     let mut f = File::create(&tmp)?;
     f.write_all(format!("{epoch} {base}\n").as_bytes())?;
     f.sync_data()?;
     fs::rename(&tmp, dir.join("events.meta"))
+}
+
+/// Reads a previously written `events.meta` from `dir`, if present and
+/// well-formed (epoch 0 — "no epoch" — counts as absent).
+pub fn read_events_meta(dir: &Path) -> Option<(u64, u64)> {
+    let text = fs::read_to_string(dir.join("events.meta")).ok()?;
+    let mut it = text.split_whitespace();
+    let epoch = it.next()?.parse::<u64>().ok()?;
+    let base = it.next()?.parse::<u64>().ok()?;
+    (epoch != 0).then_some((epoch, base))
 }
 
 impl Store {

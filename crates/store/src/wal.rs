@@ -211,6 +211,70 @@ impl CatalogOp {
     }
 }
 
+/// Frames an arbitrary payload as a WAL record (length + checksum +
+/// payload) — the same wire layout [`encode_record`] gives a
+/// [`CatalogOp`], for logs whose payload type lives in another crate
+/// (the router's member table logs `MemberOp`s through this).
+pub fn encode_raw_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What replaying a raw (payload-agnostic) log image produced.
+#[derive(Debug)]
+pub struct RawReplay {
+    /// The good payloads, in append order.
+    pub payloads: Vec<Bytes>,
+    /// Byte offset just past the last good record.
+    pub good_len: u64,
+    /// Bytes past `good_len` that were dropped.
+    pub dropped_bytes: u64,
+}
+
+/// Replays a framed log image under `magic`, stopping cleanly at the
+/// first torn or corrupt record — the payload-agnostic core of
+/// [`replay`]. Callers decode the payloads themselves.
+pub fn replay_raw(data: &[u8], magic: &[u8; 8]) -> RawReplay {
+    if data.len() < magic.len() || &data[..magic.len()] != magic {
+        return RawReplay {
+            payloads: Vec::new(),
+            good_len: 0,
+            dropped_bytes: data.len() as u64,
+        };
+    }
+    let mut payloads = Vec::new();
+    let mut at = magic.len();
+    loop {
+        let rest = &data[at..];
+        if rest.len() < 12 {
+            break; // clean end or torn length/checksum prefix
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break; // corrupt length prefix
+        }
+        let len = len as usize;
+        let want = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        if rest.len() < 12 + len {
+            break; // torn payload
+        }
+        let payload = &rest[12..12 + len];
+        if checksum64(payload) != want {
+            break; // flipped bits
+        }
+        payloads.push(Bytes::from(payload.to_vec()));
+        at += 12 + len;
+    }
+    RawReplay {
+        payloads,
+        good_len: at as u64,
+        dropped_bytes: (data.len() - at) as u64,
+    }
+}
+
 /// FNV-1a 64 over `data` — the WAL record checksum. Stable across
 /// processes and platforms (no per-process seed), cheap, and plenty to
 /// catch torn writes and bit flips (this is corruption *detection*, not

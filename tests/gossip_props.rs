@@ -1,0 +1,141 @@
+//! Gossip convergence properties: the member-op stream is a CRDT. Two
+//! routers that see the **same set** of [`MemberOp`]s — in any
+//! interleaving, with any duplication — must end with identical member
+//! tables, and therefore identical [`HashRing`] placement for every
+//! key. This is the invariant the whole replicated control plane rests
+//! on: last-writer-wins application per address is commutative and
+//! idempotent, so gossip order between routers can never matter.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use antruss::cluster::{
+    HashRing, ManualClock, MemberOp, MemberOpKind, Membership, MembershipConfig,
+};
+use proptest::prelude::*;
+
+fn table() -> Membership {
+    Membership::new(
+        MembershipConfig::default(),
+        Arc::new(ManualClock::new(0)) as _,
+    )
+}
+
+fn addr(idx: u8) -> SocketAddr {
+    format!("10.7.0.{}:9000", idx + 1).parse().unwrap()
+}
+
+/// Maps one generated `(seq, kind, (addr, ring_id))` tuple to an op.
+/// Conflicting ops (same seq, same address, different kinds or ring
+/// ids) are *expected* — `supersedes` breaks every tie
+/// deterministically.
+fn op_of((seq, kind, (a, rid)): (u64, u8, (u8, u32))) -> MemberOp {
+    MemberOp {
+        seq,
+        kind: match kind {
+            0 => MemberOpKind::Join,
+            1 => MemberOpKind::Leave,
+            _ => MemberOpKind::Evict,
+        },
+        addr: addr(a),
+        ring_id: 0x8000_0000 | rid,
+    }
+}
+
+/// The observable outcome of one table: every member as
+/// `(addr, ring_id)`, sorted — what placement is a pure function of.
+fn snapshot(m: &Membership) -> Vec<(SocketAddr, u32)> {
+    let mut s: Vec<(SocketAddr, u32)> = m.members().iter().map(|x| (x.addr, x.ring_id)).collect();
+    s.sort();
+    s
+}
+
+/// Placement of a handful of keys over a table's snapshot, via the same
+/// `HashRing::with_ids` the router builds its view from.
+fn placements(snap: &[(SocketAddr, u32)], r: usize) -> Vec<Vec<SocketAddr>> {
+    let ids: Vec<u32> = snap.iter().map(|(_, id)| *id).collect();
+    let ring = HashRing::with_ids(&ids, 32);
+    (0..12)
+        .map(|k| {
+            ring.replicas(&format!("graph-{k}"), r)
+                .into_iter()
+                .map(|p| snap[p].0)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply the same op set to two tables — one forward, one reversed,
+    /// then with independent arbitrary re-deliveries: identical tables,
+    /// identical placement.
+    #[test]
+    fn interleaved_duplicated_op_streams_converge(
+        raw in prop::collection::vec((1u64..16, 0u8..3, (0u8..5, 0u32..6)), 1..30),
+        order_a in prop::collection::vec(0usize..1024, 1..60),
+        order_b in prop::collection::vec(0usize..1024, 1..60),
+    ) {
+        let ops: Vec<MemberOp> = raw.into_iter().map(op_of).collect();
+        let (a, b) = (table(), table());
+        // every op at least once, in opposite orders…
+        for op in &ops {
+            a.apply_op(*op);
+        }
+        for op in ops.iter().rev() {
+            b.apply_op(*op);
+        }
+        // …then arbitrary re-delivery (gossip re-sends full tables, so
+        // duplication is the common case, not the corner case)
+        for i in &order_a {
+            a.apply_op(ops[i % ops.len()]);
+        }
+        for i in &order_b {
+            b.apply_op(ops[i % ops.len()]);
+        }
+        let (snap_a, snap_b) = (snapshot(&a), snapshot(&b));
+        prop_assert_eq!(&snap_a, &snap_b, "member tables diverged");
+        prop_assert_eq!(
+            placements(&snap_a, 2),
+            placements(&snap_b, 2),
+            "identical tables must place identically"
+        );
+    }
+
+    /// Re-applying a table's own full op stream to itself is a no-op
+    /// (idempotence), and replaying it into a fresh table reproduces
+    /// the exact member table (the restart-recovery property).
+    #[test]
+    fn op_streams_are_idempotent_and_replayable(
+        raw in prop::collection::vec((1u64..16, 0u8..3, (0u8..5, 0u32..6)), 1..30),
+    ) {
+        let a = table();
+        for op in raw.into_iter().map(op_of) {
+            a.apply_op(op);
+        }
+        let before = snapshot(&a);
+        for op in a.ops() {
+            a.apply_op(op);
+        }
+        prop_assert_eq!(&snapshot(&a), &before, "self-replay must not move the table");
+
+        let fresh = table();
+        fresh.recover(&a.ops());
+        prop_assert_eq!(&snapshot(&fresh), &before, "recovery from the op log diverged");
+    }
+
+    /// Wire round-trip: every op survives encode→decode and
+    /// JSON-render→parse byte-for-byte, so what gossip and the member
+    /// log carry is exactly what was minted.
+    #[test]
+    fn ops_round_trip_through_both_wire_formats(
+        raw in (1u64..1_000_000, 0u8..3, (0u8..5, 0u32..64)),
+    ) {
+        let op = op_of(raw);
+        prop_assert_eq!(MemberOp::decode(op.encode()), Some(op));
+        let rendered = op.render_json(None);
+        let parsed = antruss::atr::json::parse(&rendered).unwrap();
+        prop_assert_eq!(MemberOp::parse_json(&parsed), Some((op, None)));
+    }
+}

@@ -1,0 +1,292 @@
+//! Chaos tests for the replicated control plane: two routers gossiping
+//! one member table, driven deterministically off the testkit's manual
+//! clock. The headline scenario kills the primary router mid-churn and
+//! proves the survivor loses **zero requests** and serves
+//! **byte-identical placement**; the regression pins the
+//! eviction-vs-heartbeat gossip race (a member evicted by a partitioned
+//! router while it kept heartbeating the other must not flap), and the
+//! durable variant restarts a router and recovers its member table from
+//! the member-op log instead of waiting out re-joins.
+
+use antruss::cluster::testkit::{TestCluster, TestClusterConfig};
+use antruss::service::Client;
+use std::sync::atomic::Ordering;
+
+/// A small dense edge list every test graph can share.
+fn edges() -> Vec<u8> {
+    let mut out = String::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            out.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    out.into_bytes()
+}
+
+fn solve_body(graph: &str) -> Vec<u8> {
+    format!("{{\"graph\":\"{graph}\",\"solver\":\"gas\",\"b\":1}}").into_bytes()
+}
+
+/// `GET /ring?graph=` from one router — the placement, as bytes, so
+/// "identical placement" is a literal byte comparison.
+fn ring_of(client: &mut Client, graph: &str) -> Vec<u8> {
+    let resp = client.get(&format!("/ring?graph={graph}")).unwrap();
+    assert_eq!(resp.status, 200);
+    resp.body
+}
+
+#[test]
+fn killing_the_primary_router_mid_churn_loses_no_requests_or_placement() {
+    let mut tc = TestCluster::start(TestClusterConfig {
+        routers: 2,
+        replication: 2,
+        ..TestClusterConfig::default()
+    })
+    .unwrap();
+
+    // churn on both doors: one backend joins via each router, then one
+    // gossip sweep converges the tables
+    let a = tc.join_via(0).unwrap();
+    let b = tc.join_via(1).unwrap();
+    tc.tick_all();
+    // each router admitted one member locally and absorbed the other, so
+    // insertion order differs — the *set* (and the placement below) is
+    // what must agree
+    let mut on0 = tc.live_member_addrs_at(0);
+    let mut on1 = tc.live_member_addrs_at(1);
+    on0.sort();
+    on1.sort();
+    assert_eq!(on0, on1);
+    assert_eq!(on0.len(), 2);
+
+    // four graphs registered through the primary, with reference
+    // outcomes and the primary's placement captured per graph
+    let graphs = ["g0", "g1", "g2", "g3"];
+    let mut primary = tc.client_at(0);
+    let mut references = Vec::new();
+    let mut primary_rings = Vec::new();
+    for g in &graphs {
+        let resp = primary
+            .post(&format!("/graphs?name={g}"), "text/plain", &edges())
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body_string());
+        let solved = primary
+            .post("/solve", "application/json", &solve_body(g))
+            .unwrap();
+        assert_eq!(solved.status, 200, "{}", solved.body_string());
+        references.push(solved.body);
+        primary_rings.push(ring_of(&mut primary, g));
+    }
+
+    // 30 requests against the survivor, killing the primary after the
+    // 10th — every request must succeed, byte-identical to the
+    // reference the primary served
+    let mut survivor = tc.client_at(1);
+    let mut failed = 0usize;
+    for i in 0..30 {
+        if i == 10 {
+            tc.kill_router(0);
+        }
+        // heartbeats fail over to the surviving door too
+        tc.heartbeat_via(1, a);
+        tc.heartbeat_via(1, b);
+        let g = i % graphs.len();
+        let resp = survivor
+            .post("/solve", "application/json", &solve_body(graphs[g]))
+            .unwrap();
+        if resp.status != 200 {
+            failed += 1;
+            continue;
+        }
+        assert_eq!(
+            resp.body, references[g],
+            "request {i} diverged from the primary's outcome"
+        );
+    }
+    assert_eq!(failed, 0, "zero failed requests through the router kill");
+
+    // the survivor's placement is byte-identical to what the dead
+    // primary served for every graph
+    for (g, expected) in graphs.iter().zip(&primary_rings) {
+        assert_eq!(
+            &ring_of(&mut survivor, g),
+            expected,
+            "placement for {g} diverged on the survivor"
+        );
+    }
+
+    // the survivor keeps trying the dead peer (and counts the failures)
+    // rather than silently forgetting it
+    tc.tick_router(1);
+    assert!(
+        tc.router_at(1)
+            .state()
+            .gossip_failures
+            .load(Ordering::Relaxed)
+            >= 1,
+        "gossip to the dead primary must be counted as failures"
+    );
+
+    // churn keeps working through the survivor alone
+    let c = tc.join_via(1).unwrap();
+    tc.tick_router(1);
+    assert_eq!(tc.live_member_addrs_at(1).len(), 3);
+    assert!(tc.live_member_addrs_at(1).contains(&tc.backend_addr(c)));
+    tc.shutdown();
+}
+
+/// The eviction/gossip race: router 0, partitioned away from the
+/// heartbeats, evicts a member that kept beating router 1. When the
+/// partition heals, router 1 **vetoes** the eviction (the member is
+/// fresh there) and re-asserts it with a higher-sequence refresh op —
+/// so the member comes back on router 0 with the *same ring id* (no
+/// placement flap), and the eviction never applies on router 1 at all.
+#[test]
+fn fresh_member_vetoes_a_stale_eviction_without_flapping() {
+    let mut tc = TestCluster::start(TestClusterConfig {
+        routers: 2,
+        replication: 2,
+        heartbeat_ms: 100,
+        miss_threshold: 3,
+        ..TestClusterConfig::default()
+    })
+    .unwrap();
+    let a = tc.join_via(0).unwrap();
+    tc.tick_all();
+    fn ring_ids(tc: &TestCluster, idx: usize) -> Vec<u32> {
+        tc.router_at(idx)
+            .state()
+            .membership
+            .members()
+            .iter()
+            .map(|m| m.ring_id)
+            .collect()
+    }
+    let original_ids = ring_ids(&tc, 0);
+    assert_eq!(original_ids, ring_ids(&tc, 1));
+
+    // partition the control plane; the member's heartbeats land on
+    // router 1 only, so past the 300 ms deadline router 0 evicts it
+    tc.partition_router(1);
+    tc.advance(301);
+    tc.heartbeat_via(1, a);
+    tc.tick_router(0);
+    assert_eq!(tc.live_member_addrs_at(0), vec![], "router 0 evicted");
+    assert_eq!(
+        tc.live_member_addrs_at(1),
+        vec![tc.backend_addr(a)],
+        "router 1 still holds the beating member"
+    );
+
+    // heal: router 0 gossips its eviction; router 1 refuses to apply it
+    // (the member is fresh there) and answers with a refresh op that
+    // re-admits the member on router 0 under its original ring id
+    tc.heal_router(1);
+    tc.tick_router(0);
+    assert_eq!(tc.live_member_addrs_at(0), vec![tc.backend_addr(a)]);
+    assert_eq!(tc.live_member_addrs_at(1), vec![tc.backend_addr(a)]);
+    assert_eq!(
+        ring_ids(&tc, 0),
+        original_ids,
+        "no placement flap on router 0"
+    );
+    assert_eq!(
+        ring_ids(&tc, 1),
+        original_ids,
+        "no placement flap on router 1"
+    );
+    assert!(
+        tc.router_at(1)
+            .state()
+            .gossip_vetoes
+            .load(Ordering::Relaxed)
+            >= 1,
+        "the eviction must be vetoed, not applied-then-undone"
+    );
+    // the eviction never touched router 1's transition log
+    assert!(
+        !tc.events_at(1)
+            .iter()
+            .any(|e| matches!(e, antruss::cluster::MembershipEvent::Evicted { .. })),
+        "router 1 must never apply the stale eviction: {:?}",
+        tc.events_at(1)
+    );
+
+    // the table is stable from here: further sweeps change nothing
+    tc.heartbeat_via(0, a);
+    tc.tick_all();
+    tc.tick_all();
+    assert_eq!(ring_ids(&tc, 0), original_ids);
+    assert_eq!(ring_ids(&tc, 1), original_ids);
+    assert_eq!(
+        tc.router_at(0).state().evictions.load(Ordering::Relaxed),
+        1,
+        "exactly the one partition-era eviction"
+    );
+    tc.shutdown();
+}
+
+/// A restarted durable router recovers its dynamic members from the
+/// member-op log — full member table, same ring ids, zero re-joins.
+#[test]
+fn restarted_durable_router_recovers_members_from_its_op_log() {
+    let base = std::env::temp_dir().join(format!(
+        "antruss-router-failover-durable-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut tc = TestCluster::start(TestClusterConfig {
+        routers: 1,
+        router_data_dir: Some(base.display().to_string()),
+        ..TestClusterConfig::default()
+    })
+    .unwrap();
+    let a = tc.join().unwrap();
+    let b = tc.join().unwrap();
+    let before: Vec<_> = tc
+        .router_at(0)
+        .state()
+        .membership
+        .members()
+        .iter()
+        .map(|m| (m.addr, m.ring_id))
+        .collect();
+    let epoch_before = tc.router_at(0).state().events.epoch();
+    assert_eq!(before.len(), 2);
+
+    tc.kill_router(0);
+    tc.restart_router(0).unwrap();
+
+    let state = tc.router_at(0).state();
+    let after: Vec<_> = state
+        .membership
+        .members()
+        .iter()
+        .map(|m| (m.addr, m.ring_id))
+        .collect();
+    assert_eq!(after, before, "members and ring ids recovered from disk");
+    assert!(
+        state.members_recovered.load(Ordering::Relaxed) >= 2,
+        "recovery must be counted"
+    );
+    assert_eq!(
+        state.joins.load(Ordering::Relaxed),
+        0,
+        "recovery takes zero re-join round-trips"
+    );
+    assert_eq!(
+        state.events.epoch(),
+        epoch_before,
+        "the event epoch survives the restart, so member cursors stay valid"
+    );
+
+    // recovered members are first-class: they heartbeat without
+    // re-joining, and a graceful leave still works
+    tc.heartbeat(a);
+    tc.heartbeat(b);
+    tc.tick();
+    assert_eq!(tc.live_member_addrs().len(), 2);
+    assert_eq!(state.joins.load(Ordering::Relaxed), 0);
+    tc.shutdown();
+    std::fs::remove_dir_all(&base).unwrap();
+}
