@@ -65,7 +65,14 @@
 //! through the request budget loadgen SIGKILLs that pid (a router you
 //! spawned) and records the failover gap (ms from the kill to the first
 //! request a retargeted client got answered) alongside the failed count
-//! and retarget count — the `control_plane` JSON section.
+//! and retarget count — the `control_plane` JSON section. `--profile`
+//! samples the `x-antruss-cost` response header every tier stamps on
+//! its replies (cumulative CPU-us and allocated bytes per request) and
+//! scrapes the target's `GET /debug/prof` before and after the main
+//! run, reporting per-request cost p50/p99, the run's CPU seconds by
+//! thread role, and the lock that accumulated the most wait — the
+//! `profile` JSON section (skipped with a note when the target
+//! predates /debug/prof).
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -83,6 +90,10 @@ struct Tally {
     /// requests answered per shard id (`-1` = no shard header: a
     /// standalone serve)
     by_shard: BTreeMap<i64, u64>,
+    /// per-request CPU-us sampled from `x-antruss-cost` (`--profile`)
+    cost_cpu_us: Vec<f64>,
+    /// per-request allocated bytes sampled from `x-antruss-cost`
+    cost_alloc_bytes: Vec<f64>,
 }
 
 /// SIGKILL a router process mid-run — the chaos half of the
@@ -470,6 +481,114 @@ fn trace_bench(
     ))
 }
 
+/// Scrapes a tier's `GET /debug/prof` JSON, or `None` when the target
+/// predates the endpoint (404) or is unreachable.
+fn prof_snapshot(addr: SocketAddr) -> Option<antruss_core::json::Value> {
+    let resp = Client::new(addr).get("/debug/prof").ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    antruss_core::json::parse(&resp.body_string()).ok()
+}
+
+fn prof_num(v: Option<&antruss_core::json::Value>) -> f64 {
+    v.and_then(antruss_core::json::Value::as_f64).unwrap_or(0.0)
+}
+
+/// Builds the JSON `profile` section from the `/debug/prof` snapshots
+/// taken around the main run plus the per-request `x-antruss-cost`
+/// samples: CPU seconds by thread role spent during the run, CPU-us
+/// and allocated bytes per request p50/p99, and the lock that
+/// accumulated the most wait while the run was in flight.
+fn profile_section(
+    before: &antruss_core::json::Value,
+    after: &antruss_core::json::Value,
+    cpu_us: &mut [f64],
+    alloc_bytes: &mut [f64],
+) -> String {
+    use antruss_core::json::Value;
+
+    let roles_of = |v: &Value| -> BTreeMap<String, f64> {
+        v.get("cpu")
+            .and_then(|c| c.get("by_role"))
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("role")?.as_str()?.to_string(),
+                    prof_num(r.get("cpu_seconds")),
+                ))
+            })
+            .collect()
+    };
+    let base = roles_of(before);
+    let mut role_parts = Vec::new();
+    let mut printable = Vec::new();
+    for (role, total) in roles_of(after) {
+        let delta = (total - base.get(&role).copied().unwrap_or(0.0)).max(0.0);
+        role_parts.push(format!("{{\"role\":{role:?},\"cpu_seconds\":{delta:.3}}}"));
+        printable.push(format!("{role} {delta:.2}s"));
+    }
+
+    let waits_of = |v: &Value| -> BTreeMap<String, (f64, f64)> {
+        v.get("locks")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|l| {
+                Some((
+                    l.get("lock")?.as_str()?.to_string(),
+                    (
+                        prof_num(l.get("wait_seconds_total")),
+                        prof_num(l.get("wait_p99_us")),
+                    ),
+                ))
+            })
+            .collect()
+    };
+    let lock_base = waits_of(before);
+    let mut worst: Option<(String, f64, f64)> = None;
+    for (lock, (total, p99_us)) in waits_of(after) {
+        let delta = (total - lock_base.get(&lock).map(|w| w.0).unwrap_or(0.0)).max(0.0);
+        if worst.as_ref().is_none_or(|(_, w, _)| delta > *w) {
+            worst = Some((lock, delta, p99_us));
+        }
+    }
+
+    cpu_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    alloc_bytes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (cpu_p50, cpu_p99) = (percentile(cpu_us, 50.0), percentile(cpu_us, 99.0));
+    let (ab_p50, ab_p99) = (percentile(alloc_bytes, 50.0), percentile(alloc_bytes, 99.0));
+    println!(
+        "profile ({} costed request(s)): cpu/req p50 {cpu_p50:.0}us p99 {cpu_p99:.0}us, \
+         alloc/req p50 {ab_p50:.0}B p99 {ab_p99:.0}B; run cpu by role: {}",
+        cpu_us.len(),
+        if printable.is_empty() {
+            "none".to_string()
+        } else {
+            printable.join(", ")
+        },
+    );
+    let worst_field = match &worst {
+        Some((lock, wait, p99_us)) => {
+            println!("profile worst lock: {lock} +{wait:.4}s wait (p99 {p99_us:.0}us)");
+            format!(
+                ",\"worst_lock\":{{\"lock\":{lock:?},\"wait_seconds\":{wait:.6},\
+                 \"wait_p99_us\":{p99_us:.1}}}"
+            )
+        }
+        None => String::new(),
+    };
+    format!(
+        "{{\"costed_requests\":{},\"cpu_us_per_request_p50\":{cpu_p50:.1},\
+         \"cpu_us_per_request_p99\":{cpu_p99:.1},\"alloc_bytes_per_request_p50\":{ab_p50:.0},\
+         \"alloc_bytes_per_request_p99\":{ab_p99:.0},\"cpu_by_role\":[{}]{worst_field}}}",
+        cpu_us.len(),
+        role_parts.join(",")
+    )
+}
+
 /// Grades the finished main run against `--slo` objectives: observed
 /// availability (ok / attempted) and observed p99 against their
 /// targets, plus the worst `antruss_slo_burn_rate` gauge the target
@@ -777,6 +896,19 @@ fn main() {
         None
     };
 
+    // the before-the-run half of --profile: both snapshots must exist
+    // for the deltas to mean anything
+    let profile = args.flag("profile");
+    let prof_before = if profile {
+        let snap = prof_snapshot(addrs[0]);
+        if snap.is_none() {
+            eprintln!("profile: {} serves no /debug/prof (older tier?)", addrs[0]);
+        }
+        snap
+    } else {
+        None
+    };
+
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let hits = AtomicU64::new(0);
@@ -835,6 +967,15 @@ fn main() {
                                 if resp.header("x-antruss-cache") == Some("hit") {
                                     hits.fetch_add(1, Ordering::Relaxed);
                                 }
+                                if profile {
+                                    if let Some((cpu, bytes)) = resp
+                                        .header(antruss_obs::COST_HEADER)
+                                        .and_then(antruss_obs::prof::parse_cost)
+                                    {
+                                        tally.cost_cpu_us.push(cpu as f64);
+                                        tally.cost_alloc_bytes.push(bytes as f64);
+                                    }
+                                }
                                 let shard = resp
                                     .header("x-antruss-shard")
                                     .and_then(|s| s.parse::<i64>().ok())
@@ -884,8 +1025,11 @@ fn main() {
     let hit_ratio = hits as f64 / (ok.max(1)) as f64;
 
     let (mut latencies, mut by_shard) = (Vec::new(), BTreeMap::<i64, u64>::new());
+    let (mut cost_cpu_us, mut cost_alloc_bytes) = (Vec::new(), Vec::new());
     for tally in tallies.into_inner().unwrap() {
         latencies.extend(tally.latencies_ms);
+        cost_cpu_us.extend(tally.cost_cpu_us);
+        cost_alloc_bytes.extend(tally.cost_alloc_bytes);
         for (shard, n) in tally.by_shard {
             *by_shard.entry(shard).or_insert(0) += n;
         }
@@ -919,6 +1063,18 @@ fn main() {
     let slo = slo_objectives
         .as_ref()
         .map(|objectives| slo_section(addrs[0], objectives, ok, failed, p99));
+
+    // the after-the-run half of --profile; the drill may have killed
+    // addrs[0], so fall back to the first address still answering
+    let profile_json = prof_before.as_ref().and_then(|before| {
+        let after = addrs.iter().find_map(|&a| prof_snapshot(a))?;
+        Some(profile_section(
+            before,
+            &after,
+            &mut cost_cpu_us,
+            &mut cost_alloc_bytes,
+        ))
+    });
 
     // the chaos drill's verdict: how long the kill was visible, and
     // whether any request was actually lost despite it
@@ -972,13 +1128,17 @@ fn main() {
             .as_ref()
             .map(|c| format!(",\"control_plane\":{c}"))
             .unwrap_or_default();
+        let profile_field = profile_json
+            .as_ref()
+            .map(|p| format!(",\"profile\":{p}"))
+            .unwrap_or_default();
         let report = format!(
             "{{\"addrs\":{:?},\"mode\":{mode:?},\"backends\":{backends},\
              \"clients\":{clients},\"requests_per_client\":{requests},\
              \"graph\":{graph:?},\"solver\":{solver:?},\"b\":{b},\"seeds\":{seeds},\
              \"ok\":{ok},\"failed\":{failed},\"elapsed_secs\":{elapsed:.3},\
              \"req_per_sec\":{req_per_sec:.1},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
-             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}{slo_field}{control_plane_field}}}",
+             \"hit_ratio\":{hit_ratio:.4},\"per_shard\":[{shards}]{fanout_field}{recovery_field}{edge_field}{trace_field}{slo_field}{control_plane_field}{profile_field}}}",
             addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         );
         match std::fs::write(&out_path, &report) {

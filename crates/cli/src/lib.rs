@@ -114,8 +114,11 @@ All serving commands log to stderr; --log-level gates verbosity
 log shippers. Each tier also serves GET /metrics (Prometheus text,
 including per-phase latency histograms), GET /metrics/history (a
 bounded ring of recent samples, taken every --metrics-interval),
-GET /readyz (503 while draining, for load balancers) and GET
-/debug/traces (the slowest recent request traces). With --slo the tier
+GET /readyz (503 while draining, for load balancers), GET
+/debug/traces (the slowest recent request traces) and GET /debug/prof
+(the always-on profile: allocator totals, per-role thread CPU,
+lock-wait histograms, per-request cost quantiles; every /solve reply
+also carries its own cost in the x-antruss-cost header). With --slo the tier
 evaluates its objectives as multi-window burn rates over that history
 and /healthz reports ok|degraded|critical naming the burning
 objective; the router additionally federates every member's summary at
@@ -124,7 +127,10 @@ GET /cluster/overview (see the README's Observability section).
 `antruss top HOST:PORT` renders a live dashboard over any tier's
 telemetry: pointed at a router it polls /cluster/overview (per-member
 health, throughput, p99, cache hit ratio, staleness); pointed at a
-serve node or edge it falls back to /healthz + /metrics/history.
+serve node or edge it falls back to /healthz + /metrics/history. When
+the tier serves /debug/prof the frame gains a profiling panel (CPU by
+thread role, live allocator bytes, worst lock waits); older tiers
+without the endpoint just render without it.
 --once prints a single frame for scripts.";
 
 /// Loads a graph from a file path or dataset slug.
@@ -836,34 +842,104 @@ pub fn render_tier_frame(addr: &str, healthz: &str, history: &str) -> Result<Str
     Ok(out)
 }
 
+/// Renders the profiling panel of an `antruss top` frame from a tier's
+/// `GET /debug/prof` body: CPU seconds by thread role, allocator
+/// totals, and the locks with the most accumulated wait. Returns
+/// `None` when the body is not the expected shape, so the caller can
+/// hide the panel instead of failing the whole frame.
+pub fn render_prof_panel(body: &str) -> Option<String> {
+    let v = antruss_core::json::parse(body).ok()?;
+    let alloc = v.get("alloc")?;
+    let mut out = String::new();
+    let mut cpu = String::from("prof    cpu");
+    let mut roles: Vec<(String, f64)> = v
+        .get("cpu")
+        .and_then(|c| c.get("by_role"))
+        .and_then(antruss_core::json::Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            (
+                text(r.get("role"), "?").to_string(),
+                num(r.get("cpu_seconds")),
+            )
+        })
+        .collect();
+    roles.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (role, seconds) in &roles {
+        let _ = write!(cpu, "  {role} {seconds:.1}s");
+    }
+    let _ = writeln!(out, "{cpu}");
+    let _ = writeln!(
+        out,
+        "        alloc live {:.1} MiB ({} alloc(s), {} free(s), {:.1} MiB total)",
+        num(alloc.get("live_bytes")) / (1024.0 * 1024.0),
+        num(alloc.get("allocs")) as u64,
+        num(alloc.get("deallocs")) as u64,
+        num(alloc.get("alloc_bytes")) / (1024.0 * 1024.0),
+    );
+    let mut locks: Vec<&antruss_core::json::Value> = v
+        .get("locks")
+        .and_then(antruss_core::json::Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .collect();
+    locks.sort_by(|a, b| {
+        num(b.get("wait_seconds_total")).total_cmp(&num(a.get("wait_seconds_total")))
+    });
+    for l in locks.iter().take(3) {
+        let _ = writeln!(
+            out,
+            "        lock {}  wait {:.3}s total  p99 {:.0} us  max {:.0} us  ({} acq)",
+            text(l.get("lock"), "?"),
+            num(l.get("wait_seconds_total")),
+            num(l.get("wait_p99_us")),
+            num(l.get("wait_max_us")),
+            num(l.get("acquisitions")) as u64,
+        );
+    }
+    Some(out)
+}
+
 /// Fetches and renders one `antruss top` frame: `/cluster/overview`
 /// when the address is a router, falling back to `/healthz` +
-/// `/metrics/history` for a serve node or an edge.
+/// `/metrics/history` for a serve node or an edge. Either way the
+/// frame gains a profiling panel when the tier answers `/debug/prof`
+/// (tiers that predate the endpoint 404 and the panel is just hidden).
 pub fn top_frame(addr: std::net::SocketAddr) -> Result<String, String> {
     let mut client = antruss_service::Client::new(addr);
     let overview = client
         .get("/cluster/overview")
         .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
-    if overview.status == 200 {
-        return render_overview_frame(&addr.to_string(), &overview.body_string());
+    let mut frame = if overview.status == 200 {
+        render_overview_frame(&addr.to_string(), &overview.body_string())?
+    } else {
+        let healthz = client
+            .get("/healthz")
+            .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
+        let history = client
+            .get("/metrics/history")
+            .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
+        if history.status != 200 {
+            return Err(format!(
+                "top: {addr} serves neither /cluster/overview nor /metrics/history \
+                 (is it an antruss tier with history enabled?)"
+            ));
+        }
+        render_tier_frame(
+            &addr.to_string(),
+            &healthz.body_string(),
+            &history.body_string(),
+        )?
+    };
+    if let Ok(prof) = client.get("/debug/prof") {
+        if prof.status == 200 {
+            if let Some(panel) = render_prof_panel(&prof.body_string()) {
+                frame.push_str(&panel);
+            }
+        }
     }
-    let healthz = client
-        .get("/healthz")
-        .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
-    let history = client
-        .get("/metrics/history")
-        .map_err(|e| format!("top: cannot reach {addr}: {e}"))?;
-    if history.status != 200 {
-        return Err(format!(
-            "top: {addr} serves neither /cluster/overview nor /metrics/history \
-             (is it an antruss tier with history enabled?)"
-        ));
-    }
-    render_tier_frame(
-        &addr.to_string(),
-        &healthz.body_string(),
-        &history.body_string(),
-    )
+    Ok(frame)
 }
 
 /// `antruss top <addr>` — a live ANSI dashboard over a tier's
@@ -1294,6 +1370,25 @@ mod tests {
         // bad bodies are errors, not panics
         assert!(render_overview_frame("x", "nope").is_err());
         assert!(render_tier_frame("x", "nope", "{}").is_err());
+    }
+
+    #[test]
+    fn top_prof_panel_renders_or_hides() {
+        let prof = r#"{"tier":"server",
+            "alloc":{"allocs":1000,"alloc_bytes":4194304,"deallocs":900,
+                     "dealloc_bytes":3145728,"live_bytes":1048576},
+            "cpu":{"by_role":[{"role":"worker","cpu_seconds":2.5},
+                              {"role":"accept","cpu_seconds":0.1}],"threads":[]},
+            "locks":[{"lock":"catalog_write","acquisitions":12,
+                      "wait_seconds_total":0.004,"wait_p99_us":310.0,"wait_max_us":500.0}],
+            "costs":[]}"#;
+        let panel = render_prof_panel(prof).unwrap();
+        assert!(panel.contains("worker 2.5s"), "{panel}");
+        assert!(panel.contains("catalog_write"), "{panel}");
+        assert!(panel.contains("1.0 MiB"), "live bytes in MiB: {panel}");
+        // a body without the prof shape hides the panel instead of erroring
+        assert!(render_prof_panel("nope").is_none());
+        assert!(render_prof_panel("{\"status\":\"ok\"}").is_none());
     }
 
     #[test]

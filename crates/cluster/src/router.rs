@@ -46,11 +46,12 @@ use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use antruss_core::json::{self, Value};
+use antruss_obs::prof::{self, ProfRwLock};
 use antruss_obs::slo::{self, Objective, SloReport, SloSources};
 use antruss_obs::trace::{self, AssembledTrace};
 use antruss_obs::{Histogram, Hop, Recorder, Registry, SlowTraces, TraceContext};
@@ -275,6 +276,12 @@ pub struct MemberSummary {
     pub hit_ratio: f64,
     /// The member's catalog event head seq (its own seq space).
     pub events_head: u64,
+    /// Cumulative CPU seconds by thread role, federated from the
+    /// member's `antruss_prof_cpu_seconds_total` series (empty when the
+    /// member predates profiling).
+    pub cpu_by_role: Vec<(String, f64)>,
+    /// The member's worst lock by total wait: `(name, wait_seconds)`.
+    pub top_lock: Option<(String, f64)>,
     /// Unix seconds when this summary was last refreshed.
     pub updated_ts: f64,
 }
@@ -285,7 +292,7 @@ pub struct RouterState {
     pub config: RouterConfig,
     /// The membership table (joins, heartbeats, eviction policy).
     pub membership: Membership,
-    view: RwLock<Arc<RouterView>>,
+    view: ProfRwLock<Arc<RouterView>>,
     /// Requests accepted (any route, any status).
     pub requests: AtomicU64,
     /// Responses with a 4xx/5xx status.
@@ -427,10 +434,13 @@ impl RouterState {
             gossip_failures: AtomicU64::new(0),
             gossip_vetoes: AtomicU64::new(0),
             members_recovered: AtomicU64::new(recovered_members),
-            view: RwLock::new(Arc::new(RouterView {
-                ring: HashRing::new(0, config.vnodes),
-                backends: Vec::new(),
-            })),
+            view: ProfRwLock::new(
+                "router_view",
+                Arc::new(RouterView {
+                    ring: HashRing::new(0, config.vnodes),
+                    backends: Vec::new(),
+                }),
+            ),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
@@ -685,6 +695,9 @@ fn relay(resp: &ClientResponse, ring_id: u32) -> Response {
     if let Some(v) = resp.header(trace::HOPS_HEADER) {
         out = out.with_header(trace::HOPS_HEADER, v);
     }
+    if let Some(v) = resp.header(prof::COST_HEADER) {
+        out = out.with_header(prof::COST_HEADER, v);
+    }
     out.with_header("x-antruss-shard", &ring_id.to_string())
 }
 
@@ -704,6 +717,7 @@ fn untraced(path: &str) -> bool {
 /// backend echoed back through [`relay`].
 pub fn handle(state: &RouterState, req: &Request) -> Response {
     let started = Instant::now();
+    let cost = prof::begin_cost();
     let (ctx, originated) = TraceContext::from_headers(
         req.header(trace::TRACE_HEADER),
         req.header(trace::SPAN_HEADER),
@@ -716,6 +730,7 @@ pub fn handle(state: &RouterState, req: &Request) -> Response {
     }
     let elapsed = started.elapsed();
     state.request_hist.observe(elapsed);
+    let (own_cpu_us, own_alloc_bytes) = cost.finish();
     let hop = Hop {
         tier: "router".to_string(),
         span: ctx.span,
@@ -725,6 +740,12 @@ pub fn handle(state: &RouterState, req: &Request) -> Response {
         phases: trace::take_phases()
             .into_iter()
             .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+        cpu_us: own_cpu_us,
+        alloc_bytes: own_alloc_bytes,
+        costs: trace::take_costs()
+            .into_iter()
+            .map(|(n, c, b)| (n.to_string(), c, b))
             .collect(),
     };
     // the backend's hops ride the relayed response; pull them out so the
@@ -736,6 +757,30 @@ pub fn handle(state: &RouterState, req: &Request) -> Response {
         .position(|(n, _)| n == trace::HOPS_HEADER)
         .map(|i| resp.extra_headers.remove(i).1)
         .unwrap_or_default();
+    // same for the downstream cost: fold the backend's spend into the
+    // router's own so the client sees the whole chain's total
+    let (mut cpu_us, mut alloc_bytes) = (own_cpu_us, own_alloc_bytes);
+    if let Some(i) = resp
+        .extra_headers
+        .iter()
+        .position(|(n, _)| n == prof::COST_HEADER)
+    {
+        let (_, v) = resp.extra_headers.remove(i);
+        if let Some((dc, db)) = prof::parse_cost(&v) {
+            cpu_us += dc;
+            alloc_bytes += db;
+        }
+    }
+    prof::observe_request_cost(
+        "endpoint",
+        if req.path == "/solve" {
+            "solve"
+        } else {
+            "other"
+        },
+        own_cpu_us,
+        own_alloc_bytes,
+    );
     if originated && !untraced(&req.path) {
         state
             .traces
@@ -751,6 +796,7 @@ pub fn handle(state: &RouterState, req: &Request) -> Response {
     );
     resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
         .with_header(trace::HOPS_HEADER, &hops)
+        .with_header(prof::COST_HEADER, &prof::format_cost(cpu_us, alloc_bytes))
 }
 
 fn route(state: &RouterState, req: &Request) -> Response {
@@ -761,6 +807,7 @@ fn route(state: &RouterState, req: &Request) -> Response {
         ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
         ("GET", "/cluster/overview") => cluster_overview(state),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
+        ("GET", "/debug/prof") => Response::json(200, prof::debug_json("router")),
         ("GET", "/events") => events_feed(state, req),
         ("GET", "/ring") => ring_info(state, req),
         ("GET", "/members") => members_list(state),
@@ -907,6 +954,22 @@ fn cluster_overview(state: &RouterState) -> Response {
                 ));
                 if let Some(burning) = &s.burning {
                     body.push_str(&format!(",\"burning\":{}", json::quoted(burning)));
+                }
+                if !s.cpu_by_role.is_empty() {
+                    body.push_str(",\"cpu_by_role\":{");
+                    for (j, (role, secs)) in s.cpu_by_role.iter().enumerate() {
+                        if j > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(&format!("{}:{secs:.3}", json::quoted(role)));
+                    }
+                    body.push('}');
+                }
+                if let Some((lock, wait)) = &s.top_lock {
+                    body.push_str(&format!(
+                        ",\"top_lock\":{{\"lock\":{},\"wait_seconds\":{wait:.6}}}",
+                        json::quoted(lock)
+                    ));
                 }
             }
             None => body.push_str(",\"ready\":\"unknown\",\"status\":\"unknown\""),
@@ -1075,6 +1138,7 @@ pub fn build_registry(state: &RouterState) -> Registry {
     if !state.config.slos.is_empty() {
         state.slo_report().register(&mut reg);
     }
+    prof::register_metrics(&mut reg);
     reg
 }
 
@@ -2437,6 +2501,8 @@ fn probe_member(state: &RouterState, b: &BackendState, ready: Option<bool>) -> b
         p99_seconds: 0.0,
         hit_ratio: 0.0,
         events_head: 0,
+        cpu_by_role: Vec::new(),
+        top_lock: None,
         updated_ts: now,
     };
     match forward(b, "GET", "/metrics", None) {
@@ -2458,6 +2524,21 @@ fn probe_member(state: &RouterState, b: &BackendState, ready: Option<bool>) -> b
             summary.events_head = read("antruss_events_head_seq") as u64;
             summary.p99_seconds =
                 read("antruss_endpoint_latency_quantile_seconds{endpoint=\"solve\",q=\"0.99\"}");
+            // federate the member's profiling picture: CPU seconds per
+            // thread role, and its worst lock by total wait
+            let labeled = |prefix: &str| -> Vec<(String, f64)> {
+                text.lines()
+                    .filter_map(|l| l.strip_prefix(prefix))
+                    .filter_map(|rest| {
+                        let (label, value) = rest.split_once("\"} ")?;
+                        Some((label.to_string(), value.trim().parse().ok()?))
+                    })
+                    .collect()
+            };
+            summary.cpu_by_role = labeled("antruss_prof_cpu_seconds_total{role=\"");
+            summary.top_lock = labeled("antruss_prof_lock_wait_seconds_sum{lock=\"")
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             if let Some(p) = &prev {
                 let dt = now - p.updated_ts;
                 if dt > 0.0 && summary.requests >= p.requests {
@@ -2554,12 +2635,9 @@ impl Router {
         let health = if state.config.health_interval_ms > 0 {
             let health_state = Arc::clone(&state);
             let interval = Duration::from_millis(state.config.health_interval_ms);
-            Some(
-                thread::Builder::new()
-                    .name("antruss-router-health".to_string())
-                    .spawn(move || health_loop(&health_state, interval))
-                    .expect("spawn health checker"),
-            )
+            Some(prof::spawn("antruss-router-health", "health", move || {
+                health_loop(&health_state, interval)
+            })?)
         } else {
             None
         };

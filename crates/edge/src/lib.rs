@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use antruss_core::json;
+use antruss_obs::prof;
 use antruss_obs::slo::{self, Objective, SloReport, SloSources};
 use antruss_obs::trace::{self, AssembledTrace};
 use antruss_obs::{Histogram, Hop, Recorder, Registry, SlowTraces, TraceContext};
@@ -367,6 +368,7 @@ fn edge_slo_sources() -> SloSources {
 /// assembling the full timeline into its slow-trace ring.
 pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
     let started = Instant::now();
+    let cost = prof::begin_cost();
     let (ctx, originated) = TraceContext::from_headers(
         req.header(trace::TRACE_HEADER),
         req.header(trace::SPAN_HEADER),
@@ -379,6 +381,7 @@ pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
     }
     let elapsed = started.elapsed();
     state.request_hist.observe(elapsed);
+    let (own_cpu_us, own_alloc_bytes) = cost.finish();
     let hop = Hop {
         tier: "edge".to_string(),
         span: ctx.span,
@@ -388,6 +391,12 @@ pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
         phases: trace::take_phases()
             .into_iter()
             .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+        cpu_us: own_cpu_us,
+        alloc_bytes: own_alloc_bytes,
+        costs: trace::take_costs()
+            .into_iter()
+            .map(|(n, c, b)| (n.to_string(), c, b))
             .collect(),
     };
     // relay() preserved the upstream's x-antruss-* headers verbatim —
@@ -400,6 +409,30 @@ pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
         .map(|i| resp.extra_headers.remove(i).1)
         .unwrap_or_default();
     resp.extra_headers.retain(|(n, _)| n != trace::TRACE_HEADER);
+    // fold the upstream's cost (relay() preserved its header) into this
+    // tier's own so the client sees the whole chain's spend
+    let (mut cpu_us, mut alloc_bytes) = (own_cpu_us, own_alloc_bytes);
+    if let Some(i) = resp
+        .extra_headers
+        .iter()
+        .position(|(n, _)| n == prof::COST_HEADER)
+    {
+        let (_, v) = resp.extra_headers.remove(i);
+        if let Some((dc, db)) = prof::parse_cost(&v) {
+            cpu_us += dc;
+            alloc_bytes += db;
+        }
+    }
+    prof::observe_request_cost(
+        "endpoint",
+        if req.path == "/solve" {
+            "solve"
+        } else {
+            "other"
+        },
+        own_cpu_us,
+        own_alloc_bytes,
+    );
     if originated && !untraced(&req.path) {
         state
             .traces
@@ -415,6 +448,7 @@ pub fn handle(state: &Arc<EdgeState>, req: &Request) -> Response {
     );
     resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
         .with_header(trace::HOPS_HEADER, &hops)
+        .with_header(prof::COST_HEADER, &prof::format_cost(cpu_us, alloc_bytes))
 }
 
 fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
@@ -429,6 +463,7 @@ fn route(state: &Arc<EdgeState>, req: &Request) -> Response {
         ("GET", "/metrics") => metrics(state),
         ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
+        ("GET", "/debug/prof") => Response::json(200, prof::debug_json("edge")),
         ("GET", "/events") => events_feed(state, req),
         ("POST", "/solve") => solve(state, req),
         ("GET", "/graphs") => listing(state, "/graphs"),
@@ -564,6 +599,7 @@ pub fn build_registry(state: &EdgeState) -> Registry {
     if !state.config.slos.is_empty() {
         state.slo_report().register(&mut reg);
     }
+    prof::register_metrics(&mut reg);
     reg
 }
 
@@ -750,10 +786,7 @@ impl Edge {
         };
         let subscriber = {
             let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name("antruss-edge-sync".to_string())
-                .spawn(move || sync::run(state))
-                .expect("spawn edge subscriber")
+            prof::spawn("antruss-edge-sync", "subscriber", move || sync::run(state))?
         };
         let sampler = if state.config.metrics_interval_ms > 0 {
             let shutdown_state = Arc::clone(&state);
@@ -804,6 +837,10 @@ impl Edge {
             eprintln!(
                 "--- final metrics snapshot ---\n{}",
                 String::from_utf8_lossy(&snapshot.body)
+            );
+            eprintln!(
+                "--- final profile snapshot ---\n{}",
+                prof::debug_json("edge")
             );
             if !self.state.traces.is_empty() {
                 eprintln!(

@@ -26,18 +26,25 @@
 //!   p99_ms=5`) evaluated as multi-window burn rates over the history
 //!   ring; exported as `antruss_slo_*` gauges and as the
 //!   `ok|degraded|critical` status `/healthz` now reports.
+//! * [`prof`] — always-on continuous profiling: a counting
+//!   `#[global_allocator]`, per-thread CPU by named role from
+//!   `/proc/self/task`, lock-wait histograms on the hot locks, and
+//!   per-request cost attribution surfaced as the `x-antruss-cost`
+//!   header, `antruss_prof_*` families and `GET /debug/prof`.
 
 #![warn(missing_docs)]
 
 pub mod hist;
 pub mod history;
 pub mod log;
+pub mod prof;
 pub mod registry;
 pub mod slo;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use history::Recorder;
+pub use prof::{CostSpan, ProfMutex, ProfRwLock, COST_HEADER};
 pub use registry::Registry;
 pub use slo::{Level, Objective, SloReport, SloSources};
 pub use trace::{Hop, SlowTraces, TraceContext};

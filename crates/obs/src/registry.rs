@@ -44,9 +44,11 @@ enum Sample {
     /// keeps 64-bit integers (epochs, seqs) exact instead of routing
     /// them through an `f64` with a 53-bit mantissa.
     Scalar(String, String),
-    /// `(labels, snapshot)` — expands to `_bucket`/`_sum`/`_count`.
-    /// Boxed: a snapshot is 64 buckets, far larger than a scalar.
-    Hist(String, Box<HistSnapshot>),
+    /// `(labels, snapshot, raw)` — expands to `_bucket`/`_sum`/`_count`.
+    /// Boxed: a snapshot is 64 buckets, far larger than a scalar. `raw`
+    /// histograms render bucket bounds and the sum as plain unit counts
+    /// (bytes, items) instead of converting nanoseconds to seconds.
+    Hist(String, Box<HistSnapshot>, bool),
 }
 
 #[derive(Debug)]
@@ -159,6 +161,13 @@ impl Registry {
         self.push_scalar(name, Kind::Counter, labels, v.to_string());
     }
 
+    /// Registers a labeled counter holding a non-integral total
+    /// (cumulative CPU seconds). Prometheus counters may be floats;
+    /// every integral value still renders without a decimal point.
+    pub fn counter_f64_with(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.push_scalar(name, Kind::Counter, labels, fmt_value(v));
+    }
+
     /// Registers a gauge.
     pub fn gauge(&mut self, name: &str, v: f64) {
         self.push_scalar(name, Kind::Gauge, &[], fmt_value(v));
@@ -182,7 +191,29 @@ impl Registry {
         let rendered = render_labels(labels);
         let fam = self.family(name, Kind::Histogram);
         fam.samples
-            .push(Sample::Hist(rendered, Box::new(snap.clone())));
+            .push(Sample::Hist(rendered, Box::new(snap.clone()), false));
+    }
+
+    /// Registers a histogram whose observations are raw unit counts
+    /// (allocated bytes per request) rather than nanoseconds: bucket
+    /// bounds and the `_sum` render as plain numbers, not seconds.
+    /// Raw histograms are skipped by [`Registry::hist_samples`] so the
+    /// history recorder never mislabels their quantiles as seconds.
+    pub fn raw_histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistSnapshot) {
+        let rendered = render_labels(labels);
+        let fam = self.family(name, Kind::Histogram);
+        fam.samples
+            .push(Sample::Hist(rendered, Box::new(snap.clone()), true));
+    }
+
+    /// Registers the standard [`QUANTILES`] of a raw-unit histogram as a
+    /// gauge family `name{q=...}` in the histogram's own units.
+    pub fn raw_quantiles(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistSnapshot) {
+        for (q, tag) in QUANTILES {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("q", tag));
+            self.gauge_with(name, &all, snap.quantile_ns(q));
+        }
     }
 
     /// Registers the standard [`QUANTILES`] of `snap` as a gauge family
@@ -230,7 +261,7 @@ impl Registry {
         let mut out = Vec::new();
         for fam in &self.families {
             for sample in &fam.samples {
-                if let Sample::Hist(labels, snap) = sample {
+                if let Sample::Hist(labels, snap, false) = sample {
                     out.push((fam.name.clone(), labels.clone(), (**snap).clone()));
                 }
             }
@@ -249,7 +280,9 @@ impl Registry {
                     Sample::Scalar(labels, v) => {
                         out.push_str(&format!("{}{} {v}\n", fam.name, labels));
                     }
-                    Sample::Hist(labels, snap) => render_hist(&mut out, &fam.name, labels, snap),
+                    Sample::Hist(labels, snap, raw) => {
+                        render_hist(&mut out, &fam.name, labels, snap, *raw)
+                    }
                 }
             }
         }
@@ -269,7 +302,7 @@ fn fmt_le(ns: u64) -> String {
     }
 }
 
-fn render_hist(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) {
+fn render_hist(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot, raw: bool) {
     // re-open the label set to append le="..."
     let with = |extra: &str| -> String {
         if labels.is_empty() {
@@ -280,9 +313,14 @@ fn render_hist(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) 
     };
     let mut total = 0u64;
     for (upper, cum) in snap.cumulative() {
+        let bound = if raw {
+            upper.to_string()
+        } else {
+            fmt_le(upper)
+        };
         out.push_str(&format!(
             "{name}_bucket{} {cum}\n",
-            with(&format!("le=\"{}\"", fmt_le(upper)))
+            with(&format!("le=\"{bound}\""))
         ));
         total = cum;
     }
@@ -292,10 +330,12 @@ fn render_hist(out: &mut String, name: &str, labels: &str, snap: &HistSnapshot) 
         with("le=\"+Inf\""),
         snap.count()
     ));
-    out.push_str(&format!(
-        "{name}_sum{labels} {}\n",
+    let sum = if raw {
+        snap.sum_ns.to_string()
+    } else {
         fmt_value(snap.sum_seconds())
-    ));
+    };
+    out.push_str(&format!("{name}_sum{labels} {sum}\n"));
     out.push_str(&format!("{name}_count{labels} {}\n", snap.count()));
 }
 
@@ -426,6 +466,64 @@ mod tests {
         assert_eq!(samples[1].labels, "{q=\"0.99\"}");
         assert!(!samples[1].counter);
         assert!((samples[1].value - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_histograms_render_unit_bounds() {
+        let h = Histogram::new();
+        h.observe_ns(300); // 300 bytes, bucket upper 511
+        h.observe_ns(5_000); // 5000 bytes, bucket upper 8191
+        let mut r = Registry::new();
+        r.raw_histogram("antruss_prof_request_alloc_bytes", &[], &h.snapshot());
+        r.raw_quantiles(
+            "antruss_prof_request_alloc_bytes_quantile",
+            &[],
+            &h.snapshot(),
+        );
+        let text = r.render();
+        // bounds stay raw byte counts, never divided down to seconds
+        assert!(
+            text.contains("antruss_prof_request_alloc_bytes_bucket{le=\"511\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_prof_request_alloc_bytes_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_prof_request_alloc_bytes_sum 5300\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_prof_request_alloc_bytes_quantile{q=\"0.99\"}"),
+            "{text}"
+        );
+        // raw histograms never reach the history recorder's seconds path
+        assert!(r.hist_samples().is_empty());
+    }
+
+    #[test]
+    fn float_counters_render_like_gauges() {
+        let mut r = Registry::new();
+        r.counter_f64_with(
+            "antruss_prof_cpu_seconds_total",
+            &[("role", "worker")],
+            1.25,
+        );
+        r.counter_f64_with("antruss_prof_cpu_seconds_total", &[("role", "main")], 3.0);
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE antruss_prof_cpu_seconds_total counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_prof_cpu_seconds_total{role=\"worker\"} 1.250000\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("antruss_prof_cpu_seconds_total{role=\"main\"} 3\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl TraceContext {
 }
 
 /// One tier's contribution to a trace: its span, timing and phases.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Hop {
     /// Which tier recorded the hop (`server`, `router`, `edge`).
     pub tier: String,
@@ -129,6 +129,14 @@ pub struct Hop {
     pub op: String,
     /// Named phase timings in microseconds (`parse`, `cache`, `solve`, …).
     pub phases: Vec<(String, u64)>,
+    /// CPU time the handling thread spent on the request, microseconds
+    /// (zero when the tier predates cost accounting).
+    pub cpu_us: u64,
+    /// Bytes the handling thread allocated during the request.
+    pub alloc_bytes: u64,
+    /// Per-phase resource costs: `(phase, cpu_us, alloc_bytes)` — what
+    /// a slow phase *spent*, alongside the wall time in [`Hop::phases`].
+    pub costs: Vec<(String, u64, u64)>,
 }
 
 /// Strips the characters the `k=v;…,`-structured wire format reserves.
@@ -158,19 +166,35 @@ impl Hop {
         for (name, us) in &self.phases {
             out.push_str(&format!(";{}_us={us}", sanitize(name)));
         }
+        if self.cpu_us > 0 || self.alloc_bytes > 0 {
+            out.push_str(&format!(";cu={};ab={}", self.cpu_us, self.alloc_bytes));
+        }
+        // the `_cu`/`_ab` suffixes deliberately avoid `_us`, so an older
+        // peer's decoder skips them instead of misreading them as phases
+        for (name, cpu_us, bytes) in &self.costs {
+            if *cpu_us > 0 {
+                out.push_str(&format!(";{}_cu={cpu_us}", sanitize(name)));
+            }
+            if *bytes > 0 {
+                out.push_str(&format!(";{}_ab={bytes}", sanitize(name)));
+            }
+        }
         out
     }
 
     /// Decodes one record; `None` when the required fields are missing.
     pub fn decode(s: &str) -> Option<Hop> {
-        let mut hop = Hop {
-            tier: String::new(),
-            span: 0,
-            parent: 0,
-            us: 0,
-            op: String::new(),
-            phases: Vec::new(),
-        };
+        let mut hop = Hop::default();
+        fn cost_slot<'h>(
+            costs: &'h mut Vec<(String, u64, u64)>,
+            name: &str,
+        ) -> &'h mut (String, u64, u64) {
+            if let Some(i) = costs.iter().position(|(n, _, _)| n == name) {
+                return &mut costs[i];
+            }
+            costs.push((name.to_string(), 0, 0));
+            costs.last_mut().unwrap()
+        }
         for field in s.split(';') {
             let (k, v) = field.split_once('=')?;
             match k {
@@ -179,9 +203,15 @@ impl Hop {
                 "parent" => hop.parent = parse_hex(v)?,
                 "us" => hop.us = v.parse().ok()?,
                 "op" => hop.op = v.to_string(),
+                "cu" => hop.cpu_us = v.parse().ok()?,
+                "ab" => hop.alloc_bytes = v.parse().ok()?,
                 other => {
                     if let (Some(name), Ok(us)) = (other.strip_suffix("_us"), v.parse()) {
                         hop.phases.push((name.to_string(), us));
+                    } else if let (Some(name), Ok(cu)) = (other.strip_suffix("_cu"), v.parse()) {
+                        cost_slot(&mut hop.costs, name).1 = cu;
+                    } else if let (Some(name), Ok(ab)) = (other.strip_suffix("_ab"), v.parse()) {
+                        cost_slot(&mut hop.costs, name).2 = ab;
                     }
                     // unknown fields from a newer peer are skipped
                 }
@@ -211,6 +241,7 @@ pub fn append_hop(prev: Option<&str>, hop: &Hop) -> String {
 thread_local! {
     static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
     static PHASES: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    static COSTS: RefCell<Vec<(&'static str, u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Installs `ctx` as the worker thread's current trace context and
@@ -218,6 +249,7 @@ thread_local! {
 pub fn begin_request(ctx: TraceContext) {
     CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
     PHASES.with(|p| p.borrow_mut().clear());
+    COSTS.with(|c| c.borrow_mut().clear());
 }
 
 /// The current request's trace context, if one is installed (forwarding
@@ -241,11 +273,31 @@ pub fn note_phase(name: &'static str, d: Duration) {
     });
 }
 
+/// Records a named phase's resource cost (CPU microseconds and
+/// allocated bytes) against the current request — the companion of
+/// [`note_phase`], usually called by a [`crate::prof`] cost span guard.
+pub fn note_phase_cost(name: &'static str, cpu_us: u64, alloc_bytes: u64) {
+    COSTS.with(|c| {
+        let mut costs = c.borrow_mut();
+        if let Some(slot) = costs.iter_mut().find(|(n, _, _)| *n == name) {
+            slot.1 += cpu_us;
+            slot.2 += alloc_bytes;
+        } else {
+            costs.push((name, cpu_us, alloc_bytes));
+        }
+    });
+}
+
 /// Drains the phases noted since [`begin_request`] and uninstalls the
 /// trace context.
 pub fn take_phases() -> Vec<(&'static str, u64)> {
     CURRENT.with(|c| *c.borrow_mut() = None);
     PHASES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// Drains the per-phase costs noted since [`begin_request`].
+pub fn take_costs() -> Vec<(&'static str, u64, u64)> {
+    COSTS.with(|c| std::mem::take(&mut *c.borrow_mut()))
 }
 
 /// One fully assembled request timeline, worst-first in [`SlowTraces`].
@@ -307,14 +359,27 @@ impl AssembledTrace {
                     .iter()
                     .map(|(n, us)| format!("\"{}\":{us}", json_escape(n)))
                     .collect();
+                let costs: Vec<String> = h
+                    .costs
+                    .iter()
+                    .map(|(n, cpu_us, bytes)| {
+                        format!(
+                            "\"{}\":{{\"cpu_us\":{cpu_us},\"alloc_bytes\":{bytes}}}",
+                            json_escape(n)
+                        )
+                    })
+                    .collect();
                 format!(
-                    "{{\"tier\":\"{}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\"us\":{},\"op\":\"{}\",\"phases\":{{{}}}}}",
+                    "{{\"tier\":\"{}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\"us\":{},\"op\":\"{}\",\"cpu_us\":{},\"alloc_bytes\":{},\"phases\":{{{}}},\"costs\":{{{}}}}}",
                     json_escape(&h.tier),
                     h.span,
                     h.parent,
                     h.us,
                     json_escape(&h.op),
-                    phases.join(",")
+                    h.cpu_us,
+                    h.alloc_bytes,
+                    phases.join(","),
+                    costs.join(",")
                 )
             })
             .collect();
@@ -397,8 +462,13 @@ impl SlowTraces {
                     .iter()
                     .map(|(n, us)| format!("{n} {:.3}ms", *us as f64 / 1000.0))
                     .collect();
+                let cost = if h.cpu_us > 0 || h.alloc_bytes > 0 {
+                    format!(" [cpu {}us, alloc {}B]", h.cpu_us, h.alloc_bytes)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  [{}] span {:016x} parent {:016x} {:.3}ms {}\n",
+                    "  [{}] span {:016x} parent {:016x} {:.3}ms {}{cost}\n",
                     h.tier,
                     h.span,
                     h.parent,
@@ -442,9 +512,21 @@ mod tests {
             us: 1234,
             op: "/solve".to_string(),
             phases: vec![("forward".to_string(), 1000), ("parse".to_string(), 12)],
+            cpu_us: 800,
+            alloc_bytes: 4096,
+            costs: vec![("forward".to_string(), 700, 4000)],
         };
         let decoded = Hop::decode(&hop.encode()).unwrap();
         assert_eq!(decoded, hop);
+        // a cost-free hop encodes without any cost fields at all
+        let lean = Hop {
+            cpu_us: 0,
+            alloc_bytes: 0,
+            costs: Vec::new(),
+            ..hop.clone()
+        };
+        assert!(!lean.encode().contains("cu="), "{}", lean.encode());
+        assert_eq!(Hop::decode(&lean.encode()).unwrap(), lean);
     }
 
     #[test]
@@ -455,7 +537,7 @@ mod tests {
             parent: 2,
             us: 10,
             op: "/solve".to_string(),
-            phases: vec![],
+            ..Hop::default()
         };
         let b = Hop {
             tier: "router".to_string(),
@@ -463,7 +545,7 @@ mod tests {
             parent: 3,
             us: 20,
             op: "/solve".to_string(),
-            phases: vec![],
+            ..Hop::default()
         };
         let header = append_hop(Some(&append_hop(None, &a)), &b);
         let hops = parse_hops(&header);
@@ -482,11 +564,15 @@ mod tests {
         note_phase("cache", Duration::from_micros(5));
         note_phase("solve", Duration::from_micros(100));
         note_phase("cache", Duration::from_micros(3));
+        note_phase_cost("solve", 80, 1024);
+        note_phase_cost("solve", 10, 6);
         let phases = take_phases();
         assert!(current().is_none());
         assert_eq!(phases, vec![("cache", 8), ("solve", 100)]);
+        assert_eq!(take_costs(), vec![("solve", 90, 1030)]);
         // drained: a second take is empty
         assert!(take_phases().is_empty());
+        assert!(take_costs().is_empty());
     }
 
     #[test]
@@ -518,6 +604,9 @@ mod tests {
             us: 900,
             op: "/solve".to_string(),
             phases: vec![("solve".to_string(), 800)],
+            cpu_us: 750,
+            alloc_bytes: 2048,
+            costs: vec![("solve".to_string(), 700, 2000)],
         };
         let own = Hop {
             tier: "edge".to_string(),
@@ -526,6 +615,7 @@ mod tests {
             us: 1000,
             op: "/solve".to_string(),
             phases: vec![("forward".to_string(), 950)],
+            ..Hop::default()
         };
         let t = AssembledTrace::assemble(&ctx, own, &downstream.encode());
         assert_eq!(t.total_us, 1000);
@@ -536,6 +626,13 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"solve\":800"), "{json}");
+        // the slow hop carries what it spent, not just where time went
+        assert!(json.contains("\"cpu_us\":750"), "{json}");
+        assert!(json.contains("\"alloc_bytes\":2048"), "{json}");
+        assert!(
+            json.contains("\"solve\":{\"cpu_us\":700,\"alloc_bytes\":2000}"),
+            "{json}"
+        );
         assert!(SlowTraces::new(4).is_empty());
     }
 }

@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use antruss_obs::prof::ProfMutex;
 
 /// Everything that determines a solve outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -70,7 +72,7 @@ pub type DumpEntry = (CacheKey, Arc<String>);
 /// A thread-safe LRU keyed by [`CacheKey`].
 pub struct OutcomeCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: ProfMutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -106,7 +108,7 @@ impl OutcomeCache {
     pub fn new(capacity: usize) -> OutcomeCache {
         OutcomeCache {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: ProfMutex::new("outcome_cache", Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),

@@ -19,7 +19,9 @@
 //! they regenerate pristine from their spec.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use antruss_obs::prof::ProfMutex;
 
 use antruss_datasets::DatasetId;
 use antruss_graph::{io, io_binary, CsrGraph, EdgeId, EdgeSet, GraphBuilder, VertexId};
@@ -174,7 +176,7 @@ pub struct Catalog {
     /// otherwise resurrect a concurrently-deleted graph or clobber a
     /// concurrent re-registration under the same name. Reads (`get`,
     /// `lookup`) never take this lock.
-    write_lock: Mutex<()>,
+    write_lock: ProfMutex<()>,
     /// The durable store, attached once at startup (after recovery
     /// replay, so replayed operations are not re-logged). `None` for an
     /// in-memory catalog.
@@ -191,7 +193,7 @@ impl Default for Catalog {
     fn default() -> Catalog {
         Catalog {
             loaded: RwLock::default(),
-            write_lock: Mutex::default(),
+            write_lock: ProfMutex::new("catalog_write", ()),
             store: OnceLock::new(),
             // a diskless catalog's history dies with the process: a
             // fresh epoch per construction forces subscribers to resync

@@ -204,10 +204,9 @@ impl HeartbeatClient {
             failovers: AtomicU64::new(0),
         });
         let thread_inner = Arc::clone(&inner);
-        let handle = thread::Builder::new()
-            .name("antruss-heartbeat".to_string())
-            .spawn(move || heartbeat_loop(&thread_inner))
-            .expect("spawn heartbeat thread");
+        let handle = antruss_obs::prof::spawn("antruss-heartbeat", "heartbeat", move || {
+            heartbeat_loop(&thread_inner)
+        })?;
         Ok(HeartbeatClient {
             inner,
             handle: Some(handle),

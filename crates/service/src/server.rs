@@ -34,12 +34,12 @@ use antruss_datasets::DatasetId;
 use antruss_store::{FsyncPolicy, Store};
 
 use antruss_obs::slo::{self, Objective, SloReport, SloSources};
-use antruss_obs::{self as obs, trace, Hop, Recorder, Registry, SlowTraces, TraceContext};
+use antruss_obs::{self as obs, prof, trace, Hop, Recorder, Registry, SlowTraces, TraceContext};
 
 use crate::cache::{CacheKey, OutcomeCache};
 use crate::catalog::{Catalog, CatalogError};
 use crate::http::{read_request_expecting, ReadError, Request, Response};
-use crate::metrics::{EndpointClass, InFlight, Metrics, Phase};
+use crate::metrics::{EndpointClass, InFlight, Metrics, Phase, ENDPOINTS};
 
 /// How many worst-case traces each tier's `/debug/traces` ring keeps.
 pub const SLOW_TRACE_CAP: usize = 16;
@@ -259,6 +259,7 @@ impl ServiceState {
         if !self.config.slos.is_empty() {
             self.slo_report().register(&mut r);
         }
+        prof::register_metrics(&mut r);
         r
     }
 
@@ -313,6 +314,7 @@ fn untraced(path: &str) -> bool {
 /// with `x-antruss-trace` plus this tier's hop record.
 pub fn handle(state: &ServiceState, req: &Request) -> Response {
     let started = Instant::now();
+    let cost = prof::begin_cost();
     let (ctx, originated) = TraceContext::from_headers(
         req.header(trace::TRACE_HEADER),
         req.header(trace::SPAN_HEADER),
@@ -327,9 +329,15 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         note_cluster_cursor(state, req);
     }
     let elapsed = started.elapsed();
-    state
-        .metrics
-        .observe_endpoint(EndpointClass::of(&req.method, &req.path), elapsed);
+    let class = EndpointClass::of(&req.method, &req.path);
+    state.metrics.observe_endpoint(class, elapsed);
+    let (cpu_us, alloc_bytes) = cost.finish();
+    let class_label = ENDPOINTS
+        .iter()
+        .find(|(c, _)| *c == class)
+        .map(|(_, l)| *l)
+        .unwrap_or("other");
+    prof::observe_request_cost("endpoint", class_label, cpu_us, alloc_bytes);
     let hop = Hop {
         tier: "server".to_string(),
         span: ctx.span,
@@ -339,6 +347,12 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         phases: trace::take_phases()
             .into_iter()
             .map(|(n, us)| (n.to_string(), us))
+            .collect(),
+        cpu_us,
+        alloc_bytes,
+        costs: trace::take_costs()
+            .into_iter()
+            .map(|(n, c, b)| (n.to_string(), c, b))
             .collect(),
     };
     if originated && !untraced(&req.path) {
@@ -353,6 +367,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
     }
     resp.with_header(trace::TRACE_HEADER, &ctx.trace_hex())
         .with_header(trace::HOPS_HEADER, &trace::append_hop(None, &hop))
+        .with_header(prof::COST_HEADER, &prof::format_cost(cpu_us, alloc_bytes))
 }
 
 fn route(state: &ServiceState, req: &Request) -> Response {
@@ -382,6 +397,7 @@ fn route(state: &ServiceState, req: &Request) -> Response {
         ("GET", "/metrics/history") => metrics_history(&state.recorder, req),
         ("GET", "/events") => events_feed(state, req),
         ("GET", "/debug/traces") => Response::json(200, state.traces.to_json()),
+        ("GET", "/debug/prof") => Response::json(200, prof::debug_json("server")),
         ("POST", "/debug/delay") => {
             let ms = match req.query_param("ms") {
                 Some(v) => match v.parse::<u64>() {
@@ -1010,10 +1026,13 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
         policy: policy_name,
     };
     let lookup_started = Instant::now();
+    let lookup_cost = prof::begin_cost();
     let cached = state.cache.get_stamped(&key);
+    let (lookup_cpu, lookup_bytes) = lookup_cost.finish();
     let lookup = lookup_started.elapsed();
     state.metrics.observe_phase(Phase::CacheLookup, lookup);
     trace::note_phase("cache", lookup);
+    trace::note_phase_cost("cache", lookup_cpu, lookup_bytes);
     if let Some((hit, stamp)) = cached {
         state.metrics.solves.fetch_add(1, Ordering::Relaxed);
         // a hit replays the *computing* request's freshness bound, not
@@ -1048,16 +1067,23 @@ fn solve(state: &ServiceState, req: &Request) -> Response {
     if injected_ms > 0 {
         thread::sleep(Duration::from_millis(injected_ms));
     }
+    let solve_cost = prof::begin_cost();
     match solver.run(&graph, &cfg) {
         Ok(outcome) => {
             let solved = started.elapsed();
+            let (solve_cpu, solve_bytes) = solve_cost.finish();
             state.metrics.observe_solve(solved);
             trace::note_phase("solve", solved);
+            trace::note_phase_cost("solve", solve_cpu, solve_bytes);
+            prof::observe_request_cost("solver", solver.name(), solve_cpu, solve_bytes);
             let serialize_started = Instant::now();
+            let serialize_cost = prof::begin_cost();
             let serialized = Arc::new(outcome.to_json());
+            let (ser_cpu, ser_bytes) = serialize_cost.finish();
             let serialized_in = serialize_started.elapsed();
             state.metrics.observe_phase(Phase::Serialize, serialized_in);
             trace::note_phase("serialize", serialized_in);
+            trace::note_phase_cost("serialize", ser_cpu, ser_bytes);
             // the graph may have been mutated or deleted *while* this
             // solver ran. If the mutation's purge landed first, its gate
             // (the mutation's event seq) exceeds our pre-resolve
@@ -1109,45 +1135,41 @@ impl AcceptPool {
         for i in 0..threads {
             let rx = rx.clone();
             let serve = Arc::clone(&serve);
-            workers.push(
-                thread::Builder::new()
-                    .name(format!("{name}-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok((stream, accepted)) = rx.recv() {
-                            serve(stream, accepted);
-                        }
-                    })
-                    .expect("spawn worker"),
-            );
+            workers.push(prof::spawn(
+                &format!("{name}-worker-{i}"),
+                "worker",
+                move || {
+                    while let Ok((stream, accepted)) = rx.recv() {
+                        serve(stream, accepted);
+                    }
+                },
+            )?);
         }
         drop(rx);
 
-        let acceptor = thread::Builder::new()
-            .name(format!("{name}-acceptor"))
-            .spawn(move || {
-                // `tx` lives in this thread; dropping it on exit is what
-                // releases the workers from `recv`
-                while !is_shutdown() {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let _ = stream.set_nonblocking(false);
-                            if tx.send((stream, Instant::now())).is_err() {
-                                break;
-                            }
+        let acceptor = prof::spawn(&format!("{name}-acceptor"), "accept", move || {
+            // `tx` lives in this thread; dropping it on exit is what
+            // releases the workers from `recv`
+            while !is_shutdown() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if tx.send((stream, Instant::now())).is_err() {
+                            break;
                         }
-                        Err(e)
-                            if matches!(
-                                e.kind(),
-                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                            ) =>
-                        {
-                            thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => thread::sleep(Duration::from_millis(10)),
                     }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
                 }
-            })
-            .expect("spawn acceptor");
+            }
+        })?;
 
         Ok(AcceptPool {
             addr,
@@ -1207,21 +1229,19 @@ pub fn spawn_history_sampler(
     is_shutdown: Arc<dyn Fn() -> bool + Send + Sync>,
     record: Arc<dyn Fn(f64) + Send + Sync>,
 ) -> JoinHandle<()> {
-    thread::Builder::new()
-        .name(format!("{name}-sampler"))
-        .spawn(move || {
-            let interval = Duration::from_millis(interval_ms.max(1));
-            let step = Duration::from_millis(interval_ms.clamp(1, 25));
-            let mut next = Instant::now() + interval;
-            while !is_shutdown() {
-                thread::sleep(step);
-                if Instant::now() >= next {
-                    record(epoch_now());
-                    next = Instant::now() + interval;
-                }
+    prof::spawn(&format!("{name}-sampler"), "sampler", move || {
+        let interval = Duration::from_millis(interval_ms.max(1));
+        let step = Duration::from_millis(interval_ms.clamp(1, 25));
+        let mut next = Instant::now() + interval;
+        while !is_shutdown() {
+            thread::sleep(step);
+            if Instant::now() >= next {
+                record(epoch_now());
+                next = Instant::now() + interval;
             }
-        })
-        .expect("spawn history sampler")
+        }
+    })
+    .expect("spawn history sampler")
 }
 
 impl Server {
@@ -1339,20 +1359,23 @@ impl Drop for Server {
 /// never lost with it.
 fn drain_snapshot(state: &ServiceState) {
     let metrics = state.build_registry().render();
+    let profile = prof::debug_json("server");
     if let Some(dir) = &state.config.data_dir {
         let dir = std::path::Path::new(dir);
         if std::fs::write(dir.join("final_metrics.prom"), &metrics).is_ok()
             && std::fs::write(dir.join("slow_traces.json"), state.traces.to_json()).is_ok()
+            && std::fs::write(dir.join("final_prof.json"), &profile).is_ok()
         {
             obs::info!(
                 "serve",
-                "drain: wrote final_metrics.prom and slow_traces.json to {}",
+                "drain: wrote final_metrics.prom, slow_traces.json and final_prof.json to {}",
                 dir.display()
             );
             return;
         }
     }
     eprintln!("--- final metrics snapshot ---\n{metrics}");
+    eprintln!("--- final profile snapshot ---\n{profile}");
     if !state.traces.is_empty() {
         eprintln!("--- slowest traces ---\n{}", state.traces.render_text());
     }

@@ -369,24 +369,22 @@ impl Store {
             let wal = Arc::clone(&wal);
             let stop = Arc::clone(&flusher_stop);
             Some(
-                std::thread::Builder::new()
-                    .name("antruss-store-flusher".to_string())
-                    .spawn(move || {
-                        let tick = Duration::from_millis(ms.clamp(1, 100));
-                        let interval = Duration::from_millis(ms);
-                        while !stop.load(Ordering::Relaxed) {
-                            std::thread::sleep(tick);
-                            let mut wal = wal.lock().unwrap();
-                            if wal.dirty
-                                && wal.last_sync.elapsed() >= interval
-                                && wal.file.sync_data().is_ok()
-                            {
-                                wal.dirty = false;
-                                wal.last_sync = Instant::now();
-                            }
+                antruss_obs::prof::spawn("antruss-store-flusher", "flusher", move || {
+                    let tick = Duration::from_millis(ms.clamp(1, 100));
+                    let interval = Duration::from_millis(ms);
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        let mut wal = wal.lock().unwrap();
+                        if wal.dirty
+                            && wal.last_sync.elapsed() >= interval
+                            && wal.file.sync_data().is_ok()
+                        {
+                            wal.dirty = false;
+                            wal.last_sync = Instant::now();
                         }
-                    })
-                    .expect("spawn store flusher"),
+                    }
+                })
+                .expect("spawn store flusher"),
             )
         } else {
             None

@@ -18,7 +18,11 @@
 //!   series;
 //! * the router's `GET /cluster/overview` is valid JSON naming each
 //!   member's health, and every tier's `/healthz` carries a `status`
-//!   field while `/readyz` answers `ready` on a live tier.
+//!   field while `/readyz` answers `ready` on a live tier;
+//! * every tier exports the `antruss_prof_*` profiling families and
+//!   serves `GET /debug/prof` as valid JSON with the documented shape
+//!   (allocator totals, CPU by thread role, lock waits, request-cost
+//!   quantiles).
 //!
 //! CI runs this as a step (`cargo run --release --example
 //! metrics_lint`); it exits non-zero listing every violation.
@@ -322,6 +326,139 @@ fn lint_health(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) {
     }
 }
 
+/// Every tier must export the profiling families on `/metrics` and
+/// serve `GET /debug/prof` as valid JSON with the documented shape.
+fn lint_prof(tier: &'static str, addr: SocketAddr, scrape: &Scrape, errors: &mut Vec<String>) {
+    for family in [
+        "antruss_prof_allocs_total",
+        "antruss_prof_alloc_bytes_total",
+        "antruss_prof_deallocs_total",
+        "antruss_prof_dealloc_bytes_total",
+        "antruss_prof_live_bytes",
+        "antruss_prof_cpu_seconds_total",
+        "antruss_prof_lock_wait_seconds",
+        "antruss_prof_request_cpu_seconds",
+        "antruss_prof_request_alloc_bytes",
+    ] {
+        if !scrape.types.contains_key(family) {
+            errors.push(format!("{tier}: /metrics lacks the {family} family"));
+        }
+    }
+
+    let resp = Client::new(addr)
+        .get("/debug/prof")
+        .expect("scrape /debug/prof");
+    if resp.status != 200 {
+        errors.push(format!("{tier}: /debug/prof status {}", resp.status));
+        return;
+    }
+    let body = resp.body_string();
+    let doc = match json::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            errors.push(format!("{tier}: /debug/prof is not JSON: {e}"));
+            return;
+        }
+    };
+    if doc.get("tier").and_then(|v| v.as_str()).is_none() {
+        errors.push(format!("{tier}: /debug/prof has no tier field"));
+    }
+    match doc.get("alloc") {
+        Some(alloc) => {
+            for field in [
+                "allocs",
+                "alloc_bytes",
+                "deallocs",
+                "dealloc_bytes",
+                "live_bytes",
+            ] {
+                if alloc.get(field).and_then(|v| v.as_f64()).is_none() {
+                    errors.push(format!("{tier}: /debug/prof alloc.{field} missing"));
+                }
+            }
+            if alloc.get("allocs").and_then(|v| v.as_f64()).unwrap_or(0.0) <= 0.0 {
+                errors.push(format!(
+                    "{tier}: /debug/prof reports zero allocations on a live process"
+                ));
+            }
+        }
+        None => errors.push(format!("{tier}: /debug/prof has no alloc section")),
+    }
+    match doc
+        .get("cpu")
+        .and_then(|c| c.get("by_role"))
+        .and_then(|v| v.as_array())
+    {
+        Some(roles) => {
+            if roles.is_empty() {
+                errors.push(format!(
+                    "{tier}: /debug/prof cpu.by_role is empty on a live process"
+                ));
+            }
+            for r in roles {
+                if r.get("role").and_then(|v| v.as_str()).is_none()
+                    || r.get("cpu_seconds").and_then(|v| v.as_f64()).is_none()
+                {
+                    errors.push(format!("{tier}: /debug/prof cpu.by_role entry malformed"));
+                    break;
+                }
+            }
+        }
+        None => errors.push(format!("{tier}: /debug/prof has no cpu.by_role array")),
+    }
+    match doc.get("locks").and_then(|v| v.as_array()) {
+        Some(locks) => {
+            for l in locks {
+                let name = l.get("lock").and_then(|v| v.as_str());
+                if name.is_none()
+                    || [
+                        "acquisitions",
+                        "wait_seconds_total",
+                        "wait_p99_us",
+                        "wait_max_us",
+                    ]
+                    .iter()
+                    .any(|f| l.get(f).and_then(|v| v.as_f64()).is_none())
+                {
+                    errors.push(format!(
+                        "{tier}: /debug/prof lock entry {:?} malformed",
+                        name.unwrap_or("?")
+                    ));
+                    break;
+                }
+            }
+        }
+        None => errors.push(format!("{tier}: /debug/prof has no locks array")),
+    }
+    match doc.get("costs").and_then(|v| v.as_array()) {
+        Some(costs) => {
+            if costs.is_empty() {
+                errors.push(format!(
+                    "{tier}: /debug/prof costs are empty after driven traffic"
+                ));
+            }
+            for c in costs {
+                if c.get("dim").and_then(|v| v.as_str()).is_none()
+                    || c.get("label").and_then(|v| v.as_str()).is_none()
+                    || [
+                        "count",
+                        "cpu_us_p50",
+                        "cpu_us_p99",
+                        "alloc_bytes_p50",
+                        "alloc_bytes_p99",
+                    ]
+                    .iter()
+                    .any(|f| c.get(f).and_then(|v| v.as_f64()).is_none())
+                {
+                    errors.push(format!("{tier}: /debug/prof cost entry malformed"));
+                    break;
+                }
+            }
+        }
+        None => errors.push(format!("{tier}: /debug/prof has no costs array")),
+    }
+}
+
 fn scrape(tier: &'static str, addr: SocketAddr, errors: &mut Vec<String>) -> Scrape {
     let resp = Client::new(addr).get("/metrics").expect("scrape /metrics");
     assert_eq!(resp.status, 200, "{tier} /metrics status {}", resp.status);
@@ -435,9 +572,10 @@ fn main() {
     // retained-telemetry and health surfaces, per tier; one manual
     // supervision pass populates the router's federated overview before
     // it is linted
-    for &(tier, addr) in &tiers {
+    for (i, &(tier, addr)) in tiers.iter().enumerate() {
         lint_history(tier, addr, &mut errors);
         lint_health(tier, addr, &mut errors);
+        lint_prof(tier, addr, &second[i], &mut errors);
     }
     router.tick();
     lint_overview(router.addr(), 1, &mut errors);
